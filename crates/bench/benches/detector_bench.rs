@@ -1,0 +1,45 @@
+//! End-to-end detector benchmarks: offline analysis of a full monitor log
+//! and per-sample streaming cost.
+
+use aging_core::detector::{analyze, DetectorConfig, HolderDimensionDetector};
+use aging_memsim::{simulate, Counter, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_detector(c: &mut Criterion) {
+    // Pre-simulate a 20 h NT4 log (~2400 samples).
+    let report = simulate(&Scenario::aging_web_server(9), 20.0 * 3600.0).unwrap();
+    let series = report.log.series(Counter::AvailableBytes).unwrap();
+    let values = series.values().to_vec();
+
+    let mut group = c.benchmark_group("detector");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("offline-analyze", |b| {
+        b.iter(|| analyze(std::hint::black_box(&values), &DetectorConfig::default()).unwrap())
+    });
+    group.bench_function("streaming-push", |b| {
+        b.iter(|| {
+            let mut det = HolderDimensionDetector::new(DetectorConfig::default()).unwrap();
+            for &v in &values {
+                let _ = det.push(std::hint::black_box(v)).unwrap();
+            }
+            det.is_alarmed()
+        })
+    });
+    group.finish();
+
+    // Baseline comparison: Sen-slope predictor over the same log.
+    use aging_core::baseline::{AgingPredictor, SenSlopePredictor, TrendPredictorConfig};
+    c.bench_function("detector/sen-slope-predictor", |b| {
+        b.iter(|| {
+            let mut p =
+                SenSlopePredictor::new(TrendPredictorConfig::depleting(30.0)).unwrap();
+            for &v in &values {
+                let _ = p.push(std::hint::black_box(v)).unwrap();
+            }
+            p.is_alarmed()
+        })
+    });
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Hölder-trace estimation benchmarks (the per-sample cost that bounds the
+//! streaming detector's throughput).
+
+use aging_fractal::holder::{holder_trace, increment_exponent, HolderEstimator};
+use aging_fractal::generate;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_holder(c: &mut Criterion) {
+    let signal = generate::fbm(4096, 0.6, 2).unwrap();
+    let mut group = c.benchmark_group("holder");
+    group.throughput(Throughput::Elements(4096));
+    group.bench_function("trace/local-increment", |b| {
+        b.iter(|| {
+            holder_trace(
+                std::hint::black_box(&signal),
+                &HolderEstimator::local_increment(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("trace/oscillation", |b| {
+        b.iter(|| {
+            holder_trace(
+                std::hint::black_box(&signal),
+                &HolderEstimator::oscillation(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("trace/wavelet-leader", |b| {
+        b.iter(|| {
+            holder_trace(
+                std::hint::black_box(&signal),
+                &HolderEstimator::wavelet_leader(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+
+    c.bench_function("generate/mbm-2048", |b| {
+        b.iter(|| aging_fractal::generate::mbm(2048, |u| 0.8 - 0.5 * u, 1).unwrap())
+    });
+
+    let window = &signal[..65];
+    c.bench_function("holder/point-estimate-65", |b| {
+        b.iter(|| increment_exponent(std::hint::black_box(window), 8, 2.0).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_holder);
+criterion_main!(benches);

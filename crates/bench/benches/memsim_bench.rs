@@ -1,0 +1,30 @@
+//! Simulator throughput benchmarks (simulated hours per wall second).
+
+use aging_memsim::{simulate, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_memsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memsim");
+    // One simulated hour = 3600 steps.
+    group.throughput(Throughput::Elements(3600));
+    group.bench_function("tiny-1h", |b| {
+        let scenario = Scenario::tiny_aging(1, 16.0);
+        b.iter(|| simulate(std::hint::black_box(&scenario), 3600.0).unwrap())
+    });
+    group.bench_function("nt4-web-server-1h", |b| {
+        let scenario = Scenario::aging_web_server(1);
+        b.iter(|| simulate(std::hint::black_box(&scenario), 3600.0).unwrap())
+    });
+    group.bench_function("multi-process-1h", |b| {
+        let scenario = aging_memsim::MultiScenario::leaky_app_with_neighbours(1, 16.0);
+        b.iter(|| {
+            let mut m = aging_memsim::MultiMachine::boot(std::hint::black_box(&scenario)).unwrap();
+            m.run_for(3600.0);
+            m.log().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_memsim);
+criterion_main!(benches);

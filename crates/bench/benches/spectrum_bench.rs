@@ -1,0 +1,53 @@
+//! Multifractal spectrum estimation benchmarks.
+
+use aging_fractal::generate;
+use aging_fractal::spectrum::{
+    leader_cumulants, mfdfa, partition_function, structure_function, MfdfaConfig,
+};
+use aging_fractal::surrogate::phase_surrogate;
+use aging_fractal::wtmm::{wtmm, WtmmConfig};
+use aging_fractal::{dimension, hurst};
+use aging_wavelet::Wavelet;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_spectrum(c: &mut Criterion) {
+    let noise = generate::fgn(8192, 0.6, 3).unwrap();
+    let cascade = generate::binomial_cascade(13, 0.3, true, 4).unwrap();
+
+    c.bench_function("spectrum/mfdfa-8192", |b| {
+        b.iter(|| mfdfa(std::hint::black_box(&noise), &MfdfaConfig::default()).unwrap())
+    });
+    c.bench_function("spectrum/structure-function-8192", |b| {
+        b.iter(|| {
+            structure_function(std::hint::black_box(&noise), &[1.0, 2.0, 3.0]).unwrap()
+        })
+    });
+    c.bench_function("spectrum/partition-8192", |b| {
+        b.iter(|| {
+            partition_function(std::hint::black_box(&cascade), &[-2.0, 1.0, 2.0, 4.0]).unwrap()
+        })
+    });
+    c.bench_function("spectrum/leader-cumulants-8192", |b| {
+        b.iter(|| {
+            leader_cumulants(std::hint::black_box(&noise), Wavelet::Daubechies6, 9, 3).unwrap()
+        })
+    });
+    c.bench_function("spectrum/wtmm-4096", |b| {
+        b.iter(|| wtmm(std::hint::black_box(&noise[..4096]), &WtmmConfig::default()).unwrap())
+    });
+    c.bench_function("spectrum/phase-surrogate-8192", |b| {
+        b.iter(|| phase_surrogate(std::hint::black_box(&noise), 1).unwrap())
+    });
+    c.bench_function("hurst/dfa-8192", |b| {
+        b.iter(|| hurst::dfa(std::hint::black_box(&noise), 1).unwrap())
+    });
+    c.bench_function("dimension/box-counting-1024", |b| {
+        b.iter(|| dimension::box_counting(std::hint::black_box(&noise[..1024])).unwrap())
+    });
+    c.bench_function("dimension/variation-1024", |b| {
+        b.iter(|| dimension::variation(std::hint::black_box(&noise[..1024])).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_spectrum);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Regenerates the paper's (reconstructed) tables and figures.
+//!
+//! Usage:
+//!   repro [e1 e2 … | all] [--quick] [--no-csv]
+//!
+//! CSV outputs land in ./bench_results/.
+
+use aging_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use aging_bench::util::results_dir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_csv = args.iter().any(|a| a == "--no-csv");
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+    if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        ids = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let dir = results_dir();
+    let out = if no_csv { None } else { Some(dir.as_path()) };
+    println!(
+        "holder-aging experiment reproduction ({} mode, CSV: {})",
+        if quick { "quick" } else { "full" },
+        if no_csv { "off".to_string() } else { dir.display().to_string() },
+    );
+
+    let started = std::time::Instant::now();
+    let mut failures = 0;
+    for id in &ids {
+        if let Err(e) = run_experiment(id, quick, out) {
+            eprintln!("experiment {id} failed: {e}");
+            failures += 1;
+        }
+    }
+    println!(
+        "\ncompleted {} experiment(s) in {:.1}s ({failures} failure(s))",
+        ids.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

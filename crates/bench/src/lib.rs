@@ -1,0 +1,11 @@
+//! # aging-bench
+//!
+//! Benchmark harness and experiment-reproduction machinery for the
+//! `holder-aging` workspace. The `repro` binary regenerates every table
+//! and figure of the (reconstructed) evaluation of *"Software Aging and
+//! Multifractality of Memory Resources"* (DSN 2003); see DESIGN.md for the
+//! experiment index E1–E8 and EXPERIMENTS.md for the recorded results.
+
+pub mod experiments;
+pub mod scenarios;
+pub mod util;

@@ -1,0 +1,136 @@
+//! Shared experiment scenario builders (the simulated counterpart of the
+//! paper's two instrumented testbed machines and their stress campaigns).
+
+use aging_memsim::{
+    FaultPlan, LeakMode, LeakSpec, MachineConfig, Scenario, WorkloadConfig,
+};
+
+/// "Machine A": the NT4-class workstation under the web-server stress mix
+/// with the canonical aging plan (linear leak + fragmentation + handle
+/// leak).
+pub fn machine_a(seed: u64) -> Scenario {
+    Scenario {
+        name: format!("machine-a-nt4-{seed}"),
+        machine: MachineConfig::workstation_nt4(),
+        workload: WorkloadConfig::web_server(),
+        faults: FaultPlan::aging(24.0),
+        seed,
+    }
+}
+
+/// "Machine B": the W2K-class server under a heavier mix with a faster
+/// leak.
+pub fn machine_b(seed: u64) -> Scenario {
+    let mut workload = WorkloadConfig::web_server();
+    workload.base_rate = 35.0;
+    Scenario {
+        name: format!("machine-b-w2k-{seed}"),
+        machine: MachineConfig::server_w2k(),
+        workload,
+        faults: FaultPlan::aging(48.0),
+        seed,
+    }
+}
+
+/// A healthy NT4 control machine (no aging faults).
+pub fn healthy_control(seed: u64) -> Scenario {
+    let mut s = Scenario::healthy_web_server(seed);
+    s.name = format!("healthy-nt4-{seed}");
+    s
+}
+
+/// A leak shape: name plus a builder from the long-run leak rate.
+type LeakShape = (&'static str, fn(f64) -> FaultPlan);
+
+/// The E4 aging fleet: NT4 machines with diverse leak shapes — linear,
+/// step (periodic lump), bursty (error-path) and late-onset — so the
+/// comparison covers aging dynamics where plain trend extrapolation is
+/// both easy and hard.
+pub fn aging_fleet(count: usize) -> Vec<Scenario> {
+    let shapes: [LeakShape; 4] = [
+        ("linear", |rate| FaultPlan::aging(rate)),
+        ("step", |rate| FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: rate * 1024.0 * 1024.0,
+                mode: LeakMode::Step {
+                    period_secs: 2.0 * 3600.0,
+                },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::aging(0.0)
+        }),
+        ("bursty", |rate| FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: rate * 1024.0 * 1024.0,
+                mode: LeakMode::Bursty { p: 0.002 },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::aging(0.0)
+        }),
+        ("late-onset", |rate| FaultPlan {
+            leaks: vec![LeakSpec {
+                // Doubled rate, but starting only after 10 h of uptime.
+                bytes_per_hour: 2.0 * rate * 1024.0 * 1024.0,
+                mode: LeakMode::Linear,
+                start_secs: 10.0 * 3600.0,
+            }],
+            ..FaultPlan::aging(0.0)
+        }),
+    ];
+    (0..count)
+        .map(|i| {
+            let (shape_name, build) = shapes[i % shapes.len()];
+            let rate = 20.0 + 6.0 * (i / shapes.len()) as f64;
+            Scenario {
+                name: format!("aging-{shape_name}-{i}"),
+                machine: MachineConfig::workstation_nt4(),
+                workload: WorkloadConfig::web_server(),
+                faults: build(rate),
+                seed: 1000 + i as u64,
+            }
+        })
+        .collect()
+}
+
+/// The E4 healthy fleet.
+pub fn healthy_fleet(count: usize) -> Vec<Scenario> {
+    (0..count).map(|i| healthy_control(2000 + i as u64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_are_valid() {
+        machine_a(1).machine.validate().unwrap();
+        machine_b(1).machine.validate().unwrap();
+        for s in aging_fleet(8) {
+            s.machine.validate().unwrap();
+            s.workload.validate().unwrap();
+            s.faults.validate().unwrap();
+        }
+        for s in healthy_fleet(3) {
+            s.faults.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn fleet_names_are_unique() {
+        let fleet = aging_fleet(12);
+        let names: std::collections::BTreeSet<_> = fleet.iter().map(|s| &s.name).collect();
+        assert_eq!(names.len(), 12);
+        // All four shapes appear.
+        assert!(fleet.iter().any(|s| s.name.contains("linear")));
+        assert!(fleet.iter().any(|s| s.name.contains("step")));
+        assert!(fleet.iter().any(|s| s.name.contains("bursty")));
+        assert!(fleet.iter().any(|s| s.name.contains("late-onset")));
+    }
+
+    #[test]
+    fn fleet_seeds_are_distinct() {
+        let fleet = aging_fleet(6);
+        let seeds: std::collections::BTreeSet<_> = fleet.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 6);
+    }
+}

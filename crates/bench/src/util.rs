@@ -1,0 +1,183 @@
+//! Small output helpers shared by the experiment harness: aligned text
+//! tables and CSV export.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV (headers + rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Writes `(x, y…)` series columns as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_series_csv(
+    path: &Path,
+    headers: &[&str],
+    columns: &[&[f64]],
+) -> std::io::Result<()> {
+    assert_eq!(headers.len(), columns.len());
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let n = columns.iter().map(|c| c.len()).min().unwrap_or(0);
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.join(","))?;
+    for i in 0..n {
+        let row: Vec<String> = columns.iter().map(|c| format!("{}", c[i])).collect();
+        writeln!(f, "{}", row.join(","))?;
+    }
+    Ok(())
+}
+
+/// The default output directory for experiment CSVs.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("bench_results")
+}
+
+/// Formats seconds as `H.HH h`.
+pub fn hours(secs: f64) -> String {
+    format!("{:.2}", secs / 3600.0)
+}
+
+/// Formats an `Option<f64>` with the given formatter, `-` when absent.
+pub fn opt_fmt(v: Option<f64>, f: impl Fn(f64) -> String) -> String {
+    v.map_or_else(|| "-".to_string(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer-name", "2.5"]);
+        let s = t.render();
+        assert!(s.contains("longer-name"));
+        assert_eq!(s.lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("holder-aging-test");
+        let path = dir.join("t.csv");
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        t.write_csv(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        let spath = dir.join("s.csv");
+        write_series_csv(&spath, &["t", "v"], &[&[0.0, 1.0], &[5.0, 6.0]]).unwrap();
+        let content = std::fs::read_to_string(&spath).unwrap();
+        assert!(content.starts_with("t,v\n0,5\n"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(hours(7200.0), "2.00");
+        assert_eq!(opt_fmt(None, |v| format!("{v}")), "-");
+        assert_eq!(opt_fmt(Some(1.5), |v| format!("{v:.1}")), "1.5");
+    }
+}

@@ -1,0 +1,44 @@
+//! Smoke tests for the experiment-reproduction harness: every experiment
+//! must run to completion in quick mode without touching the filesystem.
+
+use aging_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use aging_bench::scenarios;
+
+#[test]
+fn every_experiment_runs_in_quick_mode() {
+    for id in ALL_EXPERIMENTS {
+        run_experiment(id, true, None).unwrap_or_else(|e| panic!("{id} failed: {e}"));
+    }
+}
+
+#[test]
+fn unknown_experiment_rejected() {
+    assert!(run_experiment("e0", true, None).is_err());
+    assert!(run_experiment("everything", true, None).is_err());
+}
+
+#[test]
+fn csv_outputs_land_in_requested_directory() {
+    let dir = std::env::temp_dir().join("holder-aging-harness-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    run_experiment("e5", true, Some(dir.as_path())).unwrap();
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("output dir created")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .collect();
+    assert!(
+        entries.iter().any(|n| n.starts_with("e5_")),
+        "no e5 CSVs in {entries:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fleets_are_reproducible() {
+    // The scenario builders must be deterministic: same call, same fleet.
+    let a = scenarios::aging_fleet(6);
+    let b = scenarios::aging_fleet(6);
+    assert_eq!(a, b);
+    assert_eq!(scenarios::machine_a(3), scenarios::machine_a(3));
+}

@@ -1,0 +1,841 @@
+//! The Hölder-dimension aging detector — the target paper's primary
+//! contribution.
+//!
+//! Pipeline (Shereshevsky et al., DSN 2003):
+//!
+//! 1. a memory-resource counter (available bytes, used swap) is sampled at
+//!    a fixed period;
+//! 2. the **local Hölder exponent trace** `h(t)` of the counter is
+//!    computed over a sliding history;
+//! 3. the **fractal (box-counting) dimension** of the graph of `h(t)` is
+//!    computed over a sliding window — the *Hölder dimension trace*
+//!    `D_h(t)` — together with the windowed mean of `h(t)`;
+//! 4. a window is *anomalous* when `D_h` jumps above its baseline (the
+//!    paper's rule) and/or when the mean Hölder exponent collapses below
+//!    its baseline (regularity collapse — the dominant pre-crash signal on
+//!    the simulated substrate; see DESIGN.md). The first anomalous window
+//!    raises a warning; `confirm_windows` consecutive anomalous windows
+//!    raise the crash **alarm** (the paper's "two-jump" rule).
+//!
+//! The jump threshold adapts to the baseline's own variability
+//! (`median + max(jump_delta, mad_multiplier · MAD)`), and the first
+//! `skip_windows` windows are discarded so boot-time warmup does not
+//! contaminate the baseline.
+//!
+//! The detector is streaming: feed one counter sample at a time with
+//! [`HolderDimensionDetector::push`]. Because the Hölder estimator is
+//! centred, the emitted traces trail the newest sample by the estimator's
+//! neighbourhood radius — alarms are attributed to the *push* (wall-clock)
+//! instant, so evaluation lead times are honest.
+
+use aging_fractal::dimension;
+use aging_fractal::holder::{self, HolderEstimator, IncrementConfig};
+use aging_timeseries::{stats, Error, Result};
+
+/// Which graph-dimension estimator the detector applies to the Hölder
+/// trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum DimensionMethod {
+    /// Grid box-counting (the paper's choice).
+    #[default]
+    BoxCounting,
+    /// Variation/oscillation method (smoother on short windows).
+    Variation,
+}
+
+impl DimensionMethod {
+    /// Applies the method to one window of the Hölder trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying estimator's failures (constant windows
+    /// are mapped to dimension 1).
+    pub fn estimate(&self, window: &[f64]) -> Result<f64> {
+        match self {
+            DimensionMethod::BoxCounting => dimension::box_counting_or_smooth(window),
+            DimensionMethod::Variation => match dimension::variation(window) {
+                Ok(est) => Ok(est.dimension),
+                Err(Error::Numerical(_)) => Ok(1.0),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+/// Which anomaly rule(s) drive warnings and alarms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum JumpRule {
+    /// Only the paper's dimension-jump rule.
+    DimensionJump,
+    /// Only the Hölder-collapse rule.
+    HolderCollapse,
+    /// Either rule (default — most sensitive, still calm on stationary
+    /// signals thanks to the adaptive threshold).
+    #[default]
+    Either,
+}
+
+/// Detector configuration. Defaults follow the calibration on the
+/// simulated NT4 workload (see DESIGN.md, E3/E8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorConfig {
+    /// Neighbourhood radius (in samples) of the Hölder estimator.
+    pub holder_radius: usize,
+    /// Largest lag of the local-increment Hölder estimator.
+    pub holder_max_lag: usize,
+    /// Hölder cap for degenerate neighbourhoods.
+    pub max_h: f64,
+    /// Window (in Hölder-trace samples) of the dimension estimator.
+    pub dimension_window: usize,
+    /// Stride between dimension windows.
+    pub dimension_stride: usize,
+    /// Dimension method.
+    pub dimension_method: DimensionMethod,
+    /// Initial dimension windows discarded (boot warmup).
+    pub skip_windows: usize,
+    /// Number of subsequent dimension values that form the baseline.
+    pub baseline_windows: usize,
+    /// Minimum jump threshold above the baseline median.
+    pub jump_delta: f64,
+    /// The jump threshold is `max(jump_delta, mad_multiplier · MAD)` of
+    /// the baseline windows — it adapts to how noisy the signal's
+    /// dimension naturally is. Adaptation is capped at 3 × `jump_delta`
+    /// (dimension) and 2 × `holder_drop` (collapse) so a turbulent warmup
+    /// cannot disable a rule outright.
+    pub mad_multiplier: f64,
+    /// Minimum Hölder-collapse threshold: anomalous when the windowed mean
+    /// exponent falls below its baseline median by more than
+    /// `max(holder_drop, mad_multiplier · MAD)` of the baseline windows.
+    pub holder_drop: f64,
+    /// Relative collapse floor: a window is also anomalous when its mean
+    /// exponent falls below this fraction of the baseline median — the
+    /// robust detector of total regularity collapse (`h → 0`) even when a
+    /// turbulent warmup inflated the MAD-based threshold.
+    pub holder_floor_fraction: f64,
+    /// Which rule(s) to apply.
+    pub rule: JumpRule,
+    /// Consecutive anomalous windows required for a full alarm (2 = the
+    /// paper's two-jump rule).
+    pub confirm_windows: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            holder_radius: 32,
+            holder_max_lag: 8,
+            max_h: 2.0,
+            dimension_window: 128,
+            dimension_stride: 16,
+            dimension_method: DimensionMethod::BoxCounting,
+            skip_windows: 2,
+            baseline_windows: 12,
+            jump_delta: 0.2,
+            mad_multiplier: 5.0,
+            holder_drop: 0.3,
+            holder_floor_fraction: 0.25,
+            rule: JumpRule::Either,
+            confirm_windows: 3,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.holder_max_lag < 4 {
+            return Err(Error::invalid("holder_max_lag", "must be at least 4"));
+        }
+        if self.holder_radius < 2 * self.holder_max_lag {
+            return Err(Error::invalid(
+                "holder_radius",
+                "must be at least twice holder_max_lag",
+            ));
+        }
+        if !(self.max_h > 0.0) {
+            return Err(Error::invalid("max_h", "must be positive"));
+        }
+        if self.dimension_window < 16 {
+            return Err(Error::invalid("dimension_window", "must be at least 16"));
+        }
+        if self.dimension_stride == 0 {
+            return Err(Error::invalid("dimension_stride", "must be positive"));
+        }
+        if self.baseline_windows < 2 {
+            return Err(Error::invalid("baseline_windows", "must be at least 2"));
+        }
+        if !(self.jump_delta > 0.0) {
+            return Err(Error::invalid("jump_delta", "must be positive"));
+        }
+        if !(self.mad_multiplier >= 0.0 && self.mad_multiplier.is_finite()) {
+            return Err(Error::invalid(
+                "mad_multiplier",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.holder_drop > 0.0) {
+            return Err(Error::invalid("holder_drop", "must be positive"));
+        }
+        if !(0.0..1.0).contains(&self.holder_floor_fraction) {
+            return Err(Error::invalid(
+                "holder_floor_fraction",
+                "must lie in [0, 1)",
+            ));
+        }
+        if self.confirm_windows == 0 {
+            return Err(Error::invalid("confirm_windows", "must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Number of raw samples needed before the first alarm can possibly
+    /// fire (holder delay + skipped/baseline windows + confirmation).
+    pub fn warmup_samples(&self) -> usize {
+        let windows = self.skip_windows + self.baseline_windows + self.confirm_windows;
+        let first_dim = self.dimension_window + (windows - 1) * self.dimension_stride;
+        2 * self.holder_radius + first_dim
+    }
+
+    /// The equivalent offline Hölder estimator.
+    pub fn holder_estimator(&self) -> HolderEstimator {
+        HolderEstimator::LocalIncrement(IncrementConfig {
+            window_radius: self.holder_radius,
+            max_lag: self.holder_max_lag,
+            max_h: self.max_h,
+        })
+    }
+}
+
+/// Severity of an emitted alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlertLevel {
+    /// First anomalous window above baseline.
+    Warning,
+    /// Confirmed anomaly (the paper's crash predictor firing).
+    Alarm,
+}
+
+impl std::fmt::Display for AlertLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlertLevel::Warning => f.write_str("warning"),
+            AlertLevel::Alarm => f.write_str("alarm"),
+        }
+    }
+}
+
+/// Which rule(s) a window violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// Dimension jumped above baseline.
+    DimensionJump,
+    /// Mean Hölder exponent collapsed below baseline.
+    HolderCollapse,
+    /// Both at once.
+    Both,
+}
+
+/// An alert emitted by the detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alert {
+    /// Index of the raw sample whose push produced the alert.
+    pub sample_index: usize,
+    /// Severity.
+    pub level: AlertLevel,
+    /// Which rule fired.
+    pub trigger: Trigger,
+    /// Dimension value of the anomalous window.
+    pub dimension: f64,
+    /// Windowed mean Hölder exponent of the anomalous window.
+    pub mean_holder: f64,
+    /// Baseline dimension median.
+    pub dimension_baseline: f64,
+    /// Baseline mean-Hölder median.
+    pub holder_baseline: f64,
+}
+
+/// Baseline levels established after warmup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Baseline {
+    /// Median dimension of the baseline windows.
+    pub dimension: f64,
+    /// Effective jump threshold actually applied (`max(jump_delta,
+    /// mad_multiplier · MAD)`).
+    pub dimension_delta: f64,
+    /// Median windowed mean Hölder exponent of the baseline windows.
+    pub mean_holder: f64,
+    /// Effective collapse threshold actually applied (`max(holder_drop,
+    /// mad_multiplier · MAD)`).
+    pub holder_delta: f64,
+}
+
+/// Streaming Hölder-dimension detector.
+///
+/// # Examples
+///
+/// ```
+/// use aging_core::detector::{DetectorConfig, HolderDimensionDetector, AlertLevel};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let mut det = HolderDimensionDetector::new(DetectorConfig::default())?;
+/// for i in 0..800 {
+///     let value = (i as f64 * 0.37).sin() * 10.0 + 100.0;
+///     det.push(value)?;
+/// }
+/// // A clean periodic signal never alarms.
+/// assert!(det.alerts().iter().all(|a| a.level != AlertLevel::Alarm));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HolderDimensionDetector {
+    config: DetectorConfig,
+    samples: Vec<f64>,
+    samples_dropped: usize,
+    holder_trace: Vec<f64>,
+    holder_dropped: usize,
+    dimension_trace: Vec<(usize, f64)>,
+    mean_holder_trace: Vec<(usize, f64)>,
+    windows_seen: usize,
+    baseline_dim: Vec<f64>,
+    baseline_h: Vec<f64>,
+    baseline: Option<Baseline>,
+    consecutive_anomalies: usize,
+    alerts: Vec<Alert>,
+    alarmed: bool,
+}
+
+impl HolderDimensionDetector {
+    /// Creates a detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DetectorConfig::validate`] failures.
+    pub fn new(config: DetectorConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(HolderDimensionDetector {
+            config,
+            samples: Vec::new(),
+            samples_dropped: 0,
+            holder_trace: Vec::new(),
+            holder_dropped: 0,
+            dimension_trace: Vec::new(),
+            mean_holder_trace: Vec::new(),
+            windows_seen: 0,
+            baseline_dim: Vec::new(),
+            baseline_h: Vec::new(),
+            baseline: None,
+            consecutive_anomalies: 0,
+            alerts: Vec::new(),
+            alarmed: false,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Feeds one counter sample; returns an alert if this sample produced
+    /// (or confirmed) an anomalous window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] for NaN/infinite samples (repair gaps
+    /// with [`aging_timeseries::interp`] before feeding) and propagates
+    /// internal estimator failures.
+    pub fn push(&mut self, value: f64) -> Result<Option<Alert>> {
+        if !value.is_finite() {
+            return Err(Error::NonFinite {
+                index: self.samples_seen(),
+            });
+        }
+        self.samples.push(value);
+
+        // Hölder point for the centre of the trailing neighbourhood.
+        let w = self.config.holder_radius;
+        if self.samples_seen() > 2 * w {
+            let window = &self.samples[self.samples.len() - (2 * w + 1)..];
+            let h =
+                holder::increment_exponent(window, self.config.holder_max_lag, self.config.max_h)?;
+            self.holder_trace.push(h);
+        } else {
+            return Ok(None);
+        }
+
+        // Dimension window due?
+        let n = self.holder_dropped + self.holder_trace.len();
+        let cfg = &self.config;
+        if n < cfg.dimension_window || !(n - cfg.dimension_window).is_multiple_of(cfg.dimension_stride) {
+            return Ok(None);
+        }
+        let window = &self.holder_trace[self.holder_trace.len() - cfg.dimension_window..];
+        let d = cfg.dimension_method.estimate(window)?;
+        let mean_h = stats::mean(window)?;
+        let raw_index = self.samples_seen() - 1;
+        self.dimension_trace.push((raw_index, d));
+        self.mean_holder_trace.push((raw_index, mean_h));
+        self.windows_seen += 1;
+
+        // Warmup skip.
+        if self.windows_seen <= cfg.skip_windows {
+            return Ok(None);
+        }
+
+        // Baseline formation.
+        if self.baseline.is_none() {
+            self.baseline_dim.push(d);
+            self.baseline_h.push(mean_h);
+            if self.baseline_dim.len() >= cfg.baseline_windows {
+                let dim_median = stats::median(&self.baseline_dim)?;
+                let dim_mad = stats::mad(&self.baseline_dim)?;
+                let h_mad = stats::mad(&self.baseline_h)?;
+                self.baseline = Some(Baseline {
+                    dimension: dim_median,
+                    dimension_delta: (cfg.mad_multiplier * dim_mad)
+                        .clamp(cfg.jump_delta, 3.0 * cfg.jump_delta),
+                    mean_holder: stats::median(&self.baseline_h)?,
+                    holder_delta: (cfg.mad_multiplier * h_mad)
+                        .clamp(cfg.holder_drop, 2.0 * cfg.holder_drop),
+                });
+            }
+            return Ok(None);
+        }
+        let baseline = self.baseline.expect("set above");
+
+        // Anomaly rules.
+        let dim_jump = d > baseline.dimension + baseline.dimension_delta;
+        let mut collapse_level = baseline.mean_holder - baseline.holder_delta;
+        if baseline.mean_holder > cfg.holder_drop {
+            // Only meaningful when there is regularity to collapse from;
+            // a noise-like baseline (h ≈ 0) has no lower floor.
+            collapse_level = collapse_level.max(cfg.holder_floor_fraction * baseline.mean_holder);
+        }
+        let collapse = mean_h < collapse_level;
+        let anomalous = match cfg.rule {
+            JumpRule::DimensionJump => dim_jump,
+            JumpRule::HolderCollapse => collapse,
+            JumpRule::Either => dim_jump || collapse,
+        };
+        if !anomalous {
+            self.consecutive_anomalies = 0;
+            return Ok(None);
+        }
+        self.consecutive_anomalies += 1;
+        if self.alarmed {
+            return Ok(None);
+        }
+        let level = if self.consecutive_anomalies >= cfg.confirm_windows {
+            self.alarmed = true;
+            AlertLevel::Alarm
+        } else if self.consecutive_anomalies == 1 {
+            AlertLevel::Warning
+        } else {
+            return Ok(None);
+        };
+        let trigger = match (dim_jump, collapse) {
+            (true, true) => Trigger::Both,
+            (true, false) => Trigger::DimensionJump,
+            (false, true) => Trigger::HolderCollapse,
+            (false, false) => unreachable!("anomalous implies a trigger"),
+        };
+        let alert = Alert {
+            sample_index: raw_index,
+            level,
+            trigger,
+            dimension: d,
+            mean_holder: mean_h,
+            dimension_baseline: baseline.dimension,
+            holder_baseline: baseline.mean_holder,
+        };
+        self.alerts.push(alert);
+        Ok(Some(alert))
+    }
+
+    /// All alerts so far, in order.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Whether the full alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// The established baseline, once enough windows exist.
+    pub fn baseline(&self) -> Option<Baseline> {
+        self.baseline
+    }
+
+    /// The Hölder trace computed so far (delayed by `holder_radius`
+    /// samples relative to the raw input).
+    pub fn holder_trace(&self) -> &[f64] {
+        &self.holder_trace
+    }
+
+    /// The dimension trace: `(raw-sample index, dimension)` pairs.
+    pub fn dimension_trace(&self) -> &[(usize, f64)] {
+        &self.dimension_trace
+    }
+
+    /// The windowed mean-Hölder trace: `(raw-sample index, mean h)` pairs.
+    pub fn mean_holder_trace(&self) -> &[(usize, f64)] {
+        &self.mean_holder_trace
+    }
+
+    /// Number of raw samples consumed (including any dropped by
+    /// [`HolderDimensionDetector::shrink_history`]).
+    pub fn len(&self) -> usize {
+        self.samples_seen()
+    }
+
+    /// Whether no samples have been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples_seen() == 0
+    }
+
+    /// Total raw samples consumed over the detector's lifetime.
+    pub fn samples_seen(&self) -> usize {
+        self.samples_dropped + self.samples.len()
+    }
+
+    /// Drops buffered history that future computations no longer need,
+    /// bounding the detector's memory for indefinite streaming. Alerts and
+    /// the dimension trace are kept (they are small — one entry per
+    /// stride); the raw-sample and Hölder buffers are truncated to the
+    /// trailing windows the next push reads, so
+    /// [`HolderDimensionDetector::holder_trace`] subsequently returns only
+    /// the retained suffix.
+    ///
+    /// Calling this at any point does not change any future alert or
+    /// trace value.
+    pub fn shrink_history(&mut self) {
+        let keep_samples = 2 * self.config.holder_radius + 1;
+        if self.samples.len() > keep_samples {
+            let drop = self.samples.len() - keep_samples;
+            self.samples.drain(..drop);
+            self.samples_dropped += drop;
+        }
+        let keep_holder = self.config.dimension_window;
+        if self.holder_trace.len() > keep_holder {
+            let drop = self.holder_trace.len() - keep_holder;
+            self.holder_trace.drain(..drop);
+            self.holder_dropped += drop;
+        }
+    }
+
+    /// Resets all state (e.g. after a rejuvenation or reboot). The
+    /// configuration is retained.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.samples_dropped = 0;
+        self.holder_trace.clear();
+        self.holder_dropped = 0;
+        self.dimension_trace.clear();
+        self.mean_holder_trace.clear();
+        self.windows_seen = 0;
+        self.baseline_dim.clear();
+        self.baseline_h.clear();
+        self.baseline = None;
+        self.consecutive_anomalies = 0;
+        self.alerts.clear();
+        self.alarmed = false;
+    }
+}
+
+/// Result of an offline end-to-end analysis of a full counter series.
+#[derive(Debug, Clone)]
+pub struct OfflineAnalysis {
+    /// The Hölder trace (index `i` corresponds to raw sample
+    /// `i + holder_radius`).
+    pub holder_trace: Vec<f64>,
+    /// `(raw-sample index, dimension)` pairs.
+    pub dimension_trace: Vec<(usize, f64)>,
+    /// `(raw-sample index, windowed mean Hölder)` pairs.
+    pub mean_holder_trace: Vec<(usize, f64)>,
+    /// All alerts.
+    pub alerts: Vec<Alert>,
+    /// The baseline, if it formed.
+    pub baseline: Option<Baseline>,
+}
+
+impl OfflineAnalysis {
+    /// The first full alarm, if any.
+    pub fn first_alarm(&self) -> Option<Alert> {
+        self.alerts
+            .iter()
+            .copied()
+            .find(|a| a.level == AlertLevel::Alarm)
+    }
+}
+
+/// Runs the detector over a complete series in one call.
+///
+/// # Errors
+///
+/// Propagates configuration and estimator failures; NaN samples are
+/// rejected.
+pub fn analyze(values: &[f64], config: &DetectorConfig) -> Result<OfflineAnalysis> {
+    let mut det = HolderDimensionDetector::new(config.clone())?;
+    for &v in values {
+        det.push(v)?;
+    }
+    Ok(OfflineAnalysis {
+        holder_trace: det.holder_trace,
+        dimension_trace: det.dimension_trace,
+        mean_holder_trace: det.mean_holder_trace,
+        alerts: det.alerts,
+        baseline: det.baseline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_fractal::generate;
+
+    /// Smooth persistent first half, rough noise second half: the
+    /// archetypal regularity collapse.
+    fn collapse_signal(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = generate::fbm(n / 2, 0.9, seed).unwrap();
+        let last = *x.last().unwrap();
+        let noise = generate::white_noise(n / 2, seed + 1000).unwrap();
+        x.extend(noise.iter().map(|v| last + v));
+        x
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(DetectorConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut DetectorConfig)| {
+            let mut c = DetectorConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.holder_max_lag = 2));
+        assert!(bad(|c| c.holder_radius = 8));
+        assert!(bad(|c| c.max_h = 0.0));
+        assert!(bad(|c| c.dimension_window = 4));
+        assert!(bad(|c| c.dimension_stride = 0));
+        assert!(bad(|c| c.baseline_windows = 1));
+        assert!(bad(|c| c.jump_delta = 0.0));
+        assert!(bad(|c| c.mad_multiplier = f64::NAN));
+        assert!(bad(|c| c.holder_drop = 0.0));
+        assert!(bad(|c| c.holder_floor_fraction = 1.0));
+        assert!(bad(|c| c.holder_floor_fraction = -0.1));
+        assert!(bad(|c| c.confirm_windows = 0));
+    }
+
+    #[test]
+    fn warmup_sample_count() {
+        let c = DetectorConfig::default();
+        // 64 + 128 + (2+12+3−1)·16 = 448.
+        assert_eq!(c.warmup_samples(), 448);
+    }
+
+    #[test]
+    fn stationary_signal_never_alarms() {
+        // Stationary fGn at several roughness levels: regularity never
+        // changes, so the alarm must stay silent.
+        for &(h, seed) in &[(0.3, 1u64), (0.5, 2), (0.7, 3)] {
+            let x = generate::fgn(4000, h, seed).unwrap();
+            let analysis = analyze(&x, &DetectorConfig::default()).unwrap();
+            assert!(analysis.baseline.is_some());
+            assert!(
+                analysis.first_alarm().is_none(),
+                "H={h}: {:?}",
+                analysis.alerts
+            );
+        }
+    }
+
+    #[test]
+    fn regularity_collapse_triggers_alarm() {
+        let n = 4000;
+        let x = collapse_signal(n, 2);
+        let analysis = analyze(&x, &DetectorConfig::default()).unwrap();
+        let alarm = analysis.first_alarm().expect("alarm must fire");
+        // Alarm must land after the regime change began.
+        assert!(alarm.sample_index > n / 2, "index {}", alarm.sample_index);
+        // And reasonably soon after it (within the detector's natural
+        // latency: holder radius + dimension window + confirmation).
+        assert!(
+            alarm.sample_index < n / 2 + 500,
+            "index {}",
+            alarm.sample_index
+        );
+    }
+
+    #[test]
+    fn collapse_rule_reports_holder_trigger() {
+        let config = DetectorConfig {
+            rule: JumpRule::HolderCollapse,
+            ..DetectorConfig::default()
+        };
+        let x = collapse_signal(4000, 4);
+        let analysis = analyze(&x, &config).unwrap();
+        let alarm = analysis.first_alarm().expect("collapse rule must fire");
+        assert_eq!(alarm.trigger, Trigger::HolderCollapse);
+        assert!(alarm.mean_holder < alarm.holder_baseline - 0.3);
+    }
+
+    #[test]
+    fn dimension_rule_alone_is_silent_on_stationary() {
+        let config = DetectorConfig {
+            rule: JumpRule::DimensionJump,
+            ..DetectorConfig::default()
+        };
+        let x = generate::fgn(4000, 0.5, 5).unwrap();
+        let analysis = analyze(&x, &config).unwrap();
+        assert!(analysis.first_alarm().is_none());
+    }
+
+    #[test]
+    fn warning_precedes_alarm() {
+        let x = collapse_signal(4000, 6);
+        let analysis = analyze(&x, &DetectorConfig::default()).unwrap();
+        let warning_idx = analysis
+            .alerts
+            .iter()
+            .position(|a| a.level == AlertLevel::Warning);
+        let alarm_idx = analysis
+            .alerts
+            .iter()
+            .position(|a| a.level == AlertLevel::Alarm);
+        let (w, a) = (warning_idx.unwrap(), alarm_idx.unwrap());
+        assert!(w < a);
+        assert!(analysis.alerts[w].sample_index < analysis.alerts[a].sample_index);
+    }
+
+    #[test]
+    fn streaming_matches_offline() {
+        let x = generate::fbm(2000, 0.6, 7).unwrap();
+        let config = DetectorConfig::default();
+        let offline = analyze(&x, &config).unwrap();
+        let mut det = HolderDimensionDetector::new(config).unwrap();
+        for &v in &x {
+            det.push(v).unwrap();
+        }
+        assert_eq!(det.holder_trace(), offline.holder_trace.as_slice());
+        assert_eq!(det.dimension_trace(), offline.dimension_trace.as_slice());
+        assert_eq!(det.alerts(), offline.alerts.as_slice());
+    }
+
+    #[test]
+    fn alarm_latches_until_reset() {
+        let x = collapse_signal(4000, 8);
+        let mut det = HolderDimensionDetector::new(DetectorConfig::default()).unwrap();
+        for &v in &x {
+            det.push(v).unwrap();
+        }
+        assert!(det.is_alarmed());
+        let alarm_count = det
+            .alerts()
+            .iter()
+            .filter(|a| a.level == AlertLevel::Alarm)
+            .count();
+        assert_eq!(alarm_count, 1, "alarm must fire exactly once");
+
+        det.reset();
+        assert!(!det.is_alarmed());
+        assert!(det.is_empty());
+        assert!(det.alerts().is_empty());
+        assert_eq!(det.baseline(), None);
+    }
+
+    #[test]
+    fn shrink_history_preserves_behaviour_and_bounds_memory() {
+        let x = collapse_signal(4000, 20);
+        let config = DetectorConfig::default();
+        let mut full = HolderDimensionDetector::new(config.clone()).unwrap();
+        let mut shrunk = HolderDimensionDetector::new(config.clone()).unwrap();
+        for (i, &v) in x.iter().enumerate() {
+            full.push(v).unwrap();
+            shrunk.push(v).unwrap();
+            if i % 37 == 0 {
+                shrunk.shrink_history();
+            }
+        }
+        assert_eq!(full.alerts(), shrunk.alerts());
+        assert_eq!(full.dimension_trace(), shrunk.dimension_trace());
+        assert_eq!(full.len(), shrunk.len());
+        // Memory genuinely bounded.
+        shrunk.shrink_history();
+        assert!(shrunk.holder_trace().len() <= config.dimension_window);
+        assert!(full.holder_trace().len() > config.dimension_window);
+    }
+
+    #[test]
+    fn rejects_nan_samples() {
+        let mut det = HolderDimensionDetector::new(DetectorConfig::default()).unwrap();
+        det.push(1.0).unwrap();
+        assert!(det.push(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn traces_are_delayed_consistently() {
+        let x = generate::fgn(500, 0.5, 9).unwrap();
+        let config = DetectorConfig::default();
+        let analysis = analyze(&x, &config).unwrap();
+        // Hölder trace length = n − 2·radius.
+        assert_eq!(analysis.holder_trace.len(), 500 - 64);
+        // Dimension indices are valid raw-sample indices; mean-h trace is
+        // parallel to the dimension trace.
+        assert_eq!(
+            analysis.dimension_trace.len(),
+            analysis.mean_holder_trace.len()
+        );
+        for (&(idx, d), &(idx2, h)) in analysis
+            .dimension_trace
+            .iter()
+            .zip(&analysis.mean_holder_trace)
+        {
+            assert_eq!(idx, idx2);
+            assert!(idx < 500);
+            assert!((1.0..=2.0).contains(&d));
+            assert!((-1.0..=2.0).contains(&h));
+        }
+    }
+
+    #[test]
+    fn dimension_methods_both_work() {
+        let x = generate::fgn(2000, 0.5, 10).unwrap();
+        for method in [DimensionMethod::BoxCounting, DimensionMethod::Variation] {
+            let config = DetectorConfig {
+                dimension_method: method,
+                ..DetectorConfig::default()
+            };
+            let analysis = analyze(&x, &config).unwrap();
+            assert!(!analysis.dimension_trace.is_empty(), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn constant_input_is_smooth_not_error() {
+        let x = vec![5.0; 1200];
+        let analysis = analyze(&x, &DetectorConfig::default()).unwrap();
+        // Hölder trace is capped at max_h, dimension of a constant trace
+        // is 1, and nothing alarms.
+        assert!(analysis.first_alarm().is_none());
+        for &(_, d) in &analysis.dimension_trace {
+            assert_eq!(d, 1.0);
+        }
+    }
+
+    #[test]
+    fn baseline_reports_adaptive_delta() {
+        let x = generate::fgn(2000, 0.5, 11).unwrap();
+        let analysis = analyze(&x, &DetectorConfig::default()).unwrap();
+        let b = analysis.baseline.unwrap();
+        assert!(b.dimension_delta >= 0.2); // at least jump_delta
+        assert!((1.0..=2.0).contains(&b.dimension));
+        assert!((-1.0..=2.0).contains(&b.mean_holder));
+    }
+}

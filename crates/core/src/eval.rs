@@ -1,0 +1,404 @@
+//! Scoring harness: runs predictors over simulated monitor logs and scores
+//! alarms against ground-truth crash times.
+//!
+//! Semantics follow the failure-prediction literature: a log is split into
+//! *segments* ending at each crash (the machine reboots between crashes);
+//! each segment is scored independently with a fresh predictor.
+//!
+//! - **detected**: the predictor alarmed before the segment's crash;
+//!   the **lead time** is crash time − alarm time.
+//! - **missed**: the segment crashed with no prior alarm.
+//! - **false alarm**: the predictor alarmed in a segment that never
+//!   crashed.
+
+use crate::baseline::{
+    AgingPredictor, CusumPredictor, OlsPredictor, ResourceDirection, SenSlopePredictor,
+    ThresholdPredictor, TrendPredictorConfig,
+};
+use crate::detector::{DetectorConfig, HolderDimensionDetector};
+use aging_memsim::{Counter, SimReport};
+use aging_timeseries::{stats, Error, Result};
+
+/// A buildable predictor description (so experiments can be declared as
+/// data and rebuilt per segment).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum PredictorSpec {
+    /// The paper's Hölder-dimension detector.
+    HolderDimension(DetectorConfig),
+    /// Mann–Kendall + Sen slope extrapolation.
+    SenSlope(TrendPredictorConfig),
+    /// OLS extrapolation.
+    Ols(TrendPredictorConfig),
+    /// Naive threshold.
+    Threshold {
+        /// Alarm level.
+        level: f64,
+        /// Exhaustion direction.
+        direction: ResourceDirection,
+    },
+    /// CUSUM level-shift detection.
+    Cusum {
+        /// CUSUM configuration.
+        config: aging_timeseries::changepoint::CusumConfig,
+        /// Exhaustion direction.
+        direction: ResourceDirection,
+    },
+}
+
+impl PredictorSpec {
+    /// Instantiates a fresh predictor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the constructor's validation failures.
+    pub fn build(&self) -> Result<Box<dyn AgingPredictor>> {
+        Ok(match self {
+            PredictorSpec::HolderDimension(c) => {
+                Box::new(HolderDimensionDetector::new(c.clone())?)
+            }
+            PredictorSpec::SenSlope(c) => Box::new(SenSlopePredictor::new(c.clone())?),
+            PredictorSpec::Ols(c) => Box::new(OlsPredictor::new(c.clone())?),
+            PredictorSpec::Threshold { level, direction } => {
+                Box::new(ThresholdPredictor::new(*level, *direction)?)
+            }
+            PredictorSpec::Cusum { config, direction } => {
+                Box::new(CusumPredictor::new(*config, *direction)?)
+            }
+        })
+    }
+
+    /// The built predictor's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorSpec::HolderDimension(_) => "holder-dimension",
+            PredictorSpec::SenSlope(_) => "mann-kendall-sen",
+            PredictorSpec::Ols(_) => "ols-extrapolation",
+            PredictorSpec::Threshold { .. } => "threshold",
+            PredictorSpec::Cusum { .. } => "cusum",
+        }
+    }
+}
+
+/// Outcome of one predictor on one crash-delimited segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentOutcome {
+    /// Scenario the segment came from.
+    pub scenario: String,
+    /// Segment index within the log.
+    pub segment: usize,
+    /// Segment duration in seconds.
+    pub duration_secs: f64,
+    /// Crash time (seconds, absolute in the log), if the segment crashed.
+    pub crash_secs: Option<f64>,
+    /// First alarm time (seconds, absolute), if the predictor fired.
+    pub alarm_secs: Option<f64>,
+    /// Lead time (crash − alarm), when both exist and the alarm preceded
+    /// the crash.
+    pub lead_secs: Option<f64>,
+}
+
+impl SegmentOutcome {
+    /// Whether this segment's crash was predicted in time.
+    pub fn detected(&self) -> bool {
+        self.crash_secs.is_some() && self.lead_secs.is_some()
+    }
+
+    /// Whether this segment's crash was missed.
+    pub fn missed(&self) -> bool {
+        self.crash_secs.is_some() && self.lead_secs.is_none()
+    }
+
+    /// Whether the predictor alarmed on a crash-free segment.
+    pub fn false_alarm(&self) -> bool {
+        self.crash_secs.is_none() && self.alarm_secs.is_some()
+    }
+}
+
+/// Runs `spec` over every crash-delimited segment of `report`'s `counter`
+/// series.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] when the report holds no samples and
+/// propagates predictor failures.
+pub fn evaluate(
+    spec: &PredictorSpec,
+    report: &SimReport,
+    counter: Counter,
+) -> Result<Vec<SegmentOutcome>> {
+    let series = report.log.series(counter)?;
+    let dt = series.dt();
+    let values = series.values();
+
+    // Segment boundaries: sample index just after each crash.
+    let mut boundaries = Vec::new();
+    let mut crash_times = Vec::new();
+    for crash in report.log.crashes() {
+        let t = crash.time.as_secs();
+        // Sample index covering the crash instant.
+        let idx = ((t / dt).ceil() as usize).min(values.len());
+        boundaries.push(idx);
+        crash_times.push(t);
+    }
+    boundaries.push(values.len());
+
+    let mut outcomes = Vec::new();
+    let mut start = 0usize;
+    for (segment, &end) in boundaries.iter().enumerate() {
+        if end <= start {
+            start = end;
+            continue;
+        }
+        let crash_secs = crash_times.get(segment).copied();
+        let mut predictor = spec.build()?;
+        let mut alarm_secs = None;
+        for (i, &v) in values[start..end].iter().enumerate() {
+            if predictor.push(v)? && alarm_secs.is_none() {
+                alarm_secs = Some(series.time_at(start + i));
+            }
+        }
+        let lead_secs = match (crash_secs, alarm_secs) {
+            (Some(c), Some(a)) if a <= c => Some(c - a),
+            _ => None,
+        };
+        outcomes.push(SegmentOutcome {
+            scenario: report.scenario_name.clone(),
+            segment,
+            duration_secs: (end - start) as f64 * dt,
+            crash_secs,
+            alarm_secs,
+            lead_secs,
+        });
+        start = end;
+    }
+    if outcomes.is_empty() {
+        return Err(Error::Empty);
+    }
+    Ok(outcomes)
+}
+
+/// Aggregated comparison row for one predictor across many segments
+/// (one line of the paper's comparison table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Predictor name.
+    pub predictor: String,
+    /// Crash-terminated segments scored.
+    pub crashes: usize,
+    /// Crashes predicted with positive lead time.
+    pub detected: usize,
+    /// Crashes missed.
+    pub missed: usize,
+    /// Alarms raised on crash-free segments.
+    pub false_alarms: usize,
+    /// Crash-free segments scored.
+    pub healthy_segments: usize,
+    /// Mean lead time over detected crashes (seconds).
+    pub mean_lead_secs: Option<f64>,
+    /// Median lead time over detected crashes (seconds).
+    pub median_lead_secs: Option<f64>,
+}
+
+impl ComparisonRow {
+    /// Detection coverage in `[0, 1]` (detected / crashes).
+    pub fn coverage(&self) -> f64 {
+        if self.crashes == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.crashes as f64
+    }
+}
+
+impl std::fmt::Display for ComparisonRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<20} crashes={:<3} detected={:<3} missed={:<3} false={:<3} mean_lead={} median_lead={}",
+            self.predictor,
+            self.crashes,
+            self.detected,
+            self.missed,
+            self.false_alarms,
+            self.mean_lead_secs
+                .map_or("-".into(), |v| format!("{:.0}s", v)),
+            self.median_lead_secs
+                .map_or("-".into(), |v| format!("{:.0}s", v)),
+        )
+    }
+}
+
+/// Scores one predictor spec across a fleet of reports and aggregates.
+///
+/// # Errors
+///
+/// Propagates per-report evaluation failures.
+pub fn compare(
+    spec: &PredictorSpec,
+    reports: &[SimReport],
+    counter: Counter,
+) -> Result<ComparisonRow> {
+    let mut crashes = 0;
+    let mut detected = 0;
+    let mut missed = 0;
+    let mut false_alarms = 0;
+    let mut healthy = 0;
+    let mut leads = Vec::new();
+    for report in reports {
+        for outcome in evaluate(spec, report, counter)? {
+            if outcome.crash_secs.is_some() {
+                crashes += 1;
+                if outcome.detected() {
+                    detected += 1;
+                    leads.push(outcome.lead_secs.expect("detected implies lead"));
+                } else {
+                    missed += 1;
+                }
+            } else {
+                healthy += 1;
+                if outcome.false_alarm() {
+                    false_alarms += 1;
+                }
+            }
+        }
+    }
+    let (mean_lead_secs, median_lead_secs) = if leads.is_empty() {
+        (None, None)
+    } else {
+        (Some(stats::mean(&leads)?), Some(stats::median(&leads)?))
+    };
+    Ok(ComparisonRow {
+        predictor: spec.name().to_string(),
+        crashes,
+        detected,
+        missed,
+        false_alarms,
+        healthy_segments: healthy,
+        mean_lead_secs,
+        median_lead_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_memsim::{simulate, simulate_with_reboots, Scenario};
+
+    fn fast_detector() -> DetectorConfig {
+        DetectorConfig {
+            holder_radius: 16,
+            holder_max_lag: 4,
+            dimension_window: 64,
+            dimension_stride: 8,
+            baseline_windows: 4,
+            ..DetectorConfig::default()
+        }
+    }
+
+    fn tiny_trend(dt: f64) -> TrendPredictorConfig {
+        TrendPredictorConfig {
+            window: 60,
+            refit_every: 4,
+            alarm_horizon_secs: 900.0,
+            exhaustion_level: 2.0 * 1024.0 * 1024.0,
+            ..TrendPredictorConfig::depleting(dt)
+        }
+    }
+
+    #[test]
+    fn threshold_detects_simulated_crash() {
+        let report = simulate(&Scenario::tiny_aging(1, 512.0), 4.0 * 3600.0).unwrap();
+        assert!(report.first_crash().is_some());
+        let spec = PredictorSpec::Threshold {
+            level: 8.0 * 1024.0 * 1024.0,
+            direction: ResourceDirection::Depleting,
+        };
+        let outcomes = evaluate(&spec, &report, Counter::AvailableBytes).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].detected(), "{:?}", outcomes[0]);
+        assert!(outcomes[0].lead_secs.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sen_slope_detects_simulated_crash() {
+        let report = simulate(&Scenario::tiny_aging(2, 512.0), 4.0 * 3600.0).unwrap();
+        let dt = report.log.sample_period();
+        let spec = PredictorSpec::SenSlope(tiny_trend(dt));
+        let outcomes = evaluate(&spec, &report, Counter::AvailableBytes).unwrap();
+        assert!(outcomes[0].detected(), "{:?}", outcomes[0]);
+    }
+
+    #[test]
+    fn healthy_run_scores_as_crash_free_segment() {
+        let report = simulate(&Scenario::tiny_aging(3, 0.0), 1800.0).unwrap();
+        let spec = PredictorSpec::Threshold {
+            level: 1024.0,
+            direction: ResourceDirection::Depleting,
+        };
+        let outcomes = evaluate(&spec, &report, Counter::AvailableBytes).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].crash_secs.is_none());
+        assert!(!outcomes[0].false_alarm());
+        assert!(!outcomes[0].detected());
+    }
+
+    #[test]
+    fn reboot_log_produces_one_segment_per_crash() {
+        let report =
+            simulate_with_reboots(&Scenario::tiny_aging(4, 1024.0), 6.0 * 3600.0).unwrap();
+        let crashes = report.log.crashes().len();
+        assert!(crashes >= 2);
+        let spec = PredictorSpec::Threshold {
+            level: 8.0 * 1024.0 * 1024.0,
+            direction: ResourceDirection::Depleting,
+        };
+        let outcomes = evaluate(&spec, &report, Counter::AvailableBytes).unwrap();
+        let crash_segments = outcomes.iter().filter(|o| o.crash_secs.is_some()).count();
+        assert_eq!(crash_segments, crashes);
+        // Segments are ordered and labelled.
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.segment, i);
+        }
+    }
+
+    #[test]
+    fn compare_aggregates_across_fleet() {
+        let reports: Vec<_> = (0..3)
+            .map(|s| simulate(&Scenario::tiny_aging(s, 512.0), 4.0 * 3600.0).unwrap())
+            .collect();
+        let spec = PredictorSpec::Threshold {
+            level: 8.0 * 1024.0 * 1024.0,
+            direction: ResourceDirection::Depleting,
+        };
+        let row = compare(&spec, &reports, Counter::AvailableBytes).unwrap();
+        assert_eq!(row.crashes, 3);
+        assert_eq!(row.detected + row.missed, 3);
+        assert!(row.coverage() > 0.5);
+        assert!(row.mean_lead_secs.is_some());
+        assert!(!row.to_string().is_empty());
+    }
+
+    #[test]
+    fn holder_detector_spec_builds_and_runs() {
+        let report = simulate(&Scenario::tiny_aging(5, 256.0), 2.0 * 3600.0).unwrap();
+        let spec = PredictorSpec::HolderDimension(fast_detector());
+        let outcomes = evaluate(&spec, &report, Counter::AvailableBytes).unwrap();
+        assert!(!outcomes.is_empty());
+    }
+
+    #[test]
+    fn spec_names() {
+        assert_eq!(
+            PredictorSpec::HolderDimension(DetectorConfig::default()).name(),
+            "holder-dimension"
+        );
+        assert_eq!(
+            PredictorSpec::Threshold {
+                level: 0.0,
+                direction: ResourceDirection::Depleting
+            }
+            .name(),
+            "threshold"
+        );
+    }
+}

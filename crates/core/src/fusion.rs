@@ -1,0 +1,292 @@
+//! Multi-resource fusion: monitor several counters at once (the paper
+//! analysed both available memory *and* used swap) and combine the
+//! per-resource predictors' votes into one machine-level alarm.
+
+use crate::baseline::AgingPredictor;
+use crate::eval::{PredictorSpec, SegmentOutcome};
+use aging_memsim::{Counter, SimReport};
+use aging_timeseries::{Error, Result};
+
+/// How member votes combine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FusionRule {
+    /// Alarm when any member alarms (most sensitive).
+    #[default]
+    Any,
+    /// Alarm only when every member has alarmed (most specific).
+    All,
+    /// Alarm when a strict majority of members has alarmed.
+    Majority,
+}
+
+/// A fused predictor over several counters of the same machine.
+pub struct FusionPredictor {
+    members: Vec<(Counter, Box<dyn AgingPredictor>)>,
+    rule: FusionRule,
+    alarmed: bool,
+}
+
+impl std::fmt::Debug for FusionPredictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusionPredictor")
+            .field("rule", &self.rule)
+            .field(
+                "members",
+                &self
+                    .members
+                    .iter()
+                    .map(|(c, p)| format!("{c}:{}", p.name()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("alarmed", &self.alarmed)
+            .finish()
+    }
+}
+
+impl FusionPredictor {
+    /// Builds a fused predictor from `(counter, spec)` members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty member list and
+    /// propagates member construction failures.
+    pub fn new(members: &[(Counter, PredictorSpec)], rule: FusionRule) -> Result<Self> {
+        if members.is_empty() {
+            return Err(Error::invalid("members", "must not be empty"));
+        }
+        let members = members
+            .iter()
+            .map(|(c, spec)| Ok((*c, spec.build()?)))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(FusionPredictor {
+            members,
+            rule,
+            alarmed: false,
+        })
+    }
+
+    /// The monitored counters, in member order.
+    pub fn counters(&self) -> Vec<Counter> {
+        self.members.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Feeds one sample row (one value per member, in member order).
+    /// Returns `true` when the fused alarm fires on this row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::LengthMismatch`] for a wrong-width row and
+    /// propagates member failures.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<bool> {
+        if row.len() != self.members.len() {
+            return Err(Error::LengthMismatch {
+                left: row.len(),
+                right: self.members.len(),
+            });
+        }
+        for ((_, member), &value) in self.members.iter_mut().zip(row) {
+            let _ = member.push(value)?;
+        }
+        if self.alarmed {
+            return Ok(false);
+        }
+        let votes = self
+            .members
+            .iter()
+            .filter(|(_, m)| m.is_alarmed())
+            .count();
+        let fire = match self.rule {
+            FusionRule::Any => votes >= 1,
+            FusionRule::All => votes == self.members.len(),
+            FusionRule::Majority => 2 * votes > self.members.len(),
+        };
+        if fire {
+            self.alarmed = true;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Whether the fused alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// Resets every member and the fused state.
+    pub fn reset(&mut self) {
+        for (_, m) in &mut self.members {
+            m.reset();
+        }
+        self.alarmed = false;
+    }
+}
+
+/// Scores a fused predictor over every crash-delimited segment of a
+/// report, mirroring [`crate::eval::evaluate`] semantics.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for an empty log and propagates member
+/// failures.
+pub fn evaluate_fusion(
+    members: &[(Counter, PredictorSpec)],
+    rule: FusionRule,
+    report: &SimReport,
+) -> Result<Vec<SegmentOutcome>> {
+    if members.is_empty() {
+        return Err(Error::invalid("members", "must not be empty"));
+    }
+    let series: Vec<_> = members
+        .iter()
+        .map(|(c, _)| report.log.series(*c))
+        .collect::<Result<Vec<_>>>()?;
+    let dt = series[0].dt();
+    let len = series.iter().map(|s| s.len()).min().unwrap_or(0);
+
+    let mut boundaries = Vec::new();
+    let mut crash_times = Vec::new();
+    for crash in report.log.crashes() {
+        let t = crash.time.as_secs();
+        boundaries.push(((t / dt).ceil() as usize).min(len));
+        crash_times.push(t);
+    }
+    boundaries.push(len);
+
+    let mut outcomes = Vec::new();
+    let mut start = 0usize;
+    for (segment, &end) in boundaries.iter().enumerate() {
+        if end <= start {
+            start = end;
+            continue;
+        }
+        let crash_secs = crash_times.get(segment).copied();
+        let mut fused = FusionPredictor::new(members, rule)?;
+        let mut alarm_secs = None;
+        for i in start..end {
+            let row: Vec<f64> = series.iter().map(|s| s.values()[i]).collect();
+            if fused.push_row(&row)? && alarm_secs.is_none() {
+                alarm_secs = Some(series[0].time_at(i));
+            }
+        }
+        let lead_secs = match (crash_secs, alarm_secs) {
+            (Some(c), Some(a)) if a <= c => Some(c - a),
+            _ => None,
+        };
+        outcomes.push(SegmentOutcome {
+            scenario: report.scenario_name.clone(),
+            segment,
+            duration_secs: (end - start) as f64 * dt,
+            crash_secs,
+            alarm_secs,
+            lead_secs,
+        });
+        start = end;
+    }
+    if outcomes.is_empty() {
+        return Err(Error::Empty);
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::ResourceDirection;
+    use crate::detector::DetectorConfig;
+    use aging_memsim::{simulate, Scenario};
+
+    fn members() -> Vec<(Counter, PredictorSpec)> {
+        let det = DetectorConfig {
+            holder_radius: 16,
+            holder_max_lag: 4,
+            dimension_window: 64,
+            dimension_stride: 16,
+            baseline_windows: 8,
+            ..DetectorConfig::default()
+        };
+        vec![
+            (
+                Counter::AvailableBytes,
+                PredictorSpec::HolderDimension(det),
+            ),
+            (
+                Counter::UsedSwapBytes,
+                PredictorSpec::Threshold {
+                    level: 8.0 * 1024.0 * 1024.0,
+                    direction: ResourceDirection::Filling,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let f = FusionPredictor::new(&members(), FusionRule::Any).unwrap();
+        assert_eq!(
+            f.counters(),
+            vec![Counter::AvailableBytes, Counter::UsedSwapBytes]
+        );
+        assert!(FusionPredictor::new(&[], FusionRule::Any).is_err());
+        let mut f = FusionPredictor::new(&members(), FusionRule::Any).unwrap();
+        assert!(f.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn any_detects_crashing_machine() {
+        let report = simulate(&Scenario::tiny_aging(31, 192.0), 6.0 * 3600.0).unwrap();
+        assert!(report.first_crash().is_some());
+        let outcomes = evaluate_fusion(&members(), FusionRule::Any, &report).unwrap();
+        assert!(outcomes[0].detected(), "{:?}", outcomes[0]);
+    }
+
+    #[test]
+    fn rule_strictness_ordering() {
+        // Any fires no later than Majority, which fires no later than All.
+        let report = simulate(&Scenario::tiny_aging(32, 192.0), 6.0 * 3600.0).unwrap();
+        let alarm = |rule| {
+            evaluate_fusion(&members(), rule, &report).unwrap()[0]
+                .alarm_secs
+                .unwrap_or(f64::INFINITY)
+        };
+        let any = alarm(FusionRule::Any);
+        let majority = alarm(FusionRule::Majority);
+        let all = alarm(FusionRule::All);
+        assert!(any <= majority);
+        assert!(majority <= all);
+    }
+
+    #[test]
+    fn all_rule_needs_every_member() {
+        // Healthy machine: swap threshold never crosses, so `All` cannot
+        // fire even if the holder member would.
+        let report = simulate(&Scenario::tiny_aging(33, 0.0), 4.0 * 3600.0).unwrap();
+        let outcomes = evaluate_fusion(&members(), FusionRule::All, &report).unwrap();
+        assert!(!outcomes[0].false_alarm(), "{:?}", outcomes[0]);
+    }
+
+    #[test]
+    fn reset_revives_members() {
+        let mut f = FusionPredictor::new(&members(), FusionRule::Any).unwrap();
+        for i in 0..100 {
+            let v = 1e8 - 1e5 * i as f64;
+            f.push_row(&[v, 0.0]).unwrap();
+        }
+        f.reset();
+        assert!(!f.is_alarmed());
+    }
+
+    #[test]
+    fn fused_alarm_fires_once() {
+        let report = simulate(&Scenario::tiny_aging(34, 256.0), 5.0 * 3600.0).unwrap();
+        let series_a = report.log.series(Counter::AvailableBytes).unwrap();
+        let series_b = report.log.series(Counter::UsedSwapBytes).unwrap();
+        let mut f = FusionPredictor::new(&members(), FusionRule::Any).unwrap();
+        let mut fires = 0;
+        for i in 0..series_a.len() {
+            if f.push_row(&[series_a.values()[i], series_b.values()[i]]).unwrap() {
+                fires += 1;
+            }
+        }
+        assert!(fires <= 1);
+    }
+}

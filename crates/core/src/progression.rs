@@ -1,0 +1,184 @@
+//! Multifractality progression analysis (experiment E6): how the
+//! multifractal character of a memory-resource signal evolves as the
+//! system ages.
+//!
+//! The paper's second observation is that aging systems show
+//! *intensifying* multifractality: the singularity spectrum widens and the
+//! typical Hölder exponent falls as crash approaches. This module splits a
+//! monitored series into life segments and measures each one.
+
+use aging_fractal::holder::{holder_trace, HolderEstimator};
+use aging_fractal::spectrum::{leader_cumulants, mfdfa, MfdfaConfig};
+use aging_timeseries::{stats, Error, Result};
+use aging_wavelet::Wavelet;
+
+/// Multifractality measurements of one life segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMultifractality {
+    /// First sample index of the segment.
+    pub start: usize,
+    /// One-past-last sample index.
+    pub end: usize,
+    /// Mean local Hölder exponent over the segment (falls with aging).
+    pub mean_holder: f64,
+    /// MF-DFA spectrum width `max α − min α` (grows with aging).
+    pub spectrum_width: f64,
+    /// Generalised Hurst exponent `h(2)` from the same MF-DFA run.
+    pub hurst: Option<f64>,
+    /// Wavelet-leader second log-cumulant (more negative = more
+    /// multifractal), when the segment is long enough.
+    pub c2: Option<f64>,
+}
+
+/// Configuration of the progression analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressionConfig {
+    /// Number of equal-length life segments.
+    pub segments: usize,
+    /// Hölder estimator for the per-segment mean exponent.
+    pub estimator: HolderEstimator,
+    /// MF-DFA configuration.
+    pub mfdfa: MfdfaConfig,
+    /// Wavelet for the leader cumulants.
+    pub wavelet: Wavelet,
+}
+
+impl Default for ProgressionConfig {
+    fn default() -> Self {
+        ProgressionConfig {
+            segments: 4,
+            estimator: HolderEstimator::default(),
+            mfdfa: MfdfaConfig::default(),
+            wavelet: Wavelet::Daubechies6,
+        }
+    }
+}
+
+/// Splits `values` into `config.segments` equal segments and measures the
+/// multifractality of each.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `segments < 2` and
+/// [`Error::TooShort`] when a segment falls below the estimators' minimum
+/// (512 samples per segment); leader cumulants are skipped (set to `None`)
+/// on segments where the dyadic analysis fails rather than failing the
+/// whole progression.
+pub fn progression(
+    values: &[f64],
+    config: &ProgressionConfig,
+) -> Result<Vec<SegmentMultifractality>> {
+    if config.segments < 2 {
+        return Err(Error::invalid("segments", "must be at least 2"));
+    }
+    let seg_len = values.len() / config.segments;
+    if seg_len < 512 {
+        return Err(Error::TooShort {
+            required: 512 * config.segments,
+            actual: values.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(config.segments);
+    for s in 0..config.segments {
+        let start = s * seg_len;
+        let end = if s + 1 == config.segments {
+            values.len()
+        } else {
+            start + seg_len
+        };
+        let segment = &values[start..end];
+
+        let trace = holder_trace(segment, &config.estimator)?;
+        let mean_holder = stats::mean(&trace)?;
+
+        let mf = mfdfa(segment, &config.mfdfa)?;
+        let c2 = leader_cumulants(segment, config.wavelet, 6, 2)
+            .ok()
+            .map(|lc| lc.c2);
+
+        out.push(SegmentMultifractality {
+            start,
+            end,
+            mean_holder,
+            spectrum_width: mf.width(),
+            hurst: mf.hurst(),
+            c2,
+        });
+    }
+    Ok(out)
+}
+
+/// Convenience verdict: does the progression show intensifying
+/// multifractality (late-life mean Hölder below early-life, and late-life
+/// width at or above early-life)?
+pub fn is_aging_signature(segments: &[SegmentMultifractality]) -> bool {
+    match (segments.first(), segments.last()) {
+        (Some(first), Some(last)) => last.mean_holder < first.mean_holder,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_fractal::generate;
+
+    #[test]
+    fn stationary_signal_shows_no_aging_signature() {
+        let x = generate::fgn(4096, 0.6, 1).unwrap();
+        let prog = progression(&x, &ProgressionConfig::default()).unwrap();
+        assert_eq!(prog.len(), 4);
+        // Mean Hölder roughly constant across segments.
+        let means: Vec<f64> = prog.iter().map(|s| s.mean_holder).collect();
+        let spread = means.iter().copied().fold(f64::MIN, f64::max)
+            - means.iter().copied().fold(f64::MAX, f64::min);
+        assert!(spread < 0.15, "spread {spread}");
+    }
+
+    #[test]
+    fn regularity_collapse_is_detected() {
+        // Early life: persistent fBm; late life: white noise around the
+        // last level — a collapsing Hölder exponent.
+        let n = 4096;
+        let mut x = generate::fbm(n / 2, 0.8, 2).unwrap();
+        let last = *x.last().unwrap();
+        let noise = generate::white_noise(n / 2, 3).unwrap();
+        x.extend(noise.iter().map(|v| last + v));
+        let prog = progression(&x, &ProgressionConfig::default()).unwrap();
+        assert!(
+            prog.last().unwrap().mean_holder + 0.2 < prog.first().unwrap().mean_holder,
+            "first {} last {}",
+            prog.first().unwrap().mean_holder,
+            prog.last().unwrap().mean_holder
+        );
+        assert!(is_aging_signature(&prog));
+    }
+
+    #[test]
+    fn segment_bounds_tile_the_series() {
+        let x = generate::fgn(4096, 0.5, 4).unwrap();
+        let prog = progression(&x, &ProgressionConfig::default()).unwrap();
+        assert_eq!(prog[0].start, 0);
+        assert_eq!(prog.last().unwrap().end, 4096);
+        for w in prog.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn guards() {
+        let x = generate::fgn(4096, 0.5, 5).unwrap();
+        let cfg = ProgressionConfig {
+            segments: 1,
+            ..ProgressionConfig::default()
+        };
+        assert!(progression(&x, &cfg).is_err());
+        let cfg = ProgressionConfig::default();
+        assert!(progression(&x[..1000], &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_progression_has_no_signature() {
+        assert!(!is_aging_signature(&[]));
+    }
+}

@@ -1,0 +1,297 @@
+//! One-call aging assessment: runs the whole analysis stack over a
+//! monitored resource series and produces a structured, printable report —
+//! the "operator-facing" surface of the library.
+
+use crate::detector::{analyze, DetectorConfig, OfflineAnalysis};
+use aging_fractal::holder::{holder_trace, HolderSummary};
+use aging_fractal::spectrum::{mfdfa, MfdfaConfig};
+use aging_timeseries::trend::{MannKendall, SenSlope, TrendDirection};
+use aging_timeseries::{stats, Error, Result, TimeSeries};
+
+/// Direction-aware verdict of an assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// No aging indicators.
+    Healthy,
+    /// Statistically significant depletion trend and/or regularity loss,
+    /// but the crash detector has not confirmed.
+    Aging,
+    /// The crash detector's alarm fired — failure expected soon.
+    Critical,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Verdict::Healthy => "HEALTHY",
+            Verdict::Aging => "AGING",
+            Verdict::Critical => "CRITICAL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Configuration of [`assess`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssessmentConfig {
+    /// Detector configuration.
+    pub detector: DetectorConfig,
+    /// Mann–Kendall significance level.
+    pub alpha: f64,
+    /// The level whose crossing counts as exhaustion (e.g. 0 for free
+    /// memory).
+    pub exhaustion_level: f64,
+    /// Whether exhaustion means falling (free memory) or rising (swap).
+    pub depleting: bool,
+    /// A linear ETA only contributes to an `Aging` verdict when it falls
+    /// within this horizon (heavy-tailed workloads drift on short windows,
+    /// producing huge but meaningless extrapolations).
+    pub aging_eta_horizon_secs: f64,
+}
+
+impl Default for AssessmentConfig {
+    fn default() -> Self {
+        AssessmentConfig {
+            detector: DetectorConfig::default(),
+            alpha: 0.05,
+            exhaustion_level: 0.0,
+            depleting: true,
+            aging_eta_horizon_secs: 24.0 * 3600.0,
+        }
+    }
+}
+
+/// A full aging assessment of one counter series.
+#[derive(Debug, Clone)]
+pub struct Assessment {
+    /// Number of samples analysed.
+    pub samples: usize,
+    /// Covered duration in seconds.
+    pub duration_secs: f64,
+    /// Mann–Kendall result on the raw series.
+    pub mann_kendall: MannKendall,
+    /// Detected monotone direction at the configured level.
+    pub trend_direction: TrendDirection,
+    /// Sen's slope per hour.
+    pub sen_slope_per_hour: f64,
+    /// Linear time-to-exhaustion (seconds from the end of the series), if
+    /// the trend points toward exhaustion.
+    pub eta_secs: Option<f64>,
+    /// Hölder-trace summary over the whole series.
+    pub holder: HolderSummary,
+    /// Mean Hölder exponent of the first and last quarter.
+    pub holder_first_quarter: f64,
+    /// Mean Hölder exponent of the last quarter.
+    pub holder_last_quarter: f64,
+    /// MF-DFA spectrum width (multifractality), when the series is long
+    /// enough.
+    pub spectrum_width: Option<f64>,
+    /// Detector traces and alerts.
+    pub detector: OfflineAnalysis,
+    /// Sampling period of the analysed series (seconds).
+    pub sample_period_secs: f64,
+    /// The combined verdict.
+    pub verdict: Verdict,
+}
+
+impl Assessment {
+    /// Time (seconds from series start) of the detector's first full
+    /// alarm, if any.
+    pub fn alarm_secs(&self) -> Option<f64> {
+        self.detector
+            .first_alarm()
+            .map(|a| a.sample_index as f64 * self.sample_period_secs)
+    }
+}
+
+impl std::fmt::Display for Assessment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "── aging assessment ─────────────────────────────")?;
+        writeln!(
+            f,
+            "samples            {} over {:.1} h",
+            self.samples,
+            self.duration_secs / 3600.0
+        )?;
+        writeln!(
+            f,
+            "trend              {} (p = {:.4}), Sen slope {:+.1}/h",
+            self.trend_direction, self.mann_kendall.p_value, self.sen_slope_per_hour
+        )?;
+        match self.eta_secs {
+            Some(eta) => writeln!(f, "linear exhaustion  in {:.1} h", eta / 3600.0)?,
+            None => writeln!(f, "linear exhaustion  not indicated")?,
+        }
+        writeln!(
+            f,
+            "holder exponent    mean {:.3} (first quarter {:.3} → last quarter {:.3})",
+            self.holder.mean, self.holder_first_quarter, self.holder_last_quarter
+        )?;
+        if let Some(w) = self.spectrum_width {
+            writeln!(f, "spectrum width     {w:.3}")?;
+        }
+        match self.detector.first_alarm() {
+            Some(alarm) => writeln!(
+                f,
+                "detector           ALARM at sample {} ({:?})",
+                alarm.sample_index, alarm.trigger
+            )?,
+            None => writeln!(
+                f,
+                "detector           quiet ({} warnings)",
+                self.detector.alerts.len()
+            )?,
+        }
+        writeln!(f, "verdict            {}", self.verdict)
+    }
+}
+
+/// Runs the full assessment over a uniformly sampled counter series.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] when the series is shorter than the
+/// detector's Hölder neighbourhood (`2·holder_radius + 1` samples) and
+/// propagates estimator failures. Individual optional measurements
+/// (spectrum width) are skipped rather than failing the report.
+pub fn assess(series: &TimeSeries, config: &AssessmentConfig) -> Result<Assessment> {
+    config.detector.validate()?;
+    if !(0.0 < config.alpha && config.alpha < 1.0) {
+        return Err(Error::invalid("alpha", "must lie in (0, 1)"));
+    }
+    series.require_finite()?;
+    let values = series.values();
+    Error::require_len(values, 2 * config.detector.holder_radius + 1)?;
+
+    let mann_kendall = MannKendall::test(values)?;
+    let trend_direction = mann_kendall.direction(config.alpha);
+    let sen = SenSlope::estimate(values, series.dt())?;
+    let toward_exhaustion = match config.depleting {
+        true => sen.slope < 0.0 && trend_direction == TrendDirection::Decreasing,
+        false => sen.slope > 0.0 && trend_direction == TrendDirection::Increasing,
+    };
+    let span = (values.len() - 1) as f64 * series.dt();
+    let eta_secs = if toward_exhaustion {
+        sen.time_to_level(config.exhaustion_level)
+            .map(|t| (t - span).max(0.0))
+    } else {
+        None
+    };
+
+    let trace = holder_trace(values, &config.detector.holder_estimator())?;
+    let holder = HolderSummary::of(&trace)?;
+    let q = trace.len() / 4;
+    let holder_first_quarter = stats::mean(&trace[..q.max(1)])?;
+    let holder_last_quarter = stats::mean(&trace[trace.len() - q.max(1)..])?;
+
+    let spectrum_width = mfdfa(values, &MfdfaConfig::default())
+        .ok()
+        .map(|r| r.width());
+
+    let detector = analyze(values, &config.detector)?;
+
+    let critical = detector.first_alarm().is_some();
+    let regularity_loss = holder_last_quarter < holder_first_quarter - 0.25;
+    let eta_imminent = eta_secs.is_some_and(|eta| eta <= config.aging_eta_horizon_secs);
+    let verdict = if critical {
+        Verdict::Critical
+    } else if eta_imminent || regularity_loss {
+        Verdict::Aging
+    } else {
+        Verdict::Healthy
+    };
+
+    Ok(Assessment {
+        samples: values.len(),
+        duration_secs: span,
+        mann_kendall,
+        trend_direction,
+        sen_slope_per_hour: sen.slope * 3600.0,
+        eta_secs,
+        holder,
+        holder_first_quarter,
+        holder_last_quarter,
+        spectrum_width,
+        detector,
+        sample_period_secs: series.dt(),
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_memsim::{simulate, Counter, Scenario};
+
+    fn tiny_config() -> AssessmentConfig {
+        AssessmentConfig {
+            detector: DetectorConfig {
+                holder_radius: 16,
+                holder_max_lag: 4,
+                dimension_window: 64,
+                dimension_stride: 16,
+                baseline_windows: 8,
+                ..DetectorConfig::default()
+            },
+            ..AssessmentConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_machine_assessed_healthy() {
+        let report = simulate(&Scenario::tiny_aging(21, 0.0), 4.0 * 3600.0).unwrap();
+        let series = report.log.series(Counter::AvailableBytes).unwrap();
+        let a = assess(&series, &tiny_config()).unwrap();
+        assert_eq!(a.verdict, Verdict::Healthy, "{a}");
+        // Heavy-tailed workloads drift on short windows, so a (distant)
+        // linear ETA may exist — but it must lie beyond the aging horizon.
+        if let Some(eta) = a.eta_secs {
+            assert!(eta > tiny_config().aging_eta_horizon_secs, "{a}");
+        }
+        assert!(!a.to_string().is_empty());
+    }
+
+    #[test]
+    fn crashing_machine_assessed_critical() {
+        let report = simulate(&Scenario::tiny_aging(22, 192.0), 6.0 * 3600.0).unwrap();
+        assert!(report.first_crash().is_some());
+        let series = report.log.series(Counter::AvailableBytes).unwrap();
+        let a = assess(&series, &tiny_config()).unwrap();
+        assert_eq!(a.verdict, Verdict::Critical, "{a}");
+        assert!(a.alarm_secs().is_some());
+        // Sen slope negative (depleting).
+        assert!(a.sen_slope_per_hour < 0.0);
+    }
+
+    #[test]
+    fn slow_leak_detected_as_aging_before_detector_fires() {
+        // Very slow leak: clear trend long before any collapse. Use only
+        // the early portion of the run so the detector stays quiet.
+        let report = simulate(&Scenario::tiny_aging(23, 24.0), 2.0 * 3600.0).unwrap();
+        let series = report.log.series(Counter::AvailableBytes).unwrap();
+        let a = assess(&series, &tiny_config()).unwrap();
+        assert_ne!(a.verdict, Verdict::Healthy, "{a}");
+        assert_eq!(a.trend_direction, TrendDirection::Decreasing);
+    }
+
+    #[test]
+    fn display_contains_verdict() {
+        let report = simulate(&Scenario::tiny_aging(24, 0.0), 2.0 * 3600.0).unwrap();
+        let series = report.log.series(Counter::AvailableBytes).unwrap();
+        let a = assess(&series, &tiny_config()).unwrap();
+        let text = a.to_string();
+        assert!(text.contains("verdict"));
+        assert!(text.contains("holder exponent"));
+    }
+
+    #[test]
+    fn guards() {
+        let series = aging_timeseries::TimeSeries::from_values(0.0, 1.0, vec![1.0; 10]).unwrap();
+        assert!(assess(&series, &tiny_config()).is_err()); // too short
+        let mut bad = tiny_config();
+        bad.alpha = 0.0;
+        let report = simulate(&Scenario::tiny_aging(25, 0.0), 3600.0).unwrap();
+        let s = report.log.series(Counter::AvailableBytes).unwrap();
+        assert!(assess(&s, &bad).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Operating-characteristic sweeps: trade detection coverage against
+//! false alarms by sweeping a predictor's sensitivity parameter over a
+//! fixed fleet of monitor logs.
+//!
+//! This quantifies the tuning landscape the paper's threshold choice sits
+//! in (experiment E9): each sweep point re-scores the whole fleet with a
+//! different threshold and records coverage, false alarms and lead time.
+
+use crate::detector::DetectorConfig;
+use crate::eval::{compare, ComparisonRow, PredictorSpec};
+use aging_memsim::{Counter, SimReport};
+use aging_timeseries::{Error, Result};
+
+/// One point of an operating-characteristic sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocPoint {
+    /// The sensitivity parameter value at this point.
+    pub parameter: f64,
+    /// Aggregated scoring at this parameter.
+    pub row: ComparisonRow,
+}
+
+impl RocPoint {
+    /// Detection coverage in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        self.row.coverage()
+    }
+
+    /// False alarms per healthy segment (0 when no healthy segments).
+    pub fn false_alarm_rate(&self) -> f64 {
+        if self.row.healthy_segments == 0 {
+            0.0
+        } else {
+            self.row.false_alarms as f64 / self.row.healthy_segments as f64
+        }
+    }
+}
+
+/// Which detector parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SweepParameter {
+    /// The Hölder-collapse threshold `holder_drop`.
+    HolderDrop,
+    /// The dimension-jump floor `jump_delta`.
+    JumpDelta,
+    /// The confirmation count (rounded to the nearest integer ≥ 1).
+    ConfirmWindows,
+}
+
+/// Sweeps one detector parameter over `values`, scoring each setting on
+/// the same fleet of reports.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for an empty sweep and propagates
+/// evaluation failures.
+pub fn sweep_detector(
+    base: &DetectorConfig,
+    parameter: SweepParameter,
+    values: &[f64],
+    reports: &[SimReport],
+    counter: Counter,
+) -> Result<Vec<RocPoint>> {
+    if values.is_empty() {
+        return Err(Error::invalid("values", "must not be empty"));
+    }
+    let mut out = Vec::with_capacity(values.len());
+    for &v in values {
+        let mut config = base.clone();
+        match parameter {
+            SweepParameter::HolderDrop => config.holder_drop = v,
+            SweepParameter::JumpDelta => config.jump_delta = v,
+            SweepParameter::ConfirmWindows => {
+                config.confirm_windows = (v.round().max(1.0)) as usize
+            }
+        }
+        let row = compare(
+            &PredictorSpec::HolderDimension(config),
+            reports,
+            counter,
+        )?;
+        out.push(RocPoint { parameter: v, row });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_memsim::{simulate, Scenario};
+
+    fn tiny_fleet() -> Vec<SimReport> {
+        let mut reports: Vec<SimReport> = (0..2)
+            .map(|s| simulate(&Scenario::tiny_aging(s, 192.0), 5.0 * 3600.0).unwrap())
+            .collect();
+        reports.push(simulate(&Scenario::tiny_aging(9, 0.0), 5.0 * 3600.0).unwrap());
+        reports
+    }
+
+    fn tiny_config() -> DetectorConfig {
+        DetectorConfig {
+            holder_radius: 16,
+            holder_max_lag: 4,
+            dimension_window: 64,
+            dimension_stride: 16,
+            baseline_windows: 8,
+            ..DetectorConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_value() {
+        let reports = tiny_fleet();
+        let points = sweep_detector(
+            &tiny_config(),
+            SweepParameter::HolderDrop,
+            &[0.2, 0.4, 0.8],
+            &reports,
+            Counter::AvailableBytes,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            assert!(p.coverage() >= 0.0 && p.coverage() <= 1.0);
+            assert!(p.false_alarm_rate() >= 0.0 && p.false_alarm_rate() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn coverage_never_increases_with_stricter_confirmation() {
+        let reports = tiny_fleet();
+        let points = sweep_detector(
+            &tiny_config(),
+            SweepParameter::ConfirmWindows,
+            &[1.0, 3.0, 8.0, 20.0],
+            &reports,
+            Counter::AvailableBytes,
+        )
+        .unwrap();
+        for w in points.windows(2) {
+            assert!(
+                w[1].row.detected <= w[0].row.detected,
+                "stricter confirmation cannot detect more"
+            );
+            assert!(w[1].row.false_alarms <= w[0].row.false_alarms);
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_error() {
+        let reports = tiny_fleet();
+        assert!(sweep_detector(
+            &tiny_config(),
+            SweepParameter::JumpDelta,
+            &[],
+            &reports,
+            Counter::AvailableBytes,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for detector and predictor invariants.
+
+use aging_core::baseline::{
+    AgingPredictor, ResourceDirection, SenSlopePredictor, ThresholdPredictor,
+    TrendPredictorConfig,
+};
+use aging_core::detector::{analyze, AlertLevel, DetectorConfig};
+use aging_core::fusion::{FusionPredictor, FusionRule};
+use aging_core::eval::PredictorSpec;
+use aging_fractal::generate;
+use proptest::prelude::*;
+
+fn small_config() -> DetectorConfig {
+    DetectorConfig {
+        holder_radius: 16,
+        holder_max_lag: 4,
+        dimension_window: 64,
+        dimension_stride: 8,
+        baseline_windows: 6,
+        skip_windows: 1,
+        ..DetectorConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn detector_never_panics_on_finite_input(values in prop::collection::vec(-1e9f64..1e9, 100..600)) {
+        let _ = analyze(&values, &small_config());
+    }
+
+    #[test]
+    fn alerts_are_time_ordered_and_alarm_unique(seed in 0u64..300) {
+        // Collapse signal: smooth then rough.
+        let mut x = generate::fbm(800, 0.85, seed).unwrap();
+        let last = *x.last().unwrap();
+        let noise = generate::white_noise(800, seed + 9000).unwrap();
+        x.extend(noise.iter().map(|v| last + v));
+        let analysis = analyze(&x, &small_config()).unwrap();
+        let mut prev = 0usize;
+        for a in &analysis.alerts {
+            prop_assert!(a.sample_index >= prev);
+            prev = a.sample_index;
+        }
+        let alarms = analysis.alerts.iter().filter(|a| a.level == AlertLevel::Alarm).count();
+        prop_assert!(alarms <= 1);
+    }
+
+    #[test]
+    fn detector_scale_invariant(seed in 0u64..200, k in 0.01f64..1e4) {
+        let x = generate::fgn(700, 0.5, seed).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| k * v).collect();
+        let a = analyze(&x, &small_config()).unwrap();
+        let b = analyze(&scaled, &small_config()).unwrap();
+        prop_assert_eq!(a.alerts.len(), b.alerts.len());
+        for (u, v) in a.holder_trace.iter().zip(&b.holder_trace) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn threshold_predictor_fires_iff_crossed(values in prop::collection::vec(0.0f64..1000.0, 1..200), level in 0.0f64..1000.0) {
+        let mut p = ThresholdPredictor::new(level, ResourceDirection::Depleting).unwrap();
+        let mut fired = false;
+        for &v in &values {
+            fired |= p.push(v).unwrap();
+        }
+        prop_assert_eq!(fired, values.iter().any(|&v| v <= level));
+        prop_assert_eq!(p.is_alarmed(), fired);
+    }
+
+    #[test]
+    fn sen_predictor_monotone_series_eta_positive(slope in 0.5f64..50.0, seed in 0u64..100) {
+        // A depleting ramp with bounded noise must eventually yield a
+        // non-negative finite ETA.
+        let noise = generate::white_noise(400, seed).unwrap();
+        let series: Vec<f64> = (0..400)
+            .map(|i| 1e6 - slope * 30.0 * i as f64 + 10.0 * noise[i])
+            .collect();
+        let config = TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 1e9, // always alarm once trending
+            ..TrendPredictorConfig::depleting(30.0)
+        };
+        let mut p = SenSlopePredictor::new(config).unwrap();
+        let mut fired = false;
+        for &v in &series {
+            fired |= p.push(v).unwrap();
+        }
+        prop_assert!(fired);
+        if let Some(eta) = p.eta_secs() {
+            prop_assert!(eta >= 0.0 && eta.is_finite());
+        }
+    }
+
+    #[test]
+    fn fusion_rule_strictness_is_monotone(seed in 0u64..60) {
+        // On any input stream, Any fires no later than Majority, which
+        // fires no later than All.
+        let mut x = generate::fbm(700, 0.85, seed).unwrap();
+        let last = *x.last().unwrap();
+        x.extend(generate::white_noise(700, seed + 5000).unwrap().iter().map(|v| last + v));
+        let members = vec![
+            (aging_memsim::Counter::AvailableBytes, PredictorSpec::HolderDimension(small_config())),
+            (aging_memsim::Counter::AvailableBytes, PredictorSpec::Threshold {
+                level: x.iter().cloned().fold(f64::MAX, f64::min) + 1.0,
+                direction: aging_core::baseline::ResourceDirection::Depleting,
+            }),
+        ];
+        let first_fire = |rule| -> Option<usize> {
+            let mut f = FusionPredictor::new(&members, rule).unwrap();
+            for (i, &v) in x.iter().enumerate() {
+                if f.push_row(&[v, v]).unwrap() {
+                    return Some(i);
+                }
+            }
+            None
+        };
+        let any = first_fire(FusionRule::Any).map_or(usize::MAX, |v| v);
+        let majority = first_fire(FusionRule::Majority).map_or(usize::MAX, |v| v);
+        let all = first_fire(FusionRule::All).map_or(usize::MAX, |v| v);
+        prop_assert!(any <= majority);
+        prop_assert!(majority <= all);
+    }
+
+    #[test]
+    fn predictor_reset_is_idempotent(seed in 0u64..100) {
+        let x = generate::fgn(300, 0.5, seed).unwrap();
+        let mut p = SenSlopePredictor::new(TrendPredictorConfig {
+            window: 60,
+            ..TrendPredictorConfig::depleting(30.0)
+        }).unwrap();
+        for &v in &x {
+            let _ = p.push(v).unwrap();
+        }
+        p.reset();
+        p.reset();
+        prop_assert!(!p.is_alarmed());
+        prop_assert_eq!(p.eta_secs(), None);
+    }
+}

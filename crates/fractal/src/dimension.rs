@@ -1,0 +1,334 @@
+//! Fractal dimension of the graph of a time series.
+//!
+//! The target paper's detector tracks the **box-counting dimension of the
+//! local Hölder exponent trace** over a sliding window; a jump in that
+//! dimension precedes failure. This module supplies the dimension
+//! estimators:
+//!
+//! - [`box_counting`] — classic grid cover of the normalised graph,
+//! - [`variation`] — the oscillation/variation method of Dubuc et al.,
+//!   usually better behaved on short windows,
+//! - [`higuchi`] — Higuchi's curve-length method.
+//!
+//! For a self-affine graph with Hurst exponent `H` (e.g. fBm),
+//! `D = 2 − H`; a smooth curve has `D = 1`; white noise approaches `D = 2`.
+
+use aging_timeseries::regression::{log_log_fit, LineFit};
+use aging_timeseries::{stats, Error, Result};
+
+/// A graph-dimension estimate together with its scaling fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionEstimate {
+    /// Estimated dimension, clamped to the meaningful range `[1, 2]`.
+    pub dimension: f64,
+    /// Raw (unclamped) dimension from the fit.
+    pub raw_dimension: f64,
+    /// The underlying log–log fit.
+    pub fit: LineFit,
+}
+
+/// Box-counting dimension of the graph `{(t, x[t])}`.
+///
+/// The graph is normalised to the unit square, covered with grids of side
+/// `2^{−k}`, and the number of occupied boxes `N(ε)` is regressed against
+/// `1/ε`. Columns are swept with linear interpolation between adjacent
+/// samples so the "curve", not just the sample points, is covered.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] below 16 samples, [`Error::NonFinite`] for
+/// NaN input, and [`Error::Numerical`] for a constant series (a degenerate
+/// graph; its dimension is 1 by convention but no fit is possible —
+/// callers that want the convention use [`box_counting_or_smooth`]).
+pub fn box_counting(data: &[f64]) -> Result<DimensionEstimate> {
+    Error::require_len(data, 16)?;
+    Error::require_finite(data)?;
+    let n = data.len();
+    let lo = stats::min(data)?;
+    let hi = stats::max(data)?;
+    if hi - lo <= f64::EPSILON * lo.abs().max(1.0) {
+        return Err(Error::Numerical("constant series has degenerate graph".into()));
+    }
+    let span = hi - lo;
+
+    // Grid levels: ε = 2^{-k}, from 2 divisions up to ~n/4 divisions so
+    // each column holds a few samples.
+    let max_k = ((n as f64 / 4.0).log2().floor() as usize).max(2);
+    let ks: Vec<usize> = (1..=max_k).collect();
+    if ks.len() < 3 {
+        return Err(Error::TooShort {
+            required: 32,
+            actual: n,
+        });
+    }
+
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in &ks {
+        let divisions = 1usize << k;
+        let eps = 1.0 / divisions as f64;
+        // For each time column, track min/max of the (interpolated) curve.
+        let mut col_min = vec![f64::MAX; divisions];
+        let mut col_max = vec![f64::MIN; divisions];
+        for i in 0..n {
+            let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let col = ((t / eps) as usize).min(divisions - 1);
+            let y = (data[i] - lo) / span;
+            col_min[col] = col_min[col].min(y);
+            col_max[col] = col_max[col].max(y);
+            // Interpolate to the next sample so the segment's vertical
+            // excursion within this column is covered.
+            if i + 1 < n {
+                let y2 = (data[i + 1] - lo) / span;
+                col_min[col] = col_min[col].min(y2.min(y));
+                col_max[col] = col_max[col].max(y2.max(y));
+            }
+        }
+        let mut count = 0usize;
+        for c in 0..divisions {
+            if col_max[c] >= col_min[c] {
+                let lo_box = (col_min[c] / eps).floor() as i64;
+                let hi_box = (col_max[c] / eps).floor() as i64;
+                count += (hi_box - lo_box + 1).max(1) as usize;
+            }
+        }
+        points.push((divisions as f64, count as f64));
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+    let fit = log_log_fit(&xs, &ys)?;
+    Ok(DimensionEstimate {
+        dimension: fit.slope.clamp(1.0, 2.0),
+        raw_dimension: fit.slope,
+        fit,
+    })
+}
+
+/// Like [`box_counting`] but maps the degenerate constant-series case to
+/// dimension 1 (a flat line is smooth) instead of an error. Other failures
+/// still propagate.
+///
+/// # Errors
+///
+/// Same as [`box_counting`] except the constant case.
+pub fn box_counting_or_smooth(data: &[f64]) -> Result<f64> {
+    match box_counting(data) {
+        Ok(est) => Ok(est.dimension),
+        Err(Error::Numerical(_)) => Ok(1.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Variation (oscillation) dimension of Dubuc et al.: the mean oscillation
+/// of the series over windows of radius `r` scales as `r^{2−D}` for a
+/// self-affine graph; regress `log mean-osc` on `log r`.
+///
+/// More stable than grid box-counting on the short windows used by the
+/// sliding detector.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] below 16 samples, [`Error::NonFinite`] for
+/// NaN input, and [`Error::Numerical`] for constant series.
+pub fn variation(data: &[f64]) -> Result<DimensionEstimate> {
+    Error::require_len(data, 16)?;
+    Error::require_finite(data)?;
+    let n = data.len();
+    let max_r = (n / 4).max(2);
+    let mut radii = Vec::new();
+    let mut r = 1usize;
+    while r <= max_r {
+        radii.push(r);
+        r *= 2;
+    }
+    if radii.len() < 3 {
+        return Err(Error::TooShort {
+            required: 16,
+            actual: n,
+        });
+    }
+    let mut points = Vec::with_capacity(radii.len());
+    for &r in &radii {
+        let mut total = 0.0;
+        for t in 0..n {
+            let lo = t.saturating_sub(r);
+            let hi = (t + r).min(n - 1);
+            let w = &data[lo..=hi];
+            let mut mn = f64::MAX;
+            let mut mx = f64::MIN;
+            for &v in w {
+                mn = mn.min(v);
+                mx = mx.max(v);
+            }
+            total += mx - mn;
+        }
+        let mean_osc = total / n as f64;
+        if mean_osc > 0.0 {
+            points.push((r as f64, mean_osc));
+        }
+    }
+    if points.len() < 3 {
+        return Err(Error::Numerical(
+            "constant series has degenerate oscillation".into(),
+        ));
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+    let fit = log_log_fit(&xs, &ys)?;
+    // osc ~ r^H with H = 2 − D.
+    Ok(DimensionEstimate {
+        dimension: (2.0 - fit.slope).clamp(1.0, 2.0),
+        raw_dimension: 2.0 - fit.slope,
+        fit,
+    })
+}
+
+/// Higuchi's fractal dimension: the curve length measured at stride `k`
+/// scales as `k^{−D}`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `k_max < 3`,
+/// [`Error::TooShort`] when `n < 4·k_max`, and [`Error::Numerical`] for
+/// constant series.
+pub fn higuchi(data: &[f64], k_max: usize) -> Result<DimensionEstimate> {
+    if k_max < 3 {
+        return Err(Error::invalid("k_max", "must be at least 3"));
+    }
+    Error::require_len(data, 4 * k_max)?;
+    Error::require_finite(data)?;
+    let n = data.len();
+    let mut points = Vec::with_capacity(k_max);
+    for k in 1..=k_max {
+        let mut lengths = Vec::with_capacity(k);
+        for m in 0..k {
+            let steps = (n - 1 - m) / k;
+            if steps == 0 {
+                continue;
+            }
+            let mut len = 0.0;
+            for i in 1..=steps {
+                len += (data[m + i * k] - data[m + (i - 1) * k]).abs();
+            }
+            // Higuchi normalisation.
+            let norm = (n - 1) as f64 / (steps as f64 * k as f64);
+            lengths.push(len * norm / k as f64);
+        }
+        if let Ok(mean_len) = stats::mean(&lengths) {
+            if mean_len > 0.0 {
+                points.push((k as f64, mean_len));
+            }
+        }
+    }
+    if points.len() < 3 {
+        return Err(Error::Numerical(
+            "constant series has degenerate curve length".into(),
+        ));
+    }
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
+    let fit = log_log_fit(&xs, &ys)?;
+    Ok(DimensionEstimate {
+        dimension: (-fit.slope).clamp(1.0, 2.0),
+        raw_dimension: -fit.slope,
+        fit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn smooth_curve_has_dimension_one() {
+        let x: Vec<f64> = (0..512).map(|i| (i as f64 * 0.01).sin()).collect();
+        let d = box_counting(&x).unwrap();
+        assert!(d.dimension < 1.25, "box {}", d.dimension);
+        let v = variation(&x).unwrap();
+        assert!(v.dimension < 1.2, "variation {}", v.dimension);
+        let h = higuchi(&x, 8).unwrap();
+        assert!(h.dimension < 1.2, "higuchi {}", h.dimension);
+    }
+
+    #[test]
+    fn white_noise_dimension_near_two() {
+        let x = generate::white_noise(4096, 1).unwrap();
+        let v = variation(&x).unwrap();
+        assert!(v.dimension > 1.8, "variation {}", v.dimension);
+        let h = higuchi(&x, 8).unwrap();
+        assert!(h.dimension > 1.8, "higuchi {}", h.dimension);
+    }
+
+    #[test]
+    fn fbm_dimension_tracks_two_minus_h() {
+        for &(hurst, seed) in &[(0.3, 2u64), (0.5, 3), (0.8, 4)] {
+            let x = generate::fbm(8192, hurst, seed).unwrap();
+            let expect = 2.0 - hurst;
+            let v = variation(&x).unwrap();
+            assert!(
+                (v.dimension - expect).abs() < 0.15,
+                "H={hurst}: variation {} vs {expect}",
+                v.dimension
+            );
+            let hg = higuchi(&x, 8).unwrap();
+            assert!(
+                (hg.dimension - expect).abs() < 0.2,
+                "H={hurst}: higuchi {} vs {expect}",
+                hg.dimension
+            );
+        }
+    }
+
+    #[test]
+    fn box_counting_orders_roughness() {
+        let smooth = generate::fbm(4096, 0.8, 5).unwrap();
+        let rough = generate::fbm(4096, 0.2, 6).unwrap();
+        let ds = box_counting(&smooth).unwrap().dimension;
+        let dr = box_counting(&rough).unwrap().dimension;
+        assert!(dr > ds + 0.2, "rough {dr} smooth {ds}");
+    }
+
+    #[test]
+    fn dimension_is_amplitude_invariant() {
+        // The graph is normalised, so scaling the values must not move D.
+        let x = generate::fbm(2048, 0.5, 7).unwrap();
+        let scaled: Vec<f64> = x.iter().map(|v| v * 1000.0).collect();
+        let a = box_counting(&x).unwrap().dimension;
+        let b = box_counting(&scaled).unwrap().dimension;
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_series_handling() {
+        let x = vec![2.5; 256];
+        assert!(matches!(box_counting(&x), Err(Error::Numerical(_))));
+        assert_eq!(box_counting_or_smooth(&x).unwrap(), 1.0);
+        assert!(variation(&x).is_err());
+        assert!(higuchi(&x, 8).is_err());
+    }
+
+    #[test]
+    fn guards() {
+        let x = generate::white_noise(64, 8).unwrap();
+        assert!(box_counting(&x[..8]).is_err());
+        assert!(higuchi(&x, 2).is_err());
+        assert!(higuchi(&x[..8], 8).is_err());
+        let mut bad = x.clone();
+        bad[10] = f64::NAN;
+        assert!(box_counting(&bad).is_err());
+        assert!(variation(&bad).is_err());
+    }
+
+    #[test]
+    fn estimates_expose_diagnostics() {
+        let x = generate::fbm(1024, 0.5, 9).unwrap();
+        let d = variation(&x).unwrap();
+        assert!(d.fit.r_squared > 0.9);
+        assert!(d.raw_dimension > 0.0);
+    }
+
+    #[test]
+    fn short_window_variation_works_at_64() {
+        // The sliding detector uses windows this small.
+        let x = generate::fbm(64, 0.5, 10).unwrap();
+        let d = variation(&x).unwrap();
+        assert!(d.dimension >= 1.0 && d.dimension <= 2.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! A minimal radix-2 complex FFT.
+//!
+//! Used internally by the Davies–Harte fractional-Gaussian-noise generator
+//! and by the periodogram Hurst estimator. Only power-of-two lengths are
+//! supported — callers pad or truncate.
+
+use aging_timeseries::{Error, Result};
+
+/// A complex number as a plain value pair (real, imaginary).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Complex conjugate.
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place forward DFT (`X_k = Σ_t x_t e^{−2πi tk/n}`), radix-2
+/// Cooley–Tukey.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when the length is not a power of
+/// two (or is zero).
+pub fn fft(data: &mut [Complex]) -> Result<()> {
+    transform(data, false)
+}
+
+/// In-place inverse DFT including the `1/n` normalisation.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when the length is not a power of
+/// two (or is zero).
+pub fn ifft(data: &mut [Complex]) -> Result<()> {
+    transform(data, true)?;
+    let n = data.len() as f64;
+    for v in data.iter_mut() {
+        v.re /= n;
+        v.im /= n;
+    }
+    Ok(())
+}
+
+fn transform(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(Error::invalid(
+            "data",
+            format!("FFT length must be a power of two, got {n}"),
+        ));
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Periodogram of a real signal: `I(f_k) = |X_k|² / n` for
+/// `k = 1 .. n/2 − 1` (DC and Nyquist excluded), where the input is
+/// zero-padded to the next power of two. Returns `(frequency, power)`
+/// pairs with frequency in cycles/sample.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] for fewer than 4 samples and
+/// [`Error::NonFinite`] for NaN input.
+pub fn periodogram(signal: &[f64]) -> Result<Vec<(f64, f64)>> {
+    Error::require_len(signal, 4)?;
+    Error::require_finite(signal)?;
+    let n = signal.len().next_power_of_two();
+    let mut buf: Vec<Complex> = signal
+        .iter()
+        .map(|&v| Complex::new(v, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    fft(&mut buf)?;
+    let effective = signal.len() as f64;
+    Ok((1..n / 2)
+        .map(|k| {
+            let f = k as f64 / n as f64;
+            (f, buf[k].norm_sqr() / effective)
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex, b: Complex, tol: f64) {
+        assert!(
+            (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol,
+            "{a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut d = vec![Complex::default(); 8];
+        d[0] = Complex::new(1.0, 0.0);
+        fft(&mut d).unwrap();
+        for v in d {
+            assert_close(v, Complex::new(1.0, 0.0), 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let mut d = vec![Complex::new(2.0, 0.0); 8];
+        fft(&mut d).unwrap();
+        assert_close(d[0], Complex::new(16.0, 0.0), 1e-12);
+        for v in &d[1..] {
+            assert!(v.norm_sqr() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        // Compare against the O(n²) DFT on a small random-ish vector.
+        let x: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(((i * 7 + 3) % 5) as f64, ((i * 3) % 4) as f64))
+            .collect();
+        let mut fast = x.clone();
+        fft(&mut fast).unwrap();
+        for k in 0..16 {
+            let mut acc = Complex::default();
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (t * k) as f64 / 16.0;
+                acc = acc + v * Complex::new(ang.cos(), ang.sin());
+            }
+            assert_close(fast[k], acc, 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_round_trip() {
+        let x: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut buf = x.clone();
+        fft(&mut buf).unwrap();
+        ifft(&mut buf).unwrap();
+        for (a, b) in x.iter().zip(&buf) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_parseval() {
+        let x: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut buf = x;
+        fft(&mut buf).unwrap();
+        let freq_energy: f64 = buf.iter().map(|v| v.norm_sqr()).sum::<f64>() / 32.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut d = vec![Complex::default(); 12];
+        assert!(fft(&mut d).is_err());
+        let mut e: Vec<Complex> = vec![];
+        assert!(fft(&mut e).is_err());
+    }
+
+    #[test]
+    fn periodogram_peaks_at_signal_frequency() {
+        // Pure tone at 8 cycles / 128 samples = 1/16 cycles per sample.
+        let n = 128;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 8.0 * i as f64 / n as f64).sin())
+            .collect();
+        let p = periodogram(&signal).unwrap();
+        let (best_f, _) = p
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!((best_f - 8.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn periodogram_guards() {
+        assert!(periodogram(&[1.0, 2.0]).is_err());
+        assert!(periodogram(&[1.0, f64::NAN, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+        assert_eq!(a.norm_sqr(), 5.0);
+    }
+}

@@ -1,0 +1,632 @@
+//! Multifractal spectrum estimation.
+//!
+//! The target paper's second headline observation is that memory-resource
+//! signals are **multifractal** — their singularity spectrum `f(α)` has
+//! positive width — and that multifractality intensifies as the system
+//! ages. This module estimates the spectrum three ways:
+//!
+//! - [`partition_function`] — box-measure partition function (exact tool
+//!   for cascade measures),
+//! - [`structure_function`] — moment scaling of increments, `ζ(q)`,
+//! - [`mfdfa`] — multifractal detrended fluctuation analysis, `h(q)`,
+//! - [`leader_cumulants`] — wavelet-leader log-cumulants `c₁, c₂`
+//!   (`c₂ < 0` ⇔ multifractality).
+//!
+//! All scaling exponents convert to an `(α, f(α))` spectrum through the
+//! numerical [`legendre`] transform.
+
+use aging_timeseries::regression::ols;
+use aging_timeseries::window::dyadic_scales;
+use aging_timeseries::{detrend, stats, Error, Result};
+use aging_wavelet::{Wavelet, WaveletLeaders};
+
+/// One point of a singularity spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumPoint {
+    /// Moment order that produced this point.
+    pub q: f64,
+    /// Singularity strength (Hölder exponent).
+    pub alpha: f64,
+    /// Spectrum value `f(α)` (dimension of the set with exponent `α`).
+    pub f: f64,
+}
+
+/// The default grid of moment orders.
+pub fn default_qs() -> Vec<f64> {
+    vec![-5.0, -4.0, -3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
+}
+
+/// Scaling exponents `τ(q)` (or `ζ(q)`, or `h(q)` — whichever the producer
+/// computed), with per-q fit quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingExponents {
+    /// Moment orders.
+    pub qs: Vec<f64>,
+    /// Exponent per moment order.
+    pub exponents: Vec<f64>,
+    /// R² of each log–log fit.
+    pub r_squared: Vec<f64>,
+}
+
+impl ScalingExponents {
+    /// Width of the spectrum implied by interpreting `exponents` as `τ(q)`
+    /// and Legendre-transforming: `max α − min α`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`legendre`] failures.
+    pub fn legendre_width(&self) -> Result<f64> {
+        let spec = legendre(&self.qs, &self.exponents)?;
+        let alphas: Vec<f64> = spec.iter().map(|p| p.alpha).collect();
+        Ok(stats::max(&alphas)? - stats::min(&alphas)?)
+    }
+}
+
+/// Numerical Legendre transform: `α(q) = dτ/dq` (central differences),
+/// `f(α) = q·α − τ(q)`. Endpoint derivatives use one-sided differences.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] or [`Error::TooShort`] (< 3 points).
+pub fn legendre(qs: &[f64], tau: &[f64]) -> Result<Vec<SpectrumPoint>> {
+    if qs.len() != tau.len() {
+        return Err(Error::LengthMismatch {
+            left: qs.len(),
+            right: tau.len(),
+        });
+    }
+    Error::require_len(qs, 3)?;
+    let n = qs.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let alpha = if i == 0 {
+            (tau[1] - tau[0]) / (qs[1] - qs[0])
+        } else if i == n - 1 {
+            (tau[n - 1] - tau[n - 2]) / (qs[n - 1] - qs[n - 2])
+        } else {
+            (tau[i + 1] - tau[i - 1]) / (qs[i + 1] - qs[i - 1])
+        };
+        out.push(SpectrumPoint {
+            q: qs[i],
+            alpha,
+            f: qs[i] * alpha - tau[i],
+        });
+    }
+    Ok(out)
+}
+
+/// Box partition function of a (non-negative) **measure** on `2^L` cells:
+/// `τ(q)` is the scaling exponent of `Σ_boxes μ(box)^q` against box size
+/// over dyadic aggregations.
+///
+/// For a binomial cascade this matches
+/// [`crate::generate::binomial_cascade_tau`] exactly.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for non-power-of-two input or
+/// negative mass, [`Error::TooShort`] below 8 cells.
+pub fn partition_function(measure: &[f64], qs: &[f64]) -> Result<ScalingExponents> {
+    Error::require_len(measure, 8)?;
+    Error::require_finite(measure)?;
+    if !measure.len().is_power_of_two() {
+        return Err(Error::invalid(
+            "measure",
+            "length must be a power of two",
+        ));
+    }
+    if measure.iter().any(|&v| v < 0.0) {
+        return Err(Error::invalid("measure", "mass must be non-negative"));
+    }
+    if qs.is_empty() {
+        return Err(Error::invalid("qs", "must not be empty"));
+    }
+    let levels = measure.len().trailing_zeros() as usize;
+
+    // Aggregate the measure at every dyadic box size 2^k cells,
+    // k = 0..levels (box size fraction 2^{k - levels}).
+    let mut aggregates: Vec<Vec<f64>> = vec![measure.to_vec()];
+    for _ in 0..levels {
+        let prev = aggregates.last().expect("non-empty");
+        let next: Vec<f64> = prev.chunks_exact(2).map(|c| c[0] + c[1]).collect();
+        aggregates.push(next);
+    }
+
+    let mut exponents = Vec::with_capacity(qs.len());
+    let mut r2 = Vec::with_capacity(qs.len());
+    for &q in qs {
+        // log2 Σ μ^q  versus  log2(box size); τ(q) = −slope w.r.t. −log2 ε.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (k, agg) in aggregates.iter().enumerate() {
+            if agg.len() < 2 {
+                continue; // skip the single-box top level (Σ μ^q = 1 trivially)
+            }
+            let s: f64 = agg
+                .iter()
+                .filter(|&&m| m > 0.0)
+                .map(|&m| m.powf(q))
+                .sum();
+            if s > 0.0 && s.is_finite() {
+                // Box size ε = 2^{k - levels}; use log2 ε.
+                xs.push((k as f64) - (levels as f64));
+                ys.push(s.log2());
+            }
+        }
+        if xs.len() < 3 {
+            return Err(Error::Numerical(format!(
+                "not enough valid partition sums for q={q}"
+            )));
+        }
+        let fit = ols(&xs, &ys)?;
+        exponents.push(fit.slope); // Σ μ^q ~ ε^{τ(q)}
+        r2.push(fit.r_squared);
+    }
+    Ok(ScalingExponents {
+        qs: qs.to_vec(),
+        exponents,
+        r_squared: r2,
+    })
+}
+
+/// Structure-function scaling exponents `ζ(q)`:
+/// `S_q(s) = ⟨|x(t+s) − x(t)|^q⟩ ∝ s^{ζ(q)}`.
+///
+/// For monofractal fBm, `ζ(q) = qH` is linear; concavity in `q` indicates
+/// multifractality. Note `τ(q) = ζ(q) − 1` links this to the partition
+/// formalism.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] below 128 samples, plus parameter and fit
+/// failures.
+pub fn structure_function(data: &[f64], qs: &[f64]) -> Result<ScalingExponents> {
+    Error::require_len(data, 128)?;
+    Error::require_finite(data)?;
+    if qs.is_empty() {
+        return Err(Error::invalid("qs", "must not be empty"));
+    }
+    let scales: Vec<usize> = dyadic_scales(data.len(), 8)?;
+    let mut exponents = Vec::with_capacity(qs.len());
+    let mut r2 = Vec::with_capacity(qs.len());
+    for &q in qs {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &s in &scales {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for t in 0..data.len() - s {
+                let d = (data[t + s] - data[t]).abs();
+                if d > 0.0 {
+                    acc += d.powf(q);
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                let m = acc / count as f64;
+                if m > 0.0 && m.is_finite() {
+                    xs.push((s as f64).ln());
+                    ys.push(m.ln());
+                }
+            }
+        }
+        if xs.len() < 3 {
+            return Err(Error::Numerical(format!(
+                "not enough valid structure-function points for q={q}"
+            )));
+        }
+        let fit = ols(&xs, &ys)?;
+        exponents.push(fit.slope);
+        r2.push(fit.r_squared);
+    }
+    Ok(ScalingExponents {
+        qs: qs.to_vec(),
+        exponents,
+        r_squared: r2,
+    })
+}
+
+/// Configuration for [`mfdfa`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfdfaConfig {
+    /// Detrending polynomial order (1 = MF-DFA1).
+    pub order: usize,
+    /// Moment orders.
+    pub qs: Vec<f64>,
+}
+
+impl Default for MfdfaConfig {
+    fn default() -> Self {
+        MfdfaConfig {
+            order: 1,
+            qs: default_qs(),
+        }
+    }
+}
+
+/// Result of an MF-DFA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfdfaResult {
+    /// Generalised Hurst exponents `h(q)`, one per `q`.
+    pub h_q: ScalingExponents,
+    /// Mass exponents `τ(q) = q·h(q) − 1`.
+    pub tau_q: Vec<f64>,
+    /// Singularity spectrum from the Legendre transform of `τ(q)`.
+    pub spectrum: Vec<SpectrumPoint>,
+}
+
+impl MfdfaResult {
+    /// Spectrum width `max α − min α` — the paper's multifractality
+    /// indicator (larger = more multifractal).
+    pub fn width(&self) -> f64 {
+        let alphas: Vec<f64> = self.spectrum.iter().map(|p| p.alpha).collect();
+        let mx = alphas.iter().copied().fold(f64::MIN, f64::max);
+        let mn = alphas.iter().copied().fold(f64::MAX, f64::min);
+        mx - mn
+    }
+
+    /// `h(2)` — the classical Hurst exponent estimate embedded in the run.
+    pub fn hurst(&self) -> Option<f64> {
+        self.h_q
+            .qs
+            .iter()
+            .position(|&q| (q - 2.0).abs() < 1e-9)
+            .map(|i| self.h_q.exponents[i])
+    }
+}
+
+/// Multifractal detrended fluctuation analysis (Kantelhardt et al. 2002).
+///
+/// The input is treated as noise-like; the profile is built internally.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] below 256 samples, parameter errors for a
+/// bad config, and [`Error::Numerical`] when no valid scaling points
+/// survive.
+pub fn mfdfa(data: &[f64], config: &MfdfaConfig) -> Result<MfdfaResult> {
+    if config.order == 0 || config.order > 4 {
+        return Err(Error::invalid("order", "must lie in 1..=4"));
+    }
+    if config.qs.is_empty() {
+        return Err(Error::invalid("qs", "must not be empty"));
+    }
+    Error::require_len(data, 256)?;
+    Error::require_finite(data)?;
+
+    // Profile.
+    let mean = stats::mean(data)?;
+    let mut acc = 0.0;
+    let profile: Vec<f64> = data
+        .iter()
+        .map(|&v| {
+            acc += v - mean;
+            acc
+        })
+        .collect();
+    let reversed: Vec<f64> = profile.iter().rev().copied().collect();
+
+    let min_scale = (config.order + 3).max(8);
+    let scales: Vec<usize> = dyadic_scales(profile.len(), 4)?
+        .into_iter()
+        .filter(|&s| s >= min_scale)
+        .collect();
+    if scales.len() < 3 {
+        return Err(Error::TooShort {
+            required: 256,
+            actual: data.len(),
+        });
+    }
+
+    // Per-scale squared fluctuations for every window (forward + reversed).
+    let mut fluctuations: Vec<Vec<f64>> = Vec::with_capacity(scales.len());
+    for &s in &scales {
+        let mut sq = Vec::new();
+        for block in profile.chunks_exact(s) {
+            sq.push(detrend::fluctuation(block, config.order)?);
+        }
+        for block in reversed.chunks_exact(s) {
+            sq.push(detrend::fluctuation(block, config.order)?);
+        }
+        fluctuations.push(sq);
+    }
+
+    let mut exponents = Vec::with_capacity(config.qs.len());
+    let mut r2 = Vec::with_capacity(config.qs.len());
+    for &q in &config.qs {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (si, sq) in fluctuations.iter().enumerate() {
+            let positive: Vec<f64> = sq.iter().copied().filter(|&v| v > 0.0).collect();
+            if positive.is_empty() {
+                continue;
+            }
+            let fq = if q.abs() < 1e-9 {
+                // q → 0 limit: geometric mean.
+                (0.5 * positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+            } else {
+                (positive.iter().map(|&v| v.powf(q / 2.0)).sum::<f64>() / positive.len() as f64)
+                    .powf(1.0 / q)
+            };
+            if fq > 0.0 && fq.is_finite() {
+                xs.push((scales[si] as f64).ln());
+                ys.push(fq.ln());
+            }
+        }
+        if xs.len() < 3 {
+            return Err(Error::Numerical(format!(
+                "not enough valid MF-DFA points for q={q}"
+            )));
+        }
+        let fit = ols(&xs, &ys)?;
+        exponents.push(fit.slope);
+        r2.push(fit.r_squared);
+    }
+
+    let tau_q: Vec<f64> = config
+        .qs
+        .iter()
+        .zip(&exponents)
+        .map(|(&q, &h)| q * h - 1.0)
+        .collect();
+    let spectrum = legendre(&config.qs, &tau_q)?;
+    Ok(MfdfaResult {
+        h_q: ScalingExponents {
+            qs: config.qs.clone(),
+            exponents,
+            r_squared: r2,
+        },
+        tau_q,
+        spectrum,
+    })
+}
+
+/// Wavelet-leader log-cumulants.
+///
+/// `C₁(j) = mean(ln ℓ_j)` and `C₂(j) = var(ln ℓ_j)` behave as
+/// `C_m(j) ≈ c_m⁰ + c_m · j·ln2`; `c₁` estimates the typical Hölder
+/// exponent and `c₂ ≤ 0` quantifies multifractality (`c₂ ≈ 0` for a
+/// monofractal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogCumulants {
+    /// First log-cumulant (typical Hölder exponent).
+    pub c1: f64,
+    /// Second log-cumulant (≈ 0 monofractal, < 0 multifractal).
+    pub c2: f64,
+}
+
+/// Estimates wavelet-leader log-cumulants of `data`.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] when the dyadic prefix cannot support
+/// `levels`, plus parameter and fit failures.
+pub fn leader_cumulants(
+    data: &[f64],
+    wavelet: Wavelet,
+    levels: usize,
+    fit_min_level: usize,
+) -> Result<LogCumulants> {
+    if levels < 3 {
+        return Err(Error::invalid("levels", "must be at least 3"));
+    }
+    if fit_min_level == 0 || fit_min_level + 2 > levels {
+        return Err(Error::invalid(
+            "fit_min_level",
+            "must be >= 1 and leave at least 3 levels",
+        ));
+    }
+    let leaders = WaveletLeaders::compute(data, wavelet, levels)?;
+    let ln2 = std::f64::consts::LN_2;
+    let mut xs = Vec::new();
+    let mut c1_y = Vec::new();
+    let mut c2_y = Vec::new();
+    for j in fit_min_level..=levels {
+        let band: Vec<f64> = leaders
+            .band(j)
+            .iter()
+            .copied()
+            .filter(|&l| l > 0.0)
+            .collect();
+        if band.len() < 4 {
+            continue;
+        }
+        let logs: Vec<f64> = band.iter().map(|l| l.ln()).collect();
+        xs.push(j as f64 * ln2);
+        c1_y.push(stats::mean(&logs)?);
+        c2_y.push(stats::population_variance(&logs)?);
+    }
+    if xs.len() < 3 {
+        return Err(Error::Numerical(
+            "not enough valid levels for log-cumulants".into(),
+        ));
+    }
+    let c1 = ols(&xs, &c1_y)?.slope;
+    let c2 = ols(&xs, &c2_y)?.slope;
+    Ok(LogCumulants { c1, c2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn legendre_of_linear_tau_is_single_point() {
+        // τ(q) = qH − 1 → α ≡ H, f ≡ 1.
+        let qs = default_qs();
+        let tau: Vec<f64> = qs.iter().map(|&q| q * 0.6 - 1.0).collect();
+        let spec = legendre(&qs, &tau).unwrap();
+        for p in &spec {
+            assert!((p.alpha - 0.6).abs() < 1e-9);
+            assert!((p.f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn legendre_guards() {
+        assert!(legendre(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(legendre(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn partition_function_matches_cascade_theory() {
+        let m0 = 0.3;
+        let measure = generate::binomial_cascade(12, m0, false, 0).unwrap();
+        let qs = vec![-3.0, -2.0, -1.0, 0.5, 1.0, 2.0, 3.0, 4.0];
+        let est = partition_function(&measure, &qs).unwrap();
+        for (i, &q) in qs.iter().enumerate() {
+            let theory = generate::binomial_cascade_tau(m0, q);
+            assert!(
+                (est.exponents[i] - theory).abs() < 0.05,
+                "q={q}: {} vs {theory}",
+                est.exponents[i]
+            );
+            assert!(est.r_squared[i] > 0.999, "q={q}");
+        }
+    }
+
+    #[test]
+    fn partition_function_guards() {
+        let m = generate::binomial_cascade(6, 0.4, false, 0).unwrap();
+        assert!(partition_function(&m[..48], &[1.0]).is_err()); // not pow2
+        assert!(partition_function(&m, &[]).is_err());
+        assert!(partition_function(&[-1.0; 16], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn structure_function_linear_for_fbm() {
+        let x = generate::fbm(8192, 0.6, 1).unwrap();
+        let qs = vec![1.0, 2.0, 3.0];
+        let est = structure_function(&x, &qs).unwrap();
+        // ζ(q) ≈ qH.
+        for (i, &q) in qs.iter().enumerate() {
+            assert!(
+                (est.exponents[i] - q * 0.6).abs() < 0.15 * q,
+                "q={q}: {}",
+                est.exponents[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mfdfa_recovers_hurst_of_fgn() {
+        for &(h, seed) in &[(0.3, 2u64), (0.7, 3)] {
+            let x = generate::fgn(8192, h, seed).unwrap();
+            let res = mfdfa(&x, &MfdfaConfig::default()).unwrap();
+            let h2 = res.hurst().expect("q=2 in default grid");
+            assert!((h2 - h).abs() < 0.1, "H={h}: h(2) {h2}");
+        }
+    }
+
+    #[test]
+    fn mfdfa_monofractal_narrow_multifractal_wide() {
+        let mono = generate::fgn(8192, 0.6, 4).unwrap();
+        let mono_res = mfdfa(&mono, &MfdfaConfig::default()).unwrap();
+
+        let cascade = generate::binomial_cascade(13, 0.3, true, 5).unwrap();
+        let multi_res = mfdfa(&cascade, &MfdfaConfig::default()).unwrap();
+
+        assert!(
+            multi_res.width() > mono_res.width() + 0.3,
+            "mono {} multi {}",
+            mono_res.width(),
+            multi_res.width()
+        );
+    }
+
+    #[test]
+    fn mfdfa_h_q_nonincreasing_for_cascade() {
+        let cascade = generate::binomial_cascade(13, 0.25, true, 6).unwrap();
+        let res = mfdfa(&cascade, &MfdfaConfig::default()).unwrap();
+        // h(q) must (weakly) decrease with q for a multiplicative cascade.
+        let h = &res.h_q.exponents;
+        assert!(
+            h.first().unwrap() > h.last().unwrap(),
+            "h(-5)={} h(5)={}",
+            h.first().unwrap(),
+            h.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn mfdfa_spectrum_roughly_concave() {
+        let cascade = generate::binomial_cascade(13, 0.3, true, 7).unwrap();
+        let res = mfdfa(&cascade, &MfdfaConfig::default()).unwrap();
+        // The spectrum apex should exceed the endpoints.
+        let fmax = res.spectrum.iter().map(|p| p.f).fold(f64::MIN, f64::max);
+        let f_first = res.spectrum.first().unwrap().f;
+        let f_last = res.spectrum.last().unwrap().f;
+        assert!(fmax >= f_first && fmax >= f_last);
+        assert!(fmax <= 1.05, "f_max {fmax}");
+    }
+
+    #[test]
+    fn mfdfa_guards() {
+        let x = generate::white_noise(512, 8).unwrap();
+        assert!(mfdfa(&x[..100], &MfdfaConfig::default()).is_err());
+        assert!(mfdfa(
+            &x,
+            &MfdfaConfig {
+                order: 0,
+                qs: default_qs()
+            }
+        )
+        .is_err());
+        assert!(mfdfa(
+            &x,
+            &MfdfaConfig {
+                order: 1,
+                qs: vec![]
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cumulants_monofractal_vs_multifractal() {
+        let mono = generate::fbm(8192, 0.5, 9).unwrap();
+        let lc_mono = leader_cumulants(&mono, Wavelet::Daubechies6, 9, 3).unwrap();
+        assert!((lc_mono.c1 - 0.5).abs() < 0.2, "c1 {}", lc_mono.c1);
+        assert!(lc_mono.c2.abs() < 0.08, "c2 {}", lc_mono.c2);
+
+        // Multifractal cascade "noise": analyse its profile (random walk
+        // with cascade-sized steps).
+        let cascade = generate::binomial_cascade(13, 0.25, true, 10).unwrap();
+        let mut acc = 0.0;
+        let walk: Vec<f64> = cascade
+            .iter()
+            .map(|&m| {
+                acc += m;
+                acc
+            })
+            .collect();
+        let lc_multi = leader_cumulants(&walk, Wavelet::Daubechies6, 9, 3).unwrap();
+        assert!(
+            lc_multi.c2 < lc_mono.c2 - 0.02,
+            "mono c2 {} multi c2 {}",
+            lc_mono.c2,
+            lc_multi.c2
+        );
+    }
+
+    #[test]
+    fn cumulants_guards() {
+        let x = generate::white_noise(1024, 11).unwrap();
+        assert!(leader_cumulants(&x, Wavelet::Haar, 2, 1).is_err());
+        assert!(leader_cumulants(&x, Wavelet::Haar, 6, 5).is_err());
+        assert!(leader_cumulants(&x[..16], Wavelet::Haar, 6, 2).is_err());
+    }
+
+    #[test]
+    fn scaling_exponents_width_helper() {
+        let qs = default_qs();
+        let tau: Vec<f64> = qs.iter().map(|&q| q * 0.5 - 1.0).collect();
+        let se = ScalingExponents {
+            qs,
+            exponents: tau,
+            r_squared: vec![1.0; 12],
+        };
+        assert!(se.legendre_width().unwrap() < 1e-9);
+    }
+}

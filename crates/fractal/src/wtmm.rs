@@ -1,0 +1,257 @@
+//! Wavelet-transform modulus-maxima (WTMM) partition function — the
+//! multifractal formalism of Muzy, Bacry & Arneodo that the target paper's
+//! era of analysis toolboxes (FracLab) implemented.
+//!
+//! The CWT is computed on a dyadic scale grid; at each scale the local
+//! modulus maxima are extracted and the partition function
+//! `Z(q, s) = Σ_maxima |W(s, t)|^q` is regressed against scale to obtain
+//! `τ(q)`. For a monofractal signal with exponent `H`, `τ(q) = qH − 1`.
+//!
+//! This implementation uses per-scale maxima with a supremum link to the
+//! previous (finer) scale for stability, and restricts `q ≥ 0`
+//! (negative moments require full maxima-line chaining to be stable, which
+//! the leader formalism in [`crate::spectrum`] covers more robustly).
+
+// `!(x > 0)`-style comparisons below are deliberate: unlike `x <= 0`,
+// they also reject NaN, which is exactly what parameter validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+use crate::spectrum::{legendre, ScalingExponents, SpectrumPoint};
+use aging_timeseries::regression::ols;
+use aging_timeseries::{Error, Result};
+use aging_wavelet::cwt::{cwt, CwtWavelet};
+
+/// Configuration of the WTMM analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WtmmConfig {
+    /// Analysing wavelet.
+    pub wavelet: CwtWavelet,
+    /// Smallest scale in samples (≥ 1).
+    pub min_scale: f64,
+    /// Number of dyadic scales (`min_scale · 2^k`, `k < num_scales`).
+    pub num_scales: usize,
+    /// Non-negative moment orders.
+    pub qs: Vec<f64>,
+    /// Modulus threshold below which maxima are ignored (relative to the
+    /// scale's maximum modulus).
+    pub relative_threshold: f64,
+}
+
+impl Default for WtmmConfig {
+    fn default() -> Self {
+        WtmmConfig {
+            wavelet: CwtWavelet::MexicanHat,
+            min_scale: 2.0,
+            num_scales: 6,
+            qs: vec![0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0],
+            relative_threshold: 1e-4,
+        }
+    }
+}
+
+impl WtmmConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.min_scale >= 1.0) {
+            return Err(Error::invalid("min_scale", "must be at least 1"));
+        }
+        if self.num_scales < 3 {
+            return Err(Error::invalid("num_scales", "must be at least 3"));
+        }
+        if self.qs.is_empty() {
+            return Err(Error::invalid("qs", "must not be empty"));
+        }
+        if self.qs.iter().any(|&q| q < 0.0) {
+            return Err(Error::invalid(
+                "qs",
+                "this WTMM variant supports q >= 0 only (use wavelet leaders for q < 0)",
+            ));
+        }
+        if !(0.0..1.0).contains(&self.relative_threshold) {
+            return Err(Error::invalid(
+                "relative_threshold",
+                "must lie in [0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a WTMM analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WtmmResult {
+    /// Scaling exponents `τ(q)`.
+    pub tau: ScalingExponents,
+    /// Singularity spectrum from the Legendre transform.
+    pub spectrum: Vec<SpectrumPoint>,
+    /// Number of maxima found per scale.
+    pub maxima_counts: Vec<usize>,
+}
+
+impl WtmmResult {
+    /// `τ(2)/2 + 1/2`-style Hurst proxy: the slope `dτ/dq` at `q = 2` via
+    /// the spectrum point, i.e. `α(2)`.
+    pub fn alpha_at(&self, q: f64) -> Option<f64> {
+        self.spectrum
+            .iter()
+            .find(|p| (p.q - q).abs() < 1e-9)
+            .map(|p| p.alpha)
+    }
+}
+
+/// Runs the WTMM partition-function analysis on `data`.
+///
+/// # Errors
+///
+/// Propagates configuration and CWT failures; returns
+/// [`Error::Numerical`] when too few maxima survive to regress.
+pub fn wtmm(data: &[f64], config: &WtmmConfig) -> Result<WtmmResult> {
+    config.validate()?;
+    Error::require_len(data, 128)?;
+    let scales: Vec<f64> = (0..config.num_scales)
+        .map(|k| config.min_scale * (1u64 << k) as f64)
+        .collect();
+    let res = cwt(data, config.wavelet, &scales)?;
+
+    // Per-scale modulus maxima. For q >= 0 the classical partition
+    // function uses the raw maxima moduli per scale (the supremum-link of
+    // the full maxima-line formalism is only needed to stabilise q < 0,
+    // and propagating one anomalously large fine-scale coefficient up the
+    // hierarchy flattens tau(q) at large q — the known "linearisation"
+    // artefact).
+    let mut maxima_per_scale: Vec<Vec<f64>> = Vec::with_capacity(scales.len());
+    let mut maxima_counts = Vec::with_capacity(scales.len());
+    for (si, _) in scales.iter().enumerate() {
+        let row = res.row(si);
+        let peak = row.iter().map(|v| v.abs()).fold(0.0, f64::max);
+        let threshold = peak * config.relative_threshold;
+        let positions = res.modulus_maxima(si, threshold);
+        // Exclude the cone of influence: near the boundary the truncated
+        // wavelet loses its zero mean and |W| reflects the raw signal
+        // level, producing enormous spurious maxima.
+        let margin = (config.wavelet.support_radius() * scales[si]).ceil() as usize;
+        // Convert to L1 normalisation (|W| ~ s^h for a local exponent h):
+        // the CWT itself is L2-normalised (|W| ~ s^{h + 1/2}).
+        let l1 = 1.0 / scales[si].sqrt();
+        let moduli: Vec<f64> = positions
+            .iter()
+            .filter(|&&t| t >= margin && t + margin < data.len())
+            .map(|&t| row[t].abs() * l1)
+            .collect();
+        maxima_counts.push(moduli.len());
+        maxima_per_scale.push(moduli);
+    }
+
+    // Partition function per q.
+    let mut exponents = Vec::with_capacity(config.qs.len());
+    let mut r2 = Vec::with_capacity(config.qs.len());
+    for &q in &config.qs {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for (si, moduli) in maxima_per_scale.iter().enumerate() {
+            if moduli.len() < 3 {
+                continue;
+            }
+            let z: f64 = moduli.iter().filter(|&&m| m > 0.0).map(|&m| m.powf(q)).sum();
+            if z > 0.0 && z.is_finite() {
+                xs.push(scales[si].ln());
+                ys.push(z.ln());
+            }
+        }
+        if xs.len() < 3 {
+            return Err(Error::Numerical(format!(
+                "not enough scales with maxima for q={q}"
+            )));
+        }
+        let fit = ols(&xs, &ys)?;
+        exponents.push(fit.slope);
+        r2.push(fit.r_squared);
+    }
+    let tau = ScalingExponents {
+        qs: config.qs.clone(),
+        exponents,
+        r_squared: r2,
+    };
+    let spectrum = legendre(&tau.qs, &tau.exponents)?;
+    Ok(WtmmResult {
+        tau,
+        spectrum,
+        maxima_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn config_validation() {
+        assert!(WtmmConfig::default().validate().is_ok());
+        let bad = |f: fn(&mut WtmmConfig)| {
+            let mut c = WtmmConfig::default();
+            f(&mut c);
+            c.validate().is_err()
+        };
+        assert!(bad(|c| c.min_scale = 0.5));
+        assert!(bad(|c| c.num_scales = 2));
+        assert!(bad(|c| c.qs.clear()));
+        assert!(bad(|c| c.qs = vec![-1.0, 1.0]));
+        assert!(bad(|c| c.relative_threshold = 1.0));
+    }
+
+    #[test]
+    fn tau_roughly_linear_for_fbm() {
+        let x = generate::fbm(4096, 0.6, 1).unwrap();
+        let res = wtmm(&x, &WtmmConfig::default()).unwrap();
+        // τ(q) ≈ qH − 1 for q in the stable range: check the increments.
+        let qs = &res.tau.qs;
+        let tau = &res.tau.exponents;
+        let i1 = qs.iter().position(|&q| q == 1.0).unwrap();
+        let i3 = qs.iter().position(|&q| q == 3.0).unwrap();
+        let slope = (tau[i3] - tau[i1]) / 2.0;
+        assert!((slope - 0.6).abs() < 0.2, "slope {slope}");
+    }
+
+    #[test]
+    fn tau_is_nondecreasing_and_concave_in_q() {
+        let x = generate::fbm(4096, 0.5, 2).unwrap();
+        let res = wtmm(&x, &WtmmConfig::default()).unwrap();
+        let tau = &res.tau.exponents;
+        for w in tau.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "tau must be nondecreasing");
+        }
+        // Concavity: second differences non-positive (within noise).
+        let qs = &res.tau.qs;
+        for i in 1..tau.len() - 1 {
+            let d1 = (tau[i] - tau[i - 1]) / (qs[i] - qs[i - 1]);
+            let d2 = (tau[i + 1] - tau[i]) / (qs[i + 1] - qs[i]);
+            assert!(d2 <= d1 + 0.1, "strong convexity at q={}", qs[i]);
+        }
+    }
+
+    #[test]
+    fn maxima_counts_decrease_with_scale() {
+        let x = generate::white_noise(4096, 3).unwrap();
+        let res = wtmm(&x, &WtmmConfig::default()).unwrap();
+        assert!(res.maxima_counts[0] > *res.maxima_counts.last().unwrap());
+    }
+
+    #[test]
+    fn alpha_accessor() {
+        let x = generate::fbm(2048, 0.5, 4).unwrap();
+        let res = wtmm(&x, &WtmmConfig::default()).unwrap();
+        assert!(res.alpha_at(2.0).is_some());
+        assert!(res.alpha_at(99.0).is_none());
+    }
+
+    #[test]
+    fn guards() {
+        let x = generate::white_noise(64, 5).unwrap();
+        assert!(wtmm(&x, &WtmmConfig::default()).is_err()); // too short
+    }
+}

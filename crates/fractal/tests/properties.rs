@@ -1,0 +1,89 @@
+//! Property-based tests for fractal-analysis invariants.
+
+use aging_fractal::{dimension, generate, holder, spectrum};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn holder_trace_in_bounds(seed in 0u64..1000, hurst in 0.15f64..0.9) {
+        let x = generate::fbm(512, hurst, seed).unwrap();
+        let t = holder::holder_trace(&x, &holder::HolderEstimator::default()).unwrap();
+        prop_assert_eq!(t.len(), x.len());
+        prop_assert!(t.iter().all(|&h| (-1.0..=2.0).contains(&h)));
+    }
+
+    #[test]
+    fn holder_trace_shift_invariant(seed in 0u64..1000, shift in -1e4f64..1e4) {
+        let x = generate::fbm(256, 0.5, seed).unwrap();
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let a = holder::holder_trace(&x, &holder::HolderEstimator::default()).unwrap();
+        let b = holder::holder_trace(&shifted, &holder::HolderEstimator::default()).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dimension_in_valid_range(seed in 0u64..1000, hurst in 0.15f64..0.9) {
+        let x = generate::fbm(512, hurst, seed).unwrap();
+        let d = dimension::variation(&x).unwrap();
+        prop_assert!((1.0..=2.0).contains(&d.dimension));
+        let b = dimension::box_counting(&x).unwrap();
+        prop_assert!((1.0..=2.0).contains(&b.dimension));
+    }
+
+    #[test]
+    fn dimension_translation_invariant(seed in 0u64..500, shift in -1e3f64..1e3) {
+        let x = generate::fbm(256, 0.4, seed).unwrap();
+        let shifted: Vec<f64> = x.iter().map(|v| v + shift).collect();
+        let a = dimension::variation(&x).unwrap().dimension;
+        let b = dimension::variation(&shifted).unwrap().dimension;
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fgn_deterministic(seed in 0u64..10_000, hurst in 0.1f64..0.95) {
+        let a = generate::fgn(128, hurst, seed).unwrap();
+        let b = generate::fgn(128, hurst, seed).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cascade_mass_conservation(levels in 2usize..12, m0 in 0.05f64..0.95, seed in 0u64..100) {
+        let m = generate::binomial_cascade(levels, m0, true, seed).unwrap();
+        prop_assert_eq!(m.len(), 1 << levels);
+        let total: f64 = m.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(m.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn legendre_f_never_exceeds_alpha_identity(q0 in 0.2f64..0.9) {
+        // For τ(q) = qH − 1 (monofractal), the transform must return the
+        // single point (H, 1) regardless of H.
+        let qs = spectrum::default_qs();
+        let tau: Vec<f64> = qs.iter().map(|&q| q * q0 - 1.0).collect();
+        let spec = spectrum::legendre(&qs, &tau).unwrap();
+        for p in spec {
+            prop_assert!((p.alpha - q0).abs() < 1e-9);
+            prop_assert!((p.f - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partition_tau_zero_at_q1(levels in 6usize..12, m0 in 0.1f64..0.9) {
+        // Σ μ = 1 at every box size ⇒ τ(1) = 0 for any measure.
+        let m = generate::binomial_cascade(levels, m0, false, 0).unwrap();
+        let est = spectrum::partition_function(&m, &[1.0]).unwrap();
+        prop_assert!(est.exponents[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn weierstrass_amplitude_independent_of_phase_scale(h in 0.2f64..0.8) {
+        let x = generate::weierstrass(256, h).unwrap();
+        prop_assert_eq!(x.len(), 256);
+        prop_assert!(x.iter().all(|v| v.is_finite()));
+    }
+}

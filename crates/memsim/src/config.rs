@@ -1,0 +1,192 @@
+//! Machine (hardware + OS) configuration.
+
+use crate::units::Bytes;
+use aging_timeseries::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// Static description of a simulated machine.
+///
+/// The presets mirror the class of hardware the target paper's testbed
+/// used (1999–2003 era Windows NT 4.0 / Windows 2000 workstations).
+///
+/// # Examples
+///
+/// ```
+/// use aging_memsim::MachineConfig;
+///
+/// let cfg = MachineConfig::workstation_nt4();
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable machine name (used in experiment reports).
+    pub name: String,
+    /// Physical RAM.
+    pub ram: Bytes,
+    /// Swap (page file) capacity.
+    pub swap: Bytes,
+    /// Memory held by the OS itself (never reclaimed).
+    pub os_overhead: Bytes,
+    /// Monitor sampling period in seconds (the paper's collector sampled
+    /// on a fixed period; 30 s is the default here).
+    pub sample_period_secs: f64,
+    /// Simulation step in seconds (must divide the sampling period).
+    pub step_secs: f64,
+    /// Fraction of the commit limit above which the pager thrashes.
+    pub thrash_threshold: f64,
+    /// Seconds of sustained thrashing that count as a hang/crash.
+    pub thrash_crash_secs: f64,
+}
+
+impl MachineConfig {
+    /// A late-1990s NT 4.0 workstation: 256 MiB RAM, 384 MiB swap.
+    pub fn workstation_nt4() -> Self {
+        MachineConfig {
+            name: "nt4-workstation".into(),
+            ram: Bytes::mib(256),
+            swap: Bytes::mib(384),
+            os_overhead: Bytes::mib(48),
+            sample_period_secs: 30.0,
+            step_secs: 1.0,
+            thrash_threshold: 0.96,
+            thrash_crash_secs: 600.0,
+        }
+    }
+
+    /// A Windows 2000 server: 512 MiB RAM, 768 MiB swap.
+    pub fn server_w2k() -> Self {
+        MachineConfig {
+            name: "w2k-server".into(),
+            ram: Bytes::mib(512),
+            swap: Bytes::mib(768),
+            os_overhead: Bytes::mib(80),
+            sample_period_secs: 30.0,
+            step_secs: 1.0,
+            thrash_threshold: 0.96,
+            thrash_crash_secs: 600.0,
+        }
+    }
+
+    /// A deliberately small machine for fast tests: 64 MiB RAM,
+    /// 64 MiB swap, 5 s sampling.
+    pub fn tiny_test() -> Self {
+        MachineConfig {
+            name: "tiny-test".into(),
+            ram: Bytes::mib(64),
+            swap: Bytes::mib(64),
+            os_overhead: Bytes::mib(8),
+            sample_period_secs: 5.0,
+            step_secs: 1.0,
+            thrash_threshold: 0.96,
+            thrash_crash_secs: 120.0,
+        }
+    }
+
+    /// The commit limit: RAM + swap.
+    pub fn commit_limit(&self) -> Bytes {
+        self.ram + self.swap
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.ram == Bytes::ZERO {
+            return Err(Error::invalid("ram", "must be positive"));
+        }
+        if self.os_overhead >= self.ram {
+            return Err(Error::invalid("os_overhead", "must be below ram"));
+        }
+        if !(self.step_secs > 0.0 && self.step_secs.is_finite()) {
+            return Err(Error::invalid("step_secs", "must be finite and positive"));
+        }
+        if self.sample_period_secs < self.step_secs {
+            return Err(Error::invalid(
+                "sample_period_secs",
+                "must be at least step_secs",
+            ));
+        }
+        let ratio = self.sample_period_secs / self.step_secs;
+        if (ratio - ratio.round()).abs() > 1e-9 {
+            return Err(Error::invalid(
+                "sample_period_secs",
+                "must be an integer multiple of step_secs",
+            ));
+        }
+        if !(0.5..=1.0).contains(&self.thrash_threshold) {
+            return Err(Error::invalid(
+                "thrash_threshold",
+                "must lie in [0.5, 1.0]",
+            ));
+        }
+        if self.thrash_crash_secs <= 0.0 {
+            return Err(Error::invalid("thrash_crash_secs", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::workstation_nt4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        MachineConfig::workstation_nt4().validate().unwrap();
+        MachineConfig::server_w2k().validate().unwrap();
+        MachineConfig::tiny_test().validate().unwrap();
+    }
+
+    #[test]
+    fn commit_limit_is_ram_plus_swap() {
+        let cfg = MachineConfig::workstation_nt4();
+        assert_eq!(cfg.commit_limit(), Bytes::mib(640));
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let good = MachineConfig::tiny_test();
+
+        let mut c = good.clone();
+        c.ram = Bytes::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.os_overhead = c.ram;
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.step_secs = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.sample_period_secs = 0.5; // below step
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.sample_period_secs = 2.5; // not a multiple of 1.0
+        assert!(c.validate().is_err());
+
+        let mut c = good.clone();
+        c.thrash_threshold = 0.2;
+        assert!(c.validate().is_err());
+
+        let mut c = good;
+        c.thrash_crash_secs = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn default_is_nt4() {
+        assert_eq!(MachineConfig::default().name, "nt4-workstation");
+    }
+}

@@ -1,0 +1,133 @@
+//! Seeded sampling helpers for the heavy-tailed distributions that make
+//! simulated memory traffic bursty and (multi)fractal.
+//!
+//! Heavy-tailed ON/OFF activity and job sizes are the canonical mechanism
+//! behind self-similar and multifractal load in measured systems
+//! (Willinger et al.; Crovella & Bestavros), so the workload generator
+//! leans on Pareto and log-normal draws throughout.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One standard normal variate (Marsaglia polar method).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Log-normal variate with the given parameters of the underlying normal
+/// (`mu`, `sigma` are the log-space mean and standard deviation).
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Pareto (type I) variate with scale `xm > 0` and shape `alpha > 0`.
+/// Heavy-tailed for small `alpha`; infinite variance when `alpha ≤ 2`.
+pub fn pareto(rng: &mut StdRng, xm: f64, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    xm / u.powf(1.0 / alpha)
+}
+
+/// Exponential variate with the given mean.
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Poisson variate with the given mean (Knuth's method below 30, normal
+/// approximation above — adequate for workload arrival counts).
+pub fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let v = mean + mean.sqrt() * standard_normal(rng);
+        if v < 0.0 {
+            0
+        } else {
+            v.round() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn log_normal_median_is_exp_mu() {
+        let mut r = rng(1);
+        let mut xs: Vec<f64> = (0..20_000).map(|_| log_normal(&mut r, 2.0, 0.8)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 2.0f64.exp()).abs() < 0.3, "median {median}");
+        assert!(xs.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut r = rng(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| pareto(&mut r, 3.0, 1.5)).collect();
+        assert!(xs.iter().all(|&v| v >= 3.0));
+        // P(X > 2·xm) = 2^{-α} ≈ 0.3536.
+        let frac = xs.iter().filter(|&&v| v > 6.0).count() as f64 / xs.len() as f64;
+        assert!((frac - 0.3536).abs() < 0.02, "tail fraction {frac}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng(3);
+        let xs: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 5.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large_mean() {
+        for &mean in &[3.0, 80.0] {
+            let mut r = rng(4);
+            let xs: Vec<f64> = (0..20_000).map(|_| poisson(&mut r, mean) as f64).collect();
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / xs.len() as f64;
+            assert!((m - mean).abs() < 0.05 * mean + 0.2, "mean {m} vs {mean}");
+            assert!((var - mean).abs() < 0.1 * mean + 0.5, "var {var} vs {mean}");
+        }
+        assert_eq!(poisson(&mut rng(5), 0.0), 0);
+        assert_eq!(poisson(&mut rng(5), -1.0), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| pareto(&mut r, 1.0, 2.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(9);
+            (0..10).map(|_| pareto(&mut r, 1.0, 2.0)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

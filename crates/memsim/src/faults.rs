@@ -1,0 +1,439 @@
+//! Aging fault injection.
+//!
+//! Software aging in the target paper's sense is the slow, workload-driven
+//! depletion of memory resources. This module injects its classical causes:
+//! heap leaks (never-freed allocations), allocator fragmentation growth
+//! (free memory that exists but cannot be used), and handle/object leaks.
+
+use crate::units::Bytes;
+use aging_timeseries::{Error, Result};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Temporal shape of a leak.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum LeakMode {
+    /// Continuous drip at the configured rate.
+    Linear,
+    /// A lump of `period_secs × rate` leaks every `period_secs` (e.g. a
+    /// nightly job that never frees its buffer).
+    Step {
+        /// Period between lumps, in seconds.
+        period_secs: f64,
+    },
+    /// Leakage tied to load: each step leaks `rate × dt` with probability
+    /// `p`, scaled by `1/p` so the long-run rate is preserved (models a
+    /// leak on an error path that only some requests hit).
+    Bursty {
+        /// Per-step probability that the leak fires.
+        p: f64,
+    },
+}
+
+/// A memory-leak specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakSpec {
+    /// Long-run leak rate in bytes per hour.
+    pub bytes_per_hour: f64,
+    /// Temporal shape.
+    pub mode: LeakMode,
+    /// Simulation time (seconds) at which the leak starts.
+    pub start_secs: f64,
+}
+
+impl LeakSpec {
+    /// A linear leak of `mib_per_hour` starting immediately.
+    pub fn linear_mib_per_hour(mib_per_hour: f64) -> Self {
+        LeakSpec {
+            bytes_per_hour: mib_per_hour * 1024.0 * 1024.0,
+            mode: LeakMode::Linear,
+            start_secs: 0.0,
+        }
+    }
+}
+
+/// Fragmentation growth: a fraction of nominally free memory becomes
+/// unusable, growing with uptime and saturating at `max_fraction`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FragmentationSpec {
+    /// Fraction lost per hour of uptime (e.g. 0.004 = 0.4 %/hour).
+    pub fraction_per_hour: f64,
+    /// Saturation ceiling in `[0, 0.9]`.
+    pub max_fraction: f64,
+}
+
+/// Handle/object leak: kernel objects that are opened and never closed.
+/// Each handle pins a small amount of non-paged memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HandleLeakSpec {
+    /// Handles leaked per hour.
+    pub handles_per_hour: f64,
+    /// Non-paged bytes pinned per handle.
+    pub bytes_per_handle: u64,
+}
+
+/// The complete fault plan of one simulated machine.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Heap leaks (possibly several independent ones).
+    pub leaks: Vec<LeakSpec>,
+    /// Fragmentation growth, if any.
+    pub fragmentation: Option<FragmentationSpec>,
+    /// Handle leak, if any.
+    pub handle_leak: Option<HandleLeakSpec>,
+}
+
+impl FaultPlan {
+    /// A healthy machine: no injected aging.
+    pub fn healthy() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The canonical aging scenario used by the experiments: a linear heap
+    /// leak plus slow fragmentation and a handle leak.
+    pub fn aging(mib_per_hour: f64) -> Self {
+        FaultPlan {
+            leaks: vec![LeakSpec::linear_mib_per_hour(mib_per_hour)],
+            fragmentation: Some(FragmentationSpec {
+                fraction_per_hour: 0.002,
+                max_fraction: 0.25,
+            }),
+            handle_leak: Some(HandleLeakSpec {
+                handles_per_hour: 360.0,
+                bytes_per_handle: 4096,
+            }),
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        for (i, leak) in self.leaks.iter().enumerate() {
+            if !(leak.bytes_per_hour >= 0.0 && leak.bytes_per_hour.is_finite()) {
+                return Err(Error::invalid(
+                    "leaks",
+                    format!("leak {i}: bytes_per_hour must be finite and >= 0"),
+                ));
+            }
+            if leak.start_secs < 0.0 {
+                return Err(Error::invalid(
+                    "leaks",
+                    format!("leak {i}: start_secs must be >= 0"),
+                ));
+            }
+            match leak.mode {
+                LeakMode::Step { period_secs } if period_secs <= 0.0 => {
+                    return Err(Error::invalid(
+                        "leaks",
+                        format!("leak {i}: step period must be positive"),
+                    ));
+                }
+                LeakMode::Bursty { p } if !(0.0 < p && p <= 1.0) => {
+                    return Err(Error::invalid(
+                        "leaks",
+                        format!("leak {i}: bursty p must lie in (0, 1]"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if let Some(f) = &self.fragmentation {
+            if !(f.fraction_per_hour >= 0.0 && f.fraction_per_hour.is_finite()) {
+                return Err(Error::invalid(
+                    "fragmentation",
+                    "fraction_per_hour must be finite and >= 0",
+                ));
+            }
+            if !(0.0..=0.9).contains(&f.max_fraction) {
+                return Err(Error::invalid(
+                    "fragmentation",
+                    "max_fraction must lie in [0, 0.9]",
+                ));
+            }
+        }
+        if let Some(h) = &self.handle_leak {
+            if !(h.handles_per_hour >= 0.0 && h.handles_per_hour.is_finite()) {
+                return Err(Error::invalid(
+                    "handle_leak",
+                    "handles_per_hour must be finite and >= 0",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime state of the fault plan: accumulates leaked bytes, fragmentation
+/// fraction and leaked handles over simulation steps.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    leaked: Bytes,
+    step_accumulators: Vec<f64>,
+    handles: f64,
+    frag_fraction: f64,
+}
+
+impl FaultState {
+    /// Creates fault state for a validated plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::validate`] failures.
+    pub fn new(plan: FaultPlan) -> Result<Self> {
+        plan.validate()?;
+        let n = plan.leaks.len();
+        Ok(FaultState {
+            plan,
+            leaked: Bytes::ZERO,
+            step_accumulators: vec![0.0; n],
+            handles: 0.0,
+            frag_fraction: 0.0,
+        })
+    }
+
+    /// Total heap bytes leaked so far.
+    pub fn leaked(&self) -> Bytes {
+        self.leaked
+    }
+
+    /// Current leaked handle count.
+    pub fn handle_count(&self) -> u64 {
+        self.handles as u64
+    }
+
+    /// Non-paged bytes pinned by leaked handles.
+    pub fn handle_bytes(&self) -> Bytes {
+        match &self.plan.handle_leak {
+            Some(h) => Bytes::from_f64(self.handles.floor() * h.bytes_per_handle as f64),
+            None => Bytes::ZERO,
+        }
+    }
+
+    /// Current fragmentation fraction in `[0, max_fraction]`.
+    pub fn fragmentation_fraction(&self) -> f64 {
+        self.frag_fraction
+    }
+
+    /// Advances the fault clock by `dt` seconds at time `now`, returning
+    /// the **newly** leaked heap bytes this step.
+    pub fn step(&mut self, now: f64, dt: f64, rng: &mut StdRng) -> Bytes {
+        let mut new_leak = 0.0f64;
+        for (i, leak) in self.plan.leaks.iter().enumerate() {
+            if now < leak.start_secs || leak.bytes_per_hour <= 0.0 {
+                continue;
+            }
+            let rate_per_sec = leak.bytes_per_hour / 3600.0;
+            match leak.mode {
+                LeakMode::Linear => new_leak += rate_per_sec * dt,
+                LeakMode::Step { period_secs } => {
+                    self.step_accumulators[i] += dt;
+                    if self.step_accumulators[i] >= period_secs {
+                        self.step_accumulators[i] -= period_secs;
+                        new_leak += rate_per_sec * period_secs;
+                    }
+                }
+                LeakMode::Bursty { p } => {
+                    if rng.gen_bool(p) {
+                        new_leak += rate_per_sec * dt / p;
+                    }
+                }
+            }
+        }
+        let delta = Bytes::from_f64(new_leak);
+        self.leaked += delta;
+
+        if let Some(h) = &self.plan.handle_leak {
+            self.handles += h.handles_per_hour / 3600.0 * dt;
+        }
+        if let Some(f) = &self.plan.fragmentation {
+            self.frag_fraction =
+                (self.frag_fraction + f.fraction_per_hour / 3600.0 * dt).min(f.max_fraction);
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn plans_validate() {
+        FaultPlan::healthy().validate().unwrap();
+        FaultPlan::aging(16.0).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut plan = FaultPlan::healthy();
+        plan.leaks.push(LeakSpec {
+            bytes_per_hour: -1.0,
+            mode: LeakMode::Linear,
+            start_secs: 0.0,
+        });
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: 100.0,
+                mode: LeakMode::Step { period_secs: 0.0 },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: 100.0,
+                mode: LeakMode::Bursty { p: 0.0 },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+
+        let plan = FaultPlan {
+            fragmentation: Some(FragmentationSpec {
+                fraction_per_hour: 0.01,
+                max_fraction: 0.99,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(plan.validate().is_err());
+    }
+
+    #[test]
+    fn linear_leak_rate_is_exact() {
+        let mut state =
+            FaultState::new(FaultPlan::aging(36.0)).unwrap();
+        let mut r = rng();
+        for step in 0..3600 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        // 36 MiB/hour over exactly one hour.
+        let leaked = state.leaked().as_mib();
+        assert!((leaked - 36.0).abs() < 0.5, "leaked {leaked} MiB");
+    }
+
+    #[test]
+    fn step_leak_quantises() {
+        let plan = FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: 3600.0 * 100.0, // 100 B/s long-run
+                mode: LeakMode::Step { period_secs: 60.0 },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = FaultState::new(plan).unwrap();
+        let mut r = rng();
+        let mut before_first_lump = Bytes::ZERO;
+        for step in 0..59 {
+            state.step(step as f64, 1.0, &mut r);
+            before_first_lump = state.leaked();
+        }
+        assert_eq!(before_first_lump, Bytes::ZERO);
+        state.step(59.0, 1.0, &mut r);
+        assert_eq!(state.leaked(), Bytes::new(6000)); // 100 B/s × 60 s
+    }
+
+    #[test]
+    fn bursty_leak_preserves_long_run_rate() {
+        let plan = FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: 3600.0 * 1000.0, // 1000 B/s long-run
+                mode: LeakMode::Bursty { p: 0.05 },
+                start_secs: 0.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = FaultState::new(plan).unwrap();
+        let mut r = rng();
+        for step in 0..20_000 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        let expected = 20_000.0 * 1000.0;
+        let got = state.leaked().as_f64();
+        assert!(
+            (got - expected).abs() < 0.1 * expected,
+            "got {got} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn leak_start_time_respected() {
+        let plan = FaultPlan {
+            leaks: vec![LeakSpec {
+                bytes_per_hour: 3_600_000.0,
+                mode: LeakMode::Linear,
+                start_secs: 100.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut state = FaultState::new(plan).unwrap();
+        let mut r = rng();
+        for step in 0..100 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        assert_eq!(state.leaked(), Bytes::ZERO);
+        state.step(100.0, 1.0, &mut r);
+        assert!(state.leaked() > Bytes::ZERO);
+    }
+
+    #[test]
+    fn fragmentation_saturates() {
+        let plan = FaultPlan {
+            fragmentation: Some(FragmentationSpec {
+                fraction_per_hour: 0.5,
+                max_fraction: 0.3,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut state = FaultState::new(plan).unwrap();
+        let mut r = rng();
+        for step in 0..7200 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        assert!((state.fragmentation_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handle_leak_accumulates() {
+        let mut state = FaultState::new(FaultPlan::aging(0.0)).unwrap();
+        let mut r = rng();
+        for step in 0..3600 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        // 360 handles/hour.
+        assert!((state.handle_count() as i64 - 360).abs() <= 1);
+        assert_eq!(
+            state.handle_bytes(),
+            Bytes::new(state.handle_count() * 4096)
+        );
+    }
+
+    #[test]
+    fn healthy_plan_never_ages() {
+        let mut state = FaultState::new(FaultPlan::healthy()).unwrap();
+        let mut r = rng();
+        for step in 0..10_000 {
+            state.step(step as f64, 1.0, &mut r);
+        }
+        assert_eq!(state.leaked(), Bytes::ZERO);
+        assert_eq!(state.handle_count(), 0);
+        assert_eq!(state.fragmentation_fraction(), 0.0);
+    }
+}

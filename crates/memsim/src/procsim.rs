@@ -1,0 +1,488 @@
+//! Multi-process machines: several workloads with independent fault plans
+//! sharing one memory subsystem — so aging can be *attributed* to a
+//! process and cured by restarting only that process
+//! ("micro-rejuvenation", the application-level rejuvenation granularity
+//! of Huang et al.).
+//!
+//! The aggregate counters match the single-process [`crate::Machine`]
+//! semantics; per-process private-bytes series come on top.
+
+use crate::config::MachineConfig;
+use crate::faults::{FaultPlan, FaultState};
+use crate::memory::{CrashCause, MemorySubsystem, PagingModel};
+use crate::monitor::{CrashEvent, MonitorLog, Sample};
+use crate::units::{Bytes, SimTime};
+use crate::workload::{WorkloadConfig, WorkloadSampler};
+use aging_timeseries::{Error, Result, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One process of a multi-process scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessSpec {
+    /// Process name (unique within the scenario).
+    pub name: String,
+    /// The process's workload.
+    pub workload: WorkloadConfig,
+    /// The process's aging faults.
+    pub faults: FaultPlan,
+}
+
+/// A multi-process experiment scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiScenario {
+    /// Scenario label.
+    pub name: String,
+    /// Machine description.
+    pub machine: MachineConfig,
+    /// The hosted processes.
+    pub processes: Vec<ProcessSpec>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MultiScenario {
+    /// The canonical demo: a leaky app, a healthy database and a healthy
+    /// cache sharing an NT4-class machine.
+    pub fn leaky_app_with_neighbours(seed: u64, leak_mib_per_hour: f64) -> Self {
+        let mut app = WorkloadConfig::web_server();
+        app.base_rate = 8.0;
+        let mut db = WorkloadConfig::interactive();
+        db.base_rate = 3.0;
+        let mut cache = WorkloadConfig::interactive();
+        cache.base_rate = 2.0;
+        MultiScenario {
+            name: format!("leaky-app-{seed}"),
+            machine: MachineConfig::workstation_nt4(),
+            processes: vec![
+                ProcessSpec {
+                    name: "app".into(),
+                    workload: app,
+                    faults: FaultPlan::aging(leak_mib_per_hour),
+                },
+                ProcessSpec {
+                    name: "db".into(),
+                    workload: db,
+                    faults: FaultPlan::healthy(),
+                },
+                ProcessSpec {
+                    name: "cache".into(),
+                    workload: cache,
+                    faults: FaultPlan::healthy(),
+                },
+            ],
+            seed,
+        }
+    }
+
+    /// Validates the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty or
+    /// duplicate-named process list and propagates member validation.
+    pub fn validate(&self) -> Result<()> {
+        self.machine.validate()?;
+        if self.processes.is_empty() {
+            return Err(Error::invalid("processes", "must not be empty"));
+        }
+        let mut names = std::collections::BTreeSet::new();
+        for p in &self.processes {
+            if !names.insert(&p.name) {
+                return Err(Error::invalid(
+                    "processes",
+                    format!("duplicate process name `{}`", p.name),
+                ));
+            }
+            p.workload.validate()?;
+            p.faults.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct ProcessState {
+    name: String,
+    sampler: WorkloadSampler,
+    faults: FaultState,
+    fault_plan: FaultPlan,
+    memory: MemorySubsystem,
+    alloc_bytes_this_step: f64,
+}
+
+impl ProcessState {
+    fn private_bytes(&self) -> Bytes {
+        self.memory.live() + self.faults.leaked() + self.faults.handle_bytes()
+    }
+}
+
+/// A running multi-process machine.
+#[derive(Debug)]
+pub struct MultiMachine {
+    config: MachineConfig,
+    paging: PagingModel,
+    processes: Vec<ProcessState>,
+    rng: StdRng,
+    step_index: u64,
+    steps_per_sample: u64,
+    thrash_secs: f64,
+    alloc_bytes_since_sample: f64,
+    log: MonitorLog,
+    private_series: BTreeMap<String, Vec<f64>>,
+    crashed: Option<CrashEvent>,
+    restarts: BTreeMap<String, usize>,
+}
+
+impl MultiMachine {
+    /// Boots the machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MultiScenario::validate`] failures.
+    pub fn boot(scenario: &MultiScenario) -> Result<Self> {
+        scenario.validate()?;
+        let steps_per_sample =
+            (scenario.machine.sample_period_secs / scenario.machine.step_secs).round() as u64;
+        let processes = scenario
+            .processes
+            .iter()
+            .map(|spec| {
+                Ok(ProcessState {
+                    name: spec.name.clone(),
+                    sampler: WorkloadSampler::new(spec.workload.clone())?,
+                    faults: FaultState::new(spec.faults.clone())?,
+                    fault_plan: spec.faults.clone(),
+                    memory: MemorySubsystem::new(&scenario.machine)?,
+                    alloc_bytes_this_step: 0.0,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let private_series = scenario
+            .processes
+            .iter()
+            .map(|p| (p.name.clone(), Vec::new()))
+            .collect();
+        Ok(MultiMachine {
+            config: scenario.machine.clone(),
+            paging: PagingModel::of(&scenario.machine),
+            processes,
+            rng: StdRng::seed_from_u64(scenario.seed),
+            step_index: 0,
+            steps_per_sample,
+            thrash_secs: 0.0,
+            alloc_bytes_since_sample: 0.0,
+            log: MonitorLog::new(scenario.machine.sample_period_secs)?,
+            private_series,
+            crashed: None,
+            restarts: BTreeMap::new(),
+        })
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_secs(self.step_index as f64 * self.config.step_secs)
+    }
+
+    /// Whether the machine has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.is_some()
+    }
+
+    /// The aggregate monitor log.
+    pub fn log(&self) -> &MonitorLog {
+        &self.log
+    }
+
+    /// Process names, in scenario order.
+    pub fn process_names(&self) -> Vec<&str> {
+        self.processes.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// The private-bytes series of one process (sampled on the monitor
+    /// grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an unknown process and
+    /// [`Error::Empty`] before the first sample.
+    pub fn private_bytes_series(&self, process: &str) -> Result<TimeSeries> {
+        let values = self
+            .private_series
+            .get(process)
+            .ok_or_else(|| Error::invalid("process", format!("unknown process `{process}`")))?;
+        if values.is_empty() {
+            return Err(Error::Empty);
+        }
+        TimeSeries::from_values(0.0, self.config.sample_period_secs, values.clone())
+    }
+
+    /// Number of restarts performed per process.
+    pub fn restarts(&self, process: &str) -> usize {
+        self.restarts.get(process).copied().unwrap_or(0)
+    }
+
+    /// Total commit charge across processes plus OS overhead.
+    fn committed(&self) -> Bytes {
+        let process_bytes: Bytes = self.processes.iter().map(|p| p.private_bytes()).sum();
+        self.config.os_overhead + process_bytes
+    }
+
+    /// Advances one step; returns the crash event if the machine died.
+    pub fn step(&mut self) -> Option<CrashEvent> {
+        if self.crashed.is_some() {
+            return self.crashed;
+        }
+        let dt = self.config.step_secs;
+        let now = self.step_index as f64 * dt;
+
+        let mut step_alloc = 0.0;
+        for p in &mut self.processes {
+            p.alloc_bytes_this_step = 0.0;
+            for req in p.sampler.step(now, dt, &mut self.rng) {
+                let expiry = self.step_index + 1 + (req.lifetime_secs / dt).ceil() as u64;
+                p.memory.allocate(req.bytes, expiry);
+                p.alloc_bytes_this_step += req.bytes.as_f64();
+            }
+            p.memory.expire(self.step_index);
+            p.faults.step(now, dt, &mut self.rng);
+            step_alloc += p.alloc_bytes_this_step;
+        }
+        self.alloc_bytes_since_sample += step_alloc;
+
+        let committed = self.committed();
+        if self.paging.is_oom(committed) {
+            let event = CrashEvent {
+                time: self.now(),
+                cause: CrashCause::OutOfMemory,
+            };
+            self.log.record_crash(event);
+            self.crashed = Some(event);
+            return self.crashed;
+        }
+        // Worst fragmentation across process heaps dominates machine-level
+        // effectiveness.
+        let frag = self
+            .processes
+            .iter()
+            .map(|p| p.faults.fragmentation_fraction())
+            .fold(0.0, f64::max);
+        let live_total: Bytes = self.processes.iter().map(|p| p.memory.live()).sum();
+        let jitter: f64 = self.rng.gen_range(0.0..1.0);
+        let metrics = self
+            .paging
+            .metrics(committed, live_total, frag, step_alloc / dt, jitter);
+        if metrics.thrashing {
+            self.thrash_secs += dt;
+            if self.thrash_secs >= self.config.thrash_crash_secs {
+                let event = CrashEvent {
+                    time: self.now(),
+                    cause: CrashCause::Thrashing,
+                };
+                self.log.record_crash(event);
+                self.crashed = Some(event);
+                return self.crashed;
+            }
+        } else {
+            self.thrash_secs = 0.0;
+        }
+
+        if self.step_index % self.steps_per_sample == self.steps_per_sample - 1 {
+            let handle_count: u64 = self.processes.iter().map(|p| p.faults.handle_count()).sum();
+            let sample = Sample {
+                time: self.now(),
+                available: metrics.available,
+                used_swap: metrics.used_swap,
+                committed: metrics.committed,
+                live_heap: metrics.live_heap,
+                page_faults_per_sec: metrics.page_faults_per_sec,
+                handle_count,
+                alloc_rate: self.alloc_bytes_since_sample / self.config.sample_period_secs,
+            };
+            self.log.record(&sample);
+            for p in &self.processes {
+                self.private_series
+                    .get_mut(&p.name)
+                    .expect("initialised at boot")
+                    .push(p.private_bytes().as_f64());
+            }
+            self.alloc_bytes_since_sample = 0.0;
+        }
+        self.step_index += 1;
+        None
+    }
+
+    /// Runs for up to `secs` simulated seconds, stopping early on a crash.
+    pub fn run_for(&mut self, secs: f64) -> Option<CrashEvent> {
+        let steps = (secs / self.config.step_secs).ceil() as u64;
+        for _ in 0..steps {
+            if let Some(crash) = self.step() {
+                return Some(crash);
+            }
+        }
+        None
+    }
+
+    /// Restarts one process only: clears its heap, leaks and handles. The
+    /// other processes keep running — the selective "micro-rejuvenation".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an unknown process name.
+    pub fn restart_process(&mut self, process: &str) -> Result<()> {
+        let p = self
+            .processes
+            .iter_mut()
+            .find(|p| p.name == process)
+            .ok_or_else(|| Error::invalid("process", format!("unknown process `{process}`")))?;
+        p.memory.clear_live();
+        p.faults = FaultState::new(p.fault_plan.clone()).expect("plan validated at boot");
+        *self.restarts.entry(process.to_string()).or_insert(0) += 1;
+        // A process restart relieves pressure; clear the thrash clock and
+        // revive the machine if it was hung (reboot-equivalent).
+        self.thrash_secs = 0.0;
+        self.crashed = None;
+        Ok(())
+    }
+
+    /// The process whose private bytes grew fastest over the sampled
+    /// history (Sen's slope) — the leak suspect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooShort`] when fewer than 16 samples exist.
+    pub fn leak_suspect(&self) -> Result<&str> {
+        let mut best: Option<(&str, f64)> = None;
+        for p in &self.processes {
+            let series = self.private_bytes_series(&p.name)?;
+            if series.len() < 16 {
+                return Err(Error::TooShort {
+                    required: 16,
+                    actual: series.len(),
+                });
+            }
+            let sen =
+                aging_timeseries::trend::SenSlope::estimate(series.values(), series.dt())?;
+            if best.is_none_or(|(_, s)| sen.slope > s) {
+                best = Some((p.name.as_str(), sen.slope));
+            }
+        }
+        Ok(best.expect("validated non-empty").0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::Counter;
+
+    fn tiny_multi(seed: u64, leak: f64) -> MultiScenario {
+        let mut s = MultiScenario::leaky_app_with_neighbours(seed, leak);
+        s.machine = MachineConfig::tiny_test();
+        for p in &mut s.processes {
+            p.workload = WorkloadConfig::tiny_test();
+            // Scale rates down so three processes fit the tiny machine.
+            p.workload.base_rate = 6.0;
+            p.workload.batch_bytes = Bytes::ZERO;
+        }
+        s
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MultiScenario::leaky_app_with_neighbours(1, 10.0)
+            .validate()
+            .is_ok());
+        let mut dup = MultiScenario::leaky_app_with_neighbours(1, 10.0);
+        dup.processes[1].name = "app".into();
+        assert!(dup.validate().is_err());
+        let mut empty = MultiScenario::leaky_app_with_neighbours(1, 10.0);
+        empty.processes.clear();
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn aggregate_counters_and_private_series_align() {
+        let scenario = tiny_multi(1, 64.0);
+        let mut m = MultiMachine::boot(&scenario).unwrap();
+        m.run_for(1200.0);
+        assert_eq!(m.log().len(), 240); // 5 s sampling
+        for name in ["app", "db", "cache"] {
+            let s = m.private_bytes_series(name).unwrap();
+            assert_eq!(s.len(), 240, "{name}");
+        }
+        assert!(m.private_bytes_series("nope").is_err());
+        // Committed ≥ sum of process private bytes sampled last.
+        let committed = m.log().values(Counter::CommittedBytes);
+        let last_committed = committed[committed.len() - 1];
+        let sum_private: f64 = ["app", "db", "cache"]
+            .iter()
+            .map(|n| {
+                let s = m.private_bytes_series(n).unwrap();
+                s.values()[s.len() - 1]
+            })
+            .sum();
+        assert!(last_committed >= sum_private);
+    }
+
+    #[test]
+    fn leak_suspect_is_the_leaky_process() {
+        let scenario = tiny_multi(2, 128.0);
+        let mut m = MultiMachine::boot(&scenario).unwrap();
+        m.run_for(1800.0);
+        assert_eq!(m.leak_suspect().unwrap(), "app");
+    }
+
+    #[test]
+    fn restarting_the_leaky_process_extends_life() {
+        // Without intervention the machine crashes (96 MiB/h against
+        // ~110 MiB of headroom ≈ 70 min to OOM); restarting the leak
+        // suspect every 30 minutes keeps it alive.
+        let horizon = 6.0 * 3600.0;
+        let mut untreated = MultiMachine::boot(&tiny_multi(3, 96.0)).unwrap();
+        let crash = untreated.run_for(horizon);
+        assert!(crash.is_some(), "untreated machine must crash");
+
+        let mut treated = MultiMachine::boot(&tiny_multi(3, 96.0)).unwrap();
+        let mut crashed = false;
+        for _ in 0..12 {
+            if treated.run_for(horizon / 12.0).is_some() {
+                crashed = true;
+                break;
+            }
+            let suspect = treated.leak_suspect().unwrap().to_string();
+            treated.restart_process(&suspect).unwrap();
+        }
+        assert!(!crashed, "treated machine must survive");
+        assert!(treated.restarts("app") >= 10, "app restarted selectively");
+        assert_eq!(treated.restarts("db") + treated.restarts("cache"), 0);
+    }
+
+    #[test]
+    fn restart_unknown_process_is_error() {
+        let mut m = MultiMachine::boot(&tiny_multi(4, 10.0)).unwrap();
+        assert!(m.restart_process("ghost").is_err());
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let mut m = MultiMachine::boot(&tiny_multi(5, 64.0)).unwrap();
+            m.run_for(900.0);
+            m.log().values(Counter::AvailableBytes).to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn crashed_machine_stops() {
+        let mut m = MultiMachine::boot(&tiny_multi(6, 2048.0)).unwrap();
+        let crash = m.run_for(4.0 * 3600.0).expect("fast leak crashes");
+        assert!(m.is_crashed());
+        assert_eq!(m.step(), Some(crash));
+        // Restarting the culprit revives it.
+        m.restart_process("app").unwrap();
+        assert!(!m.is_crashed());
+    }
+}

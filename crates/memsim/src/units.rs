@@ -1,0 +1,242 @@
+//! Unit newtypes for the simulator: byte quantities and simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A byte quantity (memory sizes, counters).
+///
+/// # Examples
+///
+/// ```
+/// use aging_memsim::Bytes;
+///
+/// let ram = Bytes::mib(256);
+/// assert_eq!(ram.as_u64(), 256 * 1024 * 1024);
+/// assert_eq!((ram + Bytes::mib(256)).as_mib(), 512.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a quantity from raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a quantity from kibibytes.
+    pub const fn kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Creates a quantity from mebibytes.
+    pub const fn mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// Creates a quantity from gibibytes.
+    pub const fn gib(gib: u64) -> Self {
+        Bytes(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(&self) -> u64 {
+        self.0
+    }
+
+    /// As `f64` bytes (for analysis pipelines).
+    pub fn as_f64(&self) -> f64 {
+        self.0 as f64
+    }
+
+    /// As mebibytes.
+    pub fn as_mib(&self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+
+    /// Minimum of two quantities.
+    pub fn min(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.min(rhs.0))
+    }
+
+    /// Maximum of two quantities.
+    pub fn max(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.max(rhs.0))
+    }
+
+    /// Creates a quantity from an `f64`, clamping negatives to zero.
+    pub fn from_f64(bytes: f64) -> Bytes {
+        if bytes.is_finite() && bytes > 0.0 {
+            Bytes(bytes as u64)
+        } else {
+            Bytes(0)
+        }
+    }
+}
+
+impl std::ops::Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+
+impl std::iter::Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0 as f64;
+        if b >= 1024.0 * 1024.0 * 1024.0 {
+            write!(f, "{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+        } else if b >= 1024.0 * 1024.0 {
+            write!(f, "{:.2} MiB", b / (1024.0 * 1024.0))
+        } else if b >= 1024.0 {
+            write!(f, "{:.2} KiB", b / 1024.0)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+/// Simulation time in seconds from the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a time from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates a time from hours.
+    pub fn from_hours(hours: f64) -> Self {
+        SimTime(hours * 3600.0)
+    }
+
+    /// Seconds since simulation start.
+    pub fn as_secs(&self) -> f64 {
+        self.0
+    }
+
+    /// Hours since simulation start.
+    pub fn as_hours(&self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+impl std::ops::Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, secs: f64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl std::ops::Sub for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.0;
+        let h = (total / 3600.0).floor();
+        let m = ((total - h * 3600.0) / 60.0).floor();
+        let s = total - h * 3600.0 - m * 60.0;
+        write!(f, "{h:02.0}:{m:02.0}:{s:04.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale() {
+        assert_eq!(Bytes::kib(1).as_u64(), 1024);
+        assert_eq!(Bytes::mib(1).as_u64(), 1024 * 1024);
+        assert_eq!(Bytes::gib(1).as_u64(), 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Bytes::mib(10);
+        let b = Bytes::mib(4);
+        assert_eq!(a + b, Bytes::mib(14));
+        assert_eq!(a - b, Bytes::mib(6));
+        assert_eq!(b.saturating_sub(a), Bytes::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Bytes::mib(14));
+    }
+
+    #[test]
+    fn from_f64_clamps() {
+        assert_eq!(Bytes::from_f64(-5.0), Bytes::ZERO);
+        assert_eq!(Bytes::from_f64(f64::NAN), Bytes::ZERO);
+        assert_eq!(Bytes::from_f64(1024.9), Bytes::new(1024));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Bytes = vec![Bytes::new(1), Bytes::new(2), Bytes::new(3)]
+            .into_iter()
+            .sum();
+        assert_eq!(total, Bytes::new(6));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Bytes::new(512).to_string(), "512 B");
+        assert_eq!(Bytes::kib(2).to_string(), "2.00 KiB");
+        assert_eq!(Bytes::mib(3).to_string(), "3.00 MiB");
+        assert_eq!(Bytes::gib(1).to_string(), "1.00 GiB");
+    }
+
+    #[test]
+    fn sim_time_units() {
+        let t = SimTime::from_hours(1.5);
+        assert_eq!(t.as_secs(), 5400.0);
+        assert_eq!(t.as_hours(), 1.5);
+        let t2 = t + 60.0;
+        assert!((t2 - t - 60.0).abs() < 1e-12);
+        assert_eq!(SimTime::from_secs(3723.5).to_string(), "01:02:03.5");
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for simulator invariants.
+
+use aging_memsim::{
+    simulate, Bytes, Counter, FaultPlan, MachineConfig, Scenario, WorkloadConfig,
+};
+use proptest::prelude::*;
+
+fn tiny_scenario(seed: u64, leak_mib_per_hour: f64) -> Scenario {
+    Scenario {
+        name: format!("prop-{seed}"),
+        machine: MachineConfig::tiny_test(),
+        workload: WorkloadConfig::tiny_test(),
+        faults: if leak_mib_per_hour > 0.0 {
+            FaultPlan::aging(leak_mib_per_hour)
+        } else {
+            FaultPlan::healthy()
+        },
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn counters_stay_within_physical_bounds(seed in 0u64..500, leak in 0.0f64..512.0) {
+        let scenario = tiny_scenario(seed, leak);
+        let report = simulate(&scenario, 1200.0).unwrap();
+        let ram = scenario.machine.ram.as_f64();
+        let swap = scenario.machine.swap.as_f64();
+        for &v in report.log.values(Counter::AvailableBytes) {
+            prop_assert!(v >= 0.0 && v <= ram, "available {v}");
+        }
+        for &v in report.log.values(Counter::UsedSwapBytes) {
+            prop_assert!(v >= 0.0 && v <= swap, "swap {v}");
+        }
+        for &v in report.log.values(Counter::PageFaultsPerSec) {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn committed_at_least_live_plus_overhead(seed in 0u64..500) {
+        let scenario = tiny_scenario(seed, 64.0);
+        let report = simulate(&scenario, 900.0).unwrap();
+        let overhead = scenario.machine.os_overhead.as_f64();
+        let committed = report.log.values(Counter::CommittedBytes);
+        let live = report.log.values(Counter::LiveHeapBytes);
+        for (&c, &l) in committed.iter().zip(live) {
+            prop_assert!(c >= l + overhead - 1.0, "committed {c} live {l}");
+        }
+    }
+
+    #[test]
+    fn determinism(seed in 0u64..200) {
+        let scenario = tiny_scenario(seed, 100.0);
+        let a = simulate(&scenario, 600.0).unwrap();
+        let b = simulate(&scenario, 600.0).unwrap();
+        prop_assert_eq!(a.log, b.log);
+    }
+
+    #[test]
+    fn stronger_leak_never_crashes_later(seed in 0u64..100) {
+        // With identical seeds, doubling the leak rate cannot delay the
+        // crash (it adds committed bytes monotonically).
+        let slow = simulate(&tiny_scenario(seed, 512.0), 3600.0 * 3.0).unwrap();
+        let fast = simulate(&tiny_scenario(seed, 1024.0), 3600.0 * 3.0).unwrap();
+        if let (Some(s), Some(f)) = (slow.first_crash(), fast.first_crash()) {
+            prop_assert!(f.time.as_secs() <= s.time.as_secs() + 1.0);
+        } else if slow.first_crash().is_some() {
+            // Slow crashed but fast did not — impossible.
+            prop_assert!(false, "faster leak survived while slower crashed");
+        }
+    }
+
+    #[test]
+    fn handle_count_monotone_under_aging(seed in 0u64..200) {
+        let report = simulate(&tiny_scenario(seed, 32.0), 900.0).unwrap();
+        let handles = report.log.values(Counter::HandleCount);
+        for w in handles.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_uptime(seed in 0u64..200) {
+        let report = simulate(&tiny_scenario(seed, 0.0), 1000.0).unwrap();
+        // 5 s sampling: 1000 s → 200 samples.
+        prop_assert_eq!(report.log.len(), 200);
+        prop_assert!(Bytes::from_f64(report.log.values(Counter::AvailableBytes)[0]) > Bytes::ZERO);
+    }
+}

@@ -1,0 +1,180 @@
+//! Autocorrelation analysis: ACF vectors, partial autocorrelation and the
+//! Ljung–Box whiteness test.
+//!
+//! Used throughout the workspace to characterise memory-counter dynamics
+//! (long-range dependence shows up as slowly decaying ACF) and to verify
+//! that surrogate/whitening operations actually produced white residuals.
+
+use crate::error::{Error, Result};
+use crate::stats;
+use crate::trend::normal_sf;
+
+/// The autocorrelation function at lags `0..=max_lag`.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] when `max_lag + 2 > n`,
+/// [`Error::NonFinite`] for NaN input, and [`Error::Numerical`] for
+/// constant data.
+pub fn acf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    Error::require_len(data, max_lag + 2)?;
+    Error::require_finite(data)?;
+    (0..=max_lag)
+        .map(|k| stats::autocorrelation(data, k))
+        .collect()
+}
+
+/// Partial autocorrelation at lags `1..=max_lag` via the Durbin–Levinson
+/// recursion.
+///
+/// # Errors
+///
+/// Same failure modes as [`acf`].
+pub fn pacf(data: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    if max_lag == 0 {
+        return Err(Error::invalid("max_lag", "must be at least 1"));
+    }
+    let rho = acf(data, max_lag)?;
+    // Durbin–Levinson on the autocorrelation sequence.
+    let mut phi_prev: Vec<f64> = Vec::new();
+    let mut out = Vec::with_capacity(max_lag);
+    let mut v: f64 = 1.0;
+    for k in 1..=max_lag {
+        let num = rho[k]
+            - phi_prev
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| p * rho[k - 1 - j])
+                .sum::<f64>();
+        if v.abs() <= f64::EPSILON {
+            return Err(Error::Numerical("degenerate PACF recursion".into()));
+        }
+        let kappa = num / v;
+        let mut phi = Vec::with_capacity(k);
+        for j in 0..k - 1 {
+            phi.push(phi_prev[j] - kappa * phi_prev[k - 2 - j]);
+        }
+        phi.push(kappa);
+        v *= 1.0 - kappa * kappa;
+        out.push(kappa);
+        phi_prev = phi;
+    }
+    Ok(out)
+}
+
+/// Result of a Ljung–Box whiteness test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub q: f64,
+    /// Degrees of freedom (number of lags tested).
+    pub lags: usize,
+    /// Approximate p-value (Wilson–Hilferty chi-square approximation).
+    pub p_value: f64,
+}
+
+impl LjungBox {
+    /// Whether whiteness is rejected at level `alpha`.
+    pub fn is_correlated(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Ljung–Box test over lags `1..=lags`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] for `lags == 0` and propagates
+/// [`acf`] failures.
+pub fn ljung_box(data: &[f64], lags: usize) -> Result<LjungBox> {
+    if lags == 0 {
+        return Err(Error::invalid("lags", "must be at least 1"));
+    }
+    let rho = acf(data, lags)?;
+    let n = data.len() as f64;
+    let q = n * (n + 2.0)
+        * rho[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r * r / (n - (i + 1) as f64))
+            .sum::<f64>();
+    // Wilson–Hilferty: chi2_k upper tail via a normal transform.
+    let k = lags as f64;
+    let z = ((q / k).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * k))) / (2.0 / (9.0 * k)).sqrt();
+    Ok(LjungBox {
+        q,
+        lags,
+        p_value: normal_sf(z),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state as f64 / u64::MAX as f64) - 0.5
+            })
+            .collect()
+    }
+
+    fn ar1(n: usize, phi: f64, seed: u64) -> Vec<f64> {
+        let e = noise(n, seed);
+        let mut x = Vec::with_capacity(n);
+        let mut prev = 0.0;
+        for &v in &e {
+            prev = phi * prev + v;
+            x.push(prev);
+        }
+        x
+    }
+
+    #[test]
+    fn acf_lag0_is_one_and_decays_for_ar1() {
+        let x = ar1(8192, 0.7, 1);
+        let r = acf(&x, 5).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        assert!((r[1] - 0.7).abs() < 0.05, "rho1 {}", r[1]);
+        assert!((r[2] - 0.49).abs() < 0.06, "rho2 {}", r[2]);
+        assert!(r[1] > r[2] && r[2] > r[3]);
+    }
+
+    #[test]
+    fn pacf_of_ar1_cuts_off_after_lag_one() {
+        let x = ar1(8192, 0.6, 2);
+        let p = pacf(&x, 5).unwrap();
+        assert!((p[0] - 0.6).abs() < 0.05, "pacf1 {}", p[0]);
+        for (i, &v) in p[1..].iter().enumerate() {
+            assert!(v.abs() < 0.07, "pacf{} = {v}", i + 2);
+        }
+    }
+
+    #[test]
+    fn ljung_box_rejects_ar1_accepts_white() {
+        let correlated = ar1(2048, 0.5, 3);
+        let lb = ljung_box(&correlated, 10).unwrap();
+        assert!(lb.is_correlated(0.01), "q {} p {}", lb.q, lb.p_value);
+
+        let white = noise(2048, 4);
+        let lb = ljung_box(&white, 10).unwrap();
+        assert!(!lb.is_correlated(0.01), "q {} p {}", lb.q, lb.p_value);
+    }
+
+    #[test]
+    fn guards() {
+        let x = noise(64, 5);
+        assert!(acf(&x[..4], 10).is_err());
+        assert!(pacf(&x, 0).is_err());
+        assert!(ljung_box(&x, 0).is_err());
+        assert!(acf(&vec![2.0; 32], 4).is_err()); // constant
+        let mut bad = x.clone();
+        bad[1] = f64::NAN;
+        assert!(acf(&bad, 4).is_err());
+    }
+}

@@ -1,0 +1,293 @@
+//! Change-point detection: two-sided CUSUM on a studentised stream.
+//!
+//! The detector crate's jump logic is domain-specific; this module offers
+//! the generic building block — Page's cumulative-sum test against a
+//! reference mean — for validating detected regime changes and for use as
+//! an additional baseline.
+
+// `!(x > 0)`-style comparisons below are deliberate: unlike `x <= 0`,
+// they also reject NaN, which is exactly what parameter validation wants.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+use crate::error::{Error, Result};
+use crate::stats;
+
+/// Configuration of the CUSUM detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumConfig {
+    /// Samples used to estimate the in-control mean and scale.
+    pub reference_len: usize,
+    /// Slack per sample, in standard deviations (`k` in CUSUM terms; 0.5
+    /// targets ≈1σ shifts).
+    pub slack: f64,
+    /// Decision threshold, in standard deviations (`h`; typically 4–6).
+    pub threshold: f64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        CusumConfig {
+            reference_len: 100,
+            slack: 0.5,
+            threshold: 5.0,
+        }
+    }
+}
+
+impl CusumConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.reference_len < 8 {
+            return Err(Error::invalid("reference_len", "must be at least 8"));
+        }
+        if !(self.slack >= 0.0 && self.slack.is_finite()) {
+            return Err(Error::invalid("slack", "must be finite and >= 0"));
+        }
+        if !(self.threshold > 0.0) {
+            return Err(Error::invalid("threshold", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Direction of a detected shift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDirection {
+    /// Mean shifted upward.
+    Up,
+    /// Mean shifted downward.
+    Down,
+}
+
+/// A detected change point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// Sample index at which the decision threshold was crossed.
+    pub index: usize,
+    /// Direction of the shift.
+    pub direction: ShiftDirection,
+    /// CUSUM statistic value at detection (in σ units).
+    pub score: f64,
+}
+
+/// Streaming two-sided CUSUM detector.
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    config: CusumConfig,
+    reference: Vec<f64>,
+    mean: f64,
+    sd: f64,
+    ready: bool,
+    pos: f64,
+    neg: f64,
+    count: usize,
+}
+
+impl Cusum {
+    /// Creates a detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CusumConfig::validate`] failures.
+    pub fn new(config: CusumConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Cusum {
+            config,
+            reference: Vec::new(),
+            mean: 0.0,
+            sd: 1.0,
+            ready: false,
+            pos: 0.0,
+            neg: 0.0,
+            count: 0,
+        })
+    }
+
+    /// Whether the reference window is complete.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Feeds one sample; returns a change point when the threshold is
+    /// crossed. After a detection the detector re-learns its reference
+    /// from subsequent samples, so successive shifts (including a return
+    /// to the original level) are each reported once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] for NaN samples and
+    /// [`Error::Numerical`] if the reference window is constant.
+    pub fn push(&mut self, value: f64) -> Result<Option<ChangePoint>> {
+        if !value.is_finite() {
+            return Err(Error::NonFinite { index: self.count });
+        }
+        let index = self.count;
+        self.count += 1;
+
+        if !self.ready {
+            self.reference.push(value);
+            if self.reference.len() >= self.config.reference_len {
+                self.mean = stats::mean(&self.reference)?;
+                let sd = stats::std_dev(&self.reference)?;
+                if sd <= f64::EPSILON {
+                    return Err(Error::Numerical(
+                        "constant reference window in CUSUM".into(),
+                    ));
+                }
+                self.sd = sd;
+                self.ready = true;
+            }
+            return Ok(None);
+        }
+
+        let z = (value - self.mean) / self.sd;
+        self.pos = (self.pos + z - self.config.slack).max(0.0);
+        self.neg = (self.neg - z - self.config.slack).max(0.0);
+        if self.pos > self.config.threshold {
+            let cp = ChangePoint {
+                index,
+                direction: ShiftDirection::Up,
+                score: self.pos,
+            };
+            self.relearn();
+            return Ok(Some(cp));
+        }
+        if self.neg > self.config.threshold {
+            let cp = ChangePoint {
+                index,
+                direction: ShiftDirection::Down,
+                score: self.neg,
+            };
+            self.relearn();
+            return Ok(Some(cp));
+        }
+        Ok(None)
+    }
+
+    /// Drops the reference so it is re-estimated from upcoming samples
+    /// (used after each detection).
+    fn relearn(&mut self) {
+        self.reference.clear();
+        self.ready = false;
+        self.pos = 0.0;
+        self.neg = 0.0;
+    }
+
+    /// Resets all state (reference is re-learned).
+    pub fn reset(&mut self) {
+        self.reference.clear();
+        self.ready = false;
+        self.pos = 0.0;
+        self.neg = 0.0;
+        self.count = 0;
+    }
+}
+
+/// Offline convenience: all change points of `data`.
+///
+/// # Errors
+///
+/// Propagates [`Cusum`] failures.
+pub fn change_points(data: &[f64], config: CusumConfig) -> Result<Vec<ChangePoint>> {
+    let mut detector = Cusum::new(config)?;
+    let mut out = Vec::new();
+    for &v in data {
+        if let Some(cp) = detector.push(v)? {
+            out.push(cp);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiggle(i: usize) -> f64 {
+        ((i * 37 + 11) % 13) as f64 / 13.0 - 0.5
+    }
+
+    #[test]
+    fn detects_upward_step() {
+        let mut data: Vec<f64> = (0..200).map(|i| 10.0 + wiggle(i)).collect();
+        data.extend((200..300).map(|i| 12.0 + wiggle(i)));
+        let cps = change_points(&data, CusumConfig::default()).unwrap();
+        assert!(!cps.is_empty());
+        let first = cps[0];
+        assert_eq!(first.direction, ShiftDirection::Up);
+        assert!(
+            (200..225).contains(&first.index),
+            "detected at {}",
+            first.index
+        );
+    }
+
+    #[test]
+    fn detects_downward_step() {
+        let mut data: Vec<f64> = (0..200).map(|i| 5.0 + wiggle(i)).collect();
+        data.extend((200..300).map(|i| 3.5 + wiggle(i)));
+        let cps = change_points(&data, CusumConfig::default()).unwrap();
+        assert_eq!(cps[0].direction, ShiftDirection::Down);
+    }
+
+    #[test]
+    fn quiet_on_stationary_data() {
+        let data: Vec<f64> = (0..2000).map(|i| 1.0 + wiggle(i)).collect();
+        let cps = change_points(&data, CusumConfig::default()).unwrap();
+        assert!(cps.is_empty(), "{cps:?}");
+    }
+
+    #[test]
+    fn detects_slow_drift_eventually() {
+        let data: Vec<f64> = (0..600)
+            .map(|i| wiggle(i) + if i > 200 { (i - 200) as f64 * 0.01 } else { 0.0 })
+            .collect();
+        let cps = change_points(&data, CusumConfig::default()).unwrap();
+        assert!(!cps.is_empty());
+        assert!(cps[0].index > 200 && cps[0].index < 350, "{}", cps[0].index);
+    }
+
+    #[test]
+    fn multiple_shifts_all_reported() {
+        let mut data: Vec<f64> = (0..150).map(wiggle).collect();
+        data.extend((0..150).map(|i| 3.0 + wiggle(i)));
+        data.extend((0..150).map(wiggle));
+        let cps = change_points(&data, CusumConfig::default()).unwrap();
+        assert!(cps.len() >= 2, "{cps:?}");
+        assert_eq!(cps[0].direction, ShiftDirection::Up);
+        assert!(cps.iter().any(|c| c.direction == ShiftDirection::Down));
+    }
+
+    #[test]
+    fn constant_reference_is_error() {
+        let data = vec![1.0; 150];
+        assert!(change_points(&data, CusumConfig::default()).is_err());
+    }
+
+    #[test]
+    fn reset_and_guards() {
+        let mut c = Cusum::new(CusumConfig::default()).unwrap();
+        assert!(!c.is_ready());
+        for i in 0..120 {
+            c.push(wiggle(i)).unwrap();
+        }
+        assert!(c.is_ready());
+        c.reset();
+        assert!(!c.is_ready());
+        assert!(c.push(f64::NAN).is_err());
+        assert!(Cusum::new(CusumConfig {
+            reference_len: 4,
+            ..CusumConfig::default()
+        })
+        .is_err());
+        assert!(Cusum::new(CusumConfig {
+            threshold: 0.0,
+            ..CusumConfig::default()
+        })
+        .is_err());
+    }
+}

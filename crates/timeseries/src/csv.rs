@@ -1,0 +1,167 @@
+//! Minimal CSV import/export for time series — the interchange format
+//! between this library, the experiment harness and external tooling
+//! (plotting, real monitor logs).
+//!
+//! Format: a header line, then one row per sample. Export writes
+//! `time,value`; import accepts any numeric column layout and lets the
+//! caller pick the value column. No quoting/escaping — this is numeric
+//! data only.
+
+use crate::error::{Error, Result};
+use crate::series::TimeSeries;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes `series` as `time,<name>` CSV rows to `writer`.
+///
+/// # Errors
+///
+/// Returns [`Error::Numerical`] wrapping any I/O failure.
+pub fn write_csv<W: Write>(series: &TimeSeries, name: &str, mut writer: W) -> Result<()> {
+    let io = |e: std::io::Error| Error::Numerical(format!("csv write: {e}"));
+    writeln!(writer, "time,{name}").map_err(io)?;
+    for (t, v) in series.iter() {
+        writeln!(writer, "{t},{v}").map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Parsed CSV content: header names and numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvTable {
+    /// Column names from the header row.
+    pub headers: Vec<String>,
+    /// Column-major values; non-numeric cells become NaN.
+    pub columns: Vec<Vec<f64>>,
+}
+
+impl CsvTable {
+    /// Index of the column with the given (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.headers
+            .iter()
+            .position(|h| h.eq_ignore_ascii_case(name))
+    }
+
+    /// Builds a [`TimeSeries`] from the named value column, taking the
+    /// sampling period from the first two entries of the named time
+    /// column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for unknown columns and
+    /// propagates series-construction failures (e.g. non-increasing time).
+    pub fn series(&self, time_column: &str, value_column: &str) -> Result<TimeSeries> {
+        let ti = self
+            .column_index(time_column)
+            .ok_or_else(|| Error::invalid("time_column", format!("no column `{time_column}`")))?;
+        let vi = self.column_index(value_column).ok_or_else(|| {
+            Error::invalid("value_column", format!("no column `{value_column}`"))
+        })?;
+        let times = &self.columns[ti];
+        let values = &self.columns[vi];
+        if times.len() < 2 {
+            return Err(Error::TooShort {
+                required: 2,
+                actual: times.len(),
+            });
+        }
+        let dt = times[1] - times[0];
+        TimeSeries::from_values(times[0], dt, values.clone())
+    }
+}
+
+/// Reads a CSV table from `reader`.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for input without a header,
+/// [`Error::LengthMismatch`] for ragged rows, and [`Error::Numerical`]
+/// wrapping I/O failures.
+pub fn read_csv<R: Read>(reader: R) -> Result<CsvTable> {
+    let io = |e: std::io::Error| Error::Numerical(format!("csv read: {e}"));
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines.next().ok_or(Error::Empty).and_then(|l| l.map_err(io))?;
+    let headers: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let width = headers.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); width];
+    for line in lines {
+        let line = line.map_err(io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != width {
+            return Err(Error::LengthMismatch {
+                left: cells.len(),
+                right: width,
+            });
+        }
+        for (col, cell) in columns.iter_mut().zip(&cells) {
+            col.push(cell.trim().parse::<f64>().unwrap_or(f64::NAN));
+        }
+    }
+    Ok(CsvTable { headers, columns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let ts = TimeSeries::from_values(10.0, 2.5, vec![1.0, -2.0, 3.5]).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ts, "free_memory", &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("time,free_memory\n10,1\n"));
+
+        let table = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(table.headers, vec!["time", "free_memory"]);
+        let back = table.series("time", "free_memory").unwrap();
+        assert_eq!(back.t0(), 10.0);
+        assert_eq!(back.dt(), 2.5);
+        assert_eq!(back.values(), ts.values());
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let table = read_csv("T,V\n0,1\n1,2\n".as_bytes()).unwrap();
+        assert_eq!(table.column_index("t"), Some(0));
+        assert_eq!(table.column_index("v"), Some(1));
+        assert!(table.series("t", "missing").is_err());
+    }
+
+    #[test]
+    fn non_numeric_cells_become_nan() {
+        let table = read_csv("t,v\n0,1\n1,oops\n2,3\n".as_bytes()).unwrap();
+        assert!(table.columns[1][1].is_nan());
+        // And gap repair can fix them downstream.
+        let mut v = table.columns[1].clone();
+        crate::interp::fill_gaps(&mut v, crate::interp::FillMethod::Linear).unwrap();
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(
+            read_csv("a,b\n1,2\n3\n".as_bytes()),
+            Err(Error::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_blank_lines() {
+        assert!(matches!(read_csv("".as_bytes()), Err(Error::Empty)));
+        let table = read_csv("t,v\n0,1\n\n1,2\n".as_bytes()).unwrap();
+        assert_eq!(table.columns[0].len(), 2);
+    }
+
+    #[test]
+    fn too_few_rows_for_series() {
+        let table = read_csv("t,v\n0,1\n".as_bytes()).unwrap();
+        assert!(matches!(
+            table.series("t", "v"),
+            Err(Error::TooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Error types shared by all time-series operations.
+
+use std::fmt;
+
+/// Errors produced by time-series constructors and analyses.
+///
+/// Every fallible public function in this crate (and in the crates layered
+/// on top of it) reports failures through this type, so callers can match on
+/// a single enum across the whole workspace.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input series is empty but the operation requires data.
+    Empty,
+    /// The input has fewer samples than the operation needs.
+    TooShort {
+        /// Number of samples required by the operation.
+        required: usize,
+        /// Number of samples actually supplied.
+        actual: usize,
+    },
+    /// Two inputs that must have equal length do not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A numeric parameter is outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The data contain NaN or infinite values where finite values are
+    /// required.
+    NonFinite {
+        /// Index of the first non-finite sample.
+        index: usize,
+    },
+    /// A numerical procedure failed to produce a usable result (e.g. a
+    /// singular system in least squares, or a degenerate log–log fit).
+    Numerical(String),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+
+    /// Checks that `data` has at least `required` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] or [`Error::TooShort`] when the check fails.
+    pub fn require_len(data: &[f64], required: usize) -> Result<(), Error> {
+        if data.is_empty() {
+            return Err(Error::Empty);
+        }
+        if data.len() < required {
+            return Err(Error::TooShort {
+                required,
+                actual: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that every sample in `data` is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] with the index of the first offending
+    /// sample.
+    pub fn require_finite(data: &[f64]) -> Result<(), Error> {
+        match data.iter().position(|v| !v.is_finite()) {
+            Some(index) => Err(Error::NonFinite { index }),
+            None => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Empty => write!(f, "input series is empty"),
+            Error::TooShort { required, actual } => write!(
+                f,
+                "input series too short: {actual} samples, {required} required"
+            ),
+            Error::LengthMismatch { left, right } => {
+                write!(f, "input length mismatch: {left} vs {right}")
+            }
+            Error::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Error::NonFinite { index } => {
+                write!(f, "non-finite sample at index {index}")
+            }
+            Error::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn require_len_empty() {
+        assert_eq!(Error::require_len(&[], 1), Err(Error::Empty));
+    }
+
+    #[test]
+    fn require_len_too_short() {
+        assert_eq!(
+            Error::require_len(&[1.0, 2.0], 3),
+            Err(Error::TooShort {
+                required: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn require_len_ok() {
+        assert_eq!(Error::require_len(&[1.0, 2.0, 3.0], 3), Ok(()));
+    }
+
+    #[test]
+    fn require_finite_detects_nan() {
+        assert_eq!(
+            Error::require_finite(&[0.0, f64::NAN]),
+            Err(Error::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            Error::require_finite(&[f64::INFINITY]),
+            Err(Error::NonFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn require_finite_ok() {
+        assert_eq!(Error::require_finite(&[0.0, -1.5, 3.0]), Ok(()));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::Empty,
+            Error::TooShort {
+                required: 4,
+                actual: 2,
+            },
+            Error::LengthMismatch { left: 1, right: 2 },
+            Error::invalid("q", "must be positive"),
+            Error::NonFinite { index: 7 },
+            Error::Numerical("singular matrix".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Gap repair for series with missing samples (encoded as NaN).
+//!
+//! Real performance-monitor logs drop samples; the analyses in this
+//! workspace require dense data, so gaps must be filled explicitly before
+//! analysis. All fillers operate in place.
+
+use crate::error::{Error, Result};
+
+/// How to fill NaN gaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FillMethod {
+    /// Straight line between the nearest valid neighbours.
+    Linear,
+    /// Repeat the previous valid sample (zero-order hold).
+    Hold,
+    /// Copy the nearest valid sample (ties resolve to the earlier one).
+    Nearest,
+}
+
+/// Fills NaN gaps in place using the chosen method.
+///
+/// Leading gaps are filled from the first valid sample and trailing gaps
+/// from the last valid sample regardless of method.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for empty input and [`Error::Numerical`] when
+/// the series contains no valid sample at all.
+///
+/// # Examples
+///
+/// ```
+/// use aging_timeseries::interp::{fill_gaps, FillMethod};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let mut data = [1.0, f64::NAN, 3.0];
+/// fill_gaps(&mut data, FillMethod::Linear)?;
+/// assert_eq!(data, [1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fill_gaps(data: &mut [f64], method: FillMethod) -> Result<()> {
+    Error::require_len(data, 1)?;
+    let first_valid = data
+        .iter()
+        .position(|v| v.is_finite())
+        .ok_or_else(|| Error::Numerical("no valid samples to interpolate from".into()))?;
+    let last_valid = data
+        .iter()
+        .rposition(|v| v.is_finite())
+        .expect("a valid sample exists");
+
+    // Edge fills.
+    let head = data[first_valid];
+    for v in &mut data[..first_valid] {
+        *v = head;
+    }
+    let tail = data[last_valid];
+    for v in &mut data[last_valid + 1..] {
+        *v = tail;
+    }
+
+    // Interior gaps.
+    let mut i = first_valid;
+    while i <= last_valid {
+        if data[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        let gap_start = i; // first NaN
+        let mut j = i;
+        while !data[j].is_finite() {
+            j += 1;
+        }
+        let gap_end = j; // first valid after the gap
+        let left = data[gap_start - 1];
+        let right = data[gap_end];
+        let gap_len = gap_end - gap_start;
+        for (k, v) in data[gap_start..gap_end].iter_mut().enumerate() {
+            *v = match method {
+                FillMethod::Linear => {
+                    let t = (k + 1) as f64 / (gap_len + 1) as f64;
+                    left + t * (right - left)
+                }
+                FillMethod::Hold => left,
+                FillMethod::Nearest => {
+                    // Distance to left neighbour is k+1, to right is gap_len-k.
+                    if k < gap_len - k {
+                        left
+                    } else {
+                        right
+                    }
+                }
+            };
+        }
+        i = gap_end;
+    }
+    Ok(())
+}
+
+/// Fraction of samples that are NaN or infinite.
+pub fn missing_fraction(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().filter(|v| !v.is_finite()).count() as f64 / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fills_interior() {
+        let mut d = [0.0, f64::NAN, f64::NAN, 3.0];
+        fill_gaps(&mut d, FillMethod::Linear).unwrap();
+        assert_eq!(d, [0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn hold_repeats_left() {
+        let mut d = [5.0, f64::NAN, f64::NAN, 9.0];
+        fill_gaps(&mut d, FillMethod::Hold).unwrap();
+        assert_eq!(d, [5.0, 5.0, 5.0, 9.0]);
+    }
+
+    #[test]
+    fn nearest_picks_closer_side() {
+        let mut d = [0.0, f64::NAN, f64::NAN, f64::NAN, 10.0];
+        fill_gaps(&mut d, FillMethod::Nearest).unwrap();
+        assert_eq!(d, [0.0, 0.0, 0.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn edges_fill_from_nearest_valid() {
+        let mut d = [f64::NAN, f64::NAN, 4.0, f64::NAN];
+        fill_gaps(&mut d, FillMethod::Linear).unwrap();
+        assert_eq!(d, [4.0, 4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn infinities_are_treated_as_gaps() {
+        let mut d = [1.0, f64::INFINITY, 3.0];
+        fill_gaps(&mut d, FillMethod::Linear).unwrap();
+        assert_eq!(d, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_nan_is_error() {
+        let mut d = [f64::NAN, f64::NAN];
+        assert!(fill_gaps(&mut d, FillMethod::Linear).is_err());
+        assert!(fill_gaps(&mut [], FillMethod::Hold).is_err());
+    }
+
+    #[test]
+    fn no_gaps_is_identity() {
+        let mut d = [1.0, 2.0, 3.0];
+        fill_gaps(&mut d, FillMethod::Linear).unwrap();
+        assert_eq!(d, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn missing_fraction_counts() {
+        assert_eq!(missing_fraction(&[]), 0.0);
+        assert_eq!(missing_fraction(&[1.0, f64::NAN, f64::INFINITY, 2.0]), 0.5);
+    }
+}

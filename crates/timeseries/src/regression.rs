@@ -1,0 +1,443 @@
+//! Least-squares and robust regression.
+//!
+//! Every scaling-law estimator in the workspace ultimately reduces to a
+//! straight-line fit (often in log–log coordinates), so the fit result also
+//! carries goodness-of-fit diagnostics that the estimators surface to their
+//! callers.
+
+use crate::error::{Error, Result};
+
+/// The result of a straight-line fit `y ≈ intercept + slope * x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Estimated slope.
+    pub slope: f64,
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 when the fit is perfect;
+    /// defined as 1 for a perfectly constant response).
+    pub r_squared: f64,
+    /// Standard error of the slope estimate (0 when `n == 2`).
+    pub slope_std_error: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LineFit {
+    /// Predicted response at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// The `x` at which the fitted line reaches `y`, or `None` when the
+    /// slope is (numerically) zero.
+    pub fn solve_for(&self, y: f64) -> Option<f64> {
+        if self.slope.abs() <= f64::EPSILON {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+/// Ordinary least-squares fit of `y` against `x`.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] for unequal inputs,
+/// [`Error::TooShort`] for fewer than two points, [`Error::NonFinite`] for
+/// NaN/infinite input, and [`Error::Numerical`] when all `x` coincide.
+///
+/// # Examples
+///
+/// ```
+/// use aging_timeseries::regression::ols;
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let fit = ols(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0])?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ols(x: &[f64], y: &[f64]) -> Result<LineFit> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    Error::require_len(x, 2)?;
+    Error::require_finite(x)?;
+    Error::require_finite(y)?;
+
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|&v| (v - mx) * (v - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(&a, &b)| (a - mx) * (b - my)).sum();
+    let syy: f64 = y.iter().map(|&v| (v - my) * (v - my)).sum();
+
+    if sxx <= f64::EPSILON * n {
+        return Err(Error::Numerical("degenerate x in linear fit".into()));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let r = b - (intercept + slope * a);
+            r * r
+        })
+        .sum();
+    let r_squared = if syy <= f64::EPSILON {
+        1.0
+    } else {
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    let slope_std_error = if x.len() > 2 {
+        (ss_res / (n - 2.0) / sxx).sqrt()
+    } else {
+        0.0
+    };
+    Ok(LineFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_error,
+        n: x.len(),
+    })
+}
+
+/// OLS in log–log coordinates: fits `ln y ≈ intercept + slope * ln x`.
+///
+/// Pairs where `x <= 0` or `y <= 0` are rejected (scaling laws are defined
+/// on positive quantities).
+///
+/// # Errors
+///
+/// Same failure modes as [`ols`], plus [`Error::InvalidParameter`] when any
+/// input is non-positive.
+pub fn log_log_fit(x: &[f64], y: &[f64]) -> Result<LineFit> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if let Some(i) = x.iter().position(|&v| v <= 0.0) {
+        return Err(Error::invalid(
+            "x",
+            format!("log-log fit requires positive x, got {} at {i}", x[i]),
+        ));
+    }
+    if let Some(i) = y.iter().position(|&v| v <= 0.0) {
+        return Err(Error::invalid(
+            "y",
+            format!("log-log fit requires positive y, got {} at {i}", y[i]),
+        ));
+    }
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    ols(&lx, &ly)
+}
+
+/// Fits a polynomial of degree `degree` by least squares, returning the
+/// coefficients `c[0] + c[1] x + … + c[degree] x^degree`.
+///
+/// Solves the normal equations by Gaussian elimination with partial
+/// pivoting; intended for the small degrees (≤ 4) used in detrending.
+///
+/// # Errors
+///
+/// Returns [`Error::TooShort`] when `n < degree + 1`,
+/// [`Error::InvalidParameter`] for `degree > 8`, and [`Error::Numerical`]
+/// when the normal equations are singular.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if degree > 8 {
+        return Err(Error::invalid("degree", "polyfit supports degree <= 8"));
+    }
+    Error::require_len(x, degree + 1)?;
+    Error::require_finite(x)?;
+    Error::require_finite(y)?;
+
+    let m = degree + 1;
+    // Normal equations A c = b where A[i][j] = Σ x^(i+j), b[i] = Σ y x^i.
+    let mut pow_sums = vec![0.0; 2 * m - 1];
+    for &xv in x {
+        let mut p = 1.0;
+        for s in pow_sums.iter_mut() {
+            *s += p;
+            p *= xv;
+        }
+    }
+    let mut a = vec![vec![0.0; m]; m];
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = pow_sums[i + j];
+        }
+    }
+    let mut b = vec![0.0; m];
+    for (&xv, &yv) in x.iter().zip(y) {
+        let mut p = 1.0;
+        for bi in b.iter_mut() {
+            *bi += yv * p;
+            p *= xv;
+        }
+    }
+    solve_linear(&mut a, &mut b)?;
+    Ok(b)
+}
+
+/// Evaluates a polynomial with coefficients in ascending-power order.
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Gaussian elimination with partial pivoting; `b` is overwritten with the
+/// solution.
+fn solve_linear(a: &mut [Vec<f64>], b: &mut [f64]) -> Result<()> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(Error::Numerical("singular normal equations".into()));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back-substitute.
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col][k] * b[k];
+        }
+        b[col] = acc / a[col][col];
+    }
+    Ok(())
+}
+
+/// Maximum number of pairwise slopes evaluated exactly by
+/// [`theil_sen`]; longer inputs use a strided subsample of pairs.
+pub const THEIL_SEN_EXACT_LIMIT: usize = 1500;
+
+/// Theil–Sen robust slope estimator: the median of pairwise slopes, with the
+/// intercept chosen as `median(y) - slope * median(x)`.
+///
+/// For `n` beyond [`THEIL_SEN_EXACT_LIMIT`] the full `O(n²)` pair set is
+/// replaced by a deterministic strided subsample to bound cost.
+///
+/// # Errors
+///
+/// Same failure modes as [`ols`].
+pub fn theil_sen(x: &[f64], y: &[f64]) -> Result<LineFit> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    Error::require_len(x, 2)?;
+    Error::require_finite(x)?;
+    Error::require_finite(y)?;
+
+    let n = x.len();
+    let stride = if n > THEIL_SEN_EXACT_LIMIT {
+        n / THEIL_SEN_EXACT_LIMIT + 1
+    } else {
+        1
+    };
+    let mut slopes = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i + stride;
+        while j < n {
+            let dx = x[j] - x[i];
+            if dx.abs() > f64::EPSILON {
+                slopes.push((y[j] - y[i]) / dx);
+            }
+            j += stride;
+        }
+        i += stride;
+    }
+    if slopes.is_empty() {
+        return Err(Error::Numerical("degenerate x in Theil-Sen".into()));
+    }
+    let slope = crate::stats::median(&slopes)?;
+    let intercept = crate::stats::median(y)? - slope * crate::stats::median(x)?;
+
+    // Diagnostics relative to the robust line.
+    let my = y.iter().sum::<f64>() / n as f64;
+    let syy: f64 = y.iter().map(|&v| (v - my) * (v - my)).sum();
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(&a, &b)| {
+            let r = b - (intercept + slope * a);
+            r * r
+        })
+        .sum();
+    let r_squared = if syy <= f64::EPSILON {
+        1.0
+    } else {
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Ok(LineFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_std_error: 0.0,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ols_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 2.0).collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!(fit.slope_std_error < 1e-10);
+    }
+
+    #[test]
+    fn ols_noisy_line_diagnostics() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| 2.0 * v + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let fit = ols(&x, &y).unwrap();
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+        assert!(fit.slope_std_error > 0.0);
+    }
+
+    #[test]
+    fn ols_rejects_degenerate() {
+        assert!(ols(&[1.0, 1.0], &[0.0, 5.0]).is_err());
+        assert!(ols(&[1.0], &[2.0]).is_err());
+        assert!(ols(&[1.0, 2.0], &[0.0]).is_err());
+        assert!(ols(&[1.0, f64::NAN], &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn predict_and_solve() {
+        let fit = ols(&[0.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!((fit.predict(2.0) - 5.0).abs() < 1e-12);
+        assert!((fit.solve_for(5.0).unwrap() - 2.0).abs() < 1e-12);
+        let flat = LineFit {
+            slope: 0.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+            slope_std_error: 0.0,
+            n: 2,
+        };
+        assert_eq!(flat.solve_for(2.0), None);
+    }
+
+    #[test]
+    fn log_log_recovers_power_law() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| 3.0 * v.powf(0.7)).collect();
+        let fit = log_log_fit(&x, &y).unwrap();
+        assert!((fit.slope - 0.7).abs() < 1e-10);
+        assert!((fit.intercept - 3.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn log_log_rejects_nonpositive() {
+        assert!(log_log_fit(&[1.0, -1.0], &[1.0, 1.0]).is_err());
+        assert!(log_log_fit(&[1.0, 2.0], &[0.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn polyfit_quadratic() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.0 - 2.0 * v + 0.5 * v * v).collect();
+        let c = polyfit(&x, &y, 2).unwrap();
+        assert!((c[0] - 1.0).abs() < 1e-8);
+        assert!((c[1] + 2.0).abs() < 1e-8);
+        assert!((c[2] - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn polyfit_degree_zero_is_mean() {
+        let c = polyfit(&[0.0, 1.0, 2.0], &[3.0, 5.0, 7.0], 0).unwrap();
+        assert!((c[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polyfit_guards() {
+        assert!(polyfit(&[0.0, 1.0], &[1.0, 2.0], 9).is_err());
+        assert!(polyfit(&[0.0], &[1.0], 1).is_err());
+        // Duplicate x values make a degree-2 system singular.
+        assert!(polyfit(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0], 2).is_err());
+    }
+
+    #[test]
+    fn polyval_ascending_order() {
+        // 2 + 3x + x^2 at x = 2 → 2 + 6 + 4 = 12.
+        assert_eq!(polyval(&[2.0, 3.0, 1.0], 2.0), 12.0);
+        assert_eq!(polyval(&[], 3.0), 0.0);
+    }
+
+    #[test]
+    fn theil_sen_ignores_outliers() {
+        let x: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut y: Vec<f64> = x.iter().map(|v| 1.5 * v + 2.0).collect();
+        // Corrupt 20 % of points badly.
+        y[3] += 500.0;
+        y[11] -= 800.0;
+        y[20] += 300.0;
+        let robust = theil_sen(&x, &y).unwrap();
+        assert!((robust.slope - 1.5).abs() < 0.05, "slope {}", robust.slope);
+        let lsq = ols(&x, &y).unwrap();
+        assert!((lsq.slope - 1.5).abs() > (robust.slope - 1.5).abs());
+    }
+
+    #[test]
+    fn theil_sen_subsamples_long_input() {
+        let n = 4000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| -0.25 * v + 10.0).collect();
+        let fit = theil_sen(&x, &y).unwrap();
+        assert!((fit.slope + 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theil_sen_degenerate_x() {
+        assert!(theil_sen(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+}

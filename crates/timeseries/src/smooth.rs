@@ -1,0 +1,154 @@
+//! Smoothing filters: centred moving average/median and exponential
+//! weighting.
+//!
+//! Monitor counters carry sampling jitter; these filters produce the
+//! smoothed companions used for display and for trend pre-processing
+//! (never feed smoothed data to the fractal estimators — smoothing
+//! destroys exactly the fine-scale structure they measure).
+
+use crate::error::{Error, Result};
+use crate::stats;
+
+/// Centred moving average of half-width `radius` (window `2·radius + 1`,
+/// clamped at the edges).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for empty input, [`Error::InvalidParameter`]
+/// for `radius == 0`, and [`Error::NonFinite`] for NaN input.
+pub fn moving_average(data: &[f64], radius: usize) -> Result<Vec<f64>> {
+    Error::require_len(data, 1)?;
+    Error::require_finite(data)?;
+    if radius == 0 {
+        return Err(Error::invalid("radius", "must be positive"));
+    }
+    let n = data.len();
+    let mut out = Vec::with_capacity(n);
+    // Prefix sums for O(n) windows.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0.0);
+    for &v in data {
+        prefix.push(prefix.last().unwrap() + v);
+    }
+    for t in 0..n {
+        let lo = t.saturating_sub(radius);
+        let hi = (t + radius).min(n - 1);
+        let sum = prefix[hi + 1] - prefix[lo];
+        out.push(sum / (hi - lo + 1) as f64);
+    }
+    Ok(out)
+}
+
+/// Centred moving median of half-width `radius` — robust to spikes.
+///
+/// # Errors
+///
+/// Same conditions as [`moving_average`].
+pub fn moving_median(data: &[f64], radius: usize) -> Result<Vec<f64>> {
+    Error::require_len(data, 1)?;
+    Error::require_finite(data)?;
+    if radius == 0 {
+        return Err(Error::invalid("radius", "must be positive"));
+    }
+    let n = data.len();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let lo = t.saturating_sub(radius);
+        let hi = (t + radius).min(n - 1);
+        out.push(stats::median(&data[lo..=hi])?);
+    }
+    Ok(out)
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (1 = no smoothing).
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for empty input, [`Error::InvalidParameter`]
+/// for `alpha` outside `(0, 1]`, and [`Error::NonFinite`] for NaN input.
+pub fn ewma(data: &[f64], alpha: f64) -> Result<Vec<f64>> {
+    Error::require_len(data, 1)?;
+    Error::require_finite(data)?;
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(Error::invalid("alpha", "must lie in (0, 1]"));
+    }
+    let mut out = Vec::with_capacity(data.len());
+    let mut level = data[0];
+    out.push(level);
+    for &v in &data[1..] {
+        level = alpha * v + (1.0 - alpha) * level;
+        out.push(level);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_flattens_alternation() {
+        let d = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0];
+        let s = moving_average(&d, 1).unwrap();
+        // Interior: mean of {−1, 1, −1} style windows.
+        for &v in &s[1..6] {
+            assert!(v.abs() < 0.4, "{v}");
+        }
+        assert_eq!(s.len(), d.len());
+    }
+
+    #[test]
+    fn moving_average_preserves_constants() {
+        let d = [4.0; 10];
+        assert_eq!(moving_average(&d, 3).unwrap(), vec![4.0; 10]);
+    }
+
+    #[test]
+    fn moving_average_matches_naive() {
+        let d: Vec<f64> = (0..50).map(|i| ((i * 13 + 7) % 17) as f64).collect();
+        let fast = moving_average(&d, 4).unwrap();
+        for t in 0..d.len() {
+            let lo = t.saturating_sub(4);
+            let hi = (t + 4).min(d.len() - 1);
+            let naive = d[lo..=hi].iter().sum::<f64>() / (hi - lo + 1) as f64;
+            assert!((fast[t] - naive).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_median_rejects_spikes() {
+        let mut d = vec![10.0; 21];
+        d[10] = 1e6;
+        let s = moving_median(&d, 2).unwrap();
+        assert!(s.iter().all(|&v| v == 10.0));
+    }
+
+    #[test]
+    fn ewma_converges_to_level() {
+        let d = vec![5.0; 100];
+        let s = ewma(&d, 0.2).unwrap();
+        assert!((s.last().unwrap() - 5.0).abs() < 1e-12);
+        // Step response: approaches the new level monotonically.
+        let mut step = vec![0.0; 50];
+        step.extend(vec![1.0; 100]);
+        let s = ewma(&step, 0.1).unwrap();
+        assert!(s[60] < s[100]);
+        assert!((s.last().unwrap() - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let d = [3.0, 1.0, 4.0, 1.0];
+        assert_eq!(ewma(&d, 1.0).unwrap(), d.to_vec());
+    }
+
+    #[test]
+    fn guards() {
+        assert!(moving_average(&[], 1).is_err());
+        assert!(moving_average(&[1.0], 0).is_err());
+        assert!(moving_median(&[1.0, f64::NAN], 1).is_err());
+        assert!(ewma(&[1.0], 0.0).is_err());
+        assert!(ewma(&[1.0], 1.5).is_err());
+    }
+}

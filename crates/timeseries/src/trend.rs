@@ -1,0 +1,502 @@
+//! Non-parametric monotone-trend inference: the Mann–Kendall test and Sen's
+//! slope estimator.
+//!
+//! These are the classical tools of measurement-based software-aging
+//! analysis (Garg et al. 1998; Vaidyanathan & Trivedi 1998): detect whether a
+//! resource series trends monotonically, estimate the depletion rate
+//! robustly, and extrapolate a time to exhaustion. They serve as the
+//! baseline the multifractal detector of the target paper is compared
+//! against.
+
+use crate::error::{Error, Result};
+
+/// Direction of a detected monotone trend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrendDirection {
+    /// Statistically significant increasing trend.
+    Increasing,
+    /// Statistically significant decreasing trend.
+    Decreasing,
+    /// No significant monotone trend at the requested level.
+    None,
+}
+
+impl std::fmt::Display for TrendDirection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TrendDirection::Increasing => "increasing",
+            TrendDirection::Decreasing => "decreasing",
+            TrendDirection::None => "none",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a Mann–Kendall trend test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MannKendall {
+    /// The Mann–Kendall S statistic: the number of concordant minus
+    /// discordant pairs.
+    pub s: i64,
+    /// Variance of S under the null hypothesis (tie-corrected).
+    pub var_s: f64,
+    /// Standardised statistic (continuity-corrected).
+    pub z: f64,
+    /// Two-sided p-value from the normal approximation.
+    pub p_value: f64,
+    /// Kendall's tau: `S` normalised by the number of pairs.
+    pub tau: f64,
+}
+
+impl MannKendall {
+    /// Performs the Mann–Kendall test on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooShort`] with fewer than four samples (the normal
+    /// approximation is meaningless below that) and [`Error::NonFinite`]
+    /// for NaN/infinite input.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aging_timeseries::trend::MannKendall;
+    ///
+    /// # fn main() -> Result<(), aging_timeseries::Error> {
+    /// let rising: Vec<f64> = (0..40).map(|i| i as f64).collect();
+    /// let mk = MannKendall::test(&rising)?;
+    /// assert!(mk.p_value < 0.001);
+    /// assert!(mk.s > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn test(data: &[f64]) -> Result<Self> {
+        Error::require_len(data, 4)?;
+        Error::require_finite(data)?;
+        let n = data.len();
+
+        let mut s: i64 = 0;
+        for i in 0..n - 1 {
+            for j in i + 1..n {
+                let d = data[j] - data[i];
+                if d > 0.0 {
+                    s += 1;
+                } else if d < 0.0 {
+                    s -= 1;
+                }
+            }
+        }
+
+        // Tie correction: group sizes of equal values.
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut tie_term = 0.0;
+        let mut run = 1usize;
+        for i in 1..=n {
+            if i < n && sorted[i] == sorted[i - 1] {
+                run += 1;
+            } else {
+                if run > 1 {
+                    let t = run as f64;
+                    tie_term += t * (t - 1.0) * (2.0 * t + 5.0);
+                }
+                run = 1;
+            }
+        }
+        let nf = n as f64;
+        let var_s = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
+
+        let z = if var_s <= 0.0 {
+            0.0
+        } else if s > 0 {
+            (s as f64 - 1.0) / var_s.sqrt()
+        } else if s < 0 {
+            (s as f64 + 1.0) / var_s.sqrt()
+        } else {
+            0.0
+        };
+        let p_value = 2.0 * normal_sf(z.abs());
+        let pairs = (n * (n - 1) / 2) as f64;
+        Ok(MannKendall {
+            s,
+            var_s,
+            z,
+            p_value,
+            tau: s as f64 / pairs,
+        })
+    }
+
+    /// Classifies the trend at significance level `alpha` (e.g. `0.05`).
+    pub fn direction(&self, alpha: f64) -> TrendDirection {
+        if self.p_value < alpha {
+            if self.s > 0 {
+                TrendDirection::Increasing
+            } else {
+                TrendDirection::Decreasing
+            }
+        } else {
+            TrendDirection::None
+        }
+    }
+}
+
+/// Seasonal Mann–Kendall test (Hirsch & Slack): the series is split into
+/// `period` interleaved sub-series (e.g. hour-of-day buckets for diurnal
+/// data) and the per-season S statistics and variances are summed, so a
+/// periodic cycle does not masquerade as a monotone trend.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `period < 2`, and
+/// [`Error::TooShort`] unless every season holds at least four samples.
+///
+/// # Examples
+///
+/// ```
+/// use aging_timeseries::trend::{seasonal_mann_kendall, TrendDirection};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// // A pure daily cycle sampled 24×: no trend once deseasonalised.
+/// let data: Vec<f64> = (0..240)
+///     .map(|i| (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin())
+///     .collect();
+/// let mk = seasonal_mann_kendall(&data, 24)?;
+/// assert_eq!(mk.direction(0.05), TrendDirection::None);
+/// # Ok(())
+/// # }
+/// ```
+pub fn seasonal_mann_kendall(data: &[f64], period: usize) -> Result<MannKendall> {
+    if period < 2 {
+        return Err(Error::invalid("period", "must be at least 2"));
+    }
+    Error::require_len(data, 4 * period)?;
+    Error::require_finite(data)?;
+
+    let mut s_total: i64 = 0;
+    let mut var_total = 0.0;
+    let mut pairs_total = 0.0;
+    for season in 0..period {
+        let sub: Vec<f64> = data.iter().skip(season).step_by(period).copied().collect();
+        if sub.len() < 4 {
+            return Err(Error::TooShort {
+                required: 4 * period,
+                actual: data.len(),
+            });
+        }
+        let mk = MannKendall::test(&sub)?;
+        s_total += mk.s;
+        var_total += mk.var_s;
+        pairs_total += (sub.len() * (sub.len() - 1) / 2) as f64;
+    }
+    let z = if var_total <= 0.0 {
+        0.0
+    } else if s_total > 0 {
+        (s_total as f64 - 1.0) / var_total.sqrt()
+    } else if s_total < 0 {
+        (s_total as f64 + 1.0) / var_total.sqrt()
+    } else {
+        0.0
+    };
+    Ok(MannKendall {
+        s: s_total,
+        var_s: var_total,
+        z,
+        p_value: 2.0 * normal_sf(z.abs()),
+        tau: s_total as f64 / pairs_total,
+    })
+}
+
+/// Sen's slope estimate (median of pairwise slopes) for a uniformly sampled
+/// series, expressed **per unit time** given the sampling period `dt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenSlope {
+    /// Median pairwise slope, per unit time.
+    pub slope: f64,
+    /// Intercept `median(x) - slope * median(t)` anchored at the first
+    /// sample's time 0.
+    pub intercept: f64,
+    /// Lower bound of an approximate 95 % confidence interval on the slope.
+    pub lower_95: f64,
+    /// Upper bound of an approximate 95 % confidence interval on the slope.
+    pub upper_95: f64,
+}
+
+impl SenSlope {
+    /// Estimates Sen's slope of `data` sampled every `dt` time units.
+    ///
+    /// Uses all `O(n²)` pairs up to 1500 samples, a deterministic strided
+    /// subsample beyond.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooShort`] with fewer than two samples,
+    /// [`Error::InvalidParameter`] for non-positive `dt`, and
+    /// [`Error::NonFinite`] for NaN/infinite input.
+    pub fn estimate(data: &[f64], dt: f64) -> Result<Self> {
+        Error::require_len(data, 2)?;
+        Error::require_finite(data)?;
+        if !dt.is_finite() || dt <= 0.0 {
+            return Err(Error::invalid("dt", "must be finite and positive"));
+        }
+        let n = data.len();
+        let stride = if n > crate::regression::THEIL_SEN_EXACT_LIMIT {
+            n / crate::regression::THEIL_SEN_EXACT_LIMIT + 1
+        } else {
+            1
+        };
+        let mut slopes = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let mut j = i + stride;
+            while j < n {
+                slopes.push((data[j] - data[i]) / ((j - i) as f64 * dt));
+                j += stride;
+            }
+            i += stride;
+        }
+        if slopes.is_empty() {
+            return Err(Error::TooShort {
+                required: 2,
+                actual: n,
+            });
+        }
+        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let m = slopes.len();
+        let slope = if m % 2 == 1 {
+            slopes[m / 2]
+        } else {
+            0.5 * (slopes[m / 2 - 1] + slopes[m / 2])
+        };
+
+        // Normal-approximation confidence interval on the rank of the slope
+        // (Gilbert 1987). With subsampling this is approximate.
+        let nf = n as f64;
+        let var_s = nf * (nf - 1.0) * (2.0 * nf + 5.0) / 18.0;
+        let c = 1.96 * var_s.sqrt();
+        let lo_rank = (((m as f64 - c) / 2.0).floor().max(0.0)) as usize;
+        let hi_rank = ((((m as f64 + c) / 2.0).ceil()) as usize).min(m - 1);
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        let intercept = crate::stats::median(data)? - slope * crate::stats::median(&times)?;
+        Ok(SenSlope {
+            slope,
+            intercept,
+            lower_95: slopes[lo_rank],
+            upper_95: slopes[hi_rank],
+        })
+    }
+
+    /// Predicted level at time `t` (measured from the first sample).
+    pub fn predict(&self, t: f64) -> f64 {
+        self.intercept + self.slope * t
+    }
+
+    /// Time (from the first sample) at which the fitted line crosses
+    /// `level`, or `None` when the slope is zero or the crossing lies in the
+    /// past.
+    pub fn time_to_level(&self, level: f64) -> Option<f64> {
+        if self.slope.abs() <= f64::EPSILON {
+            return None;
+        }
+        let t = (level - self.intercept) / self.slope;
+        if t.is_finite() && t >= 0.0 {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+/// Survival function `P(Z > z)` of the standard normal distribution, via an
+/// Abramowitz–Stegun style erfc approximation (max abs error ≈ 1.2e-7).
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (numerical approximation, 7-digit accuracy).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-7);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-6);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-6);
+        assert!(erfc(5.0) < 2e-12);
+    }
+
+    #[test]
+    fn normal_sf_symmetry() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_sf(1.96) - 0.025).abs() < 1e-4);
+        assert!((normal_sf(-1.96) - 0.975).abs() < 1e-4);
+    }
+
+    #[test]
+    fn mk_detects_monotone_trends() {
+        let up: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mk = MannKendall::test(&up).unwrap();
+        assert_eq!(mk.s, (30 * 29 / 2) as i64);
+        assert!((mk.tau - 1.0).abs() < 1e-12);
+        assert!(mk.p_value < 1e-6);
+        assert_eq!(mk.direction(0.05), TrendDirection::Increasing);
+
+        let down: Vec<f64> = (0..30).map(|i| -(i as f64)).collect();
+        let mk = MannKendall::test(&down).unwrap();
+        assert_eq!(mk.direction(0.05), TrendDirection::Decreasing);
+    }
+
+    #[test]
+    fn mk_antisymmetric_under_negation() {
+        let d = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let neg: Vec<f64> = d.iter().map(|v| -v).collect();
+        let a = MannKendall::test(&d).unwrap();
+        let b = MannKendall::test(&neg).unwrap();
+        assert_eq!(a.s, -b.s);
+        assert!((a.p_value - b.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mk_no_trend_on_alternating() {
+        let d: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let mk = MannKendall::test(&d).unwrap();
+        assert_eq!(mk.direction(0.05), TrendDirection::None);
+    }
+
+    #[test]
+    fn mk_tie_correction_reduces_variance() {
+        let no_ties: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let with_ties: Vec<f64> = (0..20).map(|i| (i / 4) as f64).collect();
+        let a = MannKendall::test(&no_ties).unwrap();
+        let b = MannKendall::test(&with_ties).unwrap();
+        assert!(b.var_s < a.var_s);
+    }
+
+    #[test]
+    fn mk_guards() {
+        assert!(MannKendall::test(&[1.0, 2.0, 3.0]).is_err());
+        assert!(MannKendall::test(&[1.0, f64::NAN, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn seasonal_mk_ignores_pure_cycle() {
+        // A strong daily cycle fools the plain test but not the seasonal
+        // one.
+        let data: Vec<f64> = (0..24 * 12)
+            .map(|i| (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0
+                + ((i * 7) % 5) as f64 * 0.01)
+            .collect();
+        let seasonal = seasonal_mann_kendall(&data, 24).unwrap();
+        assert_eq!(seasonal.direction(0.05), TrendDirection::None);
+    }
+
+    #[test]
+    fn seasonal_mk_finds_trend_under_cycle() {
+        let data: Vec<f64> = (0..24 * 12)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0
+                    - 0.5 * i as f64
+            })
+            .collect();
+        let seasonal = seasonal_mann_kendall(&data, 24).unwrap();
+        assert_eq!(seasonal.direction(0.05), TrendDirection::Decreasing);
+        assert!(seasonal.s < 0);
+    }
+
+    #[test]
+    fn seasonal_mk_guards() {
+        let d: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(seasonal_mann_kendall(&d, 1).is_err());
+        assert!(seasonal_mann_kendall(&d[..10], 24).is_err());
+        let mut bad = d.clone();
+        bad[5] = f64::NAN;
+        assert!(seasonal_mann_kendall(&bad, 4).is_err());
+    }
+
+    #[test]
+    fn seasonal_mk_period_one_season_matches_plain() {
+        // With period = 2 and a monotone series both sub-series trend the
+        // same way, so the combined verdict matches the plain test.
+        let d: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let plain = MannKendall::test(&d).unwrap();
+        let seasonal = seasonal_mann_kendall(&d, 2).unwrap();
+        assert_eq!(plain.direction(0.01), seasonal.direction(0.01));
+    }
+
+    #[test]
+    fn sen_slope_exact_on_line() {
+        let d: Vec<f64> = (0..25).map(|i| 100.0 - 2.0 * i as f64).collect();
+        let sen = SenSlope::estimate(&d, 0.5).unwrap();
+        // slope per unit time: -2 per sample / 0.5 s per sample = -4 /s.
+        assert!((sen.slope + 4.0).abs() < 1e-12);
+        assert!((sen.predict(0.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sen_slope_robust_to_outliers() {
+        let mut d: Vec<f64> = (0..50).map(|i| 10.0 + 0.5 * i as f64).collect();
+        d[7] = 1e6;
+        d[23] = -1e6;
+        let sen = SenSlope::estimate(&d, 1.0).unwrap();
+        assert!((sen.slope - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn sen_confidence_brackets_slope() {
+        let d: Vec<f64> = (0..60)
+            .map(|i| 5.0 + 0.3 * i as f64 + if i % 3 == 0 { 0.4 } else { -0.2 })
+            .collect();
+        let sen = SenSlope::estimate(&d, 1.0).unwrap();
+        assert!(sen.lower_95 <= sen.slope);
+        assert!(sen.slope <= sen.upper_95);
+    }
+
+    #[test]
+    fn time_to_level_extrapolates() {
+        // Free memory falling from 100 at 2 units/s hits 0 at t = 50.
+        let d: Vec<f64> = (0..10).map(|i| 100.0 - 2.0 * i as f64).collect();
+        let sen = SenSlope::estimate(&d, 1.0).unwrap();
+        let t = sen.time_to_level(0.0).unwrap();
+        assert!((t - 50.0).abs() < 1e-9);
+        // Rising series never reaches a level below its start.
+        let up: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let sen_up = SenSlope::estimate(&up, 1.0).unwrap();
+        assert_eq!(sen_up.time_to_level(-5.0), None);
+    }
+
+    #[test]
+    fn sen_guards() {
+        assert!(SenSlope::estimate(&[1.0], 1.0).is_err());
+        assert!(SenSlope::estimate(&[1.0, 2.0], 0.0).is_err());
+        assert!(SenSlope::estimate(&[1.0, f64::NAN], 1.0).is_err());
+    }
+
+    #[test]
+    fn trend_direction_display() {
+        assert_eq!(TrendDirection::Increasing.to_string(), "increasing");
+        assert_eq!(TrendDirection::None.to_string(), "none");
+    }
+}

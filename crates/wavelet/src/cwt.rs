@@ -1,0 +1,279 @@
+//! Continuous wavelet transform (CWT) on a discrete scale grid.
+//!
+//! The CWT `W(s, t) = (1/√s) Σ_u x[u] ψ((u − t)/s)` probes the signal with
+//! a translated, dilated analysing wavelet. The workspace uses it for
+//! modulus-maxima style inspection of singularities; heavy-duty Hölder
+//! estimation goes through the cheaper wavelet leaders instead.
+
+use aging_timeseries::{Error, Result};
+
+/// Analysing wavelets for the CWT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum CwtWavelet {
+    /// Mexican hat (negative second derivative of a Gaussian, 2 vanishing
+    /// moments) — the classic choice for singularity detection.
+    #[default]
+    MexicanHat,
+    /// Real-valued Morlet (cosine-modulated Gaussian, centre frequency 5).
+    /// Approximately admissible; good for oscillatory content.
+    MorletReal,
+}
+
+impl CwtWavelet {
+    /// Evaluates the mother wavelet at `t`.
+    pub fn evaluate(&self, t: f64) -> f64 {
+        match self {
+            CwtWavelet::MexicanHat => {
+                // Unit-L2-norm Mexican hat.
+                let c = 2.0 / (3.0_f64.sqrt() * std::f64::consts::PI.powf(0.25));
+                c * (1.0 - t * t) * (-0.5 * t * t).exp()
+            }
+            CwtWavelet::MorletReal => {
+                let omega0: f64 = 5.0;
+                let c = std::f64::consts::PI.powf(-0.25);
+                // Correction term keeps the mean (numerically) zero.
+                let k = (-0.5 * omega0 * omega0).exp();
+                c * ((omega0 * t).cos() - k) * (-0.5 * t * t).exp()
+            }
+        }
+    }
+
+    /// Half-width (in mother-wavelet time units) beyond which the wavelet
+    /// is treated as zero.
+    pub fn support_radius(&self) -> f64 {
+        6.0
+    }
+}
+
+impl std::fmt::Display for CwtWavelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CwtWavelet::MexicanHat => "mexican-hat",
+            CwtWavelet::MorletReal => "morlet-real",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a CWT: one row of coefficients per scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CwtResult {
+    wavelet: CwtWavelet,
+    scales: Vec<f64>,
+    /// `coefficients[si][t]` = W(scales[si], t).
+    coefficients: Vec<Vec<f64>>,
+}
+
+impl CwtResult {
+    /// The analysing wavelet.
+    pub fn wavelet(&self) -> CwtWavelet {
+        self.wavelet
+    }
+
+    /// The scale grid.
+    pub fn scales(&self) -> &[f64] {
+        &self.scales
+    }
+
+    /// Coefficient row for scale index `si`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `si` is out of range.
+    pub fn row(&self, si: usize) -> &[f64] {
+        &self.coefficients[si]
+    }
+
+    /// All rows, ordered like [`CwtResult::scales`].
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.coefficients
+    }
+
+    /// The scale index whose row has maximum energy — a crude dominant-scale
+    /// indicator.
+    pub fn dominant_scale_index(&self) -> usize {
+        let mut best = 0;
+        let mut best_e = f64::MIN;
+        for (i, row) in self.coefficients.iter().enumerate() {
+            let e: f64 = row.iter().map(|v| v * v).sum();
+            if e > best_e {
+                best_e = e;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Positions of local modulus maxima along time at scale index `si`:
+    /// |W| above `threshold`, strictly greater than the left neighbour and
+    /// at least the right neighbour (so the first sample of a flat peak
+    /// plateau is reported).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `si` is out of range.
+    pub fn modulus_maxima(&self, si: usize, threshold: f64) -> Vec<usize> {
+        let row = &self.coefficients[si];
+        let mut out = Vec::new();
+        for t in 1..row.len().saturating_sub(1) {
+            let m = row[t].abs();
+            if m > threshold && m > row[t - 1].abs() && m >= row[t + 1].abs() {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Computes the CWT of `signal` on the given scale grid (scales in samples,
+/// each ≥ 0.5). Direct convolution with truncated support; cost is
+/// `O(n · Σ s)`.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] / [`Error::NonFinite`] for bad signals and
+/// [`Error::InvalidParameter`] for an empty or invalid scale grid.
+///
+/// # Examples
+///
+/// ```
+/// use aging_wavelet::cwt::{cwt, CwtWavelet};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let signal: Vec<f64> = (0..256).map(|i| (i as f64 / 8.0).sin()).collect();
+/// let res = cwt(&signal, CwtWavelet::MexicanHat, &[2.0, 8.0, 32.0])?;
+/// assert_eq!(res.rows().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cwt(signal: &[f64], wavelet: CwtWavelet, scales: &[f64]) -> Result<CwtResult> {
+    Error::require_len(signal, 2)?;
+    Error::require_finite(signal)?;
+    if scales.is_empty() {
+        return Err(Error::invalid("scales", "must not be empty"));
+    }
+    if let Some(&bad) = scales.iter().find(|&&s| !s.is_finite() || s < 0.5) {
+        return Err(Error::invalid(
+            "scales",
+            format!("scales must be finite and >= 0.5, got {bad}"),
+        ));
+    }
+
+    let n = signal.len();
+    let mut coefficients = Vec::with_capacity(scales.len());
+    for &s in scales {
+        let radius = (wavelet.support_radius() * s).ceil() as usize;
+        let norm = 1.0 / s.sqrt();
+        let mut row = vec![0.0; n];
+        // Precompute sampled wavelet for this scale.
+        let kernel: Vec<f64> = (-(radius as i64)..=radius as i64)
+            .map(|d| wavelet.evaluate(d as f64 / s))
+            .collect();
+        for (t, out) in row.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            let lo = t.saturating_sub(radius);
+            let hi = (t + radius).min(n - 1);
+            for u in lo..=hi {
+                let kidx = (u as i64 - t as i64 + radius as i64) as usize;
+                acc += signal[u] * kernel[kidx];
+            }
+            *out = norm * acc;
+        }
+        coefficients.push(row);
+    }
+    Ok(CwtResult {
+        wavelet,
+        scales: scales.to_vec(),
+        coefficients,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mexican_hat_shape() {
+        let w = CwtWavelet::MexicanHat;
+        // Positive peak at 0, negative lobes beyond |t| = 1.
+        assert!(w.evaluate(0.0) > 0.0);
+        assert!(w.evaluate(1.5) < 0.0);
+        assert!(w.evaluate(-1.5) < 0.0);
+        // Even function.
+        assert!((w.evaluate(0.7) - w.evaluate(-0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelets_have_near_zero_mean() {
+        for w in [CwtWavelet::MexicanHat, CwtWavelet::MorletReal] {
+            let dt = 0.001;
+            let mean: f64 = (-20_000..20_000)
+                .map(|i| w.evaluate(i as f64 * dt) * dt)
+                .sum();
+            assert!(mean.abs() < 1e-6, "{w}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn mexican_hat_near_unit_norm() {
+        let dt = 0.001;
+        let e: f64 = (-20_000..20_000)
+            .map(|i| {
+                let v = CwtWavelet::MexicanHat.evaluate(i as f64 * dt);
+                v * v * dt
+            })
+            .sum();
+        assert!((e - 1.0).abs() < 1e-3, "energy {e}");
+    }
+
+    #[test]
+    fn zero_signal_zero_coefficients() {
+        let res = cwt(&vec![0.0; 64], CwtWavelet::MexicanHat, &[2.0, 4.0]).unwrap();
+        for row in res.rows() {
+            assert!(row.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn oscillation_peaks_at_matching_scale() {
+        // Mexican hat responds maximally when scale ≈ period / (2π/√2.5)...
+        // rather than pin the constant, check the energy is unimodal-ish and
+        // the dominant scale is interior.
+        let period = 16.0;
+        let signal: Vec<f64> = (0..512)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / period).sin())
+            .collect();
+        let scales = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+        let res = cwt(&signal, CwtWavelet::MexicanHat, &scales).unwrap();
+        let dom = res.dominant_scale_index();
+        assert!((1..=4).contains(&dom), "dominant index {dom}");
+    }
+
+    #[test]
+    fn step_discontinuity_produces_maxima_line() {
+        let signal: Vec<f64> = (0..128).map(|i| if i < 64 { 0.0 } else { 1.0 }).collect();
+        let res = cwt(&signal, CwtWavelet::MexicanHat, &[2.0, 4.0]).unwrap();
+        for si in 0..2 {
+            let maxima = res.modulus_maxima(si, 0.05);
+            assert!(
+                maxima.iter().any(|&t| (t as i64 - 64).abs() <= 3),
+                "scale {si}: maxima {maxima:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn guards() {
+        assert!(cwt(&[], CwtWavelet::MexicanHat, &[2.0]).is_err());
+        assert!(cwt(&[1.0, 2.0], CwtWavelet::MexicanHat, &[]).is_err());
+        assert!(cwt(&[1.0, 2.0], CwtWavelet::MexicanHat, &[0.1]).is_err());
+        assert!(cwt(&[1.0, f64::NAN], CwtWavelet::MexicanHat, &[2.0]).is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CwtWavelet::MexicanHat.to_string(), "mexican-hat");
+        assert_eq!(CwtWavelet::MorletReal.to_string(), "morlet-real");
+    }
+}

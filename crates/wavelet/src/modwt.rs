@@ -1,0 +1,297 @@
+//! Maximal-overlap discrete wavelet transform (MODWT) and its inverse.
+//!
+//! Unlike the decimated DWT, the MODWT is defined for **any** signal length,
+//! is shift-invariant, and produces one coefficient per sample at every
+//! level — exactly what a sliding-window analysis of an arbitrary-length
+//! monitor log needs. Conventions follow Percival & Walden (2000), with
+//! periodic boundary handling.
+
+use crate::filters::Wavelet;
+use aging_timeseries::{Error, Result};
+
+/// A multi-level MODWT decomposition: `levels` detail bands plus the final
+/// smooth, each of the same length as the input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModwtDecomposition {
+    wavelet: Wavelet,
+    details: Vec<Vec<f64>>,
+    smooth: Vec<f64>,
+}
+
+impl ModwtDecomposition {
+    /// Wavelet family used.
+    pub fn wavelet(&self) -> Wavelet {
+        self.wavelet
+    }
+
+    /// Number of analysed levels.
+    pub fn levels(&self) -> usize {
+        self.details.len()
+    }
+
+    /// Signal length (every band has this length).
+    pub fn len(&self) -> usize {
+        self.smooth.len()
+    }
+
+    /// Whether the decomposition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.smooth.is_empty()
+    }
+
+    /// Detail (wavelet) coefficients at `level` (1-based, 1 = finest).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `level` is 0 or exceeds [`ModwtDecomposition::levels`].
+    pub fn detail(&self, level: usize) -> &[f64] {
+        assert!(
+            level >= 1 && level <= self.details.len(),
+            "level {level} out of range 1..={}",
+            self.details.len()
+        );
+        &self.details[level - 1]
+    }
+
+    /// The smooth (scaling) coefficients at the coarsest level.
+    pub fn smooth(&self) -> &[f64] {
+        &self.smooth
+    }
+
+    /// Total energy across all bands; equals the signal energy (the MODWT
+    /// is an energy-preserving, if redundant, transform).
+    pub fn energy(&self) -> f64 {
+        let d: f64 = self
+            .details
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|v| v * v)
+            .sum();
+        let s: f64 = self.smooth.iter().map(|v| v * v).sum();
+        d + s
+    }
+
+    /// Inverts the transform, returning the original signal.
+    pub fn reconstruct(&self) -> Vec<f64> {
+        let mut current = self.smooth.clone();
+        for (j, detail) in self.details.iter().enumerate().rev() {
+            current = inverse_level(&current, detail, self.wavelet, j + 1);
+        }
+        current
+    }
+}
+
+/// Multi-level MODWT of `signal` (any length ≥ 1).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when `levels == 0` or when the
+/// implied filter span `(2^levels - 1)(L - 1) + 1` exceeds the signal
+/// length (coefficients would wrap more than once), [`Error::Empty`] for an
+/// empty signal, and [`Error::NonFinite`] for NaN input.
+///
+/// # Examples
+///
+/// ```
+/// use aging_wavelet::{modwt, Wavelet};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let signal: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).cos()).collect();
+/// let dec = modwt(&signal, Wavelet::Haar, 3)?;
+/// assert_eq!(dec.detail(2).len(), 100); // undecimated
+/// let back = dec.reconstruct();
+/// assert!(signal.iter().zip(&back).all(|(a, b)| (a - b).abs() < 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+pub fn modwt(signal: &[f64], wavelet: Wavelet, levels: usize) -> Result<ModwtDecomposition> {
+    Error::require_len(signal, 1)?;
+    Error::require_finite(signal)?;
+    if levels == 0 {
+        return Err(Error::invalid("levels", "must be at least 1"));
+    }
+    let l = wavelet.filter_len();
+    let span = (1usize << levels)
+        .saturating_sub(1)
+        .saturating_mul(l - 1)
+        .saturating_add(1);
+    if span > signal.len() {
+        return Err(Error::invalid(
+            "levels",
+            format!(
+                "level-{levels} filter span {span} exceeds signal length {}",
+                signal.len()
+            ),
+        ));
+    }
+
+    let mut details = Vec::with_capacity(levels);
+    let mut current = signal.to_vec();
+    for j in 1..=levels {
+        let (smooth, detail) = forward_level(&current, wavelet, j);
+        details.push(detail);
+        current = smooth;
+    }
+    Ok(ModwtDecomposition {
+        wavelet,
+        details,
+        smooth: current,
+    })
+}
+
+/// One forward MODWT step at level `j` (1-based).
+fn forward_level(v_prev: &[f64], wavelet: Wavelet, j: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = v_prev.len();
+    let h: Vec<f64> = wavelet
+        .scaling_filter()
+        .iter()
+        .map(|c| c / std::f64::consts::SQRT_2)
+        .collect();
+    let g: Vec<f64> = wavelet
+        .wavelet_filter()
+        .iter()
+        .map(|c| c / std::f64::consts::SQRT_2)
+        .collect();
+    let step = 1usize << (j - 1);
+    let mut smooth = vec![0.0; n];
+    let mut detail = vec![0.0; n];
+    for t in 0..n {
+        let mut s = 0.0;
+        let mut d = 0.0;
+        for (l, (&hl, &gl)) in h.iter().zip(&g).enumerate() {
+            // (t - step*l) mod n, computed without going negative.
+            let offset = (step * l) % n;
+            let idx = (t + n - offset) % n;
+            s += hl * v_prev[idx];
+            d += gl * v_prev[idx];
+        }
+        smooth[t] = s;
+        detail[t] = d;
+    }
+    (smooth, detail)
+}
+
+/// One inverse MODWT step at level `j` (1-based).
+fn inverse_level(smooth: &[f64], detail: &[f64], wavelet: Wavelet, j: usize) -> Vec<f64> {
+    let n = smooth.len();
+    let h: Vec<f64> = wavelet
+        .scaling_filter()
+        .iter()
+        .map(|c| c / std::f64::consts::SQRT_2)
+        .collect();
+    let g: Vec<f64> = wavelet
+        .wavelet_filter()
+        .iter()
+        .map(|c| c / std::f64::consts::SQRT_2)
+        .collect();
+    let step = 1usize << (j - 1);
+    let mut out = vec![0.0; n];
+    for t in 0..n {
+        let mut acc = 0.0;
+        for (l, (&hl, &gl)) in h.iter().zip(&g).enumerate() {
+            let offset = (step * l) % n;
+            let idx = (t + offset) % n;
+            acc += hl * smooth[idx] + gl * detail[idx];
+        }
+        out[t] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() < tol, "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn round_trip_non_dyadic_lengths() {
+        for n in [7usize, 33, 100, 101] {
+            let signal: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 13) as f64).collect();
+            let dec = modwt(&signal, Wavelet::Haar, 2).unwrap();
+            assert_close(&signal, &dec.reconstruct(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn round_trip_all_wavelets() {
+        let signal: Vec<f64> = (0..200)
+            .map(|i| (i as f64 * 0.11).sin() + 0.3 * ((i * i) % 7) as f64)
+            .collect();
+        for w in Wavelet::ALL {
+            let dec = modwt(&signal, w, 3).unwrap();
+            assert_close(&signal, &dec.reconstruct(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_preserved() {
+        let signal: Vec<f64> = (0..150).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+        let e0: f64 = signal.iter().map(|v| v * v).sum();
+        for w in [Wavelet::Haar, Wavelet::Daubechies8] {
+            let dec = modwt(&signal, w, 3).unwrap();
+            assert!((dec.energy() - e0).abs() < 1e-8 * e0, "{w}");
+        }
+    }
+
+    #[test]
+    fn shift_invariance() {
+        // Circularly shifting the input circularly shifts every band.
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64).collect();
+        let mut shifted = signal.clone();
+        shifted.rotate_right(3);
+        let a = modwt(&signal, Wavelet::Daubechies4, 2).unwrap();
+        let b = modwt(&shifted, Wavelet::Daubechies4, 2).unwrap();
+        let mut d1 = a.detail(2).to_vec();
+        d1.rotate_right(3);
+        assert_close(&d1, b.detail(2), 1e-10);
+    }
+
+    #[test]
+    fn bands_have_signal_length() {
+        let signal = vec![1.0; 37];
+        let dec = modwt(&signal, Wavelet::Haar, 4).unwrap();
+        assert_eq!(dec.levels(), 4);
+        assert_eq!(dec.len(), 37);
+        for j in 1..=4 {
+            assert_eq!(dec.detail(j).len(), 37);
+        }
+        assert_eq!(dec.smooth().len(), 37);
+        assert!(!dec.is_empty());
+    }
+
+    #[test]
+    fn constant_signal_zero_details() {
+        let signal = vec![3.0; 50];
+        let dec = modwt(&signal, Wavelet::Daubechies6, 2).unwrap();
+        for j in 1..=2 {
+            for &d in dec.detail(j) {
+                assert!(d.abs() < 1e-10);
+            }
+        }
+        // Smooth carries the level: V_J ≈ mean level (scaled).
+        assert!(dec.smooth().iter().all(|&s| (s - 3.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn guards() {
+        assert!(modwt(&[], Wavelet::Haar, 1).is_err());
+        assert!(modwt(&[1.0, 2.0], Wavelet::Haar, 0).is_err());
+        // Span too large: levels that exceed signal support.
+        assert!(modwt(&[1.0, 2.0, 3.0], Wavelet::Daubechies12, 3).is_err());
+        assert!(modwt(&[1.0, f64::NAN, 2.0], Wavelet::Haar, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn detail_bounds() {
+        let dec = modwt(&[1.0, 2.0, 3.0, 4.0], Wavelet::Haar, 1).unwrap();
+        let _ = dec.detail(2);
+    }
+}

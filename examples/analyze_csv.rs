@@ -1,0 +1,75 @@
+//! Bring-your-own-data workflow: export a monitor log as CSV (here:
+//! produced by the simulator — in production, your collector), read it
+//! back, repair gaps, and run the full aging analysis on it.
+//!
+//! Run with: `cargo run --release --example analyze_csv`
+
+use aging_core::detector::analyze;
+use aging_timeseries::{csv, interp};
+use holder_aging::prelude::*;
+use std::io::Write;
+
+fn main() -> Result<()> {
+    // ── 1. Produce a counter log (stand-in for a real perfmon export). ──
+    let scenario = Scenario::aging_web_server(808);
+    let report = simulate(&scenario, 48.0 * 3600.0)?;
+    let series = report.log.series(Counter::AvailableBytes)?;
+
+    let path = std::env::temp_dir().join("holder_aging_demo.csv");
+    {
+        let mut file = std::fs::File::create(&path)
+            .map_err(|e| Error::Numerical(format!("create csv: {e}")))?;
+        csv::write_csv(&series, "available_bytes", &mut file)?;
+        file.flush()
+            .map_err(|e| Error::Numerical(format!("flush csv: {e}")))?;
+    }
+    println!("wrote {} samples to {}", series.len(), path.display());
+
+    // ── 2. Read it back as a stranger would. ──
+    let file =
+        std::fs::File::open(&path).map_err(|e| Error::Numerical(format!("open csv: {e}")))?;
+    let table = csv::read_csv(file)?;
+    println!("columns: {:?}", table.headers);
+    let mut imported = table.series("time", "available_bytes")?;
+
+    // Real logs have holes; repair them before analysis.
+    let missing = interp::missing_fraction(imported.values());
+    if missing > 0.0 {
+        println!("repairing {:.1}% missing samples", missing * 100.0);
+        interp::fill_gaps(imported.values_mut(), interp::FillMethod::Linear)?;
+    }
+
+    // ── 3. Full aging analysis. ──
+    let sen = SenSlope::estimate(imported.values(), imported.dt())?;
+    println!(
+        "trend: {:.1} KiB/hour ({})",
+        sen.slope * 3600.0 / 1024.0,
+        if sen.slope < 0.0 { "depleting" } else { "stable/growing" },
+    );
+    if let Some(eta) = sen.time_to_level(0.0) {
+        println!("naive linear exhaustion in {:.1} h", eta / 3600.0);
+    }
+
+    // One-call structured assessment…
+    let assessment = assess(&imported, &AssessmentConfig::default())?;
+    println!("\n{assessment}");
+
+    // …or the detector alone, for alarm timing.
+    let analysis = analyze(imported.values(), &DetectorConfig::default())?;
+    match analysis.first_alarm() {
+        Some(alarm) => {
+            let t = alarm.sample_index as f64 * imported.dt() / 3600.0;
+            println!(
+                "holder-dimension ALARM at t = {t:.2} h (trigger {:?}, D_h {:.3}, mean h {:.3})",
+                alarm.trigger, alarm.dimension, alarm.mean_holder
+            );
+        }
+        None => println!("no aging alarm in this log"),
+    }
+    if let Some(crash) = report.first_crash() {
+        println!("(ground truth: the machine crashed at {} — {})", crash.time, crash.cause);
+    }
+
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

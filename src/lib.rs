@@ -1,0 +1,76 @@
+//! # holder-aging
+//!
+//! A full reproduction of **"Software Aging and Multifractality of Memory
+//! Resources"** (M. Shereshevsky, B. Cukic, J. Crowell, V. Gandikota,
+//! Y. Liu — DSN 2003) as a Rust workspace.
+//!
+//! The paper's thesis: memory-resource usage of a long-running system is a
+//! *multifractal* signal, and abrupt changes in the fractal dimension of
+//! its local Hölder-exponent trace precede crashes — giving an online
+//! software-aging (crash-warning) detector that beats classical
+//! trend-extrapolation predictors on bursty real-world signals.
+//!
+//! This umbrella crate re-exports the workspace layers:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`timeseries`] | `aging-timeseries` | series container, statistics, trend tests |
+//! | [`wavelet`] | `aging-wavelet` | DWT / MODWT / CWT / wavelet leaders |
+//! | [`fractal`] | `aging-fractal` | generators, Hölder, Hurst, dimensions, spectra |
+//! | [`memsim`] | `aging-memsim` | the simulated testbed (machines, workloads, faults) |
+//! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use holder_aging::prelude::*;
+//!
+//! # fn main() -> Result<(), holder_aging::Error> {
+//! // 1. Simulate an aging web server until it crashes.
+//! let scenario = Scenario::tiny_aging(7, 512.0);
+//! let report = simulate(&scenario, 4.0 * 3600.0)?;
+//! let crash = report.first_crash().expect("the leak crashes the machine");
+//!
+//! // 2. Run the paper's detector offline over the free-memory counter.
+//! let series = report.log.series(Counter::AvailableBytes)?;
+//! let config = DetectorConfig {
+//!     holder_radius: 16,
+//!     holder_max_lag: 4,
+//!     dimension_window: 64,
+//!     dimension_stride: 8,
+//!     baseline_windows: 6,
+//!     ..DetectorConfig::default()
+//! };
+//! let analysis = aging_core::detector::analyze(series.values(), &config)?;
+//! println!("crash at {}, {} alerts", crash.time, analysis.alerts.len());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aging_core as core;
+pub use aging_fractal as fractal;
+pub use aging_memsim as memsim;
+pub use aging_timeseries as timeseries;
+pub use aging_wavelet as wavelet;
+
+pub use aging_timeseries::{Error, Result, TimeSeries};
+
+/// One-line import for applications: the most common types of every layer.
+pub mod prelude {
+    pub use aging_core::baseline::{AgingPredictor, ResourceDirection, TrendPredictorConfig};
+    pub use aging_core::detector::{
+        analyze, AlertLevel, DetectorConfig, HolderDimensionDetector, JumpRule,
+    };
+    pub use aging_core::eval::{compare, evaluate, PredictorSpec};
+    pub use aging_core::progression::{progression, ProgressionConfig};
+    pub use aging_core::report::{assess, Assessment, AssessmentConfig, Verdict};
+    pub use aging_core::rejuvenation::{run_policy, OutageCosts, Policy};
+    pub use aging_fractal::holder::{holder_trace, HolderEstimator};
+    pub use aging_fractal::{dimension, generate, hurst, spectrum};
+    pub use aging_memsim::{
+        simulate, simulate_fleet, simulate_with_reboots, Bytes, Counter, FaultPlan, Machine,
+        MachineConfig, Scenario, SimTime, WorkloadConfig,
+    };
+    pub use aging_timeseries::{trend::MannKendall, trend::SenSlope, Error, Result, TimeSeries};
+    pub use aging_wavelet::{dwt, modwt, Wavelet, WaveletLeaders};
+}

@@ -1,0 +1,166 @@
+//! Integration tests for the extension modules: assessment reports,
+//! multi-resource fusion, multi-process machines, seasonal trend tests,
+//! surrogate significance and denoising — all driven end-to-end from the
+//! simulator.
+
+use aging_core::fusion::{evaluate_fusion, FusionRule};
+use aging_core::report::{assess, AssessmentConfig, Verdict};
+use aging_fractal::spectrum::{mfdfa, MfdfaConfig};
+use aging_fractal::surrogate::phase_surrogate;
+use aging_memsim::{MultiMachine, MultiScenario};
+use aging_timeseries::trend::seasonal_mann_kendall;
+use holder_aging::prelude::*;
+
+fn tiny_detector() -> DetectorConfig {
+    DetectorConfig {
+        holder_radius: 16,
+        holder_max_lag: 4,
+        dimension_window: 64,
+        dimension_stride: 16,
+        baseline_windows: 8,
+        ..DetectorConfig::default()
+    }
+}
+
+#[test]
+fn assessment_matches_detector_and_crash_ground_truth() {
+    let report = simulate(&Scenario::tiny_aging(41, 192.0), 6.0 * 3600.0).unwrap();
+    let crash = report.first_crash().expect("must crash");
+    let series = report.log.series(Counter::AvailableBytes).unwrap();
+    let config = AssessmentConfig {
+        detector: tiny_detector(),
+        ..AssessmentConfig::default()
+    };
+    let a = assess(&series, &config).unwrap();
+    assert_eq!(a.verdict, Verdict::Critical);
+    let alarm = a.alarm_secs().expect("critical implies alarm");
+    assert!(alarm < crash.time.as_secs());
+    // The report text mentions everything an operator needs.
+    let text = a.to_string();
+    for needle in ["trend", "holder exponent", "detector", "verdict"] {
+        assert!(text.contains(needle), "missing `{needle}` in report");
+    }
+}
+
+#[test]
+fn fusion_over_both_paper_resources() {
+    let report = simulate(&Scenario::tiny_aging(42, 192.0), 6.0 * 3600.0).unwrap();
+    let members = vec![
+        (
+            Counter::AvailableBytes,
+            PredictorSpec::HolderDimension(tiny_detector()),
+        ),
+        (
+            Counter::UsedSwapBytes,
+            PredictorSpec::Threshold {
+                level: 8.0 * 1024.0 * 1024.0,
+                direction: ResourceDirection::Filling,
+            },
+        ),
+    ];
+    let outcomes = evaluate_fusion(&members, FusionRule::Any, &report).unwrap();
+    assert!(outcomes[0].detected());
+
+    // The healthy control stays quiet under the strict rule.
+    let healthy = simulate(&Scenario::tiny_aging(43, 0.0), 4.0 * 3600.0).unwrap();
+    let quiet = evaluate_fusion(&members, FusionRule::All, &healthy).unwrap();
+    assert!(!quiet[0].false_alarm());
+}
+
+#[test]
+fn multi_process_machine_with_detector_driven_restarts() {
+    let mut scenario = MultiScenario::leaky_app_with_neighbours(44, 96.0);
+    scenario.machine = aging_memsim::MachineConfig::tiny_test();
+    for p in &mut scenario.processes {
+        p.workload = WorkloadConfig::tiny_test();
+        p.workload.base_rate = 6.0;
+        p.workload.batch_bytes = Bytes::ZERO;
+    }
+    let mut machine = MultiMachine::boot(&scenario).unwrap();
+    let mut detector = HolderDimensionDetector::new(tiny_detector()).unwrap();
+    let mut last_len = 0;
+    let mut restarts = 0;
+    while machine.now().as_hours() < 5.0 {
+        if machine.step().is_some() {
+            break;
+        }
+        let len = machine.log().len();
+        if len > last_len {
+            last_len = len;
+            let v = machine.log().values(Counter::AvailableBytes)[len - 1];
+            if let Some(alert) = detector.push(v).unwrap() {
+                if alert.level == AlertLevel::Alarm {
+                    let suspect = machine.leak_suspect().unwrap().to_string();
+                    assert_eq!(suspect, "app", "attribution must find the leaker");
+                    machine.restart_process(&suspect).unwrap();
+                    detector.reset();
+                    restarts += 1;
+                }
+            }
+        }
+    }
+    assert!(!machine.is_crashed(), "selective restarts must prevent the crash");
+    assert!(restarts >= 2, "detector must have driven restarts");
+}
+
+#[test]
+fn seasonal_trend_test_on_diurnal_simulation() {
+    // A diurnal healthy machine shows no seasonal-MK trend on committed
+    // bytes once the daily cycle is bucketed out.
+    let mut workload = WorkloadConfig::web_server_diurnal();
+    workload.base_rate = 12.0;
+    // Short day so several cycles fit in a fast test.
+    workload.diurnal_period_secs = 3600.0;
+    let scenario = Scenario {
+        name: "diurnal-int".into(),
+        machine: MachineConfig::workstation_nt4(),
+        workload,
+        faults: FaultPlan::healthy(),
+        seed: 45,
+    };
+    let report = simulate(&scenario, 10.0 * 3600.0).unwrap();
+    let series = report.log.series(Counter::CommittedBytes).unwrap();
+    // Samples per "day": 3600 s / 30 s = 120.
+    // Skip the boot warmup (first simulated hour) which is a real trend.
+    let steady = &series.values()[120..];
+    let mk = seasonal_mann_kendall(steady, 120).unwrap();
+    assert!(
+        mk.p_value > 0.001,
+        "healthy diurnal machine strongly trending? p = {}",
+        mk.p_value
+    );
+}
+
+#[test]
+fn surrogate_controls_on_simulated_counters() {
+    // Phase surrogates of a monitor log keep variance but need not keep
+    // the aging structure; both must be analyzable without error.
+    let report = simulate(&Scenario::tiny_aging(46, 64.0), 3.0 * 3600.0).unwrap();
+    let series = report.log.series(Counter::AvailableBytes).unwrap();
+    let surrogate = phase_surrogate(series.values(), 1).unwrap();
+    let w_orig = mfdfa(series.values(), &MfdfaConfig::default())
+        .unwrap()
+        .width();
+    let w_surr = mfdfa(&surrogate, &MfdfaConfig::default()).unwrap().width();
+    assert!(w_orig.is_finite() && w_surr.is_finite());
+}
+
+#[test]
+fn denoised_counter_still_carries_the_trend() {
+    let report = simulate(&Scenario::tiny_aging(47, 128.0), 2.0 * 3600.0).unwrap();
+    let series = report.log.series(Counter::AvailableBytes).unwrap();
+    let out = aging_wavelet::denoise::denoise(
+        series.values(),
+        Wavelet::Daubechies8,
+        4,
+        aging_wavelet::denoise::Shrinkage::Soft,
+    )
+    .unwrap();
+    let mk_raw = MannKendall::test(series.values()).unwrap();
+    let mk_den = MannKendall::test(&out.signal).unwrap();
+    assert_eq!(
+        mk_raw.direction(0.05),
+        mk_den.direction(0.05),
+        "denoising must not destroy the depletion trend"
+    );
+}
