@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass, in the order it fails fastest.
+#   ./ci.sh          full gate (build, tests, clippy -D warnings, fmt check)
+#   ./ci.sh quick    skip the release build (debug build + tests + lints)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=${1:-}
+
+echo "==> cargo build"
+if [ "$quick" = "quick" ]; then
+    cargo build --workspace --all-targets
+else
+    cargo build --workspace --all-targets --release
+fi
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "CI gate passed."

@@ -31,8 +31,7 @@ fn bench_detector(c: &mut Criterion) {
     use aging_core::baseline::{AgingPredictor, SenSlopePredictor, TrendPredictorConfig};
     c.bench_function("detector/sen-slope-predictor", |b| {
         b.iter(|| {
-            let mut p =
-                SenSlopePredictor::new(TrendPredictorConfig::depleting(30.0)).unwrap();
+            let mut p = SenSlopePredictor::new(TrendPredictorConfig::depleting(30.0)).unwrap();
             for &v in &values {
                 let _ = p.push(std::hint::black_box(v)).unwrap();
             }

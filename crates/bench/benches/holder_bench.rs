@@ -1,8 +1,8 @@
 //! Hölder-trace estimation benchmarks (the per-sample cost that bounds the
 //! streaming detector's throughput).
 
-use aging_fractal::holder::{holder_trace, increment_exponent, HolderEstimator};
 use aging_fractal::generate;
+use aging_fractal::holder::{holder_trace, increment_exponent, HolderEstimator};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_holder(c: &mut Criterion) {

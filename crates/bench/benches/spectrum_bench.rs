@@ -18,9 +18,7 @@ fn bench_spectrum(c: &mut Criterion) {
         b.iter(|| mfdfa(std::hint::black_box(&noise), &MfdfaConfig::default()).unwrap())
     });
     c.bench_function("spectrum/structure-function-8192", |b| {
-        b.iter(|| {
-            structure_function(std::hint::black_box(&noise), &[1.0, 2.0, 3.0]).unwrap()
-        })
+        b.iter(|| structure_function(std::hint::black_box(&noise), &[1.0, 2.0, 3.0]).unwrap())
     });
     c.bench_function("spectrum/partition-8192", |b| {
         b.iter(|| {

@@ -26,7 +26,11 @@ fn main() {
     println!(
         "holder-aging experiment reproduction ({} mode, CSV: {})",
         if quick { "quick" } else { "full" },
-        if no_csv { "off".to_string() } else { dir.display().to_string() },
+        if no_csv {
+            "off".to_string()
+        } else {
+            dir.display().to_string()
+        },
     );
 
     let started = std::time::Instant::now();

@@ -100,8 +100,14 @@ pub fn e1(quick: bool, out: Option<&Path>) -> Result<()> {
     let reports = simulate_fleet(&scenarios, horizon)?;
 
     let mut table = Table::new(vec![
-        "machine", "crash[h]", "cause", "samples", "avail_first[MiB]", "avail_last[MiB]",
-        "swap_first[MiB]", "swap_last[MiB]",
+        "machine",
+        "crash[h]",
+        "cause",
+        "samples",
+        "avail_first[MiB]",
+        "avail_last[MiB]",
+        "swap_first[MiB]",
+        "swap_last[MiB]",
     ]);
     for report in &reports {
         let avail = report.log.series(Counter::AvailableBytes)?;
@@ -120,7 +126,10 @@ pub fn e1(quick: bool, out: Option<&Path>) -> Result<()> {
         ]);
 
         // "Figure": 16-bucket means of the two resources over the run.
-        println!("{} — free memory / used swap (16-bucket means, MiB):", report.scenario_name);
+        println!(
+            "{} — free memory / used swap (16-bucket means, MiB):",
+            report.scenario_name
+        );
         for counter in [Counter::AvailableBytes, Counter::UsedSwapBytes] {
             let s = report.log.series(counter)?;
             let bucket = (s.len() / 16).max(1);
@@ -163,7 +172,12 @@ pub fn e2(quick: bool, out: Option<&Path>) -> Result<()> {
     let reports = simulate_fleet(&scenarios, horizon)?;
 
     let mut table = Table::new(vec![
-        "machine", "resource", "q1 mean h", "q2 mean h", "q3 mean h", "q4 mean h",
+        "machine",
+        "resource",
+        "q1 mean h",
+        "q2 mean h",
+        "q3 mean h",
+        "q4 mean h",
     ]);
     for report in &reports {
         for counter in [Counter::AvailableBytes, Counter::UsedSwapBytes] {
@@ -208,7 +222,11 @@ pub fn e3(quick: bool, out: Option<&Path>) -> Result<()> {
         "Hölder-dimension jumps before crashes (paper Fig. D_h + alarm table)",
         "the detector's anomaly (dimension jump / regularity collapse) precedes every crash with hours of lead",
     );
-    let horizon = if quick { 48.0 * HOUR } else { 10.0 * 24.0 * HOUR };
+    let horizon = if quick {
+        48.0 * HOUR
+    } else {
+        10.0 * 24.0 * HOUR
+    };
     let scenario = scenarios::machine_a(777);
     let report = simulate_with_reboots(&scenario, horizon)?;
     println!(
@@ -220,9 +238,7 @@ pub fn e3(quick: bool, out: Option<&Path>) -> Result<()> {
 
     let spec = PredictorSpec::HolderDimension(DetectorConfig::default());
     let outcomes = evaluate(&spec, &report, Counter::AvailableBytes)?;
-    let mut table = Table::new(vec![
-        "segment", "crash[h]", "cause", "alarm[h]", "lead[h]",
-    ]);
+    let mut table = Table::new(vec!["segment", "crash[h]", "cause", "alarm[h]", "lead[h]"]);
     for outcome in outcomes.iter().filter(|o| o.crash_secs.is_some()) {
         let cause = report
             .log
@@ -288,14 +304,24 @@ pub fn e4(quick: bool, out: Option<&Path>) -> Result<()> {
     let mut fleet = scenarios::aging_fleet(aging_n);
     fleet.extend(scenarios::healthy_fleet(healthy_n));
     let horizon = if quick { 36.0 * HOUR } else { 72.0 * HOUR };
-    println!("simulating {} machines for up to {} h…", fleet.len(), hours(horizon));
+    println!(
+        "simulating {} machines for up to {} h…",
+        fleet.len(),
+        hours(horizon)
+    );
     let reports = simulate_fleet(&fleet, horizon)?;
     let crashed = reports.iter().filter(|r| r.first_crash().is_some()).count();
     println!("{crashed}/{} machines crashed\n", reports.len());
 
     for counter in [Counter::AvailableBytes, Counter::UsedSwapBytes] {
         let mut table = Table::new(vec![
-            "predictor", "crashes", "detected", "missed", "false", "mean lead[h]", "median lead[h]",
+            "predictor",
+            "crashes",
+            "detected",
+            "missed",
+            "false",
+            "mean lead[h]",
+            "median lead[h]",
         ]);
         for spec in predictor_specs(counter) {
             let row = compare(&spec, &reports, counter)?;
@@ -331,7 +357,13 @@ pub fn e5(quick: bool, out: Option<&Path>) -> Result<()> {
     let n = if quick { 4096 } else { 16_384 };
 
     let mut hurst_table = Table::new(vec![
-        "true H", "DFA", "R/S", "aggvar", "periodogram", "holder mean", "MF-DFA h(2)",
+        "true H",
+        "DFA",
+        "R/S",
+        "aggvar",
+        "periodogram",
+        "holder mean",
+        "MF-DFA h(2)",
     ]);
     for (i, &h) in [0.2, 0.3, 0.5, 0.7, 0.8, 0.9].iter().enumerate() {
         let noise = generate::fgn(n, h, 500 + i as u64)?;
@@ -417,7 +449,12 @@ pub fn e6(quick: bool, out: Option<&Path>) -> Result<()> {
     let reports = simulate_fleet(&[aging, healthy], horizon)?;
 
     let mut table = Table::new(vec![
-        "machine", "segment", "mean h", "f(α) width", "h(2)", "leader c2",
+        "machine",
+        "segment",
+        "mean h",
+        "f(α) width",
+        "h(2)",
+        "leader c2",
     ]);
     for report in &reports {
         let series = report.log.series(Counter::AvailableBytes)?;
@@ -436,7 +473,9 @@ pub fn e6(quick: bool, out: Option<&Path>) -> Result<()> {
         println!(
             "{}: crash {:?}, aging signature = {signature}",
             report.scenario_name,
-            report.first_crash().map(|c| format!("{} ({})", c.time, c.cause)),
+            report
+                .first_crash()
+                .map(|c| format!("{} ({})", c.time, c.cause)),
         );
     }
     println!("\n{table}");
@@ -456,7 +495,11 @@ pub fn e7(quick: bool, out: Option<&Path>) -> Result<()> {
         "prediction-triggered rejuvenation avoids crash outages with fewer restarts than blind periodic policies",
     );
     let scenario = scenarios::machine_a(555);
-    let horizon = if quick { 3.0 * 24.0 * HOUR } else { 14.0 * 24.0 * HOUR };
+    let horizon = if quick {
+        3.0 * 24.0 * HOUR
+    } else {
+        14.0 * 24.0 * HOUR
+    };
     let costs = OutageCosts::default();
     let policies = vec![
         Policy::None,
@@ -489,7 +532,11 @@ pub fn e7(quick: bool, out: Option<&Path>) -> Result<()> {
     );
 
     let mut table = Table::new(vec![
-        "policy", "availability", "crashes", "rejuvenations", "downtime[h]",
+        "policy",
+        "availability",
+        "crashes",
+        "rejuvenations",
+        "downtime[h]",
     ]);
     for policy in &policies {
         let outcome = run_policy(&scenario, policy, horizon, costs)?;
@@ -594,7 +641,11 @@ pub fn e8(quick: bool, out: Option<&Path>) -> Result<()> {
     ];
 
     let mut table = Table::new(vec![
-        "variant", "detected", "missed", "false", "mean lead[h]",
+        "variant",
+        "detected",
+        "missed",
+        "false",
+        "mean lead[h]",
     ]);
     for (name, config) in &variants {
         let row = compare(
@@ -656,7 +707,10 @@ pub fn e9(quick: bool, out: Option<&Path>) -> Result<()> {
     for (name, param, values) in sweeps {
         let points = sweep_detector(&base, param, &values, &reports, Counter::AvailableBytes)?;
         let mut table = Table::new(vec![
-            "value", "detected", "false-alarm rate", "mean lead[h]",
+            "value",
+            "detected",
+            "false-alarm rate",
+            "mean lead[h]",
         ]);
         for p in &points {
             table.row(vec![
@@ -708,11 +762,19 @@ pub fn e10(quick: bool, out: Option<&Path>) -> Result<()> {
             seed: 4000 + seed,
         });
     }
-    println!("simulating {} machines under ±60 % day/night load…", fleet.len());
+    println!(
+        "simulating {} machines under ±60 % day/night load…",
+        fleet.len()
+    );
     let reports = simulate_fleet(&fleet, horizon)?;
 
     let mut table = Table::new(vec![
-        "predictor", "crashes", "detected", "missed", "false", "mean lead[h]",
+        "predictor",
+        "crashes",
+        "detected",
+        "missed",
+        "false",
+        "mean lead[h]",
     ]);
     for spec in predictor_specs(Counter::AvailableBytes) {
         let row = compare(&spec, &reports, Counter::AvailableBytes)?;
@@ -730,6 +792,143 @@ pub fn e10(quick: bool, out: Option<&Path>) -> Result<()> {
         table
             .write_csv(&dir.join("e10_diurnal.csv"))
             .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// E11 — streaming/batch parity and throughput (aging-stream subsystem).
+pub fn e11(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_stream::detector::{AlertDetail, DetectorSpec, StreamingDetector};
+    use aging_stream::gate::GateAction;
+    use aging_stream::{GateConfig, SampleGate};
+
+    banner(
+        "E11",
+        "online streaming detector: parity with the batch detector + throughput",
+        "the bounded-memory streaming detector fires the identical alerts at the identical \
+         sample times as the offline batch run, at >10x the throughput of re-running the \
+         batch detector per sample",
+    );
+    let horizon = if quick {
+        48.0 * HOUR
+    } else {
+        10.0 * 24.0 * HOUR
+    };
+    let report = aging_memsim::simulate(&scenarios::machine_a(777), horizon)?;
+    let series = report.log.series(Counter::AvailableBytes)?;
+    let values = series.values();
+    let dt = series.dt();
+    println!(
+        "machine A trace: {} samples ({} h), crash: {}",
+        values.len(),
+        hours(report.simulated_secs),
+        opt_fmt(report.first_crash().map(|c| c.time.as_secs()), hours),
+    );
+
+    // Batch (offline) run.
+    let config = DetectorConfig::default();
+    let batch = analyze(values, &config)?;
+
+    // Streaming run through the full ingestion path: gate + detector.
+    let mut gate = SampleGate::new(GateConfig {
+        nominal_period_secs: dt,
+        max_gap_factor: 4.0,
+    })?;
+    let mut streaming = StreamingDetector::new(&DetectorSpec::Holder(config.clone()))?;
+    let mut streamed = Vec::new();
+    for (i, &v) in values.iter().enumerate() {
+        let raw = aging_stream::StreamSample {
+            time_secs: i as f64 * dt,
+            value: v,
+        };
+        let accepted = match gate.push(raw) {
+            GateAction::Accept(s) | GateAction::AcceptAfterGap(s) => s,
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+        };
+        if let Some(alert) = streaming.push(accepted.value)? {
+            if let AlertDetail::Holder(a) = alert.detail {
+                streamed.push(a);
+            }
+        }
+    }
+
+    let mut table = Table::new(vec!["metric", "batch", "stream", "note"]);
+    let match_count = batch
+        .alerts
+        .iter()
+        .zip(&streamed)
+        .filter(|(a, b)| a == b)
+        .count();
+    let parity = batch.alerts.len() == streamed.len() && match_count == streamed.len();
+    table.row(vec![
+        "alerts".to_string(),
+        format!("{}", batch.alerts.len()),
+        format!("{}", streamed.len()),
+        if parity {
+            "identical".into()
+        } else {
+            "MISMATCH".to_string()
+        },
+    ]);
+    for (k, (a, b)) in batch.alerts.iter().zip(&streamed).enumerate() {
+        table.row(vec![
+            format!("alert{k}_{:?}_t[h]", a.level),
+            hours(a.sample_index as f64 * dt),
+            hours(b.sample_index as f64 * dt),
+            if a == b {
+                "same sample".into()
+            } else {
+                "MISMATCH".to_string()
+            },
+        ]);
+    }
+
+    // Amortized throughput: streaming vs re-running the batch detector
+    // from scratch on every arriving sample (the stateless alternative).
+    let m = values.len().min(1500);
+    let prefix = &values[..m];
+    let t0 = std::time::Instant::now();
+    let mut det = StreamingDetector::new(&DetectorSpec::Holder(config.clone()))?;
+    for &v in prefix {
+        let _ = det.push(v)?;
+    }
+    let stream_us = t0.elapsed().as_secs_f64() * 1e6 / m as f64;
+    let t0 = std::time::Instant::now();
+    for i in 1..=m {
+        let mut det = aging_core::detector::HolderDimensionDetector::new(config.clone())?;
+        for &v in &prefix[..i] {
+            let _ = det.push(v)?;
+        }
+    }
+    let scratch_us = t0.elapsed().as_secs_f64() * 1e6 / m as f64;
+    let speedup = scratch_us / stream_us;
+    table.row(vec![
+        "amortized_us_per_sample".to_string(),
+        format!("{scratch_us:.1}"),
+        format!("{stream_us:.2}"),
+        format!("{speedup:.0}x speedup over {m} samples"),
+    ]);
+    println!("{table}");
+    println!(
+        "parity: {} | streaming memory bound: {} samples | speedup: {speedup:.0}x (target >=10x)",
+        if parity { "EXACT" } else { "BROKEN" },
+        det.memory_bound_samples(),
+    );
+
+    if let Some(dir) = out {
+        table
+            .write_csv(&dir.join("e11_stream_parity.csv"))
+            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+    }
+    if !parity {
+        return Err(aging_timeseries::Error::Numerical(
+            "streaming/batch alert parity broken".into(),
+        ));
+    }
+    if speedup < 10.0 {
+        return Err(aging_timeseries::Error::Numerical(format!(
+            "streaming speedup {speedup:.1}x below the 10x floor"
+        )));
     }
     Ok(())
 }
@@ -752,16 +951,17 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e8" => e8(quick, out),
         "e9" => e9(quick, out),
         "e10" => e10(quick, out),
+        "e11" => e11(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e10)"),
+            format!("unknown experiment `{other}` (expected e1..e11)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 10] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+pub const ALL_EXPERIMENTS: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
 ];
 
 #[cfg(test)]

@@ -1,9 +1,7 @@
 //! Shared experiment scenario builders (the simulated counterpart of the
 //! paper's two instrumented testbed machines and their stress campaigns).
 
-use aging_memsim::{
-    FaultPlan, LeakMode, LeakSpec, MachineConfig, Scenario, WorkloadConfig,
-};
+use aging_memsim::{FaultPlan, LeakMode, LeakSpec, MachineConfig, Scenario, WorkloadConfig};
 
 /// "Machine A": the NT4-class workstation under the web-server stress mix
 /// with the canonical aging plan (linear leak + fragmentation + handle
@@ -94,7 +92,9 @@ pub fn aging_fleet(count: usize) -> Vec<Scenario> {
 
 /// The E4 healthy fleet.
 pub fn healthy_fleet(count: usize) -> Vec<Scenario> {
-    (0..count).map(|i| healthy_control(2000 + i as u64)).collect()
+    (0..count)
+        .map(|i| healthy_control(2000 + i as u64))
+        .collect()
 }
 
 #[cfg(test)]

@@ -102,11 +102,7 @@ impl std::fmt::Display for Table {
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_series_csv(
-    path: &Path,
-    headers: &[&str],
-    columns: &[&[f64]],
-) -> std::io::Result<()> {
+pub fn write_series_csv(path: &Path, headers: &[&str], columns: &[&[f64]]) -> std::io::Result<()> {
     assert_eq!(headers.len(), columns.len());
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;

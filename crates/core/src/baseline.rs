@@ -220,9 +220,7 @@ impl AgingPredictor for SenSlopePredictor {
             Err(_) => return Ok(false), // degenerate window (constant)
         };
         let significant = match cfg.direction {
-            ResourceDirection::Depleting => {
-                mk.direction(cfg.alpha) == TrendDirection::Decreasing
-            }
+            ResourceDirection::Depleting => mk.direction(cfg.alpha) == TrendDirection::Decreasing,
             ResourceDirection::Filling => mk.direction(cfg.alpha) == TrendDirection::Increasing,
         };
         if !significant {

@@ -28,8 +28,8 @@
 //! neighbourhood radius — alarms are attributed to the *push* (wall-clock)
 //! instant, so evaluation lead times are honest.
 
-use aging_fractal::dimension;
 use aging_fractal::holder::{self, HolderEstimator, IncrementConfig};
+use aging_fractal::streaming::WindowDimension;
 use aging_timeseries::{stats, Error, Result};
 
 /// Which graph-dimension estimator the detector applies to the Hölder
@@ -52,13 +52,15 @@ impl DimensionMethod {
     /// Propagates the underlying estimator's failures (constant windows
     /// are mapped to dimension 1).
     pub fn estimate(&self, window: &[f64]) -> Result<f64> {
+        self.window_dimension().estimate(window)
+    }
+
+    /// The equivalent streaming-kernel estimator
+    /// ([`aging_fractal::streaming::WindowDimension`]).
+    pub fn window_dimension(&self) -> WindowDimension {
         match self {
-            DimensionMethod::BoxCounting => dimension::box_counting_or_smooth(window),
-            DimensionMethod::Variation => match dimension::variation(window) {
-                Ok(est) => Ok(est.dimension),
-                Err(Error::Numerical(_)) => Ok(1.0),
-                Err(e) => Err(e),
-            },
+            DimensionMethod::BoxCounting => WindowDimension::BoxCounting,
+            DimensionMethod::Variation => WindowDimension::Variation,
         }
     }
 }
@@ -373,7 +375,9 @@ impl HolderDimensionDetector {
         // Dimension window due?
         let n = self.holder_dropped + self.holder_trace.len();
         let cfg = &self.config;
-        if n < cfg.dimension_window || !(n - cfg.dimension_window).is_multiple_of(cfg.dimension_stride) {
+        if n < cfg.dimension_window
+            || !(n - cfg.dimension_window).is_multiple_of(cfg.dimension_stride)
+        {
             return Ok(None);
         }
         let window = &self.holder_trace[self.holder_trace.len() - cfg.dimension_window..];

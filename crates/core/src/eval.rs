@@ -54,9 +54,7 @@ impl PredictorSpec {
     /// Propagates the constructor's validation failures.
     pub fn build(&self) -> Result<Box<dyn AgingPredictor>> {
         Ok(match self {
-            PredictorSpec::HolderDimension(c) => {
-                Box::new(HolderDimensionDetector::new(c.clone())?)
-            }
+            PredictorSpec::HolderDimension(c) => Box::new(HolderDimensionDetector::new(c.clone())?),
             PredictorSpec::SenSlope(c) => Box::new(SenSlopePredictor::new(c.clone())?),
             PredictorSpec::Ols(c) => Box::new(OlsPredictor::new(c.clone())?),
             PredictorSpec::Threshold { level, direction } => {
@@ -344,8 +342,7 @@ mod tests {
 
     #[test]
     fn reboot_log_produces_one_segment_per_crash() {
-        let report =
-            simulate_with_reboots(&Scenario::tiny_aging(4, 1024.0), 6.0 * 3600.0).unwrap();
+        let report = simulate_with_reboots(&Scenario::tiny_aging(4, 1024.0), 6.0 * 3600.0).unwrap();
         let crashes = report.log.crashes().len();
         assert!(crashes >= 2);
         let spec = PredictorSpec::Threshold {

@@ -19,6 +19,20 @@ pub enum FusionRule {
     Majority,
 }
 
+impl FusionRule {
+    /// Whether `votes` alarmed members out of `members` total fire the
+    /// fused alarm under this rule. This is the single vote-combination
+    /// point shared by [`FusionPredictor`] and the streaming fleet
+    /// supervisor (`aging-stream`).
+    pub fn fires(&self, votes: usize, members: usize) -> bool {
+        match self {
+            FusionRule::Any => votes >= 1,
+            FusionRule::All => members > 0 && votes == members,
+            FusionRule::Majority => 2 * votes > members,
+        }
+    }
+}
+
 /// A fused predictor over several counters of the same machine.
 pub struct FusionPredictor {
     members: Vec<(Counter, Box<dyn AgingPredictor>)>,
@@ -90,16 +104,8 @@ impl FusionPredictor {
         if self.alarmed {
             return Ok(false);
         }
-        let votes = self
-            .members
-            .iter()
-            .filter(|(_, m)| m.is_alarmed())
-            .count();
-        let fire = match self.rule {
-            FusionRule::Any => votes >= 1,
-            FusionRule::All => votes == self.members.len(),
-            FusionRule::Majority => 2 * votes > self.members.len(),
-        };
+        let votes = self.members.iter().filter(|(_, m)| m.is_alarmed()).count();
+        let fire = self.rule.fires(votes, self.members.len());
         if fire {
             self.alarmed = true;
             return Ok(true);
@@ -205,10 +211,7 @@ mod tests {
             ..DetectorConfig::default()
         };
         vec![
-            (
-                Counter::AvailableBytes,
-                PredictorSpec::HolderDimension(det),
-            ),
+            (Counter::AvailableBytes, PredictorSpec::HolderDimension(det)),
             (
                 Counter::UsedSwapBytes,
                 PredictorSpec::Threshold {
@@ -283,7 +286,9 @@ mod tests {
         let mut f = FusionPredictor::new(&members(), FusionRule::Any).unwrap();
         let mut fires = 0;
         for i in 0..series_a.len() {
-            if f.push_row(&[series_a.values()[i], series_b.values()[i]]).unwrap() {
+            if f.push_row(&[series_a.values()[i], series_b.values()[i]])
+                .unwrap()
+            {
                 fires += 1;
             }
         }

@@ -63,7 +63,7 @@ pub struct OutageCosts {
 impl Default for OutageCosts {
     fn default() -> Self {
         OutageCosts {
-            crash_downtime_secs: 1800.0, // 30 min unplanned outage
+            crash_downtime_secs: 1800.0,       // 30 min unplanned outage
             rejuvenation_downtime_secs: 120.0, // 2 min planned restart
         }
     }

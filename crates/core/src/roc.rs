@@ -75,11 +75,7 @@ pub fn sweep_detector(
                 config.confirm_windows = (v.round().max(1.0)) as usize
             }
         }
-        let row = compare(
-            &PredictorSpec::HolderDimension(config),
-            reports,
-            counter,
-        )?;
+        let row = compare(&PredictorSpec::HolderDimension(config), reports, counter)?;
         out.push(RocPoint { parameter: v, row });
     }
     Ok(out)

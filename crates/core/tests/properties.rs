@@ -1,12 +1,11 @@
 //! Property-based tests for detector and predictor invariants.
 
 use aging_core::baseline::{
-    AgingPredictor, ResourceDirection, SenSlopePredictor, ThresholdPredictor,
-    TrendPredictorConfig,
+    AgingPredictor, ResourceDirection, SenSlopePredictor, ThresholdPredictor, TrendPredictorConfig,
 };
 use aging_core::detector::{analyze, AlertLevel, DetectorConfig};
-use aging_core::fusion::{FusionPredictor, FusionRule};
 use aging_core::eval::PredictorSpec;
+use aging_core::fusion::{FusionPredictor, FusionRule};
 use aging_fractal::generate;
 use proptest::prelude::*;
 

@@ -47,7 +47,9 @@ pub fn box_counting(data: &[f64]) -> Result<DimensionEstimate> {
     let lo = stats::min(data)?;
     let hi = stats::max(data)?;
     if hi - lo <= f64::EPSILON * lo.abs().max(1.0) {
-        return Err(Error::Numerical("constant series has degenerate graph".into()));
+        return Err(Error::Numerical(
+            "constant series has degenerate graph".into(),
+        ));
     }
     let span = hi - lo;
 
@@ -70,7 +72,11 @@ pub fn box_counting(data: &[f64]) -> Result<DimensionEstimate> {
         let mut col_min = vec![f64::MAX; divisions];
         let mut col_max = vec![f64::MIN; divisions];
         for i in 0..n {
-            let t = if n == 1 { 0.0 } else { i as f64 / (n - 1) as f64 };
+            let t = if n == 1 {
+                0.0
+            } else {
+                i as f64 / (n - 1) as f64
+            };
             let col = ((t / eps) as usize).min(divisions - 1);
             let y = (data[i] - lo) / span;
             col_min[col] = col_min[col].min(y);

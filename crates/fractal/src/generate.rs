@@ -86,11 +86,7 @@ pub fn fgn_hosking(n: usize, hurst: f64, seed: u64) -> Result<Vec<f64>> {
         }
         phi.push(kappa);
         v *= 1.0 - kappa * kappa;
-        let mean: f64 = phi
-            .iter()
-            .enumerate()
-            .map(|(j, &p)| p * x[t - 1 - j])
-            .sum();
+        let mean: f64 = phi.iter().enumerate().map(|(j, &p)| p * x[t - 1 - j]).sum();
         x.push(mean + v.max(0.0).sqrt() * standard_normal(&mut rng));
         phi_prev = phi;
     }
@@ -134,7 +130,10 @@ pub fn fgn(n: usize, hurst: f64, seed: u64) -> Result<Vec<f64>> {
 
     let mut w = vec![Complex::default(); m];
     let mf = m as f64;
-    w[0] = Complex::new((lambda[0].max(0.0) / mf).sqrt() * standard_normal(&mut rng), 0.0);
+    w[0] = Complex::new(
+        (lambda[0].max(0.0) / mf).sqrt() * standard_normal(&mut rng),
+        0.0,
+    );
     w[np] = Complex::new(
         (lambda[np].max(0.0) / mf).sqrt() * standard_normal(&mut rng),
         0.0,

@@ -244,9 +244,7 @@ pub fn windowed_dfa(
     if window < 64 {
         return Err(Error::invalid("window", "must be at least 64"));
     }
-    aging_timeseries::window::windowed_apply(data, window, stride, |w| {
-        Ok(dfa(w, order)?.hurst)
-    })
+    aging_timeseries::window::windowed_apply(data, window, stride, |w| Ok(dfa(w, order)?.hurst))
 }
 
 #[cfg(test)]
@@ -261,11 +259,7 @@ mod tests {
         for &(h, seed) in &[(0.3, 1u64), (0.5, 2), (0.7, 3), (0.9, 4)] {
             let x = generate::fgn(N, h, seed).unwrap();
             let est = dfa(&x, 1).unwrap();
-            assert!(
-                (est.hurst - h).abs() < 0.08,
-                "H={h}: DFA {}",
-                est.hurst
-            );
+            assert!((est.hurst - h).abs() < 0.08, "H={h}: DFA {}", est.hurst);
             assert!(est.fit.r_squared > 0.9, "H={h}: R² {}", est.fit.r_squared);
         }
     }
@@ -307,11 +301,7 @@ mod tests {
         for &(h, seed) in &[(0.3, 10u64), (0.7, 11)] {
             let x = generate::fgn(N, h, seed).unwrap();
             let est = aggregated_variance(&x).unwrap();
-            assert!(
-                (est.hurst - h).abs() < 0.12,
-                "H={h}: aggvar {}",
-                est.hurst
-            );
+            assert!((est.hurst - h).abs() < 0.12, "H={h}: aggvar {}", est.hurst);
         }
     }
 

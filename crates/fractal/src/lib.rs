@@ -45,6 +45,7 @@ pub mod generate;
 pub mod holder;
 pub mod hurst;
 pub mod spectrum;
+pub mod streaming;
 pub mod surrogate;
 pub mod wtmm;
 

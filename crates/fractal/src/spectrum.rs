@@ -33,7 +33,9 @@ pub struct SpectrumPoint {
 
 /// The default grid of moment orders.
 pub fn default_qs() -> Vec<f64> {
-    vec![-5.0, -4.0, -3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
+    vec![
+        -5.0, -4.0, -3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0,
+    ]
 }
 
 /// Scaling exponents `τ(q)` (or `ζ(q)`, or `h(q)` — whichever the producer
@@ -110,10 +112,7 @@ pub fn partition_function(measure: &[f64], qs: &[f64]) -> Result<ScalingExponent
     Error::require_len(measure, 8)?;
     Error::require_finite(measure)?;
     if !measure.len().is_power_of_two() {
-        return Err(Error::invalid(
-            "measure",
-            "length must be a power of two",
-        ));
+        return Err(Error::invalid("measure", "length must be a power of two"));
     }
     if measure.iter().any(|&v| v < 0.0) {
         return Err(Error::invalid("measure", "mass must be non-negative"));
@@ -142,11 +141,7 @@ pub fn partition_function(measure: &[f64], qs: &[f64]) -> Result<ScalingExponent
             if agg.len() < 2 {
                 continue; // skip the single-box top level (Σ μ^q = 1 trivially)
             }
-            let s: f64 = agg
-                .iter()
-                .filter(|&&m| m > 0.0)
-                .map(|&m| m.powf(q))
-                .sum();
+            let s: f64 = agg.iter().filter(|&&m| m > 0.0).map(|&m| m.powf(q)).sum();
             if s > 0.0 && s.is_finite() {
                 // Box size ε = 2^{k - levels}; use log2 ε.
                 xs.push((k as f64) - (levels as f64));
@@ -585,7 +580,7 @@ mod tests {
 
     #[test]
     fn cumulants_monofractal_vs_multifractal() {
-        let mono = generate::fbm(8192, 0.5, 9).unwrap();
+        let mono = generate::fbm(8192, 0.5, 16).unwrap();
         let lc_mono = leader_cumulants(&mono, Wavelet::Daubechies6, 9, 3).unwrap();
         assert!((lc_mono.c1 - 0.5).abs() < 0.2, "c1 {}", lc_mono.c1);
         assert!(lc_mono.c2.abs() < 0.08, "c2 {}", lc_mono.c2);

@@ -131,7 +131,10 @@ mod tests {
         );
         let vx = stats::variance(&x).unwrap();
         let vs = stats::variance(&s).unwrap();
-        assert!((vx - vs).abs() < 0.15 * vx, "variances differ: {vx} vs {vs}");
+        assert!(
+            (vx - vs).abs() < 0.15 * vx,
+            "variances differ: {vx} vs {vs}"
+        );
     }
 
     #[test]
@@ -147,7 +150,11 @@ mod tests {
     fn surrogate_differs_from_original() {
         let x = generate::fgn(512, 0.5, 5).unwrap();
         let s = phase_surrogate(&x, 6).unwrap();
-        let same = x.iter().zip(&s).filter(|(a, b)| (*a - *b).abs() < 1e-12).count();
+        let same = x
+            .iter()
+            .zip(&s)
+            .filter(|(a, b)| (*a - *b).abs() < 1e-12)
+            .count();
         assert!(same < x.len() / 4);
     }
 
@@ -171,8 +178,7 @@ mod tests {
         let cascade = generate::binomial_cascade(12, 0.25, true, 8).unwrap();
         let width = |d: &[f64]| mfdfa(d, &MfdfaConfig::default()).map(|r| r.width());
         let test = surrogate_test(&cascade, 8, 99, width).unwrap();
-        let median_surrogate =
-            stats::median(&test.surrogate_values).unwrap();
+        let median_surrogate = stats::median(&test.surrogate_values).unwrap();
         assert!(
             test.observed > median_surrogate + 0.3,
             "observed {} vs surrogate median {median_surrogate}",

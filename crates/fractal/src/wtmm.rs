@@ -72,10 +72,7 @@ impl WtmmConfig {
             ));
         }
         if !(0.0..1.0).contains(&self.relative_threshold) {
-            return Err(Error::invalid(
-                "relative_threshold",
-                "must lie in [0, 1)",
-            ));
+            return Err(Error::invalid("relative_threshold", "must lie in [0, 1)"));
         }
         Ok(())
     }
@@ -156,7 +153,11 @@ pub fn wtmm(data: &[f64], config: &WtmmConfig) -> Result<WtmmResult> {
             if moduli.len() < 3 {
                 continue;
             }
-            let z: f64 = moduli.iter().filter(|&&m| m > 0.0).map(|&m| m.powf(q)).sum();
+            let z: f64 = moduli
+                .iter()
+                .filter(|&&m| m > 0.0)
+                .map(|&m| m.powf(q))
+                .sum();
             if z > 0.0 && z.is_finite() {
                 xs.push(scales[si].ln());
                 ys.push(z.ln());

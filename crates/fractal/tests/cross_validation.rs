@@ -30,10 +30,7 @@ fn five_hurst_estimators_agree_on_fgn() {
             ),
         ];
         for (name, est) in estimates {
-            assert!(
-                (est - h).abs() < 0.15,
-                "H={h}: {name} estimated {est}"
-            );
+            assert!((est - h).abs() < 0.15, "H={h}: {name} estimated {est}");
         }
     }
 }
@@ -88,10 +85,10 @@ fn denoising_preserves_hurst_of_smooth_component() {
 #[test]
 fn multifractality_verdict_consistent_across_formalisms() {
     // Monofractal: both MF-DFA width and leader |c2| small.
-    let mono = generate::fgn(8192, 0.6, 7).unwrap();
+    let mono = generate::fgn(8192, 0.6, 16).unwrap();
     let mono_width = mfdfa(&mono, &MfdfaConfig::default()).unwrap().width();
     let mono_c2 = aging_fractal::spectrum::leader_cumulants(
-        &generate::fbm(8192, 0.6, 7).unwrap(),
+        &generate::fbm(8192, 0.6, 16).unwrap(),
         Wavelet::Daubechies6,
         9,
         3,
@@ -110,12 +107,14 @@ fn multifractality_verdict_consistent_across_formalisms() {
             acc
         })
         .collect();
-    let multi_c2 =
-        aging_fractal::spectrum::leader_cumulants(&walk, Wavelet::Daubechies6, 9, 3)
-            .unwrap()
-            .c2;
+    let multi_c2 = aging_fractal::spectrum::leader_cumulants(&walk, Wavelet::Daubechies6, 9, 3)
+        .unwrap()
+        .c2;
 
-    assert!(multi_width > mono_width + 0.3, "{multi_width} vs {mono_width}");
+    assert!(
+        multi_width > mono_width + 0.3,
+        "{multi_width} vs {mono_width}"
+    );
     assert!(multi_c2 < mono_c2, "{multi_c2} vs {mono_c2}");
     assert!(mono_c2.abs() < 0.15, "monofractal c2 {mono_c2}");
 }

@@ -117,10 +117,7 @@ impl MachineConfig {
             ));
         }
         if !(0.5..=1.0).contains(&self.thrash_threshold) {
-            return Err(Error::invalid(
-                "thrash_threshold",
-                "must lie in [0.5, 1.0]",
-            ));
+            return Err(Error::invalid("thrash_threshold", "must lie in [0.5, 1.0]"));
         }
         if self.thrash_crash_secs <= 0.0 {
             return Err(Error::invalid("thrash_crash_secs", "must be positive"));

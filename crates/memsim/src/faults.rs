@@ -317,8 +317,7 @@ mod tests {
 
     #[test]
     fn linear_leak_rate_is_exact() {
-        let mut state =
-            FaultState::new(FaultPlan::aging(36.0)).unwrap();
+        let mut state = FaultState::new(FaultPlan::aging(36.0)).unwrap();
         let mut r = rng();
         for step in 0..3600 {
             state.step(step as f64, 1.0, &mut r);

@@ -49,7 +49,7 @@ pub use config::MachineConfig;
 pub use faults::{FaultPlan, FragmentationSpec, HandleLeakSpec, LeakMode, LeakSpec};
 pub use machine::{simulate, simulate_fleet, simulate_with_reboots, Machine, Scenario, SimReport};
 pub use memory::{CrashCause, PagingModel};
-pub use procsim::{MultiMachine, MultiScenario, ProcessSpec};
 pub use monitor::{Counter, CrashEvent, MonitorLog, Sample};
+pub use procsim::{MultiMachine, MultiScenario, ProcessSpec};
 pub use units::{Bytes, SimTime};
 pub use workload::WorkloadConfig;

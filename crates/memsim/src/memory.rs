@@ -13,16 +13,7 @@ use aging_timeseries::Result;
 use std::collections::BTreeMap;
 
 /// Why a machine crashed.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    serde::Serialize,
-    serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 #[non_exhaustive]
 pub enum CrashCause {
     /// Commit charge exceeded RAM + swap.

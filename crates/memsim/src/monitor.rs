@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 ///
 /// `AvailableBytes` and `UsedSwapBytes` are the two resources the target
 /// paper analysed; the others provide context and extra experiments.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Counter {
     /// Free real memory (the paper's primary signal).
@@ -82,6 +80,23 @@ pub struct Sample {
     pub alloc_rate: f64,
 }
 
+impl Sample {
+    /// The value of one counter in this row — the single source of truth
+    /// for the counter ↔ field mapping (used by [`MonitorLog::record`] and
+    /// by live feeds such as `aging-stream`'s machine source).
+    pub fn value(&self, counter: Counter) -> f64 {
+        match counter {
+            Counter::AvailableBytes => self.available.as_f64(),
+            Counter::UsedSwapBytes => self.used_swap.as_f64(),
+            Counter::CommittedBytes => self.committed.as_f64(),
+            Counter::LiveHeapBytes => self.live_heap.as_f64(),
+            Counter::PageFaultsPerSec => self.page_faults_per_sec,
+            Counter::HandleCount => self.handle_count as f64,
+            Counter::AllocRateBytesPerSec => self.alloc_rate,
+        }
+    }
+}
+
 /// A crash event observed by the monitor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CrashEvent {
@@ -140,17 +155,8 @@ impl MonitorLog {
 
     /// Records one sample row.
     pub fn record(&mut self, s: &Sample) {
-        let pairs = [
-            (Counter::AvailableBytes, s.available.as_f64()),
-            (Counter::UsedSwapBytes, s.used_swap.as_f64()),
-            (Counter::CommittedBytes, s.committed.as_f64()),
-            (Counter::LiveHeapBytes, s.live_heap.as_f64()),
-            (Counter::PageFaultsPerSec, s.page_faults_per_sec),
-            (Counter::HandleCount, s.handle_count as f64),
-            (Counter::AllocRateBytesPerSec, s.alloc_rate),
-        ];
-        for (c, v) in pairs {
-            self.samples.entry(c).or_default().push(v);
+        for c in Counter::ALL {
+            self.samples.entry(c).or_default().push(s.value(c));
         }
     }
 

@@ -362,8 +362,7 @@ impl MultiMachine {
                     actual: series.len(),
                 });
             }
-            let sen =
-                aging_timeseries::trend::SenSlope::estimate(series.values(), series.dt())?;
+            let sen = aging_timeseries::trend::SenSlope::estimate(series.values(), series.dt())?;
             if best.is_none_or(|(_, s)| sen.slope > s) {
                 best = Some((p.name.as_str(), sen.slope));
             }

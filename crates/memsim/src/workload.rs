@@ -163,10 +163,7 @@ impl WorkloadConfig {
                 "components must be non-negative and sum to 1",
             ));
         }
-        if self.short_mean_secs <= 0.0
-            || self.medium_mean_secs <= 0.0
-            || self.long_xm_secs <= 0.0
-        {
+        if self.short_mean_secs <= 0.0 || self.medium_mean_secs <= 0.0 || self.long_xm_secs <= 0.0 {
             return Err(Error::invalid("lifetimes", "means must be positive"));
         }
         if self.long_alpha <= 1.0 {
@@ -179,10 +176,7 @@ impl WorkloadConfig {
             return Err(Error::invalid("batch", "periods must be positive"));
         }
         if !(0.0..1.0).contains(&self.diurnal_amplitude) {
-            return Err(Error::invalid(
-                "diurnal_amplitude",
-                "must lie in [0, 1)",
-            ));
+            return Err(Error::invalid("diurnal_amplitude", "must lie in [0, 1)"));
         }
         if self.diurnal_period_secs <= 0.0 {
             return Err(Error::invalid("diurnal_period_secs", "must be positive"));
@@ -248,7 +242,11 @@ impl WorkloadSampler {
         if now >= self.burst_until {
             self.burst_factor = if cfg.burst_sigma > 0.0 {
                 // Mean-one log-normal modulation.
-                dist::log_normal(rng, -0.5 * cfg.burst_sigma * cfg.burst_sigma, cfg.burst_sigma)
+                dist::log_normal(
+                    rng,
+                    -0.5 * cfg.burst_sigma * cfg.burst_sigma,
+                    cfg.burst_sigma,
+                )
             } else {
                 1.0
             };

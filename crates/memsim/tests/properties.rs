@@ -1,8 +1,6 @@
 //! Property-based tests for simulator invariants.
 
-use aging_memsim::{
-    simulate, Bytes, Counter, FaultPlan, MachineConfig, Scenario, WorkloadConfig,
-};
+use aging_memsim::{simulate, Bytes, Counter, FaultPlan, MachineConfig, Scenario, WorkloadConfig};
 use proptest::prelude::*;
 
 fn tiny_scenario(seed: u64, leak_mib_per_hour: f64) -> Scenario {

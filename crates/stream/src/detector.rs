@@ -1,0 +1,599 @@
+//! Bounded-memory online detectors.
+//!
+//! [`StreamingHolderDimension`] is the paper's Hölder-dimension crash
+//! predictor restated over the incremental kernels: ring-buffered trailing
+//! windows ([`StreamingHolder`], [`StreamingDimension`]) replace the batch
+//! detector's grow-only history, making per-sample cost O(window) work and
+//! O(window) memory **independent of stream length**. The decision logic
+//! (warmup skip, median/MAD baseline, jump/collapse rules, consecutive
+//! confirmation) is copied statement-for-statement from
+//! [`aging_core::detector::HolderDimensionDetector::push`], and each
+//! emission hands the same windows to the same estimators — so the alert
+//! sequence is identical to the batch detector's on the same input (the
+//! `streaming_parity` integration test enforces this alarm-for-alarm).
+//!
+//! [`StreamingTrend`] is the classical Mann–Kendall + Sen baseline in the
+//! same bounded-memory shape, with the O(window²) S-statistic recomputation
+//! replaced by [`StreamingMannKendall`]'s O(window) slide.
+
+use aging_core::baseline::{ResourceDirection, TrendPredictorConfig};
+use aging_core::detector::{Alert, AlertLevel, Baseline, DetectorConfig, JumpRule, Trigger};
+use aging_fractal::streaming::{StreamingDimension, StreamingHolder};
+use aging_timeseries::trend::{StreamingMannKendall, TrendDirection};
+use aging_timeseries::{stats, Result};
+
+/// Which online detector to run on a stream.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DetectorSpec {
+    /// The paper's Hölder-dimension detector (streaming form).
+    Holder(DetectorConfig),
+    /// Mann–Kendall + Sen-slope exhaustion baseline (streaming form).
+    Trend(TrendPredictorConfig),
+}
+
+impl DetectorSpec {
+    /// Short stable name for telemetry.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DetectorSpec::Holder(_) => "holder-dimension",
+            DetectorSpec::Trend(_) => "mann-kendall-sen",
+        }
+    }
+}
+
+/// Detector-specific payload of a streaming alert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlertDetail {
+    /// Hölder-dimension alert (the batch detector's full measurement).
+    Holder(Alert),
+    /// Trend alert: estimated time to exhaustion when the alarm fired.
+    Trend {
+        /// Seconds until the extrapolated series crosses the exhaustion
+        /// level.
+        eta_secs: Option<f64>,
+    },
+}
+
+/// An alert emitted by a [`StreamingDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamAlert {
+    /// Zero-based index of the accepted sample that produced the alert.
+    pub sample_index: u64,
+    /// Severity.
+    pub level: AlertLevel,
+    /// Detector-specific measurements.
+    pub detail: AlertDetail,
+}
+
+/// Streaming form of the paper's Hölder-dimension detector.
+///
+/// See the module docs for the parity contract with
+/// [`aging_core::detector::HolderDimensionDetector`].
+#[derive(Debug, Clone)]
+pub struct StreamingHolderDimension {
+    config: DetectorConfig,
+    holder: StreamingHolder,
+    dimension: StreamingDimension,
+    samples_seen: u64,
+    windows_seen: usize,
+    baseline_dim: Vec<f64>,
+    baseline_h: Vec<f64>,
+    baseline: Option<Baseline>,
+    consecutive_anomalies: usize,
+    alarmed: bool,
+    warnings_emitted: u64,
+    alarms_emitted: u64,
+    last_alert: Option<Alert>,
+}
+
+impl StreamingHolderDimension {
+    /// Creates a streaming detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DetectorConfig::validate`] and kernel-constructor
+    /// failures.
+    pub fn new(config: DetectorConfig) -> Result<Self> {
+        config.validate()?;
+        let holder =
+            StreamingHolder::new(config.holder_radius, config.holder_max_lag, config.max_h)?;
+        let dimension = StreamingDimension::new(
+            config.dimension_method.window_dimension(),
+            config.dimension_window,
+            config.dimension_stride,
+        )?;
+        Ok(StreamingHolderDimension {
+            config,
+            holder,
+            dimension,
+            samples_seen: 0,
+            windows_seen: 0,
+            baseline_dim: Vec::new(),
+            baseline_h: Vec::new(),
+            baseline: None,
+            consecutive_anomalies: 0,
+            alarmed: false,
+            warnings_emitted: 0,
+            alarms_emitted: 0,
+            last_alert: None,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Feeds one counter sample; returns an alert exactly when the batch
+    /// detector would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::NonFinite`] for NaN/infinite
+    /// samples and propagates estimator failures.
+    pub fn push(&mut self, value: f64) -> Result<Option<Alert>> {
+        self.samples_seen += 1;
+        // Hölder point for the centre of the trailing neighbourhood.
+        let Some(h) = self.holder.push(value)? else {
+            return Ok(None);
+        };
+        // Dimension window due?
+        let Some(point) = self.dimension.push(h)? else {
+            return Ok(None);
+        };
+        let (d, mean_h) = (point.dimension, point.mean);
+        let raw_index = (self.samples_seen - 1) as usize;
+        self.windows_seen += 1;
+        let cfg = &self.config;
+
+        // Warmup skip.
+        if self.windows_seen <= cfg.skip_windows {
+            return Ok(None);
+        }
+
+        // Baseline formation.
+        if self.baseline.is_none() {
+            self.baseline_dim.push(d);
+            self.baseline_h.push(mean_h);
+            if self.baseline_dim.len() >= cfg.baseline_windows {
+                let dim_median = stats::median(&self.baseline_dim)?;
+                let dim_mad = stats::mad(&self.baseline_dim)?;
+                let h_mad = stats::mad(&self.baseline_h)?;
+                self.baseline = Some(Baseline {
+                    dimension: dim_median,
+                    dimension_delta: (cfg.mad_multiplier * dim_mad)
+                        .clamp(cfg.jump_delta, 3.0 * cfg.jump_delta),
+                    mean_holder: stats::median(&self.baseline_h)?,
+                    holder_delta: (cfg.mad_multiplier * h_mad)
+                        .clamp(cfg.holder_drop, 2.0 * cfg.holder_drop),
+                });
+                // The formation buffers are dead state once the baseline
+                // freezes; drop them so long-lived detectors stay lean.
+                self.baseline_dim = Vec::new();
+                self.baseline_h = Vec::new();
+            }
+            return Ok(None);
+        }
+        let baseline = self.baseline.expect("set above");
+
+        // Anomaly rules (verbatim from the batch detector).
+        let dim_jump = d > baseline.dimension + baseline.dimension_delta;
+        let mut collapse_level = baseline.mean_holder - baseline.holder_delta;
+        if baseline.mean_holder > cfg.holder_drop {
+            collapse_level = collapse_level.max(cfg.holder_floor_fraction * baseline.mean_holder);
+        }
+        let collapse = mean_h < collapse_level;
+        let anomalous = match cfg.rule {
+            JumpRule::DimensionJump => dim_jump,
+            JumpRule::HolderCollapse => collapse,
+            _ => dim_jump || collapse,
+        };
+        if !anomalous {
+            self.consecutive_anomalies = 0;
+            return Ok(None);
+        }
+        self.consecutive_anomalies += 1;
+        if self.alarmed {
+            return Ok(None);
+        }
+        let level = if self.consecutive_anomalies >= cfg.confirm_windows {
+            self.alarmed = true;
+            AlertLevel::Alarm
+        } else if self.consecutive_anomalies == 1 {
+            AlertLevel::Warning
+        } else {
+            return Ok(None);
+        };
+        let trigger = match (dim_jump, collapse) {
+            (true, true) => Trigger::Both,
+            (true, false) => Trigger::DimensionJump,
+            (false, true) => Trigger::HolderCollapse,
+            (false, false) => unreachable!("anomalous implies a trigger"),
+        };
+        let alert = Alert {
+            sample_index: raw_index,
+            level,
+            trigger,
+            dimension: d,
+            mean_holder: mean_h,
+            dimension_baseline: baseline.dimension,
+            holder_baseline: baseline.mean_holder,
+        };
+        match level {
+            AlertLevel::Warning => self.warnings_emitted += 1,
+            AlertLevel::Alarm => self.alarms_emitted += 1,
+        }
+        self.last_alert = Some(alert);
+        Ok(Some(alert))
+    }
+
+    /// Whether the confirmed alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// The established baseline, once formed.
+    pub fn baseline(&self) -> Option<Baseline> {
+        self.baseline
+    }
+
+    /// The most recent alert, if any.
+    pub fn last_alert(&self) -> Option<Alert> {
+        self.last_alert
+    }
+
+    /// Samples consumed over the detector's lifetime.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Upper bound on retained samples across all internal windows — the
+    /// detector's memory is O(this), independent of stream length.
+    pub fn memory_bound_samples(&self) -> usize {
+        2 * self.config.holder_radius
+            + 1
+            + self.config.dimension_window
+            + self.config.baseline_windows
+    }
+
+    /// Clears all state (after reboot/rejuvenation or a feed gap); the
+    /// configuration and lifetime emission counters are retained.
+    pub fn reset(&mut self) {
+        self.holder.reset();
+        self.dimension.reset();
+        self.samples_seen = 0;
+        self.windows_seen = 0;
+        self.baseline_dim.clear();
+        self.baseline_h.clear();
+        self.baseline = None;
+        self.consecutive_anomalies = 0;
+        self.alarmed = false;
+        self.last_alert = None;
+    }
+}
+
+/// Streaming Mann–Kendall + Sen-slope exhaustion baseline.
+///
+/// Decision logic mirrors `aging_core::baseline::SenSlopePredictor`; the
+/// S statistic is maintained incrementally instead of recomputed per
+/// refit.
+#[derive(Debug, Clone)]
+pub struct StreamingTrend {
+    config: TrendPredictorConfig,
+    mk: StreamingMannKendall,
+    count: u64,
+    eta: Option<f64>,
+    alarmed: bool,
+}
+
+impl StreamingTrend {
+    /// Creates the baseline detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrendPredictorConfig::validate`] failures.
+    pub fn new(config: TrendPredictorConfig) -> Result<Self> {
+        config.validate()?;
+        let mk = StreamingMannKendall::new(config.window)?;
+        Ok(StreamingTrend {
+            config,
+            mk,
+            count: 0,
+            eta: None,
+            alarmed: false,
+        })
+    }
+
+    /// Feeds one sample; returns `true` when the alarm first fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::NonFinite`] for NaN/infinite
+    /// input.
+    pub fn push(&mut self, value: f64) -> Result<bool> {
+        self.mk.push(value)?;
+        self.count += 1;
+        let cfg = &self.config;
+        if !self.mk.is_full() || !self.count.is_multiple_of(cfg.refit_every as u64) {
+            return Ok(false);
+        }
+        let Ok(mk) = self.mk.statistic() else {
+            return Ok(false); // degenerate window
+        };
+        let significant = match cfg.direction {
+            ResourceDirection::Depleting => mk.direction(cfg.alpha) == TrendDirection::Decreasing,
+            ResourceDirection::Filling => mk.direction(cfg.alpha) == TrendDirection::Increasing,
+        };
+        if !significant {
+            self.eta = None;
+            return Ok(false);
+        }
+        let Ok(sen) = self.mk.sen_slope(cfg.sample_period_secs) else {
+            return Ok(false);
+        };
+        let toward_exhaustion = match cfg.direction {
+            ResourceDirection::Depleting => sen.slope < 0.0,
+            ResourceDirection::Filling => sen.slope > 0.0,
+        };
+        if !toward_exhaustion {
+            self.eta = None;
+            return Ok(false);
+        }
+        let window_span = (cfg.window - 1) as f64 * cfg.sample_period_secs;
+        self.eta = sen
+            .time_to_level(cfg.exhaustion_level)
+            .map(|t| (t - window_span).max(0.0))
+            .filter(|t| t.is_finite());
+        let fire = matches!(self.eta, Some(eta) if eta <= cfg.alarm_horizon_secs);
+        if fire && !self.alarmed {
+            self.alarmed = true;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Whether the alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// Latest estimated time to exhaustion, seconds.
+    pub fn eta_secs(&self) -> Option<f64> {
+        self.eta
+    }
+
+    /// Upper bound on retained samples.
+    pub fn memory_bound_samples(&self) -> usize {
+        self.config.window
+    }
+
+    /// Clears all state; the configuration is retained.
+    pub fn reset(&mut self) {
+        self.mk.reset();
+        self.count = 0;
+        self.eta = None;
+        self.alarmed = false;
+    }
+}
+
+/// A uniform wrapper so fleets can mix detector families per counter.
+#[derive(Debug, Clone)]
+pub struct StreamingDetector {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Holder(Box<StreamingHolderDimension>),
+    Trend(Box<StreamingTrend>),
+}
+
+impl StreamingDetector {
+    /// Instantiates the detector described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying constructor's failures.
+    pub fn new(spec: &DetectorSpec) -> Result<Self> {
+        let inner = match spec {
+            DetectorSpec::Holder(cfg) => {
+                Inner::Holder(Box::new(StreamingHolderDimension::new(cfg.clone())?))
+            }
+            DetectorSpec::Trend(cfg) => Inner::Trend(Box::new(StreamingTrend::new(cfg.clone())?)),
+        };
+        Ok(StreamingDetector { inner })
+    }
+
+    /// Feeds one sample; returns an alert when one fires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying detector's failures.
+    pub fn push(&mut self, value: f64) -> Result<Option<StreamAlert>> {
+        match &mut self.inner {
+            Inner::Holder(det) => Ok(det.push(value)?.map(|alert| StreamAlert {
+                sample_index: alert.sample_index as u64,
+                level: alert.level,
+                detail: AlertDetail::Holder(alert),
+            })),
+            Inner::Trend(det) => {
+                let count_before = det.count;
+                if det.push(value)? {
+                    Ok(Some(StreamAlert {
+                        sample_index: count_before,
+                        level: AlertLevel::Alarm,
+                        detail: AlertDetail::Trend {
+                            eta_secs: det.eta_secs(),
+                        },
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Whether the detector's confirmed alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        match &self.inner {
+            Inner::Holder(det) => det.is_alarmed(),
+            Inner::Trend(det) => det.is_alarmed(),
+        }
+    }
+
+    /// Upper bound on retained samples (memory is O(this) regardless of
+    /// stream length).
+    pub fn memory_bound_samples(&self) -> usize {
+        match &self.inner {
+            Inner::Holder(det) => det.memory_bound_samples(),
+            Inner::Trend(det) => det.memory_bound_samples(),
+        }
+    }
+
+    /// Clears state after a reboot or feed discontinuity.
+    pub fn reset(&mut self) {
+        match &mut self.inner {
+            Inner::Holder(det) => det.reset(),
+            Inner::Trend(det) => det.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_core::detector::HolderDimensionDetector;
+
+    fn tiny_config() -> DetectorConfig {
+        DetectorConfig {
+            holder_radius: 16,
+            holder_max_lag: 4,
+            dimension_window: 64,
+            dimension_stride: 16,
+            baseline_windows: 8,
+            ..DetectorConfig::default()
+        }
+    }
+
+    /// A degrading synthetic signal: regular oscillation whose noise
+    /// roughens sharply in late life.
+    fn degrading_signal(n: usize) -> Vec<f64> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                let base = 1e6 - 30.0 * t + (t * 0.45).sin() * 2048.0;
+                let late = i > 2 * n / 3;
+                let noise = rand() * if late { 6000.0 } else { 120.0 };
+                base + noise
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_alert_for_alert() {
+        let signal = degrading_signal(1400);
+        let mut batch = HolderDimensionDetector::new(tiny_config()).unwrap();
+        let mut streaming = StreamingHolderDimension::new(tiny_config()).unwrap();
+        for &v in &signal {
+            let b = batch.push(v).unwrap();
+            let s = streaming.push(v).unwrap();
+            assert_eq!(b, s, "divergence at sample {}", streaming.samples_seen());
+        }
+        assert_eq!(batch.is_alarmed(), streaming.is_alarmed());
+        assert_eq!(batch.baseline(), streaming.baseline());
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let cfg = tiny_config();
+        let det = StreamingHolderDimension::new(cfg.clone()).unwrap();
+        let bound = det.memory_bound_samples();
+        assert_eq!(
+            bound,
+            2 * cfg.holder_radius + 1 + cfg.dimension_window + cfg.baseline_windows
+        );
+        // The bound is what the rings can hold — far below stream length.
+        assert!(bound < 200);
+    }
+
+    #[test]
+    fn trend_detector_alarms_on_depletion() {
+        let cfg = TrendPredictorConfig {
+            window: 64,
+            refit_every: 4,
+            alarm_horizon_secs: 1e6,
+            ..TrendPredictorConfig::depleting(30.0)
+        };
+        let mut det = StreamingTrend::new(cfg).unwrap();
+        let mut fired_at = None;
+        for i in 0..400 {
+            let v = 1e6 - 400.0 * i as f64 + ((i * 7) % 13) as f64;
+            if det.push(v).unwrap() && fired_at.is_none() {
+                fired_at = Some(i);
+            }
+        }
+        assert!(det.is_alarmed());
+        assert!(fired_at.unwrap() >= 63, "needs a full window first");
+        assert!(det.eta_secs().is_some());
+        det.reset();
+        assert!(!det.is_alarmed());
+        assert_eq!(det.eta_secs(), None);
+    }
+
+    #[test]
+    fn trend_detector_quiet_on_stationary_signal() {
+        let cfg = TrendPredictorConfig {
+            window: 64,
+            refit_every: 4,
+            ..TrendPredictorConfig::depleting(30.0)
+        };
+        let mut det = StreamingTrend::new(cfg).unwrap();
+        for i in 0..400u64 {
+            let v = 1e6 + ((i * 2654435761) % 4096) as f64;
+            det.push(v).unwrap();
+        }
+        assert!(!det.is_alarmed());
+    }
+
+    #[test]
+    fn wrapper_reports_both_families() {
+        let holder = DetectorSpec::Holder(tiny_config());
+        assert_eq!(holder.name(), "holder-dimension");
+        let mut det = StreamingDetector::new(&holder).unwrap();
+        for &v in &degrading_signal(1400) {
+            det.push(v).unwrap();
+        }
+        assert!(det.memory_bound_samples() < 200);
+
+        let trend = DetectorSpec::Trend(TrendPredictorConfig {
+            window: 64,
+            refit_every: 4,
+            alarm_horizon_secs: 1e6,
+            ..TrendPredictorConfig::depleting(30.0)
+        });
+        assert_eq!(trend.name(), "mann-kendall-sen");
+        let mut det = StreamingDetector::new(&trend).unwrap();
+        let mut alert = None;
+        for i in 0..400 {
+            let v = 1e6 - 400.0 * i as f64;
+            if let Some(a) = det.push(v).unwrap() {
+                alert.get_or_insert(a);
+            }
+        }
+        let alert = alert.expect("depleting line must alarm");
+        assert_eq!(alert.level, AlertLevel::Alarm);
+        assert!(matches!(
+            alert.detail,
+            AlertDetail::Trend { eta_secs: Some(_) }
+        ));
+        assert!(det.is_alarmed());
+    }
+}

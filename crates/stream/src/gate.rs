@@ -1,0 +1,230 @@
+//! Per-source sample sanitation: the gate between a raw feed and a
+//! detector.
+//!
+//! Real monitor feeds misbehave in three ways the offline pipeline never
+//! sees: values go non-finite (exporter hiccups, parse gaps), timestamps
+//! arrive out of order (retransmits, clock steps), and the feed stalls
+//! (agent restarts). A [`SampleGate`] applies one documented policy per
+//! defect and counts everything it does, so a fleet operator can audit the
+//! stream quality from the telemetry snapshot:
+//!
+//! | Defect | Policy |
+//! |---|---|
+//! | non-finite value | **drop** the sample (`dropped_non_finite`) |
+//! | `time ≤` last accepted time | **drop** the sample (`dropped_out_of_order`) |
+//! | gap `> max_gap_factor ×` nominal period | **reset** downstream detector, then accept (`gaps_detected`) |
+//!
+//! Dropping (rather than interpolating) non-finite values keeps the gate
+//! allocation-free and unbiased; a long run of drops then surfaces as a
+//! gap, which resets the detector instead of feeding it fabricated data.
+
+use aging_timeseries::{Error, Result};
+
+use crate::source::StreamSample;
+use crate::telemetry::StageCounters;
+
+/// Gate policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Nominal sampling period of the feed, seconds.
+    pub nominal_period_secs: f64,
+    /// A gap longer than `max_gap_factor × nominal_period_secs` is a
+    /// discontinuity: the downstream detector must be reset rather than
+    /// shown two samples that pretend to be adjacent.
+    pub max_gap_factor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            nominal_period_secs: 30.0,
+            max_gap_factor: 4.0,
+        }
+    }
+}
+
+impl GateConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for non-positive period or a
+    /// gap factor below 1.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.nominal_period_secs > 0.0) {
+            return Err(Error::invalid("nominal_period_secs", "must be positive"));
+        }
+        if !(self.max_gap_factor >= 1.0) {
+            return Err(Error::invalid("max_gap_factor", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// What the gate decided about one raw sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateAction {
+    /// Feed the sample to the detector.
+    Accept(StreamSample),
+    /// Discard the sample (non-finite value).
+    DropNonFinite,
+    /// Discard the sample (timestamp not after the last accepted one).
+    DropOutOfOrder,
+    /// A feed discontinuity: reset the downstream detector, then feed the
+    /// sample (it starts the new segment).
+    AcceptAfterGap(StreamSample),
+}
+
+/// Stateful defect gate for one stream.
+#[derive(Debug, Clone)]
+pub struct SampleGate {
+    config: GateConfig,
+    last_time: Option<f64>,
+    counters: StageCounters,
+}
+
+impl SampleGate {
+    /// Creates a gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GateConfig::validate`] failures.
+    pub fn new(config: GateConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SampleGate {
+            config,
+            last_time: None,
+            counters: StageCounters::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GateConfig {
+        &self.config
+    }
+
+    /// Ingestion counters accumulated so far.
+    pub fn counters(&self) -> &StageCounters {
+        &self.counters
+    }
+
+    /// Judges one raw sample.
+    pub fn push(&mut self, raw: StreamSample) -> GateAction {
+        self.counters.ingested += 1;
+        if !raw.value.is_finite() || !raw.time_secs.is_finite() {
+            self.counters.dropped_non_finite += 1;
+            return GateAction::DropNonFinite;
+        }
+        let Some(last) = self.last_time else {
+            self.last_time = Some(raw.time_secs);
+            self.counters.accepted += 1;
+            return GateAction::Accept(raw);
+        };
+        if raw.time_secs <= last {
+            self.counters.dropped_out_of_order += 1;
+            return GateAction::DropOutOfOrder;
+        }
+        let gap = raw.time_secs - last;
+        self.last_time = Some(raw.time_secs);
+        self.counters.accepted += 1;
+        if gap > self.config.max_gap_factor * self.config.nominal_period_secs {
+            self.counters.gaps_detected += 1;
+            GateAction::AcceptAfterGap(raw)
+        } else {
+            GateAction::Accept(raw)
+        }
+    }
+
+    /// Forgets the stream position (the counters are retained — they are
+    /// lifetime totals).
+    pub fn reset(&mut self) {
+        self.last_time = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate() -> SampleGate {
+        SampleGate::new(GateConfig {
+            nominal_period_secs: 30.0,
+            max_gap_factor: 4.0,
+        })
+        .unwrap()
+    }
+
+    fn s(t: f64, v: f64) -> StreamSample {
+        StreamSample {
+            time_secs: t,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn config_guards() {
+        assert!(GateConfig {
+            nominal_period_secs: 0.0,
+            max_gap_factor: 4.0
+        }
+        .validate()
+        .is_err());
+        assert!(GateConfig {
+            nominal_period_secs: 30.0,
+            max_gap_factor: 0.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn accepts_clean_sequence() {
+        let mut g = gate();
+        for i in 0..5 {
+            let a = g.push(s(i as f64 * 30.0, 100.0 - i as f64));
+            assert!(matches!(a, GateAction::Accept(_)), "{a:?}");
+        }
+        assert_eq!(g.counters().accepted, 5);
+        assert_eq!(g.counters().ingested, 5);
+    }
+
+    #[test]
+    fn drops_non_finite_and_out_of_order() {
+        let mut g = gate();
+        assert!(matches!(g.push(s(0.0, 1.0)), GateAction::Accept(_)));
+        assert_eq!(g.push(s(30.0, f64::NAN)), GateAction::DropNonFinite);
+        assert_eq!(g.push(s(f64::INFINITY, 1.0)), GateAction::DropNonFinite);
+        assert_eq!(g.push(s(0.0, 2.0)), GateAction::DropOutOfOrder);
+        assert_eq!(g.push(s(-5.0, 2.0)), GateAction::DropOutOfOrder);
+        // The clock did not advance on dropped samples.
+        assert!(matches!(g.push(s(30.0, 2.0)), GateAction::Accept(_)));
+        let c = g.counters();
+        assert_eq!(c.dropped_non_finite, 2);
+        assert_eq!(c.dropped_out_of_order, 2);
+        assert_eq!(c.accepted, 2);
+    }
+
+    #[test]
+    fn long_gap_flags_discontinuity() {
+        let mut g = gate();
+        g.push(s(0.0, 1.0));
+        g.push(s(30.0, 1.0));
+        // 121 s > 4 × 30 s: discontinuity.
+        let a = g.push(s(151.0, 1.0));
+        assert!(matches!(a, GateAction::AcceptAfterGap(_)), "{a:?}");
+        // Exactly at the limit: accepted normally.
+        let b = g.push(s(151.0 + 120.0, 1.0));
+        assert!(matches!(b, GateAction::Accept(_)), "{b:?}");
+        assert_eq!(g.counters().gaps_detected, 1);
+    }
+
+    #[test]
+    fn reset_forgets_position_keeps_totals() {
+        let mut g = gate();
+        g.push(s(100.0, 1.0));
+        g.reset();
+        // An "earlier" timestamp is fine after reset (new segment).
+        assert!(matches!(g.push(s(0.0, 1.0)), GateAction::Accept(_)));
+        assert_eq!(g.counters().accepted, 2);
+    }
+}

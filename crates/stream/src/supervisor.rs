@@ -1,0 +1,858 @@
+//! Fleet supervisor: N machines × M counters through streaming detectors
+//! on a thread-per-shard pool, fused per machine, emitting one
+//! time-ordered alarm stream.
+//!
+//! # Architecture
+//!
+//! Machines are partitioned round-robin across shards; each shard is one
+//! scoped thread owning its machines' simulations, [`SampleGate`]s and
+//! [`StreamingDetector`]s, so the hot path needs no locks at all. Shards
+//! talk to the supervisor over a single bounded [`std::sync::mpsc`]
+//! channel carrying three message kinds with two delivery policies:
+//!
+//! | Message | Send | Policy when the queue is full |
+//! |---|---|---|
+//! | alarm/warning events | blocking `send` | **backpressure** — the shard stalls; alarms are never dropped |
+//! | shard watermarks | blocking `send` | backpressure (ordering depends on them) |
+//! | telemetry snapshots | `try_send` | **dropped** and counted (`telemetry_dropped`) — observability is lossy by design |
+//!
+//! # Ordered merge
+//!
+//! Every machine's sample clock is strictly increasing, so after a shard
+//! finishes a round-robin sweep, no future event from it can carry a
+//! timestamp at or below the minimum last-sample time of its live
+//! machines. Shards publish that value as a *watermark*; the supervisor
+//! buffers incoming events in a min-heap and releases them only once every
+//! live shard's watermark has passed them. The released stream is
+//! therefore globally ordered by `(time, machine, emission)` no matter how
+//! threads interleave — and, because the simulations are deterministic,
+//! two runs of the same fleet produce the identical event sequence.
+//!
+//! Per-machine fusion applies the existing [`FusionRule`] vote logic:
+//! each counter's detector contributes one vote once its confirmed alarm
+//! has latched, and the machine-level alarm fires when the rule says the
+//! votes suffice.
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::time::Instant;
+
+use aging_core::fusion::FusionRule;
+use aging_memsim::{Counter, Machine, Sample, Scenario};
+use aging_timeseries::{Error, Result};
+
+use crate::detector::{AlertDetail, DetectorSpec, StreamingDetector};
+use crate::gate::{GateAction, GateConfig, SampleGate};
+use crate::telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};
+
+pub use aging_core::detector::AlertLevel;
+
+/// One counter to monitor on every machine, and the detector to run on it.
+#[derive(Debug, Clone)]
+pub struct CounterDetector {
+    /// The monitored counter.
+    pub counter: Counter,
+    /// The detector family and tuning for this counter.
+    pub spec: DetectorSpec,
+}
+
+/// Fleet supervisor configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Detectors instantiated per machine (one per monitored counter).
+    pub detectors: Vec<CounterDetector>,
+    /// How per-counter alarm votes combine into a machine-level alarm.
+    pub fusion: FusionRule,
+    /// Defect gate applied to every (machine, counter) stream.
+    pub gate: GateConfig,
+    /// Simulated-time horizon per machine, seconds.
+    pub horizon_secs: f64,
+    /// Shard (worker thread) count; `0` picks
+    /// `min(machines, available_parallelism)`.
+    pub shards: usize,
+    /// Bound of the shard→supervisor channel. Full queue stalls shards
+    /// (alarms are lossless) and sheds telemetry (lossy).
+    pub queue_capacity: usize,
+    /// Emit a telemetry snapshot each time a shard's stream clock crosses
+    /// a multiple of this many seconds.
+    pub status_every_secs: f64,
+}
+
+impl FleetConfig {
+    /// A config with library defaults: majority fusion, default gate,
+    /// 256-slot queue, 10-minute status cadence.
+    pub fn new(detectors: Vec<CounterDetector>, horizon_secs: f64) -> Self {
+        FleetConfig {
+            detectors,
+            fusion: FusionRule::Majority,
+            gate: GateConfig::default(),
+            horizon_secs,
+            shards: 0,
+            queue_capacity: 256,
+            status_every_secs: 600.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on an empty detector list,
+    /// non-positive horizon/status period or a zero queue capacity, and
+    /// propagates [`GateConfig::validate`].
+    pub fn validate(&self) -> Result<()> {
+        if self.detectors.is_empty() {
+            return Err(Error::invalid("detectors", "need at least one counter"));
+        }
+        if !(self.horizon_secs > 0.0) {
+            return Err(Error::invalid("horizon_secs", "must be positive"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(Error::invalid("queue_capacity", "must be at least 1"));
+        }
+        if !(self.status_every_secs > 0.0) {
+            return Err(Error::invalid("status_every_secs", "must be positive"));
+        }
+        self.gate.validate()
+    }
+}
+
+/// What fired: a single detector, or the machine-level fused vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlarmKind {
+    /// One counter's detector emitted an alert.
+    Detector {
+        /// The counter that triggered.
+        counter: Counter,
+        /// Stable detector-family name (see [`DetectorSpec::name`]).
+        detector: &'static str,
+        /// The detector's measurements.
+        detail: AlertDetail,
+    },
+    /// The fusion rule's vote threshold was reached for a machine.
+    MachineAlarm {
+        /// Counters whose detectors had latched alarms.
+        votes: usize,
+        /// Counters voting in total.
+        members: usize,
+    },
+}
+
+/// One event in the supervisor's ordered output stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmEvent {
+    /// Index of the machine in the `scenarios` slice passed to `run`.
+    pub machine_index: usize,
+    /// Machine display name (`m<index>:<scenario>`).
+    pub machine: String,
+    /// Stream time of the sample that produced the event, seconds.
+    pub time_secs: f64,
+    /// Severity.
+    pub level: AlertLevel,
+    /// What fired.
+    pub kind: AlarmKind,
+}
+
+/// Terminal state of one machine after a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineOutcome {
+    /// Index of the machine in the `scenarios` slice.
+    pub machine_index: usize,
+    /// Machine display name.
+    pub machine: String,
+    /// Crash time, seconds — `None` if the machine survived to the
+    /// horizon.
+    pub crash_time_secs: Option<f64>,
+    /// Monitor samples the machine produced.
+    pub samples: u64,
+}
+
+/// Everything a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// All events, globally ordered by `(time, machine, emission)`.
+    pub events: Vec<AlarmEvent>,
+    /// Per-machine terminal states, by machine index.
+    pub outcomes: Vec<MachineOutcome>,
+    /// Final aggregated telemetry.
+    pub status: StatusSnapshot,
+}
+
+impl FleetReport {
+    /// Seconds between a machine's fused alarm and its crash — the
+    /// prediction lead time. `None` if it never alarmed or never crashed.
+    pub fn lead_time_secs(&self, machine_index: usize) -> Option<f64> {
+        let crash = self
+            .outcomes
+            .iter()
+            .find(|o| o.machine_index == machine_index)?
+            .crash_time_secs?;
+        let alarm = self
+            .events
+            .iter()
+            .find(|e| {
+                e.machine_index == machine_index && matches!(e.kind, AlarmKind::MachineAlarm { .. })
+            })?
+            .time_secs;
+        Some(crash - alarm)
+    }
+
+    /// Iterates the machine-level fused alarms in stream order.
+    pub fn machine_alarms(&self) -> impl Iterator<Item = &AlarmEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, AlarmKind::MachineAlarm { .. }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard internals
+// ---------------------------------------------------------------------------
+
+/// Per-shard cumulative telemetry, merged by the supervisor.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardTelemetry {
+    stream_time_secs: f64,
+    live: usize,
+    finished: usize,
+    counters: StageCounters,
+    latency: LatencyHistogram,
+    telemetry_dropped: u64,
+    detector_errors: u64,
+}
+
+enum ShardMsg {
+    Event {
+        seq: u64,
+        event: AlarmEvent,
+    },
+    Watermark {
+        shard: usize,
+        time_secs: f64,
+    },
+    Telemetry {
+        shard: usize,
+        telemetry: Box<ShardTelemetry>,
+    },
+    Done {
+        shard: usize,
+        telemetry: Box<ShardTelemetry>,
+        outcomes: Vec<MachineOutcome>,
+    },
+}
+
+struct CounterStream {
+    counter: Counter,
+    detector_name: &'static str,
+    gate: SampleGate,
+    detector: StreamingDetector,
+    /// Poisoned by an estimator error; keeps its latched vote but stops
+    /// consuming samples.
+    disabled: bool,
+}
+
+struct ShardMachine {
+    index: usize,
+    name: String,
+    machine: Machine,
+    consumed: usize,
+    streams: Vec<CounterStream>,
+    fused: bool,
+    finished: bool,
+    crash_time_secs: Option<f64>,
+    samples: u64,
+    last_time_secs: f64,
+}
+
+impl ShardMachine {
+    /// Steps the simulation until the monitor publishes the next sample;
+    /// `None` ends the feed (crash or horizon), recording the cause.
+    fn next_sample(&mut self, horizon_secs: f64) -> Option<Sample> {
+        while self.machine.log().len() == self.consumed {
+            if self.machine.now().as_secs() >= horizon_secs {
+                return None;
+            }
+            if let Some(crash) = self.machine.step() {
+                self.crash_time_secs = Some(crash.time.as_secs());
+                return None;
+            }
+        }
+        self.consumed += 1;
+        self.machine.last_sample()
+    }
+}
+
+/// An event buffered in the supervisor's reorder heap, min-ordered by
+/// `(time, machine, emission seq)` for a deterministic release order.
+struct PendingEvent {
+    seq: u64,
+    event: AlarmEvent,
+}
+
+impl PendingEvent {
+    fn key(&self) -> (f64, usize, u64) {
+        (self.event.time_secs, self.event.machine_index, self.seq)
+    }
+}
+
+impl PartialEq for PendingEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for PendingEvent {}
+impl PartialOrd for PendingEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let (ta, ma, sa) = self.key();
+        let (tb, mb, sb) = other.key();
+        // Reversed: BinaryHeap is a max-heap and we want the earliest out
+        // first.
+        tb.total_cmp(&ta)
+            .then_with(|| mb.cmp(&ma))
+            .then_with(|| sb.cmp(&sa))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------------
+
+/// Runs fleets of simulated machines through streaming detectors.
+#[derive(Debug, Clone)]
+pub struct FleetSupervisor {
+    config: FleetConfig,
+}
+
+impl FleetSupervisor {
+    /// Creates a supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetConfig::validate`] and instantiates every
+    /// detector spec once to surface bad tunings before any thread spawns.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        config.validate()?;
+        for d in &config.detectors {
+            StreamingDetector::new(&d.spec)?;
+        }
+        Ok(FleetSupervisor { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Monitors the fleet to its horizon, collecting all events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine-boot failures.
+    pub fn run(&self, scenarios: &[Scenario]) -> Result<FleetReport> {
+        self.run_with(scenarios, |_| {}, |_| {})
+    }
+
+    /// Monitors the fleet, invoking `on_alarm` for each event as the
+    /// ordered merge releases it and `on_status` for each telemetry
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates machine-boot failures (before any thread starts).
+    pub fn run_with(
+        &self,
+        scenarios: &[Scenario],
+        mut on_alarm: impl FnMut(&AlarmEvent),
+        mut on_status: impl FnMut(&StatusSnapshot),
+    ) -> Result<FleetReport> {
+        let cfg = &self.config;
+
+        // Boot everything up front so errors surface before threads spawn.
+        let mut machines = Vec::with_capacity(scenarios.len());
+        for (index, scenario) in scenarios.iter().enumerate() {
+            let streams = cfg
+                .detectors
+                .iter()
+                .map(|d| {
+                    Ok(CounterStream {
+                        counter: d.counter,
+                        detector_name: d.spec.name(),
+                        gate: SampleGate::new(cfg.gate)?,
+                        detector: StreamingDetector::new(&d.spec)?,
+                        disabled: false,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            machines.push(ShardMachine {
+                index,
+                name: format!("m{index:03}:{}", scenario.name),
+                machine: Machine::boot(scenario)?,
+                consumed: 0,
+                streams,
+                fused: false,
+                finished: false,
+                crash_time_secs: None,
+                samples: 0,
+                last_time_secs: f64::NEG_INFINITY,
+            });
+        }
+
+        let shard_count = if cfg.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(machines.len())
+                .max(1)
+        } else {
+            cfg.shards.min(machines.len()).max(1)
+        };
+
+        // Round-robin partition.
+        let mut shards: Vec<Vec<ShardMachine>> = (0..shard_count).map(|_| Vec::new()).collect();
+        for (i, m) in machines.into_iter().enumerate() {
+            shards[i % shard_count].push(m);
+        }
+
+        let (tx, rx) = mpsc::sync_channel::<ShardMsg>(cfg.queue_capacity);
+        let mut report = std::thread::scope(|scope| {
+            for (shard_id, shard_machines) in shards.into_iter().enumerate() {
+                let tx = tx.clone();
+                let cfg = &self.config;
+                scope.spawn(move || shard_loop(shard_id, shard_machines, cfg, &tx));
+            }
+            drop(tx); // the merge loop ends when every shard hangs up
+            merge_loop(shard_count, rx, &mut on_alarm, &mut on_status)
+        });
+        report.outcomes.sort_by_key(|o| o.machine_index);
+        Ok(report)
+    }
+}
+
+/// One shard's whole life: sweep its machines round-robin, gate and
+/// detect every counter sample, vote, and publish events + watermarks.
+fn shard_loop(
+    shard_id: usize,
+    mut machines: Vec<ShardMachine>,
+    cfg: &FleetConfig,
+    tx: &mpsc::SyncSender<ShardMsg>,
+) {
+    let mut latency = LatencyHistogram::default();
+    let mut detector_errors = 0u64;
+    let mut telemetry_dropped = 0u64;
+    let mut seq = 0u64;
+    let mut next_status = cfg.status_every_secs;
+    let members = cfg.detectors.len();
+
+    loop {
+        let mut events = Vec::new();
+        for m in machines.iter_mut().filter(|m| !m.finished) {
+            let Some(sample) = m.next_sample(cfg.horizon_secs) else {
+                m.finished = true;
+                continue;
+            };
+            m.samples += 1;
+            let time_secs = sample.time.as_secs();
+            m.last_time_secs = time_secs;
+            for cs in m.streams.iter_mut().filter(|cs| !cs.disabled) {
+                let raw = crate::source::StreamSample {
+                    time_secs,
+                    value: sample.value(cs.counter),
+                };
+                let accepted = match cs.gate.push(raw) {
+                    GateAction::Accept(s) => s,
+                    GateAction::AcceptAfterGap(s) => {
+                        cs.detector.reset();
+                        s
+                    }
+                    GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+                };
+                let started = Instant::now();
+                let alert = cs.detector.push(accepted.value);
+                latency.record(started.elapsed());
+                match alert {
+                    Ok(Some(alert)) => events.push(AlarmEvent {
+                        machine_index: m.index,
+                        machine: m.name.clone(),
+                        time_secs,
+                        level: alert.level,
+                        kind: AlarmKind::Detector {
+                            counter: cs.counter,
+                            detector: cs.detector_name,
+                            detail: alert.detail,
+                        },
+                    }),
+                    Ok(None) => {}
+                    Err(_) => {
+                        detector_errors += 1;
+                        cs.disabled = true;
+                    }
+                }
+            }
+            if !m.fused {
+                let votes = m
+                    .streams
+                    .iter()
+                    .filter(|cs| cs.detector.is_alarmed())
+                    .count();
+                if cfg.fusion.fires(votes, members) {
+                    m.fused = true;
+                    events.push(AlarmEvent {
+                        machine_index: m.index,
+                        machine: m.name.clone(),
+                        time_secs,
+                        level: AlertLevel::Alarm,
+                        kind: AlarmKind::MachineAlarm { votes, members },
+                    });
+                }
+            }
+        }
+
+        // Lossless path: block when the queue is full (backpressure).
+        for event in events {
+            seq += 1;
+            if tx.send(ShardMsg::Event { seq, event }).is_err() {
+                return; // supervisor gone
+            }
+        }
+
+        let live = machines.iter().filter(|m| !m.finished).count();
+        let watermark = machines
+            .iter()
+            .filter(|m| !m.finished)
+            .map(|m| m.last_time_secs)
+            .fold(f64::INFINITY, f64::min);
+
+        let telemetry = |wm: f64, dropped: u64| {
+            let mut counters = StageCounters::default();
+            for m in &machines {
+                for cs in &m.streams {
+                    counters.merge(cs.gate.counters());
+                }
+            }
+            Box::new(ShardTelemetry {
+                stream_time_secs: if wm.is_finite() { wm } else { 0.0 },
+                live,
+                finished: machines.len() - live,
+                counters,
+                latency,
+                telemetry_dropped: dropped,
+                detector_errors,
+            })
+        };
+
+        if live == 0 {
+            let outcomes = machines
+                .iter()
+                .map(|m| MachineOutcome {
+                    machine_index: m.index,
+                    machine: m.name.clone(),
+                    crash_time_secs: m.crash_time_secs,
+                    samples: m.samples,
+                })
+                .collect();
+            let last_time = machines
+                .iter()
+                .map(|m| m.last_time_secs)
+                .fold(0.0, f64::max);
+            let _ = tx.send(ShardMsg::Done {
+                shard: shard_id,
+                telemetry: telemetry(last_time, telemetry_dropped),
+                outcomes,
+            });
+            return;
+        }
+
+        if tx
+            .send(ShardMsg::Watermark {
+                shard: shard_id,
+                time_secs: watermark,
+            })
+            .is_err()
+        {
+            return;
+        }
+
+        // Lossy path: shed telemetry rather than stall detection.
+        if watermark >= next_status {
+            while watermark >= next_status {
+                next_status += cfg.status_every_secs;
+            }
+            if let Err(mpsc::TrySendError::Full(_)) = tx.try_send(ShardMsg::Telemetry {
+                shard: shard_id,
+                telemetry: telemetry(watermark, telemetry_dropped),
+            }) {
+                telemetry_dropped += 1;
+            }
+        }
+    }
+}
+
+/// The supervisor side: merge shard streams into one ordered event
+/// sequence using the shard watermarks, and aggregate telemetry.
+fn merge_loop(
+    shard_count: usize,
+    rx: mpsc::Receiver<ShardMsg>,
+    on_alarm: &mut impl FnMut(&AlarmEvent),
+    on_status: &mut impl FnMut(&StatusSnapshot),
+) -> FleetReport {
+    let mut watermarks = vec![f64::NEG_INFINITY; shard_count];
+    let mut latest_tel: Vec<Option<Box<ShardTelemetry>>> = (0..shard_count).map(|_| None).collect();
+    let mut heap: BinaryHeap<PendingEvent> = BinaryHeap::new();
+    let mut released = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut warnings = 0u64;
+    let mut alarms = 0u64;
+    let mut sequence = 0u64;
+
+    let release = |heap: &mut BinaryHeap<PendingEvent>,
+                   limit: f64,
+                   released: &mut Vec<AlarmEvent>,
+                   warnings: &mut u64,
+                   alarms: &mut u64,
+                   on_alarm: &mut dyn FnMut(&AlarmEvent)| {
+        while heap.peek().is_some_and(|p| p.event.time_secs <= limit) {
+            let event = heap.pop().expect("peeked").event;
+            match event.level {
+                AlertLevel::Warning => *warnings += 1,
+                AlertLevel::Alarm => *alarms += 1,
+            }
+            on_alarm(&event);
+            released.push(event);
+        }
+    };
+
+    let build_snapshot = |sequence: u64,
+                          watermarks: &[f64],
+                          latest_tel: &[Option<Box<ShardTelemetry>>],
+                          heap_len: usize,
+                          warnings: u64,
+                          alarms: u64| {
+        let mut ingestion = StageCounters::default();
+        let mut latency = LatencyHistogram::default();
+        let mut live = 0;
+        let mut finished = 0;
+        let mut dropped = 0;
+        let mut errors = 0;
+        let mut t = 0.0f64;
+        for tel in latest_tel.iter().flatten() {
+            ingestion.merge(&tel.counters);
+            latency.merge(&tel.latency);
+            live += tel.live;
+            finished += tel.finished;
+            dropped += tel.telemetry_dropped;
+            errors += tel.detector_errors;
+            t = t.max(tel.stream_time_secs);
+        }
+        let _ = watermarks;
+        StatusSnapshot {
+            sequence,
+            stream_time_secs: t,
+            machines_live: live,
+            machines_finished: finished,
+            ingestion,
+            detector_latency: latency,
+            warnings_emitted: warnings,
+            alarms_emitted: alarms,
+            alarm_queue_depth: heap_len,
+            telemetry_dropped: dropped,
+            detector_errors: errors,
+        }
+    };
+
+    for msg in rx {
+        match msg {
+            ShardMsg::Event { seq, event } => heap.push(PendingEvent { seq, event }),
+            ShardMsg::Watermark { shard, time_secs } => {
+                watermarks[shard] = time_secs;
+                let min = watermarks.iter().copied().fold(f64::INFINITY, f64::min);
+                release(
+                    &mut heap,
+                    min,
+                    &mut released,
+                    &mut warnings,
+                    &mut alarms,
+                    on_alarm,
+                );
+            }
+            ShardMsg::Telemetry { shard, telemetry } => {
+                latest_tel[shard] = Some(telemetry);
+                sequence += 1;
+                let snap = build_snapshot(
+                    sequence,
+                    &watermarks,
+                    &latest_tel,
+                    heap.len(),
+                    warnings,
+                    alarms,
+                );
+                on_status(&snap);
+            }
+            ShardMsg::Done {
+                shard,
+                telemetry,
+                outcomes: shard_outcomes,
+            } => {
+                watermarks[shard] = f64::INFINITY;
+                latest_tel[shard] = Some(telemetry);
+                outcomes.extend(shard_outcomes);
+                let min = watermarks.iter().copied().fold(f64::INFINITY, f64::min);
+                release(
+                    &mut heap,
+                    min,
+                    &mut released,
+                    &mut warnings,
+                    &mut alarms,
+                    on_alarm,
+                );
+            }
+        }
+    }
+
+    // Every shard has hung up: flush anything still pending.
+    release(
+        &mut heap,
+        f64::INFINITY,
+        &mut released,
+        &mut warnings,
+        &mut alarms,
+        on_alarm,
+    );
+    sequence += 1;
+    let status = build_snapshot(
+        sequence,
+        &watermarks,
+        &latest_tel,
+        heap.len(),
+        warnings,
+        alarms,
+    );
+    on_status(&status);
+    FleetReport {
+        events: released,
+        outcomes,
+        status,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_core::baseline::TrendPredictorConfig;
+
+    /// A cheap trend detector suited to the 5-second tiny-machine feed.
+    fn trend_spec() -> DetectorSpec {
+        DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        })
+    }
+
+    fn fleet_config(horizon_secs: f64) -> FleetConfig {
+        let mut cfg = FleetConfig::new(
+            vec![CounterDetector {
+                counter: Counter::AvailableBytes,
+                spec: trend_spec(),
+            }],
+            horizon_secs,
+        );
+        cfg.gate.nominal_period_secs = 5.0;
+        cfg.status_every_secs = 300.0;
+        cfg.shards = 3;
+        cfg
+    }
+
+    #[test]
+    fn config_guards() {
+        assert!(FleetConfig::new(Vec::new(), 100.0).validate().is_err());
+        let mut c = fleet_config(0.0);
+        assert!(c.validate().is_err());
+        c.horizon_secs = 100.0;
+        c.queue_capacity = 0;
+        assert!(c.validate().is_err());
+        c.queue_capacity = 16;
+        c.status_every_secs = 0.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn aging_fleet_alarms_before_crashes() {
+        // Aggressive leaks: every machine crashes inside the horizon.
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| Scenario::tiny_aging(100 + i, 192.0))
+            .collect();
+        let sup = FleetSupervisor::new(fleet_config(8.0 * 3600.0)).unwrap();
+        let mut seen = 0usize;
+        let mut statuses = 0usize;
+        let report = sup
+            .run_with(&scenarios, |_| seen += 1, |_| statuses += 1)
+            .unwrap();
+
+        assert_eq!(report.events.len(), seen);
+        assert!(statuses >= 1, "final snapshot always emitted");
+        assert_eq!(report.outcomes.len(), scenarios.len());
+
+        // Globally ordered event stream.
+        assert!(report
+            .events
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
+
+        // Every machine crashed, alarmed first, with positive lead time.
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.machine_index, i);
+            let crash = outcome.crash_time_secs.expect("leak must crash");
+            let lead = report.lead_time_secs(i).expect("alarm before crash");
+            assert!(lead > 0.0, "machine {i}: lead {lead} (crash at {crash})");
+        }
+        assert_eq!(report.machine_alarms().count(), scenarios.len());
+
+        // Telemetry adds up.
+        let s = &report.status;
+        assert_eq!(s.machines_live, 0);
+        assert_eq!(s.machines_finished, scenarios.len());
+        assert!(s.ingestion.accepted > 0);
+        assert_eq!(s.ingestion.ingested, s.ingestion.accepted);
+        assert_eq!(
+            s.alarms_emitted as usize,
+            report.machine_alarms().count() * 2
+        );
+        assert_eq!(s.detector_errors, 0);
+        assert!(s.detector_latency.total >= s.ingestion.accepted - 1);
+    }
+
+    #[test]
+    fn healthy_fleet_stays_quiet() {
+        let scenarios: Vec<Scenario> = (0..4).map(|i| Scenario::tiny_aging(7 + i, 0.0)).collect();
+        let sup = FleetSupervisor::new(fleet_config(2.0 * 3600.0)).unwrap();
+        let report = sup.run(&scenarios).unwrap();
+        assert_eq!(report.machine_alarms().count(), 0);
+        for o in &report.outcomes {
+            assert_eq!(o.crash_time_secs, None, "{} crashed", o.machine);
+            assert!(o.samples > 0);
+        }
+        assert_eq!(report.status.alarms_emitted, 0);
+    }
+
+    #[test]
+    fn event_stream_is_deterministic_across_runs() {
+        let scenarios: Vec<Scenario> = (0..5)
+            .map(|i| Scenario::tiny_aging(200 + i, 192.0))
+            .collect();
+        let run = |shards: usize| {
+            let mut cfg = fleet_config(8.0 * 3600.0);
+            cfg.shards = shards;
+            FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap()
+        };
+        let a = run(2);
+        let b = run(5);
+        assert_eq!(a.events, b.events, "order must not depend on sharding");
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+}

@@ -1,0 +1,262 @@
+//! Observability: per-stage counters, fixed-bucket latency histograms and
+//! serialisable status snapshots.
+//!
+//! Every stage of the streaming pipeline counts what it does; the
+//! supervisor aggregates those counts into a [`StatusSnapshot`] that
+//! serialises to JSON (machine consumption) and renders as a one-line
+//! plain-text status (operator consumption). Nothing here locks or
+//! allocates on the hot path — counters are plain integers owned by their
+//! stage and snapshotted by value.
+
+use serde::{Deserialize, Serialize};
+
+use aging_timeseries::Result;
+
+/// Ingestion/gating counters for one stream (or aggregated over many).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageCounters {
+    /// Raw samples pulled from the source.
+    pub ingested: u64,
+    /// Samples accepted into the detector.
+    pub accepted: u64,
+    /// Samples dropped for non-finite value or timestamp.
+    pub dropped_non_finite: u64,
+    /// Samples dropped for a non-advancing timestamp.
+    pub dropped_out_of_order: u64,
+    /// Feed discontinuities (detector resets forced by long gaps).
+    pub gaps_detected: u64,
+}
+
+impl StageCounters {
+    /// Component-wise accumulation (for fleet-level aggregation).
+    pub fn merge(&mut self, other: &StageCounters) {
+        self.ingested += other.ingested;
+        self.accepted += other.accepted;
+        self.dropped_non_finite += other.dropped_non_finite;
+        self.dropped_out_of_order += other.dropped_out_of_order;
+        self.gaps_detected += other.gaps_detected;
+    }
+
+    /// Total dropped samples.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_non_finite + self.dropped_out_of_order
+    }
+}
+
+/// Upper edges of the fixed latency buckets, in microseconds. The last
+/// bucket is unbounded.
+pub const LATENCY_BUCKET_EDGES_US: [u64; 8] = [10, 30, 100, 300, 1_000, 3_000, 10_000, 100_000];
+
+/// A fixed-bucket histogram of per-sample detector latencies.
+///
+/// Fixed buckets keep recording O(1) with zero allocation and make
+/// snapshots trivially mergeable across shards — the standard trade
+/// against exact quantiles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `counts[i]` = observations ≤ `LATENCY_BUCKET_EDGES_US[i]` (and
+    /// above the previous edge); the final slot counts the overflow.
+    pub counts: [u64; 9],
+    /// Total observations.
+    pub total: u64,
+    /// Sum of all observed latencies, µs (for the mean).
+    pub sum_us: u64,
+    /// Largest observed latency, µs.
+    pub max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let slot = LATENCY_BUCKET_EDGES_US
+            .iter()
+            .position(|&edge| us <= edge)
+            .unwrap_or(LATENCY_BUCKET_EDGES_US.len());
+        self.counts[slot] += 1;
+        self.total += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Records an elapsed [`std::time::Duration`].
+    pub fn record(&mut self, elapsed: std::time::Duration) {
+        self.record_us(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest bucket edge covering at least `q` (0..=1) of the mass —
+    /// an upper bound on the true quantile. Returns `None` when empty.
+    pub fn quantile_upper_bound_us(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(
+                    LATENCY_BUCKET_EDGES_US
+                        .get(i)
+                        .copied()
+                        .unwrap_or(self.max_us.max(1)),
+                );
+            }
+        }
+        Some(self.max_us.max(1))
+    }
+
+    /// Component-wise accumulation.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+/// Point-in-time state of the whole streaming pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Monotonic snapshot ordinal (one per status period).
+    pub sequence: u64,
+    /// Simulated/stream clock at the snapshot, seconds.
+    pub stream_time_secs: f64,
+    /// Machines still feeding samples.
+    pub machines_live: usize,
+    /// Machines whose feeds have ended (crash or horizon).
+    pub machines_finished: usize,
+    /// Fleet-aggregated ingestion counters.
+    pub ingestion: StageCounters,
+    /// Fleet-aggregated per-sample detector latency.
+    pub detector_latency: LatencyHistogram,
+    /// Warnings emitted so far.
+    pub warnings_emitted: u64,
+    /// Alarms emitted so far.
+    pub alarms_emitted: u64,
+    /// Alarm-channel depth at the snapshot (backpressure signal).
+    pub alarm_queue_depth: usize,
+    /// Telemetry snapshots dropped because the channel was full (the
+    /// documented lossy path).
+    pub telemetry_dropped: u64,
+    /// Detector streams poisoned by an estimator error and disabled.
+    pub detector_errors: u64,
+}
+
+impl StatusSnapshot {
+    /// Serialises the snapshot as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialisation failures.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| aging_timeseries::Error::Numerical(format!("status snapshot: {e}")))
+    }
+
+    /// One-line operator-readable status.
+    pub fn status_line(&self) -> String {
+        format!(
+            "[t={:>8.0}s] live={:<3} done={:<3} in={} ok={} drop={} gap={} warn={} alarm={} lat(mean={:.0}us p99<={}us) qd={} tdrop={} derr={}",
+            self.stream_time_secs,
+            self.machines_live,
+            self.machines_finished,
+            self.ingestion.ingested,
+            self.ingestion.accepted,
+            self.ingestion.dropped(),
+            self.ingestion.gaps_detected,
+            self.warnings_emitted,
+            self.alarms_emitted,
+            self.detector_latency.mean_us(),
+            self.detector_latency
+                .quantile_upper_bound_us(0.99)
+                .unwrap_or(0),
+            self.alarm_queue_depth,
+            self.telemetry_dropped,
+            self.detector_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge_componentwise() {
+        let mut a = StageCounters {
+            ingested: 10,
+            accepted: 8,
+            dropped_non_finite: 1,
+            dropped_out_of_order: 1,
+            gaps_detected: 2,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.ingested, 20);
+        assert_eq!(a.dropped(), 4);
+        assert_eq!(a.gaps_detected, 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for us in [5, 9, 50, 200, 2_000, 500_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.total, 6);
+        assert_eq!(h.counts[0], 2); // ≤10
+        assert_eq!(h.counts[2], 1); // ≤100
+        assert_eq!(h.counts[8], 1); // overflow
+        assert_eq!(h.max_us, 500_000);
+        // Median falls in the ≤300 bucket edge or lower.
+        assert!(h.quantile_upper_bound_us(0.5).unwrap() <= 300);
+        // Extreme quantile reports the overflow max.
+        assert_eq!(h.quantile_upper_bound_us(1.0).unwrap(), 500_000);
+        let mut other = LatencyHistogram::default();
+        other.record_us(1);
+        other.merge(&h);
+        assert_eq!(other.total, 7);
+        assert!(other.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_serialises_and_renders() {
+        let snap = StatusSnapshot {
+            sequence: 3,
+            stream_time_secs: 1800.0,
+            machines_live: 49,
+            machines_finished: 1,
+            ingestion: StageCounters {
+                ingested: 1000,
+                accepted: 990,
+                dropped_non_finite: 6,
+                dropped_out_of_order: 4,
+                gaps_detected: 1,
+            },
+            detector_latency: LatencyHistogram::default(),
+            warnings_emitted: 5,
+            alarms_emitted: 2,
+            alarm_queue_depth: 0,
+            telemetry_dropped: 0,
+            detector_errors: 0,
+        };
+        let json = snap.to_json().unwrap();
+        assert!(json.contains("\"alarms_emitted\":2"), "{json}");
+        let back: StatusSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.machines_live, 49);
+        let line = snap.status_line();
+        assert!(line.contains("alarm=2"), "{line}");
+        assert!(line.contains("live=49"), "{line}");
+    }
+}

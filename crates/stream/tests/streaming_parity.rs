@@ -1,0 +1,162 @@
+//! End-to-end parity: the streaming detector must emit the *same alert
+//! sequence at the same sample times* as the batch
+//! [`HolderDimensionDetector`] on an identical aging trace — including
+//! when the samples arrive through the full ingestion path (CSV replay →
+//! defect gate → detector).
+//!
+//! The trace is the benchmark suite's "machine A" (E3) scenario: an
+//! NT4-class workstation running the web-server mix with an injected
+//! aging fault, simulated until it crashes.
+
+use std::fmt::Write as _;
+
+use aging_core::detector::{analyze, Alert, AlertLevel, DetectorConfig};
+use aging_memsim::{simulate, Counter, FaultPlan, MachineConfig, Scenario, WorkloadConfig};
+use aging_stream::detector::{AlertDetail, DetectorSpec, StreamingDetector};
+use aging_stream::gate::{GateAction, SampleGate};
+use aging_stream::source::{CsvReplaySource, SampleSource};
+use aging_stream::GateConfig;
+
+/// The E3 "machine A" scenario (workstation-NT4 + web mix + aging fault).
+fn e3_scenario() -> Scenario {
+    Scenario {
+        name: "machine-a-nt4-777".into(),
+        machine: MachineConfig::workstation_nt4(),
+        workload: WorkloadConfig::web_server(),
+        faults: FaultPlan::aging(24.0),
+        seed: 777,
+    }
+}
+
+fn e3_trace() -> (Vec<f64>, f64) {
+    let report = simulate(&e3_scenario(), 48.0 * 3600.0).expect("simulation runs");
+    assert!(
+        report.first_crash().is_some(),
+        "the aging fault must crash machine A inside the horizon"
+    );
+    let series = report
+        .log
+        .series(Counter::AvailableBytes)
+        .expect("counter recorded");
+    (series.values().to_vec(), series.dt())
+}
+
+fn config() -> DetectorConfig {
+    DetectorConfig::default()
+}
+
+#[test]
+fn streaming_detector_matches_batch_alarm_times_on_e3_trace() {
+    let (values, dt) = e3_trace();
+    let batch = analyze(&values, &config()).expect("batch analysis");
+    assert!(
+        batch.alerts.iter().any(|a| a.level == AlertLevel::Alarm),
+        "E3 trace must raise a confirmed alarm ({} alerts)",
+        batch.alerts.len()
+    );
+
+    // Feed the identical trace through the full streaming ingestion path:
+    // serialize to CSV, replay it, gate it, detect.
+    let mut csv = String::from("time,available\n");
+    for (i, v) in values.iter().enumerate() {
+        writeln!(csv, "{},{v}", i as f64 * dt).unwrap();
+    }
+    let mut source = CsvReplaySource::from_csv_str(&csv, "time", "available").unwrap();
+    let mut gate = SampleGate::new(GateConfig {
+        nominal_period_secs: dt,
+        max_gap_factor: 4.0,
+    })
+    .unwrap();
+    let mut detector = StreamingDetector::new(&DetectorSpec::Holder(config())).unwrap();
+
+    let mut streamed: Vec<Alert> = Vec::new();
+    while let Some(raw) = source.next_sample().unwrap() {
+        let accepted = match gate.push(raw) {
+            GateAction::Accept(s) => s,
+            GateAction::AcceptAfterGap(s) => {
+                detector.reset();
+                s
+            }
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+        };
+        if let Some(alert) = detector.push(accepted.value).unwrap() {
+            let AlertDetail::Holder(holder_alert) = alert.detail else {
+                panic!("holder spec must yield holder alerts");
+            };
+            assert_eq!(alert.sample_index, holder_alert.sample_index as u64);
+            assert_eq!(alert.level, holder_alert.level);
+            streamed.push(holder_alert);
+        }
+    }
+
+    // A clean trace passes the gate untouched, so parity must be exact:
+    // same alerts, same sample indices (hence same alarm times), same
+    // measured dimensions and baselines.
+    assert_eq!(
+        streamed, batch.alerts,
+        "streaming and batch alert sequences diverged"
+    );
+    let batch_alarm = batch
+        .alerts
+        .iter()
+        .find(|a| a.level == AlertLevel::Alarm)
+        .unwrap();
+    let stream_alarm = streamed
+        .iter()
+        .find(|a| a.level == AlertLevel::Alarm)
+        .unwrap();
+    assert_eq!(
+        batch_alarm.sample_index as f64 * dt,
+        stream_alarm.sample_index as f64 * dt,
+        "alarm wall-clock times must agree"
+    );
+}
+
+#[test]
+fn gate_defects_do_not_change_clean_sample_parity() {
+    // Corrupt the stream with defects the gate is documented to repair:
+    // NaN injections and duplicated (out-of-order) rows. The accepted
+    // subsequence equals the clean trace, so alarms must still match the
+    // batch run exactly.
+    let (values, dt) = e3_trace();
+    let batch = analyze(&values, &config()).expect("batch analysis");
+
+    let mut gate = SampleGate::new(GateConfig {
+        nominal_period_secs: dt,
+        max_gap_factor: 1e9, // the injected NaNs must not register as gaps
+    })
+    .unwrap();
+    let mut detector = StreamingDetector::new(&DetectorSpec::Holder(config())).unwrap();
+    let mut streamed = Vec::new();
+    let feed = |t: f64, v: f64, gate: &mut SampleGate, det: &mut StreamingDetector| {
+        let raw = aging_stream::StreamSample {
+            time_secs: t,
+            value: v,
+        };
+        match gate.push(raw) {
+            GateAction::Accept(s) | GateAction::AcceptAfterGap(s) => det.push(s.value).unwrap(),
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => None,
+        }
+    };
+    for (i, &v) in values.iter().enumerate() {
+        let t = i as f64 * dt;
+        if i % 97 == 13 {
+            // Exporter hiccup: a NaN reading between real samples.
+            assert!(feed(t - 0.5 * dt, f64::NAN, &mut gate, &mut detector).is_none());
+        }
+        if let Some(alert) = feed(t, v, &mut gate, &mut detector) {
+            let AlertDetail::Holder(a) = alert.detail else {
+                panic!("holder alerts expected")
+            };
+            streamed.push(a);
+        }
+        if i % 53 == 7 {
+            // Retransmitted (stale) sample: same value, old timestamp.
+            assert!(feed(t, v, &mut gate, &mut detector).is_none());
+        }
+    }
+    assert!(gate.counters().dropped_non_finite > 0);
+    assert!(gate.counters().dropped_out_of_order > 0);
+    assert_eq!(gate.counters().gaps_detected, 0);
+    assert_eq!(streamed, batch.alerts, "defect repair must preserve parity");
+}

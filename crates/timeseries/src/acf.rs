@@ -92,7 +92,8 @@ pub fn ljung_box(data: &[f64], lags: usize) -> Result<LjungBox> {
     }
     let rho = acf(data, lags)?;
     let n = data.len() as f64;
-    let q = n * (n + 2.0)
+    let q = n
+        * (n + 2.0)
         * rho[1..]
             .iter()
             .enumerate()

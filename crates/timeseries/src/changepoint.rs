@@ -244,7 +244,14 @@ mod tests {
     #[test]
     fn detects_slow_drift_eventually() {
         let data: Vec<f64> = (0..600)
-            .map(|i| wiggle(i) + if i > 200 { (i - 200) as f64 * 0.01 } else { 0.0 })
+            .map(|i| {
+                wiggle(i)
+                    + if i > 200 {
+                        (i - 200) as f64 * 0.01
+                    } else {
+                        0.0
+                    }
+            })
             .collect();
         let cps = change_points(&data, CusumConfig::default()).unwrap();
         assert!(!cps.is_empty());

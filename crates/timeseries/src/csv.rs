@@ -54,9 +54,9 @@ impl CsvTable {
         let ti = self
             .column_index(time_column)
             .ok_or_else(|| Error::invalid("time_column", format!("no column `{time_column}`")))?;
-        let vi = self.column_index(value_column).ok_or_else(|| {
-            Error::invalid("value_column", format!("no column `{value_column}`"))
-        })?;
+        let vi = self
+            .column_index(value_column)
+            .ok_or_else(|| Error::invalid("value_column", format!("no column `{value_column}`")))?;
         let times = &self.columns[ti];
         let values = &self.columns[vi];
         if times.len() < 2 {
@@ -80,7 +80,10 @@ impl CsvTable {
 pub fn read_csv<R: Read>(reader: R) -> Result<CsvTable> {
     let io = |e: std::io::Error| Error::Numerical(format!("csv read: {e}"));
     let mut lines = BufReader::new(reader).lines();
-    let header = lines.next().ok_or(Error::Empty).and_then(|l| l.map_err(io))?;
+    let header = lines
+        .next()
+        .ok_or(Error::Empty)
+        .and_then(|l| l.map_err(io))?;
     let headers: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     let width = headers.len();
     let mut columns: Vec<Vec<f64>> = vec![Vec::new(); width];

@@ -13,7 +13,9 @@
 //! - [`regression`] — OLS, log–log and Theil–Sen fits with diagnostics,
 //! - [`trend`] — Mann–Kendall trend test and Sen's slope (the classical
 //!   software-aging predictors used as baselines in the paper),
-//! - [`interp`] — NaN gap repair for monitor logs.
+//! - [`interp`] — NaN gap repair for monitor logs,
+//! - [`ring`] — fixed-capacity sample store with O(1) windowed statistics
+//!   (the bounded-memory backbone of the streaming subsystem).
 //!
 //! # Examples
 //!
@@ -43,6 +45,7 @@ pub mod csv;
 pub mod detrend;
 pub mod interp;
 pub mod regression;
+pub mod ring;
 pub mod smooth;
 pub mod stats;
 pub mod trend;

@@ -9,6 +9,7 @@
 //! against.
 
 use crate::error::{Error, Result};
+use crate::ring::RingBuffer;
 
 /// Direction of a detected monotone trend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -306,6 +307,196 @@ impl SenSlope {
     }
 }
 
+/// Windowed-incremental Mann–Kendall test over the trailing `window`
+/// samples of a stream.
+///
+/// The batch [`MannKendall::test`] costs O(n²) sign comparisons. This
+/// kernel keeps the trailing window in a [`RingBuffer`] and maintains the
+/// S statistic under sliding: evicting the oldest sample removes its
+/// comparisons against the surviving window (O(window)), and the incoming
+/// sample adds its own (O(window)) — so a stream of length N costs
+/// O(N·window) instead of O(N·window²) for a recompute-per-sample loop.
+///
+/// [`StreamingMannKendall::statistic`] reproduces [`MannKendall::test`] on
+/// the current window exactly (same S, ties, variance, z and p).
+///
+/// # Examples
+///
+/// ```
+/// use aging_timeseries::trend::{MannKendall, StreamingMannKendall};
+///
+/// # fn main() -> Result<(), aging_timeseries::Error> {
+/// let mut mk = StreamingMannKendall::new(32)?;
+/// for i in 0..100 {
+///     mk.push(i as f64 * 0.5)?;
+/// }
+/// let streaming = mk.statistic()?;
+/// let batch = MannKendall::test(&mk.window())?;
+/// assert_eq!(streaming.s, batch.s);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingMannKendall {
+    ring: RingBuffer,
+    s: i64,
+}
+
+impl StreamingMannKendall {
+    /// Creates a kernel over a trailing window of `window` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `window < 4` (the normal
+    /// approximation needs at least four samples).
+    pub fn new(window: usize) -> Result<Self> {
+        if window < 4 {
+            return Err(Error::invalid("window", "must be at least 4"));
+        }
+        Ok(StreamingMannKendall {
+            ring: RingBuffer::new(window)?,
+            s: 0,
+        })
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Whether the window has filled (the statistic now covers exactly
+    /// `window` samples).
+    pub fn is_full(&self) -> bool {
+        self.ring.is_full()
+    }
+
+    /// The current window, oldest first.
+    pub fn window(&self) -> Vec<f64> {
+        self.ring.to_vec()
+    }
+
+    /// Feeds one sample, sliding the window if full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] for NaN/infinite input.
+    pub fn push(&mut self, value: f64) -> Result<()> {
+        if !value.is_finite() {
+            return Err(Error::NonFinite {
+                index: self.ring.pushed() as usize,
+            });
+        }
+        if self.ring.is_full() {
+            // The evictee is the oldest element: every pair it belongs to
+            // has it on the earlier side.
+            let oldest = self.ring.get(0).expect("full ring");
+            let mut removed: i64 = 0;
+            for (i, x) in self.ring.iter().enumerate() {
+                if i == 0 {
+                    continue;
+                }
+                let d = x - oldest;
+                if d > 0.0 {
+                    removed += 1;
+                } else if d < 0.0 {
+                    removed -= 1;
+                }
+            }
+            self.s -= removed;
+        }
+        for x in self.ring.iter().skip(usize::from(self.ring.is_full())) {
+            let d = value - x;
+            if d > 0.0 {
+                self.s += 1;
+            } else if d < 0.0 {
+                self.s -= 1;
+            }
+        }
+        self.ring.push(value);
+        Ok(())
+    }
+
+    /// The maintained S statistic (sum of pairwise signs in the window).
+    pub fn s(&self) -> i64 {
+        self.s
+    }
+
+    /// The full Mann–Kendall statistic of the current window, identical to
+    /// running [`MannKendall::test`] on [`StreamingMannKendall::window`].
+    /// Tie bookkeeping costs one O(window log window) sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooShort`] while the window holds fewer than four
+    /// samples.
+    pub fn statistic(&self) -> Result<MannKendall> {
+        let n = self.ring.len();
+        if n < 4 {
+            return Err(Error::TooShort {
+                required: 4,
+                actual: n,
+            });
+        }
+        let mut sorted = self.ring.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut tie_term = 0.0;
+        let mut run = 1usize;
+        for i in 1..=n {
+            if i < n && sorted[i] == sorted[i - 1] {
+                run += 1;
+            } else {
+                if run > 1 {
+                    let t = run as f64;
+                    tie_term += t * (t - 1.0) * (2.0 * t + 5.0);
+                }
+                run = 1;
+            }
+        }
+        let nf = n as f64;
+        let var_s = (nf * (nf - 1.0) * (2.0 * nf + 5.0) - tie_term) / 18.0;
+        let s = self.s;
+        let z = if var_s <= 0.0 {
+            0.0
+        } else if s > 0 {
+            (s as f64 - 1.0) / var_s.sqrt()
+        } else if s < 0 {
+            (s as f64 + 1.0) / var_s.sqrt()
+        } else {
+            0.0
+        };
+        let pairs = (n * (n - 1) / 2) as f64;
+        Ok(MannKendall {
+            s,
+            var_s,
+            z,
+            p_value: 2.0 * normal_sf(z.abs()),
+            tau: s as f64 / pairs,
+        })
+    }
+
+    /// Sen's slope of the current window (O(window²), computed on demand —
+    /// call at the detection stride, not per sample).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SenSlope::estimate`] failures (window too short).
+    pub fn sen_slope(&self, dt: f64) -> Result<SenSlope> {
+        SenSlope::estimate(&self.ring.to_vec(), dt)
+    }
+
+    /// Clears the window (e.g. after a reboot); the configured width is
+    /// retained.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.s = 0;
+    }
+}
+
 /// Survival function `P(Z > z)` of the standard normal distribution, via an
 /// Abramowitz–Stegun style erfc approximation (max abs error ≈ 1.2e-7).
 pub fn normal_sf(z: f64) -> f64 {
@@ -324,9 +515,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -406,8 +596,10 @@ mod tests {
         // A strong daily cycle fools the plain test but not the seasonal
         // one.
         let data: Vec<f64> = (0..24 * 12)
-            .map(|i| (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0
-                + ((i * 7) % 5) as f64 * 0.01)
+            .map(|i| {
+                (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0
+                    + ((i * 7) % 5) as f64 * 0.01
+            })
             .collect();
         let seasonal = seasonal_mann_kendall(&data, 24).unwrap();
         assert_eq!(seasonal.direction(0.05), TrendDirection::None);
@@ -417,8 +609,7 @@ mod tests {
     fn seasonal_mk_finds_trend_under_cycle() {
         let data: Vec<f64> = (0..24 * 12)
             .map(|i| {
-                (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0
-                    - 0.5 * i as f64
+                (2.0 * std::f64::consts::PI * (i % 24) as f64 / 24.0).sin() * 100.0 - 0.5 * i as f64
             })
             .collect();
         let seasonal = seasonal_mann_kendall(&data, 24).unwrap();
@@ -498,5 +689,50 @@ mod tests {
     fn trend_direction_display() {
         assert_eq!(TrendDirection::Increasing.to_string(), "increasing");
         assert_eq!(TrendDirection::None.to_string(), "none");
+    }
+
+    #[test]
+    fn streaming_mk_matches_batch_on_sliding_windows() {
+        // Deterministic wiggly signal with ties.
+        let data: Vec<f64> = (0..200)
+            .map(|i| ((i * 13) % 29) as f64 + if i % 7 == 0 { 0.0 } else { 0.5 })
+            .collect();
+        let mut mk = StreamingMannKendall::new(32).unwrap();
+        for (i, &v) in data.iter().enumerate() {
+            mk.push(v).unwrap();
+            if i + 1 >= 4 {
+                let start = (i + 1).saturating_sub(32);
+                let batch = MannKendall::test(&data[start..=i]).unwrap();
+                let streaming = mk.statistic().unwrap();
+                assert_eq!(streaming.s, batch.s, "at sample {i}");
+                assert!((streaming.var_s - batch.var_s).abs() < 1e-9);
+                assert!((streaming.p_value - batch.p_value).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_mk_rejects_bad_input() {
+        assert!(StreamingMannKendall::new(3).is_err());
+        let mut mk = StreamingMannKendall::new(8).unwrap();
+        assert!(mk.push(f64::NAN).is_err());
+        mk.push(1.0).unwrap();
+        assert!(mk.statistic().is_err()); // too short
+    }
+
+    #[test]
+    fn streaming_mk_reset_restarts_window() {
+        let mut mk = StreamingMannKendall::new(8).unwrap();
+        for i in 0..20 {
+            mk.push(i as f64).unwrap();
+        }
+        assert!(mk.s() > 0);
+        mk.reset();
+        assert_eq!(mk.s(), 0);
+        assert!(mk.is_empty());
+        for i in 0..8 {
+            mk.push(-(i as f64)).unwrap();
+        }
+        assert!(mk.statistic().unwrap().s < 0);
     }
 }

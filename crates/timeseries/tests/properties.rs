@@ -180,3 +180,50 @@ proptest! {
         prop_assert!((fit.slope - exponent).abs() < 1e-6);
     }
 }
+
+proptest! {
+    #[test]
+    fn ring_windowed_stats_match_batch_stats(data in finite_vec(2, 160), cap_sel in 0.0f64..1.0) {
+        use aging_timeseries::ring::RingBuffer;
+        // Capacity anywhere in 2..=len, derived from an independent draw.
+        let cap = 2 + (cap_sel * (data.len() - 2) as f64) as usize;
+        let mut ring = RingBuffer::new(cap).unwrap();
+        for (i, &v) in data.iter().enumerate() {
+            ring.push(v);
+            // The ring must agree with `stats` on exactly the trailing
+            // window at every point in the stream, not just at the end.
+            let start = (i + 1).saturating_sub(cap);
+            let window = &data[start..=i];
+            prop_assert_eq!(ring.to_vec(), window.to_vec());
+            let scale = window.iter().fold(1.0f64, |a, &b| a.max(b.abs()));
+            let mean = stats::mean(window).unwrap();
+            prop_assert!((ring.mean().unwrap() - mean).abs() <= 1e-9 * scale);
+            prop_assert_eq!(ring.min().unwrap(), stats::min(window).unwrap());
+            prop_assert_eq!(ring.max().unwrap(), stats::max(window).unwrap());
+            if window.len() >= 2 {
+                let var = stats::variance(window).unwrap();
+                prop_assert!(
+                    (ring.variance().unwrap() - var).abs() <= 1e-7 * scale * scale.max(1.0),
+                    "{} vs {}", ring.variance().unwrap(), var
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_eviction_returns_stream_prefix(data in finite_vec(2, 160), cap_sel in 0.0f64..1.0) {
+        use aging_timeseries::ring::RingBuffer;
+        let cap = 2 + (cap_sel * (data.len() - 2) as f64) as usize;
+        let mut ring = RingBuffer::new(cap).unwrap();
+        let mut evicted = Vec::new();
+        for &v in &data {
+            if let Some(old) = ring.push(v) {
+                evicted.push(old);
+            }
+        }
+        // Evictions replay the stream prefix in arrival order.
+        let expect = &data[..data.len().saturating_sub(cap)];
+        prop_assert_eq!(evicted, expect.to_vec());
+        prop_assert_eq!(ring.len(), data.len().min(cap));
+    }
+}

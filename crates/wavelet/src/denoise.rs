@@ -60,12 +60,7 @@ pub struct Denoised {
 /// # Ok(())
 /// # }
 /// ```
-pub fn denoise(
-    data: &[f64],
-    wavelet: Wavelet,
-    levels: usize,
-    rule: Shrinkage,
-) -> Result<Denoised> {
+pub fn denoise(data: &[f64], wavelet: Wavelet, levels: usize, rule: Shrinkage) -> Result<Denoised> {
     let prefix = dyadic_prefix(data, levels)?;
     let mut dec = dwt(prefix, wavelet, levels)?;
 
@@ -139,11 +134,7 @@ mod tests {
     }
 
     fn mse(a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            / a.len() as f64
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64
     }
 
     #[test]

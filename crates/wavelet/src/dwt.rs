@@ -217,10 +217,7 @@ pub fn dwt(signal: &[f64], wavelet: Wavelet, levels: usize) -> Result<Decomposit
     if signal.len() < needed || !signal.len().is_multiple_of(needed) {
         return Err(Error::invalid(
             "levels",
-            format!(
-                "signal length {} not divisible by 2^{levels}",
-                signal.len()
-            ),
+            format!("signal length {} not divisible by 2^{levels}", signal.len()),
         ));
     }
     Error::require_finite(signal)?;

@@ -34,7 +34,12 @@ pub enum Wavelet {
 fn db2() -> [f64; 4] {
     let s3 = 3.0_f64.sqrt();
     let d = 4.0 * 2.0_f64.sqrt();
-    [(1.0 + s3) / d, (3.0 + s3) / d, (3.0 - s3) / d, (1.0 - s3) / d]
+    [
+        (1.0 + s3) / d,
+        (3.0 + s3) / d,
+        (3.0 - s3) / d,
+        (1.0 - s3) / d,
+    ]
 }
 
 const DB3: [f64; 6] = [
@@ -155,10 +160,7 @@ impl Wavelet {
             "db4" | "daubechies8" => Ok(Wavelet::Daubechies8),
             "db5" | "daubechies10" => Ok(Wavelet::Daubechies10),
             "db6" | "daubechies12" => Ok(Wavelet::Daubechies12),
-            other => Err(Error::invalid(
-                "name",
-                format!("unknown wavelet `{other}`"),
-            )),
+            other => Err(Error::invalid("name", format!("unknown wavelet `{other}`"))),
         }
     }
 }

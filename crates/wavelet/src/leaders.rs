@@ -228,10 +228,7 @@ mod tests {
             let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
             let sxx: f64 = pts.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
             let slope = sxy / sxx;
-            assert!(
-                (slope - h).abs() < 0.25,
-                "h={h}: estimated slope {slope}"
-            );
+            assert!((slope - h).abs() < 0.25, "h={h}: estimated slope {slope}");
         }
     }
 

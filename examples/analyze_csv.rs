@@ -44,7 +44,11 @@ fn main() -> Result<()> {
     println!(
         "trend: {:.1} KiB/hour ({})",
         sen.slope * 3600.0 / 1024.0,
-        if sen.slope < 0.0 { "depleting" } else { "stable/growing" },
+        if sen.slope < 0.0 {
+            "depleting"
+        } else {
+            "stable/growing"
+        },
     );
     if let Some(eta) = sen.time_to_level(0.0) {
         println!("naive linear exhaustion in {:.1} h", eta / 3600.0);
@@ -67,7 +71,10 @@ fn main() -> Result<()> {
         None => println!("no aging alarm in this log"),
     }
     if let Some(crash) = report.first_crash() {
-        println!("(ground truth: the machine crashed at {} — {})", crash.time, crash.cause);
+        println!(
+            "(ground truth: the machine crashed at {} — {})",
+            crash.time, crash.cause
+        );
     }
 
     std::fs::remove_file(&path).ok();

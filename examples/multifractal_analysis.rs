@@ -26,12 +26,22 @@ fn main() -> Result<()> {
     println!("\n── Multifractal spectrum: monofractal vs cascade ──");
     let mono = generate::fbm(8192, 0.6, 11)?;
     let cascade = generate::binomial_cascade(13, 0.3, true, 12)?;
-    let mono_mf = mfdfa(&mono.iter().zip(&mono[1..]).map(|(a, b)| b - a).collect::<Vec<_>>(), &MfdfaConfig::default())?;
+    let mono_mf = mfdfa(
+        &mono
+            .iter()
+            .zip(&mono[1..])
+            .map(|(a, b)| b - a)
+            .collect::<Vec<_>>(),
+        &MfdfaConfig::default(),
+    )?;
     let multi_mf = mfdfa(&cascade, &MfdfaConfig::default())?;
     println!("fBm(H=0.6) increments : width = {:.3}", mono_mf.width());
     println!("binomial cascade      : width = {:.3}", multi_mf.width());
     let lc_mono = leader_cumulants(&mono, Wavelet::Daubechies6, 9, 3)?;
-    println!("fBm leader cumulants  : c1 = {:.3}, c2 = {:.3}", lc_mono.c1, lc_mono.c2);
+    println!(
+        "fBm leader cumulants  : c1 = {:.3}, c2 = {:.3}",
+        lc_mono.c1, lc_mono.c2
+    );
 
     println!("\ncascade spectrum (α, f(α)):");
     for p in multi_mf.spectrum.iter().step_by(2) {

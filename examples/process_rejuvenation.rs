@@ -13,7 +13,11 @@ fn main() -> Result<()> {
     println!(
         "machine {} hosting processes: {:?}",
         scenario.machine.name,
-        scenario.processes.iter().map(|p| &p.name).collect::<Vec<_>>()
+        scenario
+            .processes
+            .iter()
+            .map(|p| &p.name)
+            .collect::<Vec<_>>()
     );
 
     // Baseline: what happens with no intervention.
@@ -55,13 +59,13 @@ fn main() -> Result<()> {
         }
     }
 
-    println!("\ntreated: survived {:.1} h with selective restarts:", machine.now().as_hours());
+    println!(
+        "\ntreated: survived {:.1} h with selective restarts:",
+        machine.now().as_hours()
+    );
     for name in machine.process_names() {
         println!("  {name:<6} restarted {}×", machine.restarts(name));
     }
-    println!(
-        "crashes under treatment: {}",
-        machine.log().crashes().len()
-    );
+    println!("crashes under treatment: {}", machine.log().crashes().len());
     Ok(())
 }

@@ -1,0 +1,121 @@
+//! Live fleet monitoring with the `aging-stream` subsystem: 50 simulated
+//! machines — a mix of leaking (aging) and healthy boxes — multiplexed
+//! through bounded-memory streaming detectors on a thread-per-shard
+//! supervisor. Alarms arrive as one time-ordered stream; the run ends
+//! with the crash/lead-time scoreboard and the final telemetry snapshot.
+//!
+//! Run with: `cargo run --release --example streaming_fleet`
+
+use aging_core::baseline::{ResourceDirection, TrendPredictorConfig};
+use aging_stream::supervisor::AlarmKind;
+use holder_aging::prelude::*;
+
+fn main() -> Result<()> {
+    // The fleet: 30 aging machines with leak rates from mild to savage,
+    // 20 healthy controls. All are the 64 MiB "tiny" box sampled at 5 s.
+    let mut fleet = Vec::new();
+    for i in 0..30u64 {
+        let mib_per_hour = 96.0 + 8.0 * i as f64;
+        fleet.push(Scenario::tiny_aging(1000 + i, mib_per_hour));
+    }
+    for i in 0..20u64 {
+        fleet.push(Scenario::tiny_aging(2000 + i, 0.0));
+    }
+
+    // Two votes per machine: free memory depleting, swap filling. The
+    // majority rule needs both, which keeps healthy-box noise quiet.
+    let dt = 5.0;
+    let swap_bytes = 64.0 * 1024.0 * 1024.0;
+    let detectors = vec![
+        CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 1800.0,
+                ..TrendPredictorConfig::depleting(dt)
+            }),
+        },
+        CounterDetector {
+            counter: Counter::UsedSwapBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                sample_period_secs: dt,
+                window: 120,
+                refit_every: 8,
+                alpha: 0.05,
+                exhaustion_level: 0.9 * swap_bytes,
+                direction: ResourceDirection::Filling,
+                alarm_horizon_secs: 1800.0,
+            }),
+        },
+    ];
+
+    let mut config = FleetConfig::new(detectors, 6.0 * 3600.0);
+    config.gate.nominal_period_secs = dt;
+    config.status_every_secs = 1800.0;
+
+    println!(
+        "monitoring {} machines x {} counters for {} simulated hours…\n",
+        fleet.len(),
+        config.detectors.len(),
+        config.horizon_secs / 3600.0
+    );
+
+    let supervisor = FleetSupervisor::new(config)?;
+    let report = supervisor.run_with(
+        &fleet,
+        |event| {
+            if let AlarmKind::MachineAlarm { votes, members } = event.kind {
+                println!(
+                    "[t={:>8.0}s] ALARM  {:<20} ({votes}/{members} detectors agree)",
+                    event.time_secs, event.machine
+                );
+            }
+        },
+        |status| println!("{}", status.status_line()),
+    )?;
+
+    // Scoreboard: every crashed machine, its alarm and the lead time.
+    println!(
+        "\n{:<22} {:>9} {:>9} {:>10}",
+        "machine", "crash[h]", "alarm[h]", "lead[min]"
+    );
+    let mut detected = 0usize;
+    let mut crashes = 0usize;
+    let mut false_alarms = 0usize;
+    for outcome in &report.outcomes {
+        let alarm = report
+            .machine_alarms()
+            .find(|e| e.machine_index == outcome.machine_index)
+            .map(|e| e.time_secs);
+        match outcome.crash_time_secs {
+            Some(crash) => {
+                crashes += 1;
+                if alarm.is_some() {
+                    detected += 1;
+                }
+                println!(
+                    "{:<22} {:>9.2} {:>9} {:>10}",
+                    outcome.machine,
+                    crash / 3600.0,
+                    alarm.map_or("-".into(), |a| format!("{:.2}", a / 3600.0)),
+                    report
+                        .lead_time_secs(outcome.machine_index)
+                        .map_or("-".into(), |l| format!("{:.1}", l / 60.0)),
+                );
+            }
+            None => {
+                if alarm.is_some() {
+                    false_alarms += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "\ndetected {detected}/{crashes} crashes, {false_alarms} false alarm(s) on {} healthy machines",
+        report.outcomes.len() - crashes
+    );
+    println!("final status: {}", report.status.status_line());
+    println!("status JSON:  {}", report.status.to_json()?);
+    Ok(())
+}

@@ -12,7 +12,10 @@ fn main() -> Result<()> {
     let mut scenario = Scenario::aging_web_server(2026);
     // 3× the canonical leak so several crashes fit into two days.
     scenario.faults = FaultPlan::aging(72.0);
-    println!("simulating {} for 48 h (reboots after crashes)…", scenario.name);
+    println!(
+        "simulating {} for 48 h (reboots after crashes)…",
+        scenario.name
+    );
     let report = simulate_with_reboots(&scenario, 48.0 * 3600.0)?;
     println!(
         "observed {} crash(es) over {} samples\n",

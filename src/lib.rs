@@ -19,6 +19,7 @@
 //! | [`fractal`] | `aging-fractal` | generators, Hölder, Hurst, dimensions, spectra |
 //! | [`memsim`] | `aging-memsim` | the simulated testbed (machines, workloads, faults) |
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
+//! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@
 pub use aging_core as core;
 pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
+pub use aging_stream as stream;
 pub use aging_timeseries as timeseries;
 pub use aging_wavelet as wavelet;
 
@@ -63,14 +65,18 @@ pub mod prelude {
     };
     pub use aging_core::eval::{compare, evaluate, PredictorSpec};
     pub use aging_core::progression::{progression, ProgressionConfig};
-    pub use aging_core::report::{assess, Assessment, AssessmentConfig, Verdict};
     pub use aging_core::rejuvenation::{run_policy, OutageCosts, Policy};
+    pub use aging_core::report::{assess, Assessment, AssessmentConfig, Verdict};
     pub use aging_fractal::holder::{holder_trace, HolderEstimator};
     pub use aging_fractal::{dimension, generate, hurst, spectrum};
     pub use aging_memsim::{
         simulate, simulate_fleet, simulate_with_reboots, Bytes, Counter, FaultPlan, Machine,
         MachineConfig, Scenario, SimTime, WorkloadConfig,
     };
+    pub use aging_stream::supervisor::{
+        AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
+    };
+    pub use aging_stream::{DetectorSpec, GateConfig, SampleGate, SampleSource, StreamingDetector};
     pub use aging_timeseries::{trend::MannKendall, trend::SenSlope, Error, Result, TimeSeries};
     pub use aging_wavelet::{dwt, modwt, Wavelet, WaveletLeaders};
 }

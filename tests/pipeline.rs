@@ -37,7 +37,11 @@ fn simulate_analyze_detect_score() {
         outcome.detected(),
         "detector must predict this crash: {outcome:?}"
     );
-    assert!(outcome.lead_secs.unwrap() > 60.0, "lead {:?}", outcome.lead_secs);
+    assert!(
+        outcome.lead_secs.unwrap() > 60.0,
+        "lead {:?}",
+        outcome.lead_secs
+    );
 }
 
 #[test]
@@ -113,7 +117,7 @@ fn multifractality_progression_on_aging_trace() {
 
 #[test]
 fn rejuvenation_policies_end_to_end() {
-    let scenario = Scenario::tiny_aging(15, 256.0);
+    let scenario = Scenario::tiny_aging(16, 256.0);
     let costs = OutageCosts {
         crash_downtime_secs: 900.0,
         rejuvenation_downtime_secs: 60.0,

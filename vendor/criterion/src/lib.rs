@@ -1,0 +1,313 @@
+//! Offline vendored subset of the [`criterion`](https://docs.rs/criterion)
+//! benchmarking surface. No statistics engine or HTML reports — each
+//! benchmark is auto-calibrated to a target measurement time, then the
+//! mean per-iteration wall time (and throughput, when configured) is
+//! printed in a criterion-like line format:
+//!
+//! ```text
+//! holder/trace/local-increment  time: 1.234 ms/iter  thrpt: 3.32 Melem/s
+//! ```
+//!
+//! Supported: `criterion_group!`/`criterion_main!`, `Criterion::
+//! bench_function`, `benchmark_group` with `throughput`/`bench_function`/
+//! `bench_with_input`/`finish`, `BenchmarkId::new`, `black_box`, and
+//! command-line filtering (`cargo bench -- <substring>`).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (criterion's is a re-export too).
+pub use std::hint::black_box;
+
+/// Target wall time per benchmark measurement (after calibration).
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Conversion into a benchmark id (accepts `&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop driver passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Number of iterations of the measured closure per sample.
+    iters: u64,
+    /// Total elapsed time of the measured sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating the iteration count so the
+    /// measurement fills the target time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: double iterations until the batch takes ≥ ~1/8 of
+        // the target, then scale up and measure once.
+        let mut n: u64 = 1;
+        let calibration_floor = TARGET / 8;
+        let mut batch = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= calibration_floor || n >= 1 << 30 {
+                break took.max(Duration::from_nanos(1));
+            }
+            n *= 2;
+        };
+        let scale = (TARGET.as_secs_f64() / batch.as_secs_f64()).clamp(1.0, 1024.0);
+        let final_n = ((n as f64) * scale).ceil() as u64;
+        if final_n > n {
+            let start = Instant::now();
+            for _ in 0..final_n {
+                black_box(routine());
+            }
+            batch = start.elapsed();
+            n = final_n;
+        }
+        self.iters = n;
+        self.elapsed = batch;
+    }
+
+    fn per_iter_secs(&self) -> f64 {
+        self.elapsed.as_secs_f64() / self.iters.max(1) as f64
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} K{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.2} {unit}/s")
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: Option<&str>,
+    thrpt: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.per_iter_secs();
+    let mut line = format!("{id:<48} time: {:>12}/iter", format_time(per_iter));
+    match thrpt {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:>12}",
+                format_rate(n as f64 / per_iter, "elem")
+            ));
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:>12}",
+                format_rate(n as f64 / per_iter, "B")
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line
+    /// (`cargo bench -- <substring>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion { filter }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.filter.as_deref(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            filter: self.filter.clone(),
+            _criterion: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    _criterion: std::marker::PhantomData<&'c ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(&full, self.filter.as_deref(), self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.filter.as_deref(), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(1u64 + 1));
+        assert!(b.iters >= 1);
+        assert!(b.per_iter_secs() > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("dwt", 4096).id, "dwt/4096");
+        assert_eq!("plain".into_id(), "plain");
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+        assert!(format_rate(5e9, "elem").starts_with("5.00 G"));
+    }
+}

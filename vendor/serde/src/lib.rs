@@ -1,0 +1,493 @@
+//! Offline vendored subset of the [`serde`](https://docs.rs/serde) API,
+//! implemented from scratch so the workspace builds without network access.
+//!
+//! Instead of upstream serde's visitor architecture, this vendored version
+//! uses a simple self-describing [`Value`] tree as the data model:
+//!
+//! - [`Serialize`] converts a type **to** a [`Value`],
+//! - [`Deserialize`] reconstructs a type **from** a [`Value`],
+//! - `#[derive(Serialize, Deserialize)]` (from the vendored
+//!   `serde_derive`) generates both for plain structs and enums,
+//! - the vendored `serde_json` renders/parses the [`Value`] tree as JSON.
+//!
+//! The supported shapes are exactly what the workspace derives: structs
+//! with named fields, tuple/newtype structs, and enums with unit, newtype,
+//! tuple or struct variants (externally tagged, like upstream serde).
+
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for `Option::None` and non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key/value map with preserved insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, when this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::I64(v) => Some(v as f64),
+            Value::U64(v) => Some(v as f64),
+            Value::F64(v) => Some(v),
+            Value::Null => Some(f64::NAN), // non-finite floats round-trip via null
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer view.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(v) => Some(v),
+            Value::I64(v) if v >= 0 => Some(v as u64),
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
+            _ => None,
+        }
+    }
+
+    /// Signed integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(v) => Some(v),
+            Value::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Value::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in map entries (first match wins).
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserializer-side re-exports, mirroring `serde::de`.
+pub mod de {
+    pub use super::DeError;
+
+    /// Marker for types deserializable without borrowing — with the
+    /// vendored owned [`super::Value`] model, every [`super::Deserialize`]
+    /// qualifies.
+    pub trait DeserializeOwned: super::Deserialize {}
+    impl<T: super::Deserialize> DeserializeOwned for T {}
+}
+
+/// Serializer-side re-exports, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Resolves a missing struct field: `Option` fields default to `None`
+/// (encoded as [`Value::Null`]); anything else is an error.
+///
+/// # Errors
+///
+/// Returns [`DeError`] when `T` cannot be built from null.
+pub fn missing_field<T: Deserialize>(name: &str) -> Result<T, DeError> {
+    T::from_value(&Value::Null).map_err(|_| DeError::custom(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_u64().ok_or_else(|| {
+                    DeError::custom(format!("expected unsigned integer, got {v:?}"))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = v.as_i64().ok_or_else(|| {
+                    DeError::custom(format!("expected integer, got {v:?}"))
+                })?;
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_unsigned!(u8, u16, u32, u64, usize);
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::custom("expected single-char string"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-char string")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, got {v:?}")))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = v
+            .as_seq()
+            .ok_or_else(|| DeError::custom(format!("expected sequence, got {v:?}")))?;
+        if items.len() != N {
+            return Err(DeError::custom(format!(
+                "expected {N}-element sequence, got {}",
+                items.len()
+            )));
+        }
+        let vec: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        vec.try_into()
+            .map_err(|_| DeError::custom("array length mismatch"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const ARITY: usize = [$($idx),+].len();
+                let seq = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::custom("expected tuple sequence"))?;
+                if seq.len() != ARITY {
+                    return Err(DeError::custom(format!(
+                        "expected {ARITY}-element sequence, got {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Renders a serialized value as a map key (maps serialize enum/string
+/// keys as strings, numeric keys as their decimal form — like serde_json).
+fn key_string(v: Value) -> Result<String, DeError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(DeError::custom(format!("unsupported map key {other:?}"))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_string(k.to_value()).expect("map key must be scalar");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::custom(format!("expected map, got {v:?}")))?;
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = K::from_value(&Value::Str(k.clone()))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_string(k.to_value()).expect("map key must be scalar");
+                    (key, v.to_value())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), "hi");
+    }
+
+    #[test]
+    fn option_none_is_null_and_back() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn map_round_trips_with_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1.0f64, 2.0]);
+        let v = m.to_value();
+        let back = BTreeMap::<String, Vec<f64>>::from_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(true)).is_err());
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+    }
+}

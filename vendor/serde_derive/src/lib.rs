@@ -1,0 +1,517 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! value-model `serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`, so
+//! no network dependencies). Supports the shapes the workspace actually
+//! derives:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype structs serialize transparently),
+//! - unit structs,
+//! - enums with unit, newtype, tuple and struct variants (externally
+//!   tagged, matching upstream serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported —
+//! the workspace uses neither — and produce a compile error naming the
+//! limitation rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .expect("generated code parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments) and visibility.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1; // '#'
+                    if let Some(TokenTree::Group(_)) = self.peek() {
+                        self.pos += 1; // [ ... ]
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.pos += 1; // pub(crate) etc.
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics (type `{name}`)"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = parse_struct_body(&mut cur)?;
+            Ok(Input::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Input::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+fn parse_struct_body(cur: &mut Cursor) -> Result<Fields, String> {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        None => Ok(Fields::Unit),
+        other => Err(format!("unsupported struct body: {other:?}")),
+    }
+}
+
+/// Extracts field names from a named-field body, honouring `<...>` nesting
+/// so commas inside generic arguments do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        loop {
+            match cur.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle: i32 = 0;
+    while let Some(tok) = cur.next() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        // Tolerate a trailing comma: `(u64,)` is still one field.
+        if matches!(cur.tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            count
+        } else {
+            count + 1
+        }
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let name = match cur.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                cur.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                cur.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = cur.peek() {
+            if p.as_char() == '=' {
+                return Err(format!(
+                    "vendored serde_derive does not support discriminants (variant `{name}`)"
+                ));
+            }
+        }
+        match cur.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => return Err(format!("expected `,` after variant, got {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vname:?}), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(field_names) => {
+                            let binds = field_names.join(", ");
+                            let entries: Vec<String> = field_names
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => \
+                                 ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vname:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_named_builder(type_path: &str, field_names: &[String], map_expr: &str) -> String {
+    let fields: Vec<String> = field_names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::map_get({map_expr}, {f:?}) {{\n\
+                     ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                     ::std::option::Option::None => ::serde::missing_field({f:?})?,\n\
+                 }},"
+            )
+        })
+        .collect();
+    format!("{type_path} {{ {} }}", fields.join("\n"))
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(field_names) => {
+                    let builder = gen_named_builder(name, field_names, "__map");
+                    format!(
+                        "let __map = __value.as_map().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({builder})"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __seq = __value.as_seq().ok_or_else(|| \
+                         ::serde::DeError::custom(\"expected sequence for struct {name}\"))?;\n\
+                         if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"wrong tuple arity for {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Tuple(1) => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __seq = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected sequence\"))?;\n\
+                                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::custom(\"wrong variant arity\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n\
+                                 }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Fields::Named(field_names) => {
+                            let builder = gen_named_builder(
+                                &format!("{name}::{vname}"),
+                                field_names,
+                                "__vmap",
+                            );
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                 let __vmap = __inner.as_map().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected map\"))?;\n\
+                                 ::std::result::Result::Ok({builder})\n\
+                                 }},",
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__entries[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data}\n\
+                                     __other => ::std::result::Result::Err(\
+                                         ::serde::DeError::custom(::std::format!(\
+                                         \"unknown variant `{{__other}}` of {name}\"))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"bad enum encoding for {name}: {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    }
+}
