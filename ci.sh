@@ -14,8 +14,13 @@ else
     cargo build --workspace --all-targets --release
 fi
 
-echo "==> cargo test"
-cargo test --workspace --quiet
+# The parallel engine must behave identically at any thread count: run the
+# suite once pinned to a single worker and once with a multi-thread pool.
+echo "==> cargo test (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test --workspace --quiet
+
+echo "==> cargo test (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test --workspace --quiet
 
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,64 @@
+//! Parallel-engine benchmarks: the pooled hot paths at explicit thread
+//! counts, recording the speedup curve of `holder_trace_in` and `cwt_in`
+//! versus pool size (E12's criterion companion).
+
+use aging_fractal::generate;
+use aging_fractal::holder::{holder_trace_in, HolderEstimator};
+use aging_par::Pool;
+use aging_wavelet::cwt::{cwt_in, CwtWavelet};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bench_holder_trace(c: &mut Criterion) {
+    let signal = generate::fbm(8192, 0.6, 2).unwrap();
+    let estimator = HolderEstimator::local_increment();
+    let mut group = c.benchmark_group("par/holder_trace");
+    group.throughput(Throughput::Elements(8192));
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| holder_trace_in(std::hint::black_box(&signal), &estimator, &pool).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cwt(c: &mut Criterion) {
+    let signal = generate::fbm(4096, 0.5, 3).unwrap();
+    let scales: Vec<f64> = (0..6).map(|k| 2.0 * (1u64 << k) as f64).collect();
+    let mut group = c.benchmark_group("par/cwt");
+    group.throughput(Throughput::Elements(4096));
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("threads/{threads}"), |b| {
+            b.iter(|| {
+                cwt_in(
+                    std::hint::black_box(&signal),
+                    CwtWavelet::MexicanHat,
+                    &scales,
+                    &pool,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    // The fixed cost of a pooled map over trivially cheap items — what a
+    // caller pays when the input is too small to benefit.
+    let items: Vec<f64> = (0..64).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("par/overhead");
+    for threads in THREAD_COUNTS {
+        let pool = Pool::new(threads);
+        group.bench_function(format!("map64/threads/{threads}"), |b| {
+            b.iter(|| pool.map(std::hint::black_box(&items), |&v| v * 2.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_holder_trace, bench_cwt, bench_pool_overhead);
+criterion_main!(benches);

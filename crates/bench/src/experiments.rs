@@ -147,15 +147,12 @@ pub fn e1(quick: bool, out: Option<&Path>) -> Result<()> {
                 &dir.join(format!("e1_{}.csv", report.scenario_name)),
                 &["t_secs", "available_bytes", "used_swap_bytes"],
                 &[&times, avail.values(), swap.values()],
-            )
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+            )?;
         }
     }
     println!("\n{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e1_summary.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e1_summary.csv"))?;
     }
     Ok(())
 }
@@ -200,16 +197,13 @@ pub fn e2(quick: bool, out: Option<&Path>) -> Result<()> {
                     &dir.join(format!("e2_{}_{}.csv", report.scenario_name, counter)),
                     &["t_secs", "holder_exponent"],
                     &[&idx, &trace],
-                )
-                .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+                )?;
             }
         }
     }
     println!("{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e2_summary.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e2_summary.csv"))?;
     }
     Ok(())
 }
@@ -281,11 +275,8 @@ pub fn e3(quick: bool, out: Option<&Path>) -> Result<()> {
             &dir.join("e3_dimension_trace.csv"),
             &["t_secs", "holder_dimension", "mean_holder"],
             &[&t, &d, &h],
-        )
-        .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
-        table
-            .write_csv(&dir.join("e3_alarms.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        )?;
+        table.write_csv(&dir.join("e3_alarms.csv"))?;
     }
     Ok(())
 }
@@ -338,9 +329,7 @@ pub fn e4(quick: bool, out: Option<&Path>) -> Result<()> {
         println!("monitored counter: {counter}");
         println!("{table}");
         if let Some(dir) = out {
-            table
-                .write_csv(&dir.join(format!("e4_{counter}.csv")))
-                .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+            table.write_csv(&dir.join(format!("e4_{counter}.csv")))?;
         }
     }
     Ok(())
@@ -426,8 +415,7 @@ pub fn e5(quick: bool, out: Option<&Path>) -> Result<()> {
         hurst_table
             .write_csv(&dir.join("e5_hurst.csv"))
             .and_then(|_| wei_table.write_csv(&dir.join("e5_weierstrass.csv")))
-            .and_then(|_| tau_table.write_csv(&dir.join("e5_cascade_tau.csv")))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+            .and_then(|_| tau_table.write_csv(&dir.join("e5_cascade_tau.csv")))?;
     }
     Ok(())
 }
@@ -480,9 +468,7 @@ pub fn e6(quick: bool, out: Option<&Path>) -> Result<()> {
     }
     println!("\n{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e6_progression.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e6_progression.csv"))?;
     }
     Ok(())
 }
@@ -550,9 +536,7 @@ pub fn e7(quick: bool, out: Option<&Path>) -> Result<()> {
     }
     println!("{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e7_policies.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e7_policies.csv"))?;
     }
     Ok(())
 }
@@ -663,9 +647,7 @@ pub fn e8(quick: bool, out: Option<&Path>) -> Result<()> {
     }
     println!("{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e8_ablation.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e8_ablation.csv"))?;
     }
     Ok(())
 }
@@ -723,9 +705,7 @@ pub fn e9(quick: bool, out: Option<&Path>) -> Result<()> {
         println!("sweep: {name} (default marked in DetectorConfig::default)");
         println!("{table}");
         if let Some(dir) = out {
-            table
-                .write_csv(&dir.join(format!("e9_{name}.csv")))
-                .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+            table.write_csv(&dir.join(format!("e9_{name}.csv")))?;
         }
     }
     Ok(())
@@ -789,9 +769,7 @@ pub fn e10(quick: bool, out: Option<&Path>) -> Result<()> {
     }
     println!("{table}");
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e10_diurnal.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e10_diurnal.csv"))?;
     }
     Ok(())
 }
@@ -916,9 +894,7 @@ pub fn e11(quick: bool, out: Option<&Path>) -> Result<()> {
     );
 
     if let Some(dir) = out {
-        table
-            .write_csv(&dir.join("e11_stream_parity.csv"))
-            .map_err(|e| aging_timeseries::Error::Numerical(e.to_string()))?;
+        table.write_csv(&dir.join("e11_stream_parity.csv"))?;
     }
     if !parity {
         return Err(aging_timeseries::Error::Numerical(
@@ -929,6 +905,142 @@ pub fn e11(quick: bool, out: Option<&Path>) -> Result<()> {
         return Err(aging_timeseries::Error::Numerical(format!(
             "streaming speedup {speedup:.1}x below the 10x floor"
         )));
+    }
+    Ok(())
+}
+
+/// E12 — the parallel analysis engine: bit-identical parity plus wall-clock
+/// speedup of the pooled hot paths versus thread count.
+pub fn e12(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_core::eval::compare_in;
+    use aging_fractal::holder::holder_trace_in;
+    use aging_par::Pool;
+
+    banner(
+        "E12",
+        "deterministic parallel engine: holder_trace + fleet compare vs thread count",
+        "parallel output is bit-identical to sequential at every thread count; on >=4 \
+         hardware threads the 4-thread wall clock beats sequential by >=2.5x",
+    );
+    let hw_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("hardware threads: {hw_threads} (AGING_THREADS overrides pool sizing elsewhere)");
+
+    // E3-scale trace: machine A with reboots.
+    let horizon = if quick {
+        48.0 * HOUR
+    } else {
+        10.0 * 24.0 * HOUR
+    };
+    let report = simulate_with_reboots(&scenarios::machine_a(777), horizon)?;
+    let series = report.log.series(Counter::AvailableBytes)?;
+    let values = series.values();
+    println!(
+        "machine A trace: {} samples ({} h), {} crashes",
+        values.len(),
+        hours(report.simulated_secs),
+        report.log.crashes().len(),
+    );
+
+    // Fleet for the scoring path.
+    let fleet_scenarios = scenarios::aging_fleet(if quick { 3 } else { 6 });
+    let fleet = aging_memsim::simulate_fleet_in(
+        &fleet_scenarios,
+        if quick { 24.0 * HOUR } else { 72.0 * HOUR },
+        &Pool::sequential(),
+    )?;
+    let spec = PredictorSpec::HolderDimension(DetectorConfig::default());
+
+    let estimator = HolderEstimator::default();
+    let thread_counts = [1usize, 2, 4];
+    let mut table = Table::new(vec![
+        "threads",
+        "holder_ms",
+        "holder_speedup",
+        "compare_ms",
+        "compare_speedup",
+        "parity",
+    ]);
+
+    // Sequential references (timed as the 1-thread row).
+    let mut holder_ref: Option<Vec<f64>> = None;
+    let mut compare_ref = None;
+    let mut holder_base_ms = 0.0;
+    let mut compare_base_ms = 0.0;
+    let mut holder_speedup_at = vec![0.0f64; thread_counts.len()];
+    let mut compare_speedup_at = vec![0.0f64; thread_counts.len()];
+
+    for (ti, &threads) in thread_counts.iter().enumerate() {
+        let pool = Pool::new(threads);
+
+        let t0 = std::time::Instant::now();
+        let trace = holder_trace_in(values, &estimator, &pool)?;
+        let holder_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t0 = std::time::Instant::now();
+        let row = compare_in(&spec, &fleet, Counter::AvailableBytes, &pool)?;
+        let compare_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Hard bit-level parity against the 1-thread reference.
+        let parity = match (&holder_ref, &compare_ref) {
+            (None, None) => {
+                holder_ref = Some(trace);
+                compare_ref = Some(row);
+                holder_base_ms = holder_ms;
+                compare_base_ms = compare_ms;
+                true
+            }
+            (Some(h), Some(r)) => {
+                let holder_ok = h.len() == trace.len()
+                    && h.iter()
+                        .zip(&trace)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                holder_ok && *r == row
+            }
+            _ => unreachable!("references are set together"),
+        };
+        holder_speedup_at[ti] = holder_base_ms / holder_ms;
+        compare_speedup_at[ti] = compare_base_ms / compare_ms;
+        table.row(vec![
+            format!("{threads}"),
+            format!("{holder_ms:.1}"),
+            format!("{:.2}x", holder_speedup_at[ti]),
+            format!("{compare_ms:.1}"),
+            format!("{:.2}x", compare_speedup_at[ti]),
+            if parity {
+                "exact".into()
+            } else {
+                "MISMATCH".to_string()
+            },
+        ]);
+        if !parity {
+            println!("{table}");
+            return Err(aging_timeseries::Error::Numerical(format!(
+                "parallel output diverged from sequential at {threads} threads"
+            )));
+        }
+    }
+    println!("{table}");
+
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e12_par_speedup.csv"))?;
+    }
+
+    // The speedup floor is a hardware claim: it only holds where 4 real
+    // threads exist. Parity above is asserted unconditionally.
+    let h4 = holder_speedup_at[thread_counts.len() - 1];
+    let c4 = compare_speedup_at[thread_counts.len() - 1];
+    if hw_threads >= 4 {
+        println!("speedup gate (>=2.5x at 4 threads): holder {h4:.2}x, compare {c4:.2}x");
+        if h4 < 2.5 || c4 < 2.5 {
+            return Err(aging_timeseries::Error::Numerical(format!(
+                "4-thread speedup below the 2.5x floor: holder {h4:.2}x, compare {c4:.2}x"
+            )));
+        }
+    } else {
+        println!(
+            "speedup gate skipped: only {hw_threads} hardware thread(s) — measured holder \
+             {h4:.2}x, compare {c4:.2}x at 4 pool threads (parity still asserted)"
+        );
     }
     Ok(())
 }
@@ -952,16 +1064,17 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e9" => e9(quick, out),
         "e10" => e10(quick, out),
         "e11" => e11(quick, out),
+        "e12" => e12(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e11)"),
+            format!("unknown experiment `{other}` (expected e1..e12)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+pub const ALL_EXPERIMENTS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 ];
 
 #[cfg(test)]

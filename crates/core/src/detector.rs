@@ -145,6 +145,32 @@ impl Default for DetectorConfig {
 }
 
 impl DetectorConfig {
+    /// Starts a fluent builder seeded with the defaults; finish with
+    /// [`DetectorConfigBuilder::build`], which validates the result — the
+    /// preferred way to construct a customised configuration (invalid
+    /// combinations are rejected at build time instead of surfacing later
+    /// from [`HolderDimensionDetector::new`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aging_core::detector::DetectorConfig;
+    ///
+    /// # fn main() -> Result<(), aging_timeseries::Error> {
+    /// let config = DetectorConfig::builder()
+    ///     .dimension_window(96)
+    ///     .confirm_windows(2)
+    ///     .build()?;
+    /// assert_eq!(config.dimension_window, 96);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> DetectorConfigBuilder {
+        DetectorConfigBuilder {
+            config: DetectorConfig::default(),
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -212,6 +238,124 @@ impl DetectorConfig {
             max_lag: self.holder_max_lag,
             max_h: self.max_h,
         })
+    }
+}
+
+/// Fluent builder for [`DetectorConfig`]; see [`DetectorConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct DetectorConfigBuilder {
+    config: DetectorConfig,
+}
+
+impl DetectorConfigBuilder {
+    /// Sets the Hölder-estimator neighbourhood radius.
+    #[must_use]
+    pub fn holder_radius(mut self, holder_radius: usize) -> Self {
+        self.config.holder_radius = holder_radius;
+        self
+    }
+
+    /// Sets the largest lag of the local-increment Hölder estimator.
+    #[must_use]
+    pub fn holder_max_lag(mut self, holder_max_lag: usize) -> Self {
+        self.config.holder_max_lag = holder_max_lag;
+        self
+    }
+
+    /// Sets the Hölder cap for degenerate neighbourhoods.
+    #[must_use]
+    pub fn max_h(mut self, max_h: f64) -> Self {
+        self.config.max_h = max_h;
+        self
+    }
+
+    /// Sets the dimension-estimator window length.
+    #[must_use]
+    pub fn dimension_window(mut self, dimension_window: usize) -> Self {
+        self.config.dimension_window = dimension_window;
+        self
+    }
+
+    /// Sets the stride between dimension windows.
+    #[must_use]
+    pub fn dimension_stride(mut self, dimension_stride: usize) -> Self {
+        self.config.dimension_stride = dimension_stride;
+        self
+    }
+
+    /// Sets the dimension method.
+    #[must_use]
+    pub fn dimension_method(mut self, dimension_method: DimensionMethod) -> Self {
+        self.config.dimension_method = dimension_method;
+        self
+    }
+
+    /// Sets the number of initial windows discarded as boot warmup.
+    #[must_use]
+    pub fn skip_windows(mut self, skip_windows: usize) -> Self {
+        self.config.skip_windows = skip_windows;
+        self
+    }
+
+    /// Sets the number of windows that form the baseline.
+    #[must_use]
+    pub fn baseline_windows(mut self, baseline_windows: usize) -> Self {
+        self.config.baseline_windows = baseline_windows;
+        self
+    }
+
+    /// Sets the minimum dimension-jump threshold.
+    #[must_use]
+    pub fn jump_delta(mut self, jump_delta: f64) -> Self {
+        self.config.jump_delta = jump_delta;
+        self
+    }
+
+    /// Sets the MAD multiplier of the adaptive thresholds.
+    #[must_use]
+    pub fn mad_multiplier(mut self, mad_multiplier: f64) -> Self {
+        self.config.mad_multiplier = mad_multiplier;
+        self
+    }
+
+    /// Sets the minimum Hölder-collapse threshold.
+    #[must_use]
+    pub fn holder_drop(mut self, holder_drop: f64) -> Self {
+        self.config.holder_drop = holder_drop;
+        self
+    }
+
+    /// Sets the relative collapse floor.
+    #[must_use]
+    pub fn holder_floor_fraction(mut self, holder_floor_fraction: f64) -> Self {
+        self.config.holder_floor_fraction = holder_floor_fraction;
+        self
+    }
+
+    /// Sets which anomaly rule(s) to apply.
+    #[must_use]
+    pub fn rule(mut self, rule: JumpRule) -> Self {
+        self.config.rule = rule;
+        self
+    }
+
+    /// Sets the number of consecutive anomalous windows required for a
+    /// full alarm.
+    #[must_use]
+    pub fn confirm_windows(mut self, confirm_windows: usize) -> Self {
+        self.config.confirm_windows = confirm_windows;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint, exactly like [`DetectorConfig::validate`].
+    pub fn build(self) -> Result<DetectorConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -635,6 +779,52 @@ mod tests {
         assert!(bad(|c| c.holder_floor_fraction = 1.0));
         assert!(bad(|c| c.holder_floor_fraction = -0.1));
         assert!(bad(|c| c.confirm_windows = 0));
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let built = DetectorConfig::builder().build().unwrap();
+        assert_eq!(built, DetectorConfig::default());
+
+        let custom = DetectorConfig::builder()
+            .holder_radius(48)
+            .holder_max_lag(16)
+            .max_h(1.5)
+            .dimension_window(96)
+            .dimension_stride(8)
+            .dimension_method(DimensionMethod::Variation)
+            .skip_windows(1)
+            .baseline_windows(6)
+            .jump_delta(0.15)
+            .mad_multiplier(4.0)
+            .holder_drop(0.25)
+            .holder_floor_fraction(0.3)
+            .rule(JumpRule::HolderCollapse)
+            .confirm_windows(2)
+            .build()
+            .unwrap();
+        assert_eq!(custom.holder_radius, 48);
+        assert_eq!(custom.holder_max_lag, 16);
+        assert_eq!(custom.max_h, 1.5);
+        assert_eq!(custom.dimension_window, 96);
+        assert_eq!(custom.dimension_stride, 8);
+        assert_eq!(custom.dimension_method, DimensionMethod::Variation);
+        assert_eq!(custom.skip_windows, 1);
+        assert_eq!(custom.baseline_windows, 6);
+        assert_eq!(custom.jump_delta, 0.15);
+        assert_eq!(custom.mad_multiplier, 4.0);
+        assert_eq!(custom.holder_drop, 0.25);
+        assert_eq!(custom.holder_floor_fraction, 0.3);
+        assert_eq!(custom.rule, JumpRule::HolderCollapse);
+        assert_eq!(custom.confirm_windows, 2);
+
+        // Invalid combinations fail at build time.
+        assert!(DetectorConfig::builder().holder_max_lag(2).build().is_err());
+        assert!(DetectorConfig::builder().holder_radius(8).build().is_err());
+        assert!(DetectorConfig::builder()
+            .confirm_windows(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::baseline::{
 };
 use crate::detector::{DetectorConfig, HolderDimensionDetector};
 use aging_memsim::{Counter, SimReport};
+use aging_par::Pool;
 use aging_timeseries::{stats, Error, Result};
 
 /// A buildable predictor description (so experiments can be declared as
@@ -236,14 +237,31 @@ pub fn compare(
     reports: &[SimReport],
     counter: Counter,
 ) -> Result<ComparisonRow> {
+    compare_in(spec, reports, counter, Pool::global())
+}
+
+/// [`compare`] on an explicit pool: reports are evaluated in parallel and
+/// their outcomes aggregated in fleet order, so the row is bit-identical
+/// to the sequential run for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`compare`].
+pub fn compare_in(
+    spec: &PredictorSpec,
+    reports: &[SimReport],
+    counter: Counter,
+    pool: &Pool,
+) -> Result<ComparisonRow> {
+    let per_report = pool.try_map(reports, |report| evaluate(spec, report, counter))?;
     let mut crashes = 0;
     let mut detected = 0;
     let mut missed = 0;
     let mut false_alarms = 0;
     let mut healthy = 0;
     let mut leads = Vec::new();
-    for report in reports {
-        for outcome in evaluate(spec, report, counter)? {
+    for outcomes in per_report {
+        for outcome in outcomes {
             if outcome.crash_secs.is_some() {
                 crashes += 1;
                 if outcome.detected() {

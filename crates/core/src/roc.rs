@@ -7,8 +7,9 @@
 //! different threshold and records coverage, false alarms and lead time.
 
 use crate::detector::DetectorConfig;
-use crate::eval::{compare, ComparisonRow, PredictorSpec};
+use crate::eval::{compare_in, ComparisonRow, PredictorSpec};
 use aging_memsim::{Counter, SimReport};
+use aging_par::Pool;
 use aging_timeseries::{Error, Result};
 
 /// One point of an operating-characteristic sweep.
@@ -62,11 +63,30 @@ pub fn sweep_detector(
     reports: &[SimReport],
     counter: Counter,
 ) -> Result<Vec<RocPoint>> {
+    sweep_detector_in(base, parameter, values, reports, counter, Pool::global())
+}
+
+/// [`sweep_detector`] on an explicit pool: sweep points are scored in
+/// parallel (each point's fleet evaluation stays sequential to avoid
+/// oversubscription), with results ordered like `values` — bit-identical
+/// to the sequential sweep for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`sweep_detector`].
+pub fn sweep_detector_in(
+    base: &DetectorConfig,
+    parameter: SweepParameter,
+    values: &[f64],
+    reports: &[SimReport],
+    counter: Counter,
+    pool: &Pool,
+) -> Result<Vec<RocPoint>> {
     if values.is_empty() {
         return Err(Error::invalid("values", "must not be empty"));
     }
-    let mut out = Vec::with_capacity(values.len());
-    for &v in values {
+    let inner = Pool::sequential();
+    pool.try_map(values, |&v| {
         let mut config = base.clone();
         match parameter {
             SweepParameter::HolderDrop => config.holder_drop = v,
@@ -75,10 +95,14 @@ pub fn sweep_detector(
                 config.confirm_windows = (v.round().max(1.0)) as usize
             }
         }
-        let row = compare(&PredictorSpec::HolderDimension(config), reports, counter)?;
-        out.push(RocPoint { parameter: v, row });
-    }
-    Ok(out)
+        let row = compare_in(
+            &PredictorSpec::HolderDimension(config),
+            reports,
+            counter,
+            &inner,
+        )?;
+        Ok(RocPoint { parameter: v, row })
+    })
 }
 
 #[cfg(test)]

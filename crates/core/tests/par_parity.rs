@@ -1,0 +1,106 @@
+//! Parallel/sequential parity for the evaluation layer: `compare_in` and
+//! `sweep_detector_in` must aggregate identically for any pool size. The
+//! pool merges per-report outcomes in fleet order, so every count and every
+//! lead-time statistic is exactly equal — not approximately.
+
+use aging_core::baseline::ResourceDirection;
+use aging_core::detector::DetectorConfig;
+use aging_core::eval::{compare_in, PredictorSpec};
+use aging_core::roc::{sweep_detector_in, SweepParameter};
+use aging_memsim::{simulate, Counter, Scenario, SimReport};
+use aging_par::Pool;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 7];
+
+fn fleet(n: u64) -> Vec<SimReport> {
+    let mut reports: Vec<SimReport> = (0..n)
+        .map(|s| {
+            simulate(
+                &Scenario::tiny_aging(s, 256.0 + 64.0 * s as f64),
+                4.0 * 3600.0,
+            )
+            .unwrap()
+        })
+        .collect();
+    // One healthy control so false-alarm counting is exercised too.
+    reports.push(simulate(&Scenario::tiny_aging(99, 0.0), 4.0 * 3600.0).unwrap());
+    reports
+}
+
+fn fast_detector() -> DetectorConfig {
+    DetectorConfig::builder()
+        .holder_radius(16)
+        .holder_max_lag(4)
+        .dimension_window(64)
+        .dimension_stride(16)
+        .baseline_windows(6)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn compare_parity_across_pool_sizes() {
+    let reports = fleet(3);
+    let specs = [
+        PredictorSpec::HolderDimension(fast_detector()),
+        PredictorSpec::Threshold {
+            level: 8.0 * 1024.0 * 1024.0,
+            direction: ResourceDirection::Depleting,
+        },
+    ];
+    for spec in &specs {
+        let reference =
+            compare_in(spec, &reports, Counter::AvailableBytes, &Pool::sequential()).unwrap();
+        for threads in POOL_SIZES {
+            let par =
+                compare_in(spec, &reports, Counter::AvailableBytes, &Pool::new(threads)).unwrap();
+            assert_eq!(par, reference, "{}: {threads} threads", spec.name());
+        }
+    }
+}
+
+#[test]
+fn sweep_parity_across_pool_sizes() {
+    let reports = fleet(2);
+    let base = fast_detector();
+    let values = [0.2, 0.4, 0.8];
+    let reference = sweep_detector_in(
+        &base,
+        SweepParameter::HolderDrop,
+        &values,
+        &reports,
+        Counter::AvailableBytes,
+        &Pool::sequential(),
+    )
+    .unwrap();
+    for threads in POOL_SIZES {
+        let par = sweep_detector_in(
+            &base,
+            SweepParameter::HolderDrop,
+            &values,
+            &reports,
+            Counter::AvailableBytes,
+            &Pool::new(threads),
+        )
+        .unwrap();
+        assert_eq!(par, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn compare_error_is_deterministic() {
+    // An empty fleet must fail identically (not nondeterministically)
+    // regardless of parallelism: compare aggregates zero outcomes.
+    let reports: Vec<SimReport> = Vec::new();
+    for threads in POOL_SIZES {
+        let row = compare_in(
+            &PredictorSpec::HolderDimension(fast_detector()),
+            &reports,
+            Counter::AvailableBytes,
+            &Pool::new(threads),
+        )
+        .unwrap();
+        assert_eq!(row.crashes, 0);
+        assert_eq!(row.healthy_segments, 0);
+    }
+}

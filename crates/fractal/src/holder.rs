@@ -20,6 +20,7 @@
 //! - **Wavelet leaders**: regress `log₂ ℓ_j(t)` against the level `j` —
 //!   theoretically grounded (Jaffard), needs a dyadic analysis.
 
+use aging_par::Pool;
 use aging_timeseries::regression::ols;
 use aging_timeseries::{Error, Result};
 use aging_wavelet::{Wavelet, WaveletLeaders};
@@ -165,11 +166,23 @@ impl HolderEstimator {
 /// # }
 /// ```
 pub fn holder_trace(data: &[f64], estimator: &HolderEstimator) -> Result<Vec<f64>> {
+    holder_trace_in(data, estimator, Pool::global())
+}
+
+/// [`holder_trace`] on an explicit pool: trace points are computed in
+/// parallel over contiguous index chunks. Every point depends only on the
+/// input neighbourhood, so the output is bit-identical to the sequential
+/// trace for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`holder_trace`].
+pub fn holder_trace_in(data: &[f64], estimator: &HolderEstimator, pool: &Pool) -> Result<Vec<f64>> {
     Error::require_finite(data)?;
     match estimator {
-        HolderEstimator::LocalIncrement(cfg) => increment_trace(data, cfg),
-        HolderEstimator::Oscillation(cfg) => oscillation_trace(data, cfg),
-        HolderEstimator::WaveletLeader(cfg) => leader_trace(data, cfg),
+        HolderEstimator::LocalIncrement(cfg) => increment_trace(data, cfg, pool),
+        HolderEstimator::Oscillation(cfg) => oscillation_trace(data, cfg, pool),
+        HolderEstimator::WaveletLeader(cfg) => leader_trace(data, cfg, pool),
     }
 }
 
@@ -179,7 +192,7 @@ fn power_of_two_steps(max: usize) -> Vec<usize> {
         .collect()
 }
 
-fn increment_trace(data: &[f64], cfg: &IncrementConfig) -> Result<Vec<f64>> {
+fn increment_trace(data: &[f64], cfg: &IncrementConfig, pool: &Pool) -> Result<Vec<f64>> {
     if cfg.max_lag < 4 {
         return Err(Error::invalid("max_lag", "must be at least 4"));
     }
@@ -200,37 +213,40 @@ fn increment_trace(data: &[f64], cfg: &IncrementConfig) -> Result<Vec<f64>> {
     let lags = power_of_two_steps(cfg.max_lag);
     let log_r: Vec<f64> = lags.iter().map(|&r| (r as f64).ln()).collect();
 
-    let mut out = Vec::with_capacity(n);
-    let mut xs = Vec::with_capacity(lags.len());
-    let mut ys = Vec::with_capacity(lags.len());
-    for t in 0..n {
-        let lo = t.saturating_sub(w);
-        let hi = (t + w).min(n - 1);
-        xs.clear();
-        ys.clear();
-        for (ri, &r) in lags.iter().enumerate() {
-            if hi - lo < r {
-                continue;
+    let out = pool.map_range(n, |range| {
+        let mut chunk = Vec::with_capacity(range.len());
+        let mut xs = Vec::with_capacity(lags.len());
+        let mut ys = Vec::with_capacity(lags.len());
+        for t in range {
+            let lo = t.saturating_sub(w);
+            let hi = (t + w).min(n - 1);
+            xs.clear();
+            ys.clear();
+            for (ri, &r) in lags.iter().enumerate() {
+                if hi - lo < r {
+                    continue;
+                }
+                let mut acc = 0.0;
+                let mut count = 0usize;
+                let mut u = lo;
+                while u + r <= hi {
+                    acc += (data[u + r] - data[u]).abs();
+                    count += 1;
+                    u += 1;
+                }
+                if count > 0 && acc > 0.0 {
+                    xs.push(log_r[ri]);
+                    ys.push((acc / count as f64).ln());
+                }
             }
-            let mut acc = 0.0;
-            let mut count = 0usize;
-            let mut u = lo;
-            while u + r <= hi {
-                acc += (data[u + r] - data[u]).abs();
-                count += 1;
-                u += 1;
-            }
-            if count > 0 && acc > 0.0 {
-                xs.push(log_r[ri]);
-                ys.push((acc / count as f64).ln());
-            }
+            chunk.push(fit_or_cap(&xs, &ys, cfg.max_h));
         }
-        out.push(fit_or_cap(&xs, &ys, cfg.max_h));
-    }
+        chunk
+    });
     Ok(out)
 }
 
-fn oscillation_trace(data: &[f64], cfg: &OscillationConfig) -> Result<Vec<f64>> {
+fn oscillation_trace(data: &[f64], cfg: &OscillationConfig, pool: &Pool) -> Result<Vec<f64>> {
     if cfg.max_radius < 4 {
         return Err(Error::invalid("max_radius", "must be at least 4"));
     }
@@ -244,33 +260,36 @@ fn oscillation_trace(data: &[f64], cfg: &OscillationConfig) -> Result<Vec<f64>> 
     let radii = power_of_two_steps(cfg.max_radius);
     let log_r: Vec<f64> = radii.iter().map(|&r| (r as f64).ln()).collect();
 
-    let mut out = Vec::with_capacity(n);
-    let mut xs = Vec::with_capacity(radii.len());
-    let mut ys = Vec::with_capacity(radii.len());
-    for t in 0..n {
-        xs.clear();
-        ys.clear();
-        for (ri, &r) in radii.iter().enumerate() {
-            let lo = t.saturating_sub(r);
-            let hi = (t + r).min(n - 1);
-            let mut mn = f64::MAX;
-            let mut mx = f64::MIN;
-            for &v in &data[lo..=hi] {
-                mn = mn.min(v);
-                mx = mx.max(v);
+    let out = pool.map_range(n, |range| {
+        let mut chunk = Vec::with_capacity(range.len());
+        let mut xs = Vec::with_capacity(radii.len());
+        let mut ys = Vec::with_capacity(radii.len());
+        for t in range {
+            xs.clear();
+            ys.clear();
+            for (ri, &r) in radii.iter().enumerate() {
+                let lo = t.saturating_sub(r);
+                let hi = (t + r).min(n - 1);
+                let mut mn = f64::MAX;
+                let mut mx = f64::MIN;
+                for &v in &data[lo..=hi] {
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                let osc = mx - mn;
+                if osc > 0.0 {
+                    xs.push(log_r[ri]);
+                    ys.push(osc.ln());
+                }
             }
-            let osc = mx - mn;
-            if osc > 0.0 {
-                xs.push(log_r[ri]);
-                ys.push(osc.ln());
-            }
+            chunk.push(fit_or_cap(&xs, &ys, cfg.max_h));
         }
-        out.push(fit_or_cap(&xs, &ys, cfg.max_h));
-    }
+        chunk
+    });
     Ok(out)
 }
 
-fn leader_trace(data: &[f64], cfg: &LeaderConfig) -> Result<Vec<f64>> {
+fn leader_trace(data: &[f64], cfg: &LeaderConfig, pool: &Pool) -> Result<Vec<f64>> {
     if cfg.levels < 3 {
         return Err(Error::invalid("levels", "must be at least 3"));
     }
@@ -287,21 +306,24 @@ fn leader_trace(data: &[f64], cfg: &LeaderConfig) -> Result<Vec<f64>> {
 
     let leaders = WaveletLeaders::compute(data, cfg.wavelet, cfg.levels)?;
     let n = data.len();
-    let mut out = Vec::with_capacity(n);
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    for t in 0..n {
-        xs.clear();
-        ys.clear();
-        for j in cfg.fit_min_level..=cfg.levels {
-            let l = leaders.at_time(j, t);
-            if l > 0.0 {
-                xs.push(j as f64);
-                ys.push(l.log2());
+    let out = pool.map_range(n, |range| {
+        let mut chunk = Vec::with_capacity(range.len());
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for t in range {
+            xs.clear();
+            ys.clear();
+            for j in cfg.fit_min_level..=cfg.levels {
+                let l = leaders.at_time(j, t);
+                if l > 0.0 {
+                    xs.push(j as f64);
+                    ys.push(l.log2());
+                }
             }
+            chunk.push(fit_or_cap(&xs, &ys, cfg.max_h));
         }
-        out.push(fit_or_cap(&xs, &ys, cfg.max_h));
-    }
+        chunk
+    });
     Ok(out)
 }
 

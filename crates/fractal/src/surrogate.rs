@@ -10,6 +10,7 @@
 //! spectrum.
 
 use crate::fft::{fft, ifft, Complex};
+use aging_par::Pool;
 use aging_timeseries::{Error, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -88,17 +89,34 @@ pub fn surrogate_test(
     data: &[f64],
     count: usize,
     seed: u64,
-    mut statistic: impl FnMut(&[f64]) -> Result<f64>,
+    statistic: impl Fn(&[f64]) -> Result<f64> + Sync,
+) -> Result<SurrogateTest> {
+    surrogate_test_in(data, count, seed, statistic, Pool::global())
+}
+
+/// [`surrogate_test`] on an explicit pool: each surrogate replica is
+/// generated and scored independently (replica `i` always uses seed
+/// `seed + i`), so the ensemble is bit-identical to the sequential run for
+/// any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`surrogate_test`].
+pub fn surrogate_test_in(
+    data: &[f64],
+    count: usize,
+    seed: u64,
+    statistic: impl Fn(&[f64]) -> Result<f64> + Sync,
+    pool: &Pool,
 ) -> Result<SurrogateTest> {
     if count < 4 {
         return Err(Error::invalid("count", "must be at least 4"));
     }
     let observed = statistic(data)?;
-    let mut surrogate_values = Vec::with_capacity(count);
-    for i in 0..count {
+    let surrogate_values = pool.try_map_indexed(count, |i| {
         let s = phase_surrogate(data, seed.wrapping_add(i as u64))?;
-        surrogate_values.push(statistic(&s)?);
-    }
+        statistic(&s)
+    })?;
     let median = aging_timeseries::stats::median(&surrogate_values)?;
     let dev_obs = (observed - median).abs();
     let extreme = surrogate_values

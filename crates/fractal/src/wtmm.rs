@@ -16,9 +16,10 @@
 // they also reject NaN, which is exactly what parameter validation wants.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 use crate::spectrum::{legendre, ScalingExponents, SpectrumPoint};
+use aging_par::Pool;
 use aging_timeseries::regression::ols;
 use aging_timeseries::{Error, Result};
-use aging_wavelet::cwt::{cwt, CwtWavelet};
+use aging_wavelet::cwt::{cwt_in, CwtWavelet};
 
 /// Configuration of the WTMM analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +50,30 @@ impl Default for WtmmConfig {
 }
 
 impl WtmmConfig {
+    /// Starts a fluent builder seeded with the defaults; finish with
+    /// [`WtmmConfigBuilder::build`], which validates the result.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aging_fractal::wtmm::WtmmConfig;
+    ///
+    /// # fn main() -> Result<(), aging_timeseries::Error> {
+    /// let config = WtmmConfig::builder()
+    ///     .min_scale(4.0)
+    ///     .num_scales(5)
+    ///     .qs(vec![0.0, 1.0, 2.0, 3.0])
+    ///     .build()?;
+    /// assert_eq!(config.num_scales, 5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn builder() -> WtmmConfigBuilder {
+        WtmmConfigBuilder {
+            config: WtmmConfig::default(),
+        }
+    }
+
     /// Validates internal consistency.
     ///
     /// # Errors
@@ -75,6 +100,60 @@ impl WtmmConfig {
             return Err(Error::invalid("relative_threshold", "must lie in [0, 1)"));
         }
         Ok(())
+    }
+}
+
+/// Fluent builder for [`WtmmConfig`]; see [`WtmmConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct WtmmConfigBuilder {
+    config: WtmmConfig,
+}
+
+impl WtmmConfigBuilder {
+    /// Sets the analysing wavelet.
+    #[must_use]
+    pub fn wavelet(mut self, wavelet: CwtWavelet) -> Self {
+        self.config.wavelet = wavelet;
+        self
+    }
+
+    /// Sets the smallest scale in samples.
+    #[must_use]
+    pub fn min_scale(mut self, min_scale: f64) -> Self {
+        self.config.min_scale = min_scale;
+        self
+    }
+
+    /// Sets the number of dyadic scales.
+    #[must_use]
+    pub fn num_scales(mut self, num_scales: usize) -> Self {
+        self.config.num_scales = num_scales;
+        self
+    }
+
+    /// Sets the moment orders.
+    #[must_use]
+    pub fn qs(mut self, qs: Vec<f64>) -> Self {
+        self.config.qs = qs;
+        self
+    }
+
+    /// Sets the relative modulus threshold for maxima.
+    #[must_use]
+    pub fn relative_threshold(mut self, relative_threshold: f64) -> Self {
+        self.config.relative_threshold = relative_threshold;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] describing the first violated
+    /// constraint, exactly like [`WtmmConfig::validate`].
+    pub fn build(self) -> Result<WtmmConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -107,12 +186,23 @@ impl WtmmResult {
 /// Propagates configuration and CWT failures; returns
 /// [`Error::Numerical`] when too few maxima survive to regress.
 pub fn wtmm(data: &[f64], config: &WtmmConfig) -> Result<WtmmResult> {
+    wtmm_in(data, config, Pool::global())
+}
+
+/// [`wtmm`] on an explicit pool: the CWT rows and the per-scale maxima
+/// extraction are parallelised over scales, so the result is bit-identical
+/// to the sequential analysis for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`wtmm`].
+pub fn wtmm_in(data: &[f64], config: &WtmmConfig, pool: &Pool) -> Result<WtmmResult> {
     config.validate()?;
     Error::require_len(data, 128)?;
     let scales: Vec<f64> = (0..config.num_scales)
         .map(|k| config.min_scale * (1u64 << k) as f64)
         .collect();
-    let res = cwt(data, config.wavelet, &scales)?;
+    let res = cwt_in(data, config.wavelet, &scales, pool)?;
 
     // Per-scale modulus maxima. For q >= 0 the classical partition
     // function uses the raw maxima moduli per scale (the supremum-link of
@@ -120,9 +210,7 @@ pub fn wtmm(data: &[f64], config: &WtmmConfig) -> Result<WtmmResult> {
     // and propagating one anomalously large fine-scale coefficient up the
     // hierarchy flattens tau(q) at large q — the known "linearisation"
     // artefact).
-    let mut maxima_per_scale: Vec<Vec<f64>> = Vec::with_capacity(scales.len());
-    let mut maxima_counts = Vec::with_capacity(scales.len());
-    for (si, _) in scales.iter().enumerate() {
+    let maxima_per_scale: Vec<Vec<f64>> = pool.map_indexed(scales.len(), |si| {
         let row = res.row(si);
         let peak = row.iter().map(|v| v.abs()).fold(0.0, f64::max);
         let threshold = peak * config.relative_threshold;
@@ -134,14 +222,13 @@ pub fn wtmm(data: &[f64], config: &WtmmConfig) -> Result<WtmmResult> {
         // Convert to L1 normalisation (|W| ~ s^h for a local exponent h):
         // the CWT itself is L2-normalised (|W| ~ s^{h + 1/2}).
         let l1 = 1.0 / scales[si].sqrt();
-        let moduli: Vec<f64> = positions
+        positions
             .iter()
             .filter(|&&t| t >= margin && t + margin < data.len())
             .map(|&t| row[t].abs() * l1)
-            .collect();
-        maxima_counts.push(moduli.len());
-        maxima_per_scale.push(moduli);
-    }
+            .collect()
+    });
+    let maxima_counts: Vec<usize> = maxima_per_scale.iter().map(Vec::len).collect();
 
     // Partition function per q.
     let mut exponents = Vec::with_capacity(config.qs.len());
@@ -203,6 +290,29 @@ mod tests {
         assert!(bad(|c| c.qs.clear()));
         assert!(bad(|c| c.qs = vec![-1.0, 1.0]));
         assert!(bad(|c| c.relative_threshold = 1.0));
+    }
+
+    #[test]
+    fn builder_round_trips_and_validates() {
+        let built = WtmmConfig::builder().build().unwrap();
+        assert_eq!(built, WtmmConfig::default());
+
+        let custom = WtmmConfig::builder()
+            .wavelet(CwtWavelet::MorletReal)
+            .min_scale(4.0)
+            .num_scales(5)
+            .qs(vec![0.0, 2.0])
+            .relative_threshold(1e-3)
+            .build()
+            .unwrap();
+        assert_eq!(custom.wavelet, CwtWavelet::MorletReal);
+        assert_eq!(custom.min_scale, 4.0);
+        assert_eq!(custom.num_scales, 5);
+        assert_eq!(custom.qs, vec![0.0, 2.0]);
+        assert_eq!(custom.relative_threshold, 1e-3);
+
+        assert!(WtmmConfig::builder().min_scale(0.25).build().is_err());
+        assert!(WtmmConfig::builder().qs(vec![-2.0]).build().is_err());
     }
 
     #[test]

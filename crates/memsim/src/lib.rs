@@ -47,7 +47,10 @@ pub mod workload;
 
 pub use config::MachineConfig;
 pub use faults::{FaultPlan, FragmentationSpec, HandleLeakSpec, LeakMode, LeakSpec};
-pub use machine::{simulate, simulate_fleet, simulate_with_reboots, Machine, Scenario, SimReport};
+pub use machine::{
+    simulate, simulate_fleet, simulate_fleet_in, simulate_with_reboots, Machine, Scenario,
+    SimReport,
+};
 pub use memory::{CrashCause, PagingModel};
 pub use monitor::{Counter, CrashEvent, MonitorLog, Sample};
 pub use procsim::{MultiMachine, MultiScenario, ProcessSpec};

@@ -331,22 +331,30 @@ pub fn simulate_with_reboots(scenario: &Scenario, total_secs: f64) -> Result<Sim
     Ok(report)
 }
 
-/// Simulates several scenarios in parallel (one OS thread each).
+/// Simulates several scenarios in parallel on the global
+/// [`aging_par::Pool`] (bounded by `AGING_THREADS`, unlike the former
+/// thread-per-scenario fan-out).
 ///
 /// # Errors
 ///
-/// Propagates the first scenario failure.
+/// Propagates the first (lowest-index) scenario failure.
 pub fn simulate_fleet(scenarios: &[Scenario], max_secs: f64) -> Result<Vec<SimReport>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|sc| scope.spawn(move || simulate(sc, max_secs)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation thread panicked"))
-            .collect()
-    })
+    simulate_fleet_in(scenarios, max_secs, aging_par::Pool::global())
+}
+
+/// [`simulate_fleet`] on an explicit pool. Each scenario is simulated
+/// independently from its own seed, so the fleet is bit-identical to the
+/// sequential runs for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`simulate_fleet`].
+pub fn simulate_fleet_in(
+    scenarios: &[Scenario],
+    max_secs: f64,
+    pool: &aging_par::Pool,
+) -> Result<Vec<SimReport>> {
+    pool.try_map(scenarios, |sc| simulate(sc, max_secs))
 }
 
 #[cfg(test)]

@@ -238,8 +238,8 @@ impl ProcSource {
     /// Parses `key: value [kB]` lines from a `/proc` pseudo-file, in the
     /// requested unit (kB entries are converted to bytes).
     fn read_field(path: &str, key: &str, kb: bool) -> Result<f64> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| Error::Numerical(format!("read {path}: {e}")))?;
+        let text =
+            std::fs::read_to_string(path).map_err(|e| Error::Io(format!("read {path}: {e}")))?;
         for line in text.lines() {
             let mut parts = line.split_whitespace();
             let Some(name) = parts.next() else { continue };

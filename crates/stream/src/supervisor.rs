@@ -68,7 +68,8 @@ pub struct FleetConfig {
     /// Simulated-time horizon per machine, seconds.
     pub horizon_secs: f64,
     /// Shard (worker thread) count; `0` picks
-    /// `min(machines, available_parallelism)`.
+    /// `min(machines, aging_par::Pool::global().threads())` — i.e. it
+    /// honours the `AGING_THREADS` override.
     pub shards: usize,
     /// Bound of the shard→supervisor channel. Full queue stalls shards
     /// (alarms are lossless) and sheds telemetry (lossy).
@@ -403,9 +404,8 @@ impl FleetSupervisor {
         }
 
         let shard_count = if cfg.shards == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
+            aging_par::Pool::global()
+                .threads()
                 .min(machines.len())
                 .max(1)
         } else {

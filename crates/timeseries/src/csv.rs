@@ -15,9 +15,9 @@ use std::io::{BufRead, BufReader, Read, Write};
 ///
 /// # Errors
 ///
-/// Returns [`Error::Numerical`] wrapping any I/O failure.
+/// Returns [`Error::Io`] wrapping any I/O failure.
 pub fn write_csv<W: Write>(series: &TimeSeries, name: &str, mut writer: W) -> Result<()> {
-    let io = |e: std::io::Error| Error::Numerical(format!("csv write: {e}"));
+    let io = |e: std::io::Error| Error::Io(format!("csv write: {e}"));
     writeln!(writer, "time,{name}").map_err(io)?;
     for (t, v) in series.iter() {
         writeln!(writer, "{t},{v}").map_err(io)?;
@@ -75,10 +75,10 @@ impl CsvTable {
 /// # Errors
 ///
 /// Returns [`Error::Empty`] for input without a header,
-/// [`Error::LengthMismatch`] for ragged rows, and [`Error::Numerical`]
+/// [`Error::LengthMismatch`] for ragged rows, and [`Error::Io`]
 /// wrapping I/O failures.
 pub fn read_csv<R: Read>(reader: R) -> Result<CsvTable> {
-    let io = |e: std::io::Error| Error::Numerical(format!("csv read: {e}"));
+    let io = |e: std::io::Error| Error::Io(format!("csv read: {e}"));
     let mut lines = BufReader::new(reader).lines();
     let header = lines
         .next()

@@ -42,6 +42,10 @@ pub enum Error {
     /// A numerical procedure failed to produce a usable result (e.g. a
     /// singular system in least squares, or a degenerate log–log fit).
     Numerical(String),
+    /// An I/O operation failed (reading a trace, writing a CSV). The
+    /// message is the underlying [`std::io::Error`]'s description; the
+    /// source is not retained so the enum stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl Error {
@@ -103,11 +107,18 @@ impl fmt::Display for Error {
                 write!(f, "non-finite sample at index {index}")
             }
             Error::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            Error::Io(msg) => write!(f, "i/o failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e.to_string())
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T, E = Error> = std::result::Result<T, E>;
@@ -166,12 +177,20 @@ mod tests {
             Error::invalid("q", "must be positive"),
             Error::NonFinite { index: 7 },
             Error::Numerical("singular matrix".into()),
+            Error::Io("file not found".into()),
         ];
         for e in errors {
             let s = e.to_string();
             assert!(!s.is_empty());
             assert!(s.chars().next().unwrap().is_lowercase());
         }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "no such trace");
+        let e: Error = io.into();
+        assert_eq!(e, Error::Io("no such trace".into()));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! modulus-maxima style inspection of singularities; heavy-duty Hölder
 //! estimation goes through the cheaper wavelet leaders instead.
 
+use aging_par::Pool;
 use aging_timeseries::{Error, Result};
 
 /// Analysing wavelets for the CWT.
@@ -148,6 +149,22 @@ impl CwtResult {
 /// # }
 /// ```
 pub fn cwt(signal: &[f64], wavelet: CwtWavelet, scales: &[f64]) -> Result<CwtResult> {
+    cwt_in(signal, wavelet, scales, Pool::global())
+}
+
+/// [`cwt`] on an explicit pool: scales are computed in parallel, one row
+/// per scale, so the output is bit-identical to the sequential transform
+/// for any pool size.
+///
+/// # Errors
+///
+/// Same failure modes as [`cwt`].
+pub fn cwt_in(
+    signal: &[f64],
+    wavelet: CwtWavelet,
+    scales: &[f64],
+    pool: &Pool,
+) -> Result<CwtResult> {
     Error::require_len(signal, 2)?;
     Error::require_finite(signal)?;
     if scales.is_empty() {
@@ -161,8 +178,7 @@ pub fn cwt(signal: &[f64], wavelet: CwtWavelet, scales: &[f64]) -> Result<CwtRes
     }
 
     let n = signal.len();
-    let mut coefficients = Vec::with_capacity(scales.len());
-    for &s in scales {
+    let coefficients = pool.map(scales, |&s| {
         let radius = (wavelet.support_radius() * s).ceil() as usize;
         let norm = 1.0 / s.sqrt();
         let mut row = vec![0.0; n];
@@ -180,8 +196,8 @@ pub fn cwt(signal: &[f64], wavelet: CwtWavelet, scales: &[f64]) -> Result<CwtRes
             }
             *out = norm * acc;
         }
-        coefficients.push(row);
-    }
+        row
+    });
     Ok(CwtResult {
         wavelet,
         scales: scales.to_vec(),

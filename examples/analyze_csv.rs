@@ -17,17 +17,14 @@ fn main() -> Result<()> {
 
     let path = std::env::temp_dir().join("holder_aging_demo.csv");
     {
-        let mut file = std::fs::File::create(&path)
-            .map_err(|e| Error::Numerical(format!("create csv: {e}")))?;
+        let mut file = std::fs::File::create(&path)?;
         csv::write_csv(&series, "available_bytes", &mut file)?;
-        file.flush()
-            .map_err(|e| Error::Numerical(format!("flush csv: {e}")))?;
+        file.flush()?;
     }
     println!("wrote {} samples to {}", series.len(), path.display());
 
     // ── 2. Read it back as a stranger would. ──
-    let file =
-        std::fs::File::open(&path).map_err(|e| Error::Numerical(format!("open csv: {e}")))?;
+    let file = std::fs::File::open(&path)?;
     let table = csv::read_csv(file)?;
     println!("columns: {:?}", table.headers);
     let mut imported = table.series("time", "available_bytes")?;

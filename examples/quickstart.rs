@@ -19,14 +19,15 @@ fn main() -> Result<()> {
     // Online loop: step the machine; feed every monitor sample into the
     // streaming detector, exactly as a production agent would.
     let mut machine = Machine::boot(&scenario)?;
-    let mut detector = HolderDimensionDetector::new(DetectorConfig {
-        holder_radius: 16,
-        holder_max_lag: 4,
-        dimension_window: 64,
-        dimension_stride: 8,
-        baseline_windows: 6,
-        ..DetectorConfig::default()
-    })?;
+    let mut detector = HolderDimensionDetector::new(
+        DetectorConfig::builder()
+            .holder_radius(16)
+            .holder_max_lag(4)
+            .dimension_window(64)
+            .dimension_stride(8)
+            .baseline_windows(6)
+            .build()?,
+    )?;
 
     let mut first_alarm: Option<SimTime> = None;
     let crash = loop {

@@ -42,14 +42,13 @@ fn main() -> Result<()> {
         alarm_horizon_secs: 1800.0,
         ..TrendPredictorConfig::depleting(dt)
     };
-    let detector = DetectorConfig {
-        holder_radius: 16,
-        holder_max_lag: 4,
-        dimension_window: 64,
-        dimension_stride: 16,
-        baseline_windows: 8,
-        ..DetectorConfig::default()
-    };
+    let detector = DetectorConfig::builder()
+        .holder_radius(16)
+        .holder_max_lag(4)
+        .dimension_window(64)
+        .dimension_stride(16)
+        .baseline_windows(8)
+        .build()?;
     let specs = [
         PredictorSpec::HolderDimension(detector),
         PredictorSpec::SenSlope(trend.clone()),

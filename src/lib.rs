@@ -15,11 +15,17 @@
 //! | Module | Crate | Role |
 //! |---|---|---|
 //! | [`timeseries`] | `aging-timeseries` | series container, statistics, trend tests |
+//! | [`par`] | `aging-par` | deterministic chunked scoped-thread parallelism |
 //! | [`wavelet`] | `aging-wavelet` | DWT / MODWT / CWT / wavelet leaders |
 //! | [`fractal`] | `aging-fractal` | generators, Hölder, Hurst, dimensions, spectra |
 //! | [`memsim`] | `aging-memsim` | the simulated testbed (machines, workloads, faults) |
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
 //! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
+//!
+//! Analysis hot paths (Hölder traces, CWT/WTMM, surrogate ensembles, fleet
+//! scoring) run on a deterministic thread pool ([`par`]): results are
+//! bit-identical for any thread count, and `AGING_THREADS` caps the
+//! parallelism process-wide.
 //!
 //! # Quickstart
 //!
@@ -34,15 +40,14 @@
 //!
 //! // 2. Run the paper's detector offline over the free-memory counter.
 //! let series = report.log.series(Counter::AvailableBytes)?;
-//! let config = DetectorConfig {
-//!     holder_radius: 16,
-//!     holder_max_lag: 4,
-//!     dimension_window: 64,
-//!     dimension_stride: 8,
-//!     baseline_windows: 6,
-//!     ..DetectorConfig::default()
-//! };
-//! let analysis = aging_core::detector::analyze(series.values(), &config)?;
+//! let config = DetectorConfig::builder()
+//!     .holder_radius(16)
+//!     .holder_max_lag(4)
+//!     .dimension_window(64)
+//!     .dimension_stride(8)
+//!     .baseline_windows(6)
+//!     .build()?;
+//! let analysis = analyze(series.values(), &config)?;
 //! println!("crash at {}, {} alerts", crash.time, analysis.alerts.len());
 //! # Ok(())
 //! # }
@@ -51,6 +56,7 @@
 pub use aging_core as core;
 pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
+pub use aging_par as par;
 pub use aging_stream as stream;
 pub use aging_timeseries as timeseries;
 pub use aging_wavelet as wavelet;
@@ -61,18 +67,23 @@ pub use aging_timeseries::{Error, Result, TimeSeries};
 pub mod prelude {
     pub use aging_core::baseline::{AgingPredictor, ResourceDirection, TrendPredictorConfig};
     pub use aging_core::detector::{
-        analyze, AlertLevel, DetectorConfig, HolderDimensionDetector, JumpRule,
+        analyze, AlertLevel, DetectorConfig, DetectorConfigBuilder, HolderDimensionDetector,
+        JumpRule,
     };
-    pub use aging_core::eval::{compare, evaluate, PredictorSpec};
+    pub use aging_core::eval::{compare, compare_in, evaluate, ComparisonRow, PredictorSpec};
     pub use aging_core::progression::{progression, ProgressionConfig};
     pub use aging_core::rejuvenation::{run_policy, OutageCosts, Policy};
     pub use aging_core::report::{assess, Assessment, AssessmentConfig, Verdict};
-    pub use aging_fractal::holder::{holder_trace, HolderEstimator};
+    pub use aging_core::roc::{sweep_detector, sweep_detector_in, RocPoint, SweepParameter};
+    pub use aging_fractal::holder::{holder_trace, holder_trace_in, HolderEstimator};
+    pub use aging_fractal::surrogate::{surrogate_test, surrogate_test_in};
+    pub use aging_fractal::wtmm::{wtmm, wtmm_in, WtmmConfig, WtmmConfigBuilder, WtmmResult};
     pub use aging_fractal::{dimension, generate, hurst, spectrum};
     pub use aging_memsim::{
-        simulate, simulate_fleet, simulate_with_reboots, Bytes, Counter, FaultPlan, Machine,
-        MachineConfig, Scenario, SimTime, WorkloadConfig,
+        simulate, simulate_fleet, simulate_fleet_in, simulate_with_reboots, Bytes, Counter,
+        FaultPlan, Machine, MachineConfig, Scenario, SimTime, WorkloadConfig,
     };
+    pub use aging_par::Pool;
     pub use aging_stream::supervisor::{
         AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
     };
