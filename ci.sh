@@ -22,6 +22,16 @@ AGING_THREADS=1 cargo test --workspace --quiet
 echo "==> cargo test (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test --workspace --quiet
 
+# The robustness contract: every memsim scenario through the fleet
+# supervisor, clean vs. chaos-wrapped, at two fixed seeds (see
+# crates/chaos/tests/differential.rs — no panic, exact reconciliation,
+# ordered watermarks, bounded lead-time loss).
+echo "==> chaos differential suite (two fixed seeds)"
+cargo test -p aging-chaos --test differential --quiet
+
+echo "==> cargo test --doc"
+cargo test --workspace --doc --quiet
+
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 

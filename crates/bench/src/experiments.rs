@@ -811,6 +811,7 @@ pub fn e11(quick: bool, out: Option<&Path>) -> Result<()> {
     let mut gate = SampleGate::new(GateConfig {
         nominal_period_secs: dt,
         max_gap_factor: 4.0,
+        ..GateConfig::default()
     })?;
     let mut streaming = StreamingDetector::new(&DetectorSpec::Holder(config.clone()))?;
     let mut streamed = Vec::new();
@@ -1045,6 +1046,101 @@ pub fn e12(quick: bool, out: Option<&Path>) -> Result<()> {
     Ok(())
 }
 
+/// E13 — chaos differential robustness: the fleet supervisor under seeded
+/// fault injection, clean vs. chaos-wrapped, with the robustness contract
+/// (no panic, exact reconciliation, ordered watermarks, bounded lead
+/// degradation) hard-checked by the harness.
+pub fn e13(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_chaos::{run_differential, ChaosPlan, Tolerance};
+    use aging_stream::detector::DetectorSpec;
+    use aging_stream::{CounterDetector, FleetConfig};
+
+    banner(
+        "E13",
+        "chaos differential: fleet supervisor under seeded fault injection",
+        "under NaN bursts, replays, clock defects, spikes and stalls the supervisor \
+         never panics, reconciles every sample exactly, keeps watermark order, and \
+         loses at most a bounded amount of crash-warning lead time",
+    );
+
+    let (machines, horizon, seeds): (usize, f64, &[u64]) = if quick {
+        (3, 8.0 * HOUR, &[0x00c0_ffee, 42])
+    } else {
+        (5, 12.0 * HOUR, &[42, 7, 1234, 2026])
+    };
+    // Aggressively-leaking tiny machines (5 s sampling) plus one healthy
+    // control that must stay silent under injection.
+    let mut fleet: Vec<aging_memsim::Scenario> = (0..machines)
+        .map(|i| aging_memsim::Scenario::tiny_aging(500 + i as u64, 192.0 + 32.0 * i as f64))
+        .collect();
+    fleet.push(aging_memsim::Scenario::tiny_aging(900, 0.0));
+
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        horizon,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+    cfg.gate.quarantine_after = 8;
+    cfg.status_every_secs = 600.0;
+    cfg.shards = 2;
+
+    let tolerance = Tolerance::default();
+    let mut table = Table::new(vec![
+        "seed",
+        "scenario",
+        "crash[h]",
+        "clean_lead[h]",
+        "chaos_lead[h]",
+        "note",
+    ]);
+    for &seed in seeds {
+        let report = run_differential(&fleet, &cfg, &ChaosPlan::nasty(seed), &tolerance)?;
+        println!(
+            "seed {seed:#x}: injected {} faults, gate dropped {} samples",
+            report.injected.injected(),
+            report.chaos.status.ingestion.dropped(),
+        );
+        println!("{}", report.table());
+        for row in &report.rows {
+            let note = match (row.clean_lead_secs, row.chaos_lead_secs) {
+                (Some(c), Some(x)) => format!("lead_loss {:.2} h", (c - x).max(0.0) / HOUR),
+                (None, None) => "silent (healthy)".to_string(),
+                (Some(_), None) => "MISSED under chaos".to_string(),
+                (None, Some(_)) => "extra alarm under chaos".to_string(),
+            };
+            table.row(vec![
+                format!("{seed:#x}"),
+                row.scenario.clone(),
+                opt_fmt(row.crash_time_secs, hours),
+                opt_fmt(row.clean_lead_secs, hours),
+                opt_fmt(row.chaos_lead_secs, hours),
+                note,
+            ]);
+        }
+    }
+    println!("{table}");
+    println!(
+        "robustness contract held at all {} seed(s) (tolerance: {} missed, {:.1} h lead loss, \
+         {} extra false alarms)",
+        seeds.len(),
+        tolerance.max_missed_detections,
+        tolerance.max_lead_loss_secs / HOUR,
+        tolerance.max_extra_false_alarms,
+    );
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e13_chaos_differential.csv"))?;
+    }
+    Ok(())
+}
+
 /// Runs one experiment by id.
 ///
 /// # Errors
@@ -1065,16 +1161,17 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e10" => e10(quick, out),
         "e11" => e11(quick, out),
         "e12" => e12(quick, out),
+        "e13" => e13(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e12)"),
+            format!("unknown experiment `{other}` (expected e1..e13)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+pub const ALL_EXPERIMENTS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
 ];
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Structural CSV damage: what transport and crashing writers do to
+//! recorded monitor logs.
+//!
+//! Value-level defects (NaN cells, spikes) are the injectors' job; this
+//! module breaks the *file structure* — truncated rows, garbled cells,
+//! blanked lines — to exercise the lossy reader path
+//! ([`aging_timeseries::csv::read_csv_lossy`] and
+//! `CsvReplaySource::from_csv_str_lossy`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-row damage probabilities for [`garble_csv`]. Draws are exclusive
+/// in the order truncate → garble → blank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CsvChaosConfig {
+    /// Probability a data row is truncated mid-write (loses cells).
+    pub truncate_rate: f64,
+    /// Probability one cell of a data row becomes non-numeric junk.
+    pub garble_rate: f64,
+    /// Probability a data row is blanked entirely.
+    pub blank_rate: f64,
+}
+
+impl Default for CsvChaosConfig {
+    fn default() -> Self {
+        CsvChaosConfig {
+            truncate_rate: 0.02,
+            garble_rate: 0.02,
+            blank_rate: 0.01,
+        }
+    }
+}
+
+/// What [`garble_csv`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsvGarbleCounts {
+    /// Rows truncated to fewer cells than the header.
+    pub truncated: u64,
+    /// Rows with one cell replaced by non-numeric junk.
+    pub garbled: u64,
+    /// Rows blanked.
+    pub blanked: u64,
+}
+
+impl CsvGarbleCounts {
+    /// Total damaged rows.
+    pub fn total(&self) -> u64 {
+        self.truncated + self.garbled + self.blanked
+    }
+}
+
+/// Structurally damages CSV `text`, deterministically in `seed`.
+///
+/// The header line is never touched (a lost header is unrecoverable by
+/// design — see [`aging_timeseries::csv::read_csv_lossy`]). Truncation
+/// keeps a strict prefix of the row's cells, so multi-column rows become
+/// ragged; single-cell rows are garbled instead.
+pub fn garble_csv(text: &str, seed: u64, config: &CsvChaosConfig) -> (String, CsvGarbleCounts) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = CsvGarbleCounts::default();
+    let mut out = String::with_capacity(text.len());
+    for (i, line) in text.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            out.push_str(line);
+            out.push('\n');
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if rng.gen_bool(config.truncate_rate) && cells.len() > 1 {
+            // A writer killed mid-row: a strict prefix of the cells.
+            let keep = rng.gen_range(1..cells.len());
+            out.push_str(&cells[..keep].join(","));
+            out.push('\n');
+            counts.truncated += 1;
+        } else if rng.gen_bool(config.garble_rate) {
+            let victim = rng.gen_range(0..cells.len());
+            for (j, cell) in cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                if j == victim {
+                    out.push_str("@corrupt!");
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+            counts.garbled += 1;
+        } else if rng.gen_bool(config.blank_rate) {
+            out.push('\n');
+            counts.blanked += 1;
+        } else {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_timeseries::csv::{read_csv, read_csv_lossy};
+
+    fn clean_csv(rows: usize) -> String {
+        let mut text = String::from("time,free\n");
+        for i in 0..rows {
+            text.push_str(&format!("{},{}\n", i * 30, 1000 - i));
+        }
+        text
+    }
+
+    #[test]
+    fn garbling_is_deterministic_and_counted() {
+        let clean = clean_csv(500);
+        let cfg = CsvChaosConfig::default();
+        let (a, ca) = garble_csv(&clean, 42, &cfg);
+        let (b, cb) = garble_csv(&clean, 42, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(ca, cb);
+        assert!(ca.total() > 0, "default rates must damage 500 rows");
+        let (c, _) = garble_csv(&clean, 43, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lossy_reader_survives_garbled_output() {
+        let clean = clean_csv(400);
+        let (dirty, counts) = garble_csv(&clean, 7, &CsvChaosConfig::default());
+        assert!(counts.truncated > 0 && counts.garbled > 0);
+        // The strict reader refuses the damage; the lossy reader recovers
+        // every intact row and accounts for the rest exactly.
+        assert!(read_csv(dirty.as_bytes()).is_err());
+        let (table, defects) = read_csv_lossy(dirty.as_bytes()).unwrap();
+        assert_eq!(defects.ragged_rows, counts.truncated);
+        assert_eq!(defects.non_numeric_cells, counts.garbled);
+        assert_eq!(
+            table.columns[0].len() as u64,
+            400 - counts.truncated - counts.blanked
+        );
+    }
+
+    #[test]
+    fn zero_rates_leave_text_untouched() {
+        let clean = clean_csv(50);
+        let cfg = CsvChaosConfig {
+            truncate_rate: 0.0,
+            garble_rate: 0.0,
+            blank_rate: 0.0,
+        };
+        let (out, counts) = garble_csv(&clean, 1, &cfg);
+        assert_eq!(out, clean);
+        assert_eq!(counts.total(), 0);
+    }
+}

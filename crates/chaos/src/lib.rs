@@ -1,0 +1,66 @@
+//! # aging-chaos
+//!
+//! Seed-deterministic fault injection for the `holder-aging` streaming
+//! pipeline — the hostile counterpart of the clean simulator feeds.
+//!
+//! The online detectors of [`aging_stream`] exist to catch software aging
+//! on *real* monitor streams, and real streams misbehave: exporters emit
+//! NaN during restarts, transports duplicate and replay, clocks step and
+//! skew, counters wrap, scrapes stall, log files arrive truncated. This
+//! crate makes every one of those defects a first-class, reproducible
+//! input:
+//!
+//! - [`plan`] — the declarative [`ChaosPlan`]: composable
+//!   [`InjectorSpec`]s with per-injector rate, onset window and a master
+//!   seed. A plan plus a seed pins the whole fault stream, bit for bit.
+//! - [`inject`] — the per-stream [`inject::ChaosEngine`] and its exact
+//!   [`inject::InjectionCounters`] bookkeeping
+//!   (`emitted == offered - stalled + duplicated + replayed`, always).
+//! - [`source`] — [`ChaosSource`], wrapping any
+//!   [`aging_stream::SampleSource`].
+//! - [`csv`] — structural log damage ([`csv::garble_csv`]) for the lossy
+//!   CSV ingestion path.
+//! - [`harness`] — the differential robustness harness:
+//!   [`harness::run_differential`] runs a fleet clean vs. chaos-wrapped
+//!   and hard-asserts the robustness contract (no panic, exact telemetry,
+//!   ordered watermarks, cross-thread determinism, budgeted degradation).
+//!
+//! # Example
+//!
+//! ```
+//! use aging_chaos::{ChaosPlan, ChaosSource, InjectorSpec};
+//! use aging_stream::source::{CsvReplaySource, SampleSource};
+//!
+//! # fn main() -> Result<(), aging_timeseries::Error> {
+//! let csv = "time,free\n0,100\n30,99\n60,98\n90,97\n120,96\n";
+//! let inner = CsvReplaySource::from_csv_str(csv, "time", "free")?;
+//! let plan = ChaosPlan::new(42).with(InjectorSpec::nan_bursts(0.5, 2));
+//! let mut hostile = ChaosSource::new(inner, &plan);
+//! let mut n = 0;
+//! while let Some(_sample) = hostile.next_sample()? {
+//!     n += 1;
+//! }
+//! assert_eq!(n, 5); // NaN bursts corrupt values, never lose samples
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+pub mod harness;
+pub mod inject;
+pub mod plan;
+pub mod source;
+
+pub use aging_timeseries::{Error, Result};
+
+pub use csv::{garble_csv, CsvChaosConfig, CsvGarbleCounts};
+pub use harness::{
+    fleet_perturber, run_differential, ChaosPerturber, DifferentialReport, DifferentialRow,
+    InjectionTotals, Tolerance,
+};
+pub use inject::{ChaosEngine, InjectionCounters};
+pub use plan::{ActiveWindow, ChaosPlan, InjectorSpec};
+pub use source::ChaosSource;

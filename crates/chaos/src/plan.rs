@@ -1,0 +1,462 @@
+//! Declarative chaos plans: which injectors run, how hard, and when.
+//!
+//! A [`ChaosPlan`] is data, not code — it serialises, diffs and replays.
+//! Together with its seed it pins the *entire* injected fault stream:
+//! the same plan applied to the same source always produces the same
+//! perturbed sample sequence, bit for bit, regardless of thread count.
+
+use aging_timeseries::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+/// How many primary emissions the replay buffer retains per stream —
+/// the upper bound on [`InjectorSpec::Replay`]'s `max_age`.
+pub const REPLAY_BUFFER: usize = 16;
+
+/// The window duration meaning "for the rest of the run": 10¹⁸ seconds
+/// (~30 billion years). A finite sentinel rather than `f64::INFINITY` so
+/// plans stay JSON-serialisable.
+pub const FOREVER_SECS: f64 = 1e18;
+
+/// The stream-time interval during which an injector is armed.
+///
+/// Windows are evaluated against the *raw* (pre-perturbation) sample
+/// clock, so an injected clock defect can never move another injector's
+/// activation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActiveWindow {
+    /// Stream time at which the injector arms, seconds.
+    pub onset_secs: f64,
+    /// How long it stays armed, seconds ([`FOREVER_SECS`] = forever).
+    pub duration_secs: f64,
+}
+
+impl ActiveWindow {
+    /// Armed for the whole run.
+    pub fn always() -> Self {
+        ActiveWindow {
+            onset_secs: 0.0,
+            duration_secs: FOREVER_SECS,
+        }
+    }
+
+    /// Armed from `onset_secs` for `duration_secs`.
+    pub fn new(onset_secs: f64, duration_secs: f64) -> Self {
+        ActiveWindow {
+            onset_secs,
+            duration_secs,
+        }
+    }
+
+    /// Whether `time_secs` falls inside the window.
+    pub fn contains(&self, time_secs: f64) -> bool {
+        time_secs >= self.onset_secs && time_secs - self.onset_secs < self.duration_secs
+    }
+}
+
+impl Default for ActiveWindow {
+    fn default() -> Self {
+        ActiveWindow::always()
+    }
+}
+
+/// One composable fault injector.
+///
+/// Each variant models a defect class observed in real monitor feeds;
+/// [`crate::inject::ChaosEngine`] applies them per sample in plan order.
+/// Probabilistic parameters (`rate`) are per-sample Bernoulli draws from
+/// the plan's seeded generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InjectorSpec {
+    /// Bursts of NaN/±Inf values — an exporter reading freed memory or
+    /// serialising garbage during collector restarts.
+    NonFiniteBurst {
+        /// Per-sample probability of starting a burst.
+        rate: f64,
+        /// Burst length is drawn uniformly from `1..=max_len`.
+        max_len: u32,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// Immediate duplicate deliveries of the current sample — at-least-
+    /// once transports retrying an acked message.
+    Duplicate {
+        /// Per-sample probability of duplicating.
+        rate: f64,
+        /// Extra copies drawn uniformly from `1..=max_copies`.
+        max_copies: u32,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// Re-delivery of an *older* sample with its stale timestamp — a
+    /// delayed queue flush or a restarted relay replaying its journal.
+    Replay {
+        /// Per-sample probability of replaying.
+        rate: f64,
+        /// Replayed sample age in emissions, drawn from `1..=max_age`
+        /// (capped by [`REPLAY_BUFFER`]).
+        max_age: u32,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// A one-off step of the source clock — NTP slew, VM migration, or a
+    /// timezone misconfiguration fixed mid-run. A negative offset makes
+    /// subsequent timestamps regress until real time catches up.
+    ClockStep {
+        /// Raw stream time at which the step lands, seconds.
+        at_secs: f64,
+        /// Signed clock offset applied from then on, seconds.
+        offset_secs: f64,
+    },
+    /// Multiplicative clock drift inside the window — a guest clock
+    /// running fast or slow relative to the fleet.
+    ClockSkew {
+        /// Time dilation factor (`1.0` = no skew; must be positive).
+        factor: f64,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// Isolated value spikes: the sample is multiplied or divided by
+    /// `magnitude` — unit-mixup glitches (KiB read as bytes) and
+    /// single-scrape corruption.
+    Spike {
+        /// Per-sample probability of spiking.
+        rate: f64,
+        /// Spike factor (> 0); multiply or divide is a coin flip.
+        magnitude: f64,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// Values reduced modulo `modulus` — fixed-width counter wraparound
+    /// in the exporter (the classic 32-bit byte-counter wrap).
+    CounterWrap {
+        /// Wrap modulus (> 0).
+        modulus: f64,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+    /// Dropped samples: runs of readings that never arrive — scrape
+    /// timeouts, packet loss, a wedged exporter.
+    Stall {
+        /// Per-sample probability of starting a dropout run.
+        rate: f64,
+        /// Run length drawn uniformly from `1..=max_len`.
+        max_len: u32,
+        /// When the injector is armed.
+        window: ActiveWindow,
+    },
+}
+
+impl InjectorSpec {
+    /// NaN/±Inf bursts at `rate`, up to `max_len` samples long.
+    pub fn nan_bursts(rate: f64, max_len: u32) -> Self {
+        InjectorSpec::NonFiniteBurst {
+            rate,
+            max_len,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Duplicate deliveries at `rate`, up to `max_copies` extras.
+    pub fn duplicates(rate: f64, max_copies: u32) -> Self {
+        InjectorSpec::Duplicate {
+            rate,
+            max_copies,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Stale replays at `rate`, up to `max_age` emissions old.
+    pub fn replays(rate: f64, max_age: u32) -> Self {
+        InjectorSpec::Replay {
+            rate,
+            max_age,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// A clock step of `offset_secs` at raw time `at_secs`.
+    pub fn clock_step(at_secs: f64, offset_secs: f64) -> Self {
+        InjectorSpec::ClockStep {
+            at_secs,
+            offset_secs,
+        }
+    }
+
+    /// Multiplicative clock skew by `factor`.
+    pub fn clock_skew(factor: f64) -> Self {
+        InjectorSpec::ClockSkew {
+            factor,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Value spikes at `rate`, multiplied/divided by `magnitude`.
+    pub fn spikes(rate: f64, magnitude: f64) -> Self {
+        InjectorSpec::Spike {
+            rate,
+            magnitude,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Counter wraparound at `modulus`.
+    pub fn counter_wrap(modulus: f64) -> Self {
+        InjectorSpec::CounterWrap {
+            modulus,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Sample dropouts at `rate`, up to `max_len` samples long.
+    pub fn stalls(rate: f64, max_len: u32) -> Self {
+        InjectorSpec::Stall {
+            rate,
+            max_len,
+            window: ActiveWindow::always(),
+        }
+    }
+
+    /// Restricts the injector to `[onset_secs, onset_secs + duration_secs)`
+    /// of raw stream time. No-op for [`InjectorSpec::ClockStep`], whose
+    /// activation is its `at_secs`.
+    #[must_use]
+    pub fn with_window(mut self, onset_secs: f64, duration_secs: f64) -> Self {
+        let w = ActiveWindow::new(onset_secs, duration_secs);
+        match &mut self {
+            InjectorSpec::NonFiniteBurst { window, .. }
+            | InjectorSpec::Duplicate { window, .. }
+            | InjectorSpec::Replay { window, .. }
+            | InjectorSpec::ClockSkew { window, .. }
+            | InjectorSpec::Spike { window, .. }
+            | InjectorSpec::CounterWrap { window, .. }
+            | InjectorSpec::Stall { window, .. } => *window = w,
+            InjectorSpec::ClockStep { .. } => {}
+        }
+        self
+    }
+
+    /// Validates one injector's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        let rate_ok = |r: f64| (0.0..=1.0).contains(&r);
+        let window_ok = |w: &ActiveWindow| {
+            w.onset_secs.is_finite() && w.onset_secs >= 0.0 && w.duration_secs > 0.0
+        };
+        match *self {
+            InjectorSpec::NonFiniteBurst {
+                rate,
+                max_len,
+                ref window,
+            }
+            | InjectorSpec::Stall {
+                rate,
+                max_len,
+                ref window,
+            } => {
+                if !rate_ok(rate) {
+                    return Err(Error::invalid("rate", "must be in [0, 1]"));
+                }
+                if max_len == 0 {
+                    return Err(Error::invalid("max_len", "must be at least 1"));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+            InjectorSpec::Duplicate {
+                rate,
+                max_copies,
+                ref window,
+            } => {
+                if !rate_ok(rate) {
+                    return Err(Error::invalid("rate", "must be in [0, 1]"));
+                }
+                if max_copies == 0 {
+                    return Err(Error::invalid("max_copies", "must be at least 1"));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+            InjectorSpec::Replay {
+                rate,
+                max_age,
+                ref window,
+            } => {
+                if !rate_ok(rate) {
+                    return Err(Error::invalid("rate", "must be in [0, 1]"));
+                }
+                if max_age == 0 || max_age as usize > REPLAY_BUFFER {
+                    return Err(Error::invalid(
+                        "max_age",
+                        format!("must be in 1..={REPLAY_BUFFER}"),
+                    ));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+            InjectorSpec::ClockStep {
+                at_secs,
+                offset_secs,
+            } => {
+                if !at_secs.is_finite() || at_secs < 0.0 {
+                    return Err(Error::invalid("at_secs", "must be finite and >= 0"));
+                }
+                if !offset_secs.is_finite() {
+                    return Err(Error::invalid("offset_secs", "must be finite"));
+                }
+            }
+            InjectorSpec::ClockSkew { factor, ref window } => {
+                if !(factor > 0.0 && factor.is_finite()) {
+                    return Err(Error::invalid("factor", "must be positive and finite"));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+            InjectorSpec::Spike {
+                rate,
+                magnitude,
+                ref window,
+            } => {
+                if !rate_ok(rate) {
+                    return Err(Error::invalid("rate", "must be in [0, 1]"));
+                }
+                if !(magnitude > 0.0 && magnitude.is_finite()) {
+                    return Err(Error::invalid("magnitude", "must be positive and finite"));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+            InjectorSpec::CounterWrap {
+                modulus,
+                ref window,
+            } => {
+                if !(modulus > 0.0 && modulus.is_finite()) {
+                    return Err(Error::invalid("modulus", "must be positive and finite"));
+                }
+                if !window_ok(window) {
+                    return Err(Error::invalid("window", "onset >= 0, duration > 0"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The full declarative fault plan for a run: a seed plus an ordered
+/// list of injectors.
+///
+/// Injectors are applied in list order to every stream the plan wraps;
+/// each stream derives its own generator from `(seed, stream key)`, so
+/// fleets stay reproducible per stream regardless of sharding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    /// Master seed; combined with each stream's key.
+    pub seed: u64,
+    /// Injectors, applied per sample in order.
+    pub injectors: Vec<InjectorSpec>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no injectors — wrapped streams pass through).
+    pub fn new(seed: u64) -> Self {
+        ChaosPlan {
+            seed,
+            injectors: Vec::new(),
+        }
+    }
+
+    /// Appends an injector (builder-style).
+    #[must_use]
+    pub fn with(mut self, spec: InjectorSpec) -> Self {
+        self.injectors.push(spec);
+        self
+    }
+
+    /// Validates every injector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for the first bad injector.
+    pub fn validate(&self) -> Result<()> {
+        for spec in &self.injectors {
+            spec.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The kitchen-sink preset the robustness suite runs: every defect
+    /// class the gate is documented to survive, at rates aggressive
+    /// enough to exercise quarantine but not to sever the signal.
+    pub fn nasty(seed: u64) -> Self {
+        ChaosPlan::new(seed)
+            .with(InjectorSpec::nan_bursts(0.01, 3))
+            .with(InjectorSpec::duplicates(0.02, 2))
+            .with(InjectorSpec::replays(0.02, 8))
+            .with(InjectorSpec::spikes(0.005, 8.0))
+            .with(InjectorSpec::stalls(0.01, 2))
+            .with(InjectorSpec::clock_skew(1.001))
+            .with(InjectorSpec::clock_step(3600.0, -60.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_contain_their_interval() {
+        let w = ActiveWindow::new(100.0, 50.0);
+        assert!(!w.contains(99.9));
+        assert!(w.contains(100.0));
+        assert!(w.contains(149.9));
+        assert!(!w.contains(150.0));
+        assert!(ActiveWindow::always().contains(1e15));
+    }
+
+    #[test]
+    fn with_window_applies_except_clock_step() {
+        let s = InjectorSpec::spikes(0.1, 4.0).with_window(60.0, 30.0);
+        let InjectorSpec::Spike { window, .. } = s else {
+            panic!("variant preserved")
+        };
+        assert_eq!(window, ActiveWindow::new(60.0, 30.0));
+        let c = InjectorSpec::clock_step(10.0, 5.0).with_window(60.0, 30.0);
+        assert_eq!(c, InjectorSpec::clock_step(10.0, 5.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(InjectorSpec::nan_bursts(1.5, 3).validate().is_err());
+        assert!(InjectorSpec::nan_bursts(0.5, 0).validate().is_err());
+        assert!(InjectorSpec::replays(0.1, 99).validate().is_err());
+        assert!(InjectorSpec::spikes(0.1, 0.0).validate().is_err());
+        assert!(InjectorSpec::clock_skew(-1.0).validate().is_err());
+        assert!(InjectorSpec::counter_wrap(f64::NAN).validate().is_err());
+        assert!(InjectorSpec::clock_step(f64::NAN, 1.0).validate().is_err());
+        assert!(InjectorSpec::stalls(0.1, 1)
+            .with_window(-1.0, 10.0)
+            .validate()
+            .is_err());
+        assert!(ChaosPlan::nasty(7).validate().is_ok());
+        assert!(ChaosPlan::new(7)
+            .with(InjectorSpec::duplicates(2.0, 1))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn plans_serialise_round_trip() {
+        let plan = ChaosPlan::nasty(1234);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: ChaosPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,167 @@
+//! Wrapping any [`SampleSource`] in a chaos plan.
+
+use std::collections::VecDeque;
+
+use aging_stream::{Result, SampleSource, StreamSample};
+
+use crate::inject::{ChaosEngine, InjectionCounters};
+use crate::plan::ChaosPlan;
+
+/// A [`SampleSource`] adaptor that feeds every sample of an inner source
+/// through a [`ChaosEngine`] — the drop-in way to make any ingestion
+/// path hostile.
+///
+/// The stream key defaults to a hash of the inner source's name, so two
+/// differently-named sources under the same plan draw independent fault
+/// sequences; use [`ChaosSource::with_key`] to pin it explicitly.
+pub struct ChaosSource<S: SampleSource> {
+    name: String,
+    inner: S,
+    engine: ChaosEngine,
+    pending: VecDeque<StreamSample>,
+    scratch: Vec<StreamSample>,
+}
+
+impl<S: SampleSource> std::fmt::Debug for ChaosSource<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosSource")
+            .field("name", &self.name)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+/// FNV-1a — a stable, dependency-free string hash for default stream keys.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl<S: SampleSource> ChaosSource<S> {
+    /// Wraps `inner`, deriving the stream key from its name.
+    pub fn new(inner: S, plan: &ChaosPlan) -> Self {
+        let key = fnv1a(inner.name());
+        ChaosSource::with_key(inner, plan, key)
+    }
+
+    /// Wraps `inner` with an explicit stream key.
+    pub fn with_key(inner: S, plan: &ChaosPlan, stream_key: u64) -> Self {
+        ChaosSource {
+            name: format!("chaos:{}", inner.name()),
+            engine: ChaosEngine::new(plan, stream_key),
+            inner,
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// What the engine has injected so far.
+    pub fn counters(&self) -> &InjectionCounters {
+        self.engine.counters()
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SampleSource> SampleSource for ChaosSource<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_sample(&mut self) -> Result<Option<StreamSample>> {
+        loop {
+            if let Some(s) = self.pending.pop_front() {
+                return Ok(Some(s));
+            }
+            // A stall may swallow several raw samples in a row; keep
+            // pulling until something comes out or the source ends.
+            match self.inner.next_sample()? {
+                None => return Ok(None),
+                Some(raw) => {
+                    self.scratch.clear();
+                    self.engine.feed(raw, &mut self.scratch);
+                    self.pending.extend(self.scratch.drain(..));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_stream::source::CsvReplaySource;
+    use std::fmt::Write as _;
+
+    fn csv(n: usize) -> String {
+        let mut text = String::from("time,free\n");
+        for i in 0..n {
+            writeln!(text, "{},{}", i * 5, 1_000_000 - i).unwrap();
+        }
+        text
+    }
+
+    fn drain(plan: &ChaosPlan, n: usize) -> (Vec<StreamSample>, InjectionCounters) {
+        let inner = CsvReplaySource::from_csv_str(&csv(n), "time", "free").unwrap();
+        let mut src = ChaosSource::new(inner, plan);
+        assert_eq!(src.name(), "chaos:csv:free");
+        let mut out = Vec::new();
+        while let Some(s) = src.next_sample().unwrap() {
+            out.push(s);
+        }
+        (out, *src.counters())
+    }
+
+    /// Bit-pattern view, so injected NaNs compare equal to themselves.
+    fn bits(samples: &[StreamSample]) -> Vec<(u64, u64)> {
+        samples
+            .iter()
+            .map(|s| (s.time_secs.to_bits(), s.value.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn wrapped_replay_is_reproducible() {
+        let plan = ChaosPlan::nasty(99);
+        let (a, ca) = drain(&plan, 3000);
+        let (b, cb) = drain(&plan, 3000);
+        assert_eq!(bits(&a), bits(&b), "same plan must replay identically");
+        assert_eq!(ca, cb);
+        assert_eq!(ca.offered, 3000);
+        assert_eq!(ca.emitted as usize, a.len());
+        assert!(ca.injected() > 0);
+        // A different seed perturbs differently.
+        let (c, _) = drain(&ChaosPlan::nasty(100), 3000);
+        assert_ne!(bits(&a), bits(&c));
+    }
+
+    #[test]
+    fn empty_plan_passes_through() {
+        let (out, counters) = drain(&ChaosPlan::new(0), 50);
+        assert_eq!(out.len(), 50);
+        assert_eq!(counters.injected(), 0);
+        assert_eq!(out[0].value, 1_000_000.0);
+    }
+
+    #[test]
+    fn exhaustion_is_stable_under_stalls() {
+        // A stall-heavy plan: the source must still terminate cleanly.
+        let plan = ChaosPlan::new(1).with(crate::plan::InjectorSpec::stalls(0.3, 4));
+        let inner = CsvReplaySource::from_csv_str(&csv(500), "time", "free").unwrap();
+        let mut src = ChaosSource::new(inner, &plan);
+        let mut n = 0usize;
+        while src.next_sample().unwrap().is_some() {
+            n += 1;
+        }
+        assert!(src.next_sample().unwrap().is_none());
+        assert_eq!(n as u64, 500 - src.counters().stalled);
+        assert!(src.counters().stalled > 0);
+    }
+}

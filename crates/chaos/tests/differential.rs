@@ -1,0 +1,78 @@
+//! The differential robustness suite CI runs at two fixed seeds: a small
+//! mixed fleet (three aging machines, one healthy) through the full
+//! supervisor, clean vs. chaos-wrapped, with every clause of the
+//! robustness contract hard-asserted by [`run_differential`].
+
+use aging_chaos::{run_differential, ChaosPlan, Tolerance};
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::{CounterDetector, FleetConfig};
+
+/// Three aggressively-leaking machines (they crash well inside the
+/// horizon) plus one healthy control.
+fn fleet() -> Vec<Scenario> {
+    let mut scenarios: Vec<Scenario> = (0..3)
+        .map(|i| Scenario::tiny_aging(500 + i, 192.0 + 32.0 * i as f64))
+        .collect();
+    scenarios.push(Scenario::tiny_aging(900, 0.0));
+    scenarios
+}
+
+/// The supervisor tuning the streaming tests use for the 5-second
+/// tiny-machine feed, plus gate quarantine armed — chaos drop bursts
+/// must trigger the degradation path, not just single-sample drops.
+fn config() -> FleetConfig {
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        8.0 * 3600.0,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+    cfg.gate.quarantine_after = 8;
+    cfg.status_every_secs = 600.0;
+    cfg.shards = 2;
+    cfg
+}
+
+fn sweep(seed: u64) {
+    let scenarios = fleet();
+    let report = run_differential(
+        &scenarios,
+        &config(),
+        &ChaosPlan::nasty(seed),
+        &Tolerance::default(),
+    )
+    .expect("robustness contract must hold");
+
+    // The plan actually attacked the streams.
+    assert!(report.injected.injected() > 0, "nothing was injected");
+    assert!(report.chaos.status.ingestion.dropped() > 0);
+
+    // Every aging machine crashed and still alarmed ahead of the crash
+    // under injection; the healthy control survived.
+    for row in &report.rows[..3] {
+        assert!(row.crash_time_secs.is_some(), "{} survived", row.scenario);
+        let lead = row.chaos_lead_secs.expect("alarm lost under chaos");
+        assert!(lead > 0.0, "{}: non-positive lead {lead}", row.scenario);
+    }
+    assert!(report.rows[3].crash_time_secs.is_none());
+    println!("seed {seed}:\n{}", report.table());
+}
+
+#[test]
+fn robustness_contract_holds_at_seed_a() {
+    sweep(0x00c0_ffee);
+}
+
+#[test]
+fn robustness_contract_holds_at_seed_b() {
+    sweep(42);
+}

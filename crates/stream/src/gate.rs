@@ -13,10 +13,25 @@
 //! | non-finite value | **drop** the sample (`dropped_non_finite`) |
 //! | `time ≤` last accepted time | **drop** the sample (`dropped_out_of_order`) |
 //! | gap `> max_gap_factor ×` nominal period | **reset** downstream detector, then accept (`gaps_detected`) |
+//! | ≥ `quarantine_after` consecutive drops | **degrade** the stream; reset the detector at the next accept (`quarantines`) |
 //!
 //! Dropping (rather than interpolating) non-finite values keeps the gate
 //! allocation-free and unbiased; a long run of drops then surfaces as a
 //! gap, which resets the detector instead of feeding it fabricated data.
+//!
+//! # Degradation state (quarantine)
+//!
+//! A drop *burst* whose wall-clock footprint is short — a flood of
+//! retransmitted stale samples, or interleaved NaN readings — never trips
+//! the gap rule, because dropped samples do not advance the gate's clock.
+//! When `quarantine_after > 0`, the gate additionally tracks consecutive
+//! drops: once the run reaches the threshold the stream is **degraded**
+//! ([`GateHealth::Degraded`]), and the first sample accepted afterwards is
+//! returned as [`GateAction::AcceptAfterGap`] so the downstream detector
+//! restarts from a clean state instead of stitching the pre- and
+//! post-burst regimes together. Recoveries are counted in
+//! [`StageCounters::quarantines`]. The default (`0`) disables the policy,
+//! preserving the original gate behaviour.
 
 use aging_timeseries::{Error, Result};
 
@@ -32,6 +47,10 @@ pub struct GateConfig {
     /// discontinuity: the downstream detector must be reset rather than
     /// shown two samples that pretend to be adjacent.
     pub max_gap_factor: f64,
+    /// After this many *consecutive* dropped samples the stream is
+    /// degraded and the next accepted sample forces a detector reset
+    /// (see the module docs). `0` disables quarantine.
+    pub quarantine_after: u64,
 }
 
 impl Default for GateConfig {
@@ -39,6 +58,7 @@ impl Default for GateConfig {
         GateConfig {
             nominal_period_secs: 30.0,
             max_gap_factor: 4.0,
+            quarantine_after: 0,
         }
     }
 }
@@ -75,12 +95,24 @@ pub enum GateAction {
     AcceptAfterGap(StreamSample),
 }
 
+/// Health of the gated stream, from the gate's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateHealth {
+    /// The feed is behaving (no active drop burst).
+    Healthy,
+    /// A run of ≥ `quarantine_after` consecutive drops is in progress;
+    /// the next accepted sample will force a detector reset.
+    Degraded,
+}
+
 /// Stateful defect gate for one stream.
 #[derive(Debug, Clone)]
 pub struct SampleGate {
     config: GateConfig,
     last_time: Option<f64>,
     counters: StageCounters,
+    consecutive_drops: u64,
+    degraded: bool,
 }
 
 impl SampleGate {
@@ -95,6 +127,8 @@ impl SampleGate {
             config,
             last_time: None,
             counters: StageCounters::default(),
+            consecutive_drops: 0,
+            degraded: false,
         })
     }
 
@@ -108,37 +142,72 @@ impl SampleGate {
         &self.counters
     }
 
+    /// Current health of the stream (see [`GateHealth`]).
+    pub fn health(&self) -> GateHealth {
+        if self.degraded {
+            GateHealth::Degraded
+        } else {
+            GateHealth::Healthy
+        }
+    }
+
+    /// Length of the current run of consecutive drops.
+    pub fn consecutive_drops(&self) -> u64 {
+        self.consecutive_drops
+    }
+
+    /// Records one dropped sample and updates the degradation state.
+    fn note_drop(&mut self) {
+        self.consecutive_drops += 1;
+        if self.config.quarantine_after > 0
+            && self.consecutive_drops >= self.config.quarantine_after
+        {
+            self.degraded = true;
+        }
+    }
+
     /// Judges one raw sample.
     pub fn push(&mut self, raw: StreamSample) -> GateAction {
         self.counters.ingested += 1;
         if !raw.value.is_finite() || !raw.time_secs.is_finite() {
             self.counters.dropped_non_finite += 1;
+            self.note_drop();
             return GateAction::DropNonFinite;
         }
-        let Some(last) = self.last_time else {
-            self.last_time = Some(raw.time_secs);
-            self.counters.accepted += 1;
-            return GateAction::Accept(raw);
-        };
-        if raw.time_secs <= last {
-            self.counters.dropped_out_of_order += 1;
-            return GateAction::DropOutOfOrder;
+        if let Some(last) = self.last_time {
+            if raw.time_secs <= last {
+                self.counters.dropped_out_of_order += 1;
+                self.note_drop();
+                return GateAction::DropOutOfOrder;
+            }
         }
-        let gap = raw.time_secs - last;
+        // Accepted from here on.
+        let gap = self.last_time.map(|last| raw.time_secs - last);
         self.last_time = Some(raw.time_secs);
         self.counters.accepted += 1;
-        if gap > self.config.max_gap_factor * self.config.nominal_period_secs {
+        self.consecutive_drops = 0;
+        let long_gap =
+            gap.is_some_and(|g| g > self.config.max_gap_factor * self.config.nominal_period_secs);
+        if long_gap {
             self.counters.gaps_detected += 1;
+        }
+        let quarantined = std::mem::take(&mut self.degraded);
+        if quarantined {
+            self.counters.quarantines += 1;
+        }
+        if long_gap || quarantined {
             GateAction::AcceptAfterGap(raw)
         } else {
             GateAction::Accept(raw)
         }
     }
 
-    /// Forgets the stream position (the counters are retained — they are
-    /// lifetime totals).
+    /// Forgets the stream position and degradation state (the counters
+    /// are retained — they are lifetime totals).
     pub fn reset(&mut self) {
         self.last_time = None;
+        self.consecutive_drops = 0;
+        self.degraded = false;
     }
 }
 
@@ -150,6 +219,7 @@ mod tests {
         SampleGate::new(GateConfig {
             nominal_period_secs: 30.0,
             max_gap_factor: 4.0,
+            ..GateConfig::default()
         })
         .unwrap()
     }
@@ -165,13 +235,13 @@ mod tests {
     fn config_guards() {
         assert!(GateConfig {
             nominal_period_secs: 0.0,
-            max_gap_factor: 4.0
+            ..GateConfig::default()
         }
         .validate()
         .is_err());
         assert!(GateConfig {
-            nominal_period_secs: 30.0,
-            max_gap_factor: 0.5
+            max_gap_factor: 0.5,
+            ..GateConfig::default()
         }
         .validate()
         .is_err());
@@ -226,5 +296,66 @@ mod tests {
         // An "earlier" timestamp is fine after reset (new segment).
         assert!(matches!(g.push(s(0.0, 1.0)), GateAction::Accept(_)));
         assert_eq!(g.counters().accepted, 2);
+    }
+
+    #[test]
+    fn drop_burst_quarantines_and_recovers_with_reset() {
+        let mut g = SampleGate::new(GateConfig {
+            nominal_period_secs: 30.0,
+            max_gap_factor: 1e12, // the gap rule can never fire
+            quarantine_after: 3,
+        })
+        .unwrap();
+        assert!(matches!(g.push(s(0.0, 1.0)), GateAction::Accept(_)));
+        // A stale-retransmit flood: timestamps never advance, so the gap
+        // rule is blind to it — quarantine is the only protection.
+        for _ in 0..2 {
+            assert_eq!(g.push(s(0.0, 1.0)), GateAction::DropOutOfOrder);
+            assert_eq!(g.health(), GateHealth::Healthy);
+        }
+        assert_eq!(g.push(s(0.0, 1.0)), GateAction::DropOutOfOrder);
+        assert_eq!(g.health(), GateHealth::Degraded);
+        assert_eq!(g.consecutive_drops(), 3);
+        // First good sample after the burst: forced detector reset.
+        let a = g.push(s(30.0, 2.0));
+        assert!(matches!(a, GateAction::AcceptAfterGap(_)), "{a:?}");
+        assert_eq!(g.health(), GateHealth::Healthy);
+        let c = g.counters();
+        assert_eq!(c.quarantines, 1);
+        assert_eq!(c.gaps_detected, 0);
+        assert_eq!(c.ingested, c.accepted + c.dropped());
+        // Subsequent clean samples flow normally.
+        assert!(matches!(g.push(s(60.0, 2.0)), GateAction::Accept(_)));
+    }
+
+    #[test]
+    fn short_drop_runs_do_not_quarantine() {
+        let mut g = SampleGate::new(GateConfig {
+            quarantine_after: 3,
+            ..GateConfig::default()
+        })
+        .unwrap();
+        g.push(s(0.0, 1.0));
+        // Runs of 2 drops, each broken by an accept: never degraded.
+        for i in 1..6 {
+            let t = i as f64 * 30.0;
+            assert_eq!(g.push(s(t, f64::NAN)), GateAction::DropNonFinite);
+            assert_eq!(g.push(s(0.0, 1.0)), GateAction::DropOutOfOrder);
+            assert!(matches!(g.push(s(t, 1.0)), GateAction::Accept(_)), "{i}");
+        }
+        assert_eq!(g.counters().quarantines, 0);
+        assert_eq!(g.health(), GateHealth::Healthy);
+    }
+
+    #[test]
+    fn quarantine_disabled_by_default() {
+        let mut g = gate();
+        g.push(s(0.0, 1.0));
+        for _ in 0..100 {
+            g.push(s(0.0, f64::NAN));
+        }
+        assert_eq!(g.health(), GateHealth::Healthy);
+        assert!(matches!(g.push(s(30.0, 1.0)), GateAction::Accept(_)));
+        assert_eq!(g.counters().quarantines, 0);
     }
 }

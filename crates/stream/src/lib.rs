@@ -66,10 +66,10 @@ pub mod telemetry;
 pub use aging_timeseries::{Error, Result};
 
 pub use detector::{DetectorSpec, StreamingDetector};
-pub use gate::{GateAction, GateConfig, SampleGate};
-pub use source::{SampleSource, StreamSample};
+pub use gate::{GateAction, GateConfig, GateHealth, SampleGate};
+pub use source::{SamplePerturber, SampleSource, StreamSample};
 pub use supervisor::{
     AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
-    MachineOutcome,
+    MachineOutcome, PerturberFactory,
 };
 pub use telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};

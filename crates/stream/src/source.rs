@@ -6,7 +6,7 @@
 //! faithful to what the underlying feed actually produced.
 
 use aging_memsim::{Counter, Machine, Scenario};
-use aging_timeseries::csv::CsvTable;
+use aging_timeseries::csv::{CsvDefects, CsvTable};
 use aging_timeseries::{Error, Result};
 
 /// One timestamped counter reading.
@@ -41,6 +41,24 @@ impl std::fmt::Debug for dyn SampleSource + '_ {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SampleSource({})", self.name())
     }
+}
+
+/// Rewrites raw samples between a source and the defect gate.
+///
+/// A perturber sees each sample exactly once, in feed order, and pushes
+/// zero or more samples into `out`: zero models a dropout, one a
+/// (possibly corrupted) pass-through, several a duplicate or replay
+/// burst. The supervisor installs one perturber per counter stream (see
+/// [`crate::supervisor::FleetConfig::perturb`]), downstream of the
+/// machine clock — so event timestamps keep the *true* machine time and
+/// watermark ordering is never at the mercy of an injected clock defect.
+///
+/// Implementations must be deterministic for a fixed construction seed:
+/// the differential chaos harness replays the same plan across thread
+/// counts and asserts bit-identical streams.
+pub trait SamplePerturber: Send {
+    /// Transforms one raw sample into zero or more perturbed samples.
+    fn perturb(&mut self, raw: StreamSample, out: &mut Vec<StreamSample>);
 }
 
 /// Replays one column of a recorded CSV table against its time column —
@@ -92,6 +110,26 @@ impl CsvReplaySource {
     pub fn from_csv_str(text: &str, time_column: &str, value_column: &str) -> Result<Self> {
         let table = aging_timeseries::csv::read_csv(text.as_bytes())?;
         CsvReplaySource::new(&table, time_column, value_column)
+    }
+
+    /// Parses structurally damaged CSV text with the lossy reader and
+    /// builds a replay source from the surviving rows, reporting what was
+    /// skipped (see [`aging_timeseries::csv::read_csv_lossy`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`aging_timeseries::csv::read_csv_lossy`] and
+    /// [`CsvReplaySource::new`] failures.
+    pub fn from_csv_str_lossy(
+        text: &str,
+        time_column: &str,
+        value_column: &str,
+    ) -> Result<(Self, CsvDefects)> {
+        let (table, defects) = aging_timeseries::csv::read_csv_lossy(text.as_bytes())?;
+        Ok((
+            CsvReplaySource::new(&table, time_column, value_column)?,
+            defects,
+        ))
     }
 
     /// Samples remaining to replay.
@@ -305,6 +343,22 @@ mod tests {
         assert_eq!(src.next_sample().unwrap().unwrap().value, 85.0);
         assert!(src.next_sample().unwrap().is_none());
         assert!(src.next_sample().unwrap().is_none());
+    }
+
+    #[test]
+    fn csv_replay_lossy_survives_truncated_rows() {
+        // Row `60` was truncated mid-write; the strict path refuses it,
+        // the lossy path replays around it and reports the damage.
+        let text = "time,free\n0,100\n30,95\n60\n90,85\n";
+        assert!(CsvReplaySource::from_csv_str(text, "time", "free").is_err());
+        let (mut src, defects) = CsvReplaySource::from_csv_str_lossy(text, "time", "free").unwrap();
+        assert_eq!(defects.ragged_rows, 1);
+        assert_eq!(src.remaining(), 3);
+        let mut times = Vec::new();
+        while let Some(s) = src.next_sample().unwrap() {
+            times.push(s.time_secs);
+        }
+        assert_eq!(times, vec![0.0, 30.0, 90.0]);
     }
 
     #[test]

@@ -43,9 +43,20 @@ use aging_timeseries::{Error, Result};
 
 use crate::detector::{AlertDetail, DetectorSpec, StreamingDetector};
 use crate::gate::{GateAction, GateConfig, SampleGate};
+use crate::source::SamplePerturber;
 use crate::telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};
 
 pub use aging_core::detector::AlertLevel;
+
+/// Builds one [`SamplePerturber`] per `(machine index, counter)` stream.
+///
+/// Installed via [`FleetConfig::perturb`]; the supervisor calls the
+/// factory once per counter stream at boot, on the supervisor thread, and
+/// moves each perturber onto its shard. Factories must be deterministic
+/// in `(machine_index, counter)` so two runs of the same fleet stay
+/// bit-identical regardless of shard count.
+pub type PerturberFactory =
+    std::sync::Arc<dyn Fn(usize, Counter) -> Box<dyn SamplePerturber> + Send + Sync>;
 
 /// One counter to monitor on every machine, and the detector to run on it.
 #[derive(Debug, Clone)]
@@ -57,7 +68,7 @@ pub struct CounterDetector {
 }
 
 /// Fleet supervisor configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetConfig {
     /// Detectors instantiated per machine (one per monitored counter).
     pub detectors: Vec<CounterDetector>,
@@ -77,6 +88,29 @@ pub struct FleetConfig {
     /// Emit a telemetry snapshot each time a shard's stream clock crosses
     /// a multiple of this many seconds.
     pub status_every_secs: f64,
+    /// Optional fault-injection hook: perturbs each raw sample between
+    /// the machine monitor and the defect gate. `None` feeds machines
+    /// straight through. Event timestamps always keep the true machine
+    /// time, so injected clock defects cannot corrupt watermark ordering.
+    pub perturb: Option<PerturberFactory>,
+}
+
+impl std::fmt::Debug for FleetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetConfig")
+            .field("detectors", &self.detectors)
+            .field("fusion", &self.fusion)
+            .field("gate", &self.gate)
+            .field("horizon_secs", &self.horizon_secs)
+            .field("shards", &self.shards)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("status_every_secs", &self.status_every_secs)
+            .field(
+                "perturb",
+                &self.perturb.as_ref().map(|_| "PerturberFactory"),
+            )
+            .finish()
+    }
 }
 
 impl FleetConfig {
@@ -91,6 +125,7 @@ impl FleetConfig {
             shards: 0,
             queue_capacity: 256,
             status_every_secs: 600.0,
+            perturb: None,
         }
     }
 
@@ -247,6 +282,8 @@ struct CounterStream {
     detector_name: &'static str,
     gate: SampleGate,
     detector: StreamingDetector,
+    /// Fault injector sitting between the monitor and the gate.
+    perturber: Option<Box<dyn SamplePerturber>>,
     /// Poisoned by an estimator error; keeps its latched vote but stops
     /// consuming samples.
     disabled: bool,
@@ -385,6 +422,7 @@ impl FleetSupervisor {
                         detector_name: d.spec.name(),
                         gate: SampleGate::new(cfg.gate)?,
                         detector: StreamingDetector::new(&d.spec)?,
+                        perturber: cfg.perturb.as_ref().map(|f| f(index, d.counter)),
                         disabled: false,
                     })
                 })
@@ -447,6 +485,9 @@ fn shard_loop(
     let mut seq = 0u64;
     let mut next_status = cfg.status_every_secs;
     let members = cfg.detectors.len();
+    // Scratch buffer the perturber (if any) expands each raw sample into;
+    // reused across samples so the hot path stays allocation-free.
+    let mut scratch: Vec<crate::source::StreamSample> = Vec::new();
 
     loop {
         let mut events = Vec::new();
@@ -463,33 +504,44 @@ fn shard_loop(
                     time_secs,
                     value: sample.value(cs.counter),
                 };
-                let accepted = match cs.gate.push(raw) {
-                    GateAction::Accept(s) => s,
-                    GateAction::AcceptAfterGap(s) => {
-                        cs.detector.reset();
-                        s
-                    }
-                    GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
-                };
-                let started = Instant::now();
-                let alert = cs.detector.push(accepted.value);
-                latency.record(started.elapsed());
-                match alert {
-                    Ok(Some(alert)) => events.push(AlarmEvent {
-                        machine_index: m.index,
-                        machine: m.name.clone(),
-                        time_secs,
-                        level: alert.level,
-                        kind: AlarmKind::Detector {
-                            counter: cs.counter,
-                            detector: cs.detector_name,
-                            detail: alert.detail,
-                        },
-                    }),
-                    Ok(None) => {}
-                    Err(_) => {
-                        detector_errors += 1;
-                        cs.disabled = true;
+                // The perturber may corrupt, duplicate or swallow the raw
+                // sample; the event timestamp below stays the true machine
+                // time either way, so watermark ordering is untouched.
+                scratch.clear();
+                match cs.perturber.as_mut() {
+                    Some(p) => p.perturb(raw, &mut scratch),
+                    None => scratch.push(raw),
+                }
+                for perturbed in scratch.drain(..) {
+                    let accepted = match cs.gate.push(perturbed) {
+                        GateAction::Accept(s) => s,
+                        GateAction::AcceptAfterGap(s) => {
+                            cs.detector.reset();
+                            s
+                        }
+                        GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+                    };
+                    let started = Instant::now();
+                    let alert = cs.detector.push(accepted.value);
+                    latency.record(started.elapsed());
+                    match alert {
+                        Ok(Some(alert)) => events.push(AlarmEvent {
+                            machine_index: m.index,
+                            machine: m.name.clone(),
+                            time_secs,
+                            level: alert.level,
+                            kind: AlarmKind::Detector {
+                                counter: cs.counter,
+                                detector: cs.detector_name,
+                                detail: alert.detail,
+                            },
+                        }),
+                        Ok(None) => {}
+                        Err(_) => {
+                            detector_errors += 1;
+                            cs.disabled = true;
+                            break;
+                        }
                     }
                 }
             }
@@ -854,5 +906,73 @@ mod tests {
         let b = run(5);
         assert_eq!(a.events, b.events, "order must not depend on sharding");
         assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    /// A deterministic test perturber: every 17th sample becomes NaN,
+    /// every 23rd is followed by a stale duplicate.
+    struct NastyFeed {
+        n: u64,
+        last: Option<crate::source::StreamSample>,
+    }
+
+    impl SamplePerturber for NastyFeed {
+        fn perturb(
+            &mut self,
+            raw: crate::source::StreamSample,
+            out: &mut Vec<crate::source::StreamSample>,
+        ) {
+            self.n += 1;
+            if self.n.is_multiple_of(17) {
+                out.push(crate::source::StreamSample {
+                    value: f64::NAN,
+                    ..raw
+                });
+                // The real reading still arrives afterwards.
+            }
+            out.push(raw);
+            if self.n.is_multiple_of(23) {
+                // Retransmission of the previous sample (out of order).
+                if let Some(stale) = self.last {
+                    out.push(stale);
+                }
+            }
+            self.last = Some(raw);
+        }
+    }
+
+    #[test]
+    fn perturbed_fleet_reconciles_and_stays_deterministic() {
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::tiny_aging(300 + i, 192.0))
+            .collect();
+        let run = |shards: usize| {
+            let mut cfg = fleet_config(8.0 * 3600.0);
+            cfg.shards = shards;
+            cfg.perturb = Some(std::sync::Arc::new(|_, _| {
+                Box::new(NastyFeed { n: 0, last: None })
+            }));
+            FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap()
+        };
+        let a = run(2);
+        // Defects were injected and accounted for, exactly.
+        let s = &a.status.ingestion;
+        assert!(s.dropped_non_finite > 0, "NaNs injected");
+        assert!(s.dropped_out_of_order > 0, "stale duplicates injected");
+        assert_eq!(s.ingested, s.accepted + s.dropped());
+        // Gate repair preserves detection: every leaking machine still
+        // alarms ahead of its crash.
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert!(o.crash_time_secs.is_some());
+            assert!(a.lead_time_secs(i).is_some(), "machine {i} never alarmed");
+        }
+        // Ordering and cross-shard determinism hold under perturbation.
+        assert!(a
+            .events
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
+        let b = run(4);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.status.ingestion, b.status.ingestion);
     }
 }

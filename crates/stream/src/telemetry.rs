@@ -25,6 +25,10 @@ pub struct StageCounters {
     pub dropped_out_of_order: u64,
     /// Feed discontinuities (detector resets forced by long gaps).
     pub gaps_detected: u64,
+    /// Quarantine recoveries: detector resets forced after a run of
+    /// `quarantine_after` consecutive drops (see
+    /// [`crate::gate::GateConfig::quarantine_after`]).
+    pub quarantines: u64,
 }
 
 impl StageCounters {
@@ -35,6 +39,7 @@ impl StageCounters {
         self.dropped_non_finite += other.dropped_non_finite;
         self.dropped_out_of_order += other.dropped_out_of_order;
         self.gaps_detected += other.gaps_detected;
+        self.quarantines += other.quarantines;
     }
 
     /// Total dropped samples.
@@ -167,7 +172,7 @@ impl StatusSnapshot {
     /// One-line operator-readable status.
     pub fn status_line(&self) -> String {
         format!(
-            "[t={:>8.0}s] live={:<3} done={:<3} in={} ok={} drop={} gap={} warn={} alarm={} lat(mean={:.0}us p99<={}us) qd={} tdrop={} derr={}",
+            "[t={:>8.0}s] live={:<3} done={:<3} in={} ok={} drop={} gap={} quar={} warn={} alarm={} lat(mean={:.0}us p99<={}us) qd={} tdrop={} derr={}",
             self.stream_time_secs,
             self.machines_live,
             self.machines_finished,
@@ -175,6 +180,7 @@ impl StatusSnapshot {
             self.ingestion.accepted,
             self.ingestion.dropped(),
             self.ingestion.gaps_detected,
+            self.ingestion.quarantines,
             self.warnings_emitted,
             self.alarms_emitted,
             self.detector_latency.mean_us(),
@@ -200,12 +206,14 @@ mod tests {
             dropped_non_finite: 1,
             dropped_out_of_order: 1,
             gaps_detected: 2,
+            quarantines: 1,
         };
         let b = a;
         a.merge(&b);
         assert_eq!(a.ingested, 20);
         assert_eq!(a.dropped(), 4);
         assert_eq!(a.gaps_detected, 4);
+        assert_eq!(a.quarantines, 2);
     }
 
     #[test]
@@ -243,6 +251,7 @@ mod tests {
                 dropped_non_finite: 6,
                 dropped_out_of_order: 4,
                 gaps_detected: 1,
+                quarantines: 0,
             },
             detector_latency: LatencyHistogram::default(),
             warnings_emitted: 5,

@@ -1,0 +1,173 @@
+//! Property tests for the [`SampleGate`] invariants the chaos harness
+//! leans on: whatever defect mix arrives,
+//!
+//! 1. counters reconcile **exactly** —
+//!    `ingested == accepted + dropped_non_finite + dropped_out_of_order`;
+//! 2. accepted timestamps are strictly increasing;
+//! 3. every accepted sample whose distance to the previous accepted one
+//!    exceeds `max_gap_factor × nominal_period_secs` triggers exactly one
+//!    detector reset ([`GateAction::AcceptAfterGap`]) — no more, no fewer;
+//! 4. with quarantine armed, exactly the drop runs reaching
+//!    `quarantine_after` force a reset on recovery.
+
+use aging_stream::{GateAction, GateConfig, SampleGate, StreamSample};
+use proptest::prelude::*;
+
+const NOMINAL: f64 = 30.0;
+
+/// One generated feed event, decoded from parallel `(kind, step, value)`
+/// vectors (the vendored proptest has no tuple strategies).
+#[derive(Debug, Clone, Copy)]
+enum Defect {
+    /// Clock advances normally, finite value.
+    Clean,
+    /// Clock advances normally, NaN value.
+    NanValue,
+    /// Stale timestamp at (or before) an already-seen time.
+    Stale,
+    /// Clock jumps far beyond the gap threshold.
+    LongGap,
+    /// Non-finite timestamp.
+    NanClock,
+}
+
+fn decode(kind: usize) -> Defect {
+    match kind {
+        0..=2 => Defect::Clean, // keep the stream mostly healthy
+        3 => Defect::NanValue,
+        4 => Defect::Stale,
+        5 => Defect::LongGap,
+        _ => Defect::NanClock,
+    }
+}
+
+/// Builds the raw sample stream from the generated vectors.
+fn build_stream(kinds: &[usize], steps: &[f64], values: &[f64]) -> Vec<StreamSample> {
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(kinds.len());
+    for ((&kind, &step), &value) in kinds.iter().zip(steps).zip(values) {
+        // Normal advances stay below the gap threshold (factor 4).
+        let (time_secs, value) = match decode(kind) {
+            Defect::Clean => {
+                t += step * NOMINAL;
+                (t, value)
+            }
+            Defect::NanValue => {
+                t += step * NOMINAL;
+                (t, f64::NAN)
+            }
+            Defect::Stale => (t - 0.5 * step * NOMINAL, value),
+            Defect::LongGap => {
+                t += (4.0 + step) * NOMINAL;
+                (t, value)
+            }
+            Defect::NanClock => (f64::NAN, value),
+        };
+        out.push(StreamSample { time_secs, value });
+    }
+    out
+}
+
+proptest! {
+    /// Invariants 1–3, against an independently-tracked oracle.
+    #[test]
+    fn gate_counters_reconcile_and_accepts_are_ordered(
+        kinds in prop::collection::vec(0usize..7, 20..=300),
+        steps in prop::collection::vec(0.05f64..3.0, 300..=300),
+        values in prop::collection::vec(-1e9f64..1e9, 300..=300),
+    ) {
+        let config = GateConfig {
+            nominal_period_secs: NOMINAL,
+            max_gap_factor: 4.0,
+            quarantine_after: 0,
+        };
+        let mut gate = SampleGate::new(config).unwrap();
+        let mut accepted_times: Vec<f64> = Vec::new();
+        let (mut exp_nonfinite, mut exp_ooo, mut exp_gaps) = (0u64, 0u64, 0u64);
+
+        for raw in build_stream(&kinds, &steps, &values) {
+            // The oracle classifies independently of the gate's counters.
+            let last = accepted_times.last().copied();
+            let action = gate.push(raw);
+            if !raw.value.is_finite() || !raw.time_secs.is_finite() {
+                exp_nonfinite += 1;
+                prop_assert!(matches!(action, GateAction::DropNonFinite));
+            } else if last.is_some_and(|l| raw.time_secs <= l) {
+                exp_ooo += 1;
+                prop_assert!(matches!(action, GateAction::DropOutOfOrder));
+            } else {
+                let long_gap =
+                    last.is_some_and(|l| raw.time_secs - l > 4.0 * NOMINAL);
+                if long_gap {
+                    exp_gaps += 1;
+                    // Invariant 3: a long gap resets, exactly once, on
+                    // exactly this sample.
+                    prop_assert!(matches!(action, GateAction::AcceptAfterGap(_)));
+                } else {
+                    prop_assert!(matches!(action, GateAction::Accept(_)));
+                }
+                accepted_times.push(raw.time_secs);
+            }
+        }
+
+        // Invariant 2: strictly increasing accepted clock.
+        prop_assert!(accepted_times.windows(2).all(|w| w[1] > w[0]));
+
+        // Invariant 1: exact reconciliation, field by field.
+        let c = *gate.counters();
+        prop_assert_eq!(c.ingested, kinds.len() as u64);
+        prop_assert_eq!(c.accepted, accepted_times.len() as u64);
+        prop_assert_eq!(c.dropped_non_finite, exp_nonfinite);
+        prop_assert_eq!(c.dropped_out_of_order, exp_ooo);
+        prop_assert_eq!(c.gaps_detected, exp_gaps);
+        prop_assert_eq!(
+            c.ingested,
+            c.accepted + c.dropped_non_finite + c.dropped_out_of_order
+        );
+        prop_assert_eq!(c.quarantines, 0);
+    }
+
+    /// Invariant 4: exactly the drop runs reaching `quarantine_after`
+    /// quarantine the stream, and recovery is a reset-accept.
+    #[test]
+    fn quarantine_fires_per_qualifying_drop_run(
+        quarantine_after in 1u64..=4,
+        runs in prop::collection::vec(0usize..7, 1..=60),
+    ) {
+        let config = GateConfig {
+            nominal_period_secs: NOMINAL,
+            // Gaps disabled: drop runs advance the clock, and this
+            // property must see quarantine resets, not gap resets.
+            max_gap_factor: 1e12,
+            quarantine_after,
+        };
+        let mut gate = SampleGate::new(config).unwrap();
+        let mut t = 0.0f64;
+        let mut expected_quarantines = 0u64;
+        for &run in &runs {
+            for _ in 0..run {
+                t += NOMINAL;
+                let action = gate.push(StreamSample { time_secs: t, value: f64::NAN });
+                prop_assert!(matches!(action, GateAction::DropNonFinite));
+            }
+            t += NOMINAL;
+            let action = gate.push(StreamSample { time_secs: t, value: 1.0 });
+            if run as u64 >= quarantine_after {
+                expected_quarantines += 1;
+                prop_assert!(
+                    matches!(action, GateAction::AcceptAfterGap(_)),
+                    "run of {} drops with quarantine_after {} must reset",
+                    run,
+                    quarantine_after
+                );
+            } else {
+                prop_assert!(matches!(action, GateAction::Accept(_)));
+            }
+        }
+        prop_assert_eq!(gate.counters().quarantines, expected_quarantines);
+        prop_assert_eq!(
+            gate.counters().ingested,
+            gate.counters().accepted + gate.counters().dropped_non_finite
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! Golden-trace regression tests: two committed fixture CSVs (one clean,
+//! one defect-laden) with the exact alert sequences the streaming
+//! pipeline must produce on them. Any drift in detector output —
+//! intentional retuning or an accidental behaviour change — fails CI
+//! with a line-level diff instead of silently shifting E3/E11 results.
+//!
+//! To regenerate the fixtures after an *intentional* detector change:
+//!
+//! ```text
+//! cargo test -p aging-stream --test golden_trace -- --ignored regenerate
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use aging_core::detector::DetectorConfig;
+use aging_stream::detector::{AlertDetail, DetectorSpec, StreamingDetector};
+use aging_stream::gate::{GateAction, SampleGate};
+use aging_stream::source::{CsvReplaySource, SampleSource};
+use aging_stream::GateConfig;
+
+const ROWS: usize = 1200;
+const DT: f64 = 30.0;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); run \
+             `cargo test -p aging-stream --test golden_trace -- --ignored regenerate`"
+        )
+    })
+}
+
+/// The small Hölder tuning the crate's examples use — cheap enough for a
+/// 1200-sample trace, sensitive enough to alarm on it.
+fn config() -> DetectorConfig {
+    DetectorConfig {
+        holder_radius: 16,
+        holder_max_lag: 4,
+        dimension_window: 64,
+        dimension_stride: 16,
+        baseline_windows: 8,
+        ..DetectorConfig::default()
+    }
+}
+
+/// Deterministic synthetic free-memory trace: linear depletion with mild
+/// periodic load, then strongly increased roughness in the final third —
+/// the paper's pre-crash signature, reproducible to the bit.
+fn clean_values() -> Vec<f64> {
+    let mut state = 0x51ce_b00c_5eed_f00du64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..ROWS)
+        .map(|i| {
+            let t = i as f64;
+            let base = 1e6 - 25.0 * t + (t * 0.45).sin() * 2048.0;
+            let late = i > 2 * ROWS / 3;
+            let noise = rand() * if late { 6000.0 } else { 120.0 };
+            base + noise
+        })
+        .collect()
+}
+
+fn clean_csv() -> String {
+    let mut csv = String::from("time,available\n");
+    for (i, v) in clean_values().iter().enumerate() {
+        writeln!(csv, "{},{v}", i as f64 * DT).unwrap();
+    }
+    csv
+}
+
+/// The same trace mangled the way real monitor logs arrive: NaN readings,
+/// duplicated (stale) rows, a multi-sample feed outage, one row truncated
+/// mid-write and one garbled cell.
+fn defect_csv() -> String {
+    let values = clean_values();
+    let mut csv = String::from("time,available\n");
+    let mut last_row: Option<String> = None;
+    for (i, v) in values.iter().enumerate() {
+        let t = i as f64 * DT;
+        if (600..616).contains(&i) {
+            continue; // a 480 s feed outage (> 4 nominal periods)
+        }
+        if i % 97 == 13 {
+            writeln!(csv, "{},NaN", t - 0.5 * DT).unwrap(); // exporter hiccup
+        }
+        if i == 800 {
+            writeln!(csv, "{t}").unwrap(); // truncated mid-write
+            last_row = None;
+            continue;
+        }
+        let row = if i == 900 {
+            format!("{t},x!7") // garbled in transport
+        } else {
+            format!("{t},{v}")
+        };
+        writeln!(csv, "{row}").unwrap();
+        if i % 101 == 50 {
+            writeln!(csv, "{row}").unwrap(); // stale retransmission
+        }
+        last_row = Some(row);
+    }
+    let _ = last_row;
+    csv
+}
+
+/// Replays a source through gate + detector and renders the alert
+/// sequence as CSV text (the fixture format).
+fn alert_trace(mut source: impl SampleSource) -> String {
+    let mut gate = SampleGate::new(GateConfig {
+        nominal_period_secs: DT,
+        max_gap_factor: 4.0,
+        ..GateConfig::default()
+    })
+    .unwrap();
+    let mut detector = StreamingDetector::new(&DetectorSpec::Holder(config())).unwrap();
+    let mut out = String::from(
+        "sample_index,level,trigger,dimension,mean_holder,dimension_baseline,holder_baseline\n",
+    );
+    while let Some(raw) = source.next_sample().unwrap() {
+        let accepted = match gate.push(raw) {
+            GateAction::Accept(s) => s,
+            GateAction::AcceptAfterGap(s) => {
+                detector.reset();
+                s
+            }
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+        };
+        if let Some(alert) = detector.push(accepted.value).unwrap() {
+            let AlertDetail::Holder(a) = alert.detail else {
+                panic!("holder spec must yield holder alerts");
+            };
+            writeln!(
+                out,
+                "{},{:?},{:?},{},{},{},{}",
+                a.sample_index,
+                a.level,
+                a.trigger,
+                a.dimension,
+                a.mean_holder,
+                a.dimension_baseline,
+                a.holder_baseline,
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// Line-level comparison with a readable drift report.
+fn assert_trace_matches(name: &str, expected: &str, actual: &str) {
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied().unwrap_or("<missing>");
+        let a = act.get(i).copied().unwrap_or("<missing>");
+        assert_eq!(
+            e,
+            a,
+            "\ndetector output drifted from golden trace `{name}` at line {}:\n  \
+             expected: {e}\n  actual:   {a}\n({} expected lines, {} actual lines)\n\
+             If the change is intentional, regenerate fixtures with\n  \
+             cargo test -p aging-stream --test golden_trace -- --ignored regenerate",
+            i + 1,
+            exp.len(),
+            act.len(),
+        );
+    }
+    unreachable!("traces differ but all lines matched");
+}
+
+#[test]
+fn fixture_inputs_are_reproducible() {
+    // The committed *input* CSVs must themselves match the generators —
+    // otherwise the alert fixtures test a different trace than intended.
+    assert_trace_matches("clean.csv", &read_fixture("clean.csv"), &clean_csv());
+    assert_trace_matches("defects.csv", &read_fixture("defects.csv"), &defect_csv());
+}
+
+#[test]
+fn clean_trace_alerts_match_golden() {
+    let source =
+        CsvReplaySource::from_csv_str(&read_fixture("clean.csv"), "time", "available").unwrap();
+    let actual = alert_trace(source);
+    assert!(actual.lines().count() > 1, "clean trace must alert");
+    assert_trace_matches(
+        "clean_expected_alerts.csv",
+        &read_fixture("clean_expected_alerts.csv"),
+        &actual,
+    );
+}
+
+#[test]
+fn defect_trace_alerts_match_golden() {
+    // The defect file is structurally damaged: only the lossy reader can
+    // replay it, and it must report exactly the damage we injected.
+    let text = read_fixture("defects.csv");
+    let (source, defects) =
+        CsvReplaySource::from_csv_str_lossy(&text, "time", "available").unwrap();
+    assert_eq!(defects.ragged_rows, 1, "the one truncated row");
+    assert_eq!(defects.non_numeric_cells, 1, "the one garbled cell");
+    let actual = alert_trace(source);
+    assert!(actual.lines().count() > 1, "defect trace must still alert");
+    assert_trace_matches(
+        "defects_expected_alerts.csv",
+        &read_fixture("defects_expected_alerts.csv"),
+        &actual,
+    );
+}
+
+/// Writes all four fixtures. Ignored by default: run explicitly after an
+/// intentional detector change, then review the diff.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = clean_csv();
+    let defects = defect_csv();
+    let clean_alerts =
+        alert_trace(CsvReplaySource::from_csv_str(&clean, "time", "available").unwrap());
+    let (defect_source, _) =
+        CsvReplaySource::from_csv_str_lossy(&defects, "time", "available").unwrap();
+    let defect_alerts = alert_trace(defect_source);
+    std::fs::write(fixture_path("clean.csv"), &clean).unwrap();
+    std::fs::write(fixture_path("defects.csv"), &defects).unwrap();
+    std::fs::write(fixture_path("clean_expected_alerts.csv"), &clean_alerts).unwrap();
+    std::fs::write(fixture_path("defects_expected_alerts.csv"), &defect_alerts).unwrap();
+    println!(
+        "regenerated fixtures in {} ({} clean alerts, {} defect alerts)",
+        dir.display(),
+        clean_alerts.lines().count() - 1,
+        defect_alerts.lines().count() - 1,
+    );
+}

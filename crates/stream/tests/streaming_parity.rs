@@ -65,6 +65,7 @@ fn streaming_detector_matches_batch_alarm_times_on_e3_trace() {
     let mut gate = SampleGate::new(GateConfig {
         nominal_period_secs: dt,
         max_gap_factor: 4.0,
+        ..GateConfig::default()
     })
     .unwrap();
     let mut detector = StreamingDetector::new(&DetectorSpec::Holder(config())).unwrap();
@@ -124,6 +125,7 @@ fn gate_defects_do_not_change_clean_sample_parity() {
     let mut gate = SampleGate::new(GateConfig {
         nominal_period_secs: dt,
         max_gap_factor: 1e9, // the injected NaNs must not register as gaps
+        ..GateConfig::default()
     })
     .unwrap();
     let mut detector = StreamingDetector::new(&DetectorSpec::Holder(config())).unwrap();

@@ -70,6 +70,74 @@ impl CsvTable {
     }
 }
 
+/// Structural defects encountered (and tolerated) by [`read_csv_lossy`].
+///
+/// Real monitor logs get truncated mid-write, garbled by transport or
+/// concatenated badly; the lossy reader records what it had to skip so
+/// callers can audit the damage instead of silently losing rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsvDefects {
+    /// Rows whose cell count differed from the header width (skipped —
+    /// a truncated or over-long row cannot be aligned to columns).
+    pub ragged_rows: u64,
+    /// Cells that failed numeric parsing (recorded as NaN).
+    pub non_numeric_cells: u64,
+}
+
+impl CsvDefects {
+    /// Whether any structural defect was encountered.
+    pub fn any(&self) -> bool {
+        self.ragged_rows > 0 || self.non_numeric_cells > 0
+    }
+}
+
+/// Reads a CSV table, tolerating structural row damage.
+///
+/// Unlike [`read_csv`] — which treats a ragged row as fatal — this reader
+/// skips rows whose cell count does not match the header and counts them,
+/// so a log truncated mid-write or garbled in flight still replays. Cells
+/// that fail numeric parsing become NaN (as in [`read_csv`]) and are
+/// counted.
+///
+/// # Errors
+///
+/// Returns [`Error::Empty`] for input without a header line (nothing can
+/// be recovered without column names) and [`Error::Io`] wrapping I/O
+/// failures.
+pub fn read_csv_lossy<R: Read>(reader: R) -> Result<(CsvTable, CsvDefects)> {
+    let io = |e: std::io::Error| Error::Io(format!("csv read: {e}"));
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or(Error::Empty)
+        .and_then(|l| l.map_err(io))?;
+    let headers: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let width = headers.len();
+    let mut columns: Vec<Vec<f64>> = vec![Vec::new(); width];
+    let mut defects = CsvDefects::default();
+    for line in lines {
+        let line = line.map_err(io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        if cells.len() != width {
+            defects.ragged_rows += 1;
+            continue;
+        }
+        for (col, cell) in columns.iter_mut().zip(&cells) {
+            match cell.trim().parse::<f64>() {
+                Ok(v) => col.push(v),
+                Err(_) => {
+                    defects.non_numeric_cells += 1;
+                    col.push(f64::NAN);
+                }
+            }
+        }
+    }
+    Ok((CsvTable { headers, columns }, defects))
+}
+
 /// Reads a CSV table from `reader`.
 ///
 /// # Errors
@@ -142,6 +210,33 @@ mod tests {
         let mut v = table.columns[1].clone();
         crate::interp::fill_gaps(&mut v, crate::interp::FillMethod::Linear).unwrap();
         assert_eq!(v, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn lossy_reader_skips_ragged_rows_and_counts_damage() {
+        // Row 3 is truncated (1 of 2 cells), row 5 has a garbled cell.
+        let text = "t,v\n0,1\n30\n60,3\n90,x!7\n120,5\n";
+        let (table, defects) = read_csv_lossy(text.as_bytes()).unwrap();
+        assert_eq!(defects.ragged_rows, 1);
+        assert_eq!(defects.non_numeric_cells, 1);
+        assert!(defects.any());
+        // The surviving rows keep their alignment.
+        assert_eq!(table.columns[0], vec![0.0, 60.0, 90.0, 120.0]);
+        assert_eq!(table.columns[1][0], 1.0);
+        assert!(table.columns[1][2].is_nan());
+        assert_eq!(table.columns[1][3], 5.0);
+        // The strict reader refuses the same input.
+        assert!(read_csv(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn lossy_reader_on_clean_input_matches_strict() {
+        let text = "t,v\n0,1\n30,2\n";
+        let (table, defects) = read_csv_lossy(text.as_bytes()).unwrap();
+        assert!(!defects.any());
+        assert_eq!(table, read_csv(text.as_bytes()).unwrap());
+        // A header is still mandatory.
+        assert!(matches!(read_csv_lossy("".as_bytes()), Err(Error::Empty)));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`memsim`] | `aging-memsim` | the simulated testbed (machines, workloads, faults) |
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
 //! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
+//! | [`chaos`] | `aging-chaos` | seeded fault injection and the differential robustness harness |
 //!
 //! Analysis hot paths (Hölder traces, CWT/WTMM, surrogate ensembles, fleet
 //! scoring) run on a deterministic thread pool ([`par`]): results are
@@ -53,6 +54,7 @@
 //! # }
 //! ```
 
+pub use aging_chaos as chaos;
 pub use aging_core as core;
 pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
@@ -65,6 +67,10 @@ pub use aging_timeseries::{Error, Result, TimeSeries};
 
 /// One-line import for applications: the most common types of every layer.
 pub mod prelude {
+    pub use aging_chaos::{
+        fleet_perturber, run_differential, ChaosPlan, ChaosSource, DifferentialReport,
+        InjectorSpec, Tolerance,
+    };
     pub use aging_core::baseline::{AgingPredictor, ResourceDirection, TrendPredictorConfig};
     pub use aging_core::detector::{
         analyze, AlertLevel, DetectorConfig, DetectorConfigBuilder, HolderDimensionDetector,
