@@ -1141,6 +1141,158 @@ pub fn e13(quick: bool, out: Option<&Path>) -> Result<()> {
     Ok(())
 }
 
+/// E14 — networked ingestion parity and latency: the `aging-serve` TCP
+/// server, fed by the load-generator client over loopback, must
+/// reproduce the offline fleet supervisor's alarm history **byte for
+/// byte** (a hard gate), while the run also reports sustained ingest
+/// throughput, ack round-trip latency and alarm send-to-visibility
+/// latency.
+pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_serve::loadgen::{drive, LoadgenConfig};
+    use aging_serve::protocol::{encode_events, ServeEvent};
+    use aging_serve::{ServeConfig, Server};
+    use aging_stream::detector::DetectorSpec;
+    use aging_stream::{CounterDetector, FleetConfig, FleetSupervisor};
+
+    banner(
+        "E14",
+        "networked ingestion: TCP server + loadgen vs. offline supervisor",
+        "the alarm history ingested over loopback TCP is byte-identical to the \
+         offline fleet supervisor's, with no panics, no quarantines and every \
+         record acked; throughput and ingest-to-alarm latency are reported",
+    );
+
+    let (leaky, horizon, seeds): (usize, f64, &[u64]) = if quick {
+        (3, 8.0 * HOUR, &[0x00c0_ffee, 42])
+    } else {
+        (9, 12.0 * HOUR, &[42, 7, 1234])
+    };
+
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        horizon,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+
+    let loadgen = LoadgenConfig {
+        connections: 4,
+        batch_records: 64,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 20,
+        counters: vec![Counter::AvailableBytes],
+    };
+
+    // The shared telemetry histogram buckets are tuned for µs-scale
+    // detector latencies; for ms-scale socket round-trips the exact mean
+    // is the sharper statistic, with the bucketed p99 as an upper bound.
+    let ms = |us: Option<u64>| opt_fmt(us.map(|v| v as f64 / 1000.0), |v| format!("{v:.2}"));
+    let mean_ms =
+        |h: &aging_stream::telemetry::LatencyHistogram| format!("{:.2}", h.mean_us() / 1000.0);
+    let mut table = Table::new(vec![
+        "seed",
+        "machines",
+        "records",
+        "rec/s",
+        "ack_mean[ms]",
+        "ack_p99<=[ms]",
+        "vis_mean[ms]",
+        "vis_p99<=[ms]",
+        "alarms",
+        "parity",
+    ]);
+    for &seed in seeds {
+        // Leaky machines plus one healthy control, same recipe as E13.
+        let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
+            .map(|i| aging_memsim::Scenario::tiny_aging(seed + i as u64, 192.0 + 32.0 * i as f64))
+            .collect();
+        fleet.push(aging_memsim::Scenario::tiny_aging(seed + leaky as u64, 0.0));
+
+        let offline_report = FleetSupervisor::new(cfg.clone())?.run(&fleet)?;
+        let offline: Vec<ServeEvent> = offline_report
+            .events
+            .iter()
+            .map(|e| ServeEvent {
+                machine_id: e.machine_index as u64,
+                time_secs: e.time_secs,
+                level: e.level,
+                kind: e.kind,
+            })
+            .collect();
+
+        let mut serve_cfg = ServeConfig::from_fleet(&cfg);
+        // Pin the release order: hold alarms until the whole fleet has
+        // checked in, so concurrent feeders cannot permute the history.
+        serve_cfg.expected_machines = Some(fleet.len() as u64);
+        let server = Server::bind("127.0.0.1:0", serve_cfg)?;
+        let report = drive(server.local_addr(), &fleet, cfg.horizon_secs, &loadgen)?;
+        let outcome = server.shutdown();
+
+        if outcome.wire.session_panics != 0 || outcome.wire.quarantined != 0 {
+            return Err(aging_timeseries::Error::invalid(
+                "e14",
+                format!(
+                    "seed {seed:#x}: server misbehaved (panics {}, quarantined {})",
+                    outcome.wire.session_panics, outcome.wire.quarantined
+                ),
+            ));
+        }
+        if report.records_sent != report.records_accepted {
+            return Err(aging_timeseries::Error::invalid(
+                "e14",
+                format!(
+                    "seed {seed:#x}: {} of {} records not acked as accepted",
+                    report.records_sent - report.records_accepted,
+                    report.records_sent
+                ),
+            ));
+        }
+        let parity = encode_events(&offline) == encode_events(&outcome.events)
+            && encode_events(&report.alarms) == encode_events(&outcome.events);
+        table.row(vec![
+            format!("{seed:#x}"),
+            format!("{}", fleet.len()),
+            format!("{}", report.records_sent),
+            format!("{:.0}", report.records_per_sec()),
+            mean_ms(&report.ack_rtt),
+            ms(report.ack_rtt.quantile_upper_bound_us(0.99)),
+            mean_ms(&report.alarm_visibility),
+            ms(report.alarm_visibility.quantile_upper_bound_us(0.99)),
+            format!("{}", outcome.events.len()),
+            if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
+        ]);
+        if !parity {
+            println!("{table}");
+            return Err(aging_timeseries::Error::invalid(
+                "e14",
+                format!(
+                    "seed {seed:#x}: TCP-path alarm history diverged from the offline \
+                     supervisor ({} offline vs {} online events)",
+                    offline.len(),
+                    outcome.events.len()
+                ),
+            ));
+        }
+    }
+    println!("{table}");
+    println!(
+        "parity gate held at all {} seed(s): the networked path is alarm-for-alarm \
+         identical to the offline supervisor",
+        seeds.len()
+    );
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e14_serve_parity.csv"))?;
+    }
+    Ok(())
+}
+
 /// Runs one experiment by id.
 ///
 /// # Errors
@@ -1162,16 +1314,17 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e11" => e11(quick, out),
         "e12" => e12(quick, out),
         "e13" => e13(quick, out),
+        "e14" => e14(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e13)"),
+            format!("unknown experiment `{other}` (expected e1..e14)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 #[cfg(test)]

@@ -20,6 +20,9 @@
 //!   [`aging_stream::SampleSource`].
 //! - [`csv`] — structural log damage ([`csv::garble_csv`]) for the lossy
 //!   CSV ingestion path.
+//! - [`wire`] — byte-stream damage for the `aging-serve` TCP protocol:
+//!   frame truncation, CRC-defeating bit flips, pathological write
+//!   fragmentation and abrupt disconnects, all replayable from a seed.
 //! - [`harness`] — the differential robustness harness:
 //!   [`harness::run_differential`] runs a fleet clean vs. chaos-wrapped
 //!   and hard-asserts the robustness contract (no panic, exact telemetry,
@@ -53,6 +56,7 @@ pub mod harness;
 pub mod inject;
 pub mod plan;
 pub mod source;
+pub mod wire;
 
 pub use aging_timeseries::{Error, Result};
 
@@ -64,3 +68,4 @@ pub use harness::{
 pub use inject::{ChaosEngine, InjectionCounters};
 pub use plan::{ActiveWindow, ChaosPlan, InjectorSpec};
 pub use source::ChaosSource;
+pub use wire::{WireChaos, WireFault, WirePlan, WriteOp};

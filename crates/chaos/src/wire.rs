@@ -1,0 +1,320 @@
+//! Wire-level fault injection for the `aging-serve` binary protocol.
+//!
+//! The other injectors in this crate damage *samples*; these damage the
+//! *byte stream carrying them*: frames cut short mid-write, single bit
+//! flips (defeating the CRC), pathological write fragmentation, and
+//! abrupt disconnects. A [`WireChaos`] sits between an encoded frame
+//! sequence and the socket, rewriting each frame into a list of
+//! [`WriteOp`]s the test harness then performs verbatim.
+//!
+//! Like every injector here, the damage is a pure function of
+//! `(plan, seed)` — replaying a plan reproduces the identical byte
+//! stream, so a server-side quarantine decision can be asserted exactly.
+//!
+//! ```
+//! use aging_chaos::wire::{WireChaos, WireFault, WirePlan, WriteOp};
+//!
+//! let plan = WirePlan::new(7).with(WireFault::Truncate { frame: 1, keep_bytes: 3 });
+//! let mut chaos = WireChaos::new(&plan);
+//! let mut ops = Vec::new();
+//! chaos.apply(&[1, 2, 3, 4], &mut ops); // frame 0 passes through
+//! chaos.apply(&[5, 6, 7, 8], &mut ops); // frame 1 is cut short
+//! assert_eq!(
+//!     ops,
+//!     vec![
+//!         WriteOp::Data(vec![1, 2, 3, 4]),
+//!         WriteOp::Data(vec![5, 6, 7]),
+//!         WriteOp::Disconnect,
+//!     ]
+//! );
+//! assert!(chaos.disconnected());
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One wire-level fault. Frame indices count the frames offered to
+/// [`WireChaos::apply`], starting at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Cut the stream inside frame `frame`: only its first `keep_bytes`
+    /// bytes are written, then the connection drops. Exercises the
+    /// server's EOF-mid-frame truncation path.
+    Truncate {
+        /// Index of the frame to cut.
+        frame: usize,
+        /// Bytes of it that still make it onto the wire.
+        keep_bytes: usize,
+    },
+    /// Flip one seeded-random bit inside frame `frame` (possibly in its
+    /// length prefix or CRC trailer). Exercises CRC rejection and
+    /// framing-corruption quarantine.
+    CorruptBit {
+        /// Index of the frame to damage.
+        frame: usize,
+    },
+    /// Fragment every write into chunks of at most `chunk` bytes —
+    /// pathological TCP segmentation. Must be semantically invisible to
+    /// a correct decoder.
+    SplitWrites {
+        /// Maximum bytes per write.
+        chunk: usize,
+    },
+    /// Drop the connection abruptly after `frames` complete frames,
+    /// without the `Bye` handshake.
+    DisconnectAfter {
+        /// Frames that still go out intact.
+        frames: usize,
+    },
+}
+
+/// A deterministic wire-fault schedule: a master seed plus a fault list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WirePlan {
+    /// Master seed for byte/bit position choices.
+    pub seed: u64,
+    /// Faults applied to every frame, in order.
+    pub faults: Vec<WireFault>,
+}
+
+impl WirePlan {
+    /// An empty plan (pass-through) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        WirePlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: WireFault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+}
+
+/// What the harness should do to the socket next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Write these bytes.
+    Data(Vec<u8>),
+    /// Drop the connection now (no further ops follow).
+    Disconnect,
+}
+
+/// Stateful rewriter applying a [`WirePlan`] to a frame sequence.
+#[derive(Debug)]
+pub struct WireChaos {
+    rng: StdRng,
+    faults: Vec<WireFault>,
+    frame_index: usize,
+    disconnected: bool,
+    bits_flipped: u64,
+}
+
+impl WireChaos {
+    /// A rewriter for one connection's outgoing frames.
+    pub fn new(plan: &WirePlan) -> Self {
+        WireChaos {
+            rng: StdRng::seed_from_u64(plan.seed),
+            faults: plan.faults.clone(),
+            frame_index: 0,
+            disconnected: false,
+            bits_flipped: 0,
+        }
+    }
+
+    /// `true` once a fault has dropped the connection; later frames are
+    /// swallowed without ops.
+    pub fn disconnected(&self) -> bool {
+        self.disconnected
+    }
+
+    /// Bits flipped so far by `CorruptBit` faults.
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+
+    /// Rewrites one encoded frame into write operations, advancing the
+    /// frame counter. After a disconnect this is a no-op.
+    pub fn apply(&mut self, frame: &[u8], out: &mut Vec<WriteOp>) {
+        if self.disconnected {
+            return;
+        }
+        let index = self.frame_index;
+        self.frame_index += 1;
+
+        // Disconnect faults take precedence: nothing of this frame goes
+        // out once the connection is scheduled to die before it.
+        for fault in &self.faults {
+            if let WireFault::DisconnectAfter { frames } = fault {
+                if index >= *frames {
+                    self.disconnected = true;
+                    out.push(WriteOp::Disconnect);
+                    return;
+                }
+            }
+        }
+
+        let mut bytes = frame.to_vec();
+        let mut cut: Option<usize> = None;
+        for fault in &self.faults {
+            match *fault {
+                WireFault::Truncate { frame, keep_bytes } if frame == index => {
+                    cut = Some(keep_bytes.min(bytes.len()));
+                }
+                WireFault::CorruptBit { frame } if frame == index && !bytes.is_empty() => {
+                    let byte = self.rng.gen_range(0..bytes.len());
+                    let bit = self.rng.gen_range(0..8u32);
+                    bytes[byte] ^= 1 << bit;
+                    self.bits_flipped += 1;
+                }
+                _ => {}
+            }
+        }
+        if let Some(keep) = cut {
+            bytes.truncate(keep);
+        }
+
+        let chunk = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                WireFault::SplitWrites { chunk } => Some((*chunk).max(1)),
+                _ => None,
+            })
+            .min()
+            .unwrap_or(usize::MAX);
+        for piece in bytes.chunks(chunk.min(bytes.len().max(1))) {
+            out.push(WriteOp::Data(piece.to_vec()));
+        }
+        if cut.is_some() {
+            self.disconnected = true;
+            out.push(WriteOp::Disconnect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Vec<u8>> {
+        (0u8..4).map(|i| vec![i; 8]).collect()
+    }
+
+    fn run(plan: WirePlan) -> (Vec<WriteOp>, WireChaos) {
+        let mut chaos = WireChaos::new(&plan);
+        let mut ops = Vec::new();
+        for f in frames() {
+            chaos.apply(&f, &mut ops);
+        }
+        (ops, chaos)
+    }
+
+    #[test]
+    fn pass_through_preserves_bytes() {
+        let (ops, chaos) = run(WirePlan::new(1));
+        assert!(!chaos.disconnected());
+        let flat: Vec<u8> = ops
+            .iter()
+            .flat_map(|op| match op {
+                WriteOp::Data(d) => d.clone(),
+                WriteOp::Disconnect => panic!("no disconnect expected"),
+            })
+            .collect();
+        let expected: Vec<u8> = frames().concat();
+        assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn truncate_cuts_one_frame_then_disconnects() {
+        let (ops, chaos) = run(WirePlan::new(1).with(WireFault::Truncate {
+            frame: 2,
+            keep_bytes: 3,
+        }));
+        assert!(chaos.disconnected());
+        assert_eq!(
+            ops,
+            vec![
+                WriteOp::Data(vec![0; 8]),
+                WriteOp::Data(vec![1; 8]),
+                WriteOp::Data(vec![2; 3]),
+                WriteOp::Disconnect,
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_bit_flips_exactly_one_bit_deterministically() {
+        let plan = WirePlan::new(99).with(WireFault::CorruptBit { frame: 1 });
+        let (ops_a, chaos) = run(plan.clone());
+        let (ops_b, _) = run(plan);
+        assert_eq!(ops_a, ops_b, "seeded damage must replay bit-identically");
+        assert_eq!(chaos.bits_flipped(), 1);
+        let WriteOp::Data(damaged) = &ops_a[1] else {
+            panic!("expected data op");
+        };
+        let clean = vec![1u8; 8];
+        let differing: u32 = damaged
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(differing, 1);
+    }
+
+    #[test]
+    fn split_writes_fragment_without_changing_content() {
+        let (ops, _) = run(WirePlan::new(1).with(WireFault::SplitWrites { chunk: 3 }));
+        assert!(ops
+            .iter()
+            .all(|op| matches!(op, WriteOp::Data(d) if d.len() <= 3)));
+        let flat: Vec<u8> = ops
+            .iter()
+            .flat_map(|op| match op {
+                WriteOp::Data(d) => d.clone(),
+                WriteOp::Disconnect => vec![],
+            })
+            .collect();
+        assert_eq!(flat, frames().concat());
+    }
+
+    #[test]
+    fn disconnect_after_swallows_the_tail() {
+        let (ops, chaos) = run(WirePlan::new(1).with(WireFault::DisconnectAfter { frames: 2 }));
+        assert!(chaos.disconnected());
+        assert_eq!(
+            ops,
+            vec![
+                WriteOp::Data(vec![0; 8]),
+                WriteOp::Data(vec![1; 8]),
+                WriteOp::Disconnect,
+            ]
+        );
+    }
+
+    #[test]
+    fn faults_compose() {
+        let plan = WirePlan::new(5)
+            .with(WireFault::SplitWrites { chunk: 2 })
+            .with(WireFault::Truncate {
+                frame: 1,
+                keep_bytes: 5,
+            });
+        let (ops, _) = run(plan);
+        // Frame 0: four 2-byte pieces; frame 1: 5 bytes in 2+2+1, then cut.
+        assert_eq!(ops.last(), Some(&WriteOp::Disconnect));
+        let flat: Vec<u8> = ops
+            .iter()
+            .flat_map(|op| match op {
+                WriteOp::Data(d) => d.clone(),
+                WriteOp::Disconnect => vec![],
+            })
+            .collect();
+        let mut expected = vec![0u8; 8];
+        expected.extend_from_slice(&[1; 5]);
+        assert_eq!(flat, expected);
+    }
+}

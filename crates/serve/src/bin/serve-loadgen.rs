@@ -1,0 +1,178 @@
+//! Load-generator CLI: drives N synthetic memsim machines into an
+//! aging-serve server over TCP and reports throughput and latency.
+//!
+//! ```text
+//! serve-loadgen [--addr HOST:PORT] [--machines N] [--leak MIB_PER_HOUR]
+//!               [--horizon SECS] [--connections N] [--batch N]
+//!               [--rate RECORDS_PER_SEC] [--poll-ms MS] [--seed S]
+//! ```
+//!
+//! Without `--addr` the tool self-serves: it binds an in-process server
+//! on an ephemeral loopback port, drives it, and also prints the
+//! server-side wire counters after a graceful shutdown.
+
+use std::process::ExitCode;
+
+use aging_memsim::Scenario;
+use aging_serve::loadgen::{drive, LoadgenConfig};
+use aging_serve::{ServeConfig, Server};
+use aging_stream::telemetry::LatencyHistogram;
+
+struct Args {
+    addr: Option<String>,
+    machines: usize,
+    leak_mib_per_hour: f64,
+    horizon_secs: f64,
+    connections: usize,
+    batch: usize,
+    rate: f64,
+    poll_ms: u64,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            addr: None,
+            machines: 10,
+            leak_mib_per_hour: 192.0,
+            horizon_secs: 6.0 * 3600.0,
+            connections: 4,
+            batch: 64,
+            rate: 0.0,
+            poll_ms: 50,
+            seed: 1,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--addr" => args.addr = Some(value("--addr")?),
+                "--machines" => args.machines = parse(&value("--machines")?)?,
+                "--leak" => args.leak_mib_per_hour = parse(&value("--leak")?)?,
+                "--horizon" => args.horizon_secs = parse(&value("--horizon")?)?,
+                "--connections" => args.connections = parse(&value("--connections")?)?,
+                "--batch" => args.batch = parse(&value("--batch")?)?,
+                "--rate" => args.rate = parse(&value("--rate")?)?,
+                "--poll-ms" => args.poll_ms = parse(&value("--poll-ms")?)?,
+                "--seed" => args.seed = parse(&value("--seed")?)?,
+                "--help" | "-h" => return Err("help".into()),
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("cannot parse {s:?}"))
+}
+
+fn quantiles(label: &str, hist: &LatencyHistogram) {
+    let p50 = hist.quantile_upper_bound_us(0.50).unwrap_or(0);
+    let p99 = hist.quantile_upper_bound_us(0.99).unwrap_or(0);
+    println!(
+        "{label}: mean {:.1} us, p50 <= {p50} us, p99 <= {p99} us",
+        hist.mean_us()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("serve-loadgen: {msg}");
+            eprintln!(
+                "usage: serve-loadgen [--addr HOST:PORT] [--machines N] [--leak MIB/H] \
+                 [--horizon SECS] [--connections N] [--batch N] [--rate R] [--poll-ms MS] [--seed S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenarios: Vec<Scenario> = (0..args.machines)
+        .map(|i| Scenario::tiny_aging(args.seed + i as u64, args.leak_mib_per_hour))
+        .collect();
+    let cfg = LoadgenConfig {
+        connections: args.connections,
+        batch_records: args.batch,
+        rate_records_per_sec: args.rate,
+        poll_alarms_ms: args.poll_ms,
+        counters: vec![aging_memsim::Counter::AvailableBytes],
+    };
+
+    // Self-serve when no address was given.
+    let own_server = if args.addr.is_none() {
+        match Server::bind(
+            "127.0.0.1:0",
+            ServeConfig::new(aging_serve::test_detectors()),
+        ) {
+            Ok(server) => {
+                println!("self-serving on {}", server.local_addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("serve-loadgen: bind failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match &own_server {
+        Some(server) => server.local_addr(),
+        None => {
+            let text = args.addr.as_deref().expect("addr or self-serve");
+            match text.parse() {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("serve-loadgen: bad --addr {text:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let report = match drive(addr, &scenarios, args.horizon_secs, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve-loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "sent {} records in {} batches over {:.2}s ({:.0} records/s), {} accepted",
+        report.records_sent,
+        report.batches,
+        report.wall_secs,
+        report.records_per_sec(),
+        report.records_accepted,
+    );
+    quantiles("ack rtt", &report.ack_rtt);
+    quantiles("alarm visibility", &report.alarm_visibility);
+    println!(
+        "alarm history: {} events; busy frames: {}",
+        report.alarms.len(),
+        report.busy_frames
+    );
+    for (id, crash) in &report.crash_times {
+        match crash {
+            Some(t) => println!("machine {id}: crashed at {t:.0}s"),
+            None => println!("machine {id}: survived"),
+        }
+    }
+
+    if let Some(server) = own_server {
+        let outcome = server.shutdown();
+        println!(
+            "server: {} connections, {} frames, {} records, {} quarantined, {} panics",
+            outcome.wire.connections,
+            outcome.wire.frames,
+            outcome.wire.records,
+            outcome.wire.quarantined,
+            outcome.wire.session_panics,
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,329 @@
+//! Blocking client for the aging-serve wire protocol.
+//!
+//! [`ServeClient`] speaks the binary framing from [`crate::protocol`]:
+//! it performs the version handshake, streams record batches under the
+//! server-advertised credit window (blocking on acks when the window is
+//! full), and issues status/machine/alarm queries. Ack round-trip times
+//! are folded into a [`LatencyHistogram`] so load generators get ingest
+//! latency for free.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use aging_stream::telemetry::{LatencyHistogram, MachineSnapshot};
+use aging_timeseries::{Error, Result};
+
+use crate::codec::FrameDecoder;
+use crate::protocol::{encode_frame, Frame, Record, ServeEvent, PROTOCOL_VERSION};
+use crate::server::ServeStatus;
+
+/// How long [`ServeClient`] waits for any single reply frame before
+/// giving up with [`Error::Io`].
+pub const CLIENT_REPLY_TIMEOUT_MS: u64 = 10_000;
+
+/// A connected, handshaken client session.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Credit window granted by the server's `HelloAck`.
+    window: u16,
+    /// Frame size limit granted by the server's `HelloAck`.
+    max_frame: u32,
+    inflight: VecDeque<(u64, Instant)>,
+    next_seq: u64,
+    ack_rtt: LatencyHistogram,
+    records_accepted: u64,
+    busy_frames: u64,
+}
+
+impl ServeClient {
+    /// Connects and completes the `Hello`/`HelloAck` handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure, a rejected protocol version, or
+    /// an unexpected handshake reply.
+    pub fn connect(addr: SocketAddr, name: &str) -> Result<ServeClient> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        stream.set_nodelay(true).map_err(io_err)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(io_err)?;
+        let mut client = ServeClient {
+            stream,
+            dec: FrameDecoder::new(u32::MAX),
+            window: 1,
+            max_frame: u32::MAX,
+            inflight: VecDeque::new(),
+            next_seq: 0,
+            ack_rtt: LatencyHistogram::default(),
+            records_accepted: 0,
+            busy_frames: 0,
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            name: name.to_string(),
+        })?;
+        match client.recv_reply()? {
+            Frame::HelloAck {
+                version: _,
+                window,
+                max_frame,
+            } => {
+                client.window = window.max(1);
+                client.max_frame = max_frame;
+                Ok(client)
+            }
+            Frame::Error { code, message } => Err(Error::Io(format!(
+                "handshake rejected (code {code}): {message}"
+            ))),
+            other => Err(Error::Io(format!("unexpected handshake reply: {other:?}"))),
+        }
+    }
+
+    /// Ack round-trip latency observed so far (one sample per batch).
+    pub fn ack_rtt(&self) -> &LatencyHistogram {
+        &self.ack_rtt
+    }
+
+    /// Total records the server has acked as accepted.
+    pub fn records_accepted(&self) -> u64 {
+        self.records_accepted
+    }
+
+    /// Advisory `Busy` frames received (backpressure signals).
+    pub fn busy_frames(&self) -> u64 {
+        self.busy_frames
+    }
+
+    /// Sends one batch, blocking for an ack first if the credit window
+    /// is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a server `Error` frame.
+    pub fn send_batch(&mut self, records: &[Record]) -> Result<u64> {
+        while self.inflight.len() >= usize::from(self.window) {
+            self.pump_one()?;
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.send(&Frame::Batch {
+            seq,
+            records: records.to_vec(),
+        })?;
+        self.inflight.push_back((seq, Instant::now()));
+        // Opportunistically drain any acks already on the wire.
+        self.drain_ready()?;
+        Ok(seq)
+    }
+
+    /// Blocks until every outstanding batch has been acked.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or reply timeout.
+    pub fn flush(&mut self) -> Result<()> {
+        while !self.inflight.is_empty() {
+            self.pump_one()?;
+        }
+        Ok(())
+    }
+
+    /// Declares a machine's feed complete (its pipeline is flushed and
+    /// stops holding the fleet watermark).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure.
+    pub fn machine_done(&mut self, machine_id: u64) -> Result<()> {
+        self.send(&Frame::MachineDone { machine_id })
+    }
+
+    /// Fetches the server's status document.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_status(&mut self) -> Result<ServeStatus> {
+        self.send(&Frame::QueryStatus)?;
+        match self.recv_reply()? {
+            Frame::StatusReply { json } => {
+                serde_json::from_str(&json).map_err(|e| Error::Io(format!("bad status reply: {e}")))
+            }
+            other => Err(Error::Io(format!("unexpected status reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches one machine's pipeline snapshot, `None` when the server
+    /// has never seen that machine.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_machine(&mut self, machine_id: u64) -> Result<Option<MachineSnapshot>> {
+        self.send(&Frame::QueryMachine { machine_id })?;
+        match self.recv_reply()? {
+            Frame::MachineReply { json: None } => Ok(None),
+            Frame::MachineReply { json: Some(json) } => serde_json::from_str(&json)
+                .map(Some)
+                .map_err(|e| Error::Io(format!("bad machine reply: {e}"))),
+            other => Err(Error::Io(format!("unexpected machine reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches one chunk of released alarm history starting at `since`;
+    /// returns `(total_released, chunk)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_alarms(&mut self, since: u64) -> Result<(u64, Vec<ServeEvent>)> {
+        self.send(&Frame::QueryAlarms { since })?;
+        match self.recv_reply()? {
+            Frame::AlarmsReply {
+                since: _,
+                total,
+                events,
+            } => Ok((total, events)),
+            other => Err(Error::Io(format!("unexpected alarms reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches the complete released alarm history, following the chunk
+    /// cursor until caught up.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_alarms_all(&mut self) -> Result<Vec<ServeEvent>> {
+        let mut events: Vec<ServeEvent> = Vec::new();
+        loop {
+            let (total, chunk) = self.query_alarms(events.len() as u64)?;
+            let done = chunk.is_empty();
+            events.extend(chunk);
+            if done || events.len() as u64 >= total {
+                return Ok(events);
+            }
+        }
+    }
+
+    /// Flushes outstanding acks and closes the session with `Bye`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the flush fails; a missing `ByeAck` (server
+    /// already gone) is tolerated.
+    pub fn bye(mut self) -> Result<LatencyHistogram> {
+        self.flush()?;
+        self.send(&Frame::Bye)?;
+        // Best effort: the reply may race the close.
+        let _ = self.recv_reply();
+        Ok(self.ack_rtt)
+    }
+
+    // -- internals --------------------------------------------------------
+
+    fn send(&mut self, frame: &Frame) -> Result<()> {
+        self.stream.write_all(&encode_frame(frame)).map_err(io_err)
+    }
+
+    /// Handles one already-decoded incoming frame; `true` when it was an
+    /// ack (progress for window flushing).
+    fn absorb(&mut self, frame: Frame) -> Result<bool> {
+        match frame {
+            Frame::Ack { seq, accepted } => {
+                self.records_accepted += u64::from(accepted);
+                if let Some(pos) = self.inflight.iter().position(|&(s, _)| s == seq) {
+                    let (_, sent) = self.inflight.remove(pos).expect("position just found");
+                    self.ack_rtt.record(sent.elapsed());
+                }
+                Ok(true)
+            }
+            Frame::Busy { .. } => {
+                self.busy_frames += 1;
+                Ok(false)
+            }
+            Frame::Error { code, message } => {
+                Err(Error::Io(format!("server error (code {code}): {message}")))
+            }
+            other => Err(Error::Io(format!("unsolicited frame: {other:?}"))),
+        }
+    }
+
+    /// Decodes frames already buffered locally without blocking.
+    fn drain_ready(&mut self) -> Result<()> {
+        while let Some(payload) = self.dec.next_payload().map_err(corrupt_err)? {
+            let frame = Frame::decode_payload(&payload).map_err(Error::Io)?;
+            self.absorb(frame)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until one ack arrives (absorbing busy frames on the way).
+    fn pump_one(&mut self) -> Result<()> {
+        let deadline = Instant::now() + Duration::from_millis(CLIENT_REPLY_TIMEOUT_MS);
+        loop {
+            while let Some(payload) = self.dec.next_payload().map_err(corrupt_err)? {
+                let frame = Frame::decode_payload(&payload).map_err(Error::Io)?;
+                if self.absorb(frame)? {
+                    return Ok(());
+                }
+            }
+            self.fill(deadline)?;
+        }
+    }
+
+    /// Blocks until the next non-ack reply frame arrives; acks and busy
+    /// frames encountered on the way are absorbed.
+    fn recv_reply(&mut self) -> Result<Frame> {
+        let deadline = Instant::now() + Duration::from_millis(CLIENT_REPLY_TIMEOUT_MS);
+        loop {
+            while let Some(payload) = self.dec.next_payload().map_err(corrupt_err)? {
+                let frame = Frame::decode_payload(&payload).map_err(Error::Io)?;
+                match frame {
+                    Frame::Ack { .. } | Frame::Busy { .. } => {
+                        self.absorb(frame)?;
+                    }
+                    other => return Ok(other),
+                }
+            }
+            self.fill(deadline)?;
+        }
+    }
+
+    /// Reads more bytes from the socket into the decoder, failing past
+    /// the deadline.
+    fn fill(&mut self, deadline: Instant) -> Result<()> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(Error::Io("server closed the connection".into())),
+                Ok(n) => {
+                    self.dec.feed(&buf[..n]);
+                    return Ok(());
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(Error::Io("timed out waiting for server reply".into()));
+                    }
+                }
+                Err(e) => return Err(io_err(e)),
+            }
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Io(e.to_string())
+}
+
+fn corrupt_err(c: crate::codec::CorruptStream) -> Error {
+    Error::Io(format!("corrupt reply stream: {}", c.reason))
+}

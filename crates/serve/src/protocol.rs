@@ -1,0 +1,844 @@
+//! Wire protocol: frame layout, payload encodings and the event codec.
+//!
+//! # Frame layout
+//!
+//! Every binary frame on the wire is
+//!
+//! ```text
+//! ┌──────────────┬───────────────────┬────────────────────┐
+//! │ len: u32 LE  │ payload (len B)   │ crc: u32 LE        │
+//! └──────────────┴───────────────────┴────────────────────┘
+//! ```
+//!
+//! where `crc` is the CRC-32 (IEEE, reflected) of the payload bytes and
+//! `len` must be in `1..=max_frame` (negotiated in the handshake, default
+//! [`DEFAULT_MAX_FRAME`]). A zero or oversized `len`, or a CRC mismatch,
+//! means framing is lost: the receiver cannot trust any later byte
+//! boundary and must drop the connection ([`crate::codec::CorruptStream`]).
+//! A frame that passes CRC but whose payload does not parse is *malformed*
+//! but consumable — the receiver skips it, counts a strike, and keeps the
+//! session (until the strike quarantine threshold).
+//!
+//! The first payload byte is the frame kind tag; multi-byte integers are
+//! little-endian; floats travel as their IEEE-754 bit patterns
+//! (`f64::to_bits`), so NaN payloads survive the round trip bit-exactly.
+//! Strings are UTF-8 with a `u16` length prefix.
+//!
+//! # Version negotiation
+//!
+//! The client opens with [`Frame::Hello`] carrying
+//! [`PROTOCOL_VERSION`]; the server answers [`Frame::HelloAck`] with its
+//! own version, the credit `window` (max unacked batches the client may
+//! have in flight) and `max_frame`. A version mismatch is answered with
+//! [`Frame::Error`] (code [`ERR_VERSION`]) and the connection closes.
+//!
+//! # Text fallback
+//!
+//! A connection whose first five bytes are `TEXT\n` (see [`TEXT_PREAMBLE`])
+//! speaks the line-delimited debug protocol instead — see
+//! [`crate::codec::TextCommand`]. The preamble is unambiguous: read as a
+//! binary length prefix it would be 0x54584554 ≈ 1.4 GB, far above any
+//! permitted `max_frame`.
+
+use aging_core::detector::{Alert, AlertLevel, Trigger};
+use aging_memsim::Counter;
+use aging_stream::detector::AlertDetail;
+use aging_stream::supervisor::AlarmKind;
+
+/// Protocol version spoken by this crate.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default maximum frame payload size, bytes (64 KiB).
+pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024;
+
+/// First bytes of a text-mode connection.
+pub const TEXT_PREAMBLE: &[u8] = b"TEXT\n";
+
+/// Error code: protocol version mismatch.
+pub const ERR_VERSION: u8 = 1;
+/// Error code: client quarantined (too many malformed frames, or framing
+/// integrity lost).
+pub const ERR_QUARANTINED: u8 = 2;
+/// Error code: malformed frame (reported, connection kept).
+pub const ERR_MALFORMED: u8 = 3;
+
+/// One ingestion record: a counter reading of one machine at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Caller-assigned machine identity.
+    pub machine_id: u64,
+    /// Counter code: index into [`Counter::ALL`].
+    pub counter: u8,
+    /// Sample timestamp, seconds.
+    pub time_secs: f64,
+    /// Counter value.
+    pub value: f64,
+}
+
+/// Encoded size of one [`Record`] on the wire.
+pub const RECORD_BYTES: usize = 8 + 1 + 8 + 8;
+
+/// One event in the server's watermark-ordered alarm history.
+///
+/// The networked analogue of [`aging_stream::supervisor::AlarmEvent`],
+/// keyed by wire `machine_id` instead of a fleet slice index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeEvent {
+    /// Machine identity from the ingestion records.
+    pub machine_id: u64,
+    /// Stream time of the tick that produced the event, seconds.
+    pub time_secs: f64,
+    /// Severity.
+    pub level: AlertLevel,
+    /// What fired.
+    pub kind: AlarmKind,
+}
+
+/// A parsed frame payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client handshake: protocol version and a display name.
+    Hello {
+        /// Client's protocol version.
+        version: u8,
+        /// Client display name (diagnostics only).
+        name: String,
+    },
+    /// Server handshake reply.
+    HelloAck {
+        /// Server's protocol version.
+        version: u8,
+        /// Credit window: max unacked [`Frame::Batch`]es in flight.
+        window: u16,
+        /// Maximum frame payload the server accepts, bytes.
+        max_frame: u32,
+    },
+    /// A batch of ingestion records; acked by seq.
+    Batch {
+        /// Client-chosen batch sequence number (echoed in the ack).
+        seq: u64,
+        /// The records.
+        records: Vec<Record>,
+    },
+    /// Server acknowledgement of a batch: once received, the batch's
+    /// records are in the engine and its alarms survive shutdown drain.
+    Ack {
+        /// Sequence of the acked batch.
+        seq: u64,
+        /// Records accepted into pipelines (rejects carried bad counter
+        /// codes).
+        accepted: u16,
+    },
+    /// Advisory backpressure: the server is reading faster than it can
+    /// process; `backlog` complete frames were buffered when it was sent.
+    Busy {
+        /// Buffered frame count at send time.
+        backlog: u32,
+    },
+    /// The feed for one machine has ended (its final tick may now close).
+    MachineDone {
+        /// Machine whose feed ended.
+        machine_id: u64,
+    },
+    /// Request the fleet-level status snapshot.
+    QueryStatus,
+    /// Fleet status as JSON — serialises [`crate::server::ServeStatus`],
+    /// whose `fleet` field is the same [`aging_stream::telemetry::Snapshot`]
+    /// schema the supervisor dumps.
+    StatusReply {
+        /// The JSON document.
+        json: String,
+    },
+    /// Request one machine's pipeline snapshot.
+    QueryMachine {
+        /// Machine to query.
+        machine_id: u64,
+    },
+    /// Per-machine snapshot as JSON
+    /// ([`aging_stream::telemetry::MachineSnapshot`]); `None` if the
+    /// machine is unknown.
+    MachineReply {
+        /// The JSON document, if the machine exists.
+        json: Option<String>,
+    },
+    /// Request the watermark-released alarm history from offset `since`.
+    QueryAlarms {
+        /// Offset into the released history.
+        since: u64,
+    },
+    /// A chunk of released alarm history.
+    AlarmsReply {
+        /// Echo of the request offset.
+        since: u64,
+        /// Total released events on the server (fetch is chunked; keep
+        /// querying from `since + events.len()` until caught up).
+        total: u64,
+        /// The events at `since..since + events.len()`.
+        events: Vec<ServeEvent>,
+    },
+    /// Graceful close request.
+    Bye,
+    /// Graceful close acknowledgement.
+    ByeAck,
+    /// Error report.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_BATCH: u8 = 0x03;
+const TAG_ACK: u8 = 0x04;
+const TAG_BUSY: u8 = 0x05;
+const TAG_MACHINE_DONE: u8 = 0x06;
+const TAG_QUERY_STATUS: u8 = 0x07;
+const TAG_STATUS_REPLY: u8 = 0x08;
+const TAG_QUERY_MACHINE: u8 = 0x09;
+const TAG_MACHINE_REPLY: u8 = 0x0a;
+const TAG_QUERY_ALARMS: u8 = 0x0b;
+const TAG_ALARMS_REPLY: u8 = 0x0c;
+const TAG_BYE: u8 = 0x0d;
+const TAG_BYE_ACK: u8 = 0x0e;
+const TAG_ERROR: u8 = 0x0f;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected)
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE, reflected) of `data` — the per-frame checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Counter / enum codes
+// ---------------------------------------------------------------------------
+
+/// Wire code of a counter: its index in [`Counter::ALL`].
+pub fn counter_code(counter: Counter) -> u8 {
+    Counter::ALL
+        .iter()
+        .position(|&c| c == counter)
+        .expect("Counter::ALL is exhaustive") as u8
+}
+
+/// Counter for a wire code, `None` for an unknown code.
+pub fn counter_from_code(code: u8) -> Option<Counter> {
+    Counter::ALL.get(usize::from(code)).copied()
+}
+
+fn level_code(level: AlertLevel) -> u8 {
+    match level {
+        AlertLevel::Warning => 0,
+        AlertLevel::Alarm => 1,
+    }
+}
+
+fn level_from_code(code: u8) -> Option<AlertLevel> {
+    match code {
+        0 => Some(AlertLevel::Warning),
+        1 => Some(AlertLevel::Alarm),
+        _ => None,
+    }
+}
+
+fn trigger_code(trigger: Trigger) -> u8 {
+    match trigger {
+        Trigger::DimensionJump => 0,
+        Trigger::HolderCollapse => 1,
+        Trigger::Both => 2,
+    }
+}
+
+fn trigger_from_code(code: u8) -> Option<Trigger> {
+    match code {
+        0 => Some(Trigger::DimensionJump),
+        1 => Some(Trigger::HolderCollapse),
+        2 => Some(Trigger::Both),
+        _ => None,
+    }
+}
+
+fn detector_code(name: &str) -> u8 {
+    match name {
+        "holder-dimension" => 0,
+        _ => 1,
+    }
+}
+
+fn detector_from_code(code: u8) -> Option<&'static str> {
+    match code {
+        0 => Some("holder-dimension"),
+        1 => Some("mann-kendall-sen"),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte reader/writer
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let len = usize::from(self.u16()?);
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 string".to_string())
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.buf.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(len as u16).to_le_bytes());
+    out.extend_from_slice(&bytes[..len]);
+}
+
+// ---------------------------------------------------------------------------
+// Event codec
+// ---------------------------------------------------------------------------
+
+const EVENT_DETECTOR: u8 = 0;
+const EVENT_MACHINE_ALARM: u8 = 1;
+const DETAIL_HOLDER: u8 = 0;
+const DETAIL_TREND: u8 = 1;
+
+/// Appends one event's canonical wire encoding to `out`.
+///
+/// This encoding doubles as the parity fingerprint: E14 compares the
+/// offline and TCP alarm histories by encoding both with
+/// [`encode_events`] and requiring byte identity.
+pub fn encode_event(event: &ServeEvent, out: &mut Vec<u8>) {
+    out.extend_from_slice(&event.machine_id.to_le_bytes());
+    out.extend_from_slice(&event.time_secs.to_bits().to_le_bytes());
+    out.push(level_code(event.level));
+    match &event.kind {
+        AlarmKind::Detector {
+            counter,
+            detector,
+            detail,
+        } => {
+            out.push(EVENT_DETECTOR);
+            out.push(counter_code(*counter));
+            out.push(detector_code(detector));
+            match detail {
+                AlertDetail::Holder(alert) => {
+                    out.push(DETAIL_HOLDER);
+                    out.extend_from_slice(&(alert.sample_index as u64).to_le_bytes());
+                    out.push(level_code(alert.level));
+                    out.push(trigger_code(alert.trigger));
+                    for v in [
+                        alert.dimension,
+                        alert.mean_holder,
+                        alert.dimension_baseline,
+                        alert.holder_baseline,
+                    ] {
+                        out.extend_from_slice(&v.to_bits().to_le_bytes());
+                    }
+                }
+                AlertDetail::Trend { eta_secs } => {
+                    out.push(DETAIL_TREND);
+                    out.push(u8::from(eta_secs.is_some()));
+                    out.extend_from_slice(&eta_secs.unwrap_or(0.0).to_bits().to_le_bytes());
+                }
+            }
+        }
+        AlarmKind::MachineAlarm { votes, members } => {
+            out.push(EVENT_MACHINE_ALARM);
+            out.extend_from_slice(&(*votes as u64).to_le_bytes());
+            out.extend_from_slice(&(*members as u64).to_le_bytes());
+        }
+    }
+}
+
+/// Canonical encoding of a whole event sequence (the E14 parity
+/// fingerprint — see [`encode_event`]).
+pub fn encode_events(events: &[ServeEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(events.len() * 48);
+    for e in events {
+        encode_event(e, &mut out);
+    }
+    out
+}
+
+fn decode_event(r: &mut Reader<'_>) -> Result<ServeEvent, String> {
+    let machine_id = r.u64()?;
+    let time_secs = r.f64()?;
+    let level = level_from_code(r.u8()?).ok_or("bad level code")?;
+    let kind = match r.u8()? {
+        EVENT_DETECTOR => {
+            let counter = counter_from_code(r.u8()?).ok_or("bad counter code")?;
+            let detector = detector_from_code(r.u8()?).ok_or("bad detector code")?;
+            let detail = match r.u8()? {
+                DETAIL_HOLDER => {
+                    let sample_index = r.u64()? as usize;
+                    let alevel = level_from_code(r.u8()?).ok_or("bad alert level")?;
+                    let trigger = trigger_from_code(r.u8()?).ok_or("bad trigger code")?;
+                    let dimension = r.f64()?;
+                    let mean_holder = r.f64()?;
+                    let dimension_baseline = r.f64()?;
+                    let holder_baseline = r.f64()?;
+                    AlertDetail::Holder(Alert {
+                        sample_index,
+                        level: alevel,
+                        trigger,
+                        dimension,
+                        mean_holder,
+                        dimension_baseline,
+                        holder_baseline,
+                    })
+                }
+                DETAIL_TREND => {
+                    let has_eta = r.u8()? != 0;
+                    let eta = r.f64()?;
+                    AlertDetail::Trend {
+                        eta_secs: has_eta.then_some(eta),
+                    }
+                }
+                t => return Err(format!("bad detail tag {t}")),
+            };
+            AlarmKind::Detector {
+                counter,
+                detector,
+                detail,
+            }
+        }
+        EVENT_MACHINE_ALARM => AlarmKind::MachineAlarm {
+            votes: r.u64()? as usize,
+            members: r.u64()? as usize,
+        },
+        t => return Err(format!("bad event kind tag {t}")),
+    };
+    Ok(ServeEvent {
+        machine_id,
+        time_secs,
+        level,
+        kind,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+impl Frame {
+    /// Serialises the frame payload (no length prefix / CRC — see
+    /// [`encode_frame`] for the full on-wire form).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { version, name } => {
+                out.push(TAG_HELLO);
+                out.push(*version);
+                put_string(&mut out, name);
+            }
+            Frame::HelloAck {
+                version,
+                window,
+                max_frame,
+            } => {
+                out.push(TAG_HELLO_ACK);
+                out.push(*version);
+                out.extend_from_slice(&window.to_le_bytes());
+                out.extend_from_slice(&max_frame.to_le_bytes());
+            }
+            Frame::Batch { seq, records } => {
+                out.push(TAG_BATCH);
+                out.extend_from_slice(&seq.to_le_bytes());
+                let n = records.len().min(usize::from(u16::MAX));
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                for rec in &records[..n] {
+                    out.extend_from_slice(&rec.machine_id.to_le_bytes());
+                    out.push(rec.counter);
+                    out.extend_from_slice(&rec.time_secs.to_bits().to_le_bytes());
+                    out.extend_from_slice(&rec.value.to_bits().to_le_bytes());
+                }
+            }
+            Frame::Ack { seq, accepted } => {
+                out.push(TAG_ACK);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&accepted.to_le_bytes());
+            }
+            Frame::Busy { backlog } => {
+                out.push(TAG_BUSY);
+                out.extend_from_slice(&backlog.to_le_bytes());
+            }
+            Frame::MachineDone { machine_id } => {
+                out.push(TAG_MACHINE_DONE);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+            }
+            Frame::QueryStatus => out.push(TAG_QUERY_STATUS),
+            Frame::StatusReply { json } => {
+                out.push(TAG_STATUS_REPLY);
+                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            Frame::QueryMachine { machine_id } => {
+                out.push(TAG_QUERY_MACHINE);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+            }
+            Frame::MachineReply { json } => {
+                out.push(TAG_MACHINE_REPLY);
+                match json {
+                    Some(json) => {
+                        out.push(1);
+                        out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                        out.extend_from_slice(json.as_bytes());
+                    }
+                    None => out.push(0),
+                }
+            }
+            Frame::QueryAlarms { since } => {
+                out.push(TAG_QUERY_ALARMS);
+                out.extend_from_slice(&since.to_le_bytes());
+            }
+            Frame::AlarmsReply {
+                since,
+                total,
+                events,
+            } => {
+                out.push(TAG_ALARMS_REPLY);
+                out.extend_from_slice(&since.to_le_bytes());
+                out.extend_from_slice(&total.to_le_bytes());
+                let n = events.len().min(usize::from(u16::MAX));
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                for event in &events[..n] {
+                    encode_event(event, &mut out);
+                }
+            }
+            Frame::Bye => out.push(TAG_BYE),
+            Frame::ByeAck => out.push(TAG_BYE_ACK),
+            Frame::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.push(*code);
+                put_string(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload (the bytes between length prefix and CRC).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation. A payload that fails
+    /// here arrived inside an intact frame: the connection's framing is
+    /// still sound and the session may continue (it counts a strike).
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, String> {
+        let mut r = Reader::new(payload);
+        let frame = match r.u8()? {
+            TAG_HELLO => Frame::Hello {
+                version: r.u8()?,
+                name: r.string()?,
+            },
+            TAG_HELLO_ACK => Frame::HelloAck {
+                version: r.u8()?,
+                window: r.u16()?,
+                max_frame: r.u32()?,
+            },
+            TAG_BATCH => {
+                let seq = r.u64()?;
+                let n = usize::from(r.u16()?);
+                let mut records = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    records.push(Record {
+                        machine_id: r.u64()?,
+                        counter: r.u8()?,
+                        time_secs: r.f64()?,
+                        value: r.f64()?,
+                    });
+                }
+                Frame::Batch { seq, records }
+            }
+            TAG_ACK => Frame::Ack {
+                seq: r.u64()?,
+                accepted: r.u16()?,
+            },
+            TAG_BUSY => Frame::Busy { backlog: r.u32()? },
+            TAG_MACHINE_DONE => Frame::MachineDone {
+                machine_id: r.u64()?,
+            },
+            TAG_QUERY_STATUS => Frame::QueryStatus,
+            TAG_STATUS_REPLY => {
+                let len = r.u32()? as usize;
+                let bytes = r.take(len)?;
+                Frame::StatusReply {
+                    json: String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 JSON")?,
+                }
+            }
+            TAG_QUERY_MACHINE => Frame::QueryMachine {
+                machine_id: r.u64()?,
+            },
+            TAG_MACHINE_REPLY => {
+                let present = r.u8()? != 0;
+                let json = if present {
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?;
+                    Some(String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 JSON")?)
+                } else {
+                    None
+                };
+                Frame::MachineReply { json }
+            }
+            TAG_QUERY_ALARMS => Frame::QueryAlarms { since: r.u64()? },
+            TAG_ALARMS_REPLY => {
+                let since = r.u64()?;
+                let total = r.u64()?;
+                let n = usize::from(r.u16()?);
+                let mut events = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    events.push(decode_event(&mut r)?);
+                }
+                Frame::AlarmsReply {
+                    since,
+                    total,
+                    events,
+                }
+            }
+            TAG_BYE => Frame::Bye,
+            TAG_BYE_ACK => Frame::ByeAck,
+            TAG_ERROR => Frame::Error {
+                code: r.u8()?,
+                message: r.string()?,
+            },
+            tag => return Err(format!("unknown frame tag 0x{tag:02x}")),
+        };
+        r.done()?;
+        Ok(frame)
+    }
+}
+
+/// Serialises a frame into its full on-wire form:
+/// `len | payload | crc32(payload)`.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let payload = frame.encode_payload();
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn counter_codes_round_trip() {
+        for (i, &c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(counter_code(c), i as u8);
+            assert_eq!(counter_from_code(i as u8), Some(c));
+        }
+        assert_eq!(counter_from_code(Counter::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+                name: "loadgen-0".into(),
+            },
+            Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+                window: 32,
+                max_frame: DEFAULT_MAX_FRAME,
+            },
+            Frame::Batch {
+                seq: 7,
+                records: vec![
+                    Record {
+                        machine_id: 3,
+                        counter: 0,
+                        time_secs: 5.0,
+                        value: 1e6,
+                    },
+                    Record {
+                        machine_id: 3,
+                        counter: 1,
+                        time_secs: 5.0,
+                        value: f64::NAN,
+                    },
+                ],
+            },
+            Frame::Ack {
+                seq: 7,
+                accepted: 2,
+            },
+            Frame::Busy { backlog: 99 },
+            Frame::MachineDone { machine_id: 3 },
+            Frame::QueryStatus,
+            Frame::StatusReply {
+                json: "{\"x\":1}".into(),
+            },
+            Frame::QueryMachine { machine_id: 3 },
+            Frame::MachineReply { json: None },
+            Frame::MachineReply {
+                json: Some("{}".into()),
+            },
+            Frame::QueryAlarms { since: 4 },
+            Frame::AlarmsReply {
+                since: 4,
+                total: 6,
+                events: vec![
+                    ServeEvent {
+                        machine_id: 3,
+                        time_secs: 120.0,
+                        level: AlertLevel::Alarm,
+                        kind: AlarmKind::MachineAlarm {
+                            votes: 1,
+                            members: 1,
+                        },
+                    },
+                    ServeEvent {
+                        machine_id: 4,
+                        time_secs: 60.0,
+                        level: AlertLevel::Warning,
+                        kind: AlarmKind::Detector {
+                            counter: Counter::AvailableBytes,
+                            detector: "holder-dimension",
+                            detail: AlertDetail::Holder(Alert {
+                                sample_index: 512,
+                                level: AlertLevel::Warning,
+                                trigger: Trigger::Both,
+                                dimension: 1.4,
+                                mean_holder: 0.3,
+                                dimension_baseline: 1.1,
+                                holder_baseline: 0.5,
+                            }),
+                        },
+                    },
+                    ServeEvent {
+                        machine_id: 5,
+                        time_secs: 90.0,
+                        level: AlertLevel::Alarm,
+                        kind: AlarmKind::Detector {
+                            counter: Counter::UsedSwapBytes,
+                            detector: "mann-kendall-sen",
+                            detail: AlertDetail::Trend {
+                                eta_secs: Some(1234.5),
+                            },
+                        },
+                    },
+                ],
+            },
+            Frame::Bye,
+            Frame::ByeAck,
+            Frame::Error {
+                code: ERR_MALFORMED,
+                message: "bad tag".into(),
+            },
+        ];
+        for frame in frames {
+            let payload = frame.encode_payload();
+            let back = Frame::decode_payload(&payload).unwrap();
+            // NaN-carrying batches can't use PartialEq; compare by
+            // re-encoding, which is bit-exact.
+            assert_eq!(payload, back.encode_payload(), "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_rejected() {
+        let payload = Frame::MachineDone { machine_id: 9 }.encode_payload();
+        for cut in 0..payload.len() {
+            assert!(Frame::decode_payload(&payload[..cut]).is_err(), "{cut}");
+        }
+        let mut extended = payload.clone();
+        extended.push(0);
+        assert!(Frame::decode_payload(&extended).is_err());
+    }
+
+    #[test]
+    fn text_preamble_is_not_a_plausible_length() {
+        let as_len = u32::from_le_bytes(TEXT_PREAMBLE[..4].try_into().unwrap());
+        assert!(as_len > 16 * 1024 * 1024, "{as_len}");
+    }
+}

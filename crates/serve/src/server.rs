@@ -1,0 +1,1181 @@
+//! The ingestion/query server: thread-per-connection sessions feeding a
+//! shared engine of per-machine [`MachinePipeline`]s.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ──TCP──► session threads ──► Engine (mutex)
+//!                     │ decode+CRC        ├─ MachinePipeline per machine_id
+//!                     │ quarantine        ├─ pending min-heap (time, id, seq)
+//!                     └ acks/replies      └─ released alarm history
+//! ```
+//!
+//! Each connection gets its own session thread; the only shared state is
+//! the engine behind one mutex, entered per *batch* (not per byte), so a
+//! slow or stalled peer never blocks another session's socket I/O.
+//!
+//! # Watermarked history
+//!
+//! Events enter a pending min-heap keyed `(time, machine_id, emission
+//! seq)` — the same ordering the in-process
+//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) uses —
+//! and move to the released history only once every unfinished machine's
+//! pipeline watermark ([`MachinePipeline::completed_time_secs`]) has
+//! passed them. Query replies therefore only ever show a prefix of the
+//! final ordered history, and the E14 parity gate can demand
+//! byte-identity with the offline supervisor run.
+//!
+//! A consequence the operator must know: one stalled feeder holds back
+//! the *global* released history (its machine's watermark stops
+//! advancing). The stall timeout exists precisely to bound that damage —
+//! a session idle past [`ServeConfig::stall_timeout_ms`] is closed and
+//! its machines' feeds finished, restoring the watermark.
+//!
+//! # Client misbehaviour
+//!
+//! | Fault | Consequence |
+//! |---|---|
+//! | frame fails CRC / bad length prefix | framing lost → immediate quarantine (connection dropped) |
+//! | intact frame, malformed payload | `Error` reply + strike; [`ServeConfig::quarantine_after`] consecutive strikes → quarantine |
+//! | EOF or stall mid-frame | truncation → quarantine |
+//! | idle past the stall timeout | session closed, machines finished |
+//! | byzantine timestamps/values | confined to that machine's own streams by its [`SampleGate`] — the per-machine pipeline is the trust boundary |
+//!
+//! The strike rule deliberately mirrors [`SampleGate`] quarantine
+//! semantics: consecutive failures count toward a threshold and any good
+//! frame resets the run. Sessions run under `catch_unwind`, so a bug in
+//! frame handling converts to a counted, quarantined close
+//! ([`WireCounters::session_panics`]) instead of a dead server.
+//!
+//! [`SampleGate`]: aging_stream::gate::SampleGate
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use aging_core::detector::AlertLevel;
+use aging_core::fusion::FusionRule;
+use aging_stream::gate::GateConfig;
+use aging_stream::pipeline::{MachinePipeline, PipelineEvent};
+use aging_stream::source::StreamSample;
+use aging_stream::supervisor::{AlarmKind, CounterDetector, FleetConfig};
+use aging_stream::telemetry::{LatencyHistogram, MachineSnapshot, Snapshot, StageCounters};
+use aging_timeseries::{Error, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{parse_text_line, FrameDecoder, TextCommand};
+use crate::protocol::{
+    counter_from_code, encode_frame, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, ERR_MALFORMED,
+    ERR_QUARANTINED, ERR_VERSION, PROTOCOL_VERSION, TEXT_PREAMBLE,
+};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Detectors instantiated per connected machine (one per counter).
+    pub detectors: Vec<CounterDetector>,
+    /// How per-counter alarm votes fuse into a machine-level alarm.
+    pub fusion: FusionRule,
+    /// Defect gate applied to every (machine, counter) stream.
+    pub gate: GateConfig,
+    /// Maximum accepted frame payload, bytes.
+    pub max_frame_bytes: u32,
+    /// Credit window advertised in the handshake: max unacked batches a
+    /// client may keep in flight before it must wait.
+    pub window: u16,
+    /// Consecutive malformed frames (or text lines) before a client is
+    /// quarantined — the wire-level analogue of
+    /// [`GateConfig::quarantine_after`].
+    pub quarantine_after: u32,
+    /// Socket read poll interval, ms (bounds shutdown latency).
+    pub read_poll_ms: u64,
+    /// A session idle this long is closed and its machines finished; if
+    /// it stalls *mid-frame* it is quarantined as truncated.
+    pub stall_timeout_ms: u64,
+    /// Socket write timeout, ms (a peer that stops reading its replies
+    /// cannot wedge a session thread forever).
+    pub write_timeout_ms: u64,
+    /// Max events per `AlarmsReply` chunk (keeps replies under the frame
+    /// size limit).
+    pub alarm_chunk: u16,
+    /// Hold all alarm releases until this many distinct machines have
+    /// registered (sent their first record). `None` releases freely.
+    ///
+    /// The global watermark is the minimum completed tick over machines
+    /// the server *knows about* — a machine that has not yet sent
+    /// anything cannot hold it down, so with concurrent feeders a fast
+    /// client could get its early alarms released before a slow client's
+    /// first record arrives, permuting the global history order. Parity
+    /// and benchmark runs that know their fleet size up front set this
+    /// to pin the release order exactly; [`Server::shutdown`]'s drain
+    /// ignores the hold.
+    pub expected_machines: Option<u64>,
+}
+
+impl ServeConfig {
+    /// A config with library defaults around the given detectors.
+    pub fn new(detectors: Vec<CounterDetector>) -> Self {
+        ServeConfig {
+            detectors,
+            fusion: FusionRule::Majority,
+            gate: GateConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            window: 32,
+            quarantine_after: 3,
+            read_poll_ms: 20,
+            stall_timeout_ms: 10_000,
+            write_timeout_ms: 5_000,
+            alarm_chunk: 256,
+            expected_machines: None,
+        }
+    }
+
+    /// Adopts the detection parameters (detectors, fusion, gate) of an
+    /// offline fleet config, so a server and a
+    /// [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor)
+    /// run the identical pipeline — the E14 parity setup.
+    pub fn from_fleet(fleet: &FleetConfig) -> Self {
+        let mut cfg = ServeConfig::new(fleet.detectors.clone());
+        cfg.fusion = fleet.fusion;
+        cfg.gate = fleet.gate;
+        cfg
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for an empty detector list, a
+    /// too-small frame limit, a zero window/threshold/chunk, and
+    /// propagates gate/detector validation.
+    pub fn validate(&self) -> Result<()> {
+        // Instantiating a probe pipeline surfaces every detector/gate
+        // error before any thread or socket exists; sessions may then
+        // construct pipelines infallibly.
+        MachinePipeline::new(&self.detectors, self.fusion, self.gate)?;
+        if self.max_frame_bytes < 64 {
+            return Err(Error::invalid("max_frame_bytes", "must be at least 64"));
+        }
+        if self.window == 0 {
+            return Err(Error::invalid("window", "must be at least 1"));
+        }
+        if self.quarantine_after == 0 {
+            return Err(Error::invalid("quarantine_after", "must be at least 1"));
+        }
+        if self.alarm_chunk == 0 {
+            return Err(Error::invalid("alarm_chunk", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Wire-level counters, serialised inside [`ServeStatus`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCounters {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Sessions fully closed.
+    pub sessions_closed: u64,
+    /// Text-mode sessions among them.
+    pub text_sessions: u64,
+    /// CRC-verified frames received.
+    pub frames: u64,
+    /// Batch frames among them.
+    pub batches: u64,
+    /// Ingestion records received (batched or text).
+    pub records: u64,
+    /// Records rejected for an unknown counter code.
+    pub records_rejected: u64,
+    /// Acks sent.
+    pub acks_sent: u64,
+    /// Advisory `Busy` frames sent.
+    pub busy_sent: u64,
+    /// Intact frames (or text lines) whose payload failed to parse.
+    pub malformed_frames: u64,
+    /// Connections whose framing integrity was lost (bad length prefix,
+    /// CRC mismatch, truncation).
+    pub corrupt_streams: u64,
+    /// Clients quarantined (corrupt stream or strike threshold).
+    pub quarantined: u64,
+    /// Sessions that panicked (caught; the server keeps serving).
+    pub session_panics: u64,
+    /// Query frames answered.
+    pub queries: u64,
+}
+
+/// The JSON document answering a status query: wire counters plus the
+/// same fleet [`Snapshot`] schema the in-process supervisor dumps.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeStatus {
+    /// Wire-level counters.
+    pub wire: WireCounters,
+    /// Fleet-level pipeline snapshot.
+    pub fleet: Snapshot,
+}
+
+/// Everything a server produced, returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The full released alarm history, globally ordered by
+    /// `(time, machine_id, emission)`.
+    pub events: Vec<ServeEvent>,
+    /// Final fleet snapshot.
+    pub status: Snapshot,
+    /// Final wire counters.
+    pub wire: WireCounters,
+    /// Final per-machine snapshots, in machine-id order.
+    pub machines: Vec<MachineSnapshot>,
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct PendingServe {
+    seq: u64,
+    event: ServeEvent,
+}
+
+impl PartialEq for PendingServe {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for PendingServe {}
+impl PartialOrd for PendingServe {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingServe {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, earliest event pops first.
+        other
+            .event
+            .time_secs
+            .total_cmp(&self.event.time_secs)
+            .then_with(|| other.event.machine_id.cmp(&self.event.machine_id))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct MachineEntry {
+    name: String,
+    pipeline: MachinePipeline,
+    /// Session currently feeding this machine; when that session closes
+    /// the feed is finished (a later session may resume it).
+    session: u64,
+}
+
+struct Engine {
+    detectors: Vec<CounterDetector>,
+    fusion: FusionRule,
+    gate: GateConfig,
+    /// Release hold until this many machines registered (see
+    /// [`ServeConfig::expected_machines`]); cleared by the final drain.
+    expected_machines: Option<u64>,
+    machines: BTreeMap<u64, MachineEntry>,
+    pending: BinaryHeap<PendingServe>,
+    released: Vec<ServeEvent>,
+    seq: u64,
+    status_seq: u64,
+    warnings: u64,
+    alarms: u64,
+    wire: WireCounters,
+    scratch: Vec<PipelineEvent>,
+}
+
+impl Engine {
+    fn new(cfg: &ServeConfig) -> Engine {
+        Engine {
+            detectors: cfg.detectors.clone(),
+            fusion: cfg.fusion,
+            gate: cfg.gate,
+            expected_machines: cfg.expected_machines,
+            machines: BTreeMap::new(),
+            pending: BinaryHeap::new(),
+            released: Vec::new(),
+            seq: 0,
+            status_seq: 0,
+            warnings: 0,
+            alarms: 0,
+            wire: WireCounters::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Moves everything the last pipeline call emitted into the pending
+    /// heap, stamping the global emission sequence.
+    fn enqueue(&mut self, machine_id: u64) {
+        for pe in self.scratch.drain(..) {
+            self.seq += 1;
+            self.pending.push(PendingServe {
+                seq: self.seq,
+                event: ServeEvent {
+                    machine_id,
+                    time_secs: pe.time_secs,
+                    level: pe.level,
+                    kind: pe.kind,
+                },
+            });
+        }
+    }
+
+    /// Feeds one record; `false` when it was rejected (unknown counter
+    /// code). Creates the machine's pipeline on first contact.
+    fn ingest(&mut self, session: u64, rec: Record) -> bool {
+        let Some(counter) = counter_from_code(rec.counter) else {
+            self.wire.records_rejected += 1;
+            return false;
+        };
+        if !self.machines.contains_key(&rec.machine_id) {
+            // Validated at bind time, so construction cannot fail here.
+            let pipeline = MachinePipeline::new(&self.detectors, self.fusion, self.gate)
+                .expect("config validated at bind");
+            self.machines.insert(
+                rec.machine_id,
+                MachineEntry {
+                    name: format!("m{:03}", rec.machine_id),
+                    pipeline,
+                    session,
+                },
+            );
+        }
+        let entry = self
+            .machines
+            .get_mut(&rec.machine_id)
+            .expect("present or just inserted");
+        entry.session = session;
+        entry.pipeline.ingest(
+            counter,
+            StreamSample {
+                time_secs: rec.time_secs,
+                value: rec.value,
+            },
+            &mut self.scratch,
+        );
+        self.enqueue(rec.machine_id);
+        true
+    }
+
+    fn machine_done(&mut self, machine_id: u64) {
+        if let Some(entry) = self.machines.get_mut(&machine_id) {
+            entry.pipeline.finish(&mut self.scratch);
+            self.enqueue(machine_id);
+        }
+        self.release();
+    }
+
+    /// Finishes every machine the closing session was feeding, so a dead
+    /// client cannot hold the global watermark hostage.
+    fn session_closed(&mut self, session: u64) {
+        let ids: Vec<u64> = self
+            .machines
+            .iter()
+            .filter(|(_, e)| e.session == session && !e.pipeline.is_finished())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let entry = self.machines.get_mut(&id).expect("listed above");
+            entry.pipeline.finish(&mut self.scratch);
+            self.enqueue(id);
+        }
+        self.release();
+    }
+
+    /// Moves every pending event at or below the fleet watermark (the
+    /// minimum completed tick over unfinished machines) into the
+    /// released history.
+    fn release(&mut self) {
+        // With a fleet-size expectation, the watermark is meaningless
+        // until everyone has checked in — a machine the server has never
+        // heard from cannot hold it down.
+        if self
+            .expected_machines
+            .is_some_and(|n| (self.machines.len() as u64) < n)
+        {
+            return;
+        }
+        let watermark = self
+            .machines
+            .values()
+            .filter(|e| !e.pipeline.is_finished())
+            .map(|e| e.pipeline.completed_time_secs())
+            .fold(f64::INFINITY, f64::min);
+        while self
+            .pending
+            .peek()
+            .is_some_and(|p| p.event.time_secs <= watermark)
+        {
+            let event = self.pending.pop().expect("peeked").event;
+            match event.level {
+                AlertLevel::Warning => self.warnings += 1,
+                AlertLevel::Alarm => self.alarms += 1,
+            }
+            self.released.push(event);
+        }
+    }
+
+    /// Finishes every feed and releases everything — shutdown drain.
+    fn drain_all(&mut self) {
+        // The drain must empty the heap even if fewer machines than
+        // expected ever showed up.
+        self.expected_machines = None;
+        let ids: Vec<u64> = self.machines.keys().copied().collect();
+        for id in ids {
+            let entry = self.machines.get_mut(&id).expect("listed above");
+            entry.pipeline.finish(&mut self.scratch);
+            self.enqueue(id);
+        }
+        self.release();
+        debug_assert!(self.pending.is_empty());
+    }
+
+    fn snapshot(&mut self) -> Snapshot {
+        self.status_seq += 1;
+        let mut ingestion = StageCounters::default();
+        let mut latency = LatencyHistogram::default();
+        let mut detector_errors = 0u64;
+        let mut live = 0usize;
+        let mut finished = 0usize;
+        let mut t = 0.0f64;
+        for e in self.machines.values() {
+            ingestion.merge(&e.pipeline.counters());
+            latency.merge(e.pipeline.latency());
+            detector_errors += e.pipeline.detector_errors();
+            if e.pipeline.is_finished() {
+                finished += 1;
+            } else {
+                live += 1;
+            }
+            let machine_t = e
+                .pipeline
+                .tick_time_secs()
+                .unwrap_or_else(|| e.pipeline.completed_time_secs());
+            if machine_t.is_finite() {
+                t = t.max(machine_t);
+            }
+        }
+        Snapshot {
+            sequence: self.status_seq,
+            stream_time_secs: t,
+            machines_live: live,
+            machines_finished: finished,
+            ingestion,
+            detector_latency: latency,
+            warnings_emitted: self.warnings,
+            alarms_emitted: self.alarms,
+            alarm_queue_depth: self.pending.len(),
+            telemetry_dropped: 0,
+            detector_errors,
+        }
+    }
+
+    fn machine_snapshot(&self, machine_id: u64) -> Option<MachineSnapshot> {
+        self.machines
+            .get(&machine_id)
+            .map(|e| e.pipeline.snapshot(machine_id, &e.name))
+    }
+
+    fn status_json(&mut self) -> String {
+        let status = ServeStatus {
+            wire: self.wire,
+            fleet: self.snapshot(),
+        };
+        serde_json::to_string(&status).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+    }
+
+    fn alarms_since(&self, since: u64, chunk: u16) -> (u64, Vec<ServeEvent>) {
+        let total = self.released.len() as u64;
+        let start = since.min(total) as usize;
+        let end = (start + usize::from(chunk)).min(self.released.len());
+        (total, self.released[start..end].to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    cfg: ServeConfig,
+    engine: Mutex<Engine>,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Locks the engine, recovering from poisoning: a panicked session
+    /// (already counted) must not take the whole server down with it.
+    fn engine(&self) -> MutexGuard<'_, Engine> {
+        match self.engine.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A running ingestion/query server.
+///
+/// Bind with [`Server::bind`], connect clients to [`Server::local_addr`],
+/// and call [`Server::shutdown`] to drain and collect the
+/// [`ServeReport`].
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("local_addr", &self.local_addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds the listener (use `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ServeConfig::validate`] failures and socket errors
+    /// (as [`Error::Io`]).
+    pub fn bind(addr: &str, cfg: ServeConfig) -> Result<Server> {
+        cfg.validate()?;
+        let listener = TcpListener::bind(addr).map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let local_addr = listener.local_addr().map_err(io_err)?;
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(Engine::new(&cfg)),
+            cfg,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || accept_loop(&accept_shared, &listener))
+            .map_err(io_err)?;
+        Ok(Server {
+            local_addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A live status document (same schema as the wire query reply).
+    pub fn status(&self) -> ServeStatus {
+        let mut engine = self.shared.engine();
+        ServeStatus {
+            wire: engine.wire,
+            fleet: engine.snapshot(),
+        }
+    }
+
+    /// Number of alarm-history events released so far.
+    pub fn released_events(&self) -> usize {
+        self.shared.engine().released.len()
+    }
+
+    /// Stops accepting, lets every session drain its buffered frames,
+    /// finishes all feeds and returns the full report. Alarms from every
+    /// acked batch are present — acks are only sent after the batch has
+    /// been ingested by the engine.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            match accept.join() {
+                Ok(sessions) => {
+                    for handle in sessions {
+                        let _ = handle.join();
+                    }
+                }
+                Err(_) => {
+                    self.shared.engine().wire.session_panics += 1;
+                }
+            }
+        }
+        let mut engine = self.shared.engine();
+        engine.drain_all();
+        let machines = engine
+            .machines
+            .iter()
+            .map(|(&id, e)| e.pipeline.snapshot(id, &e.name))
+            .collect();
+        ServeReport {
+            events: std::mem::take(&mut engine.released),
+            status: engine.snapshot(),
+            wire: engine.wire,
+            machines,
+        }
+    }
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::Io(e.to_string())
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) -> Vec<std::thread::JoinHandle<()>> {
+    let mut sessions = Vec::new();
+    let mut session_id = 0u64;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                session_id += 1;
+                let id = session_id;
+                shared.engine().wire.connections += 1;
+                let session_shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-session-{id}"))
+                    .spawn(move || session_thread(&session_shared, &stream, id));
+                match handle {
+                    Ok(h) => sessions.push(h),
+                    Err(_) => {
+                        shared.engine().wire.sessions_closed += 1;
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+    sessions
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// Why a session ended.
+enum SessionEnd {
+    /// Clean close (EOF, `Bye`, shutdown, idle timeout).
+    Clean,
+    /// The peer was quarantined; `corrupt` marks lost framing integrity
+    /// (vs. a strike threshold reached on intact frames).
+    Quarantined { corrupt: bool },
+}
+
+fn session_thread(shared: &Arc<Shared>, stream: &TcpStream, session_id: u64) {
+    let end = catch_unwind(AssertUnwindSafe(|| run_session(shared, stream, session_id)));
+    let mut engine = shared.engine();
+    match end {
+        Ok(SessionEnd::Clean) => {}
+        Ok(SessionEnd::Quarantined { corrupt }) => {
+            engine.wire.quarantined += 1;
+            if corrupt {
+                engine.wire.corrupt_streams += 1;
+            }
+        }
+        Err(_) => {
+            engine.wire.session_panics += 1;
+            engine.wire.quarantined += 1;
+        }
+    }
+    engine.session_closed(session_id);
+    engine.wire.sessions_closed += 1;
+    drop(engine);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn send_frame(mut stream: &TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(&encode_frame(frame))
+}
+
+fn send_line(mut stream: &TcpStream, line: &str) -> std::io::Result<()> {
+    let mut out = Vec::with_capacity(line.len() + 1);
+    out.extend_from_slice(line.as_bytes());
+    out.push(b'\n');
+    stream.write_all(&out)
+}
+
+enum ReadOutcome {
+    Data(usize),
+    Eof,
+    Timeout,
+    Err,
+}
+
+fn read_some(mut stream: &TcpStream, buf: &mut [u8]) -> ReadOutcome {
+    match stream.read(buf) {
+        Ok(0) => ReadOutcome::Eof,
+        Ok(n) => ReadOutcome::Data(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            ReadOutcome::Timeout
+        }
+        Err(_) => ReadOutcome::Err,
+    }
+}
+
+/// Reads the first bytes, decides binary vs text mode, then runs the
+/// session to completion.
+fn run_session(shared: &Arc<Shared>, stream: &TcpStream, session_id: u64) -> SessionEnd {
+    let cfg = &shared.cfg;
+    let poll = Duration::from_millis(cfg.read_poll_ms.max(1));
+    let stall = Duration::from_millis(cfg.stall_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(poll));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))));
+    let _ = stream.set_nodelay(true);
+
+    // Mode detection: accumulate until the prefix diverges from the text
+    // preamble or covers it entirely.
+    let mut first = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let started = Instant::now();
+    let is_text = loop {
+        let matched = first
+            .iter()
+            .zip(TEXT_PREAMBLE.iter())
+            .take_while(|(a, b)| a == b)
+            .count();
+        if matched < first.len().min(TEXT_PREAMBLE.len()) {
+            break false; // diverged: binary framing
+        }
+        if first.len() >= TEXT_PREAMBLE.len() {
+            break true; // full preamble matched
+        }
+        match read_some(stream, &mut buf) {
+            ReadOutcome::Data(n) => first.extend_from_slice(&buf[..n]),
+            ReadOutcome::Eof => return SessionEnd::Clean, // nothing useful sent
+            ReadOutcome::Timeout => {
+                if shared.shutdown.load(Ordering::SeqCst) || started.elapsed() >= stall {
+                    return SessionEnd::Clean;
+                }
+            }
+            ReadOutcome::Err => return SessionEnd::Clean,
+        }
+    };
+
+    if is_text {
+        shared.engine().wire.text_sessions += 1;
+        let rest = first[TEXT_PREAMBLE.len()..].to_vec();
+        run_text_session(shared, stream, session_id, &rest, &mut buf)
+    } else {
+        run_binary_session(shared, stream, session_id, &first, &mut buf)
+    }
+}
+
+enum FrameOutcome {
+    Continue,
+    Close,
+}
+
+fn run_binary_session(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    session_id: u64,
+    initial: &[u8],
+    buf: &mut [u8],
+) -> SessionEnd {
+    let cfg = &shared.cfg;
+    let stall = Duration::from_millis(cfg.stall_timeout_ms.max(1));
+    let mut dec = FrameDecoder::new(cfg.max_frame_bytes);
+    dec.feed(initial);
+    maybe_busy(shared, stream, &dec);
+    let mut strikes = 0u32;
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Drain every complete frame currently buffered.
+        loop {
+            match dec.next_payload() {
+                Err(corrupt) => {
+                    let _ = send_frame(
+                        stream,
+                        &Frame::Error {
+                            code: ERR_QUARANTINED,
+                            message: corrupt.reason,
+                        },
+                    );
+                    return SessionEnd::Quarantined { corrupt: true };
+                }
+                Ok(None) => break,
+                Ok(Some(payload)) => {
+                    shared.engine().wire.frames += 1;
+                    match Frame::decode_payload(&payload) {
+                        Err(reason) => {
+                            strikes += 1;
+                            shared.engine().wire.malformed_frames += 1;
+                            let _ = send_frame(
+                                stream,
+                                &Frame::Error {
+                                    code: ERR_MALFORMED,
+                                    message: reason,
+                                },
+                            );
+                            if strikes >= cfg.quarantine_after {
+                                let _ = send_frame(
+                                    stream,
+                                    &Frame::Error {
+                                        code: ERR_QUARANTINED,
+                                        message: format!("{strikes} consecutive malformed frames"),
+                                    },
+                                );
+                                return SessionEnd::Quarantined { corrupt: false };
+                            }
+                        }
+                        Ok(frame) => {
+                            strikes = 0;
+                            match handle_frame(shared, stream, session_id, frame) {
+                                FrameOutcome::Continue => {}
+                                FrameOutcome::Close => return SessionEnd::Clean,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        match read_some(stream, buf) {
+            ReadOutcome::Data(n) => {
+                last_activity = Instant::now();
+                dec.feed(&buf[..n]);
+                maybe_busy(shared, stream, &dec);
+            }
+            ReadOutcome::Eof => {
+                // All complete frames were processed above; dying with a
+                // partial frame on the wire is a truncation.
+                if dec.mid_frame() {
+                    return SessionEnd::Quarantined { corrupt: true };
+                }
+                return SessionEnd::Clean;
+            }
+            ReadOutcome::Timeout => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    // Graceful drain: everything buffered was already
+                    // processed and acked before we got here.
+                    return SessionEnd::Clean;
+                }
+                if last_activity.elapsed() >= stall {
+                    if dec.mid_frame() {
+                        return SessionEnd::Quarantined { corrupt: true };
+                    }
+                    return SessionEnd::Clean;
+                }
+            }
+            ReadOutcome::Err => return SessionEnd::Clean,
+        }
+    }
+}
+
+/// Sends an advisory `Busy` frame when a read burst left more complete
+/// frames buffered than the advertised credit window.
+fn maybe_busy(shared: &Arc<Shared>, stream: &TcpStream, dec: &FrameDecoder) {
+    let backlog = dec.buffered_frames();
+    if backlog > u32::from(shared.cfg.window) {
+        let _ = send_frame(stream, &Frame::Busy { backlog });
+        shared.engine().wire.busy_sent += 1;
+    }
+}
+
+fn handle_frame(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    session_id: u64,
+    frame: Frame,
+) -> FrameOutcome {
+    let cfg = &shared.cfg;
+    match frame {
+        Frame::Hello { version, name: _ } => {
+            if version != PROTOCOL_VERSION {
+                let _ = send_frame(
+                    stream,
+                    &Frame::Error {
+                        code: ERR_VERSION,
+                        message: format!(
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                );
+                return FrameOutcome::Close;
+            }
+            let _ = send_frame(
+                stream,
+                &Frame::HelloAck {
+                    version: PROTOCOL_VERSION,
+                    window: cfg.window,
+                    max_frame: cfg.max_frame_bytes,
+                },
+            );
+            FrameOutcome::Continue
+        }
+        Frame::Batch { seq, records } => {
+            let accepted = {
+                let mut engine = shared.engine();
+                engine.wire.batches += 1;
+                engine.wire.records += records.len() as u64;
+                let mut accepted = 0u16;
+                for rec in &records {
+                    if engine.ingest(session_id, *rec) {
+                        accepted = accepted.saturating_add(1);
+                    }
+                }
+                engine.release();
+                engine.wire.acks_sent += 1;
+                accepted
+            };
+            let _ = send_frame(stream, &Frame::Ack { seq, accepted });
+            FrameOutcome::Continue
+        }
+        Frame::MachineDone { machine_id } => {
+            shared.engine().machine_done(machine_id);
+            FrameOutcome::Continue
+        }
+        Frame::QueryStatus => {
+            let json = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.status_json()
+            };
+            let _ = send_frame(stream, &Frame::StatusReply { json });
+            FrameOutcome::Continue
+        }
+        Frame::QueryMachine { machine_id } => {
+            let json = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.machine_snapshot(machine_id).map(|snap| {
+                    serde_json::to_string(&snap)
+                        .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+                })
+            };
+            let _ = send_frame(stream, &Frame::MachineReply { json });
+            FrameOutcome::Continue
+        }
+        Frame::QueryAlarms { since } => {
+            let (total, events) = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.release();
+                engine.alarms_since(since, cfg.alarm_chunk)
+            };
+            let _ = send_frame(
+                stream,
+                &Frame::AlarmsReply {
+                    since,
+                    total,
+                    events,
+                },
+            );
+            FrameOutcome::Continue
+        }
+        Frame::Bye => {
+            // Finish this session's feeds *before* acking, so `ByeAck`
+            // is a barrier: once the client sees it, every event its
+            // records produced has been released (or awaits only other
+            // sessions' watermarks).
+            shared.engine().session_closed(session_id);
+            let _ = send_frame(stream, &Frame::ByeAck);
+            FrameOutcome::Close
+        }
+        // Server-to-client frames arriving at the server are protocol
+        // violations carried by intact frames: report and continue.
+        Frame::HelloAck { .. }
+        | Frame::Ack { .. }
+        | Frame::Busy { .. }
+        | Frame::StatusReply { .. }
+        | Frame::MachineReply { .. }
+        | Frame::AlarmsReply { .. }
+        | Frame::ByeAck
+        | Frame::Error { .. } => {
+            let _ = send_frame(
+                stream,
+                &Frame::Error {
+                    code: ERR_MALFORMED,
+                    message: "unexpected server-side frame".into(),
+                },
+            );
+            FrameOutcome::Continue
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Text sessions
+// ---------------------------------------------------------------------------
+
+fn render_event_text(event: &ServeEvent) -> String {
+    let level = match event.level {
+        AlertLevel::Warning => "warning",
+        AlertLevel::Alarm => "alarm",
+    };
+    match event.kind {
+        AlarmKind::Detector {
+            counter, detector, ..
+        } => format!(
+            "event {} {:.3} {} detector {} {}",
+            event.machine_id, event.time_secs, level, counter, detector
+        ),
+        AlarmKind::MachineAlarm { votes, members } => format!(
+            "event {} {:.3} {} machine-alarm {}/{}",
+            event.machine_id, event.time_secs, level, votes, members
+        ),
+    }
+}
+
+fn run_text_session(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    session_id: u64,
+    initial: &[u8],
+    buf: &mut [u8],
+) -> SessionEnd {
+    let cfg = &shared.cfg;
+    let stall = Duration::from_millis(cfg.stall_timeout_ms.max(1));
+    let mut acc: Vec<u8> = initial.to_vec();
+    let mut strikes = 0u32;
+    let mut last_activity = Instant::now();
+
+    loop {
+        while let Some(nl) = acc.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = acc.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..nl]);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_text_line(line) {
+                Err(reason) => {
+                    strikes += 1;
+                    shared.engine().wire.malformed_frames += 1;
+                    let _ = send_line(stream, &format!("err {reason}"));
+                    if strikes >= cfg.quarantine_after {
+                        let _ = send_line(stream, "err quarantined");
+                        return SessionEnd::Quarantined { corrupt: false };
+                    }
+                }
+                Ok(cmd) => {
+                    strikes = 0;
+                    match handle_text(shared, stream, session_id, cmd) {
+                        FrameOutcome::Continue => {}
+                        FrameOutcome::Close => return SessionEnd::Clean,
+                    }
+                }
+            }
+        }
+        // Unbounded-line guard: a peer that never sends a newline would
+        // otherwise grow the accumulator forever.
+        if acc.len() > cfg.max_frame_bytes as usize {
+            let _ = send_line(stream, "err line too long");
+            return SessionEnd::Quarantined { corrupt: true };
+        }
+
+        match read_some(stream, buf) {
+            ReadOutcome::Data(n) => {
+                last_activity = Instant::now();
+                acc.extend_from_slice(&buf[..n]);
+            }
+            ReadOutcome::Eof => return SessionEnd::Clean,
+            ReadOutcome::Timeout => {
+                if shared.shutdown.load(Ordering::SeqCst) || last_activity.elapsed() >= stall {
+                    return SessionEnd::Clean;
+                }
+            }
+            ReadOutcome::Err => return SessionEnd::Clean,
+        }
+    }
+}
+
+fn handle_text(
+    shared: &Arc<Shared>,
+    stream: &TcpStream,
+    session_id: u64,
+    cmd: TextCommand,
+) -> FrameOutcome {
+    match cmd {
+        TextCommand::Hello { .. } => {
+            let _ = send_line(stream, &format!("ok aging-serve v{PROTOCOL_VERSION}"));
+            FrameOutcome::Continue
+        }
+        TextCommand::Sample {
+            machine_id,
+            counter,
+            time_secs,
+            value,
+        } => {
+            let ok = {
+                let mut engine = shared.engine();
+                engine.wire.records += 1;
+                let ok = engine.ingest(
+                    session_id,
+                    Record {
+                        machine_id,
+                        counter,
+                        time_secs,
+                        value,
+                    },
+                );
+                engine.release();
+                ok
+            };
+            let _ = send_line(stream, if ok { "ok" } else { "err rejected" });
+            FrameOutcome::Continue
+        }
+        TextCommand::Done { machine_id } => {
+            shared.engine().machine_done(machine_id);
+            let _ = send_line(stream, "ok");
+            FrameOutcome::Continue
+        }
+        TextCommand::Status => {
+            let json = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.status_json()
+            };
+            let _ = send_line(stream, &json);
+            FrameOutcome::Continue
+        }
+        TextCommand::Machine { machine_id } => {
+            let reply = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine
+                    .machine_snapshot(machine_id)
+                    .and_then(|snap| serde_json::to_string(&snap).ok())
+            };
+            match reply {
+                Some(json) => {
+                    let _ = send_line(stream, &json);
+                }
+                None => {
+                    let _ = send_line(stream, "err unknown machine");
+                }
+            }
+            FrameOutcome::Continue
+        }
+        TextCommand::Alarms { since } => {
+            let (total, events) = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.release();
+                engine.alarms_since(since, shared.cfg.alarm_chunk)
+            };
+            let _ = send_line(stream, &format!("alarms {total}"));
+            for event in &events {
+                let _ = send_line(stream, &render_event_text(event));
+            }
+            let _ = send_line(stream, "end");
+            FrameOutcome::Continue
+        }
+        TextCommand::Bye => {
+            // Same barrier as the binary `Bye`: finish this session's
+            // feeds before the farewell line goes out.
+            shared.engine().session_closed(session_id);
+            let _ = send_line(stream, "ok bye");
+            FrameOutcome::Close
+        }
+    }
+}

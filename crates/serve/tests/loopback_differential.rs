@@ -1,0 +1,121 @@
+//! The E14 hard gate, test-sized: the alarm history produced by feeding
+//! a fleet over loopback TCP must be **byte-identical** (under the
+//! canonical event codec) to an offline
+//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) run of
+//! the same scenarios — at every `AGING_THREADS` setting, since both
+//! sides pin the same `(time, machine, emission)` order.
+//!
+//! ci.sh runs this file under `AGING_THREADS=1` and `=4`.
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_serve::loadgen::{drive, LoadgenConfig};
+use aging_serve::protocol::{encode_events, ServeEvent};
+use aging_serve::{ServeConfig, Server};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetSupervisor};
+use aging_stream::GateConfig;
+
+fn fleet_config() -> FleetConfig {
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let mut cfg = FleetConfig::new(detectors, 8.0 * 3600.0);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = (0..3)
+        .map(|i| Scenario::tiny_aging(seed + i, 192.0))
+        .collect();
+    out.push(Scenario::tiny_aging(seed + 3, 0.0)); // healthy control
+    out
+}
+
+/// Offline events in the server's address space (machine id = scenario
+/// index).
+fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+    let report = FleetSupervisor::new(cfg.clone())
+        .expect("offline supervisor")
+        .run(fleet)
+        .expect("offline run");
+    report
+        .events
+        .iter()
+        .map(|e| ServeEvent {
+            machine_id: e.machine_index as u64,
+            time_secs: e.time_secs,
+            level: e.level,
+            kind: e.kind,
+        })
+        .collect()
+}
+
+fn online_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+    let mut serve_cfg = ServeConfig::from_fleet(cfg);
+    // Pin the global release order: without the fleet-size hold, a fast
+    // feeder's early alarms could be released before a slow feeder's
+    // machine registers, permuting the history.
+    serve_cfg.expected_machines = Some(fleet.len() as u64);
+    let server = Server::bind("127.0.0.1:0", serve_cfg).expect("bind server");
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        batch_records: 32,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 0,
+        counters: vec![Counter::AvailableBytes],
+    };
+    let report =
+        drive(server.local_addr(), fleet, cfg.horizon_secs, &loadgen).expect("loadgen drive");
+    assert!(report.records_sent > 0, "loadgen fed nothing");
+    assert_eq!(
+        report.records_sent, report.records_accepted,
+        "every record must be acked as accepted"
+    );
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0, "server must not panic");
+    assert_eq!(
+        outcome.wire.quarantined, 0,
+        "clean clients must not be quarantined"
+    );
+    // The polled history from drive() must be a consistent prefix of —
+    // here, with every machine done, identical to — the drained history.
+    assert_eq!(
+        encode_events(&report.alarms),
+        encode_events(&outcome.events),
+        "queried history and drained history disagree"
+    );
+    outcome.events
+}
+
+#[test]
+fn tcp_alarm_stream_is_byte_identical_to_offline_supervisor() {
+    for seed in [0x00c0_ffee_u64, 42] {
+        let cfg = fleet_config();
+        let fleet = scenarios(seed);
+        let offline = offline_events(&cfg, &fleet);
+        let online = online_events(&cfg, &fleet);
+        assert!(
+            !offline.is_empty(),
+            "seed {seed:#x}: expected alarms from leaky machines"
+        );
+        assert_eq!(
+            encode_events(&offline),
+            encode_events(&online),
+            "seed {seed:#x}: TCP-path alarm history diverged from the offline supervisor \
+             (offline {} events, online {})",
+            offline.len(),
+            online.len()
+        );
+    }
+}

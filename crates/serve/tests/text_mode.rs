@@ -1,0 +1,126 @@
+//! Smoke test for the line-delimited text fallback protocol: a raw TCP
+//! client opens with the `TEXT\n` preamble, feeds a depleting machine,
+//! queries status / machine / alarm history, and says goodbye — all
+//! without ever touching the binary codec. A second connection earns a
+//! quarantine by talking nonsense.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use aging_serve::{ServeConfig, Server};
+
+fn connect_text(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn text_session_feeds_queries_and_closes() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig::new(aging_serve::test_detectors()),
+    )
+    .expect("bind");
+    let (mut stream, mut reader) = connect_text(server.local_addr());
+
+    // Preamble + hello. The depleting feed mirrors the pipeline unit
+    // test that provably alarms under `test_detectors()`.
+    let mut script = String::from("TEXT\nhello smoke\n");
+    for i in 0..400 {
+        script.push_str(&format!(
+            "sample 7 available_bytes {} {}\n",
+            i as f64 * 5.0,
+            1e6 - 400.0 * i as f64
+        ));
+    }
+    script.push_str("done 7\nstatus\nmachine 7\nalarms 0\nbye\n");
+    stream.write_all(script.as_bytes()).expect("write script");
+
+    let banner = read_line(&mut reader);
+    assert!(
+        banner.starts_with("ok aging-serve"),
+        "unexpected banner {banner:?}"
+    );
+    for i in 0..400 {
+        assert_eq!(read_line(&mut reader), "ok", "sample {i} not acked");
+    }
+    assert_eq!(read_line(&mut reader), "ok", "done not acked");
+
+    let status = read_line(&mut reader);
+    assert!(
+        status.starts_with('{') && status.contains("\"machines_finished\":1"),
+        "unexpected status json {status:?}"
+    );
+    let machine = read_line(&mut reader);
+    assert!(
+        machine.starts_with('{') && machine.contains("\"machine_id\":7"),
+        "unexpected machine json {machine:?}"
+    );
+
+    let header = read_line(&mut reader);
+    let total: u64 = header
+        .strip_prefix("alarms ")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("unexpected alarms header {header:?}"));
+    assert!(total >= 2, "expected detector + fused alarm, got {total}");
+    let mut saw_machine_alarm = false;
+    for _ in 0..total {
+        let event = read_line(&mut reader);
+        assert!(
+            event.starts_with("event 7 "),
+            "unexpected event line {event:?}"
+        );
+        saw_machine_alarm |= event.contains("machine-alarm");
+    }
+    assert!(
+        saw_machine_alarm,
+        "fused machine alarm missing from history"
+    );
+    assert_eq!(read_line(&mut reader), "end");
+    assert_eq!(read_line(&mut reader), "ok bye");
+
+    let report = server.shutdown();
+    assert_eq!(report.wire.session_panics, 0);
+    assert_eq!(report.wire.text_sessions, 1);
+    assert_eq!(report.wire.quarantined, 0);
+    assert_eq!(report.wire.records, 400);
+}
+
+#[test]
+fn text_gibberish_earns_quarantine() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig::new(aging_serve::test_detectors()),
+    )
+    .expect("bind");
+    let (mut stream, mut reader) = connect_text(server.local_addr());
+
+    stream
+        .write_all(b"TEXT\nhello smoke\nfrobnicate\nsample nope\nbogus 1 2 3\n")
+        .expect("write script");
+    assert!(read_line(&mut reader).starts_with("ok aging-serve"));
+    for _ in 0..3 {
+        let line = read_line(&mut reader);
+        assert!(line.starts_with("err "), "expected strike, got {line:?}");
+    }
+    // Three consecutive strikes (the default `quarantine_after`) close
+    // the session with an explicit reason.
+    assert_eq!(read_line(&mut reader), "err quarantined");
+
+    let report = server.shutdown();
+    assert_eq!(report.wire.session_panics, 0);
+    assert_eq!(report.wire.quarantined, 1);
+    assert_eq!(
+        report.wire.corrupt_streams, 0,
+        "gibberish is not framing loss"
+    );
+    assert_eq!(report.wire.malformed_frames, 3);
+}

@@ -1,0 +1,211 @@
+//! Differential wire-fault suite: a damaged client and a healthy client
+//! share one server; every fault class must (a) never panic the server,
+//! (b) quarantine exactly the damaged client, and (c) leave the healthy
+//! client's feed fully acked.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+
+use aging_chaos::wire::{WireChaos, WireFault, WirePlan, WriteOp};
+use aging_memsim::Counter;
+use aging_serve::protocol::{counter_code, encode_frame, Frame, Record, PROTOCOL_VERSION};
+use aging_serve::{ServeClient, ServeConfig, Server};
+
+/// Frames a typical feeder connection would send for machine 1.
+fn damaged_client_frames() -> Vec<Vec<u8>> {
+    let records = |base: usize| -> Vec<Record> {
+        (0..8)
+            .map(|i| Record {
+                machine_id: 1,
+                counter: counter_code(Counter::AvailableBytes),
+                time_secs: ((base + i) as f64) * 5.0,
+                value: 1_000_000.0 - (base + i) as f64,
+            })
+            .collect()
+    };
+    vec![
+        encode_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "chaos".into(),
+        }),
+        encode_frame(&Frame::Batch {
+            seq: 1,
+            records: records(0),
+        }),
+        encode_frame(&Frame::Batch {
+            seq: 2,
+            records: records(8),
+        }),
+        encode_frame(&Frame::Bye),
+    ]
+}
+
+/// Writes the frame sequence through the fault rewriter, tolerating
+/// write errors (the server may already have cut the connection).
+fn run_damaged_client(addr: std::net::SocketAddr, plan: &WirePlan) {
+    let mut stream = TcpStream::connect(addr).expect("connect damaged client");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut chaos = WireChaos::new(plan);
+    let mut ops = Vec::new();
+    for frame in damaged_client_frames() {
+        chaos.apply(&frame, &mut ops);
+    }
+    for op in ops {
+        match op {
+            WriteOp::Data(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    return; // server already quarantined us
+                }
+            }
+            WriteOp::Disconnect => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    // Linger briefly so the server reads our tail before we vanish.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}
+
+/// Drives a healthy windowed client for machine 0; every record must be
+/// accepted regardless of what the damaged peer does.
+fn run_healthy_client(addr: std::net::SocketAddr) {
+    let mut client = ServeClient::connect(addr, "healthy").expect("healthy connect");
+    let records: Vec<Record> = (0..60)
+        .map(|i| Record {
+            machine_id: 0,
+            counter: counter_code(Counter::AvailableBytes),
+            time_secs: i as f64 * 5.0,
+            value: 2_000_000.0 - i as f64 * 10.0,
+        })
+        .collect();
+    for chunk in records.chunks(10) {
+        client.send_batch(chunk).expect("healthy batch");
+    }
+    client.machine_done(0).expect("healthy done");
+    client.flush().expect("healthy flush");
+    assert_eq!(
+        client.records_accepted(),
+        60,
+        "healthy records must all land"
+    );
+    client.bye().expect("healthy bye");
+}
+
+struct Expect {
+    quarantined: u64,
+    corrupt_streams: u64,
+}
+
+fn run_case(name: &str, plan: WirePlan, expect: &Expect) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig::new(aging_serve::test_detectors()),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let damaged = scope.spawn(|| run_damaged_client(addr, &plan));
+        let healthy = scope.spawn(|| run_healthy_client(addr));
+        damaged.join().expect("damaged client thread");
+        healthy.join().expect("healthy client thread");
+    });
+    // Let the server-side sessions observe EOFs before draining.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let report = server.shutdown();
+    assert_eq!(
+        report.wire.session_panics, 0,
+        "{name}: server must never panic"
+    );
+    assert_eq!(
+        report.wire.quarantined, expect.quarantined,
+        "{name}: exactly the damaged client is quarantined (wire: {:?})",
+        report.wire
+    );
+    assert_eq!(
+        report.wire.corrupt_streams, expect.corrupt_streams,
+        "{name}: corrupt-stream accounting (wire: {:?})",
+        report.wire
+    );
+    // The healthy machine's pipeline saw its full feed either way.
+    let healthy = report
+        .machines
+        .iter()
+        .find(|m| m.machine_id == 0)
+        .expect("healthy machine tracked");
+    assert!(healthy.finished, "{name}: healthy feed ran to completion");
+}
+
+#[test]
+fn clean_run_quarantines_nobody() {
+    for seed in [11u64, 0x00c0_ffee] {
+        run_case(
+            "clean",
+            WirePlan::new(seed),
+            &Expect {
+                quarantined: 0,
+                corrupt_streams: 0,
+            },
+        );
+    }
+}
+
+#[test]
+fn split_writes_are_semantically_invisible() {
+    for seed in [11u64, 0x00c0_ffee] {
+        run_case(
+            "split-writes",
+            WirePlan::new(seed).with(WireFault::SplitWrites { chunk: 3 }),
+            &Expect {
+                quarantined: 0,
+                corrupt_streams: 0,
+            },
+        );
+    }
+}
+
+#[test]
+fn truncated_frame_quarantines_only_the_damaged_client() {
+    for seed in [11u64, 0x00c0_ffee] {
+        run_case(
+            "truncate",
+            WirePlan::new(seed).with(WireFault::Truncate {
+                frame: 2,
+                keep_bytes: 10,
+            }),
+            &Expect {
+                quarantined: 1,
+                corrupt_streams: 1,
+            },
+        );
+    }
+}
+
+#[test]
+fn corrupted_bit_quarantines_only_the_damaged_client() {
+    for seed in [11u64, 0x00c0_ffee, 7, 1234, 0xdead_beef] {
+        run_case(
+            "corrupt-bit",
+            WirePlan::new(seed).with(WireFault::CorruptBit { frame: 1 }),
+            &Expect {
+                quarantined: 1,
+                corrupt_streams: 1,
+            },
+        );
+    }
+}
+
+#[test]
+fn boundary_disconnect_is_a_clean_close() {
+    for seed in [11u64, 0x00c0_ffee] {
+        run_case(
+            "disconnect-after",
+            WirePlan::new(seed).with(WireFault::DisconnectAfter { frames: 2 }),
+            &Expect {
+                quarantined: 0,
+                corrupt_streams: 0,
+            },
+        );
+    }
+}

@@ -59,6 +59,7 @@
 
 pub mod detector;
 pub mod gate;
+pub mod pipeline;
 pub mod source;
 pub mod supervisor;
 pub mod telemetry;
@@ -67,9 +68,13 @@ pub use aging_timeseries::{Error, Result};
 
 pub use detector::{DetectorSpec, StreamingDetector};
 pub use gate::{GateAction, GateConfig, GateHealth, SampleGate};
+pub use pipeline::{MachinePipeline, PipelineEvent};
 pub use source::{SamplePerturber, SampleSource, StreamSample};
 pub use supervisor::{
     AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
     MachineOutcome, PerturberFactory,
 };
-pub use telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};
+pub use telemetry::{
+    CounterStreamSnapshot, LatencyHistogram, MachineSnapshot, Snapshot, StageCounters,
+    StatusSnapshot,
+};

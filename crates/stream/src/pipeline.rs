@@ -1,0 +1,495 @@
+//! Per-machine detection pipeline: the gate → detector → fusion core of
+//! the fleet supervisor, factored out so *any* transport can feed it one
+//! sample at a time.
+//!
+//! A [`MachinePipeline`] owns one machine's counter streams — one
+//! [`SampleGate`] and one [`StreamingDetector`] per monitored counter —
+//! plus the machine-level [`FusionRule`] vote. It is the single shared
+//! implementation behind two callers:
+//!
+//! - the in-process [`crate::supervisor::FleetSupervisor`], which steps
+//!   simulated machines itself and knows exactly when a monitor *tick*
+//!   (one sample of every counter at one timestamp) is complete, and
+//! - the networked ingestion server (`aging-serve`), which receives
+//!   `(machine, counter, time, value)` records one at a time over TCP
+//!   and cannot see tick boundaries directly.
+//!
+//! Because both paths run the identical pipeline code on the identical
+//! sample sequences, the network layer is alarm-for-alarm equivalent to
+//! the offline supervisor *by construction* — the E14 parity experiment
+//! turns that equivalence into a hard byte-identity gate.
+//!
+//! # Tick semantics
+//!
+//! Fusion votes are evaluated once per tick, after every counter's sample
+//! of that tick has been consumed. The supervisor calls [`end_tick`]
+//! explicitly. The record-at-a-time path uses [`ingest`], which infers
+//! tick boundaries from the sample clock: a record with a strictly later
+//! timestamp completes the previous tick (running its deferred fusion
+//! vote first, so emission order matches the supervisor's), and
+//! [`finish`] completes the final tick when the feed ends. The deferred
+//! vote is why [`completed_time_secs`] — the watermark up to which this
+//! machine's event stream is final — trails the newest sample by one
+//! tick on the incremental path.
+//!
+//! [`end_tick`]: MachinePipeline::end_tick
+//! [`ingest`]: MachinePipeline::ingest
+//! [`finish`]: MachinePipeline::finish
+//! [`completed_time_secs`]: MachinePipeline::completed_time_secs
+
+use std::time::Instant;
+
+use aging_core::fusion::FusionRule;
+use aging_memsim::Counter;
+use aging_timeseries::Result;
+
+use crate::detector::{AlertDetail, DetectorSpec, StreamingDetector};
+use crate::gate::{GateAction, GateConfig, GateHealth, SampleGate};
+use crate::source::StreamSample;
+use crate::telemetry::{CounterStreamSnapshot, LatencyHistogram, MachineSnapshot, StageCounters};
+
+pub use aging_core::detector::AlertLevel;
+
+/// One counter to monitor on a machine, and the detector to run on it.
+#[derive(Debug, Clone)]
+pub struct CounterDetector {
+    /// The monitored counter.
+    pub counter: Counter,
+    /// The detector family and tuning for this counter.
+    pub spec: DetectorSpec,
+}
+
+/// What fired: a single detector, or the machine-level fused vote.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AlarmKind {
+    /// One counter's detector emitted an alert.
+    Detector {
+        /// The counter that triggered.
+        counter: Counter,
+        /// Stable detector-family name (see [`DetectorSpec::name`]).
+        detector: &'static str,
+        /// The detector's measurements.
+        detail: AlertDetail,
+    },
+    /// The fusion rule's vote threshold was reached for a machine.
+    MachineAlarm {
+        /// Counters whose detectors had latched alarms.
+        votes: usize,
+        /// Counters voting in total.
+        members: usize,
+    },
+}
+
+/// One event produced by a machine pipeline.
+///
+/// `time_secs` is the *true* stream time of the tick that produced the
+/// event — for the supervisor path that is the machine's monitor clock
+/// even when a perturber rewrote the sample's own timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineEvent {
+    /// Stream time of the sample/tick that produced the event, seconds.
+    pub time_secs: f64,
+    /// Severity.
+    pub level: AlertLevel,
+    /// What fired.
+    pub kind: AlarmKind,
+}
+
+/// One counter stream: gate, detector and its poisoned flag.
+#[derive(Debug)]
+struct CounterStream {
+    counter: Counter,
+    detector_name: &'static str,
+    gate: SampleGate,
+    detector: StreamingDetector,
+    /// Poisoned by an estimator error; keeps its latched vote but stops
+    /// consuming samples.
+    disabled: bool,
+}
+
+/// The gate → detector → fusion pipeline for one machine.
+#[derive(Debug)]
+pub struct MachinePipeline {
+    streams: Vec<CounterStream>,
+    fusion: FusionRule,
+    fused: bool,
+    latency: LatencyHistogram,
+    detector_errors: u64,
+    /// Tick currently being filled on the incremental ([`ingest`]) path.
+    ///
+    /// [`ingest`]: MachinePipeline::ingest
+    tick_time: Option<f64>,
+    /// Newest tick whose events are final (watermark), `-inf` initially.
+    completed_time: f64,
+    finished: bool,
+}
+
+impl MachinePipeline {
+    /// Builds the pipeline: one gate + detector per entry of `detectors`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GateConfig::validate`] and detector-constructor
+    /// failures; rejects an empty detector list.
+    pub fn new(
+        detectors: &[CounterDetector],
+        fusion: FusionRule,
+        gate: GateConfig,
+    ) -> Result<Self> {
+        if detectors.is_empty() {
+            return Err(aging_timeseries::Error::invalid(
+                "detectors",
+                "need at least one counter",
+            ));
+        }
+        let streams = detectors
+            .iter()
+            .map(|d| {
+                Ok(CounterStream {
+                    counter: d.counter,
+                    detector_name: d.spec.name(),
+                    gate: SampleGate::new(gate)?,
+                    detector: StreamingDetector::new(&d.spec)?,
+                    disabled: false,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(MachinePipeline {
+            streams,
+            fusion,
+            fused: false,
+            latency: LatencyHistogram::default(),
+            detector_errors: 0,
+            tick_time: None,
+            completed_time: f64::NEG_INFINITY,
+            finished: false,
+        })
+    }
+
+    /// Feeds one sample to the counter stream at `stream` (an index into
+    /// the `detectors` slice the pipeline was built from), appending any
+    /// detector events to `out`.
+    ///
+    /// `true_time_secs` is the stream time stamped onto events — pass the
+    /// machine's real monitor clock, which may differ from
+    /// `sample.time_secs` when a perturber corrupted the sample.
+    pub fn push_record(
+        &mut self,
+        stream: usize,
+        sample: StreamSample,
+        true_time_secs: f64,
+        out: &mut Vec<PipelineEvent>,
+    ) {
+        let cs = &mut self.streams[stream];
+        if cs.disabled {
+            return;
+        }
+        let accepted = match cs.gate.push(sample) {
+            GateAction::Accept(s) => s,
+            GateAction::AcceptAfterGap(s) => {
+                cs.detector.reset();
+                s
+            }
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => return,
+        };
+        let started = Instant::now();
+        let alert = cs.detector.push(accepted.value);
+        self.latency.record(started.elapsed());
+        match alert {
+            Ok(Some(alert)) => out.push(PipelineEvent {
+                time_secs: true_time_secs,
+                level: alert.level,
+                kind: AlarmKind::Detector {
+                    counter: cs.counter,
+                    detector: cs.detector_name,
+                    detail: alert.detail,
+                },
+            }),
+            Ok(None) => {}
+            Err(_) => {
+                self.detector_errors += 1;
+                cs.disabled = true;
+            }
+        }
+    }
+
+    /// Completes one tick: evaluates the fusion vote over the latched
+    /// per-counter alarms, appending the machine-level alarm to `out`
+    /// the first time the rule fires.
+    pub fn end_tick(&mut self, time_secs: f64, out: &mut Vec<PipelineEvent>) {
+        self.completed_time = self.completed_time.max(time_secs);
+        if self.fused {
+            return;
+        }
+        let members = self.streams.len();
+        let votes = self
+            .streams
+            .iter()
+            .filter(|cs| cs.detector.is_alarmed())
+            .count();
+        if self.fusion.fires(votes, members) {
+            self.fused = true;
+            out.push(PipelineEvent {
+                time_secs,
+                level: AlertLevel::Alarm,
+                kind: AlarmKind::MachineAlarm { votes, members },
+            });
+        }
+    }
+
+    /// Feeds one `(counter, sample)` record on the incremental path,
+    /// routing it to every stream monitoring `counter` and inferring tick
+    /// boundaries from the sample clock (see the module docs).
+    ///
+    /// Records whose counter matches no stream are ignored; records with
+    /// a non-finite timestamp never advance the tick clock (the gates
+    /// drop them).
+    pub fn ingest(&mut self, counter: Counter, sample: StreamSample, out: &mut Vec<PipelineEvent>) {
+        if sample.time_secs.is_finite() {
+            match self.tick_time {
+                Some(t) if sample.time_secs > t => {
+                    self.end_tick(t, out);
+                    self.tick_time = Some(sample.time_secs);
+                }
+                None => self.tick_time = Some(sample.time_secs),
+                _ => {}
+            }
+            // A fresh sample resurrects a feed that was marked ended.
+            self.finished = false;
+        }
+        for i in 0..self.streams.len() {
+            if self.streams[i].counter == counter {
+                self.push_record(i, sample, sample.time_secs, out);
+            }
+        }
+    }
+
+    /// Ends the incremental feed: completes the final pending tick (its
+    /// deferred fusion vote runs now) and marks the feed finished.
+    /// Idempotent; a later [`ingest`](MachinePipeline::ingest) resumes
+    /// the feed.
+    pub fn finish(&mut self, out: &mut Vec<PipelineEvent>) {
+        if self.finished {
+            return;
+        }
+        if let Some(t) = self.tick_time.take() {
+            self.end_tick(t, out);
+        }
+        self.finished = true;
+    }
+
+    /// Whether the machine-level fused alarm has fired.
+    pub fn is_fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Whether the incremental feed has been [`finish`]ed (and not
+    /// resumed since).
+    ///
+    /// [`finish`]: MachinePipeline::finish
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Newest tick whose event stream is final — the machine's watermark
+    /// on the incremental path. `-inf` before the first completed tick.
+    pub fn completed_time_secs(&self) -> f64 {
+        self.completed_time
+    }
+
+    /// Timestamp of the tick currently being filled on the incremental
+    /// path, if any.
+    pub fn tick_time_secs(&self) -> Option<f64> {
+        self.tick_time
+    }
+
+    /// Gate counters aggregated over all counter streams.
+    pub fn counters(&self) -> StageCounters {
+        let mut total = StageCounters::default();
+        for cs in &self.streams {
+            total.merge(cs.gate.counters());
+        }
+        total
+    }
+
+    /// Per-sample detector latency accumulated so far.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Detector streams poisoned by an estimator error and disabled.
+    pub fn detector_errors(&self) -> u64 {
+        self.detector_errors
+    }
+
+    /// Whether the counter stream at `stream` has been disabled by an
+    /// estimator error. Lets callers skip producing work (e.g. running a
+    /// perturber) for a stream that would discard it anyway.
+    pub fn stream_disabled(&self, stream: usize) -> bool {
+        self.streams[stream].disabled
+    }
+
+    /// Number of counter streams.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Serialisable point-in-time state of this machine's pipeline.
+    pub fn snapshot(&self, machine_id: u64, name: &str) -> MachineSnapshot {
+        MachineSnapshot {
+            machine_id,
+            name: name.to_string(),
+            last_time_secs: self.tick_time.or_else(|| {
+                self.completed_time
+                    .is_finite()
+                    .then_some(self.completed_time)
+            }),
+            finished: self.finished,
+            fused: self.fused,
+            detector_errors: self.detector_errors,
+            ingestion: self.counters(),
+            streams: self
+                .streams
+                .iter()
+                .map(|cs| CounterStreamSnapshot {
+                    counter: cs.counter.to_string(),
+                    detector: cs.detector_name.to_string(),
+                    alarmed: cs.detector.is_alarmed(),
+                    disabled: cs.disabled,
+                    degraded: cs.gate.health() == GateHealth::Degraded,
+                    ingestion: *cs.gate.counters(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_core::baseline::TrendPredictorConfig;
+
+    fn trend_detectors() -> Vec<CounterDetector> {
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 64,
+                refit_every: 4,
+                alarm_horizon_secs: 1e6,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }]
+    }
+
+    fn gate() -> GateConfig {
+        GateConfig {
+            nominal_period_secs: 5.0,
+            ..GateConfig::default()
+        }
+    }
+
+    #[test]
+    fn rejects_empty_detector_list() {
+        assert!(MachinePipeline::new(&[], FusionRule::Any, gate()).is_err());
+    }
+
+    #[test]
+    fn incremental_feed_alarms_and_fuses_once() {
+        let mut p = MachinePipeline::new(&trend_detectors(), FusionRule::Any, gate()).unwrap();
+        let mut out = Vec::new();
+        for i in 0..400 {
+            let s = StreamSample {
+                time_secs: i as f64 * 5.0,
+                value: 1e6 - 400.0 * i as f64,
+            };
+            p.ingest(Counter::AvailableBytes, s, &mut out);
+        }
+        p.finish(&mut out);
+        assert!(p.is_fused());
+        assert!(p.is_finished());
+        let fused: Vec<_> = out
+            .iter()
+            .filter(|e| matches!(e.kind, AlarmKind::MachineAlarm { .. }))
+            .collect();
+        assert_eq!(fused.len(), 1);
+        let det: Vec<_> = out
+            .iter()
+            .filter(|e| {
+                e.level == AlertLevel::Alarm && matches!(e.kind, AlarmKind::Detector { .. })
+            })
+            .collect();
+        assert_eq!(det.len(), 1);
+        // The deferred fusion vote lands on the same tick as the
+        // detector alarm, and emission order preserves that tick order.
+        assert_eq!(fused[0].time_secs, det[0].time_secs);
+        assert!(p.completed_time_secs() >= fused[0].time_secs);
+        // Idempotent finish.
+        let before = out.len();
+        p.finish(&mut out);
+        assert_eq!(out.len(), before);
+    }
+
+    #[test]
+    fn watermark_trails_by_one_tick_then_catches_up() {
+        let mut p = MachinePipeline::new(&trend_detectors(), FusionRule::Any, gate()).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(p.completed_time_secs(), f64::NEG_INFINITY);
+        let s = |t: f64| StreamSample {
+            time_secs: t,
+            value: 1e6,
+        };
+        p.ingest(Counter::AvailableBytes, s(0.0), &mut out);
+        assert_eq!(p.completed_time_secs(), f64::NEG_INFINITY);
+        p.ingest(Counter::AvailableBytes, s(5.0), &mut out);
+        assert_eq!(p.completed_time_secs(), 0.0);
+        // Stale and non-finite records never advance the tick clock.
+        p.ingest(Counter::AvailableBytes, s(5.0), &mut out);
+        p.ingest(Counter::AvailableBytes, s(f64::NAN), &mut out);
+        assert_eq!(p.completed_time_secs(), 0.0);
+        p.finish(&mut out);
+        assert_eq!(p.completed_time_secs(), 5.0);
+    }
+
+    #[test]
+    fn unknown_counter_records_are_ignored() {
+        let mut p = MachinePipeline::new(&trend_detectors(), FusionRule::Any, gate()).unwrap();
+        let mut out = Vec::new();
+        p.ingest(
+            Counter::HandleCount,
+            StreamSample {
+                time_secs: 0.0,
+                value: 1.0,
+            },
+            &mut out,
+        );
+        assert_eq!(p.counters().ingested, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn snapshot_reflects_stream_state() {
+        let mut p = MachinePipeline::new(&trend_detectors(), FusionRule::Any, gate()).unwrap();
+        let mut out = Vec::new();
+        for i in 0..10 {
+            p.ingest(
+                Counter::AvailableBytes,
+                StreamSample {
+                    time_secs: i as f64 * 5.0,
+                    value: 1e6,
+                },
+                &mut out,
+            );
+        }
+        let snap = p.snapshot(7, "m007:test");
+        assert_eq!(snap.machine_id, 7);
+        assert_eq!(snap.name, "m007:test");
+        assert_eq!(snap.last_time_secs, Some(45.0));
+        assert!(!snap.fused);
+        assert_eq!(snap.streams.len(), 1);
+        assert_eq!(snap.streams[0].counter, "available_bytes");
+        assert_eq!(snap.streams[0].detector, "mann-kendall-sen");
+        assert_eq!(snap.ingestion.ingested, 10);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("available_bytes"), "{json}");
+    }
+}

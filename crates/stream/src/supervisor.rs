@@ -35,17 +35,18 @@
 
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
-use std::time::Instant;
 
 use aging_core::fusion::FusionRule;
 use aging_memsim::{Counter, Machine, Sample, Scenario};
 use aging_timeseries::{Error, Result};
 
-use crate::detector::{AlertDetail, DetectorSpec, StreamingDetector};
-use crate::gate::{GateAction, GateConfig, SampleGate};
+use crate::detector::StreamingDetector;
+use crate::gate::GateConfig;
+use crate::pipeline::{MachinePipeline, PipelineEvent};
 use crate::source::SamplePerturber;
 use crate::telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};
 
+pub use crate::pipeline::{AlarmKind, CounterDetector};
 pub use aging_core::detector::AlertLevel;
 
 /// Builds one [`SamplePerturber`] per `(machine index, counter)` stream.
@@ -57,15 +58,6 @@ pub use aging_core::detector::AlertLevel;
 /// bit-identical regardless of shard count.
 pub type PerturberFactory =
     std::sync::Arc<dyn Fn(usize, Counter) -> Box<dyn SamplePerturber> + Send + Sync>;
-
-/// One counter to monitor on every machine, and the detector to run on it.
-#[derive(Debug, Clone)]
-pub struct CounterDetector {
-    /// The monitored counter.
-    pub counter: Counter,
-    /// The detector family and tuning for this counter.
-    pub spec: DetectorSpec,
-}
 
 /// Fleet supervisor configuration.
 #[derive(Clone)]
@@ -151,27 +143,6 @@ impl FleetConfig {
         }
         self.gate.validate()
     }
-}
-
-/// What fired: a single detector, or the machine-level fused vote.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum AlarmKind {
-    /// One counter's detector emitted an alert.
-    Detector {
-        /// The counter that triggered.
-        counter: Counter,
-        /// Stable detector-family name (see [`DetectorSpec::name`]).
-        detector: &'static str,
-        /// The detector's measurements.
-        detail: AlertDetail,
-    },
-    /// The fusion rule's vote threshold was reached for a machine.
-    MachineAlarm {
-        /// Counters whose detectors had latched alarms.
-        votes: usize,
-        /// Counters voting in total.
-        members: usize,
-    },
 }
 
 /// One event in the supervisor's ordered output stream.
@@ -277,25 +248,16 @@ enum ShardMsg {
     },
 }
 
-struct CounterStream {
-    counter: Counter,
-    detector_name: &'static str,
-    gate: SampleGate,
-    detector: StreamingDetector,
-    /// Fault injector sitting between the monitor and the gate.
-    perturber: Option<Box<dyn SamplePerturber>>,
-    /// Poisoned by an estimator error; keeps its latched vote but stops
-    /// consuming samples.
-    disabled: bool,
-}
-
 struct ShardMachine {
     index: usize,
     name: String,
     machine: Machine,
     consumed: usize,
-    streams: Vec<CounterStream>,
-    fused: bool,
+    /// The gate → detector → fusion core, shared with `aging-serve`.
+    pipeline: MachinePipeline,
+    /// Fault injectors sitting between the monitor and the gate, one
+    /// slot per counter stream (parallel to the pipeline's streams).
+    perturbers: Vec<Option<Box<dyn SamplePerturber>>>,
     finished: bool,
     crash_time_secs: Option<f64>,
     samples: u64,
@@ -413,27 +375,18 @@ impl FleetSupervisor {
         // Boot everything up front so errors surface before threads spawn.
         let mut machines = Vec::with_capacity(scenarios.len());
         for (index, scenario) in scenarios.iter().enumerate() {
-            let streams = cfg
+            let perturbers = cfg
                 .detectors
                 .iter()
-                .map(|d| {
-                    Ok(CounterStream {
-                        counter: d.counter,
-                        detector_name: d.spec.name(),
-                        gate: SampleGate::new(cfg.gate)?,
-                        detector: StreamingDetector::new(&d.spec)?,
-                        perturber: cfg.perturb.as_ref().map(|f| f(index, d.counter)),
-                        disabled: false,
-                    })
-                })
-                .collect::<Result<Vec<_>>>()?;
+                .map(|d| cfg.perturb.as_ref().map(|f| f(index, d.counter)))
+                .collect();
             machines.push(ShardMachine {
                 index,
                 name: format!("m{index:03}:{}", scenario.name),
                 machine: Machine::boot(scenario)?,
                 consumed: 0,
-                streams,
-                fused: false,
+                pipeline: MachinePipeline::new(&cfg.detectors, cfg.fusion, cfg.gate)?,
+                perturbers,
                 finished: false,
                 crash_time_secs: None,
                 samples: 0,
@@ -479,15 +432,14 @@ fn shard_loop(
     cfg: &FleetConfig,
     tx: &mpsc::SyncSender<ShardMsg>,
 ) {
-    let mut latency = LatencyHistogram::default();
-    let mut detector_errors = 0u64;
     let mut telemetry_dropped = 0u64;
     let mut seq = 0u64;
     let mut next_status = cfg.status_every_secs;
-    let members = cfg.detectors.len();
-    // Scratch buffer the perturber (if any) expands each raw sample into;
-    // reused across samples so the hot path stays allocation-free.
+    // Scratch buffers reused across samples so the hot path stays
+    // allocation-free: one the perturber (if any) expands each raw sample
+    // into, one the pipeline appends its events to.
     let mut scratch: Vec<crate::source::StreamSample> = Vec::new();
+    let mut pipeline_events: Vec<PipelineEvent> = Vec::new();
 
     loop {
         let mut events = Vec::new();
@@ -499,68 +451,37 @@ fn shard_loop(
             m.samples += 1;
             let time_secs = sample.time.as_secs();
             m.last_time_secs = time_secs;
-            for cs in m.streams.iter_mut().filter(|cs| !cs.disabled) {
+            pipeline_events.clear();
+            for (stream, d) in cfg.detectors.iter().enumerate() {
+                if m.pipeline.stream_disabled(stream) {
+                    continue;
+                }
                 let raw = crate::source::StreamSample {
                     time_secs,
-                    value: sample.value(cs.counter),
+                    value: sample.value(d.counter),
                 };
                 // The perturber may corrupt, duplicate or swallow the raw
-                // sample; the event timestamp below stays the true machine
-                // time either way, so watermark ordering is untouched.
+                // sample; the event timestamp stays the true machine time
+                // either way, so watermark ordering is untouched.
                 scratch.clear();
-                match cs.perturber.as_mut() {
+                match m.perturbers[stream].as_mut() {
                     Some(p) => p.perturb(raw, &mut scratch),
                     None => scratch.push(raw),
                 }
                 for perturbed in scratch.drain(..) {
-                    let accepted = match cs.gate.push(perturbed) {
-                        GateAction::Accept(s) => s,
-                        GateAction::AcceptAfterGap(s) => {
-                            cs.detector.reset();
-                            s
-                        }
-                        GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
-                    };
-                    let started = Instant::now();
-                    let alert = cs.detector.push(accepted.value);
-                    latency.record(started.elapsed());
-                    match alert {
-                        Ok(Some(alert)) => events.push(AlarmEvent {
-                            machine_index: m.index,
-                            machine: m.name.clone(),
-                            time_secs,
-                            level: alert.level,
-                            kind: AlarmKind::Detector {
-                                counter: cs.counter,
-                                detector: cs.detector_name,
-                                detail: alert.detail,
-                            },
-                        }),
-                        Ok(None) => {}
-                        Err(_) => {
-                            detector_errors += 1;
-                            cs.disabled = true;
-                            break;
-                        }
-                    }
+                    m.pipeline
+                        .push_record(stream, perturbed, time_secs, &mut pipeline_events);
                 }
             }
-            if !m.fused {
-                let votes = m
-                    .streams
-                    .iter()
-                    .filter(|cs| cs.detector.is_alarmed())
-                    .count();
-                if cfg.fusion.fires(votes, members) {
-                    m.fused = true;
-                    events.push(AlarmEvent {
-                        machine_index: m.index,
-                        machine: m.name.clone(),
-                        time_secs,
-                        level: AlertLevel::Alarm,
-                        kind: AlarmKind::MachineAlarm { votes, members },
-                    });
-                }
+            m.pipeline.end_tick(time_secs, &mut pipeline_events);
+            for pe in pipeline_events.drain(..) {
+                events.push(AlarmEvent {
+                    machine_index: m.index,
+                    machine: m.name.clone(),
+                    time_secs: pe.time_secs,
+                    level: pe.level,
+                    kind: pe.kind,
+                });
             }
         }
 
@@ -581,10 +502,12 @@ fn shard_loop(
 
         let telemetry = |wm: f64, dropped: u64| {
             let mut counters = StageCounters::default();
+            let mut latency = LatencyHistogram::default();
+            let mut detector_errors = 0u64;
             for m in &machines {
-                for cs in &m.streams {
-                    counters.merge(cs.gate.counters());
-                }
+                counters.merge(&m.pipeline.counters());
+                latency.merge(m.pipeline.latency());
+                detector_errors += m.pipeline.detector_errors();
             }
             Box::new(ShardTelemetry {
                 stream_time_secs: if wm.is_finite() { wm } else { 0.0 },
@@ -794,6 +717,7 @@ fn merge_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::detector::DetectorSpec;
     use aging_core::baseline::TrendPredictorConfig;
 
     /// A cheap trend detector suited to the 5-second tiny-machine feed.

@@ -158,6 +158,54 @@ pub struct StatusSnapshot {
     pub detector_errors: u64,
 }
 
+/// Canonical name for the serialisable pipeline snapshot schema.
+///
+/// The supervisor's JSON status dump and the `aging-serve` query replies
+/// both serialise exactly this type, so operators see one schema no
+/// matter which surface they scrape.
+pub type Snapshot = StatusSnapshot;
+
+/// Serialisable state of one counter stream inside a machine pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterStreamSnapshot {
+    /// Monitored counter, by its stable display name.
+    pub counter: String,
+    /// Detector family name running on the counter.
+    pub detector: String,
+    /// Whether the detector's confirmed alarm has latched.
+    pub alarmed: bool,
+    /// Whether the stream was poisoned by an estimator error and disabled.
+    pub disabled: bool,
+    /// Whether the gate currently holds the stream in quarantine
+    /// (a drop burst is in progress).
+    pub degraded: bool,
+    /// This stream's gate counters.
+    pub ingestion: StageCounters,
+}
+
+/// Serialisable state of one machine's whole detection pipeline —
+/// the payload of a per-machine query reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSnapshot {
+    /// Caller-assigned machine identity.
+    pub machine_id: u64,
+    /// Display name.
+    pub name: String,
+    /// Newest sample-clock reading seen, seconds (`None` before the
+    /// first finite sample).
+    pub last_time_secs: Option<f64>,
+    /// Whether the feed has ended.
+    pub finished: bool,
+    /// Whether the machine-level fused alarm has fired.
+    pub fused: bool,
+    /// Detector streams poisoned by an estimator error.
+    pub detector_errors: u64,
+    /// Gate counters aggregated over all this machine's streams.
+    pub ingestion: StageCounters,
+    /// Per-counter stream states, in detector-config order.
+    pub streams: Vec<CounterStreamSnapshot>,
+}
+
 impl StatusSnapshot {
     /// Serialises the snapshot as JSON.
     ///

@@ -1,0 +1,118 @@
+//! Fleet monitoring over the wire: the same mixed fleet as the
+//! `chaos_fleet` example, but instead of stepping the machines inside
+//! the supervisor process, an in-process `aging-serve` TCP server is
+//! bound on loopback and the load-generator client feeds all machines
+//! through real sockets — batched binary frames, credit-window
+//! backpressure, acks, and a polling connection watching the alarm
+//! history appear live. The printed alarms carry crash lead times, and
+//! the pipeline behind the socket is the identical gate → detector →
+//! fusion code the offline supervisor runs (E14 proves byte parity).
+//!
+//! Run with: `cargo run --release --example serve_fleet`
+
+use holder_aging::prelude::*;
+use holder_aging::serve::protocol::ServeEvent;
+use holder_aging::stream::pipeline::AlarmKind as PipelineAlarmKind;
+
+fn main() -> Result<()> {
+    // Aggressively-leaking tiny boxes (they crash inside the horizon)
+    // plus healthy controls that must stay silent.
+    let mut fleet = Vec::new();
+    for i in 0..6u64 {
+        fleet.push(Scenario::tiny_aging(1000 + i, 192.0 + 32.0 * i as f64));
+    }
+    for i in 0..4u64 {
+        fleet.push(Scenario::tiny_aging(2000 + i, 0.0));
+    }
+
+    let dt = 5.0;
+    let horizon = 8.0 * 3600.0;
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(dt)
+        }),
+    }];
+
+    let mut config = ServeConfig::new(detectors);
+    config.gate.nominal_period_secs = dt;
+    // The whole fleet connects up front, so hold alarm releases until
+    // everyone has checked in — this pins the global history order.
+    config.expected_machines = Some(fleet.len() as u64);
+
+    let server = Server::bind("127.0.0.1:0", config)?;
+    println!(
+        "serving on {} | fleet: {} machines over 4 connections\n",
+        server.local_addr(),
+        fleet.len()
+    );
+
+    let loadgen = LoadgenConfig {
+        connections: 4,
+        batch_records: 64,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 25,
+        counters: vec![Counter::AvailableBytes],
+    };
+    let report = drive(server.local_addr(), &fleet, horizon, &loadgen)?;
+    let outcome = server.shutdown();
+
+    println!(
+        "fed {} records in {} batches at {:.0} records/s ({} accepted, {} busy frames)",
+        report.records_sent,
+        report.batches,
+        report.records_per_sec(),
+        report.records_accepted,
+        report.busy_frames,
+    );
+    let ms =
+        |us: Option<u64>| us.map_or("-".to_string(), |v| format!("{:.2} ms", v as f64 / 1000.0));
+    println!(
+        "ack round-trip: p50 {} p99 {} | alarm visibility: p50 {} p99 {}\n",
+        ms(report.ack_rtt.quantile_upper_bound_us(0.50)),
+        ms(report.ack_rtt.quantile_upper_bound_us(0.99)),
+        ms(report.alarm_visibility.quantile_upper_bound_us(0.50)),
+        ms(report.alarm_visibility.quantile_upper_bound_us(0.99)),
+    );
+
+    // First fused machine-alarm per machine, with crash lead time.
+    println!("machine  crash[h]  alarm[h]  lead[min]  outcome");
+    for &(machine_id, crash) in &report.crash_times {
+        let alarm: Option<&ServeEvent> = outcome.events.iter().find(|e| {
+            e.machine_id == machine_id && matches!(e.kind, PipelineAlarmKind::MachineAlarm { .. })
+        });
+        let fmt_h = |t: Option<f64>| t.map_or("-".to_string(), |v| format!("{:.2}", v / 3600.0));
+        let (lead, verdict) = match (crash, alarm) {
+            (Some(c), Some(a)) => (
+                format!("{:.1}", (c - a.time_secs) / 60.0),
+                "warned before crash",
+            ),
+            (Some(_), None) => ("-".to_string(), "MISSED crash"),
+            (None, Some(_)) => ("-".to_string(), "false alarm on survivor"),
+            (None, None) => ("-".to_string(), "survived, silent"),
+        };
+        println!(
+            "m{machine_id:03}     {:>8}  {:>8}  {:>9}  {verdict}",
+            fmt_h(crash),
+            fmt_h(alarm.map(|a| a.time_secs)),
+            lead,
+        );
+    }
+
+    println!(
+        "\nwire: {} connections, {} frames, {} records, {} acks, {} queries, \
+         {} quarantined, {} panics",
+        outcome.wire.connections,
+        outcome.wire.frames,
+        outcome.wire.records,
+        outcome.wire.acks_sent,
+        outcome.wire.queries,
+        outcome.wire.quarantined,
+        outcome.wire.session_panics,
+    );
+    println!("final fleet status: {}", outcome.status.status_line());
+    Ok(())
+}

@@ -22,6 +22,7 @@
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
 //! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
 //! | [`chaos`] | `aging-chaos` | seeded fault injection and the differential robustness harness |
+//! | [`serve`] | `aging-serve` | networked TCP ingestion/query server and load-generator client |
 //!
 //! Analysis hot paths (Hölder traces, CWT/WTMM, surrogate ensembles, fleet
 //! scoring) run on a deterministic thread pool ([`par`]): results are
@@ -59,6 +60,7 @@ pub use aging_core as core;
 pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
 pub use aging_par as par;
+pub use aging_serve as serve;
 pub use aging_stream as stream;
 pub use aging_timeseries as timeseries;
 pub use aging_wavelet as wavelet;
@@ -90,6 +92,9 @@ pub mod prelude {
         FaultPlan, Machine, MachineConfig, Scenario, SimTime, WorkloadConfig,
     };
     pub use aging_par::Pool;
+    pub use aging_serve::{
+        drive, LoadgenConfig, LoadgenReport, ServeClient, ServeConfig, ServeReport, Server,
+    };
     pub use aging_stream::supervisor::{
         AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
     };
