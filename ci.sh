@@ -38,6 +38,16 @@ AGING_THREADS=1 cargo test -p aging-serve --test loopback_differential --quiet
 echo "==> serve loopback differential (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test -p aging-serve --test loopback_differential --quiet
 
+# Crash safety: a store-backed server killed at seed-deterministic points
+# and recovered from its WAL + snapshot must match the uninterrupted
+# offline supervisor byte for byte, duplicates deduped
+# (crates/serve/tests/kill_recover.rs).
+echo "==> serve kill-and-recover differential (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test -p aging-serve --test kill_recover --quiet
+
+echo "==> serve kill-and-recover differential (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test -p aging-serve --test kill_recover --quiet
+
 echo "==> cargo test --doc"
 cargo test --workspace --doc --quiet
 

@@ -1293,6 +1293,189 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
     Ok(())
 }
 
+/// E15 — crash-safe persistence: the store-backed server journals every
+/// accepted batch before acking (acked ⇒ durable), so the run measures
+/// what that costs and what it buys: ingest throughput with the journal
+/// on vs. off (**hard gate: < 20 % overhead**), journal volume and
+/// snapshot cadence, and the wall-clock time to recover a server from
+/// its snapshot + journal — with the recovered alarm history held
+/// byte-identical to both the in-memory run and the persisted one.
+pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_serve::loadgen::{drive, LoadgenConfig};
+    use aging_serve::protocol::encode_events;
+    use aging_serve::{ServeConfig, Server};
+    use aging_store::StoreConfig;
+    use aging_stream::detector::DetectorSpec;
+    use aging_stream::{CounterDetector, FleetConfig};
+    use std::time::Instant;
+
+    banner(
+        "E15",
+        "crash-safe persistence: journal overhead and recovery time",
+        "journaling every batch before the ack costs < 20% of loopback ingest \
+         throughput (fsync off), and a server recovered from the snapshot + \
+         journal reproduces the persisted alarm history byte for byte",
+    );
+
+    let (leaky, horizon, seeds): (usize, f64, &[u64]) = if quick {
+        (3, 8.0 * HOUR, &[0x00c0_ffee, 42])
+    } else {
+        (9, 12.0 * HOUR, &[42, 7, 1234])
+    };
+
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        horizon,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+
+    let loadgen = LoadgenConfig {
+        connections: 4,
+        batch_records: 64,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 20,
+        counters: vec![Counter::AvailableBytes],
+    };
+
+    let store_dir = std::env::temp_dir().join(format!("aging-e15-{}", std::process::id()));
+    let store_config = || StoreConfig {
+        // Several snapshots per run, so recovery exercises the
+        // snapshot-restore + journal-suffix path, not a cold replay.
+        snapshot_every_entries: 16,
+        ..StoreConfig::new(&store_dir)
+    };
+
+    let mut table = Table::new(vec![
+        "seed",
+        "machines",
+        "records",
+        "base[rec/s]",
+        "store[rec/s]",
+        "overhead[%]",
+        "journal[KiB]",
+        "entries",
+        "snaps",
+        "recover[ms]",
+        "parity",
+    ]);
+    let (mut base_total, mut base_secs) = (0u64, 0.0f64);
+    let (mut store_total, mut store_secs) = (0u64, 0.0f64);
+    for &seed in seeds {
+        let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
+            .map(|i| aging_memsim::Scenario::tiny_aging(seed + i as u64, 192.0 + 32.0 * i as f64))
+            .collect();
+        fleet.push(aging_memsim::Scenario::tiny_aging(seed + leaky as u64, 0.0));
+
+        // Baseline: the E14 loopback workload with persistence off.
+        let mut serve_cfg = ServeConfig::from_fleet(&cfg);
+        serve_cfg.expected_machines = Some(fleet.len() as u64);
+        let server = Server::bind("127.0.0.1:0", serve_cfg.clone())?;
+        let base_report = drive(server.local_addr(), &fleet, cfg.horizon_secs, &loadgen)?;
+        let base_outcome = server.shutdown();
+        base_total += base_report.records_sent;
+        base_secs += base_report.records_sent as f64 / base_report.records_per_sec().max(1e-9);
+
+        // Same workload, journaled: every ack now implies durability.
+        let _ = std::fs::remove_dir_all(&store_dir);
+        serve_cfg.store = Some(store_config());
+        let server = Server::bind("127.0.0.1:0", serve_cfg)?;
+        let store_report = drive(server.local_addr(), &fleet, cfg.horizon_secs, &loadgen)?;
+        let store_outcome = server.shutdown();
+        store_total += store_report.records_sent;
+        store_secs += store_report.records_sent as f64 / store_report.records_per_sec().max(1e-9);
+        let persist = store_outcome.persist.ok_or_else(|| {
+            aging_timeseries::Error::invalid("e15", "store-backed report lacks persist stats")
+        })?;
+
+        // Recovery: re-open the same directory and time the rebuild
+        // (snapshot restore + journal-suffix replay inside `bind`).
+        let mut recover_cfg = ServeConfig::from_fleet(&cfg);
+        recover_cfg.expected_machines = Some(fleet.len() as u64);
+        recover_cfg.store = Some(store_config());
+        let t0 = Instant::now();
+        let recovered = Server::bind("127.0.0.1:0", recover_cfg)?;
+        let recover_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let recovered_outcome = recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&store_dir);
+
+        let canonical = encode_events(&store_outcome.events);
+        let parity = canonical == encode_events(&base_outcome.events)
+            && canonical == encode_events(&recovered_outcome.events);
+        table.row(vec![
+            format!("{seed:#x}"),
+            format!("{}", fleet.len()),
+            format!("{}", store_report.records_sent),
+            format!("{:.0}", base_report.records_per_sec()),
+            format!("{:.0}", store_report.records_per_sec()),
+            format!(
+                "{:.1}",
+                100.0 * (1.0 - store_report.records_per_sec() / base_report.records_per_sec())
+            ),
+            format!("{:.1}", persist.journal_appended_bytes as f64 / 1024.0),
+            format!("{}", persist.entries_journaled),
+            format!("{}", persist.snapshots_committed),
+            format!("{recover_ms:.2}"),
+            if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
+        ]);
+        if !parity {
+            println!("{table}");
+            return Err(aging_timeseries::Error::invalid(
+                "e15",
+                format!(
+                    "seed {seed:#x}: alarm history diverged across memory-only ({}), \
+                     store-backed ({}) and recovered ({}) runs",
+                    base_outcome.events.len(),
+                    store_outcome.events.len(),
+                    recovered_outcome.events.len()
+                ),
+            ));
+        }
+        if persist.entries_journaled == 0 || persist.snapshots_committed == 0 {
+            return Err(aging_timeseries::Error::invalid(
+                "e15",
+                format!(
+                    "seed {seed:#x}: store-backed run journaled {} entries and committed {} \
+                     snapshots; the persistence path was not exercised",
+                    persist.entries_journaled, persist.snapshots_committed
+                ),
+            ));
+        }
+    }
+    println!("{table}");
+    // Gate on the aggregate across seeds: per-seed loopback throughput is
+    // noisy, the pooled ratio is what the < 20% contract is about.
+    let base_rps = base_total as f64 / base_secs.max(1e-9);
+    let store_rps = store_total as f64 / store_secs.max(1e-9);
+    let overhead = 1.0 - store_rps / base_rps;
+    println!(
+        "aggregate ingest: {base_rps:.0} rec/s without the journal, {store_rps:.0} rec/s \
+         with it ({:.1}% overhead; gate < 20%)",
+        100.0 * overhead
+    );
+    if overhead >= 0.20 {
+        return Err(aging_timeseries::Error::invalid(
+            "e15",
+            format!(
+                "journal overhead {:.1}% exceeds the 20% budget \
+                 ({base_rps:.0} rec/s baseline vs {store_rps:.0} rec/s store-backed)",
+                100.0 * overhead
+            ),
+        ));
+    }
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e15_store_overhead.csv"))?;
+    }
+    Ok(())
+}
+
 /// Runs one experiment by id.
 ///
 /// # Errors
@@ -1315,16 +1498,17 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e12" => e12(quick, out),
         "e13" => e13(quick, out),
         "e14" => e14(quick, out),
+        "e15" => e15(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e14)"),
+            format!("unknown experiment `{other}` (expected e1..e15)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const ALL_EXPERIMENTS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 #[cfg(test)]

@@ -124,6 +124,23 @@ impl StreamingHolder {
     pub fn reset(&mut self) {
         self.ring.clear();
     }
+
+    /// Serializes the dynamic state (the neighbourhood ring; parameters
+    /// are re-supplied at construction) via [`aging_timeseries::persist`].
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.ring.encode_state(out);
+    }
+
+    /// Restores state written by [`StreamingHolder::encode_state`] into an
+    /// estimator constructed with the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation or a window
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        self.ring.restore_state(r)
+    }
 }
 
 /// Which graph-dimension estimator a [`StreamingDimension`] applies to its
@@ -261,6 +278,26 @@ impl StreamingDimension {
         let method = self.method;
         let stride = self.stride;
         *self = StreamingDimension::new(method, window, stride).expect("parameters already valid");
+    }
+
+    /// Serializes the dynamic state via [`aging_timeseries::persist`].
+    ///
+    /// The ring's lifetime push count is part of the blob — the emission
+    /// phase is `pushed mod stride`, so restoring it is what keeps the
+    /// recovered estimator firing on the same window/stride grid.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.ring.encode_state(out);
+    }
+
+    /// Restores state written by [`StreamingDimension::encode_state`] into
+    /// an estimator constructed with the same parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation or a window
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        self.ring.restore_state(r)
     }
 }
 

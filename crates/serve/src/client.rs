@@ -99,6 +99,16 @@ impl ServeClient {
         self.busy_frames
     }
 
+    /// Sequence numbers of batches sent but not yet acked, oldest first.
+    ///
+    /// After a server crash these are exactly the batches whose
+    /// durability is unknown — a resuming client re-sends them (the
+    /// engine's gates drop any records that were in fact journaled, so
+    /// redelivery is idempotent).
+    pub fn unacked_seqs(&self) -> Vec<u64> {
+        self.inflight.iter().map(|&(seq, _)| seq).collect()
+    }
+
     /// Sends one batch, blocking for an ack first if the credit window
     /// is exhausted.
     ///

@@ -29,6 +29,14 @@ impl std::fmt::Display for CorruptStream {
 
 impl std::error::Error for CorruptStream {}
 
+/// Whole-frame byte span (`4 + len + 4`) for a payload of `len` bytes,
+/// or `None` when the sum overflows the host `usize` — reachable on
+/// 32-bit targets when `max_frame` is configured near `u32::MAX`. An
+/// unrepresentable span must corrupt the stream, not panic the session.
+fn frame_span(len: u32) -> Option<usize> {
+    usize::try_from(len).ok().and_then(|n| n.checked_add(8))
+}
+
 /// Incremental decoder for the length-prefixed CRC-checked framing.
 #[derive(Debug)]
 pub struct FrameDecoder {
@@ -86,7 +94,12 @@ impl FrameDecoder {
                 reason: format!("length prefix {len} outside 1..={}", self.max_frame),
             });
         }
-        let need = 4 + len as usize + 4;
+        let Some(need) = frame_span(len) else {
+            self.corrupt = true;
+            return Err(CorruptStream {
+                reason: format!("length prefix {len} unaddressable on this target"),
+            });
+        };
         if avail < need {
             return Ok(None);
         }
@@ -119,7 +132,9 @@ impl FrameDecoder {
             if len == 0 || len > self.max_frame {
                 return count;
             }
-            let need = 4 + len as usize + 4;
+            let Some(need) = frame_span(len) else {
+                return count; // corrupt, not buffered
+            };
             if self.buf.len() - pos < need {
                 return count;
             }
@@ -146,7 +161,9 @@ impl FrameDecoder {
                 // Corrupt, not truncated; next_payload will report it.
                 return false;
             }
-            let need = 4 + len as usize + 4;
+            let Some(need) = frame_span(len) else {
+                return false; // corrupt, not truncated
+            };
             if avail < need {
                 return true;
             }
@@ -348,6 +365,45 @@ mod tests {
         dec.feed(&wire);
         assert_eq!(dec.buffered_frames(), 5);
         assert!(dec.mid_frame());
+    }
+
+    #[test]
+    fn near_u32_max_length_prefix_never_panics() {
+        // With the frame limit raised to the u32 ceiling, a maximal
+        // length prefix exercises the `4 + len + 4` span arithmetic that
+        // used to overflow on 32-bit targets. The decoder must either
+        // wait for more bytes (64-bit: the span is representable) or
+        // corrupt the stream (32-bit) — panicking takes the session
+        // thread down and counts as a server bug.
+        for len in [u32::MAX, u32::MAX - 1, u32::MAX - 8] {
+            let mut dec = FrameDecoder::new(u32::MAX);
+            dec.feed(&len.to_le_bytes());
+            dec.feed(&[0xab; 32]);
+            let first = dec.next_payload();
+            if cfg!(target_pointer_width = "32") {
+                assert!(first.is_err(), "len {len}: span overflow must corrupt");
+                assert_eq!(dec.buffered_frames(), 0);
+                assert!(!dec.mid_frame());
+            } else {
+                assert_eq!(first.unwrap(), None, "len {len}: awaiting frame body");
+                assert_eq!(dec.buffered_frames(), 0);
+                assert!(dec.mid_frame());
+            }
+        }
+    }
+
+    #[test]
+    fn max_frame_sized_payload_still_decodes() {
+        // The checked arithmetic must not reject legitimate frames at the
+        // configured limit itself.
+        let payload = vec![0x5au8; 100];
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        wire.extend_from_slice(&crate::protocol::crc32(&payload).to_le_bytes());
+        let mut dec = FrameDecoder::new(100);
+        dec.feed(&wire);
+        assert_eq!(dec.next_payload().unwrap(), Some(payload));
     }
 
     #[test]

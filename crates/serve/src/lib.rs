@@ -81,8 +81,10 @@ pub mod server;
 pub use client::ServeClient;
 pub use codec::{CorruptStream, FrameDecoder, TextCommand};
 pub use loadgen::{drive, LoadgenConfig, LoadgenReport, ScenarioFeeder};
-pub use protocol::{encode_events, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
-pub use server::{ServeConfig, ServeReport, ServeStatus, Server, WireCounters};
+pub use protocol::{
+    decode_events, encode_events, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+pub use server::{PersistStats, ServeConfig, ServeReport, ServeStatus, Server, WireCounters};
 
 use aging_core::baseline::TrendPredictorConfig;
 use aging_memsim::Counter;

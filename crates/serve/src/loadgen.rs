@@ -96,6 +96,12 @@ pub struct LoadgenReport {
     /// Send-to-visibility latency for released alarms, as seen by the
     /// poller. Empty when polling is disabled.
     pub alarm_visibility: LatencyHistogram,
+    /// Visibility observations whose clock pair was inverted (the poll
+    /// instant predated the recorded send instant, so the measurement
+    /// was clamped to zero rather than silently folded into the
+    /// histogram's lowest bucket). A non-zero count means the
+    /// `alarm_visibility` floor is measurement noise, not real latency.
+    pub visibility_clamped: u64,
     /// Advisory `Busy` frames received across connections.
     pub busy_frames: u64,
     /// The complete released alarm history fetched after all feeds
@@ -294,6 +300,7 @@ pub fn drive(
         wall_secs,
         ack_rtt: LatencyHistogram::default(),
         alarm_visibility: LatencyHistogram::default(),
+        visibility_clamped: 0,
         busy_frames: 0,
         alarms: Vec::new(),
         crash_times: Vec::new(),
@@ -309,7 +316,9 @@ pub fn drive(
     }
     report.crash_times.sort_by_key(|&(id, _)| id);
     if let Some(polled) = poll_result {
-        report.alarm_visibility = polled?;
+        let (visibility, clamped) = polled?;
+        report.alarm_visibility = visibility;
+        report.visibility_clamped = clamped;
     }
 
     // Every machine is done, so the watermark has released the complete
@@ -442,9 +451,10 @@ fn poll_worker(
     interval: Duration,
     frontier: &FrontierLog,
     feeding_done: &AtomicBool,
-) -> Result<LatencyHistogram> {
+) -> Result<(LatencyHistogram, u64)> {
     let mut client = ServeClient::connect(addr, "loadgen-poller")?;
     let mut visibility = LatencyHistogram::default();
+    let mut clamped = 0u64;
     let mut seen = 0u64;
     loop {
         let done_before_poll = feeding_done.load(Ordering::SeqCst);
@@ -460,7 +470,17 @@ fn poll_worker(
                         .or_else(|| entries.last())
                         .map(|&(_, at)| at);
                     if let Some(at) = sent_at {
-                        visibility.record(now.saturating_duration_since(at));
+                        // An inverted clock pair (the event polled before
+                        // its frontier entry was stamped) records as zero
+                        // but is counted, so the report can tell a true
+                        // sub-bucket latency from a clamped artefact.
+                        match now.checked_duration_since(at) {
+                            Some(elapsed) => visibility.record(elapsed),
+                            None => {
+                                clamped += 1;
+                                visibility.record(Duration::ZERO);
+                            }
+                        }
                     }
                 }
             }
@@ -472,5 +492,5 @@ fn poll_worker(
         std::thread::sleep(interval);
     }
     client.bye()?;
-    Ok(visibility)
+    Ok((visibility, clamped))
 }

@@ -61,6 +61,10 @@ pub const ERR_VERSION: u8 = 1;
 pub const ERR_QUARANTINED: u8 = 2;
 /// Error code: malformed frame (reported, connection kept).
 pub const ERR_MALFORMED: u8 = 3;
+/// Error code: the server could not journal the batch to its persistent
+/// store; the batch is *not* acked and the connection is closed, so the
+/// acked⇒durable invariant holds even under disk failure.
+pub const ERR_STORE: u8 = 4;
 
 /// One ingestion record: a counter reading of one machine at one instant.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -308,14 +312,18 @@ fn detector_from_code(code: u8) -> Option<&'static str> {
 // Byte reader/writer
 // ---------------------------------------------------------------------------
 
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
@@ -441,7 +449,23 @@ pub fn encode_events(events: &[ServeEvent]) -> Vec<u8> {
     out
 }
 
-fn decode_event(r: &mut Reader<'_>) -> Result<ServeEvent, String> {
+/// Decodes a canonical event sequence — the inverse of
+/// [`encode_events`], used when restoring a persisted alarm history.
+///
+/// # Errors
+///
+/// Returns a description of the first malformation; a valid prefix is
+/// not returned (the sequence is all-or-nothing, like a frame payload).
+pub fn decode_events(bytes: &[u8]) -> Result<Vec<ServeEvent>, String> {
+    let mut r = Reader::new(bytes);
+    let mut out = Vec::new();
+    while r.remaining() > 0 {
+        out.push(decode_event(&mut r)?);
+    }
+    Ok(out)
+}
+
+pub(crate) fn decode_event(r: &mut Reader<'_>) -> Result<ServeEvent, String> {
     let machine_id = r.u64()?;
     let time_secs = r.f64()?;
     let level = level_from_code(r.u8()?).ok_or("bad level code")?;

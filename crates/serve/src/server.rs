@@ -59,19 +59,30 @@ use std::time::{Duration, Instant};
 
 use aging_core::detector::AlertLevel;
 use aging_core::fusion::FusionRule;
+use aging_store::{Recovery, Store, StoreConfig};
 use aging_stream::gate::GateConfig;
 use aging_stream::pipeline::{MachinePipeline, PipelineEvent};
 use aging_stream::source::StreamSample;
 use aging_stream::supervisor::{AlarmKind, CounterDetector, FleetConfig};
 use aging_stream::telemetry::{LatencyHistogram, MachineSnapshot, Snapshot, StageCounters};
-use aging_timeseries::{Error, Result};
+use aging_timeseries::{persist, Error, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{parse_text_line, FrameDecoder, TextCommand};
 use crate::protocol::{
-    counter_from_code, encode_frame, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, ERR_MALFORMED,
-    ERR_QUARANTINED, ERR_VERSION, PROTOCOL_VERSION, TEXT_PREAMBLE,
+    counter_from_code, decode_event, decode_events, encode_event, encode_events, encode_frame,
+    Frame, Reader as EventReader, Record, ServeEvent, DEFAULT_MAX_FRAME, ERR_MALFORMED,
+    ERR_QUARANTINED, ERR_STORE, ERR_VERSION, PROTOCOL_VERSION, TEXT_PREAMBLE,
 };
+
+/// Journal entry kind: a binary [`Frame::Batch`] (replay counts a batch).
+const ENTRY_BATCH: u8 = 1;
+/// Journal entry kind: one machine's feed was declared complete.
+const ENTRY_FINISH: u8 = 2;
+/// Journal entry kind: a text-mode sample (replay counts records only).
+const ENTRY_TEXT: u8 = 3;
+/// Version byte leading every engine snapshot blob.
+const SNAPSHOT_VERSION: u8 = 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -114,6 +125,12 @@ pub struct ServeConfig {
     /// to pin the release order exactly; [`Server::shutdown`]'s drain
     /// ignores the hold.
     pub expected_machines: Option<u64>,
+    /// Crash-safe persistence. When set, every accepted batch is
+    /// journaled to this store *before* its ack goes out (acked ⇒
+    /// durable) and [`Server::bind`] replays whatever snapshot + journal
+    /// suffix it finds in the directory, reconstructing the engine
+    /// bit-identically. `None` (the default) serves purely in memory.
+    pub store: Option<StoreConfig>,
 }
 
 impl ServeConfig {
@@ -131,6 +148,7 @@ impl ServeConfig {
             write_timeout_ms: 5_000,
             alarm_chunk: 256,
             expected_machines: None,
+            store: None,
         }
     }
 
@@ -168,6 +186,11 @@ impl ServeConfig {
         }
         if self.alarm_chunk == 0 {
             return Err(Error::invalid("alarm_chunk", "must be at least 1"));
+        }
+        if let Some(store) = &self.store {
+            store
+                .validate()
+                .map_err(|e| Error::invalid("store", e.to_string()))?;
         }
         Ok(())
     }
@@ -217,6 +240,18 @@ pub struct ServeStatus {
     pub fleet: Snapshot,
 }
 
+/// Durability counters for a store-backed server (E15's raw material).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PersistStats {
+    /// Highest journal entry id ever assigned (monotonic across
+    /// restarts of the same store directory).
+    pub entries_journaled: u64,
+    /// Journal bytes appended by *this* server process.
+    pub journal_appended_bytes: u64,
+    /// Snapshots committed by this server process.
+    pub snapshots_committed: u64,
+}
+
 /// Everything a server produced, returned by [`Server::shutdown`].
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -229,6 +264,8 @@ pub struct ServeReport {
     pub wire: WireCounters,
     /// Final per-machine snapshots, in machine-id order.
     pub machines: Vec<MachineSnapshot>,
+    /// Durability counters, `None` for a memory-only server.
+    pub persist: Option<PersistStats>,
 }
 
 // ---------------------------------------------------------------------------
@@ -287,6 +324,8 @@ struct Engine {
     alarms: u64,
     wire: WireCounters,
     scratch: Vec<PipelineEvent>,
+    /// Crash-safe journal + snapshot backing; `None` = memory-only.
+    store: Option<Store>,
 }
 
 impl Engine {
@@ -305,6 +344,7 @@ impl Engine {
             alarms: 0,
             wire: WireCounters::default(),
             scratch: Vec::new(),
+            store: None,
         }
     }
 
@@ -362,12 +402,38 @@ impl Engine {
         true
     }
 
-    fn machine_done(&mut self, machine_id: u64) {
+    /// Applies one batch of records: counters, ingestion, release.
+    /// Shared verbatim by the live wire path and journal replay, so a
+    /// recovered engine reconstructs the exact same state (including the
+    /// global emission sequence) the live run produced.
+    fn apply_batch(&mut self, session: u64, records: &[Record], counts_batch: bool) -> u16 {
+        if counts_batch {
+            self.wire.batches += 1;
+        }
+        self.wire.records += records.len() as u64;
+        let mut accepted = 0u16;
+        for rec in records {
+            if self.ingest(session, *rec) {
+                accepted = accepted.saturating_add(1);
+            }
+        }
+        self.release();
+        accepted
+    }
+
+    /// Finishes one machine's feed (idempotent; shared by live path and
+    /// journal replay).
+    fn apply_finish(&mut self, machine_id: u64) {
         if let Some(entry) = self.machines.get_mut(&machine_id) {
             entry.pipeline.finish(&mut self.scratch);
             self.enqueue(machine_id);
         }
         self.release();
+    }
+
+    fn machine_done(&mut self, machine_id: u64) -> aging_store::Result<()> {
+        self.apply_finish(machine_id);
+        self.persist_finish(machine_id)
     }
 
     /// Finishes every machine the closing session was feeding, so a dead
@@ -383,8 +449,248 @@ impl Engine {
             let entry = self.machines.get_mut(&id).expect("listed above");
             entry.pipeline.finish(&mut self.scratch);
             self.enqueue(id);
+            // Best effort: there is no peer left to report a journal
+            // failure to, and an unjournaled finish only re-opens the
+            // feed on recovery (the resuming client finishes it again).
+            let _ = self.persist_finish(id);
         }
         self.release();
+    }
+
+    // -- persistence ------------------------------------------------------
+
+    /// Journals a record entry (no-op for a memory-only engine). Called
+    /// *after* the records were applied and *before* the ack goes out.
+    fn persist_records(&mut self, kind: u8, records: &[Record]) -> aging_store::Result<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let mut payload = Vec::with_capacity(5 + records.len() * 25);
+        persist::put_u8(&mut payload, kind);
+        persist::put_u32(&mut payload, records.len() as u32);
+        for rec in records {
+            persist::put_u64(&mut payload, rec.machine_id);
+            persist::put_u8(&mut payload, rec.counter);
+            persist::put_u64(&mut payload, rec.time_secs.to_bits());
+            persist::put_u64(&mut payload, rec.value.to_bits());
+        }
+        store.append(&payload)?;
+        Ok(())
+    }
+
+    /// Journals a feed-finish entry (no-op for a memory-only engine).
+    fn persist_finish(&mut self, machine_id: u64) -> aging_store::Result<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let mut payload = Vec::with_capacity(9);
+        persist::put_u8(&mut payload, ENTRY_FINISH);
+        persist::put_u64(&mut payload, machine_id);
+        store.append(&payload)?;
+        Ok(())
+    }
+
+    /// Commits a snapshot when the journal cadence says one is due. A
+    /// failed commit is tolerated: the journal remains authoritative and
+    /// recovery just replays a longer suffix.
+    fn maybe_snapshot(&mut self) {
+        if !self.store.as_ref().is_some_and(Store::snapshot_due) {
+            return;
+        }
+        let blob = self.encode_snapshot_blob();
+        if let Some(store) = self.store.as_mut() {
+            let _ = store.commit_snapshot(&blob);
+        }
+    }
+
+    /// Serialises the complete engine state — machines, pending heap,
+    /// released history, sequence counters, wire counters — into one
+    /// deterministic blob (pending events sorted by their release order).
+    fn encode_snapshot_blob(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        persist::put_u8(&mut out, SNAPSHOT_VERSION);
+        persist::put_u64(&mut out, self.machines.len() as u64);
+        let mut state = Vec::new();
+        for (&id, entry) in &self.machines {
+            persist::put_u64(&mut out, id);
+            persist::put_str(&mut out, &entry.name);
+            state.clear();
+            entry.pipeline.encode_state(&mut state);
+            persist::put_bytes(&mut out, &state);
+        }
+        let mut pend: Vec<&PendingServe> = self.pending.iter().collect();
+        pend.sort_by(|a, b| {
+            a.event
+                .time_secs
+                .total_cmp(&b.event.time_secs)
+                .then_with(|| a.event.machine_id.cmp(&b.event.machine_id))
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        persist::put_u64(&mut out, pend.len() as u64);
+        for p in pend {
+            persist::put_u64(&mut out, p.seq);
+            state.clear();
+            encode_event(&p.event, &mut state);
+            persist::put_bytes(&mut out, &state);
+        }
+        persist::put_bytes(&mut out, &encode_events(&self.released));
+        persist::put_u64(&mut out, self.seq);
+        persist::put_u64(&mut out, self.status_seq);
+        persist::put_u64(&mut out, self.warnings);
+        persist::put_u64(&mut out, self.alarms);
+        let w = &self.wire;
+        for v in [
+            w.connections,
+            w.sessions_closed,
+            w.text_sessions,
+            w.frames,
+            w.batches,
+            w.records,
+            w.records_rejected,
+            w.acks_sent,
+            w.busy_sent,
+            w.malformed_frames,
+            w.corrupt_streams,
+            w.quarantined,
+            w.session_panics,
+            w.queries,
+        ] {
+            persist::put_u64(&mut out, v);
+        }
+        out
+    }
+
+    /// Rebuilds the engine from a snapshot blob. Restored machines carry
+    /// session id 0 (live sessions start at 1), so no running session
+    /// owns them until a resuming client sends its next record.
+    fn restore_snapshot(&mut self, blob: &[u8]) -> std::result::Result<(), String> {
+        fn ps<T>(r: Result<T>) -> std::result::Result<T, String> {
+            r.map_err(|e| e.to_string())
+        }
+        let mut r = persist::Reader::new(blob);
+        let version = ps(r.u8())?;
+        if version != SNAPSHOT_VERSION {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let machines = ps(r.u64())?;
+        self.machines.clear();
+        for _ in 0..machines {
+            let id = ps(r.u64())?;
+            let name = ps(r.str_())?;
+            let state = ps(r.bytes())?;
+            let mut pipeline = MachinePipeline::new(&self.detectors, self.fusion, self.gate)
+                .map_err(|e| e.to_string())?;
+            let mut sr = persist::Reader::new(state);
+            pipeline.restore_state(&mut sr).map_err(|e| e.to_string())?;
+            ps(sr.finish())?;
+            self.machines.insert(
+                id,
+                MachineEntry {
+                    name,
+                    pipeline,
+                    session: 0,
+                },
+            );
+        }
+        let pending = ps(r.u64())?;
+        self.pending.clear();
+        for _ in 0..pending {
+            let seq = ps(r.u64())?;
+            let bytes = ps(r.bytes())?;
+            let mut er = EventReader::new(bytes);
+            let event = decode_event(&mut er)?;
+            if er.remaining() != 0 {
+                return Err("trailing bytes after pending event".into());
+            }
+            self.pending.push(PendingServe { seq, event });
+        }
+        self.released = decode_events(ps(r.bytes())?)?;
+        self.seq = ps(r.u64())?;
+        self.status_seq = ps(r.u64())?;
+        self.warnings = ps(r.u64())?;
+        self.alarms = ps(r.u64())?;
+        let mut w = WireCounters::default();
+        for field in [
+            &mut w.connections,
+            &mut w.sessions_closed,
+            &mut w.text_sessions,
+            &mut w.frames,
+            &mut w.batches,
+            &mut w.records,
+            &mut w.records_rejected,
+            &mut w.acks_sent,
+            &mut w.busy_sent,
+            &mut w.malformed_frames,
+            &mut w.corrupt_streams,
+            &mut w.quarantined,
+            &mut w.session_panics,
+            &mut w.queries,
+        ] {
+            *field = ps(r.u64())?;
+        }
+        self.wire = w;
+        ps(r.finish())?;
+        Ok(())
+    }
+
+    /// Replays one journal entry through the same `apply_*` paths the
+    /// live wire uses.
+    fn apply_journal_entry(&mut self, payload: &[u8]) -> std::result::Result<(), String> {
+        fn ps<T>(r: Result<T>) -> std::result::Result<T, String> {
+            r.map_err(|e| e.to_string())
+        }
+        let mut r = persist::Reader::new(payload);
+        let kind = ps(r.u8())?;
+        match kind {
+            ENTRY_BATCH | ENTRY_TEXT => {
+                let n = ps(r.u32())?;
+                let mut records = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let machine_id = ps(r.u64())?;
+                    let counter = ps(r.u8())?;
+                    let time_secs = f64::from_bits(ps(r.u64())?);
+                    let value = f64::from_bits(ps(r.u64())?);
+                    records.push(Record {
+                        machine_id,
+                        counter,
+                        time_secs,
+                        value,
+                    });
+                }
+                ps(r.finish())?;
+                self.apply_batch(0, &records, kind == ENTRY_BATCH);
+            }
+            ENTRY_FINISH => {
+                let machine_id = ps(r.u64())?;
+                ps(r.finish())?;
+                self.apply_finish(machine_id);
+            }
+            other => return Err(format!("unknown journal entry kind {other}")),
+        }
+        Ok(())
+    }
+
+    /// Rebuilds engine state from what [`Store::open`] found on disk:
+    /// snapshot first (if any), then the surviving journal suffix in
+    /// entry order.
+    fn recover(&mut self, recovery: &Recovery) -> std::result::Result<(), String> {
+        if let Some(blob) = &recovery.snapshot {
+            self.restore_snapshot(blob)
+                .map_err(|e| format!("snapshot: {e}"))?;
+        }
+        for entry in &recovery.entries {
+            self.apply_journal_entry(&entry.payload)
+                .map_err(|e| format!("journal entry {}: {e}", entry.id))?;
+        }
+        Ok(())
+    }
+
+    fn persist_stats(&self) -> Option<PersistStats> {
+        self.store.as_ref().map(|s| PersistStats {
+            entries_journaled: s.last_entry_id(),
+            journal_appended_bytes: s.appended_bytes(),
+            snapshots_committed: s.snapshots_committed(),
+        })
     }
 
     /// Moves every pending event at or below the fleet watermark (the
@@ -505,6 +811,10 @@ struct Shared {
     cfg: ServeConfig,
     engine: Mutex<Engine>,
     shutdown: AtomicBool,
+    /// Crash simulation: like `shutdown` but sessions stop *without*
+    /// finishing feeds or counting closes — the state left behind is
+    /// exactly what a killed process would leave.
+    aborted: AtomicBool,
 }
 
 impl Shared {
@@ -547,13 +857,23 @@ impl Server {
     /// (as [`Error::Io`]).
     pub fn bind(addr: &str, cfg: ServeConfig) -> Result<Server> {
         cfg.validate()?;
+        let mut engine = Engine::new(&cfg);
+        if let Some(store_cfg) = &cfg.store {
+            let (store, recovery) = Store::open(store_cfg.clone())
+                .map_err(|e| Error::Io(format!("store open: {e}")))?;
+            engine
+                .recover(&recovery)
+                .map_err(|e| Error::Io(format!("store recovery: {e}")))?;
+            engine.store = Some(store);
+        }
         let listener = TcpListener::bind(addr).map_err(io_err)?;
         listener.set_nonblocking(true).map_err(io_err)?;
         let local_addr = listener.local_addr().map_err(io_err)?;
         let shared = Arc::new(Shared {
-            engine: Mutex::new(Engine::new(&cfg)),
+            engine: Mutex::new(engine),
             cfg,
             shutdown: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -586,6 +906,28 @@ impl Server {
         self.shared.engine().released.len()
     }
 
+    /// Live durability counters, `None` for a memory-only server.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.shared.engine().persist_stats()
+    }
+
+    /// Kills the server as a crash simulation: sessions stop immediately
+    /// without acking buffered batches, finishing feeds, or draining the
+    /// pending heap. Nothing is reported — whatever survives lives in
+    /// the persistent store, and a subsequent [`Server::bind`] with the
+    /// same [`ServeConfig::store`] must reconstruct it.
+    pub fn abort(mut self) {
+        self.shared.aborted.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            if let Ok(sessions) = accept.join() {
+                for handle in sessions {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+
     /// Stops accepting, lets every session drain its buffered frames,
     /// finishes all feeds and returns the full report. Alarms from every
     /// acked batch are present — acks are only sent after the batch has
@@ -616,6 +958,7 @@ impl Server {
             status: engine.snapshot(),
             wire: engine.wire,
             machines,
+            persist: engine.persist_stats(),
         }
     }
 }
@@ -668,6 +1011,13 @@ enum SessionEnd {
 
 fn session_thread(shared: &Arc<Shared>, stream: &TcpStream, session_id: u64) {
     let end = catch_unwind(AssertUnwindSafe(|| run_session(shared, stream, session_id)));
+    if shared.aborted.load(Ordering::SeqCst) {
+        // Crash simulation: no close accounting, no feed finishing —
+        // the machines this session fed stay unfinished, exactly as a
+        // killed process would leave them.
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
     let mut engine = shared.engine();
     match end {
         Ok(SessionEnd::Clean) => {}
@@ -888,6 +1238,12 @@ fn handle_frame(
     frame: Frame,
 ) -> FrameOutcome {
     let cfg = &shared.cfg;
+    if shared.aborted.load(Ordering::SeqCst) {
+        // Crashing: stop processing buffered frames mid-stream so the
+        // kill point lands between batches, not at a frame boundary the
+        // graceful drain would have chosen.
+        return FrameOutcome::Close;
+    }
     match frame {
         Frame::Hello { version, name: _ } => {
             if version != PROTOCOL_VERSION {
@@ -913,26 +1269,62 @@ fn handle_frame(
             FrameOutcome::Continue
         }
         Frame::Batch { seq, records } => {
-            let accepted = {
+            // Apply, then journal, then ack — all under one engine lock,
+            // so the journal is a linearisation of engine mutations and
+            // an acked batch is always durable. A journal failure closes
+            // the session *without* acking: the client re-sends and the
+            // gates dedup any records that did reach the journal.
+            let outcome = {
                 let mut engine = shared.engine();
-                engine.wire.batches += 1;
-                engine.wire.records += records.len() as u64;
-                let mut accepted = 0u16;
-                for rec in &records {
-                    if engine.ingest(session_id, *rec) {
-                        accepted = accepted.saturating_add(1);
+                let accepted = engine.apply_batch(session_id, &records, true);
+                match engine.persist_records(ENTRY_BATCH, &records) {
+                    Ok(()) => {
+                        engine.maybe_snapshot();
+                        engine.wire.acks_sent += 1;
+                        Ok(accepted)
                     }
+                    Err(e) => Err(e.to_string()),
                 }
-                engine.release();
-                engine.wire.acks_sent += 1;
-                accepted
             };
-            let _ = send_frame(stream, &Frame::Ack { seq, accepted });
-            FrameOutcome::Continue
+            match outcome {
+                Ok(accepted) => {
+                    let _ = send_frame(stream, &Frame::Ack { seq, accepted });
+                    FrameOutcome::Continue
+                }
+                Err(msg) => {
+                    let _ = send_frame(
+                        stream,
+                        &Frame::Error {
+                            code: ERR_STORE,
+                            message: format!("journal append failed: {msg}"),
+                        },
+                    );
+                    FrameOutcome::Close
+                }
+            }
         }
         Frame::MachineDone { machine_id } => {
-            shared.engine().machine_done(machine_id);
-            FrameOutcome::Continue
+            let res = {
+                let mut engine = shared.engine();
+                let res = engine.machine_done(machine_id);
+                if res.is_ok() {
+                    engine.maybe_snapshot();
+                }
+                res
+            };
+            match res {
+                Ok(()) => FrameOutcome::Continue,
+                Err(e) => {
+                    let _ = send_frame(
+                        stream,
+                        &Frame::Error {
+                            code: ERR_STORE,
+                            message: format!("journal append failed: {e}"),
+                        },
+                    );
+                    FrameOutcome::Close
+                }
+            }
         }
         Frame::QueryStatus => {
             let json = {
@@ -1095,6 +1487,9 @@ fn handle_text(
     session_id: u64,
     cmd: TextCommand,
 ) -> FrameOutcome {
+    if shared.aborted.load(Ordering::SeqCst) {
+        return FrameOutcome::Close;
+    }
     match cmd {
         TextCommand::Hello { .. } => {
             let _ = send_line(stream, &format!("ok aging-serve v{PROTOCOL_VERSION}"));
@@ -1106,28 +1501,55 @@ fn handle_text(
             time_secs,
             value,
         } => {
-            let ok = {
-                let mut engine = shared.engine();
-                engine.wire.records += 1;
-                let ok = engine.ingest(
-                    session_id,
-                    Record {
-                        machine_id,
-                        counter,
-                        time_secs,
-                        value,
-                    },
-                );
-                engine.release();
-                ok
+            let rec = Record {
+                machine_id,
+                counter,
+                time_secs,
+                value,
             };
-            let _ = send_line(stream, if ok { "ok" } else { "err rejected" });
-            FrameOutcome::Continue
+            // Same discipline as the binary batch path: apply, journal,
+            // then confirm — "ok" implies durable.
+            let outcome = {
+                let mut engine = shared.engine();
+                let ok = engine.apply_batch(session_id, std::slice::from_ref(&rec), false) == 1;
+                match engine.persist_records(ENTRY_TEXT, std::slice::from_ref(&rec)) {
+                    Ok(()) => {
+                        engine.maybe_snapshot();
+                        Ok(ok)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match outcome {
+                Ok(ok) => {
+                    let _ = send_line(stream, if ok { "ok" } else { "err rejected" });
+                    FrameOutcome::Continue
+                }
+                Err(e) => {
+                    let _ = send_line(stream, &format!("err store {e}"));
+                    FrameOutcome::Close
+                }
+            }
         }
         TextCommand::Done { machine_id } => {
-            shared.engine().machine_done(machine_id);
-            let _ = send_line(stream, "ok");
-            FrameOutcome::Continue
+            let res = {
+                let mut engine = shared.engine();
+                let res = engine.machine_done(machine_id);
+                if res.is_ok() {
+                    engine.maybe_snapshot();
+                }
+                res
+            };
+            match res {
+                Ok(()) => {
+                    let _ = send_line(stream, "ok");
+                    FrameOutcome::Continue
+                }
+                Err(e) => {
+                    let _ = send_line(stream, &format!("err store {e}"));
+                    FrameOutcome::Close
+                }
+            }
         }
         TextCommand::Status => {
             let json = {

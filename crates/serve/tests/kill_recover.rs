@@ -1,0 +1,310 @@
+//! The E15 hard gate, test-sized: a store-backed server killed at
+//! randomized points mid-ingestion and recovered from its snapshot +
+//! journal must produce an alarm history **byte-identical** (under the
+//! canonical event codec) to an uninterrupted offline
+//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) run of
+//! the same scenarios.
+//!
+//! The crash model is `Server::abort` — sessions stop without acking
+//! buffered batches, finishing feeds, or draining — followed by a fresh
+//! `Server::bind` on the same store directory. The driver plays the
+//! at-least-once client: it retains every sent batch and, after a crash,
+//! re-sends exactly the batches whose acks it never saw
+//! ([`ServeClient::unacked_seqs`]); the per-machine sample gates dedup
+//! whatever was in fact journaled before the kill.
+//!
+//! Kill points are drawn from a seed-keyed xorshift, so every run of
+//! this file exercises the same schedule and a failure reproduces.
+//!
+//! ci.sh runs this file under `AGING_THREADS=1` and `=4`.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
+use aging_serve::{ServeClient, ServeConfig, Server};
+use aging_store::StoreConfig;
+use aging_stream::detector::DetectorSpec;
+use aging_stream::source::{MachineSource, SampleSource};
+use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetSupervisor};
+use aging_stream::GateConfig;
+
+const BATCH_RECORDS: usize = 16;
+const KILLS_PER_RUN: usize = 3;
+
+fn fleet_config() -> FleetConfig {
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let mut cfg = FleetConfig::new(detectors, 8.0 * 3600.0);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = (0..2)
+        .map(|i| Scenario::tiny_aging(seed + i, 192.0))
+        .collect();
+    out.push(Scenario::tiny_aging(seed + 2, 0.0)); // healthy control
+    out
+}
+
+/// Offline events in the server's address space (machine id = scenario
+/// index).
+fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+    let report = FleetSupervisor::new(cfg.clone())
+        .expect("offline supervisor")
+        .run(fleet)
+        .expect("offline run");
+    report
+        .events
+        .iter()
+        .map(|e| ServeEvent {
+            machine_id: e.machine_index as u64,
+            time_secs: e.time_secs,
+            level: e.level,
+            kind: e.kind,
+        })
+        .collect()
+}
+
+/// The full record sequence, round-robin across machines by sample
+/// index (preserving each machine's time order), chunked into batches.
+fn build_batches(fleet: &[Scenario], horizon_secs: f64) -> Vec<Vec<Record>> {
+    let code = counter_code(Counter::AvailableBytes);
+    let traces: Vec<Vec<Record>> = fleet
+        .iter()
+        .enumerate()
+        .map(|(m, scenario)| {
+            let mut source = MachineSource::new(scenario, Counter::AvailableBytes, horizon_secs)
+                .expect("source");
+            let mut out = Vec::new();
+            while let Some(s) = source.next_sample().expect("infallible source") {
+                out.push(Record {
+                    machine_id: m as u64,
+                    counter: code,
+                    time_secs: s.time_secs,
+                    value: s.value,
+                });
+            }
+            out
+        })
+        .collect();
+    let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
+    let mut records = Vec::new();
+    for i in 0..longest {
+        for trace in &traces {
+            if let Some(rec) = trace.get(i) {
+                records.push(*rec);
+            }
+        }
+    }
+    records
+        .chunks(BATCH_RECORDS)
+        .map(<[Record]>::to_vec)
+        .collect()
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// `count` distinct kill points (batch indices), seed-deterministic.
+fn kill_points(seed: u64, batches: usize, count: usize) -> VecDeque<usize> {
+    let mut state = seed | 1;
+    let mut points = BTreeSet::new();
+    while points.len() < count.min(batches.saturating_sub(1)) {
+        points.insert(1 + (xorshift(&mut state) as usize) % (batches - 1));
+    }
+    points.into_iter().collect()
+}
+
+/// A store directory wiped on create and drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("aging-killrec-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn store_config(dir: &TempDir) -> StoreConfig {
+    StoreConfig {
+        // Small cadence so every crash run crosses several snapshots and
+        // recovery exercises the snapshot + journal-suffix path.
+        snapshot_every_entries: 24,
+        ..StoreConfig::new(&dir.0)
+    }
+}
+
+fn bind_store_server(cfg: &FleetConfig, machines: u64, dir: &TempDir) -> Server {
+    let mut serve_cfg = ServeConfig::from_fleet(cfg);
+    serve_cfg.expected_machines = Some(machines);
+    serve_cfg.store = Some(store_config(dir));
+    Server::bind("127.0.0.1:0", serve_cfg).expect("bind store-backed server")
+}
+
+/// Feeds the fleet through a store-backed server, killing and recovering
+/// it at each kill point, and returns the final drained history.
+fn crash_run(cfg: &FleetConfig, fleet: &[Scenario], seed: u64, dir: &TempDir) -> Vec<ServeEvent> {
+    let batches = build_batches(fleet, cfg.horizon_secs);
+    let mut kills = kill_points(seed, batches.len(), KILLS_PER_RUN);
+    let mut cursor = 0usize;
+    let mut carry: Vec<Vec<Record>> = Vec::new();
+    let mut restarts = 0u32;
+
+    loop {
+        let server = bind_store_server(cfg, fleet.len() as u64, dir);
+        let mut client = ServeClient::connect(server.local_addr(), "killrec").expect("connect");
+        let mut sent: HashMap<u64, Vec<Record>> = HashMap::new();
+
+        // At-least-once redelivery: batches unacked at the last crash go
+        // out first, in their original order. The gates dedup any that
+        // were journaled before the kill.
+        for batch in carry.drain(..) {
+            let seq = client.send_batch(&batch).expect("resend batch");
+            sent.insert(seq, batch);
+        }
+
+        let mut killed = false;
+        while cursor < batches.len() {
+            if kills.front() == Some(&cursor) {
+                kills.pop_front();
+                killed = true;
+                break;
+            }
+            let batch = batches[cursor].clone();
+            let seq = client.send_batch(&batch).expect("send batch");
+            sent.insert(seq, batch);
+            cursor += 1;
+        }
+
+        if killed {
+            server.abort();
+            restarts += 1;
+            carry = client
+                .unacked_seqs()
+                .into_iter()
+                .filter_map(|seq| sent.remove(&seq))
+                .collect();
+            continue;
+        }
+
+        for m in 0..fleet.len() {
+            client.machine_done(m as u64).expect("machine done");
+        }
+        let _ = client.bye().expect("bye");
+        let outcome = server.shutdown();
+        assert_eq!(restarts as usize, KILLS_PER_RUN, "every kill point fired");
+        assert_eq!(outcome.wire.session_panics, 0, "server must not panic");
+        let persist = outcome.persist.expect("store-backed report has stats");
+        assert!(
+            persist.entries_journaled >= batches.len() as u64,
+            "every batch must have hit the journal (saw {})",
+            persist.entries_journaled
+        );
+        return outcome.events;
+    }
+}
+
+#[test]
+fn killed_and_recovered_server_matches_offline_supervisor() {
+    for seed in [0x00c0_ffee_u64, 42, 7, 0xdead_beef] {
+        let cfg = fleet_config();
+        let fleet = scenarios(seed);
+        let offline = offline_events(&cfg, &fleet);
+        assert!(
+            !offline.is_empty(),
+            "seed {seed:#x}: expected alarms from leaky machines"
+        );
+        let dir = TempDir::new(&format!("diff-{seed:x}"));
+        let online = crash_run(&cfg, &fleet, seed, &dir);
+        assert_eq!(
+            encode_events(&offline),
+            encode_events(&online),
+            "seed {seed:#x}: kill-and-recover alarm history diverged from the offline \
+             supervisor (offline {} events, online {})",
+            offline.len(),
+            online.len()
+        );
+    }
+}
+
+/// Satellite: a client that never saw its ack re-sends an already
+/// journaled batch after recovery. The duplicate must be deduped by the
+/// gates — the recovered history stays byte-identical to the offline
+/// run even though the wire saw the records twice.
+#[test]
+fn duplicate_redelivery_after_crash_is_deduped() {
+    let seed = 0x0ddba11_u64;
+    let cfg = fleet_config();
+    let fleet = vec![Scenario::tiny_aging(seed, 192.0)];
+    let offline = offline_events(&cfg, &fleet);
+    assert!(
+        !offline.is_empty(),
+        "expected alarms from the leaky machine"
+    );
+
+    let batches = build_batches(&fleet, cfg.horizon_secs);
+    let split = batches.len() / 2;
+    let dir = TempDir::new("dup");
+
+    // Incarnation 1: feed the first half and *flush*, so the final batch
+    // is acked — by the acked⇒durable contract it is in the journal.
+    let server = bind_store_server(&cfg, 1, &dir);
+    let mut client = ServeClient::connect(server.local_addr(), "dup-a").expect("connect");
+    for batch in &batches[..split] {
+        client.send_batch(batch).expect("send batch");
+    }
+    client.flush().expect("flush");
+    server.abort(); // crash after the ack was delivered
+
+    // Incarnation 2: the client missed the ack bookkeeping and replays
+    // the last acked batch before continuing.
+    let server = bind_store_server(&cfg, 1, &dir);
+    let mut client = ServeClient::connect(server.local_addr(), "dup-b").expect("connect");
+    client
+        .send_batch(&batches[split - 1])
+        .expect("redeliver duplicate");
+    for batch in &batches[split..] {
+        client.send_batch(batch).expect("send batch");
+    }
+    client.machine_done(0).expect("machine done");
+    let _ = client.bye().expect("bye");
+    let outcome = server.shutdown();
+
+    let total_records: usize = batches.iter().map(Vec::len).sum();
+    assert!(
+        outcome.wire.records as usize >= total_records + batches[split - 1].len(),
+        "wire must have counted the duplicate delivery"
+    );
+    assert_eq!(
+        encode_events(&offline),
+        encode_events(&outcome.events),
+        "duplicate redelivery leaked into the recovered alarm history"
+    );
+}

@@ -19,8 +19,97 @@
 use aging_core::baseline::{ResourceDirection, TrendPredictorConfig};
 use aging_core::detector::{Alert, AlertLevel, Baseline, DetectorConfig, JumpRule, Trigger};
 use aging_fractal::streaming::{StreamingDimension, StreamingHolder};
+use aging_timeseries::persist::{self, Reader};
 use aging_timeseries::trend::{StreamingMannKendall, TrendDirection};
-use aging_timeseries::{stats, Result};
+use aging_timeseries::{stats, Error, Result};
+
+// Local byte codes for the core enums — the persistence schema is owned
+// here, not by `aging-core`. `pub(crate)` so the supervisor's alarm
+// history codec shares the same codes.
+pub(crate) fn level_code(level: AlertLevel) -> u8 {
+    match level {
+        AlertLevel::Warning => 0,
+        AlertLevel::Alarm => 1,
+    }
+}
+
+pub(crate) fn level_from_code(code: u8) -> Result<AlertLevel> {
+    match code {
+        0 => Ok(AlertLevel::Warning),
+        1 => Ok(AlertLevel::Alarm),
+        c => Err(Error::invalid("persist", format!("bad alert level {c}"))),
+    }
+}
+
+pub(crate) fn trigger_code(trigger: Trigger) -> u8 {
+    match trigger {
+        Trigger::DimensionJump => 0,
+        Trigger::HolderCollapse => 1,
+        Trigger::Both => 2,
+    }
+}
+
+pub(crate) fn trigger_from_code(code: u8) -> Result<Trigger> {
+    match code {
+        0 => Ok(Trigger::DimensionJump),
+        1 => Ok(Trigger::HolderCollapse),
+        2 => Ok(Trigger::Both),
+        c => Err(Error::invalid("persist", format!("bad trigger {c}"))),
+    }
+}
+
+fn put_opt_alert(out: &mut Vec<u8>, alert: Option<Alert>) {
+    match alert {
+        None => persist::put_bool(out, false),
+        Some(a) => {
+            persist::put_bool(out, true);
+            persist::put_usize(out, a.sample_index);
+            persist::put_u8(out, level_code(a.level));
+            persist::put_u8(out, trigger_code(a.trigger));
+            persist::put_f64(out, a.dimension);
+            persist::put_f64(out, a.mean_holder);
+            persist::put_f64(out, a.dimension_baseline);
+            persist::put_f64(out, a.holder_baseline);
+        }
+    }
+}
+
+fn read_opt_alert(r: &mut Reader<'_>) -> Result<Option<Alert>> {
+    if !r.bool()? {
+        return Ok(None);
+    }
+    Ok(Some(Alert {
+        sample_index: r.usize_()?,
+        level: level_from_code(r.u8()?)?,
+        trigger: trigger_from_code(r.u8()?)?,
+        dimension: r.f64()?,
+        mean_holder: r.f64()?,
+        dimension_baseline: r.f64()?,
+        holder_baseline: r.f64()?,
+    }))
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
+    persist::put_usize(out, v.len());
+    for &x in v {
+        persist::put_f64(out, x);
+    }
+}
+
+fn read_f64_vec(r: &mut Reader<'_>, max_len: usize) -> Result<Vec<f64>> {
+    let n = r.usize_()?;
+    if n > max_len {
+        return Err(Error::invalid(
+            "persist",
+            format!("vector length {n} exceeds bound {max_len}"),
+        ));
+    }
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r.f64()?);
+    }
+    Ok(v)
+}
 
 /// Which online detector to run on a stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -271,6 +360,67 @@ impl StreamingHolderDimension {
         self.alarmed = false;
         self.last_alert = None;
     }
+
+    /// Serializes all dynamic state (kernels, warmup/baseline progress,
+    /// confirmation run, latch and emission counters) via
+    /// [`aging_timeseries::persist`]; the config is re-supplied at
+    /// construction.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.holder.encode_state(out);
+        self.dimension.encode_state(out);
+        persist::put_u64(out, self.samples_seen);
+        persist::put_usize(out, self.windows_seen);
+        put_f64_vec(out, &self.baseline_dim);
+        put_f64_vec(out, &self.baseline_h);
+        match self.baseline {
+            None => persist::put_bool(out, false),
+            Some(b) => {
+                persist::put_bool(out, true);
+                persist::put_f64(out, b.dimension);
+                persist::put_f64(out, b.dimension_delta);
+                persist::put_f64(out, b.mean_holder);
+                persist::put_f64(out, b.holder_delta);
+            }
+        }
+        persist::put_usize(out, self.consecutive_anomalies);
+        persist::put_bool(out, self.alarmed);
+        persist::put_u64(out, self.warnings_emitted);
+        persist::put_u64(out, self.alarms_emitted);
+        put_opt_alert(out, self.last_alert);
+    }
+
+    /// Restores state written by
+    /// [`StreamingHolderDimension::encode_state`] into a detector
+    /// constructed with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation, a window
+    /// mismatch or corrupt enum codes.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.holder.restore_state(r)?;
+        self.dimension.restore_state(r)?;
+        self.samples_seen = r.u64()?;
+        self.windows_seen = r.usize_()?;
+        self.baseline_dim = read_f64_vec(r, self.config.baseline_windows)?;
+        self.baseline_h = read_f64_vec(r, self.config.baseline_windows)?;
+        self.baseline = if r.bool()? {
+            Some(Baseline {
+                dimension: r.f64()?,
+                dimension_delta: r.f64()?,
+                mean_holder: r.f64()?,
+                holder_delta: r.f64()?,
+            })
+        } else {
+            None
+        };
+        self.consecutive_anomalies = r.usize_()?;
+        self.alarmed = r.bool()?;
+        self.warnings_emitted = r.u64()?;
+        self.alarms_emitted = r.u64()?;
+        self.last_alert = read_opt_alert(r)?;
+        Ok(())
+    }
 }
 
 /// Streaming Mann–Kendall + Sen-slope exhaustion baseline.
@@ -375,6 +525,29 @@ impl StreamingTrend {
         self.eta = None;
         self.alarmed = false;
     }
+
+    /// Serializes all dynamic state via [`aging_timeseries::persist`].
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.mk.encode_state(out);
+        persist::put_u64(out, self.count);
+        persist::put_opt_f64(out, self.eta);
+        persist::put_bool(out, self.alarmed);
+    }
+
+    /// Restores state written by [`StreamingTrend::encode_state`] into a
+    /// detector constructed with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation or a window
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.mk.restore_state(r)?;
+        self.count = r.u64()?;
+        self.eta = r.opt_f64()?;
+        self.alarmed = r.bool()?;
+        Ok(())
+    }
 }
 
 /// A uniform wrapper so fleets can mix detector families per counter.
@@ -456,6 +629,40 @@ impl StreamingDetector {
         match &mut self.inner {
             Inner::Holder(det) => det.reset(),
             Inner::Trend(det) => det.reset(),
+        }
+    }
+
+    /// Serializes all dynamic state, tagged with the detector family so a
+    /// spec/blob mismatch is caught at restore time.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        match &self.inner {
+            Inner::Holder(det) => {
+                persist::put_u8(out, 0);
+                det.encode_state(out);
+            }
+            Inner::Trend(det) => {
+                persist::put_u8(out, 1);
+                det.encode_state(out);
+            }
+        }
+    }
+
+    /// Restores state written by [`StreamingDetector::encode_state`] into
+    /// a detector constructed from the same [`DetectorSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation, a family tag
+    /// mismatch, or corrupt inner state.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let tag = r.u8()?;
+        match (&mut self.inner, tag) {
+            (Inner::Holder(det), 0) => det.restore_state(r),
+            (Inner::Trend(det), 1) => det.restore_state(r),
+            (_, t) => Err(Error::invalid(
+                "persist",
+                format!("detector family tag {t} does not match the configured spec"),
+            )),
         }
     }
 }

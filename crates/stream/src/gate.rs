@@ -209,6 +209,32 @@ impl SampleGate {
         self.consecutive_drops = 0;
         self.degraded = false;
     }
+
+    /// Serializes the dynamic state (stream position, lifetime counters,
+    /// drop-run length and degradation flag) via
+    /// [`aging_timeseries::persist`]; the config is re-supplied at
+    /// construction time.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use aging_timeseries::persist::{put_bool, put_opt_f64, put_u64};
+        put_opt_f64(out, self.last_time);
+        self.counters.encode_state(out);
+        put_u64(out, self.consecutive_drops);
+        put_bool(out, self.degraded);
+    }
+
+    /// Restores state written by [`SampleGate::encode_state`] into a gate
+    /// constructed with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a truncated or corrupt blob.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        self.last_time = r.opt_f64()?;
+        self.counters.restore_state(r)?;
+        self.consecutive_drops = r.u64()?;
+        self.degraded = r.bool()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -334,6 +334,64 @@ impl MachinePipeline {
         self.streams.len()
     }
 
+    /// Serializes the pipeline's complete dynamic state — every stream's
+    /// gate, detector and poisoned flag, the fused latch, telemetry, and
+    /// the incremental-path tick/watermark clocks — via
+    /// [`aging_timeseries::persist`].
+    ///
+    /// Configuration (detector specs, fusion rule, gate knobs) is *not*
+    /// written: recovery constructs a fresh pipeline from the same config
+    /// and then calls [`MachinePipeline::restore_state`], which makes the
+    /// restored pipeline bit-identical to the snapshotted one — feeding
+    /// both the same subsequent records produces the same events with the
+    /// same floating-point state down to the last ULP (the
+    /// `pipeline_persistence` test drives this exact differential).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use aging_timeseries::persist::{put_bool, put_f64, put_opt_f64, put_u64, put_usize};
+        put_usize(out, self.streams.len());
+        for cs in &self.streams {
+            cs.gate.encode_state(out);
+            cs.detector.encode_state(out);
+            put_bool(out, cs.disabled);
+        }
+        put_bool(out, self.fused);
+        self.latency.encode_state(out);
+        put_u64(out, self.detector_errors);
+        put_opt_f64(out, self.tick_time);
+        put_f64(out, self.completed_time);
+        put_bool(out, self.finished);
+    }
+
+    /// Restores state written by [`MachinePipeline::encode_state`] into a
+    /// pipeline freshly constructed from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::InvalidParameter`] on
+    /// truncation, a stream-count or detector-family mismatch, or corrupt
+    /// inner state.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        let n = r.usize_()?;
+        if n != self.streams.len() {
+            return Err(aging_timeseries::Error::invalid(
+                "persist",
+                format!("pipeline has {} streams, snapshot {n}", self.streams.len()),
+            ));
+        }
+        for cs in &mut self.streams {
+            cs.gate.restore_state(r)?;
+            cs.detector.restore_state(r)?;
+            cs.disabled = r.bool()?;
+        }
+        self.fused = r.bool()?;
+        self.latency.restore_state(r)?;
+        self.detector_errors = r.u64()?;
+        self.tick_time = r.opt_f64()?;
+        self.completed_time = r.f64()?;
+        self.finished = r.bool()?;
+        Ok(())
+    }
+
     /// Serialisable point-in-time state of this machine's pipeline.
     pub fn snapshot(&self, machine_id: u64, name: &str) -> MachineSnapshot {
         MachineSnapshot {

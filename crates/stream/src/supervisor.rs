@@ -36,11 +36,16 @@
 use std::collections::BinaryHeap;
 use std::sync::mpsc;
 
+use aging_core::detector::Alert;
 use aging_core::fusion::FusionRule;
 use aging_memsim::{Counter, Machine, Sample, Scenario};
+use aging_store::{Store, StoreConfig};
+use aging_timeseries::persist;
 use aging_timeseries::{Error, Result};
 
-use crate::detector::StreamingDetector;
+use crate::detector::{
+    level_code, level_from_code, trigger_code, trigger_from_code, AlertDetail, StreamingDetector,
+};
 use crate::gate::GateConfig;
 use crate::pipeline::{MachinePipeline, PipelineEvent};
 use crate::source::SamplePerturber;
@@ -85,6 +90,16 @@ pub struct FleetConfig {
     /// straight through. Event timestamps always keep the true machine
     /// time, so injected clock defects cannot corrupt watermark ordering.
     pub perturb: Option<PerturberFactory>,
+    /// Crash-safe alarm history persistence. When set, every event is
+    /// journaled to this store as the ordered merge releases it, and a
+    /// completed run commits the full history as a snapshot (truncating
+    /// the journal). After a crash mid-run,
+    /// [`FleetSupervisor::recover_events`] returns the journaled prefix
+    /// for post-mortem; a deterministic re-run onto a *fresh* directory
+    /// reproduces the full history. Runs append to whatever the
+    /// directory already holds, so point each run at its own directory.
+    /// `None` (the default) keeps the run entirely in memory.
+    pub store: Option<StoreConfig>,
 }
 
 impl std::fmt::Debug for FleetConfig {
@@ -101,6 +116,7 @@ impl std::fmt::Debug for FleetConfig {
                 "perturb",
                 &self.perturb.as_ref().map(|_| "PerturberFactory"),
             )
+            .field("store", &self.store)
             .finish()
     }
 }
@@ -118,6 +134,7 @@ impl FleetConfig {
             queue_capacity: 256,
             status_every_secs: 600.0,
             perturb: None,
+            store: None,
         }
     }
 
@@ -141,6 +158,11 @@ impl FleetConfig {
         if !(self.status_every_secs > 0.0) {
             return Err(Error::invalid("status_every_secs", "must be positive"));
         }
+        if let Some(store) = &self.store {
+            store
+                .validate()
+                .map_err(|e| Error::invalid("store", e.to_string()))?;
+        }
         self.gate.validate()
     }
 }
@@ -158,6 +180,129 @@ pub struct AlarmEvent {
     pub level: AlertLevel,
     /// What fired.
     pub kind: AlarmKind,
+}
+
+// ---------------------------------------------------------------------------
+// Alarm history codec (store payloads)
+// ---------------------------------------------------------------------------
+
+/// Version byte leading the persisted alarm-history snapshot blob.
+const FLEET_SNAPSHOT_VERSION: u8 = 1;
+const EVENT_DETECTOR: u8 = 0;
+const EVENT_MACHINE_ALARM: u8 = 1;
+const DETAIL_HOLDER: u8 = 0;
+const DETAIL_TREND: u8 = 1;
+
+fn counter_byte(counter: Counter) -> u8 {
+    Counter::ALL
+        .iter()
+        .position(|&c| c == counter)
+        .expect("Counter::ALL is exhaustive") as u8
+}
+
+fn counter_from_byte(code: u8) -> Result<Counter> {
+    Counter::ALL
+        .get(usize::from(code))
+        .copied()
+        .ok_or_else(|| Error::invalid("store", format!("bad counter code {code}")))
+}
+
+/// Interns a persisted detector-family name back to its `&'static str`.
+fn detector_name(name: &str) -> Result<&'static str> {
+    // Must cover every DetectorSpec::name.
+    for known in ["holder-dimension", "mann-kendall-sen"] {
+        if name == known {
+            return Ok(known);
+        }
+    }
+    Err(Error::invalid(
+        "store",
+        format!("unknown detector name {name:?}"),
+    ))
+}
+
+fn encode_alarm_event(event: &AlarmEvent, out: &mut Vec<u8>) {
+    persist::put_u64(out, event.machine_index as u64);
+    persist::put_str(out, &event.machine);
+    persist::put_f64(out, event.time_secs);
+    persist::put_u8(out, level_code(event.level));
+    match &event.kind {
+        AlarmKind::Detector {
+            counter,
+            detector,
+            detail,
+        } => {
+            persist::put_u8(out, EVENT_DETECTOR);
+            persist::put_u8(out, counter_byte(*counter));
+            persist::put_str(out, detector);
+            match detail {
+                AlertDetail::Holder(alert) => {
+                    persist::put_u8(out, DETAIL_HOLDER);
+                    persist::put_usize(out, alert.sample_index);
+                    persist::put_u8(out, level_code(alert.level));
+                    persist::put_u8(out, trigger_code(alert.trigger));
+                    persist::put_f64(out, alert.dimension);
+                    persist::put_f64(out, alert.mean_holder);
+                    persist::put_f64(out, alert.dimension_baseline);
+                    persist::put_f64(out, alert.holder_baseline);
+                }
+                AlertDetail::Trend { eta_secs } => {
+                    persist::put_u8(out, DETAIL_TREND);
+                    persist::put_opt_f64(out, *eta_secs);
+                }
+            }
+        }
+        AlarmKind::MachineAlarm { votes, members } => {
+            persist::put_u8(out, EVENT_MACHINE_ALARM);
+            persist::put_usize(out, *votes);
+            persist::put_usize(out, *members);
+        }
+    }
+}
+
+fn decode_alarm_event(r: &mut persist::Reader<'_>) -> Result<AlarmEvent> {
+    let machine_index = r.u64()? as usize;
+    let machine = r.str_()?;
+    let time_secs = r.f64()?;
+    let level = level_from_code(r.u8()?)?;
+    let kind = match r.u8()? {
+        EVENT_DETECTOR => {
+            let counter = counter_from_byte(r.u8()?)?;
+            let detector = detector_name(&r.str_()?)?;
+            let detail = match r.u8()? {
+                DETAIL_HOLDER => AlertDetail::Holder(Alert {
+                    sample_index: r.usize_()?,
+                    level: level_from_code(r.u8()?)?,
+                    trigger: trigger_from_code(r.u8()?)?,
+                    dimension: r.f64()?,
+                    mean_holder: r.f64()?,
+                    dimension_baseline: r.f64()?,
+                    holder_baseline: r.f64()?,
+                }),
+                DETAIL_TREND => AlertDetail::Trend {
+                    eta_secs: r.opt_f64()?,
+                },
+                t => return Err(Error::invalid("store", format!("bad detail tag {t}"))),
+            };
+            AlarmKind::Detector {
+                counter,
+                detector,
+                detail,
+            }
+        }
+        EVENT_MACHINE_ALARM => AlarmKind::MachineAlarm {
+            votes: r.usize_()?,
+            members: r.usize_()?,
+        },
+        t => return Err(Error::invalid("store", format!("bad event kind tag {t}"))),
+    };
+    Ok(AlarmEvent {
+        machine_index,
+        machine,
+        time_secs,
+        level,
+        kind,
+    })
 }
 
 /// Terminal state of one machine after a fleet run.
@@ -372,6 +517,18 @@ impl FleetSupervisor {
     ) -> Result<FleetReport> {
         let cfg = &self.config;
 
+        // Open the event store (if any) before any thread spawns, so a
+        // bad directory fails the run up front.
+        let mut store = match &cfg.store {
+            Some(store_cfg) => Some(
+                Store::open(store_cfg.clone())
+                    .map_err(|e| Error::Io(format!("event store open: {e}")))?
+                    .0,
+            ),
+            None => None,
+        };
+        let mut journal_err: Option<String> = None;
+
         // Boot everything up front so errors surface before threads spawn.
         let mut machines = Vec::with_capacity(scenarios.len());
         for (index, scenario) in scenarios.iter().enumerate() {
@@ -410,6 +567,20 @@ impl FleetSupervisor {
         }
 
         let (tx, rx) = mpsc::sync_channel::<ShardMsg>(cfg.queue_capacity);
+        // Journal each event as the ordered merge releases it, *before*
+        // the caller's hook sees it — what the hook observed is durable.
+        let mut alarm_hook = |event: &AlarmEvent| {
+            if journal_err.is_none() {
+                if let Some(store) = store.as_mut() {
+                    let mut payload = Vec::with_capacity(64);
+                    encode_alarm_event(event, &mut payload);
+                    if let Err(e) = store.append(&payload) {
+                        journal_err = Some(e.to_string());
+                    }
+                }
+            }
+            on_alarm(event);
+        };
         let mut report = std::thread::scope(|scope| {
             for (shard_id, shard_machines) in shards.into_iter().enumerate() {
                 let tx = tx.clone();
@@ -417,10 +588,64 @@ impl FleetSupervisor {
                 scope.spawn(move || shard_loop(shard_id, shard_machines, cfg, &tx));
             }
             drop(tx); // the merge loop ends when every shard hangs up
-            merge_loop(shard_count, rx, &mut on_alarm, &mut on_status)
+            merge_loop(shard_count, rx, &mut alarm_hook, &mut on_status)
         });
         report.outcomes.sort_by_key(|o| o.machine_index);
+        if let Some(e) = journal_err {
+            return Err(Error::Io(format!("event journal append failed: {e}")));
+        }
+        // A completed run compacts its history into one snapshot and
+        // truncates the journal.
+        if let Some(store) = store.as_mut() {
+            let mut blob = Vec::with_capacity(16 + report.events.len() * 64);
+            persist::put_u8(&mut blob, FLEET_SNAPSHOT_VERSION);
+            persist::put_u64(&mut blob, report.events.len() as u64);
+            for event in &report.events {
+                encode_alarm_event(event, &mut blob);
+            }
+            store
+                .commit_snapshot(&blob)
+                .map_err(|e| Error::Io(format!("event snapshot commit failed: {e}")))?;
+        }
         Ok(report)
+    }
+
+    /// Reads back the alarm history a store-backed run left on disk: the
+    /// last completed run's snapshot plus the journaled prefix of any
+    /// interrupted run after it. A torn final journal entry (the crash
+    /// landed mid-append) is discarded by the store layer; everything
+    /// before it is returned in release order.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] when the store cannot be opened,
+    /// [`Error::InvalidParameter`] when a surviving payload does not
+    /// decode (foreign or corrupted store directory).
+    pub fn recover_events(store_cfg: &StoreConfig) -> Result<Vec<AlarmEvent>> {
+        let (_store, recovery) = Store::open(store_cfg.clone())
+            .map_err(|e| Error::Io(format!("event store open: {e}")))?;
+        let mut events = Vec::new();
+        if let Some(blob) = &recovery.snapshot {
+            let mut r = persist::Reader::new(blob);
+            let version = r.u8()?;
+            if version != FLEET_SNAPSHOT_VERSION {
+                return Err(Error::invalid(
+                    "store",
+                    format!("unsupported fleet snapshot version {version}"),
+                ));
+            }
+            let count = r.u64()?;
+            for _ in 0..count {
+                events.push(decode_alarm_event(&mut r)?);
+            }
+            r.finish()?;
+        }
+        for entry in &recovery.entries {
+            let mut r = persist::Reader::new(&entry.payload);
+            events.push(decode_alarm_event(&mut r)?);
+            r.finish()?;
+        }
+        Ok(events)
     }
 }
 
@@ -814,6 +1039,80 @@ mod tests {
             assert!(o.samples > 0);
         }
         assert_eq!(report.status.alarms_emitted, 0);
+    }
+
+    /// A store directory wiped on create and drop.
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir =
+                std::env::temp_dir().join(format!("aging-fleetstore-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn store_backed_run_round_trips_its_event_history() {
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|i| Scenario::tiny_aging(400 + i, 192.0))
+            .collect();
+        let dir = TempDir::new("roundtrip");
+        let store_cfg = aging_store::StoreConfig::new(&dir.0);
+        let mut cfg = fleet_config(8.0 * 3600.0);
+        cfg.store = Some(store_cfg.clone());
+        let report = FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap();
+        assert!(!report.events.is_empty(), "leaky fleet must alarm");
+
+        // The completed run compacted everything into the snapshot.
+        let recovered = FleetSupervisor::recover_events(&store_cfg).unwrap();
+        assert_eq!(recovered, report.events);
+
+        // A crash mid-(second-)run leaves journal entries after the
+        // snapshot; recovery returns snapshot + suffix in order.
+        let (mut store, _) = aging_store::Store::open(store_cfg.clone()).unwrap();
+        let extra = report.events.last().unwrap().clone();
+        let mut payload = Vec::new();
+        encode_alarm_event(&extra, &mut payload);
+        store.append(&payload).unwrap();
+        drop(store);
+        let recovered = FleetSupervisor::recover_events(&store_cfg).unwrap();
+        assert_eq!(recovered.len(), report.events.len() + 1);
+        assert_eq!(recovered.last().unwrap(), &extra);
+
+        // Holder-detail events survive the codec too (not just trend).
+        let holder_event = AlarmEvent {
+            machine_index: 9,
+            machine: "m009:probe".to_string(),
+            time_secs: 123.5,
+            level: AlertLevel::Alarm,
+            kind: AlarmKind::Detector {
+                counter: Counter::AvailableBytes,
+                detector: "holder-dimension",
+                detail: AlertDetail::Holder(Alert {
+                    sample_index: 41,
+                    level: AlertLevel::Alarm,
+                    trigger: aging_core::detector::Trigger::Both,
+                    dimension: 1.25,
+                    mean_holder: 0.5,
+                    dimension_baseline: 1.0,
+                    holder_baseline: 0.75,
+                }),
+            },
+        };
+        let mut payload = Vec::new();
+        encode_alarm_event(&holder_event, &mut payload);
+        let mut r = persist::Reader::new(&payload);
+        let decoded = decode_alarm_event(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, holder_event);
     }
 
     #[test]

@@ -46,6 +46,33 @@ impl StageCounters {
     pub fn dropped(&self) -> u64 {
         self.dropped_non_finite + self.dropped_out_of_order
     }
+
+    /// Serializes the counters via [`aging_timeseries::persist`].
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use aging_timeseries::persist::put_u64;
+        put_u64(out, self.ingested);
+        put_u64(out, self.accepted);
+        put_u64(out, self.dropped_non_finite);
+        put_u64(out, self.dropped_out_of_order);
+        put_u64(out, self.gaps_detected);
+        put_u64(out, self.quarantines);
+    }
+
+    /// Restores counters written by [`StageCounters::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::InvalidParameter`] on a
+    /// truncated blob.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        self.ingested = r.u64()?;
+        self.accepted = r.u64()?;
+        self.dropped_non_finite = r.u64()?;
+        self.dropped_out_of_order = r.u64()?;
+        self.gaps_detected = r.u64()?;
+        self.quarantines = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Upper edges of the fixed latency buckets, in microseconds. The last
@@ -103,7 +130,11 @@ impl LatencyHistogram {
         if self.total == 0 {
             return None;
         }
-        let target = (q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        // Clamp the rank to ≥ 1: with q = 0 a zero target would be
+        // "reached" at the first bucket even when it is empty, reporting
+        // the lowest edge regardless of where the mass actually lies. The
+        // 0-quantile is the minimum — the first *non-empty* bucket's edge.
+        let target = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -119,7 +150,15 @@ impl LatencyHistogram {
         Some(self.max_us.max(1))
     }
 
-    /// Component-wise accumulation.
+    /// Merges another histogram into this one.
+    ///
+    /// Audited field by field against the replay semantics (recording
+    /// both underlying observation streams into one histogram): bucket
+    /// counts — including the overflow slot, `counts[8]` — `total` and
+    /// `sum_us` are sums, while `max_us` combines with `max` (the maximum
+    /// of a concatenation is the maximum of the maxima). The equivalence
+    /// `merge(a, b) == replay(a ++ b)` is locked by a proptest in
+    /// `tests/telemetry_props.rs`.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
@@ -127,6 +166,33 @@ impl LatencyHistogram {
         self.total += other.total;
         self.sum_us += other.sum_us;
         self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Serializes the histogram via [`aging_timeseries::persist`].
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use aging_timeseries::persist::put_u64;
+        for &c in &self.counts {
+            put_u64(out, c);
+        }
+        put_u64(out, self.total);
+        put_u64(out, self.sum_us);
+        put_u64(out, self.max_us);
+    }
+
+    /// Restores a histogram written by [`LatencyHistogram::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::InvalidParameter`] on a
+    /// truncated blob.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        for c in &mut self.counts {
+            *c = r.u64()?;
+        }
+        self.total = r.u64()?;
+        self.sum_us = r.u64()?;
+        self.max_us = r.u64()?;
+        Ok(())
     }
 }
 
@@ -284,6 +350,69 @@ mod tests {
         other.merge(&h);
         assert_eq!(other.total, 7);
         assert!(other.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: no quantile at any q.
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile_upper_bound_us(0.0), None);
+        assert_eq!(empty.quantile_upper_bound_us(1.0), None);
+
+        // All mass in one high bucket: q = 0 must skip the empty low
+        // buckets and report that bucket's edge, not the lowest edge.
+        let mut high = LatencyHistogram::default();
+        for _ in 0..5 {
+            high.record_us(2_000); // ≤3_000 bucket
+        }
+        assert_eq!(high.quantile_upper_bound_us(0.0), Some(3_000));
+        assert_eq!(high.quantile_upper_bound_us(0.5), Some(3_000));
+        assert_eq!(high.quantile_upper_bound_us(1.0), Some(3_000));
+
+        // Single sample: every quantile is that sample's bucket edge.
+        let mut one = LatencyHistogram::default();
+        one.record_us(250);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile_upper_bound_us(q), Some(300), "q={q}");
+        }
+
+        // All mass in the overflow slot: the bound is the observed max.
+        let mut over = LatencyHistogram::default();
+        over.record_us(200_000);
+        over.record_us(900_000);
+        assert_eq!(over.quantile_upper_bound_us(0.0), Some(900_000));
+        assert_eq!(over.quantile_upper_bound_us(1.0), Some(900_000));
+
+        // Out-of-range q is clamped.
+        assert_eq!(one.quantile_upper_bound_us(-3.0), Some(300));
+        assert_eq!(one.quantile_upper_bound_us(7.0), Some(300));
+    }
+
+    #[test]
+    fn telemetry_state_round_trips() {
+        let mut h = LatencyHistogram::default();
+        for us in [5, 9, 50, 200, 2_000, 500_000] {
+            h.record_us(us);
+        }
+        let c = StageCounters {
+            ingested: 10,
+            accepted: 8,
+            dropped_non_finite: 1,
+            dropped_out_of_order: 1,
+            gaps_detected: 2,
+            quarantines: 1,
+        };
+        let mut blob = Vec::new();
+        h.encode_state(&mut blob);
+        c.encode_state(&mut blob);
+        let mut h2 = LatencyHistogram::default();
+        let mut c2 = StageCounters::default();
+        let mut r = aging_timeseries::persist::Reader::new(&blob);
+        h2.restore_state(&mut r).unwrap();
+        c2.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(h, h2);
+        assert_eq!(c, c2);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Mid-run snapshot/restore parity for [`MachinePipeline`] — the
+//! pipeline-level half of the ISSUE 5 crash-safety contract (the serve
+//! kill-and-recover differential is the end-to-end half).
+//!
+//! A pipeline snapshotted mid-stream and restored into a *freshly
+//! constructed* pipeline must be indistinguishable from the original:
+//! re-encoding the restored state reproduces the snapshot byte for byte,
+//! and feeding the remainder of the trace to both produces identical
+//! event sequences, stage counters and fusion outcomes.
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_core::detector::DetectorConfig;
+use aging_core::fusion::FusionRule;
+use aging_memsim::{Counter, Scenario};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::pipeline::{CounterDetector, MachinePipeline, PipelineEvent};
+use aging_stream::source::{MachineSource, SampleSource, StreamSample};
+use aging_stream::GateConfig;
+use aging_timeseries::persist::Reader;
+
+const COUNTER: Counter = Counter::AvailableBytes;
+const HORIZON_SECS: f64 = 8.0 * 3600.0;
+
+fn trend_spec() -> DetectorSpec {
+    DetectorSpec::Trend(TrendPredictorConfig {
+        window: 120,
+        refit_every: 8,
+        alarm_horizon_secs: 900.0,
+        ..TrendPredictorConfig::depleting(5.0)
+    })
+}
+
+fn holder_spec() -> DetectorSpec {
+    DetectorSpec::Holder(DetectorConfig::default())
+}
+
+fn gate() -> GateConfig {
+    GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    }
+}
+
+fn build(spec: &DetectorSpec) -> MachinePipeline {
+    let detectors = vec![CounterDetector {
+        counter: COUNTER,
+        spec: spec.clone(),
+    }];
+    MachinePipeline::new(&detectors, FusionRule::Majority, gate()).expect("pipeline builds")
+}
+
+/// One leaky machine's AvailableBytes trace.
+fn trace(seed: u64) -> Vec<StreamSample> {
+    let scenario = Scenario::tiny_aging(seed, 192.0);
+    let mut source = MachineSource::new(&scenario, COUNTER, HORIZON_SECS).expect("source");
+    let mut out = Vec::new();
+    while let Some(s) = source.next_sample().expect("infallible source") {
+        out.push(s);
+    }
+    assert!(out.len() > 300, "trace too short to split meaningfully");
+    out
+}
+
+fn feed(p: &mut MachinePipeline, samples: &[StreamSample]) -> Vec<PipelineEvent> {
+    let mut events = Vec::new();
+    for s in samples {
+        p.ingest(COUNTER, *s, &mut events);
+    }
+    events
+}
+
+#[test]
+fn snapshot_restore_resumes_bit_identically() {
+    // On this trace the trend alarm fires around sample 120, so the two
+    // split points cover both interesting snapshots: one *before* the
+    // alarm (the restored pipeline must raise it) and one *after* (the
+    // latched alarm and fused vote must survive the snapshot).
+    for (name, spec, cut_div) in [
+        ("trend-prealarm", trend_spec(), 8),
+        ("trend-postalarm", trend_spec(), 2),
+        ("holder", holder_spec(), 3),
+    ] {
+        let samples = trace(0xA5);
+        let cut = samples.len() / cut_div;
+
+        // Reference: one uninterrupted pipeline over the whole trace.
+        let mut full = build(&spec);
+        let mut full_events = feed(&mut full, &samples);
+        full.finish(&mut full_events);
+
+        // Interrupted: feed a prefix, snapshot, restore into a fresh
+        // pipeline built from the same config.
+        let mut original = build(&spec);
+        let prefix_events = feed(&mut original, &samples[..cut]);
+        let mut blob = Vec::new();
+        original.encode_state(&mut blob);
+
+        let mut restored = build(&spec);
+        restored
+            .restore_state(&mut Reader::new(&blob))
+            .expect("restore succeeds");
+
+        // The restored pipeline re-encodes to the identical snapshot.
+        let mut blob2 = Vec::new();
+        restored.encode_state(&mut blob2);
+        assert_eq!(blob, blob2, "{name}: snapshot round trip not byte-stable");
+
+        // Both continuations see the rest of the trace.
+        let mut tail_original = feed(&mut original, &samples[cut..]);
+        original.finish(&mut tail_original);
+        let mut tail_restored = feed(&mut restored, &samples[cut..]);
+        restored.finish(&mut tail_restored);
+
+        assert_eq!(
+            tail_original, tail_restored,
+            "{name}: restored pipeline diverged from the original"
+        );
+        assert_eq!(original.counters(), restored.counters(), "{name}: counters");
+        assert_eq!(original.is_fused(), restored.is_fused(), "{name}: fused");
+        assert_eq!(
+            original.completed_time_secs(),
+            restored.completed_time_secs(),
+            "{name}: watermark"
+        );
+
+        // Continuity: prefix + tail is exactly the uninterrupted history.
+        let mut stitched = prefix_events;
+        stitched.extend_from_slice(&tail_original);
+        assert_eq!(stitched, full_events, "{name}: stitched history differs");
+
+        match name {
+            // Non-vacuous: the leaky trace must actually raise an alarm,
+            // and with the early split it must land after the cut, so the
+            // restored pipeline is the one raising it.
+            "trend-prealarm" => assert!(
+                tail_restored
+                    .iter()
+                    .any(|e| matches!(e.level, aging_stream::pipeline::AlertLevel::Alarm)),
+                "expected an alarm in the continuation segment"
+            ),
+            // With the late split the alarm is already latched at
+            // snapshot time; the restored pipeline must carry the fused
+            // vote without re-raising it.
+            "trend-postalarm" => {
+                assert!(restored.is_fused(), "latched fusion vote lost in restore");
+                assert!(tail_restored.is_empty(), "one-shot alarm fired twice");
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn restore_rejects_mismatched_stream_count() {
+    let mut one = build(&trend_spec());
+    let mut events = Vec::new();
+    for s in &trace(7)[..200] {
+        one.ingest(COUNTER, *s, &mut events);
+    }
+    let mut blob = Vec::new();
+    one.encode_state(&mut blob);
+
+    let detectors = vec![
+        CounterDetector {
+            counter: COUNTER,
+            spec: trend_spec(),
+        },
+        CounterDetector {
+            counter: COUNTER,
+            spec: holder_spec(),
+        },
+    ];
+    let mut two =
+        MachinePipeline::new(&detectors, FusionRule::Majority, gate()).expect("pipeline builds");
+    assert!(
+        two.restore_state(&mut Reader::new(&blob)).is_err(),
+        "restoring a 1-stream snapshot into a 2-stream pipeline must fail"
+    );
+}
+
+#[test]
+fn restore_rejects_detector_family_mismatch() {
+    let mut trend = build(&trend_spec());
+    let mut events = Vec::new();
+    for s in &trace(9)[..200] {
+        trend.ingest(COUNTER, *s, &mut events);
+    }
+    let mut blob = Vec::new();
+    trend.encode_state(&mut blob);
+
+    let mut holder = build(&holder_spec());
+    assert!(
+        holder.restore_state(&mut Reader::new(&blob)).is_err(),
+        "a trend snapshot must not restore into a holder detector"
+    );
+}

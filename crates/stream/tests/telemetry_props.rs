@@ -1,0 +1,113 @@
+//! Property lock for the [`LatencyHistogram`] merge invariant audited in
+//! ISSUE 5: merging two histograms must be indistinguishable from
+//! replaying both underlying observation streams — *every* field
+//! (bucket counts including the overflow slot, `total`, `sum_us`,
+//! `max_us`) — and the audited fix to `quantile_upper_bound_us` must
+//! keep quantiles monotone in `q` with q=0 meaning "first non-empty
+//! bucket", not "first bucket".
+
+use aging_stream::telemetry::{LatencyHistogram, LATENCY_BUCKET_EDGES_US};
+use proptest::prelude::*;
+
+fn replay(observations: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &us in observations {
+        h.record_us(us);
+    }
+    h
+}
+
+/// Skews a uniform draw so the samples land in every bucket, the
+/// low-microsecond ones and the overflow slot included (a plain uniform
+/// range would almost never produce a ≤10 µs latency).
+fn skew(raw: u64) -> u64 {
+    match raw % 4 {
+        0 => raw % 16,
+        1 => raw % 400,
+        2 => raw % 20_000,
+        _ => raw % 10_000_000, // reaches past the 100 ms overflow edge
+    }
+}
+
+fn latency() -> impl Strategy<Value = u64> {
+    0u64..=u64::MAX / 2
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_replaying_both_streams(
+        a in prop::collection::vec(latency(), 0..200),
+        b in prop::collection::vec(latency(), 0..200),
+    ) {
+        let a: Vec<u64> = a.into_iter().map(skew).collect();
+        let b: Vec<u64> = b.into_iter().map(skew).collect();
+        let mut merged = replay(&a);
+        merged.merge(&replay(&b));
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let replayed = replay(&concat);
+
+        prop_assert_eq!(merged, replayed);
+    }
+
+    #[test]
+    fn merge_is_associative_and_empty_is_identity(
+        a in prop::collection::vec(latency(), 0..64),
+        b in prop::collection::vec(latency(), 0..64),
+        c in prop::collection::vec(latency(), 0..64),
+    ) {
+        let a: Vec<u64> = a.into_iter().map(skew).collect();
+        let b: Vec<u64> = b.into_iter().map(skew).collect();
+        let c: Vec<u64> = c.into_iter().map(skew).collect();
+        let (ha, hb, hc) = (replay(&a), replay(&b), replay(&c));
+
+        let mut left = ha;
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb;
+        bc.merge(&hc);
+        let mut right = ha;
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+
+        let mut with_empty = ha;
+        with_empty.merge(&LatencyHistogram::default());
+        prop_assert_eq!(with_empty, ha);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracket_the_mass(
+        obs in prop::collection::vec(latency(), 1..200),
+    ) {
+        let obs: Vec<u64> = obs.into_iter().map(skew).collect();
+        let h = replay(&obs);
+        let max = *obs.iter().max().expect("non-empty");
+
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let bound = h.quantile_upper_bound_us(q).expect("non-empty histogram");
+            prop_assert!(bound >= prev, "q={q}: bound {bound} < previous {prev}");
+            prev = bound;
+        }
+
+        // q=0 is the minimum's bucket: its bound never exceeds the first
+        // non-empty bucket's edge, and never undercuts the true minimum's
+        // bucket (the pre-fix bug reported the lowest edge regardless).
+        let min = *obs.iter().min().expect("non-empty");
+        let q0 = h.quantile_upper_bound_us(0.0).expect("non-empty");
+        let min_bucket_edge = LATENCY_BUCKET_EDGES_US
+            .iter()
+            .copied()
+            .find(|&e| min <= e)
+            .unwrap_or(h.max_us.max(1));
+        prop_assert_eq!(q0, min_bucket_edge);
+
+        // q=1 upper-bounds the true maximum.
+        let q1 = h.quantile_upper_bound_us(1.0).expect("non-empty");
+        prop_assert!(q1 >= max.min(h.max_us), "q1={q1} max={max}");
+    }
+}

@@ -44,6 +44,7 @@ pub mod changepoint;
 pub mod csv;
 pub mod detrend;
 pub mod interp;
+pub mod persist;
 pub mod regression;
 pub mod ring;
 pub mod smooth;

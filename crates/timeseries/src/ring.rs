@@ -276,6 +276,93 @@ impl RingBuffer {
         self.max_deque.front().map(|&(_, v)| v).ok_or(Error::Empty)
     }
 
+    /// Serializes the complete dynamic state (window contents, head
+    /// position, lifetime push count, running moments, rebuild phase and
+    /// both extremum deques) with [`crate::persist`].
+    ///
+    /// Capacity is written too, but only as a restore-time cross-check —
+    /// configuration is re-supplied by the caller, never recovered from
+    /// the blob. Together with [`RingBuffer::restore_state`] this makes a
+    /// restored ring *bit-identical*: the rebuild cadence and incremental
+    /// `sum`/`sum_sq` round-off resume exactly where the snapshot left
+    /// off.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        use crate::persist::{put_f64, put_u64, put_usize};
+        put_usize(out, self.capacity);
+        put_usize(out, self.head);
+        put_u64(out, self.pushed);
+        put_f64(out, self.sum);
+        put_f64(out, self.sum_sq);
+        put_usize(out, self.since_rebuild);
+        put_usize(out, self.buf.len());
+        for &v in &self.buf {
+            put_f64(out, v);
+        }
+        for dq in [&self.max_deque, &self.min_deque] {
+            put_usize(out, dq.len());
+            for &(id, v) in dq {
+                put_u64(out, id);
+                put_f64(out, v);
+            }
+        }
+    }
+
+    /// Restores state written by [`RingBuffer::encode_state`] into a
+    /// freshly-constructed ring of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the blob is truncated, the
+    /// recorded capacity disagrees with this ring's, or any structural
+    /// invariant (head/window/deque bounds) is violated.
+    pub fn restore_state(&mut self, r: &mut crate::persist::Reader<'_>) -> Result<()> {
+        let capacity = r.usize_()?;
+        if capacity != self.capacity {
+            return Err(Error::invalid(
+                "persist",
+                format!("ring capacity {} != snapshot {capacity}", self.capacity),
+            ));
+        }
+        let head = r.usize_()?;
+        let pushed = r.u64()?;
+        let sum = r.f64()?;
+        let sum_sq = r.f64()?;
+        let since_rebuild = r.usize_()?;
+        let len = r.usize_()?;
+        if len > capacity || head >= capacity.max(1) || (len < capacity && head != 0) {
+            return Err(Error::invalid("persist", "ring geometry corrupt"));
+        }
+        if (pushed as u128) < len as u128 {
+            return Err(Error::invalid("persist", "ring pushed < len"));
+        }
+        let mut buf = Vec::with_capacity(capacity);
+        for _ in 0..len {
+            buf.push(r.f64()?);
+        }
+        let mut deques: [VecDeque<(u64, f64)>; 2] = [VecDeque::new(), VecDeque::new()];
+        for dq in &mut deques {
+            let n = r.usize_()?;
+            if n > len {
+                return Err(Error::invalid("persist", "ring deque longer than window"));
+            }
+            for _ in 0..n {
+                let id = r.u64()?;
+                let v = r.f64()?;
+                dq.push_back((id, v));
+            }
+        }
+        let [max_deque, min_deque] = deques;
+        self.buf = buf;
+        self.head = head;
+        self.pushed = pushed;
+        self.sum = sum;
+        self.sum_sq = sum_sq;
+        self.since_rebuild = since_rebuild;
+        self.max_deque = max_deque;
+        self.min_deque = min_deque;
+        Ok(())
+    }
+
     /// Removes all samples; capacity and lifetime counters are retained.
     pub fn clear(&mut self) {
         self.buf.clear();
@@ -355,6 +442,61 @@ mod tests {
         ring.push(0.7); // evicts 2.0
         assert_eq!(ring.min().unwrap(), 0.5);
         assert_eq!(ring.max().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut ring = RingBuffer::new(7).unwrap();
+        for i in 0..23 {
+            ring.push(((i * 31) % 17) as f64 * 0.1 - 0.5);
+        }
+        let mut blob = Vec::new();
+        ring.encode_state(&mut blob);
+        let mut restored = RingBuffer::new(7).unwrap();
+        let mut r = crate::persist::Reader::new(&blob);
+        restored.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Continue both with the same suffix: every statistic must agree
+        // to the bit, including incremental round-off in the sums.
+        for i in 0..40 {
+            let v = ((i * 13) % 29) as f64 * 0.07;
+            ring.push(v);
+            restored.push(v);
+            assert_eq!(
+                ring.mean().unwrap().to_bits(),
+                restored.mean().unwrap().to_bits()
+            );
+            assert_eq!(
+                ring.variance().unwrap().to_bits(),
+                restored.variance().unwrap().to_bits()
+            );
+            assert_eq!(ring.min().unwrap(), restored.min().unwrap());
+            assert_eq!(ring.max().unwrap(), restored.max().unwrap());
+            assert_eq!(ring.to_vec(), restored.to_vec());
+            assert_eq!(ring.pushed(), restored.pushed());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_capacity_mismatch_and_corruption() {
+        let mut ring = RingBuffer::new(4).unwrap();
+        for v in 0..9 {
+            ring.push(v as f64);
+        }
+        let mut blob = Vec::new();
+        ring.encode_state(&mut blob);
+
+        let mut wrong = RingBuffer::new(5).unwrap();
+        let mut r = crate::persist::Reader::new(&blob);
+        assert!(wrong.restore_state(&mut r).is_err());
+
+        let mut same = RingBuffer::new(4).unwrap();
+        let mut r = crate::persist::Reader::new(&blob[..blob.len() - 3]);
+        assert!(same.restore_state(&mut r).is_err(), "truncated blob");
+        // The failed restore must not have corrupted the target.
+        same.push(1.0);
+        assert_eq!(same.len(), 1);
     }
 
     #[test]

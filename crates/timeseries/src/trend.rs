@@ -426,6 +426,27 @@ impl StreamingMannKendall {
         self.s
     }
 
+    /// Serializes the dynamic state (window ring + maintained S) with
+    /// [`crate::persist`]; see [`crate::ring::RingBuffer::encode_state`]
+    /// for the bit-identity contract.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.ring.encode_state(out);
+        crate::persist::put_i64(out, self.s);
+    }
+
+    /// Restores state written by [`StreamingMannKendall::encode_state`]
+    /// into a kernel constructed with the same window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation or a window
+    /// mismatch.
+    pub fn restore_state(&mut self, r: &mut crate::persist::Reader<'_>) -> Result<()> {
+        self.ring.restore_state(r)?;
+        self.s = r.i64()?;
+        Ok(())
+    }
+
     /// The full Mann–Kendall statistic of the current window, identical to
     /// running [`MannKendall::test`] on [`StreamingMannKendall::window`].
     /// Tie bookkeeping costs one O(window log window) sort.

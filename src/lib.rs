@@ -22,6 +22,7 @@
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
 //! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
 //! | [`chaos`] | `aging-chaos` | seeded fault injection and the differential robustness harness |
+//! | [`store`] | `aging-store` | crash-safe WAL + snapshot persistence (std-only, CRC-framed) |
 //! | [`serve`] | `aging-serve` | networked TCP ingestion/query server and load-generator client |
 //!
 //! Analysis hot paths (Hölder traces, CWT/WTMM, surrogate ensembles, fleet
@@ -61,6 +62,7 @@ pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
 pub use aging_par as par;
 pub use aging_serve as serve;
+pub use aging_store as store;
 pub use aging_stream as stream;
 pub use aging_timeseries as timeseries;
 pub use aging_wavelet as wavelet;
@@ -93,8 +95,10 @@ pub mod prelude {
     };
     pub use aging_par::Pool;
     pub use aging_serve::{
-        drive, LoadgenConfig, LoadgenReport, ServeClient, ServeConfig, ServeReport, Server,
+        drive, LoadgenConfig, LoadgenReport, PersistStats, ServeClient, ServeConfig, ServeReport,
+        Server,
     };
+    pub use aging_store::{Store, StoreConfig, StoreError};
     pub use aging_stream::supervisor::{
         AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
     };
