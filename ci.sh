@@ -48,6 +48,18 @@ AGING_THREADS=1 cargo test -p aging-serve --test kill_recover --quiet
 echo "==> serve kill-and-recover differential (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test -p aging-serve --test kill_recover --quiet
 
+# The cluster tier: machine ids ring-partitioned across shard servers,
+# each shard's watermark-ordered alarm stream k-way merged by the
+# aggregator — the merged global history must be byte-identical to the
+# offline whole-fleet supervisor, including a kill-and-recover run
+# (crates/cluster/tests/cluster_parity.rs). This is the quick E16 gate:
+# 2-shard topology, reduced machine count, both thread settings.
+echo "==> cluster parity differential (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test -p aging-cluster --test cluster_parity --quiet
+
+echo "==> cluster parity differential (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test -p aging-cluster --test cluster_parity --quiet
+
 echo "==> cargo test --doc"
 cargo test --workspace --doc --quiet
 

@@ -5,6 +5,7 @@
 //! given, the underlying series/tables are also written as CSV.
 
 use crate::scenarios;
+use crate::trajectory;
 use crate::util::{hours, opt_fmt, write_series_csv, Table};
 use aging_core::baseline::{ResourceDirection, TrendPredictorConfig};
 use aging_core::detector::{analyze, DetectorConfig, DimensionMethod, JumpRule};
@@ -1208,6 +1209,9 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
         "alarms",
         "parity",
     ]);
+    let mut pooled_ack = aging_stream::telemetry::LatencyHistogram::default();
+    let mut pooled_vis = aging_stream::telemetry::LatencyHistogram::default();
+    let (mut total_records, mut total_secs) = (0u64, 0.0f64);
     for &seed in seeds {
         // Leaky machines plus one healthy control, same recipe as E13.
         let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
@@ -1254,6 +1258,10 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
                 ),
             ));
         }
+        pooled_ack.merge(&report.ack_rtt);
+        pooled_vis.merge(&report.alarm_visibility);
+        total_records += report.records_sent;
+        total_secs += report.wall_secs;
         let parity = encode_events(&offline) == encode_events(&outcome.events)
             && encode_events(&report.alarms) == encode_events(&outcome.events);
         table.row(vec![
@@ -1287,6 +1295,15 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
          identical to the offline supervisor",
         seeds.len()
     );
+    trajectory::record(
+        "records_per_sec",
+        total_records as f64 / total_secs.max(1e-9),
+    );
+    trajectory::record("ack_mean_ms", pooled_ack.mean_us() / 1000.0);
+    trajectory::record("vis_mean_ms", pooled_vis.mean_us() / 1000.0);
+    if let Some(us) = pooled_ack.quantile_upper_bound_us(0.99) {
+        trajectory::record("ack_p99_ms", us as f64 / 1000.0);
+    }
     if let Some(dir) = out {
         table.write_csv(&dir.join("e14_serve_parity.csv"))?;
     }
@@ -1368,6 +1385,7 @@ pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
     ]);
     let (mut base_total, mut base_secs) = (0u64, 0.0f64);
     let (mut store_total, mut store_secs) = (0u64, 0.0f64);
+    let mut recover_ms_sum = 0.0f64;
     for &seed in seeds {
         let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
             .map(|i| aging_memsim::Scenario::tiny_aging(seed + i as u64, 192.0 + 32.0 * i as f64))
@@ -1403,6 +1421,7 @@ pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
         let t0 = Instant::now();
         let recovered = Server::bind("127.0.0.1:0", recover_cfg)?;
         let recover_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        recover_ms_sum += recover_ms;
         let recovered_outcome = recovered.shutdown();
         let _ = std::fs::remove_dir_all(&store_dir);
 
@@ -1470,19 +1489,409 @@ pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
             ),
         ));
     }
+    trajectory::record("base_records_per_sec", base_rps);
+    trajectory::record("store_records_per_sec", store_rps);
+    trajectory::record("overhead_pct", 100.0 * overhead);
+    trajectory::record("recover_ms_mean", recover_ms_sum / seeds.len() as f64);
     if let Some(dir) = out {
         table.write_csv(&dir.join("e15_store_overhead.csv"))?;
     }
     Ok(())
 }
 
-/// Runs one experiment by id.
+/// E16 — the sharded cluster tier: machine ids partitioned across N
+/// `aging-serve` shards by the consistent-hash ring, each shard's
+/// watermark-ordered alarm stream pulled and k-way merged by the
+/// aggregator node. **Hard gate:** the merged global history is
+/// byte-identical to the offline whole-fleet supervisor at 1, 2 and 4
+/// shards, *including* a run where one store-backed shard is killed and
+/// recovered mid-stream; on ≥ 4 hardware threads, 4-shard aggregate
+/// ingest must additionally beat the single-shard rate (on fewer
+/// threads the scale-out comparison is reported but not gated — shards
+/// would just time-slice one core).
+pub fn e16(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
+    use aging_serve::loadgen::LoadgenConfig;
+    use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
+    use aging_serve::{ServeClient, ServeConfig};
+    use aging_stream::detector::DetectorSpec;
+    use aging_stream::source::{MachineSource, SampleSource};
+    use aging_stream::{CounterDetector, FleetConfig, FleetSupervisor};
+    use std::collections::HashMap;
+
+    const RING_VNODES: u32 = 64;
+    const RING_SEED: u64 = 0x00e1_6000;
+
+    banner(
+        "E16",
+        "sharded cluster: hash-ring shards + watermark-merging aggregator",
+        "the aggregator's merged alarm history is byte-identical to the offline \
+         supervisor at 1/2/4 shards — also when one store-backed shard is killed \
+         and recovered mid-stream — and on >=4 hardware threads the 4-shard \
+         aggregate ingest rate beats the single-shard rate",
+    );
+
+    let (leaky, horizon, seeds): (usize, f64, &[u64]) = if quick {
+        (3, 8.0 * HOUR, &[0x00c0_ffee])
+    } else {
+        (9, 12.0 * HOUR, &[42, 7])
+    };
+    let hw_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("hardware threads: {hw_threads}");
+
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        horizon,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        batch_records: 64,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 0,
+        counters: vec![Counter::AvailableBytes],
+    };
+
+    let shard_counts = [1u64, 2, 4];
+    let mut table = Table::new(vec![
+        "seed",
+        "shards",
+        "machines",
+        "records",
+        "rec/s",
+        "alarms",
+        "reconnects",
+        "parity",
+        "note",
+    ]);
+    // Pooled per shard count across seeds, for the scale-out comparison.
+    let mut pooled: HashMap<u64, (u64, f64)> = HashMap::new();
+
+    let fail = |seed: u64, what: &str, offline: usize, merged: usize| {
+        aging_timeseries::Error::invalid(
+            "e16",
+            format!(
+                "seed {seed:#x}: {what} merged history diverged from the offline \
+                 supervisor ({offline} offline vs {merged} merged events)"
+            ),
+        )
+    };
+
+    for &seed in seeds {
+        let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
+            .map(|i| aging_memsim::Scenario::tiny_aging(seed + i as u64, 192.0 + 32.0 * i as f64))
+            .collect();
+        fleet.push(aging_memsim::Scenario::tiny_aging(seed + leaky as u64, 0.0));
+        let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+
+        let offline_report = FleetSupervisor::new(cfg.clone())?.run(&fleet)?;
+        let offline: Vec<ServeEvent> = offline_report
+            .events
+            .iter()
+            .map(|e| ServeEvent {
+                machine_id: e.machine_index as u64,
+                time_secs: e.time_secs,
+                level: e.level,
+                kind: e.kind,
+            })
+            .collect();
+        let offline_bytes = encode_events(&offline);
+
+        // Shard sweep: the same fleet through 1-, 2- and 4-shard clusters.
+        for &shards in &shard_counts {
+            let ring = HashRing::new(shards, RING_VNODES, RING_SEED)?;
+            let template = ServeConfig::from_fleet(&cfg);
+            let cluster = LocalCluster::launch(&ring, &template, &ids, None)?;
+            let aggregator = Aggregator::new(AggregatorConfig::default())?;
+            let (drive_result, agg_result) = std::thread::scope(|scope| {
+                let agg = scope.spawn(|| aggregator.run(cluster.directory()));
+                let drive = drive_fleet(
+                    &ring,
+                    cluster.directory(),
+                    &fleet,
+                    &ids,
+                    cfg.horizon_secs,
+                    &loadgen,
+                );
+                (drive, agg.join().expect("aggregator thread"))
+            });
+            let drive = drive_result?;
+            let merged = agg_result?;
+            for outcome in cluster.shutdown().into_iter().flatten() {
+                if outcome.wire.session_panics != 0 || outcome.wire.quarantined != 0 {
+                    return Err(aging_timeseries::Error::invalid(
+                        "e16",
+                        format!(
+                            "seed {seed:#x}, {shards} shard(s): shard misbehaved (panics {}, \
+                             quarantined {})",
+                            outcome.wire.session_panics, outcome.wire.quarantined
+                        ),
+                    ));
+                }
+            }
+            let parity = offline_bytes == encode_events(&merged.events);
+            let entry = pooled.entry(shards).or_insert((0, 0.0));
+            entry.0 += drive.records_sent();
+            entry.1 += drive.wall_secs;
+            table.row(vec![
+                format!("{seed:#x}"),
+                format!("{shards}"),
+                format!("{}", fleet.len()),
+                format!("{}", drive.records_sent()),
+                format!("{:.0}", drive.records_per_sec()),
+                format!("{}", merged.events.len()),
+                format!("{}", merged.reconnects),
+                if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
+                String::new(),
+            ]);
+            if !parity {
+                println!("{table}");
+                return Err(fail(
+                    seed,
+                    &format!("{shards}-shard"),
+                    offline.len(),
+                    merged.events.len(),
+                ));
+            }
+        }
+
+        // Kill-and-recover: a 2-shard store-backed cluster; the shard
+        // owning the most machines is killed mid-stream and re-bound
+        // from its WAL + snapshot, while the aggregator reconnects
+        // through the directory. Parity must still hold.
+        let shards = 2u64;
+        let ring = HashRing::new(shards, RING_VNODES, RING_SEED)?;
+        let parts = ring.partition_indices(&ids);
+        let victim = (0..parts.len())
+            .max_by_key(|&s| parts[s].len())
+            .expect("two shards");
+        let store_root = std::env::temp_dir().join(format!("aging-e16-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&store_root);
+        let template = ServeConfig::from_fleet(&cfg);
+        let cluster = LocalCluster::launch(&ring, &template, &ids, Some(&store_root))?;
+        let aggregator = Aggregator::new(AggregatorConfig::default())?;
+
+        // The victim's records, round-robin across its machines by
+        // sample index (preserving per-machine time order), in batches
+        // small enough that the kill lands mid-stream.
+        let code = counter_code(Counter::AvailableBytes);
+        let traces: Vec<Vec<Record>> = parts[victim]
+            .iter()
+            .map(|&pos| -> Result<Vec<Record>> {
+                let mut source =
+                    MachineSource::new(&fleet[pos], Counter::AvailableBytes, cfg.horizon_secs)?;
+                let mut out = Vec::new();
+                while let Some(s) = source.next_sample()? {
+                    out.push(Record {
+                        machine_id: ids[pos],
+                        counter: code,
+                        time_secs: s.time_secs,
+                        value: s.value,
+                    });
+                }
+                Ok(out)
+            })
+            .collect::<Result<_>>()?;
+        let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
+        let mut records = Vec::new();
+        for i in 0..longest {
+            for trace in &traces {
+                if let Some(rec) = trace.get(i) {
+                    records.push(*rec);
+                }
+            }
+        }
+        let batches: Vec<Vec<Record>> = records.chunks(16).map(<[Record]>::to_vec).collect();
+        let kill_at = batches.len() / 2;
+
+        let agg_result = std::thread::scope(|scope| -> Result<_> {
+            let agg = scope.spawn(|| aggregator.run(cluster.directory()));
+            let mut healthy = Vec::new();
+            for (shard, positions) in parts.iter().enumerate() {
+                if shard == victim || positions.is_empty() {
+                    continue;
+                }
+                let shard_fleet: Vec<aging_memsim::Scenario> =
+                    positions.iter().map(|&p| fleet[p].clone()).collect();
+                let shard_ids: Vec<u64> = positions.iter().map(|&p| ids[p]).collect();
+                let addr = cluster.directory().addr(shard);
+                let horizon_secs = cfg.horizon_secs;
+                let loadgen = &loadgen;
+                healthy.push(scope.spawn(move || {
+                    aging_serve::loadgen::drive_with_ids(
+                        addr,
+                        &shard_fleet,
+                        &shard_ids,
+                        horizon_secs,
+                        loadgen,
+                    )
+                }));
+            }
+            // At-least-once feeder for the victim, killed once mid-feed.
+            let mut cursor = 0usize;
+            let mut carry: Vec<Vec<Record>> = Vec::new();
+            let mut killed = false;
+            loop {
+                let mut client = ServeClient::connect(cluster.directory().addr(victim), "e16")?;
+                let mut sent: HashMap<u64, Vec<Record>> = HashMap::new();
+                for batch in carry.drain(..) {
+                    let seq = client.send_batch(&batch)?;
+                    sent.insert(seq, batch);
+                }
+                while cursor < batches.len() {
+                    if !killed && cursor == kill_at {
+                        break;
+                    }
+                    let batch = batches[cursor].clone();
+                    let seq = client.send_batch(&batch)?;
+                    sent.insert(seq, batch);
+                    cursor += 1;
+                }
+                if !killed && cursor == kill_at {
+                    cluster.abort_shard(victim)?;
+                    killed = true;
+                    carry = client
+                        .unacked_seqs()
+                        .into_iter()
+                        .filter_map(|seq| sent.remove(&seq))
+                        .collect();
+                    cluster.rebind_shard(victim)?;
+                    continue;
+                }
+                for &pos in &parts[victim] {
+                    client.machine_done(ids[pos])?;
+                }
+                let _ = client.bye()?;
+                break;
+            }
+            for handle in healthy {
+                handle.join().expect("healthy driver thread")?;
+            }
+            agg.join().expect("aggregator thread")
+        });
+        let merged = agg_result?;
+        let _ = std::fs::remove_dir_all(&store_root);
+        for outcome in cluster.shutdown().into_iter().flatten() {
+            if outcome.wire.session_panics != 0 {
+                return Err(aging_timeseries::Error::invalid(
+                    "e16",
+                    format!("seed {seed:#x}: kill-and-recover run saw a shard panic"),
+                ));
+            }
+        }
+        let parity = offline_bytes == encode_events(&merged.events);
+        table.row(vec![
+            format!("{seed:#x}"),
+            format!("{shards}"),
+            format!("{}", fleet.len()),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{}", merged.events.len()),
+            format!("{}", merged.reconnects),
+            if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
+            format!("shard {victim} killed+recovered"),
+        ]);
+        if !parity {
+            println!("{table}");
+            return Err(fail(
+                seed,
+                "kill-and-recover",
+                offline.len(),
+                merged.events.len(),
+            ));
+        }
+        if merged.reconnects == 0 {
+            return Err(aging_timeseries::Error::invalid(
+                "e16",
+                format!(
+                    "seed {seed:#x}: the aggregator never reconnected — the kill did not \
+                     exercise the recovery path"
+                ),
+            ));
+        }
+    }
+    println!("{table}");
+
+    let rate = |shards: u64| {
+        let (records, secs) = pooled[&shards];
+        records as f64 / secs.max(1e-9)
+    };
+    let (r1, r4) = (rate(1), rate(4));
+    println!(
+        "parity gate held at all {} seed(s) and shard counts {{1, 2, 4}}, including one \
+         kill-and-recover run per seed",
+        seeds.len()
+    );
+    println!(
+        "aggregate ingest: {r1:.0} rec/s at 1 shard, {:.0} rec/s at 2, {r4:.0} rec/s at 4 \
+         ({:.2}x scale-out at 4 shards)",
+        rate(2),
+        r4 / r1.max(1e-9),
+    );
+    if hw_threads >= 4 {
+        if r4 <= r1 {
+            return Err(aging_timeseries::Error::invalid(
+                "e16",
+                format!(
+                    "4-shard aggregate ingest ({r4:.0} rec/s) did not beat the single-shard \
+                     rate ({r1:.0} rec/s) on {hw_threads} hardware threads"
+                ),
+            ));
+        }
+        println!("scale-out gate held: 4-shard ingest beats single-shard on {hw_threads} threads");
+    } else {
+        println!(
+            "scale-out gate SKIPPED: only {hw_threads} hardware thread(s); shards would \
+             time-slice one core, so the comparison is reported but not enforced"
+        );
+    }
+
+    for &shards in &shard_counts {
+        trajectory::record(&format!("shard{shards}_records_per_sec"), rate(shards));
+    }
+    trajectory::record("scaleout_4shard", r4 / r1.max(1e-9));
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e16_cluster_parity.csv"))?;
+    }
+    Ok(())
+}
+
+/// Runs one experiment by id, appending its perf trajectory entry
+/// (`BENCH_<id>.json` under `out`) when the run succeeds: wall-clock
+/// seconds for every experiment, plus whatever domain metrics the
+/// experiment [`trajectory::record`]ed while it ran.
 ///
 /// # Errors
 ///
 /// Propagates the experiment's failures; unknown ids are an
 /// `InvalidParameter` error.
 pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
+    // Clear any metrics a previously failed experiment left behind on
+    // this thread — they belong to that run, not this one.
+    let _ = trajectory::take_metrics();
+    let started = std::time::Instant::now();
+    let result = dispatch_experiment(id, quick, out);
+    let mut metrics = trajectory::take_metrics();
+    if result.is_ok() {
+        if let Some(dir) = out {
+            metrics.insert("wall_secs".to_string(), started.elapsed().as_secs_f64());
+            let path = trajectory::append(dir, id, quick, metrics)
+                .map_err(|e| aging_timeseries::Error::Io(format!("bench trajectory: {e}")))?;
+            println!("trajectory entry appended to {}", path.display());
+        }
+    }
+    result
+}
+
+fn dispatch_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
     match id {
         "e1" => e1(quick, out),
         "e2" => e2(quick, out),
@@ -1499,16 +1908,18 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
         "e13" => e13(quick, out),
         "e14" => e14(quick, out),
         "e15" => e15(quick, out),
+        "e16" => e16(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e15)"),
+            format!("unknown experiment `{other}` (expected e1..e16)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 15] = [
+pub const ALL_EXPERIMENTS: [&str; 16] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 #[cfg(test)]

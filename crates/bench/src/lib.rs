@@ -8,4 +8,5 @@
 
 pub mod experiments;
 pub mod scenarios;
+pub mod trajectory;
 pub mod util;

@@ -1,0 +1,168 @@
+//! Machine-readable perf trajectories: `BENCH_<id>.json` emitters.
+//!
+//! Every repro experiment appends one entry per run to
+//! `bench_results/BENCH_<id>.json` — a JSON array of timestamped metric
+//! maps — so throughput/latency numbers accumulate into a trajectory
+//! across commits instead of being lost in the console scrollback.
+//! Comparing the tail of `BENCH_e14.json` against `BENCH_e16.json`, for
+//! example, is how the scale-out claim of the cluster tier is audited.
+//!
+//! Experiments report metrics through a thread-local scratchpad
+//! ([`record`]) while they run; the experiment driver drains it
+//! ([`take_metrics`]) and appends one entry ([`append`]) when the run
+//! succeeds. The scratchpad keeps the recording call sites one-liners
+//! and experiment signatures untouched.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// One run's worth of numbers for one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Experiment id (`"e14"`, `"e16"`, …).
+    pub experiment: String,
+    /// Unix timestamp of the run, seconds.
+    pub unix_secs: u64,
+    /// Whether the run used `--quick` sizing (quick numbers are not
+    /// comparable with full-mode numbers).
+    pub quick: bool,
+    /// Metric name → value. `BTreeMap` so the serialized key order is
+    /// stable across runs and diffs stay readable.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BTreeMap<String, f64>> = const { RefCell::new(BTreeMap::new()) };
+}
+
+/// Records one metric for the experiment currently running on this
+/// thread. Re-recording a name overwrites it — record aggregates after
+/// a seed loop, not inside it.
+pub fn record(name: &str, value: f64) {
+    SCRATCH.with(|s| s.borrow_mut().insert(name.to_string(), value));
+}
+
+/// Drains everything [`record`]ed on this thread since the last drain.
+pub fn take_metrics() -> BTreeMap<String, f64> {
+    SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
+/// The trajectory file for an experiment id under `dir`.
+pub fn trajectory_path(dir: &Path, experiment: &str) -> PathBuf {
+    dir.join(format!("BENCH_{experiment}.json"))
+}
+
+/// Appends one entry to `BENCH_<experiment>.json` under `dir`,
+/// creating the file (and `dir`) on first use. Returns the file path.
+///
+/// A malformed existing file is an error, not silently overwritten —
+/// a trajectory is history, and history should not vanish because one
+/// writer got confused.
+///
+/// # Errors
+///
+/// Propagates I/O failures and JSON decode failures of an existing
+/// file.
+pub fn append(
+    dir: &Path,
+    experiment: &str,
+    quick: bool,
+    metrics: BTreeMap<String, f64>,
+) -> std::io::Result<PathBuf> {
+    let path = trajectory_path(dir, experiment);
+    fs::create_dir_all(dir)?;
+    let mut entries: Vec<BenchEntry> = match fs::read_to_string(&path) {
+        Ok(text) => serde_json::from_str(&text).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: existing trajectory is not valid JSON: {e}",
+                    path.display()
+                ),
+            )
+        })?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let unix_secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    entries.push(BenchEntry {
+        experiment: experiment.to_string(),
+        unix_secs,
+        quick,
+        metrics,
+    });
+    let json = serde_json::to_string_pretty(&entries).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("encode: {e}"))
+    })?;
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!("aging-traj-{}-{tag}", std::process::id()));
+            let _ = fs::remove_dir_all(&dir);
+            TempDir(dir)
+        }
+    }
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn scratchpad_records_and_drains() {
+        record("a", 1.0);
+        record("b", 2.0);
+        record("a", 3.0); // overwrite, not accumulate
+        let m = take_metrics();
+        assert_eq!(m.get("a"), Some(&3.0));
+        assert_eq!(m.get("b"), Some(&2.0));
+        assert!(take_metrics().is_empty(), "drain must clear the scratchpad");
+    }
+
+    #[test]
+    fn entries_accumulate_across_appends() {
+        let dir = TempDir::new("accum");
+        let mut m1 = BTreeMap::new();
+        m1.insert("rps".to_string(), 100.0);
+        let path = append(&dir.0, "e99", true, m1).expect("first append");
+        let mut m2 = BTreeMap::new();
+        m2.insert("rps".to_string(), 120.0);
+        append(&dir.0, "e99", false, m2).expect("second append");
+
+        let text = fs::read_to_string(&path).expect("read trajectory");
+        let entries: Vec<BenchEntry> = serde_json::from_str(&text).expect("decode");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].experiment, "e99");
+        assert!(entries[0].quick);
+        assert!(!entries[1].quick);
+        assert_eq!(entries[0].metrics["rps"], 100.0);
+        assert_eq!(entries[1].metrics["rps"], 120.0);
+    }
+
+    #[test]
+    fn malformed_file_is_an_error_not_a_wipe() {
+        let dir = TempDir::new("malformed");
+        fs::create_dir_all(&dir.0).unwrap();
+        let path = trajectory_path(&dir.0, "e98");
+        fs::write(&path, "not json").unwrap();
+        let err = append(&dir.0, "e98", true, BTreeMap::new());
+        assert!(err.is_err(), "corrupt trajectory must not be clobbered");
+        assert_eq!(fs::read_to_string(&path).unwrap(), "not json");
+    }
+}

@@ -1,0 +1,60 @@
+//! # aging-cluster
+//!
+//! Sharded multi-node serve tier of the `holder-aging` workspace —
+//! scale-out for the networked aging detectors reproducing *"Software
+//! Aging and Multifractality of Memory Resources"* (Shereshevsky et
+//! al., DSN 2003).
+//!
+//! A single [`aging_serve::Server`] already holds its TCP alarm stream
+//! to byte parity with an offline
+//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) run
+//! (E14). This crate keeps that guarantee while spreading the fleet
+//! over N such servers:
+//!
+//! ```text
+//!                    ┌────────────┐
+//!   machine ids ────▶│  HashRing  │── consistent-hash router
+//!                    └─────┬──────┘
+//!            ┌─────────────┼─────────────┐
+//!            ▼             ▼             ▼
+//!       ┌─────────┐   ┌─────────┐   ┌─────────┐
+//!       │ shard 0 │   │ shard 1 │   │ shard 2 │   aging-serve nodes
+//!       │ (+ WAL) │   │ (+ WAL) │   │ (+ WAL) │   (watermark W_s per
+//!       └────┬────┘   └────┬────┘   └────┬────┘    AlarmsReply)
+//!            └─────────────┼─────────────┘
+//!                          ▼
+//!                  ┌───────────────┐
+//!                  │  Aggregator   │  k-way WatermarkMerger:
+//!                  │  (+ journal)  │  release ⇔ time ≤ min_s W_s
+//!                  └───────────────┘
+//!                          ▼
+//!              one global alarm history,
+//!              byte-identical to the offline run
+//! ```
+//!
+//! - **Routing** ([`ring`]): a seed-deterministic consistent-hash ring
+//!   maps every machine id to exactly one shard; growing the ring only
+//!   moves machines onto the new shard.
+//! - **Sharding** ([`fleet`]): [`LocalCluster`] boots one serve node
+//!   per shard (each with its ring index, pinned fleet size and
+//!   optional WAL store) and [`drive_fleet`] partitions a scenario
+//!   fleet across them over real sockets.
+//! - **Merging** ([`aggregator`]): the [`Aggregator`] pulls each
+//!   shard's watermark-ordered alarm stream over the ordinary query
+//!   protocol and releases events only below the minimum shard
+//!   watermark — the *global watermark release invariant* — producing
+//!   one deterministic history it can also journal for kill-and-recover
+//!   (experiment E16).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregator;
+pub mod fleet;
+pub mod ring;
+
+pub use aging_timeseries::{Error, Result};
+
+pub use aggregator::{AggregateReport, Aggregator, AggregatorConfig, ShardDirectory};
+pub use fleet::{drive_fleet, FleetDriveReport, LocalCluster};
+pub use ring::HashRing;

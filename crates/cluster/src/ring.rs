@@ -1,0 +1,190 @@
+//! Consistent-hash router: maps machine ids to shard indices.
+//!
+//! The ring places `vnodes_per_shard` pseudo-random points per shard on
+//! a `u64` circle (points are hashes of `(seed, shard, vnode)` — never
+//! of the shard *count*), and routes a machine id to the shard owning
+//! the first point at or clockwise of the id's own hash. Two properties
+//! follow by construction:
+//!
+//! - **Determinism**: the mapping is a pure function of
+//!   `(seed, shards, vnodes_per_shard)`. Replaying a fleet drive with
+//!   the same ring parameters partitions it identically, which is what
+//!   lets a sharded run be compared byte-for-byte against an offline
+//!   single-process run.
+//! - **Rebalancing locality**: growing the ring from `n` to `n + 1`
+//!   shards leaves every existing point in place and only inserts the
+//!   new shard's points, so a machine either keeps its shard or moves
+//!   to the *new* shard — never between old shards.
+//!
+//! The hash is a splitmix64 finalizer — dependency-free, well mixed,
+//! and stable across platforms (everything is explicit u64 arithmetic).
+
+use aging_timeseries::{Error, Result};
+
+/// splitmix64 finalizer: a cheap, statistically solid 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A seed-deterministic consistent-hash ring over `shards` shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    shards: u64,
+    vnodes_per_shard: u32,
+    seed: u64,
+    /// Sorted `(point_hash, shard)` pairs; ties broken by shard index so
+    /// the ring is a total order even under hash collisions.
+    points: Vec<(u64, u64)>,
+}
+
+impl HashRing {
+    /// Default virtual nodes per shard: enough to keep the per-shard
+    /// load imbalance within a few percent for realistic shard counts.
+    pub const DEFAULT_VNODES: u32 = 64;
+
+    /// Builds the ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for zero shards or zero
+    /// virtual nodes.
+    pub fn new(shards: u64, vnodes_per_shard: u32, seed: u64) -> Result<HashRing> {
+        if shards == 0 {
+            return Err(Error::invalid("shards", "must be at least 1"));
+        }
+        if vnodes_per_shard == 0 {
+            return Err(Error::invalid("vnodes_per_shard", "must be at least 1"));
+        }
+        let mut points =
+            Vec::with_capacity((shards as usize).saturating_mul(vnodes_per_shard as usize));
+        for shard in 0..shards {
+            for vnode in 0..u64::from(vnodes_per_shard) {
+                // Hash (seed, shard, vnode) only — independence from the
+                // shard count is what gives rebalancing locality.
+                let h = mix64(seed ^ mix64(shard ^ mix64(vnode)));
+                points.push((h, shard));
+            }
+        }
+        points.sort_unstable();
+        Ok(HashRing {
+            shards,
+            vnodes_per_shard,
+            seed,
+            points,
+        })
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> u64 {
+        self.shards
+    }
+
+    /// Virtual nodes per shard.
+    pub fn vnodes_per_shard(&self) -> u32 {
+        self.vnodes_per_shard
+    }
+
+    /// The ring seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Routes a machine id to its shard: the shard owning the first ring
+    /// point at or clockwise of `mix(seed, machine_id)`, wrapping.
+    pub fn shard_of(&self, machine_id: u64) -> u64 {
+        let h = mix64(self.seed ^ mix64(machine_id));
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+
+    /// Partitions `machine_ids` into per-shard groups, preserving the
+    /// input order inside each group. `out[s]` holds the *positions*
+    /// into `machine_ids` owned by shard `s`, so callers can carry any
+    /// parallel arrays (scenarios, ids) through the split.
+    pub fn partition_indices(&self, machine_ids: &[u64]) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.shards as usize];
+        for (pos, &id) in machine_ids.iter().enumerate() {
+            out[self.shard_of(id) as usize].push(pos);
+        }
+        out
+    }
+
+    /// Partitions `machine_ids` into per-shard id groups (input order
+    /// preserved inside each group).
+    pub fn partition(&self, machine_ids: &[u64]) -> Vec<Vec<u64>> {
+        self.partition_indices(machine_ids)
+            .into_iter()
+            .map(|group| group.into_iter().map(|pos| machine_ids[pos]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_id_maps_to_a_valid_shard() {
+        let ring = HashRing::new(4, 16, 7).unwrap();
+        for id in 0..1_000u64 {
+            assert!(ring.shard_of(id) < 4);
+        }
+    }
+
+    #[test]
+    fn mapping_is_seed_deterministic() {
+        let a = HashRing::new(5, 32, 0xdead_beef).unwrap();
+        let b = HashRing::new(5, 32, 0xdead_beef).unwrap();
+        for id in 0..2_000u64 {
+            assert_eq!(a.shard_of(id), b.shard_of(id));
+        }
+        let c = HashRing::new(5, 32, 0xdead_beef + 1).unwrap();
+        let moved = (0..2_000u64)
+            .filter(|&id| a.shard_of(id) != c.shard_of(id))
+            .count();
+        assert!(moved > 0, "a different seed should permute the mapping");
+    }
+
+    #[test]
+    fn growing_the_ring_only_moves_ids_to_the_new_shard() {
+        let old = HashRing::new(4, 64, 42).unwrap();
+        let new = HashRing::new(5, 64, 42).unwrap();
+        let mut moved = 0usize;
+        for id in 0..10_000u64 {
+            let (a, b) = (old.shard_of(id), new.shard_of(id));
+            if a != b {
+                assert_eq!(b, 4, "id {id} moved to old shard {b}, not the new one");
+                moved += 1;
+            }
+        }
+        // Expected share: 1/5 of keys, with slack for hash variance.
+        assert!(moved > 10_000 / 10, "rebalance moved too few ids: {moved}");
+        assert!(moved < 10_000 / 3, "rebalance moved too many ids: {moved}");
+    }
+
+    #[test]
+    fn partition_covers_every_id_exactly_once() {
+        let ring = HashRing::new(3, 64, 9).unwrap();
+        let ids: Vec<u64> = (0..500).collect();
+        let parts = ring.partition(&ids);
+        assert_eq!(parts.len(), 3);
+        let mut seen: Vec<u64> = parts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, ids);
+        for (shard, part) in parts.iter().enumerate() {
+            for &id in part {
+                assert_eq!(ring.shard_of(id), shard as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(HashRing::new(0, 8, 1).is_err());
+        assert!(HashRing::new(2, 0, 1).is_err());
+    }
+}

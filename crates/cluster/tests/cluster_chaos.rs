@@ -1,0 +1,306 @@
+//! Cluster-aware wire chaos: a damaged client attacks ONE shard of a
+//! 3-shard cluster while clean drivers feed the whole fleet. Every
+//! fault class must (a) never panic any shard, (b) quarantine exactly
+//! the damaged session on exactly the attacked shard, and (c) leave the
+//! *other* shards' contributions to the merged global history
+//! byte-identical to the offline supervisor — a wire fault is a local
+//! event, not a cluster event.
+//!
+//! Fault injection is [`aging_chaos::wire`] — the same rewriter the
+//! single-node suite (`crates/serve/tests/wire_chaos.rs`) uses, aimed
+//! here at a shard picked through the ring.
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+
+use aging_chaos::wire::{WireChaos, WireFault, WirePlan, WriteOp};
+use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_serve::loadgen::LoadgenConfig;
+use aging_serve::protocol::{
+    counter_code, encode_events, encode_frame, Frame, Record, ServeEvent, PROTOCOL_VERSION,
+};
+use aging_serve::ServeConfig;
+use aging_stream::detector::DetectorSpec;
+use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetSupervisor};
+use aging_stream::GateConfig;
+
+const RING_SEED: u64 = 0x5eed_0002;
+const RING_VNODES: u32 = 32;
+const SHARDS: u64 = 3;
+
+fn fleet_config() -> FleetConfig {
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let mut cfg = FleetConfig::new(detectors, 8.0 * 3600.0);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = (0..3)
+        .map(|i| Scenario::tiny_aging(seed + i, 192.0))
+        .collect();
+    out.push(Scenario::tiny_aging(seed + 3, 0.0)); // healthy control
+    out
+}
+
+fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+    let report = FleetSupervisor::new(cfg.clone())
+        .expect("offline supervisor")
+        .run(fleet)
+        .expect("offline run");
+    report
+        .events
+        .iter()
+        .map(|e| ServeEvent {
+            machine_id: e.machine_index as u64,
+            time_secs: e.time_secs,
+            level: e.level,
+            kind: e.kind,
+        })
+        .collect()
+}
+
+/// The extra machine id the damaged client publishes under: outside the
+/// clean fleet, routed (by the ring) to the shard we want to attack.
+fn damaged_machine_id(ring: &HashRing, target_shard: u64) -> u64 {
+    (1_000_000..)
+        .find(|&id| ring.shard_of(id) == target_shard)
+        .expect("some large id routes to the target shard")
+}
+
+/// Frames a typical feeder connection would send for the damaged
+/// machine (same shape as the single-node wire chaos suite).
+fn damaged_client_frames(machine_id: u64) -> Vec<Vec<u8>> {
+    let records = |base: usize| -> Vec<Record> {
+        (0..8)
+            .map(|i| Record {
+                machine_id,
+                counter: counter_code(Counter::AvailableBytes),
+                time_secs: ((base + i) as f64) * 5.0,
+                value: 1_000_000.0 - (base + i) as f64,
+            })
+            .collect()
+    };
+    vec![
+        encode_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "cluster-chaos".into(),
+        }),
+        encode_frame(&Frame::Batch {
+            seq: 1,
+            records: records(0),
+        }),
+        encode_frame(&Frame::Batch {
+            seq: 2,
+            records: records(8),
+        }),
+        encode_frame(&Frame::Bye),
+    ]
+}
+
+/// Writes the damaged frame sequence through the fault rewriter,
+/// tolerating write errors (the shard may already have cut us off).
+fn run_damaged_client(addr: std::net::SocketAddr, plan: &WirePlan, machine_id: u64) {
+    let mut stream = TcpStream::connect(addr).expect("connect damaged client");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut chaos = WireChaos::new(plan);
+    let mut ops = Vec::new();
+    for frame in damaged_client_frames(machine_id) {
+        chaos.apply(&frame, &mut ops);
+    }
+    for op in ops {
+        match op {
+            WriteOp::Data(bytes) => {
+                if stream.write_all(&bytes).is_err() {
+                    return; // shard already quarantined us
+                }
+            }
+            WriteOp::Disconnect => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+}
+
+struct Expect {
+    quarantined: u64,
+    corrupt_streams: u64,
+}
+
+fn run_case(name: &str, plan: WirePlan, expect: &Expect) {
+    let cfg = fleet_config();
+    let fleet = scenarios(0x00c0_ffee);
+    let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+    let ring = HashRing::new(SHARDS, RING_VNODES, RING_SEED).expect("ring");
+    let parts = ring.partition_indices(&ids);
+    // Attack the shard owning the most clean machines, so the fault
+    // lands where it could do the most damage.
+    let victim = (0..parts.len())
+        .max_by_key(|&s| parts[s].len())
+        .expect("three shards") as u64;
+    let damaged_id = damaged_machine_id(&ring, victim);
+
+    let offline = offline_events(&cfg, &fleet);
+    assert!(!offline.is_empty(), "expected alarms from leaky machines");
+
+    let template = ServeConfig::from_fleet(&cfg);
+    let cluster = LocalCluster::launch(&ring, &template, &ids, None).expect("launch cluster");
+    let aggregator = Aggregator::new(AggregatorConfig::default()).expect("aggregator");
+    let loadgen = LoadgenConfig {
+        connections: 2,
+        batch_records: 32,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 0,
+        counters: vec![Counter::AvailableBytes],
+    };
+
+    let victim_addr = cluster.addr(victim as usize);
+    let (drive_result, agg_result) = std::thread::scope(|scope| {
+        let agg = scope.spawn(|| aggregator.run(cluster.directory()));
+        let damaged = scope.spawn(|| run_damaged_client(victim_addr, &plan, damaged_id));
+        let drive = drive_fleet(
+            &ring,
+            cluster.directory(),
+            &fleet,
+            &ids,
+            cfg.horizon_secs,
+            &loadgen,
+        );
+        damaged.join().expect("damaged client thread");
+        (drive, agg.join().expect("aggregator thread"))
+    });
+    let drive = drive_result.expect("fleet drive");
+    assert!(drive.records_sent() > 0, "{name}: fleet drive fed nothing");
+    let report = agg_result.expect("aggregator run");
+
+    // (c) Healthy shards' contributions are byte-identical: filtering
+    // both histories to machines living OFF the attacked shard must
+    // agree exactly (filtering preserves each side's order).
+    let off_victim = |events: &[ServeEvent]| -> Vec<ServeEvent> {
+        events
+            .iter()
+            .filter(|e| ring.shard_of(e.machine_id) != victim)
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        encode_events(&off_victim(&offline)),
+        encode_events(&off_victim(&report.events)),
+        "{name}: healthy shards' merged contribution diverged from the offline run"
+    );
+    // The attacked shard's clean machines still deliver their exact
+    // per-machine alarm sequences (intra-machine order is pinned by
+    // time; only cross-machine interleaving on that shard may shift).
+    for &pos in &parts[victim as usize] {
+        let id = ids[pos];
+        let per_machine = |events: &[ServeEvent]| -> Vec<ServeEvent> {
+            events
+                .iter()
+                .filter(|e| e.machine_id == id)
+                .cloned()
+                .collect()
+        };
+        assert_eq!(
+            encode_events(&per_machine(&offline)),
+            encode_events(&per_machine(&report.events)),
+            "{name}: machine {id} on the attacked shard lost or reordered alarms"
+        );
+    }
+    // The damaged machine's partial feed must not fabricate alarms.
+    assert!(
+        report.events.iter().all(|e| e.machine_id != damaged_id),
+        "{name}: the damaged machine's junk feed produced alarms"
+    );
+
+    // (a) + (b): zero panics everywhere; quarantine exactly on the
+    // attacked shard.
+    for (shard, outcome) in cluster.shutdown().into_iter().enumerate() {
+        let outcome = outcome.expect("no shard was killed");
+        assert_eq!(
+            outcome.wire.session_panics, 0,
+            "{name}: shard {shard} must never panic"
+        );
+        let (want_q, want_c) = if shard as u64 == victim {
+            (expect.quarantined, expect.corrupt_streams)
+        } else {
+            (0, 0)
+        };
+        assert_eq!(
+            outcome.wire.quarantined, want_q,
+            "{name}: shard {shard} quarantine accounting (wire: {:?})",
+            outcome.wire
+        );
+        assert_eq!(
+            outcome.wire.corrupt_streams, want_c,
+            "{name}: shard {shard} corrupt-stream accounting (wire: {:?})",
+            outcome.wire
+        );
+    }
+}
+
+#[test]
+fn clean_extra_client_perturbs_nothing() {
+    run_case(
+        "clean",
+        WirePlan::new(11),
+        &Expect {
+            quarantined: 0,
+            corrupt_streams: 0,
+        },
+    );
+}
+
+#[test]
+fn corrupted_bit_on_one_shard_stays_local() {
+    run_case(
+        "corrupt-bit",
+        WirePlan::new(11).with(WireFault::CorruptBit { frame: 1 }),
+        &Expect {
+            quarantined: 1,
+            corrupt_streams: 1,
+        },
+    );
+}
+
+#[test]
+fn truncated_frame_on_one_shard_stays_local() {
+    run_case(
+        "truncate",
+        WirePlan::new(11).with(WireFault::Truncate {
+            frame: 2,
+            keep_bytes: 10,
+        }),
+        &Expect {
+            quarantined: 1,
+            corrupt_streams: 1,
+        },
+    );
+}
+
+#[test]
+fn boundary_disconnect_on_one_shard_stays_local() {
+    run_case(
+        "disconnect-after",
+        WirePlan::new(11).with(WireFault::DisconnectAfter { frames: 2 }),
+        &Expect {
+            quarantined: 0,
+            corrupt_streams: 0,
+        },
+    );
+}

@@ -1,0 +1,384 @@
+//! The E16 hard gate, test-sized: the merged alarm history of a sharded
+//! cluster — per-shard `aging-serve` nodes pulled by the watermark-
+//! merging [`Aggregator`] — must be **byte-identical** (under the
+//! canonical event codec) to an offline
+//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) run of
+//! the same fleet, across shard counts {1, 2, 4} and at every
+//! `AGING_THREADS` setting; and that must survive killing and
+//! recovering a store-backed shard mid-stream.
+//!
+//! ci.sh runs this file under `AGING_THREADS=1` and `=4`.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_serve::loadgen::{drive_with_ids, LoadgenConfig};
+use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
+use aging_serve::{ServeClient, ServeConfig};
+use aging_store::StoreConfig;
+use aging_stream::detector::DetectorSpec;
+use aging_stream::source::{MachineSource, SampleSource};
+use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetSupervisor};
+use aging_stream::GateConfig;
+
+const RING_SEED: u64 = 0x5eed_0001;
+const RING_VNODES: u32 = 32;
+const BATCH_RECORDS: usize = 16;
+
+fn fleet_config() -> FleetConfig {
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let mut cfg = FleetConfig::new(detectors, 8.0 * 3600.0);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+fn scenarios(seed: u64) -> Vec<Scenario> {
+    let mut out: Vec<Scenario> = (0..3)
+        .map(|i| Scenario::tiny_aging(seed + i, 192.0))
+        .collect();
+    out.push(Scenario::tiny_aging(seed + 3, 0.0)); // healthy control
+    out
+}
+
+/// Offline events in the cluster's address space (machine id = scenario
+/// index — exactly the global ids the fleet drive publishes under).
+fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+    let report = FleetSupervisor::new(cfg.clone())
+        .expect("offline supervisor")
+        .run(fleet)
+        .expect("offline run");
+    report
+        .events
+        .iter()
+        .map(|e| ServeEvent {
+            machine_id: e.machine_index as u64,
+            time_secs: e.time_secs,
+            level: e.level,
+            kind: e.kind,
+        })
+        .collect()
+}
+
+fn loadgen_config() -> LoadgenConfig {
+    LoadgenConfig {
+        connections: 2,
+        batch_records: 32,
+        rate_records_per_sec: 0.0,
+        poll_alarms_ms: 0,
+        counters: vec![Counter::AvailableBytes],
+    }
+}
+
+/// Drives the fleet through a `shards`-node cluster and returns the
+/// aggregator's merged history.
+fn cluster_events(cfg: &FleetConfig, fleet: &[Scenario], shards: u64) -> Vec<ServeEvent> {
+    let ring = HashRing::new(shards, RING_VNODES, RING_SEED).expect("ring");
+    let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+    let template = ServeConfig::from_fleet(cfg);
+    let cluster = LocalCluster::launch(&ring, &template, &ids, None).expect("launch cluster");
+    let aggregator = Aggregator::new(AggregatorConfig::default()).expect("aggregator");
+
+    let (drive_result, agg_result) = std::thread::scope(|scope| {
+        let agg = scope.spawn(|| aggregator.run(cluster.directory()));
+        let drive = drive_fleet(
+            &ring,
+            cluster.directory(),
+            fleet,
+            &ids,
+            cfg.horizon_secs,
+            &loadgen_config(),
+        );
+        (drive, agg.join().expect("aggregator thread"))
+    });
+    let drive = drive_result.expect("fleet drive");
+    assert!(drive.records_sent() > 0, "fleet drive fed nothing");
+    let report = agg_result.expect("aggregator run");
+    assert_eq!(
+        report.per_shard.iter().sum::<u64>(),
+        report.events.len() as u64,
+        "per-shard attribution must cover every merged event"
+    );
+
+    // Each shard's own released history must be the merged history
+    // filtered to that shard's machines — the aggregator reorders
+    // nothing within a shard.
+    for (shard, shard_report) in drive.shards.iter().enumerate() {
+        let Some(shard_report) = shard_report else {
+            continue;
+        };
+        let owned: Vec<ServeEvent> = report
+            .events
+            .iter()
+            .filter(|e| ring.shard_of(e.machine_id) == shard as u64)
+            .cloned()
+            .collect();
+        assert_eq!(
+            encode_events(&shard_report.alarms),
+            encode_events(&owned),
+            "shard {shard}: merged history does not embed the shard stream"
+        );
+    }
+
+    for (shard, outcome) in cluster.shutdown().into_iter().enumerate() {
+        let outcome = outcome.expect("no shard was killed in this run");
+        assert_eq!(
+            outcome.wire.session_panics, 0,
+            "shard {shard}: server must not panic"
+        );
+        assert_eq!(
+            outcome.wire.quarantined, 0,
+            "shard {shard}: clean clients must not be quarantined"
+        );
+    }
+    report.events
+}
+
+#[test]
+fn merged_cluster_history_is_byte_identical_to_offline_supervisor() {
+    for seed in [0x00c0_ffee_u64, 42] {
+        let cfg = fleet_config();
+        let fleet = scenarios(seed);
+        let offline = offline_events(&cfg, &fleet);
+        assert!(
+            !offline.is_empty(),
+            "seed {seed:#x}: expected alarms from leaky machines"
+        );
+        for shards in [1u64, 2, 4] {
+            let merged = cluster_events(&cfg, &fleet, shards);
+            assert_eq!(
+                encode_events(&offline),
+                encode_events(&merged),
+                "seed {seed:#x}, {shards} shard(s): merged cluster history diverged from \
+                 the offline supervisor (offline {} events, merged {})",
+                offline.len(),
+                merged.len()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-recover: one shard dies mid-stream and is re-bound from its
+// store; global parity and the aggregator's journal must both hold.
+// ---------------------------------------------------------------------------
+
+/// A store directory wiped on create and drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("aging-cluster-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The victim shard's record sequence under its machines' *global* ids,
+/// round-robin by sample index, chunked into batches.
+fn build_batches(fleet: &[Scenario], ids: &[u64], horizon_secs: f64) -> Vec<Vec<Record>> {
+    let code = counter_code(Counter::AvailableBytes);
+    let traces: Vec<Vec<Record>> = fleet
+        .iter()
+        .zip(ids)
+        .map(|(scenario, &id)| {
+            let mut source = MachineSource::new(scenario, Counter::AvailableBytes, horizon_secs)
+                .expect("source");
+            let mut out = Vec::new();
+            while let Some(s) = source.next_sample().expect("infallible source") {
+                out.push(Record {
+                    machine_id: id,
+                    counter: code,
+                    time_secs: s.time_secs,
+                    value: s.value,
+                });
+            }
+            out
+        })
+        .collect();
+    let longest = traces.iter().map(Vec::len).max().unwrap_or(0);
+    let mut records = Vec::new();
+    for i in 0..longest {
+        for trace in &traces {
+            if let Some(rec) = trace.get(i) {
+                records.push(*rec);
+            }
+        }
+    }
+    records
+        .chunks(BATCH_RECORDS)
+        .map(<[Record]>::to_vec)
+        .collect()
+}
+
+/// Feeds the victim shard with an at-least-once client, killing the
+/// shard once mid-stream and re-binding it from its store.
+fn feed_victim_with_crash(
+    cluster: &LocalCluster,
+    victim: usize,
+    batches: &[Vec<Record>],
+    ids: &[u64],
+) {
+    let kill_at = batches.len() / 2;
+    assert!(kill_at > 0, "victim feed too short to kill mid-stream");
+    let mut cursor = 0usize;
+    let mut carry: Vec<Vec<Record>> = Vec::new();
+    let mut killed = false;
+
+    loop {
+        let mut client =
+            ServeClient::connect(cluster.addr(victim), "victim-feeder").expect("connect victim");
+        let mut sent: HashMap<u64, Vec<Record>> = HashMap::new();
+        for batch in carry.drain(..) {
+            let seq = client.send_batch(&batch).expect("resend batch");
+            sent.insert(seq, batch);
+        }
+        while cursor < batches.len() {
+            if !killed && cursor == kill_at {
+                break;
+            }
+            let batch = batches[cursor].clone();
+            let seq = client.send_batch(&batch).expect("send batch");
+            sent.insert(seq, batch);
+            cursor += 1;
+        }
+        if !killed && cursor == kill_at {
+            cluster.abort_shard(victim).expect("abort victim");
+            killed = true;
+            carry = client
+                .unacked_seqs()
+                .into_iter()
+                .filter_map(|seq| sent.remove(&seq))
+                .collect();
+            cluster.rebind_shard(victim).expect("rebind victim");
+            continue;
+        }
+        for &id in ids {
+            client.machine_done(id).expect("machine done");
+        }
+        let _ = client.bye().expect("bye");
+        assert!(killed, "the kill point must have fired");
+        return;
+    }
+}
+
+#[test]
+fn killed_and_recovered_shard_preserves_global_parity() {
+    let seed = 0x00c0_ffee_u64;
+    let cfg = fleet_config();
+    let fleet = scenarios(seed);
+    let offline = offline_events(&cfg, &fleet);
+    assert!(!offline.is_empty(), "expected alarms from leaky machines");
+
+    let ring = HashRing::new(2, RING_VNODES, RING_SEED).expect("ring");
+    let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+    let parts = ring.partition_indices(&ids);
+    // Kill the shard owning the most machines — the worst case for the
+    // aggregator's watermark hold.
+    let victim = (0..parts.len())
+        .max_by_key(|&s| parts[s].len())
+        .expect("two shards");
+    assert!(
+        !parts[victim].is_empty(),
+        "victim shard must own machines for the kill to matter"
+    );
+
+    let shard_root = TempDir::new("shards");
+    let agg_root = TempDir::new("agg");
+    let template = ServeConfig::from_fleet(&cfg);
+    let cluster =
+        LocalCluster::launch(&ring, &template, &ids, Some(&shard_root.0)).expect("launch cluster");
+    let agg_store = StoreConfig {
+        snapshot_every_entries: 4,
+        ..StoreConfig::new(&agg_root.0)
+    };
+    let aggregator = Aggregator::new(AggregatorConfig {
+        store: Some(agg_store.clone()),
+        ..AggregatorConfig::default()
+    })
+    .expect("aggregator");
+
+    let victim_scenarios: Vec<Scenario> = parts[victim].iter().map(|&p| fleet[p].clone()).collect();
+    let victim_ids: Vec<u64> = parts[victim].iter().map(|&p| ids[p]).collect();
+    let victim_batches = build_batches(&victim_scenarios, &victim_ids, cfg.horizon_secs);
+
+    let agg_result = std::thread::scope(|scope| {
+        let agg = scope.spawn(|| aggregator.run(cluster.directory()));
+        let mut healthy = Vec::new();
+        for (shard, positions) in parts.iter().enumerate() {
+            if shard == victim || positions.is_empty() {
+                continue;
+            }
+            let shard_scenarios: Vec<Scenario> =
+                positions.iter().map(|&p| fleet[p].clone()).collect();
+            let shard_ids: Vec<u64> = positions.iter().map(|&p| ids[p]).collect();
+            let addr = cluster.addr(shard);
+            let horizon = cfg.horizon_secs;
+            healthy.push(scope.spawn(move || {
+                drive_with_ids(
+                    addr,
+                    &shard_scenarios,
+                    &shard_ids,
+                    horizon,
+                    &loadgen_config(),
+                )
+                .expect("healthy shard drive")
+            }));
+        }
+        feed_victim_with_crash(&cluster, victim, &victim_batches, &victim_ids);
+        for handle in healthy {
+            handle.join().expect("healthy driver thread");
+        }
+        agg.join().expect("aggregator thread")
+    });
+    let report = agg_result.expect("aggregator run");
+    assert!(
+        report.reconnects > 0,
+        "the aggregator must have survived at least one reconnect"
+    );
+
+    assert_eq!(
+        encode_events(&offline),
+        encode_events(&report.events),
+        "kill-and-recover cluster history diverged from the offline supervisor \
+         (offline {} events, merged {})",
+        offline.len(),
+        report.events.len()
+    );
+
+    // The aggregator's journal replays to the same merged history —
+    // cluster-wide kill-and-recover of the aggregator itself.
+    let recovered = Aggregator::recover_events(&agg_store).expect("recover journal");
+    assert_eq!(
+        encode_events(&report.events),
+        encode_events(&recovered),
+        "aggregator journal replay diverged from the live merged history"
+    );
+
+    for (shard, outcome) in cluster.shutdown().into_iter().enumerate() {
+        let outcome = outcome.expect("all shards live at the end");
+        assert_eq!(
+            outcome.wire.session_panics, 0,
+            "shard {shard}: server must not panic"
+        );
+    }
+}

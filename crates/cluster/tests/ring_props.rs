@@ -1,0 +1,81 @@
+//! Property tests for the consistent-hash ring: total coverage (every
+//! machine id owns exactly one shard), bounded load imbalance, seed
+//! replay stability, and rebalancing locality (growing the ring only
+//! moves ids to the new shard).
+
+use aging_cluster::HashRing;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every machine id maps to exactly one shard, the mapping is a pure
+    /// function of the ring parameters (replaying the seed reproduces
+    /// it), and partitioning is consistent with the point lookups.
+    #[test]
+    fn every_id_maps_to_exactly_one_stable_shard(
+        shards in 1u64..=8,
+        seed in 0u64..u64::MAX,
+        ids in prop::collection::vec(0u64..u64::MAX, 1..=200),
+    ) {
+        let ring = HashRing::new(shards, 32, seed).expect("ring");
+        let replay = HashRing::new(shards, 32, seed).expect("ring replay");
+        for &id in &ids {
+            let shard = ring.shard_of(id);
+            prop_assert!(shard < shards, "id {id} routed to ghost shard {shard}");
+            prop_assert_eq!(shard, replay.shard_of(id), "seed replay diverged for id {}", id);
+        }
+        let parts = ring.partition(&ids);
+        prop_assert_eq!(parts.len(), shards as usize);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, ids.len(), "partition lost or duplicated ids");
+        for (shard, part) in parts.iter().enumerate() {
+            for &id in part {
+                prop_assert_eq!(ring.shard_of(id), shard as u64);
+            }
+        }
+    }
+
+    /// With enough virtual nodes, no shard's share of a large uniform id
+    /// population strays beyond a generous tolerance band around the
+    /// fair share (the band is wide because consistent hashing trades
+    /// perfect balance for rebalancing locality).
+    #[test]
+    fn shard_load_stays_within_tolerance(
+        shards in 2u64..=6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let ring = HashRing::new(shards, 128, seed).expect("ring");
+        let n = 20_000u64;
+        let mut counts = vec![0u64; shards as usize];
+        for id in 0..n {
+            counts[ring.shard_of(id) as usize] += 1;
+        }
+        let fair = n as f64 / shards as f64;
+        for (shard, &count) in counts.iter().enumerate() {
+            let ratio = count as f64 / fair;
+            prop_assert!(
+                (0.5..=1.5).contains(&ratio),
+                "shard {} holds {:.2}x its fair share ({} of {})",
+                shard, ratio, count, n
+            );
+        }
+    }
+
+    /// Rebalancing locality: growing from `shards` to `shards + 1`
+    /// leaves every id either where it was or on the *new* shard.
+    #[test]
+    fn growing_the_ring_never_shuffles_between_old_shards(
+        shards in 1u64..=7,
+        seed in 0u64..u64::MAX,
+        ids in prop::collection::vec(0u64..u64::MAX, 1..=300),
+    ) {
+        let old = HashRing::new(shards, 32, seed).expect("old ring");
+        let new = HashRing::new(shards + 1, 32, seed).expect("new ring");
+        for &id in &ids {
+            let (a, b) = (old.shard_of(id), new.shard_of(id));
+            prop_assert!(
+                a == b || b == shards,
+                "id {} moved between old shards {} -> {}", id, a, b
+            );
+        }
+    }
+}

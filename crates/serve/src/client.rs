@@ -23,6 +23,24 @@ use crate::server::ServeStatus;
 /// giving up with [`Error::Io`].
 pub const CLIENT_REPLY_TIMEOUT_MS: u64 = 10_000;
 
+/// One `AlarmsReply` with its shard/watermark advertisement — what a
+/// cluster aggregator consumes per poll.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmChunk {
+    /// Shard identity the server advertises
+    /// ([`crate::ServeConfig::shard_id`]; `0` for standalone servers).
+    pub shard: u64,
+    /// Release watermark consistent with `total`: every released event
+    /// at or below this time is within the first `total` events, and the
+    /// server will never release another event at or below it. `+inf`
+    /// means the shard has drained (no feed can reopen the promise).
+    pub watermark_secs: f64,
+    /// Total released events on the server at reply time.
+    pub total: u64,
+    /// The events at `since..since + events.len()`.
+    pub events: Vec<ServeEvent>,
+}
+
 /// A connected, handshaken client session.
 #[derive(Debug)]
 pub struct ServeClient {
@@ -192,13 +210,32 @@ impl ServeClient {
     ///
     /// [`Error::Io`] on socket failure or a malformed reply.
     pub fn query_alarms(&mut self, since: u64) -> Result<(u64, Vec<ServeEvent>)> {
+        let chunk = self.query_alarms_chunk(since)?;
+        Ok((chunk.total, chunk.events))
+    }
+
+    /// Fetches one chunk of released alarm history starting at `since`,
+    /// including the server's shard/watermark advertisement — what the
+    /// cluster aggregator's merge loop consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_alarms_chunk(&mut self, since: u64) -> Result<AlarmChunk> {
         self.send(&Frame::QueryAlarms { since })?;
         match self.recv_reply()? {
             Frame::AlarmsReply {
                 since: _,
                 total,
+                shard,
+                watermark_secs,
                 events,
-            } => Ok((total, events)),
+            } => Ok(AlarmChunk {
+                shard,
+                watermark_secs,
+                total,
+                events,
+            }),
             other => Err(Error::Io(format!("unexpected alarms reply: {other:?}"))),
         }
     }

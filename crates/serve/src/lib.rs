@@ -78,9 +78,9 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::ServeClient;
+pub use client::{AlarmChunk, ServeClient};
 pub use codec::{CorruptStream, FrameDecoder, TextCommand};
-pub use loadgen::{drive, LoadgenConfig, LoadgenReport, ScenarioFeeder};
+pub use loadgen::{drive, drive_with_ids, LoadgenConfig, LoadgenReport, ScenarioFeeder};
 pub use protocol::{
     decode_events, encode_events, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };

@@ -9,10 +9,13 @@
 //! it decidable was sent (send-to-visibility latency; its floor is the
 //! poll interval).
 //!
-//! Machine ids are the scenario indices, so the report's alarm history
-//! is directly comparable with an offline
+//! With [`drive`], machine ids are the scenario indices, so the report's
+//! alarm history is directly comparable with an offline
 //! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) run
-//! over the same scenario slice — the E14 parity setup.
+//! over the same scenario slice — the E14 parity setup. A sharded
+//! cluster partitions one global fleet across several servers, so each
+//! shard's driver publishes under the *global* ids of the machines it
+//! owns via [`drive_with_ids`].
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -222,9 +225,47 @@ pub fn drive(
     horizon_secs: f64,
     cfg: &LoadgenConfig,
 ) -> Result<LoadgenReport> {
+    let machine_ids: Vec<u64> = (0..scenarios.len() as u64).collect();
+    drive_with_ids(addr, scenarios, &machine_ids, horizon_secs, cfg)
+}
+
+/// [`drive`] with explicit wire machine ids: `scenarios[i]` publishes
+/// under `machine_ids[i]` instead of its index.
+///
+/// This is the shard-local entry point of a cluster fleet drive: the
+/// router partitions global machine ids across shards, and each shard's
+/// driver replays exactly the scenarios it owns under their global ids,
+/// so the aggregator's merged history lines up with a whole-fleet
+/// offline run.
+///
+/// # Errors
+///
+/// Propagates everything [`drive`] can fail with, plus
+/// [`Error::InvalidParameter`] when `machine_ids` and `scenarios`
+/// disagree in length or contain a duplicate id.
+pub fn drive_with_ids(
+    addr: SocketAddr,
+    scenarios: &[Scenario],
+    machine_ids: &[u64],
+    horizon_secs: f64,
+    cfg: &LoadgenConfig,
+) -> Result<LoadgenReport> {
     cfg.validate()?;
     if scenarios.is_empty() {
         return Err(Error::invalid("scenarios", "need at least one machine"));
+    }
+    if machine_ids.len() != scenarios.len() {
+        return Err(Error::invalid(
+            "machine_ids",
+            "must name exactly one id per scenario",
+        ));
+    }
+    {
+        let mut sorted = machine_ids.to_vec();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(Error::invalid("machine_ids", "ids must be unique"));
+        }
     }
     if !(horizon_secs > 0.0) {
         return Err(Error::invalid("horizon_secs", "must be positive"));
@@ -260,6 +301,7 @@ pub fn drive(
                 feed_worker(
                     addr,
                     scenarios,
+                    machine_ids,
                     machine_indices,
                     horizon_secs,
                     counters,
@@ -342,6 +384,7 @@ struct WorkerOutcome {
 fn feed_worker(
     addr: SocketAddr,
     scenarios: &[Scenario],
+    machine_ids: &[u64],
     machine_indices: &[usize],
     horizon_secs: f64,
     counters: &[Counter],
@@ -351,7 +394,7 @@ fn feed_worker(
 ) -> Result<WorkerOutcome> {
     let mut feeders = machine_indices
         .iter()
-        .map(|&idx| ScenarioFeeder::new(idx as u64, &scenarios[idx], horizon_secs))
+        .map(|&idx| ScenarioFeeder::new(machine_ids[idx], &scenarios[idx], horizon_secs))
         .collect::<Result<Vec<_>>>()?;
     let mut client = ServeClient::connect(addr, "loadgen-feeder")?;
     let started = Instant::now();

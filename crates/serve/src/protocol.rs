@@ -177,6 +177,17 @@ pub enum Frame {
         /// Total released events on the server (fetch is chunked; keep
         /// querying from `since + events.len()` until caught up).
         total: u64,
+        /// Shard identity advertisement ([`crate::ServeConfig::shard_id`]):
+        /// which cluster shard answered, `0` for a standalone server.
+        shard: u64,
+        /// Release-watermark advertisement, computed atomically with
+        /// `total`: every released event at or below this time is within
+        /// the first `total` events, and the server will never release
+        /// another event at or below it. `-inf` while the release hold
+        /// ([`crate::ServeConfig::expected_machines`]) is active or no
+        /// machine is known; `+inf` once every known feed has finished
+        /// (the per-shard drain barrier an aggregator waits on).
+        watermark_secs: f64,
         /// The events at `since..since + events.len()`.
         events: Vec<ServeEvent>,
     },
@@ -599,11 +610,15 @@ impl Frame {
             Frame::AlarmsReply {
                 since,
                 total,
+                shard,
+                watermark_secs,
                 events,
             } => {
                 out.push(TAG_ALARMS_REPLY);
                 out.extend_from_slice(&since.to_le_bytes());
                 out.extend_from_slice(&total.to_le_bytes());
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&watermark_secs.to_bits().to_le_bytes());
                 let n = events.len().min(usize::from(u16::MAX));
                 out.extend_from_slice(&(n as u16).to_le_bytes());
                 for event in &events[..n] {
@@ -688,6 +703,8 @@ impl Frame {
             TAG_ALARMS_REPLY => {
                 let since = r.u64()?;
                 let total = r.u64()?;
+                let shard = r.u64()?;
+                let watermark_secs = r.f64()?;
                 let n = usize::from(r.u16()?);
                 let mut events = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -696,6 +713,8 @@ impl Frame {
                 Frame::AlarmsReply {
                     since,
                     total,
+                    shard,
+                    watermark_secs,
                     events,
                 }
             }
@@ -791,6 +810,8 @@ mod tests {
             Frame::AlarmsReply {
                 since: 4,
                 total: 6,
+                shard: 2,
+                watermark_secs: f64::NEG_INFINITY,
                 events: vec![
                     ServeEvent {
                         machine_id: 3,

@@ -6,7 +6,7 @@
 //! ```text
 //!  clients ──TCP──► session threads ──► Engine (mutex)
 //!                     │ decode+CRC        ├─ MachinePipeline per machine_id
-//!                     │ quarantine        ├─ pending min-heap (time, id, seq)
+//!                     │ quarantine        ├─ WatermarkMerger (time, id, seq)
 //!                     └ acks/replies      └─ released alarm history
 //! ```
 //!
@@ -16,14 +16,19 @@
 //!
 //! # Watermarked history
 //!
-//! Events enter a pending min-heap keyed `(time, machine_id, emission
-//! seq)` — the same ordering the in-process
-//! [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor) uses —
-//! and move to the released history only once every unfinished machine's
-//! pipeline watermark ([`MachinePipeline::completed_time_secs`]) has
-//! passed them. Query replies therefore only ever show a prefix of the
-//! final ordered history, and the E14 parity gate can demand
-//! byte-identity with the offline supervisor run.
+//! Events enter a single-source
+//! [`WatermarkMerger`](aging_stream::merge::WatermarkMerger) keyed
+//! `(time, machine_id, emission seq)` — the same shared merge the
+//! in-process [`FleetSupervisor`](aging_stream::supervisor::FleetSupervisor)
+//! and the `aging-cluster` aggregator use — and move to the released
+//! history only once every unfinished machine's pipeline watermark
+//! ([`MachinePipeline::completed_time_secs`]) has passed them. Query
+//! replies therefore only ever show a prefix of the final ordered
+//! history, and the E14 parity gate can demand byte-identity with the
+//! offline supervisor run. `QueryAlarms` replies advertise the release
+//! frontier (and the server's [`ServeConfig::shard_id`]), so an
+//! aggregator merging several shards knows exactly which prefix of
+//! global time each shard has promised never to extend.
 //!
 //! A consequence the operator must know: one stalled feeder holds back
 //! the *global* released history (its machine's watermark stops
@@ -49,7 +54,7 @@
 //!
 //! [`SampleGate`]: aging_stream::gate::SampleGate
 
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +66,7 @@ use aging_core::detector::AlertLevel;
 use aging_core::fusion::FusionRule;
 use aging_store::{Recovery, Store, StoreConfig};
 use aging_stream::gate::GateConfig;
+use aging_stream::merge::{MergeKey, WatermarkMerger};
 use aging_stream::pipeline::{MachinePipeline, PipelineEvent};
 use aging_stream::source::StreamSample;
 use aging_stream::supervisor::{AlarmKind, CounterDetector, FleetConfig};
@@ -125,6 +131,11 @@ pub struct ServeConfig {
     /// to pin the release order exactly; [`Server::shutdown`]'s drain
     /// ignores the hold.
     pub expected_machines: Option<u64>,
+    /// Shard identity advertised in `AlarmsReply` frames. Standalone
+    /// servers keep the default `0`; a cluster launcher assigns each
+    /// shard its ring index so aggregators and operators can attribute
+    /// replies. Purely advisory — it never affects engine behaviour.
+    pub shard_id: u64,
     /// Crash-safe persistence. When set, every accepted batch is
     /// journaled to this store *before* its ack goes out (acked ⇒
     /// durable) and [`Server::bind`] replays whatever snapshot + journal
@@ -148,6 +159,7 @@ impl ServeConfig {
             write_timeout_ms: 5_000,
             alarm_chunk: 256,
             expected_machines: None,
+            shard_id: 0,
             store: None,
         }
     }
@@ -272,34 +284,6 @@ pub struct ServeReport {
 // Engine
 // ---------------------------------------------------------------------------
 
-struct PendingServe {
-    seq: u64,
-    event: ServeEvent,
-}
-
-impl PartialEq for PendingServe {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for PendingServe {}
-impl PartialOrd for PendingServe {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingServe {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, earliest event pops first.
-        other
-            .event
-            .time_secs
-            .total_cmp(&self.event.time_secs)
-            .then_with(|| other.event.machine_id.cmp(&self.event.machine_id))
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 struct MachineEntry {
     name: String,
     pipeline: MachinePipeline,
@@ -316,7 +300,10 @@ struct Engine {
     /// [`ServeConfig::expected_machines`]); cleared by the final drain.
     expected_machines: Option<u64>,
     machines: BTreeMap<u64, MachineEntry>,
-    pending: BinaryHeap<PendingServe>,
+    /// Single-source watermark merge: the fleet watermark (computed from
+    /// the machine pipelines) advances source 0, and its monotone
+    /// frontier doubles as the watermark advertised to aggregators.
+    pending: WatermarkMerger<ServeEvent>,
     released: Vec<ServeEvent>,
     seq: u64,
     status_seq: u64,
@@ -336,7 +323,7 @@ impl Engine {
             gate: cfg.gate,
             expected_machines: cfg.expected_machines,
             machines: BTreeMap::new(),
-            pending: BinaryHeap::new(),
+            pending: WatermarkMerger::new(1),
             released: Vec::new(),
             seq: 0,
             status_seq: 0,
@@ -353,15 +340,19 @@ impl Engine {
     fn enqueue(&mut self, machine_id: u64) {
         for pe in self.scratch.drain(..) {
             self.seq += 1;
-            self.pending.push(PendingServe {
-                seq: self.seq,
-                event: ServeEvent {
+            self.pending.push(
+                MergeKey {
+                    time_secs: pe.time_secs,
+                    lane: machine_id,
+                    seq: self.seq,
+                },
+                ServeEvent {
                     machine_id,
                     time_secs: pe.time_secs,
                     level: pe.level,
                     kind: pe.kind,
                 },
-            });
+            );
         }
     }
 
@@ -518,19 +509,18 @@ impl Engine {
             entry.pipeline.encode_state(&mut state);
             persist::put_bytes(&mut out, &state);
         }
-        let mut pend: Vec<&PendingServe> = self.pending.iter().collect();
-        pend.sort_by(|a, b| {
-            a.event
-                .time_secs
-                .total_cmp(&b.event.time_secs)
-                .then_with(|| a.event.machine_id.cmp(&b.event.machine_id))
+        let mut pend: Vec<(&MergeKey, &ServeEvent)> = self.pending.iter().collect();
+        pend.sort_by(|(a, _), (b, _)| {
+            a.time_secs
+                .total_cmp(&b.time_secs)
+                .then_with(|| a.lane.cmp(&b.lane))
                 .then_with(|| a.seq.cmp(&b.seq))
         });
         persist::put_u64(&mut out, pend.len() as u64);
-        for p in pend {
-            persist::put_u64(&mut out, p.seq);
+        for (key, event) in pend {
+            persist::put_u64(&mut out, key.seq);
             state.clear();
-            encode_event(&p.event, &mut state);
+            encode_event(event, &mut state);
             persist::put_bytes(&mut out, &state);
         }
         persist::put_bytes(&mut out, &encode_events(&self.released));
@@ -593,7 +583,7 @@ impl Engine {
             );
         }
         let pending = ps(r.u64())?;
-        self.pending.clear();
+        self.pending = WatermarkMerger::new(1);
         for _ in 0..pending {
             let seq = ps(r.u64())?;
             let bytes = ps(r.bytes())?;
@@ -602,7 +592,14 @@ impl Engine {
             if er.remaining() != 0 {
                 return Err("trailing bytes after pending event".into());
             }
-            self.pending.push(PendingServe { seq, event });
+            self.pending.push(
+                MergeKey {
+                    time_secs: event.time_secs,
+                    lane: event.machine_id,
+                    seq,
+                },
+                event,
+            );
         }
         self.released = decode_events(ps(r.bytes())?)?;
         self.seq = ps(r.u64())?;
@@ -706,24 +703,38 @@ impl Engine {
         {
             return;
         }
+        // No expectation and no machine yet: an empty minimum would read
+        // as +inf, which is not a promise this server can keep (the first
+        // feeder may start anywhere in time). Keep the frontier at -inf.
+        if self.machines.is_empty() && self.expected_machines.is_none() {
+            return;
+        }
         let watermark = self
             .machines
             .values()
             .filter(|e| !e.pipeline.is_finished())
             .map(|e| e.pipeline.completed_time_secs())
             .fold(f64::INFINITY, f64::min);
-        while self
-            .pending
-            .peek()
-            .is_some_and(|p| p.event.time_secs <= watermark)
-        {
-            let event = self.pending.pop().expect("peeked").event;
+        // The merger keeps the running maximum, so a recovered engine
+        // (whose pipelines replay from an older completed tick) cannot
+        // regress the advertised frontier.
+        self.pending.advance(0, watermark);
+        while let Some(event) = self.pending.pop_ready() {
             match event.level {
                 AlertLevel::Warning => self.warnings += 1,
                 AlertLevel::Alarm => self.alarms += 1,
             }
             self.released.push(event);
         }
+    }
+
+    /// The release frontier advertised in `AlarmsReply`: all released
+    /// events at or below it are already in `released`, and no future
+    /// release will be at or below it. `-inf` while the expected-machines
+    /// hold is active (or nothing registered); `+inf` once every known
+    /// feed has finished — the per-shard drain barrier.
+    fn advertised_watermark(&self) -> f64 {
+        self.pending.frontier()
     }
 
     /// Finishes every feed and releases everything — shutdown drain.
@@ -1348,17 +1359,24 @@ fn handle_frame(
             FrameOutcome::Continue
         }
         Frame::QueryAlarms { since } => {
-            let (total, events) = {
+            // `total` and the advertised watermark are read under one
+            // engine lock, so together they form a consistent promise:
+            // every released event at or below the watermark is within
+            // the first `total` events.
+            let (total, watermark_secs, events) = {
                 let mut engine = shared.engine();
                 engine.wire.queries += 1;
                 engine.release();
-                engine.alarms_since(since, cfg.alarm_chunk)
+                let (total, events) = engine.alarms_since(since, cfg.alarm_chunk);
+                (total, engine.advertised_watermark(), events)
             };
             let _ = send_frame(
                 stream,
                 &Frame::AlarmsReply {
                     since,
                     total,
+                    shard: cfg.shard_id,
+                    watermark_secs,
                     events,
                 },
             );

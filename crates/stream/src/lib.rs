@@ -59,6 +59,7 @@
 
 pub mod detector;
 pub mod gate;
+pub mod merge;
 pub mod pipeline;
 pub mod source;
 pub mod supervisor;
@@ -68,6 +69,7 @@ pub use aging_timeseries::{Error, Result};
 
 pub use detector::{DetectorSpec, StreamingDetector};
 pub use gate::{GateAction, GateConfig, GateHealth, SampleGate};
+pub use merge::{MergeKey, WatermarkMerger};
 pub use pipeline::{MachinePipeline, PipelineEvent};
 pub use source::{SamplePerturber, SampleSource, StreamSample};
 pub use supervisor::{

@@ -33,7 +33,6 @@
 //! has latched, and the machine-level alarm fires when the rule says the
 //! votes suffice.
 
-use std::collections::BinaryHeap;
 use std::sync::mpsc;
 
 use aging_core::detector::Alert;
@@ -47,6 +46,7 @@ use crate::detector::{
     level_code, level_from_code, trigger_code, trigger_from_code, AlertDetail, StreamingDetector,
 };
 use crate::gate::GateConfig;
+use crate::merge::{MergeKey, WatermarkMerger};
 use crate::pipeline::{MachinePipeline, PipelineEvent};
 use crate::source::SamplePerturber;
 use crate::telemetry::{LatencyHistogram, StageCounters, StatusSnapshot};
@@ -427,42 +427,6 @@ impl ShardMachine {
     }
 }
 
-/// An event buffered in the supervisor's reorder heap, min-ordered by
-/// `(time, machine, emission seq)` for a deterministic release order.
-struct PendingEvent {
-    seq: u64,
-    event: AlarmEvent,
-}
-
-impl PendingEvent {
-    fn key(&self) -> (f64, usize, u64) {
-        (self.event.time_secs, self.event.machine_index, self.seq)
-    }
-}
-
-impl PartialEq for PendingEvent {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for PendingEvent {}
-impl PartialOrd for PendingEvent {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for PendingEvent {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let (ta, ma, sa) = self.key();
-        let (tb, mb, sb) = other.key();
-        // Reversed: BinaryHeap is a max-heap and we want the earliest out
-        // first.
-        tb.total_cmp(&ta)
-            .then_with(|| mb.cmp(&ma))
-            .then_with(|| sb.cmp(&sa))
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Supervisor
 // ---------------------------------------------------------------------------
@@ -793,30 +757,35 @@ fn shard_loop(
 }
 
 /// The supervisor side: merge shard streams into one ordered event
-/// sequence using the shard watermarks, and aggregate telemetry.
+/// sequence using the shard watermarks (via the shared
+/// [`WatermarkMerger`]), and aggregate telemetry.
 fn merge_loop(
     shard_count: usize,
     rx: mpsc::Receiver<ShardMsg>,
     on_alarm: &mut impl FnMut(&AlarmEvent),
     on_status: &mut impl FnMut(&StatusSnapshot),
 ) -> FleetReport {
-    let mut watermarks = vec![f64::NEG_INFINITY; shard_count];
     let mut latest_tel: Vec<Option<Box<ShardTelemetry>>> = (0..shard_count).map(|_| None).collect();
-    let mut heap: BinaryHeap<PendingEvent> = BinaryHeap::new();
+    let mut merger: WatermarkMerger<AlarmEvent> = WatermarkMerger::new(shard_count);
     let mut released = Vec::new();
     let mut outcomes = Vec::new();
     let mut warnings = 0u64;
     let mut alarms = 0u64;
     let mut sequence = 0u64;
 
-    let release = |heap: &mut BinaryHeap<PendingEvent>,
-                   limit: f64,
+    // `drain` pops past the frontier — only for the final flush once
+    // every shard has hung up.
+    let release = |merger: &mut WatermarkMerger<AlarmEvent>,
+                   drain: bool,
                    released: &mut Vec<AlarmEvent>,
                    warnings: &mut u64,
                    alarms: &mut u64,
                    on_alarm: &mut dyn FnMut(&AlarmEvent)| {
-        while heap.peek().is_some_and(|p| p.event.time_secs <= limit) {
-            let event = heap.pop().expect("peeked").event;
+        while let Some(event) = if drain {
+            merger.pop_any()
+        } else {
+            merger.pop_ready()
+        } {
             match event.level {
                 AlertLevel::Warning => *warnings += 1,
                 AlertLevel::Alarm => *alarms += 1,
@@ -827,7 +796,6 @@ fn merge_loop(
     };
 
     let build_snapshot = |sequence: u64,
-                          watermarks: &[f64],
                           latest_tel: &[Option<Box<ShardTelemetry>>],
                           heap_len: usize,
                           warnings: u64,
@@ -848,7 +816,6 @@ fn merge_loop(
             errors += tel.detector_errors;
             t = t.max(tel.stream_time_secs);
         }
-        let _ = watermarks;
         StatusSnapshot {
             sequence,
             stream_time_secs: t,
@@ -866,13 +833,19 @@ fn merge_loop(
 
     for msg in rx {
         match msg {
-            ShardMsg::Event { seq, event } => heap.push(PendingEvent { seq, event }),
+            ShardMsg::Event { seq, event } => merger.push(
+                MergeKey {
+                    time_secs: event.time_secs,
+                    lane: event.machine_index as u64,
+                    seq,
+                },
+                event,
+            ),
             ShardMsg::Watermark { shard, time_secs } => {
-                watermarks[shard] = time_secs;
-                let min = watermarks.iter().copied().fold(f64::INFINITY, f64::min);
+                merger.advance(shard, time_secs);
                 release(
-                    &mut heap,
-                    min,
+                    &mut merger,
+                    false,
                     &mut released,
                     &mut warnings,
                     &mut alarms,
@@ -882,14 +855,7 @@ fn merge_loop(
             ShardMsg::Telemetry { shard, telemetry } => {
                 latest_tel[shard] = Some(telemetry);
                 sequence += 1;
-                let snap = build_snapshot(
-                    sequence,
-                    &watermarks,
-                    &latest_tel,
-                    heap.len(),
-                    warnings,
-                    alarms,
-                );
+                let snap = build_snapshot(sequence, &latest_tel, merger.len(), warnings, alarms);
                 on_status(&snap);
             }
             ShardMsg::Done {
@@ -897,13 +863,12 @@ fn merge_loop(
                 telemetry,
                 outcomes: shard_outcomes,
             } => {
-                watermarks[shard] = f64::INFINITY;
+                merger.finish(shard);
                 latest_tel[shard] = Some(telemetry);
                 outcomes.extend(shard_outcomes);
-                let min = watermarks.iter().copied().fold(f64::INFINITY, f64::min);
                 release(
-                    &mut heap,
-                    min,
+                    &mut merger,
+                    false,
                     &mut released,
                     &mut warnings,
                     &mut alarms,
@@ -915,22 +880,15 @@ fn merge_loop(
 
     // Every shard has hung up: flush anything still pending.
     release(
-        &mut heap,
-        f64::INFINITY,
+        &mut merger,
+        true,
         &mut released,
         &mut warnings,
         &mut alarms,
         on_alarm,
     );
     sequence += 1;
-    let status = build_snapshot(
-        sequence,
-        &watermarks,
-        &latest_tel,
-        heap.len(),
-        warnings,
-        alarms,
-    );
+    let status = build_snapshot(sequence, &latest_tel, merger.len(), warnings, alarms);
     on_status(&status);
     FleetReport {
         events: released,
