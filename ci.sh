@@ -29,9 +29,10 @@ AGING_THREADS=4 cargo test --workspace --quiet
 echo "==> chaos differential suite (two fixed seeds)"
 cargo test -p aging-chaos --test differential --quiet
 
-# The networked path: alarms ingested over loopback TCP must be
-# byte-identical to the offline supervisor at two fixed seeds, at both
-# thread settings (crates/serve/tests/loopback_differential.rs).
+# The networked path: alarms ingested over loopback TCP — in both wire
+# modes, v1 record-at-a-time batches and protocol-v2 columnar frames —
+# must be byte-identical to the offline supervisor at two fixed seeds,
+# at both thread settings (crates/serve/tests/loopback_differential.rs).
 echo "==> serve loopback differential (AGING_THREADS=1)"
 AGING_THREADS=1 cargo test -p aging-serve --test loopback_differential --quiet
 

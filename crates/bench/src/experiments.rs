@@ -1149,7 +1149,7 @@ pub fn e13(quick: bool, out: Option<&Path>) -> Result<()> {
 /// throughput, ack round-trip latency and alarm send-to-visibility
 /// latency.
 pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
-    use aging_serve::loadgen::{drive, LoadgenConfig};
+    use aging_serve::loadgen::{drive, BatchMode, LoadgenConfig};
     use aging_serve::protocol::{encode_events, ServeEvent};
     use aging_serve::{ServeConfig, Server};
     use aging_stream::detector::DetectorSpec;
@@ -1163,10 +1163,14 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
          record acked; throughput and ingest-to-alarm latency are reported",
     );
 
+    // The horizon must be long enough that the loadgen wall is dominated
+    // by actual ingest rather than connection setup and the final poller
+    // drain: at 8 h the whole columnar run fits inside a couple of poll
+    // intervals and "throughput" mostly measures fixed overhead.
     let (leaky, horizon, seeds): (usize, f64, &[u64]) = if quick {
-        (3, 8.0 * HOUR, &[0x00c0_ffee, 42])
+        (3, 24.0 * HOUR, &[0x00c0_ffee, 42])
     } else {
-        (9, 12.0 * HOUR, &[42, 7, 1234])
+        (9, 24.0 * HOUR, &[42, 7, 1234])
     };
 
     let mut cfg = FleetConfig::new(
@@ -1183,12 +1187,13 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
     );
     cfg.gate.nominal_period_secs = 5.0;
 
-    let loadgen = LoadgenConfig {
+    let loadgen_for = |mode: BatchMode| LoadgenConfig {
         connections: 4,
         batch_records: 64,
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 20,
         counters: vec![Counter::AvailableBytes],
+        mode,
     };
 
     // The shared telemetry histogram buckets are tuned for µs-scale
@@ -1199,6 +1204,7 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
         |h: &aging_stream::telemetry::LatencyHistogram| format!("{:.2}", h.mean_us() / 1000.0);
     let mut table = Table::new(vec![
         "seed",
+        "mode",
         "machines",
         "records",
         "rec/s",
@@ -1211,7 +1217,9 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
     ]);
     let mut pooled_ack = aging_stream::telemetry::LatencyHistogram::default();
     let mut pooled_vis = aging_stream::telemetry::LatencyHistogram::default();
-    let (mut total_records, mut total_secs) = (0u64, 0.0f64);
+    // (records, wall seconds) per wire mode, Record then Columnar.
+    let modes = [BatchMode::Record, BatchMode::Columnar];
+    let mut totals = [(0u64, 0.0f64); 2];
     for &seed in seeds {
         // Leaky machines plus one healthy control, same recipe as E13.
         let mut fleet: Vec<aging_memsim::Scenario> = (0..leaky)
@@ -1231,74 +1239,92 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
             })
             .collect();
 
-        let mut serve_cfg = ServeConfig::from_fleet(&cfg);
-        // Pin the release order: hold alarms until the whole fleet has
-        // checked in, so concurrent feeders cannot permute the history.
-        serve_cfg.expected_machines = Some(fleet.len() as u64);
-        let server = Server::bind("127.0.0.1:0", serve_cfg)?;
-        let report = drive(server.local_addr(), &fleet, cfg.horizon_secs, &loadgen)?;
-        let outcome = server.shutdown();
+        for (mode_idx, &mode) in modes.iter().enumerate() {
+            let mut serve_cfg = ServeConfig::from_fleet(&cfg);
+            // Pin the release order: hold alarms until the whole fleet has
+            // checked in, so concurrent feeders cannot permute the history.
+            serve_cfg.expected_machines = Some(fleet.len() as u64);
+            let server = Server::bind("127.0.0.1:0", serve_cfg)?;
+            let report = drive(
+                server.local_addr(),
+                &fleet,
+                cfg.horizon_secs,
+                &loadgen_for(mode),
+            )?;
+            let outcome = server.shutdown();
 
-        if outcome.wire.session_panics != 0 || outcome.wire.quarantined != 0 {
-            return Err(aging_timeseries::Error::invalid(
-                "e14",
-                format!(
-                    "seed {seed:#x}: server misbehaved (panics {}, quarantined {})",
-                    outcome.wire.session_panics, outcome.wire.quarantined
-                ),
-            ));
-        }
-        if report.records_sent != report.records_accepted {
-            return Err(aging_timeseries::Error::invalid(
-                "e14",
-                format!(
-                    "seed {seed:#x}: {} of {} records not acked as accepted",
-                    report.records_sent - report.records_accepted,
-                    report.records_sent
-                ),
-            ));
-        }
-        pooled_ack.merge(&report.ack_rtt);
-        pooled_vis.merge(&report.alarm_visibility);
-        total_records += report.records_sent;
-        total_secs += report.wall_secs;
-        let parity = encode_events(&offline) == encode_events(&outcome.events)
-            && encode_events(&report.alarms) == encode_events(&outcome.events);
-        table.row(vec![
-            format!("{seed:#x}"),
-            format!("{}", fleet.len()),
-            format!("{}", report.records_sent),
-            format!("{:.0}", report.records_per_sec()),
-            mean_ms(&report.ack_rtt),
-            ms(report.ack_rtt.quantile_upper_bound_us(0.99)),
-            mean_ms(&report.alarm_visibility),
-            ms(report.alarm_visibility.quantile_upper_bound_us(0.99)),
-            format!("{}", outcome.events.len()),
-            if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
-        ]);
-        if !parity {
-            println!("{table}");
-            return Err(aging_timeseries::Error::invalid(
-                "e14",
-                format!(
-                    "seed {seed:#x}: TCP-path alarm history diverged from the offline \
-                     supervisor ({} offline vs {} online events)",
-                    offline.len(),
-                    outcome.events.len()
-                ),
-            ));
+            if outcome.wire.session_panics != 0 || outcome.wire.quarantined != 0 {
+                return Err(aging_timeseries::Error::invalid(
+                    "e14",
+                    format!(
+                        "seed {seed:#x} ({mode:?}): server misbehaved (panics {}, quarantined {})",
+                        outcome.wire.session_panics, outcome.wire.quarantined
+                    ),
+                ));
+            }
+            if report.records_sent != report.records_accepted {
+                return Err(aging_timeseries::Error::invalid(
+                    "e14",
+                    format!(
+                        "seed {seed:#x} ({mode:?}): {} of {} records not acked as accepted",
+                        report.records_sent - report.records_accepted,
+                        report.records_sent
+                    ),
+                ));
+            }
+            if mode == BatchMode::Record {
+                // Pool latency over record mode only, so the trajectory
+                // metrics stay comparable commit-over-commit.
+                pooled_ack.merge(&report.ack_rtt);
+                pooled_vis.merge(&report.alarm_visibility);
+            }
+            totals[mode_idx].0 += report.records_sent;
+            totals[mode_idx].1 += report.wall_secs;
+            let parity = encode_events(&offline) == encode_events(&outcome.events)
+                && encode_events(&report.alarms) == encode_events(&outcome.events);
+            table.row(vec![
+                format!("{seed:#x}"),
+                format!("{mode:?}").to_lowercase(),
+                format!("{}", fleet.len()),
+                format!("{}", report.records_sent),
+                format!("{:.0}", report.records_per_sec()),
+                mean_ms(&report.ack_rtt),
+                ms(report.ack_rtt.quantile_upper_bound_us(0.99)),
+                mean_ms(&report.alarm_visibility),
+                ms(report.alarm_visibility.quantile_upper_bound_us(0.99)),
+                format!("{}", outcome.events.len()),
+                if parity { "IDENTICAL" } else { "DIVERGED" }.to_string(),
+            ]);
+            if !parity {
+                println!("{table}");
+                return Err(aging_timeseries::Error::invalid(
+                    "e14",
+                    format!(
+                        "seed {seed:#x} ({mode:?}): TCP-path alarm history diverged from the \
+                         offline supervisor ({} offline vs {} online events)",
+                        offline.len(),
+                        outcome.events.len()
+                    ),
+                ));
+            }
         }
     }
     println!("{table}");
+    let record_rps = totals[0].0 as f64 / totals[0].1.max(1e-9);
+    let columnar_rps = totals[1].0 as f64 / totals[1].1.max(1e-9);
     println!(
-        "parity gate held at all {} seed(s): the networked path is alarm-for-alarm \
-         identical to the offline supervisor",
+        "parity gate held at all {} seed(s) in both wire modes: the networked path is \
+         alarm-for-alarm identical to the offline supervisor",
         seeds.len()
     );
-    trajectory::record(
-        "records_per_sec",
-        total_records as f64 / total_secs.max(1e-9),
+    println!(
+        "columnar ingest: {columnar_rps:.0} rec/s vs {record_rps:.0} rec/s record-at-a-time \
+         ({:.1}x)",
+        columnar_rps / record_rps.max(1e-9)
     );
+    trajectory::record("records_per_sec", record_rps);
+    trajectory::record("columnar_records_per_sec", columnar_rps);
+    trajectory::record("columnar_speedup", columnar_rps / record_rps.max(1e-9));
     trajectory::record("ack_mean_ms", pooled_ack.mean_us() / 1000.0);
     trajectory::record("vis_mean_ms", pooled_vis.mean_us() / 1000.0);
     if let Some(us) = pooled_ack.quantile_upper_bound_us(0.99) {
@@ -1318,7 +1344,7 @@ pub fn e14(quick: bool, out: Option<&Path>) -> Result<()> {
 /// its snapshot + journal — with the recovered alarm history held
 /// byte-identical to both the in-memory run and the persisted one.
 pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
-    use aging_serve::loadgen::{drive, LoadgenConfig};
+    use aging_serve::loadgen::{drive, BatchMode, LoadgenConfig};
     use aging_serve::protocol::encode_events;
     use aging_serve::{ServeConfig, Server};
     use aging_store::StoreConfig;
@@ -1360,6 +1386,7 @@ pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 20,
         counters: vec![Counter::AvailableBytes],
+        mode: BatchMode::Record,
     };
 
     let store_dir = std::env::temp_dir().join(format!("aging-e15-{}", std::process::id()));
@@ -1511,7 +1538,7 @@ pub fn e15(quick: bool, out: Option<&Path>) -> Result<()> {
 /// would just time-slice one core).
 pub fn e16(quick: bool, out: Option<&Path>) -> Result<()> {
     use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
-    use aging_serve::loadgen::LoadgenConfig;
+    use aging_serve::loadgen::{BatchMode, LoadgenConfig};
     use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
     use aging_serve::{ServeClient, ServeConfig};
     use aging_stream::detector::DetectorSpec;
@@ -1558,6 +1585,7 @@ pub fn e16(quick: bool, out: Option<&Path>) -> Result<()> {
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 0,
         counters: vec![Counter::AvailableBytes],
+        mode: BatchMode::Record,
     };
 
     let shard_counts = [1u64, 2, 4];

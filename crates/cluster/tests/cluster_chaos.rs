@@ -17,7 +17,7 @@ use aging_chaos::wire::{WireChaos, WireFault, WirePlan, WriteOp};
 use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
 use aging_core::baseline::TrendPredictorConfig;
 use aging_memsim::{Counter, Scenario};
-use aging_serve::loadgen::LoadgenConfig;
+use aging_serve::loadgen::{BatchMode, LoadgenConfig};
 use aging_serve::protocol::{
     counter_code, encode_events, encode_frame, Frame, Record, ServeEvent, PROTOCOL_VERSION,
 };
@@ -168,6 +168,7 @@ fn run_case(name: &str, plan: WirePlan, expect: &Expect) {
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 0,
         counters: vec![Counter::AvailableBytes],
+        mode: BatchMode::Record,
     };
 
     let victim_addr = cluster.addr(victim as usize);

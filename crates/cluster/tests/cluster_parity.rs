@@ -15,7 +15,7 @@ use std::path::PathBuf;
 use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
 use aging_core::baseline::TrendPredictorConfig;
 use aging_memsim::{Counter, Scenario};
-use aging_serve::loadgen::{drive_with_ids, LoadgenConfig};
+use aging_serve::loadgen::{drive_with_ids, BatchMode, LoadgenConfig};
 use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
 use aging_serve::{ServeClient, ServeConfig};
 use aging_store::StoreConfig;
@@ -74,18 +74,28 @@ fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
 }
 
 fn loadgen_config() -> LoadgenConfig {
+    loadgen_config_mode(BatchMode::Record)
+}
+
+fn loadgen_config_mode(mode: BatchMode) -> LoadgenConfig {
     LoadgenConfig {
         connections: 2,
         batch_records: 32,
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 0,
         counters: vec![Counter::AvailableBytes],
+        mode,
     }
 }
 
 /// Drives the fleet through a `shards`-node cluster and returns the
 /// aggregator's merged history.
-fn cluster_events(cfg: &FleetConfig, fleet: &[Scenario], shards: u64) -> Vec<ServeEvent> {
+fn cluster_events(
+    cfg: &FleetConfig,
+    fleet: &[Scenario],
+    shards: u64,
+    mode: BatchMode,
+) -> Vec<ServeEvent> {
     let ring = HashRing::new(shards, RING_VNODES, RING_SEED).expect("ring");
     let ids: Vec<u64> = (0..fleet.len() as u64).collect();
     let template = ServeConfig::from_fleet(cfg);
@@ -100,7 +110,7 @@ fn cluster_events(cfg: &FleetConfig, fleet: &[Scenario], shards: u64) -> Vec<Ser
             fleet,
             &ids,
             cfg.horizon_secs,
-            &loadgen_config(),
+            &loadgen_config_mode(mode),
         );
         (drive, agg.join().expect("aggregator thread"))
     });
@@ -158,7 +168,7 @@ fn merged_cluster_history_is_byte_identical_to_offline_supervisor() {
             "seed {seed:#x}: expected alarms from leaky machines"
         );
         for shards in [1u64, 2, 4] {
-            let merged = cluster_events(&cfg, &fleet, shards);
+            let merged = cluster_events(&cfg, &fleet, shards, BatchMode::Record);
             assert_eq!(
                 encode_events(&offline),
                 encode_events(&merged),
@@ -169,6 +179,24 @@ fn merged_cluster_history_is_byte_identical_to_offline_supervisor() {
             );
         }
     }
+}
+
+#[test]
+fn merged_cluster_history_columnar_mode_matches_offline_supervisor() {
+    let seed = 0x00c0_ffee_u64;
+    let cfg = fleet_config();
+    let fleet = scenarios(seed);
+    let offline = offline_events(&cfg, &fleet);
+    assert!(!offline.is_empty(), "expected alarms from leaky machines");
+    let merged = cluster_events(&cfg, &fleet, 2, BatchMode::Columnar);
+    assert_eq!(
+        encode_events(&offline),
+        encode_events(&merged),
+        "columnar-mode merged cluster history diverged from the offline supervisor \
+         (offline {} events, merged {})",
+        offline.len(),
+        merged.len()
+    );
 }
 
 // ---------------------------------------------------------------------------

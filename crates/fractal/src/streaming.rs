@@ -120,6 +120,27 @@ impl StreamingHolder {
         holder::increment_exponent(&self.scratch, self.max_lag, self.max_h).map(Some)
     }
 
+    /// Feeds a column of samples, appending one exponent per emitting
+    /// sample to `out` (cleared first). Results are bit-identical to
+    /// calling [`StreamingHolder::push`] per element and collecting the
+    /// `Some` values — the slice form exists so column ingestion crosses
+    /// the estimator boundary once per batch instead of once per sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] at the first NaN/infinite input;
+    /// samples before the offending one remain pushed and their exponents
+    /// remain in `out`.
+    pub fn push_slice(&mut self, values: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        out.clear();
+        for &value in values {
+            if let Some(h) = self.push(value)? {
+                out.push(h);
+            }
+        }
+        Ok(())
+    }
+
     /// Clears the sample window (e.g. after a reboot).
     pub fn reset(&mut self) {
         self.ring.clear();
@@ -270,6 +291,26 @@ impl StreamingDimension {
             dimension,
             mean,
         }))
+    }
+
+    /// Feeds a column of samples, appending one [`DimensionPoint`] per
+    /// emitting sample to `out` (cleared first). Results are bit-identical
+    /// to calling [`StreamingDimension::push`] per element and collecting
+    /// the `Some` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] at the first NaN/infinite input and
+    /// propagates estimator failures; samples before the offending one
+    /// remain pushed and their points remain in `out`.
+    pub fn push_slice(&mut self, values: &[f64], out: &mut Vec<DimensionPoint>) -> Result<()> {
+        out.clear();
+        for &value in values {
+            if let Some(point) = self.push(value)? {
+                out.push(point);
+            }
+        }
+        Ok(())
     }
 
     /// Clears the window and the emission phase (e.g. after a reboot).

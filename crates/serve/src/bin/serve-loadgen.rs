@@ -5,6 +5,7 @@
 //! serve-loadgen [--addr HOST:PORT] [--machines N] [--leak MIB_PER_HOUR]
 //!               [--horizon SECS] [--connections N] [--batch N]
 //!               [--rate RECORDS_PER_SEC] [--poll-ms MS] [--seed S]
+//!               [--mode record|columnar]
 //! ```
 //!
 //! Without `--addr` the tool self-serves: it binds an in-process server
@@ -14,7 +15,7 @@
 use std::process::ExitCode;
 
 use aging_memsim::Scenario;
-use aging_serve::loadgen::{drive, LoadgenConfig};
+use aging_serve::loadgen::{drive, BatchMode, LoadgenConfig};
 use aging_serve::{ServeConfig, Server};
 use aging_stream::telemetry::LatencyHistogram;
 
@@ -28,6 +29,7 @@ struct Args {
     rate: f64,
     poll_ms: u64,
     seed: u64,
+    mode: BatchMode,
 }
 
 impl Args {
@@ -42,6 +44,7 @@ impl Args {
             rate: 0.0,
             poll_ms: 50,
             seed: 1,
+            mode: BatchMode::Record,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -56,6 +59,15 @@ impl Args {
                 "--rate" => args.rate = parse(&value("--rate")?)?,
                 "--poll-ms" => args.poll_ms = parse(&value("--poll-ms")?)?,
                 "--seed" => args.seed = parse(&value("--seed")?)?,
+                "--mode" => {
+                    args.mode = match value("--mode")?.as_str() {
+                        "record" => BatchMode::Record,
+                        "columnar" => BatchMode::Columnar,
+                        other => {
+                            return Err(format!("--mode must be record|columnar, got {other}"))
+                        }
+                    }
+                }
                 "--help" | "-h" => return Err("help".into()),
                 other => return Err(format!("unknown flag: {other}")),
             }
@@ -84,7 +96,8 @@ fn main() -> ExitCode {
             eprintln!("serve-loadgen: {msg}");
             eprintln!(
                 "usage: serve-loadgen [--addr HOST:PORT] [--machines N] [--leak MIB/H] \
-                 [--horizon SECS] [--connections N] [--batch N] [--rate R] [--poll-ms MS] [--seed S]"
+                 [--horizon SECS] [--connections N] [--batch N] [--rate R] [--poll-ms MS] \
+                 [--seed S] [--mode record|columnar]"
             );
             return ExitCode::FAILURE;
         }
@@ -99,6 +112,7 @@ fn main() -> ExitCode {
         rate_records_per_sec: args.rate,
         poll_alarms_ms: args.poll_ms,
         counters: vec![aging_memsim::Counter::AvailableBytes],
+        mode: args.mode,
     };
 
     // Self-serve when no address was given.

@@ -12,11 +12,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+use aging_memsim::Counter;
+use aging_stream::sink::IngestSink;
 use aging_stream::telemetry::{LatencyHistogram, MachineSnapshot};
 use aging_timeseries::{Error, Result};
 
 use crate::codec::FrameDecoder;
-use crate::protocol::{encode_frame, Frame, Record, ServeEvent, PROTOCOL_VERSION};
+use crate::protocol::{
+    columnar_spans, counter_code, encode_batch_frame_into, encode_columnar_frame_into,
+    encode_frame_into, Frame, Record, ServeEvent, COLUMN_HEADER_BYTES, COLUMN_RECORD_BYTES,
+    PROTOCOL_VERSION, PROTOCOL_VERSION_V2, RECORD_BYTES,
+};
 use crate::server::ServeStatus;
 
 /// How long [`ServeClient`] waits for any single reply frame before
@@ -50,21 +56,40 @@ pub struct ServeClient {
     window: u16,
     /// Frame size limit granted by the server's `HelloAck`.
     max_frame: u32,
+    /// Protocol version negotiated in the handshake.
+    version: u8,
     inflight: VecDeque<(u64, Instant)>,
     next_seq: u64,
     ack_rtt: LatencyHistogram,
     records_accepted: u64,
     busy_frames: u64,
+    /// Reused wire-encoding buffer — batch sends allocate nothing.
+    enc: Vec<u8>,
+    /// Reused span-split scratch for [`ServeClient::send_column`].
+    spans: Vec<(usize, usize)>,
 }
 
 impl ServeClient {
-    /// Connects and completes the `Hello`/`HelloAck` handshake.
+    /// Connects and completes the `Hello`/`HelloAck` handshake, offering
+    /// [`PROTOCOL_VERSION_V2`] (the server negotiates down to v1 if that
+    /// is all it speaks — check [`ServeClient::version`]).
     ///
     /// # Errors
     ///
     /// [`Error::Io`] on socket failure, a rejected protocol version, or
     /// an unexpected handshake reply.
     pub fn connect(addr: SocketAddr, name: &str) -> Result<ServeClient> {
+        ServeClient::connect_with_version(addr, name, PROTOCOL_VERSION_V2)
+    }
+
+    /// Connects offering a specific protocol version — how a v1-only
+    /// client presents itself (and how back-compat tests pin the
+    /// negotiated session down).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::connect`].
+    pub fn connect_with_version(addr: SocketAddr, name: &str, version: u8) -> Result<ServeClient> {
         let stream = TcpStream::connect(addr).map_err(io_err)?;
         stream.set_nodelay(true).map_err(io_err)?;
         stream
@@ -75,22 +100,28 @@ impl ServeClient {
             dec: FrameDecoder::new(u32::MAX),
             window: 1,
             max_frame: u32::MAX,
+            version: PROTOCOL_VERSION,
             inflight: VecDeque::new(),
             next_seq: 0,
             ack_rtt: LatencyHistogram::default(),
             records_accepted: 0,
             busy_frames: 0,
+            enc: Vec::new(),
+            spans: Vec::new(),
         };
         client.send(&Frame::Hello {
-            version: PROTOCOL_VERSION,
+            version,
             name: name.to_string(),
         })?;
         match client.recv_reply()? {
             Frame::HelloAck {
-                version: _,
+                version: negotiated,
                 window,
                 max_frame,
             } => {
+                // Never speak above what we offered, whatever the server
+                // claims.
+                client.version = negotiated.min(version);
                 client.window = window.max(1);
                 client.max_frame = max_frame;
                 Ok(client)
@@ -100,6 +131,12 @@ impl ServeClient {
             ))),
             other => Err(Error::Io(format!("unexpected handshake reply: {other:?}"))),
         }
+    }
+
+    /// The protocol version negotiated in the handshake; columnar sends
+    /// require [`PROTOCOL_VERSION_V2`].
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Ack round-trip latency observed so far (one sample per batch).
@@ -130,6 +167,13 @@ impl ServeClient {
     /// Sends one batch, blocking for an ack first if the credit window
     /// is exhausted.
     ///
+    /// **Deprecated in favor of the unified ingestion surface** — new
+    /// code should feed through [`IngestSink`] (`ingest_record` /
+    /// `ingest_column`) or [`ServeClient::send_column`], which pick the
+    /// best wire framing for the negotiated protocol version. This
+    /// method stays (not removed) as the protocol-v1 record-framing
+    /// primitive those paths fall back to.
+    ///
     /// # Errors
     ///
     /// [`Error::Io`] on socket failure or a server `Error` frame.
@@ -139,14 +183,118 @@ impl ServeClient {
         }
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.send(&Frame::Batch {
-            seq,
-            records: records.to_vec(),
-        })?;
+        // Encode straight from the slice into the reused buffer: no
+        // owned `Frame`, no `records.to_vec()`.
+        let mut enc = std::mem::take(&mut self.enc);
+        encode_batch_frame_into(seq, records, &mut enc);
+        let sent = self.stream.write_all(&enc).map_err(io_err);
+        self.enc = enc;
+        sent?;
         self.inflight.push_back((seq, Instant::now()));
         // Opportunistically drain any acks already on the wire.
         self.drain_ready()?;
         Ok(seq)
+    }
+
+    /// Sends one column — `counter` on `machine_id` with parallel
+    /// `times`/`values` slices — as [`Frame::BatchColumnar`] frames,
+    /// splitting wherever the delta encoding cannot reproduce a
+    /// timestamp bit-exactly ([`columnar_spans`]) and at the negotiated
+    /// frame size. Extra elements beyond the shorter slice are ignored.
+    /// Returns the number of frames sent; credit-window blocking and
+    /// ack/RTT accounting are identical to [`ServeClient::send_batch`].
+    ///
+    /// On a session negotiated below [`PROTOCOL_VERSION_V2`] the column
+    /// falls back to equivalent record batches, so callers never need to
+    /// care what the server speaks.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a server `Error` frame.
+    pub fn send_column(
+        &mut self,
+        machine_id: u64,
+        counter: u8,
+        times: &[f64],
+        values: &[f64],
+    ) -> Result<u64> {
+        let n = times.len().min(values.len());
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.version < PROTOCOL_VERSION_V2 {
+            return self.send_column_as_batches(machine_id, counter, &times[..n], &values[..n]);
+        }
+        let max_span = ((self.max_frame as usize).saturating_sub(COLUMN_HEADER_BYTES)
+            / COLUMN_RECORD_BYTES)
+            .max(1);
+        let mut spans = std::mem::take(&mut self.spans);
+        columnar_spans(&times[..n], max_span, &mut spans);
+        let mut frames = 0u64;
+        for &(start, len) in &spans {
+            while self.inflight.len() >= usize::from(self.window) {
+                if let Err(e) = self.pump_one() {
+                    self.spans = spans;
+                    return Err(e);
+                }
+            }
+            self.next_seq += 1;
+            let seq = self.next_seq;
+            let mut enc = std::mem::take(&mut self.enc);
+            let sent = encode_columnar_frame_into(
+                seq,
+                machine_id,
+                counter,
+                &times[start..start + len],
+                &values[start..start + len],
+                &mut enc,
+            )
+            .map_err(Error::Io)
+            .and_then(|()| self.stream.write_all(&enc).map_err(io_err));
+            self.enc = enc;
+            if let Err(e) = sent {
+                self.spans = spans;
+                return Err(e);
+            }
+            self.inflight.push_back((seq, Instant::now()));
+            frames += 1;
+            if let Err(e) = self.drain_ready() {
+                self.spans = spans;
+                return Err(e);
+            }
+        }
+        self.spans = spans;
+        Ok(frames)
+    }
+
+    /// v1 fallback for [`ServeClient::send_column`]: the same records as
+    /// classic [`Frame::Batch`]es sized to the negotiated frame limit.
+    fn send_column_as_batches(
+        &mut self,
+        machine_id: u64,
+        counter: u8,
+        times: &[f64],
+        values: &[f64],
+    ) -> Result<u64> {
+        let per_batch = ((self.max_frame as usize).saturating_sub(11) / RECORD_BYTES)
+            .clamp(1, usize::from(u16::MAX));
+        let mut records = Vec::with_capacity(per_batch.min(times.len()));
+        let mut frames = 0u64;
+        for chunk_start in (0..times.len()).step_by(per_batch) {
+            let end = (chunk_start + per_batch).min(times.len());
+            records.clear();
+            for k in chunk_start..end {
+                records.push(Record {
+                    machine_id,
+                    counter,
+                    time_secs: times[k],
+                    value: values[k],
+                });
+            }
+            self.send_batch(&records)?;
+            frames += 1;
+        }
+        Ok(frames)
     }
 
     /// Blocks until every outstanding batch has been acked.
@@ -275,7 +423,11 @@ impl ServeClient {
     // -- internals --------------------------------------------------------
 
     fn send(&mut self, frame: &Frame) -> Result<()> {
-        self.stream.write_all(&encode_frame(frame)).map_err(io_err)
+        let mut enc = std::mem::take(&mut self.enc);
+        encode_frame_into(frame, &mut enc);
+        let sent = self.stream.write_all(&enc).map_err(io_err);
+        self.enc = enc;
+        sent
     }
 
     /// Handles one already-decoded incoming frame; `true` when it was an
@@ -364,6 +516,48 @@ impl ServeClient {
                 Err(e) => return Err(io_err(e)),
             }
         }
+    }
+}
+
+/// Wire-side [`IngestSink`]: feeders written against the trait can push
+/// samples through a live socket exactly as they would into an
+/// in-process sink. Records travel as single-record batches (prefer the
+/// column method or explicit [`ServeClient::send_batch`] calls for
+/// throughput); columns use the columnar fast path with automatic v1
+/// fallback. An `Ok` return means the frame was *sent*, not acked —
+/// call [`ServeClient::flush`] for the durability barrier.
+impl IngestSink for ServeClient {
+    type Error = Error;
+
+    fn ingest_record(
+        &mut self,
+        machine_id: u64,
+        counter: Counter,
+        time_secs: f64,
+        value: f64,
+    ) -> Result<()> {
+        self.send_batch(&[Record {
+            machine_id,
+            counter: counter_code(counter),
+            time_secs,
+            value,
+        }])
+        .map(|_seq| ())
+    }
+
+    fn ingest_column(
+        &mut self,
+        machine_id: u64,
+        counter: Counter,
+        times: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        self.send_column(machine_id, counter_code(counter), times, values)
+            .map(|_frames| ())
+    }
+
+    fn machine_done(&mut self, machine_id: u64) -> Result<()> {
+        ServeClient::machine_done(self, machine_id)
     }
 }
 

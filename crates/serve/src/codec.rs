@@ -68,15 +68,28 @@ impl FrameDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Extracts the next complete, CRC-verified frame payload as an
+    /// owned buffer — an allocating convenience over
+    /// [`FrameDecoder::next_payload_ref`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrameDecoder::next_payload_ref`].
+    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, CorruptStream> {
+        Ok(self.next_payload_ref()?.map(<[u8]>::to_vec))
+    }
+
     /// Extracts the next complete, CRC-verified frame payload, or `None`
-    /// when more bytes are needed.
+    /// when more bytes are needed. The returned slice borrows the
+    /// decoder's internal buffer — no per-frame allocation — and stays
+    /// valid until the next `feed`/`next_payload*` call.
     ///
     /// # Errors
     ///
     /// [`CorruptStream`] when framing integrity is lost (zero or
     /// oversized length prefix, CRC mismatch). Once returned, every later
     /// call returns the same error — there is no resynchronisation.
-    pub fn next_payload(&mut self) -> Result<Option<Vec<u8>>, CorruptStream> {
+    pub fn next_payload_ref(&mut self) -> Result<Option<&[u8]>, CorruptStream> {
         if self.corrupt {
             return Err(CorruptStream {
                 reason: "stream already corrupt".into(),
@@ -103,9 +116,9 @@ impl FrameDecoder {
         if avail < need {
             return Ok(None);
         }
-        let payload = head[4..4 + len as usize].to_vec();
+        let payload_range = self.pos + 4..self.pos + 4 + len as usize;
         let crc = u32::from_le_bytes(head[4 + len as usize..need].try_into().expect("4 bytes"));
-        let actual = protocol::crc32(&payload);
+        let actual = protocol::crc32(&self.buf[payload_range.clone()]);
         if crc != actual {
             self.corrupt = true;
             return Err(CorruptStream {
@@ -113,7 +126,7 @@ impl FrameDecoder {
             });
         }
         self.pos += need;
-        Ok(Some(payload))
+        Ok(Some(&self.buf[payload_range]))
     }
 
     /// Number of complete frames currently sitting undecoded in the

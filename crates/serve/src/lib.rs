@@ -80,11 +80,14 @@ pub mod server;
 
 pub use client::{AlarmChunk, ServeClient};
 pub use codec::{CorruptStream, FrameDecoder, TextCommand};
-pub use loadgen::{drive, drive_with_ids, LoadgenConfig, LoadgenReport, ScenarioFeeder};
+pub use loadgen::{drive, drive_with_ids, BatchMode, LoadgenConfig, LoadgenReport, ScenarioFeeder};
 pub use protocol::{
-    decode_events, encode_events, Frame, Record, ServeEvent, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    column_delta_units, columnar_spans, decode_events, encode_events, expand_column_times, Frame,
+    Record, ServeEvent, DEFAULT_MAX_FRAME, PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
 };
-pub use server::{PersistStats, ServeConfig, ServeReport, ServeStatus, Server, WireCounters};
+pub use server::{
+    PersistStats, ServeConfig, ServeConfigBuilder, ServeReport, ServeStatus, Server, WireCounters,
+};
 
 use aging_core::baseline::TrendPredictorConfig;
 use aging_memsim::Counter;

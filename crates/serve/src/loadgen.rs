@@ -30,6 +30,21 @@ use aging_timeseries::{Error, Result};
 use crate::client::ServeClient;
 use crate::protocol::{counter_code, Record, ServeEvent};
 
+/// How the feeders frame records on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Per-record `Batch` frames (protocol v1): each monitor tick is
+    /// simulated and framed inline, so the feed wall clock includes
+    /// scenario stepping — the pre-v2 behaviour.
+    #[default]
+    Record,
+    /// Columnar `BatchColumnar` frames (protocol v2): every machine's
+    /// feed is simulated up front, outside the timed wall, then shipped
+    /// as delta-encoded per-counter columns. The wall clock measures
+    /// the wire-and-ingest path alone.
+    Columnar,
+}
+
 /// Load generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -44,6 +59,8 @@ pub struct LoadgenConfig {
     /// Counters shipped per tick, in detector order. Empty = all
     /// counters. Must cover the server's detector set for parity runs.
     pub counters: Vec<Counter>,
+    /// Wire framing: per-record batches or v2 columnar batches.
+    pub mode: BatchMode,
 }
 
 impl Default for LoadgenConfig {
@@ -54,6 +71,7 @@ impl Default for LoadgenConfig {
             rate_records_per_sec: 0.0,
             poll_alarms_ms: 50,
             counters: Vec::new(),
+            mode: BatchMode::Record,
         }
     }
 }
@@ -290,6 +308,20 @@ pub fn drive_with_ids(
 
     let frontier: FrontierLog = Mutex::new(HashMap::new());
     let feeding_done = AtomicBool::new(false);
+
+    // Columnar mode simulates every feed up front so the timed wall
+    // below measures the wire-and-ingest path, not scenario stepping.
+    let feeds: Option<Vec<MachineFeed>> = match cfg.mode {
+        BatchMode::Record => None,
+        BatchMode::Columnar => Some(
+            scenarios
+                .iter()
+                .zip(machine_ids)
+                .map(|(scenario, &id)| generate_feed(id, scenario, horizon_secs, &counters))
+                .collect::<Result<Vec<_>>>()?,
+        ),
+    };
+    let feeds_ref: Option<&[MachineFeed]> = feeds.as_deref();
     let started = Instant::now();
 
     let (worker_results, poll_result) = std::thread::scope(|scope| {
@@ -297,19 +329,34 @@ pub fn drive_with_ids(
         for machine_indices in &assignments {
             let frontier = &frontier;
             let counters = &counters;
-            handles.push(scope.spawn(move || {
-                feed_worker(
-                    addr,
-                    scenarios,
-                    machine_ids,
-                    machine_indices,
-                    horizon_secs,
-                    counters,
-                    cfg.batch_records,
-                    per_worker_rate,
-                    frontier,
-                )
-            }));
+            let handle = if let Some(feeds) = feeds_ref {
+                scope.spawn(move || {
+                    feed_worker_columnar(
+                        addr,
+                        feeds,
+                        machine_indices,
+                        counters,
+                        cfg.batch_records,
+                        per_worker_rate,
+                        frontier,
+                    )
+                })
+            } else {
+                scope.spawn(move || {
+                    feed_worker(
+                        addr,
+                        scenarios,
+                        machine_ids,
+                        machine_indices,
+                        horizon_secs,
+                        counters,
+                        cfg.batch_records,
+                        per_worker_rate,
+                        frontier,
+                    )
+                })
+            };
+            handles.push(handle);
         }
         let poller = if cfg.poll_alarms_ms > 0 {
             let frontier = &frontier;
@@ -453,6 +500,118 @@ fn feed_worker(
         crash_times: feeders
             .iter()
             .map(|f| (f.machine_id(), f.crash_time_secs()))
+            .collect(),
+    })
+}
+
+/// One machine's fully simulated feed: tick times plus one value column
+/// per configured counter, generated before the timed wall in columnar
+/// mode.
+struct MachineFeed {
+    machine_id: u64,
+    times: Vec<f64>,
+    /// `columns[c][t]` = value of `counters[c]` at tick `t`.
+    columns: Vec<Vec<f64>>,
+    crash_time_secs: Option<f64>,
+}
+
+fn generate_feed(
+    machine_id: u64,
+    scenario: &Scenario,
+    horizon_secs: f64,
+    counters: &[Counter],
+) -> Result<MachineFeed> {
+    let mut feeder = ScenarioFeeder::new(machine_id, scenario, horizon_secs)?;
+    let mut feed = MachineFeed {
+        machine_id,
+        times: Vec::new(),
+        columns: vec![Vec::new(); counters.len()],
+        crash_time_secs: None,
+    };
+    let mut records: Vec<Record> = Vec::with_capacity(counters.len());
+    while feeder.next_tick(counters, &mut records) {
+        let Some(first) = records.first() else {
+            continue;
+        };
+        feed.times.push(first.time_secs);
+        for (column, record) in feed.columns.iter_mut().zip(&records) {
+            column.push(record.value);
+        }
+        records.clear();
+    }
+    feed.crash_time_secs = feeder.crash_time_secs();
+    Ok(feed)
+}
+
+/// Ships pre-generated feeds as v2 columnar frames, chunk-interleaved
+/// across this worker's machines like the record-mode tick interleave.
+fn feed_worker_columnar(
+    addr: SocketAddr,
+    feeds: &[MachineFeed],
+    machine_indices: &[usize],
+    counters: &[Counter],
+    batch_records: usize,
+    rate_records_per_sec: f64,
+    frontier: &FrontierLog,
+) -> Result<WorkerOutcome> {
+    let mut client = ServeClient::connect(addr, "loadgen-feeder")?;
+    let started = Instant::now();
+    let mut records_sent = 0u64;
+    let mut batches = 0u64;
+    // A chunk carries about `batch_records` records across the counter
+    // columns, matching record-mode batch sizing.
+    let ticks_per_chunk = (batch_records / counters.len().max(1)).max(1);
+    let mut cursors = vec![0usize; machine_indices.len()];
+    let mut remaining = machine_indices.len();
+    while remaining > 0 {
+        for (slot, &idx) in machine_indices.iter().enumerate() {
+            let cursor = cursors[slot];
+            let feed = &feeds[idx];
+            if cursor > feed.times.len() {
+                continue; // already done
+            }
+            if cursor == feed.times.len() {
+                client.machine_done(feed.machine_id)?;
+                cursors[slot] = feed.times.len() + 1;
+                remaining -= 1;
+                continue;
+            }
+            let end = (cursor + ticks_per_chunk).min(feed.times.len());
+            let times = &feed.times[cursor..end];
+            for (counter, column) in counters.iter().zip(&feed.columns) {
+                batches += client.send_column(
+                    feed.machine_id,
+                    counter_code(*counter),
+                    times,
+                    &column[cursor..end],
+                )?;
+                records_sent += times.len() as u64;
+            }
+            cursors[slot] = end;
+            let now = Instant::now();
+            let newest = times[times.len() - 1];
+            let mut log = frontier.lock().unwrap_or_else(|p| p.into_inner());
+            let entries = log.entry(feed.machine_id).or_default();
+            if entries.last().is_none_or(|&(t, _)| newest > t) {
+                entries.push((newest, now));
+            }
+            drop(log);
+            throttle(records_sent, rate_records_per_sec, started);
+        }
+    }
+    client.flush()?;
+    let records_accepted = client.records_accepted();
+    let busy_frames = client.busy_frames();
+    let ack_rtt = client.bye()?;
+    Ok(WorkerOutcome {
+        records_sent,
+        records_accepted,
+        batches,
+        ack_rtt,
+        busy_frames,
+        crash_times: machine_indices
+            .iter()
+            .map(|&idx| (feeds[idx].machine_id, feeds[idx].crash_time_secs))
             .collect(),
     })
 }

@@ -26,11 +26,27 @@
 //!
 //! # Version negotiation
 //!
-//! The client opens with [`Frame::Hello`] carrying
-//! [`PROTOCOL_VERSION`]; the server answers [`Frame::HelloAck`] with its
-//! own version, the credit `window` (max unacked batches the client may
-//! have in flight) and `max_frame`. A version mismatch is answered with
-//! [`Frame::Error`] (code [`ERR_VERSION`]) and the connection closes.
+//! The client opens with [`Frame::Hello`] carrying its highest spoken
+//! version; the server answers [`Frame::HelloAck`] whose `version` is the
+//! *negotiated* version — the minimum of the client's and the server's
+//! ([`PROTOCOL_VERSION_V2`]) — plus the credit `window` (max unacked
+//! batches the client may have in flight) and `max_frame`. A client
+//! version below [`PROTOCOL_VERSION`] is answered with [`Frame::Error`]
+//! (code [`ERR_VERSION`]) and the connection closes; a version *above*
+//! the server's is fine (the server negotiates down), so future clients
+//! keep working against old servers.
+//!
+//! Version 2 adds the columnar batch frame [`Frame::BatchColumnar`]: one
+//! machine and counter, delta-encoded timestamps (`u32` ticks of
+//! 2⁻²⁰ s — see [`DT_UNITS_PER_SEC`]) and one contiguous value column,
+//! ~12 B/record against the 25 B of a v1 [`Record`]. A columnar frame on
+//! a session negotiated at v1 is malformed (strike). The delta encoding
+//! is *bit-exact by construction*: [`column_delta_units`] only yields a
+//! delta whose reconstruction (`prev + units/2²⁰`, the decoder's exact
+//! arithmetic) reproduces the next timestamp's bit pattern, and
+//! [`columnar_spans`] splits a column at every record where it cannot
+//! (non-finite, non-monotone, too coarse, or `u32` overflow), so senders
+//! fall back to fresh-`t0` spans rather than ship lossy deltas.
 //!
 //! # Text fallback
 //!
@@ -45,8 +61,18 @@ use aging_memsim::Counter;
 use aging_stream::detector::AlertDetail;
 use aging_stream::supervisor::AlarmKind;
 
-/// Protocol version spoken by this crate.
+/// Baseline protocol version: record batches only.
 pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Protocol version 2: baseline plus the columnar batch frame
+/// ([`Frame::BatchColumnar`]). The highest version this crate speaks;
+/// sessions negotiate `min(client, server)` in the handshake.
+pub const PROTOCOL_VERSION_V2: u8 = 2;
+
+/// Timestamp resolution of a columnar frame: delta units per second.
+/// One unit is 2⁻²⁰ s (~0.95 µs) — an exact binary fraction, so scaling
+/// by it never rounds and reconstruction is deterministic.
+pub const DT_UNITS_PER_SEC: f64 = (1u64 << 20) as f64;
 
 /// Default maximum frame payload size, bytes (64 KiB).
 pub const DEFAULT_MAX_FRAME: u32 = 64 * 1024;
@@ -81,6 +107,14 @@ pub struct Record {
 
 /// Encoded size of one [`Record`] on the wire.
 pub const RECORD_BYTES: usize = 8 + 1 + 8 + 8;
+
+/// Amortised per-record wire cost inside a [`Frame::BatchColumnar`]:
+/// one `u32` timestamp delta plus one `f64` value.
+pub const COLUMN_RECORD_BYTES: usize = 4 + 8;
+
+/// Fixed wire overhead of a [`Frame::BatchColumnar`] payload: tag, seq,
+/// machine id, counter code, `t0` bits and the record count.
+pub const COLUMN_HEADER_BYTES: usize = 1 + 8 + 8 + 1 + 8 + 2;
 
 /// One event in the server's watermark-ordered alarm history.
 ///
@@ -123,6 +157,29 @@ pub enum Frame {
         seq: u64,
         /// The records.
         records: Vec<Record>,
+    },
+    /// A columnar batch (protocol v2): one machine and one counter, `N`
+    /// delta-encoded timestamps and one contiguous value column. Shares
+    /// the seq/ack/credit machinery of [`Frame::Batch`] — an ack for a
+    /// columnar seq means the whole column is in the engine and durable.
+    ///
+    /// Timestamps expand as `t[0] = t0`,
+    /// `t[k] = t[k-1] + dt_units[k-1] / 2²⁰` (see [`expand_column_times`]);
+    /// `values.len()` must be `dt_units.len() + 1` and at least 1.
+    BatchColumnar {
+        /// Client-chosen batch sequence number (echoed in the ack).
+        seq: u64,
+        /// Machine identity shared by every record of the column.
+        machine_id: u64,
+        /// Counter code shared by every record of the column.
+        counter: u8,
+        /// Timestamp of the first record, seconds.
+        t0: f64,
+        /// Timestamp deltas in 2⁻²⁰ s units, one per record after the
+        /// first.
+        dt_units: Vec<u32>,
+        /// The value column, one per record.
+        values: Vec<f64>,
     },
     /// Server acknowledgement of a batch: once received, the batch's
     /// records are in the engine and its alarms survive shutdown drain.
@@ -219,6 +276,7 @@ const TAG_ALARMS_REPLY: u8 = 0x0c;
 const TAG_BYE: u8 = 0x0d;
 const TAG_BYE_ACK: u8 = 0x0e;
 const TAG_ERROR: u8 = 0x0f;
+const TAG_BATCH_COLUMNAR: u8 = 0x10;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected)
@@ -394,6 +452,79 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// Columnar timestamp deltas
+// ---------------------------------------------------------------------------
+
+/// The timestamp delta, in 2⁻²⁰ s units, that makes a columnar frame
+/// reproduce `next` *bit-exactly* after `prev` — or `None` if no such
+/// delta exists and the column must split (fresh `t0`) at `next`.
+///
+/// `None` when either endpoint is non-finite, the step is negative
+/// (non-monotone), the step is not an exact multiple of 2⁻²⁰ s, the
+/// delta overflows `u32`, or rounding in `prev + dt` fails to land on
+/// `next`'s exact bit pattern (large magnitudes where one ulp exceeds
+/// the unit). The check *is* the decoder's arithmetic, so a `Some`
+/// delta can never decode to anything but `next`.
+pub fn column_delta_units(prev: f64, next: f64) -> Option<u32> {
+    if !prev.is_finite() || !next.is_finite() {
+        return None;
+    }
+    let units = (next - prev) * DT_UNITS_PER_SEC;
+    if !(units >= 0.0) || units > f64::from(u32::MAX) || units.fract() != 0.0 {
+        return None;
+    }
+    let units = units as u32;
+    (expand_column_step(prev, units).to_bits() == next.to_bits()).then_some(units)
+}
+
+/// One step of columnar timestamp reconstruction — the *only* arithmetic
+/// either side uses, so encoder verification and decoder expansion can
+/// never diverge.
+#[inline]
+pub fn expand_column_step(prev: f64, dt_units: u32) -> f64 {
+    prev + f64::from(dt_units) / DT_UNITS_PER_SEC
+}
+
+/// Expands a columnar frame's timestamp column into `out` (cleared
+/// first): `t0`, then one [`expand_column_step`] per delta.
+pub fn expand_column_times(t0: f64, dt_units: &[u32], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(dt_units.len() + 1);
+    let mut t = t0;
+    out.push(t);
+    for &dt in dt_units {
+        t = expand_column_step(t, dt);
+        out.push(t);
+    }
+}
+
+/// Splits a timestamp column into maximal `(start, len)` spans, each
+/// encodable as one [`Frame::BatchColumnar`] with bit-exact timestamp
+/// reconstruction. Appends to `out` (cleared first); spans cover
+/// `times` exactly, in order.
+///
+/// A span grows while [`column_delta_units`] accepts the next step and
+/// the span is shorter than `max_span` (callers derive `max_span` from
+/// the negotiated `max_frame`; it is clamped to `u16::MAX`, the frame's
+/// count field). Every record is coverable — a degenerate span of one
+/// record carries any `f64` timestamp bit pattern, even NaN — so this
+/// never fails; pathological columns just split often.
+pub fn columnar_spans(times: &[f64], max_span: usize, out: &mut Vec<(usize, usize)>) {
+    out.clear();
+    let max_span = max_span.clamp(1, usize::from(u16::MAX));
+    let mut start = 0usize;
+    for i in 1..times.len() {
+        if i - start >= max_span || column_delta_units(times[i - 1], times[i]).is_none() {
+            out.push((start, i - start));
+            start = i;
+        }
+    }
+    if start < times.len() {
+        out.push((start, times.len() - start));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Event codec
 // ---------------------------------------------------------------------------
 
@@ -541,11 +672,24 @@ impl Frame {
     /// [`encode_frame`] for the full on-wire form).
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
+        self.put_payload(&mut out);
+        out
+    }
+
+    /// Serialises the frame payload into a reused buffer (cleared
+    /// first) — the allocation-free form of [`Frame::encode_payload`].
+    pub fn encode_payload_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        self.put_payload(out);
+    }
+
+    /// Appends the payload bytes to `out` without clearing.
+    fn put_payload(&self, out: &mut Vec<u8>) {
         match self {
             Frame::Hello { version, name } => {
                 out.push(TAG_HELLO);
                 out.push(*version);
-                put_string(&mut out, name);
+                put_string(out, name);
             }
             Frame::HelloAck {
                 version,
@@ -567,6 +711,32 @@ impl Frame {
                     out.push(rec.counter);
                     out.extend_from_slice(&rec.time_secs.to_bits().to_le_bytes());
                     out.extend_from_slice(&rec.value.to_bits().to_le_bytes());
+                }
+            }
+            Frame::BatchColumnar {
+                seq,
+                machine_id,
+                counter,
+                t0,
+                dt_units,
+                values,
+            } => {
+                debug_assert!(
+                    values.is_empty() || values.len() == dt_units.len() + 1,
+                    "ragged column"
+                );
+                out.push(TAG_BATCH_COLUMNAR);
+                out.extend_from_slice(&seq.to_le_bytes());
+                out.extend_from_slice(&machine_id.to_le_bytes());
+                out.push(*counter);
+                out.extend_from_slice(&t0.to_bits().to_le_bytes());
+                let n = values.len().min(usize::from(u16::MAX));
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                for dt in &dt_units[..n.saturating_sub(1)] {
+                    out.extend_from_slice(&dt.to_le_bytes());
+                }
+                for v in &values[..n] {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
                 }
             }
             Frame::Ack { seq, accepted } => {
@@ -622,7 +792,7 @@ impl Frame {
                 let n = events.len().min(usize::from(u16::MAX));
                 out.extend_from_slice(&(n as u16).to_le_bytes());
                 for event in &events[..n] {
-                    encode_event(event, &mut out);
+                    encode_event(event, out);
                 }
             }
             Frame::Bye => out.push(TAG_BYE),
@@ -630,10 +800,9 @@ impl Frame {
             Frame::Error { code, message } => {
                 out.push(TAG_ERROR);
                 out.push(*code);
-                put_string(&mut out, message);
+                put_string(out, message);
             }
         }
-        out
     }
 
     /// Parses a frame payload (the bytes between length prefix and CRC).
@@ -668,6 +837,32 @@ impl Frame {
                     });
                 }
                 Frame::Batch { seq, records }
+            }
+            TAG_BATCH_COLUMNAR => {
+                let seq = r.u64()?;
+                let machine_id = r.u64()?;
+                let counter = r.u8()?;
+                let t0 = r.f64()?;
+                let n = usize::from(r.u16()?);
+                if n == 0 {
+                    return Err("empty columnar batch".to_string());
+                }
+                let mut dt_units = Vec::with_capacity((n - 1).min(4096));
+                for _ in 1..n {
+                    dt_units.push(r.u32()?);
+                }
+                let mut values = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    values.push(r.f64()?);
+                }
+                Frame::BatchColumnar {
+                    seq,
+                    machine_id,
+                    counter,
+                    t0,
+                    dt_units,
+                    values,
+                }
             }
             TAG_ACK => Frame::Ack {
                 seq: r.u64()?,
@@ -734,12 +929,104 @@ impl Frame {
 /// Serialises a frame into its full on-wire form:
 /// `len | payload | crc32(payload)`.
 pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let payload = frame.encode_payload();
-    let mut out = Vec::with_capacity(payload.len() + 8);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut out);
     out
+}
+
+/// Serialises a frame's full on-wire form into a reused buffer (cleared
+/// first) — the allocation-free form of [`encode_frame`]. The payload is
+/// written in place after a length placeholder, so no intermediate
+/// payload buffer exists even for large batches.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
+    begin_frame(out);
+    frame.put_payload(out);
+    finish_frame(out);
+}
+
+/// Starts an in-place frame: clears `out` and reserves the length
+/// prefix.
+fn begin_frame(out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+}
+
+/// Completes an in-place frame: patches the length prefix and appends
+/// the payload CRC.
+fn finish_frame(out: &mut Vec<u8>) {
+    let len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&len.to_le_bytes());
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encodes a [`Frame::Batch`]'s full on-wire form directly from a record
+/// slice — no owned `Frame` (and no `records.to_vec()`) on the send
+/// path. `out` is cleared first; records beyond the count field's
+/// `u16::MAX` ceiling are dropped, matching [`Frame::encode_payload`].
+pub fn encode_batch_frame_into(seq: u64, records: &[Record], out: &mut Vec<u8>) {
+    begin_frame(out);
+    out.push(TAG_BATCH);
+    out.extend_from_slice(&seq.to_le_bytes());
+    let n = records.len().min(usize::from(u16::MAX));
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for rec in &records[..n] {
+        out.extend_from_slice(&rec.machine_id.to_le_bytes());
+        out.push(rec.counter);
+        out.extend_from_slice(&rec.time_secs.to_bits().to_le_bytes());
+        out.extend_from_slice(&rec.value.to_bits().to_le_bytes());
+    }
+    finish_frame(out);
+}
+
+/// Encodes a [`Frame::BatchColumnar`]'s full on-wire form directly from
+/// parallel time/value slices, computing the deltas on the fly — the
+/// whole column is serialised without a single per-record allocation.
+/// `out` is cleared first. Extra elements beyond the shorter slice are
+/// ignored.
+///
+/// # Errors
+///
+/// When the column is empty, longer than the count field's `u16::MAX`
+/// ceiling, or some timestamp step is not delta-encodable
+/// ([`column_delta_units`] returns `None`) — split such columns with
+/// [`columnar_spans`] first. On error `out`'s contents are unspecified.
+pub fn encode_columnar_frame_into(
+    seq: u64,
+    machine_id: u64,
+    counter: u8,
+    times: &[f64],
+    values: &[f64],
+    out: &mut Vec<u8>,
+) -> Result<(), String> {
+    let n = times.len().min(values.len());
+    if n == 0 {
+        return Err("empty column".to_string());
+    }
+    if n > usize::from(u16::MAX) {
+        return Err(format!("column of {n} records exceeds the u16 count"));
+    }
+    begin_frame(out);
+    out.push(TAG_BATCH_COLUMNAR);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&machine_id.to_le_bytes());
+    out.push(counter);
+    out.extend_from_slice(&times[0].to_bits().to_le_bytes());
+    out.extend_from_slice(&(n as u16).to_le_bytes());
+    for w in times[..n].windows(2) {
+        let dt = column_delta_units(w[0], w[1]).ok_or_else(|| {
+            format!(
+                "timestamp step {:?} -> {:?} is not delta-encodable",
+                w[0], w[1]
+            )
+        })?;
+        out.extend_from_slice(&dt.to_le_bytes());
+    }
+    for v in &values[..n] {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    finish_frame(out);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -790,6 +1077,14 @@ mod tests {
                         value: f64::NAN,
                     },
                 ],
+            },
+            Frame::BatchColumnar {
+                seq: 8,
+                machine_id: 3,
+                counter: 0,
+                t0: 5.0,
+                dt_units: vec![5 << 20, 0, 7 << 20],
+                values: vec![1e6, 9.5e5, f64::NAN, 8.75e5],
             },
             Frame::Ack {
                 seq: 7,
@@ -879,6 +1174,76 @@ mod tests {
         let mut extended = payload.clone();
         extended.push(0);
         assert!(Frame::decode_payload(&extended).is_err());
+    }
+
+    #[test]
+    fn empty_columnar_batch_rejected() {
+        let payload = Frame::BatchColumnar {
+            seq: 1,
+            machine_id: 2,
+            counter: 0,
+            t0: 0.0,
+            dt_units: vec![],
+            values: vec![],
+        }
+        .encode_payload();
+        assert!(Frame::decode_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn column_delta_rules() {
+        // Exact 2⁻²⁰ s multiples round-trip, including dt = 0.
+        assert_eq!(column_delta_units(5.0, 10.0), Some(5 << 20));
+        assert_eq!(column_delta_units(5.0, 5.0), Some(0));
+        // Non-monotone, non-finite and sub-resolution steps split.
+        assert_eq!(column_delta_units(10.0, 5.0), None);
+        assert_eq!(column_delta_units(f64::NAN, 5.0), None);
+        assert_eq!(column_delta_units(5.0, f64::INFINITY), None);
+        assert_eq!(column_delta_units(0.0, 2f64.powi(-21)), None);
+        // u32 overflow: max delta is (2³² − 1) units = 4095.999… s.
+        let max_dt = f64::from(u32::MAX) / DT_UNITS_PER_SEC;
+        assert_eq!(column_delta_units(0.0, max_dt), Some(u32::MAX));
+        assert_eq!(column_delta_units(0.0, 4096.0), None);
+        // At 2⁶⁰ one ulp is 256 s, so `+ 5.0` is absorbed outright: the
+        // pair collapses to dt = 0 and still round-trips bit-exactly.
+        assert_eq!(
+            column_delta_units(2f64.powi(60), 2f64.powi(60) + 5.0),
+            Some(0)
+        );
+        // A real one-ulp step at that magnitude is 256 s = 2²⁸ units.
+        assert_eq!(
+            column_delta_units(2f64.powi(60), 2f64.powi(60) + 256.0),
+            Some(256 << 20)
+        );
+    }
+
+    #[test]
+    fn columnar_spans_cover_and_split() {
+        let times = [0.0, 5.0, 10.0, 9.0, 14.0, f64::NAN, 20.0, 25.0];
+        let mut spans = Vec::new();
+        columnar_spans(&times, 64, &mut spans);
+        assert_eq!(spans, vec![(0, 3), (3, 2), (5, 1), (6, 2)]);
+        assert_eq!(spans.iter().map(|&(_, l)| l).sum::<usize>(), times.len());
+
+        // max_span caps growth.
+        columnar_spans(&[0.0, 5.0, 10.0, 15.0], 2, &mut spans);
+        assert_eq!(spans, vec![(0, 2), (2, 2)]);
+
+        // Every span reconstructs its slice bit-exactly.
+        columnar_spans(&times, 64, &mut spans);
+        let mut expanded = Vec::new();
+        for &(start, len) in &spans {
+            let slice = &times[start..start + len];
+            let dt: Vec<u32> = slice
+                .windows(2)
+                .map(|w| column_delta_units(w[0], w[1]).unwrap())
+                .collect();
+            expand_column_times(slice[0], &dt, &mut expanded);
+            assert_eq!(expanded.len(), len);
+            for (a, b) in expanded.iter().zip(slice) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

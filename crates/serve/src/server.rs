@@ -74,11 +74,15 @@ use aging_stream::telemetry::{LatencyHistogram, MachineSnapshot, Snapshot, Stage
 use aging_timeseries::{persist, Error, Result};
 use serde::{Deserialize, Serialize};
 
+use aging_memsim::Counter;
+use aging_stream::sink::IngestSink;
+
 use crate::codec::{parse_text_line, FrameDecoder, TextCommand};
 use crate::protocol::{
-    counter_from_code, decode_event, decode_events, encode_event, encode_events, encode_frame,
-    Frame, Reader as EventReader, Record, ServeEvent, DEFAULT_MAX_FRAME, ERR_MALFORMED,
-    ERR_QUARANTINED, ERR_STORE, ERR_VERSION, PROTOCOL_VERSION, TEXT_PREAMBLE,
+    counter_code, counter_from_code, decode_event, decode_events, encode_event, encode_events,
+    encode_frame, expand_column_times, Frame, Reader as EventReader, Record, ServeEvent,
+    DEFAULT_MAX_FRAME, ERR_MALFORMED, ERR_QUARANTINED, ERR_STORE, ERR_VERSION, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_V2, TEXT_PREAMBLE,
 };
 
 /// Journal entry kind: a binary [`Frame::Batch`] (replay counts a batch).
@@ -87,6 +91,10 @@ const ENTRY_BATCH: u8 = 1;
 const ENTRY_FINISH: u8 = 2;
 /// Journal entry kind: a text-mode sample (replay counts records only).
 const ENTRY_TEXT: u8 = 3;
+/// Journal entry kind: a columnar batch ([`Frame::BatchColumnar`]),
+/// stored with expanded timestamps so replay applies the exact `f64`
+/// column the live engine saw.
+const ENTRY_COLUMN: u8 = 4;
 /// Version byte leading every engine snapshot blob.
 const SNAPSHOT_VERSION: u8 = 1;
 
@@ -205,6 +213,131 @@ impl ServeConfig {
                 .map_err(|e| Error::invalid("store", e.to_string()))?;
         }
         Ok(())
+    }
+
+    /// Starts a validated builder around the given detectors — the same
+    /// pattern as `DetectorConfig`/`WtmmConfig` in `aging-core`. The
+    /// plain-struct literal (`ServeConfig { .. }`) keeps working; the
+    /// builder's [`build`](ServeConfigBuilder::build) runs
+    /// [`ServeConfig::validate`], so a builder-made config cannot reach
+    /// [`Server::bind`] invalid.
+    pub fn builder(detectors: Vec<CounterDetector>) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::new(detectors),
+        }
+    }
+}
+
+/// Builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+///
+/// ```
+/// use aging_serve::server::ServeConfig;
+/// use aging_stream::supervisor::CounterDetector;
+/// use aging_stream::detector::DetectorSpec;
+/// use aging_core::detector::DetectorConfig;
+/// use aging_memsim::Counter;
+///
+/// let cfg = ServeConfig::builder(vec![CounterDetector {
+///     counter: Counter::AvailableBytes,
+///     spec: DetectorSpec::Holder(DetectorConfig::default()),
+/// }])
+/// .window(16)
+/// .expected_machines(Some(4))
+/// .build()
+/// .unwrap();
+/// assert_eq!(cfg.window, 16);
+/// // Invalid tunings are caught at build time:
+/// assert!(ServeConfig::builder(vec![]).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the per-counter → machine alarm fusion rule.
+    pub fn fusion(mut self, fusion: FusionRule) -> Self {
+        self.cfg.fusion = fusion;
+        self
+    }
+
+    /// Sets the defect gate applied to every stream.
+    pub fn gate(mut self, gate: GateConfig) -> Self {
+        self.cfg.gate = gate;
+        self
+    }
+
+    /// Sets the maximum accepted frame payload, bytes.
+    pub fn max_frame_bytes(mut self, bytes: u32) -> Self {
+        self.cfg.max_frame_bytes = bytes;
+        self
+    }
+
+    /// Sets the credit window (max unacked batches in flight).
+    pub fn window(mut self, window: u16) -> Self {
+        self.cfg.window = window;
+        self
+    }
+
+    /// Sets the consecutive-malformed-frame quarantine threshold.
+    pub fn quarantine_after(mut self, strikes: u32) -> Self {
+        self.cfg.quarantine_after = strikes;
+        self
+    }
+
+    /// Sets the socket read poll interval, ms.
+    pub fn read_poll_ms(mut self, ms: u64) -> Self {
+        self.cfg.read_poll_ms = ms;
+        self
+    }
+
+    /// Sets the idle-session stall timeout, ms.
+    pub fn stall_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.stall_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the socket write timeout, ms.
+    pub fn write_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.write_timeout_ms = ms;
+        self
+    }
+
+    /// Sets the max events per `AlarmsReply` chunk.
+    pub fn alarm_chunk(mut self, chunk: u16) -> Self {
+        self.cfg.alarm_chunk = chunk;
+        self
+    }
+
+    /// Sets the release hold: alarm releases wait until this many
+    /// machines have registered.
+    pub fn expected_machines(mut self, machines: Option<u64>) -> Self {
+        self.cfg.expected_machines = machines;
+        self
+    }
+
+    /// Sets the shard identity advertised in `AlarmsReply` frames.
+    pub fn shard_id(mut self, shard: u64) -> Self {
+        self.cfg.shard_id = shard;
+        self
+    }
+
+    /// Enables crash-safe persistence backed by the given store.
+    pub fn store(mut self, store: Option<StoreConfig>) -> Self {
+        self.cfg.store = store;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServeConfig::validate`] rejects: empty detectors,
+    /// `max_frame_bytes < 64`, zero window/threshold/chunk, invalid
+    /// gate/detector/store tunings.
+    pub fn build(self) -> Result<ServeConfig> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -356,21 +489,17 @@ impl Engine {
         }
     }
 
-    /// Feeds one record; `false` when it was rejected (unknown counter
-    /// code). Creates the machine's pipeline on first contact.
-    fn ingest(&mut self, session: u64, rec: Record) -> bool {
-        let Some(counter) = counter_from_code(rec.counter) else {
-            self.wire.records_rejected += 1;
-            return false;
-        };
-        if !self.machines.contains_key(&rec.machine_id) {
+    /// The machine's entry, created on first contact and re-owned by the
+    /// feeding session.
+    fn machine_entry(&mut self, session: u64, machine_id: u64) -> &mut MachineEntry {
+        if !self.machines.contains_key(&machine_id) {
             // Validated at bind time, so construction cannot fail here.
             let pipeline = MachinePipeline::new(&self.detectors, self.fusion, self.gate)
                 .expect("config validated at bind");
             self.machines.insert(
-                rec.machine_id,
+                machine_id,
                 MachineEntry {
-                    name: format!("m{:03}", rec.machine_id),
+                    name: format!("m{machine_id:03}"),
                     pipeline,
                     session,
                 },
@@ -378,19 +507,62 @@ impl Engine {
         }
         let entry = self
             .machines
-            .get_mut(&rec.machine_id)
+            .get_mut(&machine_id)
             .expect("present or just inserted");
         entry.session = session;
-        entry.pipeline.ingest(
+        entry
+    }
+
+    /// Feeds one record; `false` when it was rejected (unknown counter
+    /// code). Creates the machine's pipeline on first contact.
+    fn ingest(&mut self, session: u64, rec: Record) -> bool {
+        let Some(counter) = counter_from_code(rec.counter) else {
+            self.wire.records_rejected += 1;
+            return false;
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.machine_entry(session, rec.machine_id).pipeline.ingest(
             counter,
             StreamSample {
                 time_secs: rec.time_secs,
                 value: rec.value,
             },
-            &mut self.scratch,
+            &mut scratch,
         );
+        self.scratch = scratch;
         self.enqueue(rec.machine_id);
         true
+    }
+
+    /// Applies one columnar batch — counters, the pipeline's slice-driven
+    /// [`MachinePipeline::ingest_column`], release — and returns the
+    /// accepted record count (`0` for an unknown counter code: a column
+    /// carries one code, so rejection is all-or-nothing). Shared verbatim
+    /// by the live wire path and [`ENTRY_COLUMN`] journal replay.
+    fn apply_column(
+        &mut self,
+        session: u64,
+        machine_id: u64,
+        counter: u8,
+        times: &[f64],
+        values: &[f64],
+    ) -> u16 {
+        self.wire.batches += 1;
+        let n = times.len().min(values.len());
+        self.wire.records += n as u64;
+        let Some(counter) = counter_from_code(counter) else {
+            self.wire.records_rejected += n as u64;
+            self.release();
+            return 0;
+        };
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.machine_entry(session, machine_id)
+            .pipeline
+            .ingest_column(counter, times, values, &mut scratch);
+        self.scratch = scratch;
+        self.enqueue(machine_id);
+        self.release();
+        n.min(usize::from(u16::MAX)) as u16
     }
 
     /// Applies one batch of records: counters, ingestion, release.
@@ -464,6 +636,35 @@ impl Engine {
             persist::put_u8(&mut payload, rec.counter);
             persist::put_u64(&mut payload, rec.time_secs.to_bits());
             persist::put_u64(&mut payload, rec.value.to_bits());
+        }
+        store.append(&payload)?;
+        Ok(())
+    }
+
+    /// Journals a columnar batch (no-op for a memory-only engine) with
+    /// its timestamps already expanded, so replay feeds
+    /// [`Engine::apply_column`] the identical `f64` column. Called after
+    /// apply, before the ack — same discipline as
+    /// [`Engine::persist_records`].
+    fn persist_column(
+        &mut self,
+        machine_id: u64,
+        counter: u8,
+        times: &[f64],
+        values: &[f64],
+    ) -> aging_store::Result<()> {
+        let Some(store) = self.store.as_mut() else {
+            return Ok(());
+        };
+        let n = times.len().min(values.len());
+        let mut payload = Vec::with_capacity(14 + n * 16);
+        persist::put_u8(&mut payload, ENTRY_COLUMN);
+        persist::put_u64(&mut payload, machine_id);
+        persist::put_u8(&mut payload, counter);
+        persist::put_u32(&mut payload, n as u32);
+        for (&t, &v) in times[..n].iter().zip(&values[..n]) {
+            persist::put_u64(&mut payload, t.to_bits());
+            persist::put_u64(&mut payload, v.to_bits());
         }
         store.append(&payload)?;
         Ok(())
@@ -656,6 +857,19 @@ impl Engine {
                 }
                 ps(r.finish())?;
                 self.apply_batch(0, &records, kind == ENTRY_BATCH);
+            }
+            ENTRY_COLUMN => {
+                let machine_id = ps(r.u64())?;
+                let counter = ps(r.u8())?;
+                let n = ps(r.u32())? as usize;
+                let mut times = Vec::with_capacity(n);
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    times.push(f64::from_bits(ps(r.u64())?));
+                    values.push(f64::from_bits(ps(r.u64())?));
+                }
+                ps(r.finish())?;
+                self.apply_column(0, machine_id, counter, &times, &values);
             }
             ENTRY_FINISH => {
                 let machine_id = ps(r.u64())?;
@@ -974,6 +1188,64 @@ impl Server {
     }
 }
 
+/// In-process ingestion: a [`Server`] is itself an [`IngestSink`], so
+/// feeders written against the trait can target the serve engine
+/// directly — same apply/journal paths as the wire (records journal as
+/// text-mode entries, columns as [`ENTRY_COLUMN`]), no socket. Samples
+/// enter under session id `0` (no live session owns the machines), and
+/// every call upholds the durability discipline: an `Ok` return means
+/// the samples are applied *and* journaled.
+impl IngestSink for Server {
+    type Error = Error;
+
+    fn ingest_record(
+        &mut self,
+        machine_id: u64,
+        counter: Counter,
+        time_secs: f64,
+        value: f64,
+    ) -> Result<()> {
+        let rec = Record {
+            machine_id,
+            counter: counter_code(counter),
+            time_secs,
+            value,
+        };
+        let mut engine = self.shared.engine();
+        engine.apply_batch(0, std::slice::from_ref(&rec), false);
+        engine
+            .persist_records(ENTRY_TEXT, std::slice::from_ref(&rec))
+            .map_err(|e| Error::Io(format!("journal append failed: {e}")))?;
+        engine.maybe_snapshot();
+        Ok(())
+    }
+
+    fn ingest_column(
+        &mut self,
+        machine_id: u64,
+        counter: Counter,
+        times: &[f64],
+        values: &[f64],
+    ) -> Result<()> {
+        let mut engine = self.shared.engine();
+        engine.apply_column(0, machine_id, counter_code(counter), times, values);
+        engine
+            .persist_column(machine_id, counter_code(counter), times, values)
+            .map_err(|e| Error::Io(format!("journal append failed: {e}")))?;
+        engine.maybe_snapshot();
+        Ok(())
+    }
+
+    fn machine_done(&mut self, machine_id: u64) -> Result<()> {
+        let mut engine = self.shared.engine();
+        engine
+            .machine_done(machine_id)
+            .map_err(|e| Error::Io(format!("journal append failed: {e}")))?;
+        engine.maybe_snapshot();
+        Ok(())
+    }
+}
+
 fn io_err(e: std::io::Error) -> Error {
     Error::Io(e.to_string())
 }
@@ -1132,6 +1404,20 @@ fn run_session(shared: &Arc<Shared>, stream: &TcpStream, session_id: u64) -> Ses
 enum FrameOutcome {
     Continue,
     Close,
+    /// An intact frame that violates session rules (e.g. a columnar
+    /// batch on a v1-negotiated session): reported like a malformed
+    /// payload, counting a strike.
+    Malformed(String),
+}
+
+/// Per-session mutable state for a binary session.
+struct SessionState {
+    /// Negotiated protocol version. Starts at [`PROTOCOL_VERSION`] (v1)
+    /// so a client that skips `Hello` gets baseline semantics; the
+    /// handshake raises it to `min(client, PROTOCOL_VERSION_V2)`.
+    version: u8,
+    /// Reused expansion buffer for columnar timestamps.
+    times: Vec<f64>,
 }
 
 fn run_binary_session(
@@ -1146,13 +1432,17 @@ fn run_binary_session(
     let mut dec = FrameDecoder::new(cfg.max_frame_bytes);
     dec.feed(initial);
     maybe_busy(shared, stream, &dec);
+    let mut sess = SessionState {
+        version: PROTOCOL_VERSION,
+        times: Vec::new(),
+    };
     let mut strikes = 0u32;
     let mut last_activity = Instant::now();
 
     loop {
         // Drain every complete frame currently buffered.
         loop {
-            match dec.next_payload() {
+            match dec.next_payload_ref() {
                 Err(corrupt) => {
                     let _ = send_frame(
                         stream,
@@ -1166,7 +1456,7 @@ fn run_binary_session(
                 Ok(None) => break,
                 Ok(Some(payload)) => {
                     shared.engine().wire.frames += 1;
-                    match Frame::decode_payload(&payload) {
+                    match Frame::decode_payload(payload) {
                         Err(reason) => {
                             strikes += 1;
                             shared.engine().wire.malformed_frames += 1;
@@ -1189,10 +1479,32 @@ fn run_binary_session(
                             }
                         }
                         Ok(frame) => {
-                            strikes = 0;
-                            match handle_frame(shared, stream, session_id, frame) {
-                                FrameOutcome::Continue => {}
+                            match handle_frame(shared, stream, session_id, &mut sess, frame) {
+                                FrameOutcome::Continue => strikes = 0,
                                 FrameOutcome::Close => return SessionEnd::Clean,
+                                FrameOutcome::Malformed(reason) => {
+                                    strikes += 1;
+                                    shared.engine().wire.malformed_frames += 1;
+                                    let _ = send_frame(
+                                        stream,
+                                        &Frame::Error {
+                                            code: ERR_MALFORMED,
+                                            message: reason,
+                                        },
+                                    );
+                                    if strikes >= cfg.quarantine_after {
+                                        let _ = send_frame(
+                                            stream,
+                                            &Frame::Error {
+                                                code: ERR_QUARANTINED,
+                                                message: format!(
+                                                    "{strikes} consecutive malformed frames"
+                                                ),
+                                            },
+                                        );
+                                        return SessionEnd::Quarantined { corrupt: false };
+                                    }
+                                }
                             }
                         }
                     }
@@ -1246,6 +1558,7 @@ fn handle_frame(
     shared: &Arc<Shared>,
     stream: &TcpStream,
     session_id: u64,
+    sess: &mut SessionState,
     frame: Frame,
 ) -> FrameOutcome {
     let cfg = &shared.cfg;
@@ -1257,22 +1570,25 @@ fn handle_frame(
     }
     match frame {
         Frame::Hello { version, name: _ } => {
-            if version != PROTOCOL_VERSION {
+            if version < PROTOCOL_VERSION {
                 let _ = send_frame(
                     stream,
                     &Frame::Error {
                         code: ERR_VERSION,
                         message: format!(
-                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                            "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION}..={PROTOCOL_VERSION_V2})"
                         ),
                     },
                 );
                 return FrameOutcome::Close;
             }
+            // Negotiate down to the highest version both sides speak; a
+            // future client above v2 is served at v2.
+            sess.version = version.min(PROTOCOL_VERSION_V2);
             let _ = send_frame(
                 stream,
                 &Frame::HelloAck {
-                    version: PROTOCOL_VERSION,
+                    version: sess.version,
                     window: cfg.window,
                     max_frame: cfg.max_frame_bytes,
                 },
@@ -1289,6 +1605,54 @@ fn handle_frame(
                 let mut engine = shared.engine();
                 let accepted = engine.apply_batch(session_id, &records, true);
                 match engine.persist_records(ENTRY_BATCH, &records) {
+                    Ok(()) => {
+                        engine.maybe_snapshot();
+                        engine.wire.acks_sent += 1;
+                        Ok(accepted)
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            };
+            match outcome {
+                Ok(accepted) => {
+                    let _ = send_frame(stream, &Frame::Ack { seq, accepted });
+                    FrameOutcome::Continue
+                }
+                Err(msg) => {
+                    let _ = send_frame(
+                        stream,
+                        &Frame::Error {
+                            code: ERR_STORE,
+                            message: format!("journal append failed: {msg}"),
+                        },
+                    );
+                    FrameOutcome::Close
+                }
+            }
+        }
+        Frame::BatchColumnar {
+            seq,
+            machine_id,
+            counter,
+            t0,
+            dt_units,
+            values,
+        } => {
+            // Columnar frames are a v2 capability; on a v1 session they
+            // are intact-but-invalid, i.e. a strike, not a quarantine.
+            if sess.version < PROTOCOL_VERSION_V2 {
+                return FrameOutcome::Malformed(format!(
+                    "columnar batch requires protocol v{PROTOCOL_VERSION_V2} (session negotiated v{})",
+                    sess.version
+                ));
+            }
+            expand_column_times(t0, &dt_units, &mut sess.times);
+            // Same apply → journal → ack discipline as `Frame::Batch`.
+            let outcome = {
+                let mut engine = shared.engine();
+                let accepted =
+                    engine.apply_column(session_id, machine_id, counter, &sess.times, &values);
+                match engine.persist_column(machine_id, counter, &sess.times, &values) {
                     Ok(()) => {
                         engine.maybe_snapshot();
                         engine.wire.acks_sent += 1;
@@ -1470,7 +1834,8 @@ fn run_text_session(
                 Ok(cmd) => {
                     strikes = 0;
                     match handle_text(shared, stream, session_id, cmd) {
-                        FrameOutcome::Continue => {}
+                        // Text commands have no version-gated frames.
+                        FrameOutcome::Continue | FrameOutcome::Malformed(_) => {}
                         FrameOutcome::Close => return SessionEnd::Clean,
                     }
                 }

@@ -9,7 +9,7 @@
 
 use aging_core::baseline::TrendPredictorConfig;
 use aging_memsim::{Counter, Scenario};
-use aging_serve::loadgen::{drive, LoadgenConfig};
+use aging_serve::loadgen::{drive, BatchMode, LoadgenConfig};
 use aging_serve::protocol::{encode_events, ServeEvent};
 use aging_serve::{ServeConfig, Server};
 use aging_stream::detector::DetectorSpec;
@@ -61,7 +61,7 @@ fn offline_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
         .collect()
 }
 
-fn online_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
+fn online_events(cfg: &FleetConfig, fleet: &[Scenario], mode: BatchMode) -> Vec<ServeEvent> {
     let mut serve_cfg = ServeConfig::from_fleet(cfg);
     // Pin the global release order: without the fleet-size hold, a fast
     // feeder's early alarms could be released before a slow feeder's
@@ -74,6 +74,7 @@ fn online_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 0,
         counters: vec![Counter::AvailableBytes],
+        mode,
     };
     let report =
         drive(server.local_addr(), fleet, cfg.horizon_secs, &loadgen).expect("loadgen drive");
@@ -98,13 +99,12 @@ fn online_events(cfg: &FleetConfig, fleet: &[Scenario]) -> Vec<ServeEvent> {
     outcome.events
 }
 
-#[test]
-fn tcp_alarm_stream_is_byte_identical_to_offline_supervisor() {
+fn assert_parity(mode: BatchMode) {
     for seed in [0x00c0_ffee_u64, 42] {
         let cfg = fleet_config();
         let fleet = scenarios(seed);
         let offline = offline_events(&cfg, &fleet);
-        let online = online_events(&cfg, &fleet);
+        let online = online_events(&cfg, &fleet, mode);
         assert!(
             !offline.is_empty(),
             "seed {seed:#x}: expected alarms from leaky machines"
@@ -112,10 +112,20 @@ fn tcp_alarm_stream_is_byte_identical_to_offline_supervisor() {
         assert_eq!(
             encode_events(&offline),
             encode_events(&online),
-            "seed {seed:#x}: TCP-path alarm history diverged from the offline supervisor \
-             (offline {} events, online {})",
+            "seed {seed:#x} ({mode:?} mode): TCP-path alarm history diverged from the offline \
+             supervisor (offline {} events, online {})",
             offline.len(),
             online.len()
         );
     }
+}
+
+#[test]
+fn tcp_alarm_stream_is_byte_identical_to_offline_supervisor() {
+    assert_parity(BatchMode::Record);
+}
+
+#[test]
+fn columnar_tcp_alarm_stream_is_byte_identical_to_offline_supervisor() {
+    assert_parity(BatchMode::Columnar);
 }

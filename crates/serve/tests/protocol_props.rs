@@ -12,7 +12,8 @@
 use aging_memsim::Counter;
 use aging_serve::codec::FrameDecoder;
 use aging_serve::protocol::{
-    counter_code, crc32, encode_frame, Frame, Record, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+    columnar_spans, counter_code, crc32, encode_columnar_frame_into, encode_frame,
+    expand_column_times, Frame, Record, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 
@@ -67,6 +68,21 @@ fn build_frame(kind: usize, a: u64, b: u64, f: f64, text: &str, n_records: usize
         10 => Frame::QueryAlarms { since: a },
         11 => Frame::Bye,
         12 => Frame::ByeAck,
+        13 => {
+            // One machine/counter, delta-encoded times, one value column
+            // (protocol v2). Raw u32 deltas round-trip whatever they are.
+            let n = n_records.max(1);
+            Frame::BatchColumnar {
+                seq: a,
+                machine_id: b,
+                counter: (b % 256) as u8,
+                t0: f,
+                dt_units: (1..n).map(|i| a.rotate_left(i as u32) as u32).collect(),
+                values: (0..n)
+                    .map(|i| if i % 4 == 1 { f64::NAN } else { -f * i as f64 })
+                    .collect(),
+            }
+        }
         _ => Frame::Error {
             code: (a % 256) as u8,
             message: text.to_string(),
@@ -92,7 +108,7 @@ proptest! {
     /// byte-level comparison sidesteps NaN != NaN on decoded floats).
     #[test]
     fn frames_survive_arbitrary_chunking(
-        kinds in prop::collection::vec(0usize..14, 1..=12),
+        kinds in prop::collection::vec(0usize..15, 1..=12),
         seeds in prop::collection::vec(0u64..u64::MAX, 12..=12),
         floats in prop::collection::vec(-1e12f64..1e12, 12..=12),
         lens in prop::collection::vec(0usize..40, 12..=12),
@@ -177,5 +193,76 @@ proptest! {
         let mut dec = FrameDecoder::new(max_frame);
         dec.feed(&ok);
         prop_assert_eq!(dec.next_payload().unwrap(), Some(payload));
+    }
+
+    /// Columnar encoding is total and bit-exact: any f64 time sequence —
+    /// dt = 0 runs, non-monotone jumps, deltas past the u32 horizon
+    /// (~4096 s), sub-resolution steps, NaN stamps — splits into spans
+    /// whose delta-encoded wire frames reconstruct every timestamp and
+    /// value bit for bit.
+    #[test]
+    fn columnar_spans_reconstruct_any_times(
+        steps in prop::collection::vec(0.0f64..6000.0, 1..=80),
+        start in -1e9f64..1e9,
+        max_span in 1usize..20,
+    ) {
+        let mut times = Vec::with_capacity(steps.len());
+        let mut t = start;
+        for (i, &s) in steps.iter().enumerate() {
+            match i % 5 {
+                0 => t += s,            // arbitrary (usually inexact) step
+                1 => {}                 // dt = 0: a repeated stamp
+                2 => t += s.floor(),    // integral seconds; > 4095 s overflows u32 deltas
+                3 => t -= s,            // non-monotone jump back
+                _ => {
+                    if i % 10 == 4 {
+                        t = f64::NAN;   // a poisoned stamp forces a 1-record span
+                    } else {
+                        t += s / 1e9;   // usually below the 2⁻²⁰ s resolution
+                    }
+                }
+            }
+            times.push(t);
+            if !t.is_finite() {
+                t = start;
+            }
+        }
+
+        // The spans form a disjoint cover regardless of the input shape.
+        let mut spans = Vec::new();
+        columnar_spans(&times, max_span, &mut spans);
+        let mut covered = 0usize;
+        for &(s, l) in &spans {
+            prop_assert_eq!(s, covered);
+            prop_assert!((1..=max_span).contains(&l));
+            covered += l;
+        }
+        prop_assert_eq!(covered, times.len());
+
+        // Each span round-trips through a real wire frame bit-exactly.
+        let mut expanded = Vec::new();
+        for &(s, l) in &spans {
+            let slice = &times[s..s + l];
+            let values: Vec<f64> = slice.iter().map(|&t| t * 0.5 - 1.0).collect();
+            let mut wire = Vec::new();
+            encode_columnar_frame_into(7, 1, 0, slice, &values, &mut wire)
+                .expect("every span from columnar_spans is encodable");
+            let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+            dec.feed(&wire);
+            let payload = dec.next_payload().unwrap().expect("frame present");
+            let Frame::BatchColumnar { t0, dt_units, values: decoded_values, .. } =
+                Frame::decode_payload(&payload).expect("decodes")
+            else {
+                panic!("columnar frame decoded to another variant");
+            };
+            expand_column_times(t0, &dt_units, &mut expanded);
+            prop_assert_eq!(expanded.len(), slice.len());
+            for (got, want) in expanded.iter().zip(slice) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+            for (got, want) in decoded_values.iter().zip(&values) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
     }
 }

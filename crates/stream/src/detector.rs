@@ -435,6 +435,12 @@ pub struct StreamingTrend {
     count: u64,
     eta: Option<f64>,
     alarmed: bool,
+    // Refit scratch (tie sort, window copy, pairwise slopes). Transient:
+    // cleared-and-refilled per refit, deliberately absent from
+    // `encode_state` — contents never outlive one `push`.
+    scratch_sorted: Vec<f64>,
+    scratch_window: Vec<f64>,
+    scratch_slopes: Vec<f64>,
 }
 
 impl StreamingTrend {
@@ -452,6 +458,9 @@ impl StreamingTrend {
             count: 0,
             eta: None,
             alarmed: false,
+            scratch_sorted: Vec::new(),
+            scratch_window: Vec::new(),
+            scratch_slopes: Vec::new(),
         })
     }
 
@@ -468,7 +477,7 @@ impl StreamingTrend {
         if !self.mk.is_full() || !self.count.is_multiple_of(cfg.refit_every as u64) {
             return Ok(false);
         }
-        let Ok(mk) = self.mk.statistic() else {
+        let Ok(mk) = self.mk.statistic_with(&mut self.scratch_sorted) else {
             return Ok(false); // degenerate window
         };
         let significant = match cfg.direction {
@@ -479,7 +488,11 @@ impl StreamingTrend {
             self.eta = None;
             return Ok(false);
         }
-        let Ok(sen) = self.mk.sen_slope(cfg.sample_period_secs) else {
+        let Ok(sen) = self.mk.sen_slope_with(
+            cfg.sample_period_secs,
+            &mut self.scratch_window,
+            &mut self.scratch_slopes,
+        ) else {
             return Ok(false);
         };
         let toward_exhaustion = match cfg.direction {
@@ -501,6 +514,48 @@ impl StreamingTrend {
             return Ok(true);
         }
         Ok(false)
+    }
+
+    /// Feeds a column of samples; returns the offset of the firing sample
+    /// and the ETA captured at fire time, if the alarm first fired inside
+    /// this column. State afterwards is bit-identical to calling
+    /// [`StreamingTrend::push`] per element.
+    ///
+    /// Samples that cannot land on a refit boundary go to the window
+    /// kernel in runs ([`StreamingMannKendall::push_slice`]); only
+    /// boundary samples take the full statistic/Sen refit path — the same
+    /// work the scalar loop does, minus a per-sample branch cascade.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::NonFinite`] at the first
+    /// NaN/infinite input, leaving exactly the preceding samples applied.
+    pub fn push_slice(&mut self, values: &[f64]) -> Result<Option<(usize, Option<f64>)>> {
+        let mut fired = None;
+        if values.iter().any(|v| !v.is_finite()) {
+            // Slow path: the scalar loop owns the error-index bookkeeping.
+            for (k, &value) in values.iter().enumerate() {
+                if self.push(value)? && fired.is_none() {
+                    fired = Some((k, self.eta));
+                }
+            }
+            return Ok(fired);
+        }
+        let refit = self.config.refit_every as u64;
+        let mut i = 0;
+        while i < values.len() {
+            // Number of pushes until `count` next hits a refit boundary;
+            // everything before it can skip the refit check entirely.
+            let until = (refit - self.count % refit) as usize;
+            let run = until.min(values.len() - i);
+            self.mk.push_slice(&values[i..i + run - 1])?;
+            self.count += (run - 1) as u64;
+            if self.push(values[i + run - 1])? && fired.is_none() {
+                fired = Some((i + run - 1, self.eta));
+            }
+            i += run;
+        }
+        Ok(fired)
     }
 
     /// Whether the alarm has fired.
@@ -605,6 +660,64 @@ impl StreamingDetector {
                 }
             }
         }
+    }
+
+    /// Feeds a column of samples, appending `(offset_in_column, alert)`
+    /// pairs to `out` (cleared first) for every alert that fires. State and
+    /// alerts are bit-identical to calling [`StreamingDetector::push`] per
+    /// element; trend detectors take the chunked
+    /// [`StreamingTrend::push_slice`] fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying detector's failures; samples before the
+    /// offending one remain applied and their alerts remain in `out`.
+    pub fn push_slice(
+        &mut self,
+        values: &[f64],
+        out: &mut Vec<(usize, StreamAlert)>,
+    ) -> Result<()> {
+        out.clear();
+        match &mut self.inner {
+            Inner::Holder(det) => {
+                for (k, &value) in values.iter().enumerate() {
+                    if let Some(alert) = det.push(value)? {
+                        out.push((
+                            k,
+                            StreamAlert {
+                                sample_index: alert.sample_index as u64,
+                                level: alert.level,
+                                detail: AlertDetail::Holder(alert),
+                            },
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Inner::Trend(det) => {
+                let count_before = det.count;
+                if let Some((k, eta_secs)) = det.push_slice(values)? {
+                    out.push((
+                        k,
+                        StreamAlert {
+                            sample_index: count_before + k as u64,
+                            level: AlertLevel::Alarm,
+                            detail: AlertDetail::Trend { eta_secs },
+                        },
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether this is the trend (Mann–Kendall/Sen) family. The columnar
+    /// ingest fast path keys off two properties unique to it: the alarm
+    /// latch transitions exactly when an Alarm-level alert is emitted
+    /// (and is cleared only by [`StreamingDetector::reset`]), and the
+    /// estimator cannot fail on gate-accepted (finite) samples.
+    pub(crate) fn is_trend_family(&self) -> bool {
+        matches!(self.inner, Inner::Trend(_))
     }
 
     /// Whether the detector's confirmed alarm has fired.

@@ -61,6 +61,7 @@ pub mod detector;
 pub mod gate;
 pub mod merge;
 pub mod pipeline;
+pub mod sink;
 pub mod source;
 pub mod supervisor;
 pub mod telemetry;
@@ -71,6 +72,7 @@ pub use detector::{DetectorSpec, StreamingDetector};
 pub use gate::{GateAction, GateConfig, GateHealth, SampleGate};
 pub use merge::{MergeKey, WatermarkMerger};
 pub use pipeline::{MachinePipeline, PipelineEvent};
+pub use sink::{FleetSink, IngestSink};
 pub use source::{SamplePerturber, SampleSource, StreamSample};
 pub use supervisor::{
     AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,

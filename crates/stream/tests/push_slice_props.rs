@@ -1,0 +1,135 @@
+//! Property tests for the columnar slice kernels: feeding a
+//! [`StreamingDetector`] through `push_slice` in chunks — fixed sizes
+//! {1, 2, 7} and arbitrary generated cuts — must be **bit-identical**
+//! to repeated scalar `push` calls: same alert offsets, same levels,
+//! same eta bits, and the same internal state afterwards (probed by
+//! continuing both detectors past the slice boundary).
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_stream::detector::{AlertDetail, DetectorSpec, StreamAlert, StreamingDetector};
+use proptest::prelude::*;
+
+fn trend_spec(window: usize, refit_every: usize) -> DetectorSpec {
+    DetectorSpec::Trend(TrendPredictorConfig {
+        window,
+        refit_every,
+        alarm_horizon_secs: 1e6,
+        ..TrendPredictorConfig::depleting(5.0)
+    })
+}
+
+/// A leak-like trace: a falling ramp with deterministic jitter, scaled
+/// by generated parameters so alarms genuinely fire in most cases.
+fn build_trace(len: usize, start: f64, slope: f64, jitter: f64) -> Vec<f64> {
+    (0..len)
+        .map(|i| {
+            let wobble = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            start - slope * i as f64 + jitter * wobble
+        })
+        .collect()
+}
+
+fn assert_alert_bits_equal(a: &StreamAlert, b: &StreamAlert) {
+    prop_assert_eq!(a.sample_index, b.sample_index);
+    prop_assert_eq!(a.level, b.level);
+    match (&a.detail, &b.detail) {
+        (AlertDetail::Trend { eta_secs: ea }, AlertDetail::Trend { eta_secs: eb }) => {
+            match (ea, eb) {
+                (Some(ea), Some(eb)) => prop_assert_eq!(ea.to_bits(), eb.to_bits()),
+                (None, None) => {}
+                _ => panic!("eta presence diverged"),
+            }
+        }
+        _ => panic!("alert family diverged"),
+    }
+}
+
+/// Runs the same trace through scalar pushes and chunked `push_slice`,
+/// returning an error on any bit divergence in alerts or post-state.
+fn assert_chunked_parity(spec: &DetectorSpec, trace: &[f64], chunks: &[usize]) {
+    let mut scalar = StreamingDetector::new(spec).expect("scalar detector");
+    let mut sliced = StreamingDetector::new(spec).expect("sliced detector");
+
+    let mut scalar_alerts: Vec<(usize, StreamAlert)> = Vec::new();
+    for (i, &v) in trace.iter().enumerate() {
+        if let Some(alert) = scalar.push(v).expect("finite sample") {
+            scalar_alerts.push((i, alert));
+        }
+    }
+
+    let mut sliced_alerts: Vec<(usize, StreamAlert)> = Vec::new();
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut c = 0usize;
+    while pos < trace.len() {
+        let step = chunks[c % chunks.len()].max(1).min(trace.len() - pos);
+        sliced
+            .push_slice(&trace[pos..pos + step], &mut out)
+            .expect("finite samples");
+        for (k, alert) in out.drain(..) {
+            sliced_alerts.push((pos + k, alert));
+        }
+        pos += step;
+        c += 1;
+    }
+
+    prop_assert_eq!(
+        scalar_alerts.len(),
+        sliced_alerts.len(),
+        "alert count diverged"
+    );
+    for ((ia, a), (ib, b)) in scalar_alerts.iter().zip(&sliced_alerts) {
+        prop_assert_eq!(ia, ib, "alert offset diverged");
+        assert_alert_bits_equal(a, b);
+    }
+
+    // State parity: both detectors must keep agreeing after the slices.
+    for (i, &v) in trace.iter().rev().take(32).enumerate() {
+        let probe = v + 1.0 + i as f64;
+        let from_scalar = scalar.push(probe).expect("finite probe");
+        let mut probe_out = Vec::new();
+        sliced
+            .push_slice(&[probe], &mut probe_out)
+            .expect("finite probe");
+        match (from_scalar, probe_out.first()) {
+            (Some(a), Some((0, b))) => assert_alert_bits_equal(&a, b),
+            (None, None) => {}
+            _ => panic!("post-slice state diverged at probe {i}"),
+        }
+    }
+}
+
+proptest! {
+    /// Fixed chunk widths {1, 2, 7} — the shapes the columnar ingest
+    /// path actually produces (singleton spans, tiny splits, runs).
+    #[test]
+    fn push_slice_matches_push_at_fixed_chunks(
+        window in 16usize..48,
+        refit in 1usize..8,
+        len in 1usize..300,
+        start in 1e3f64..1e9,
+        slope in 0.0f64..50.0,
+        jitter in 0.0f64..10.0,
+    ) {
+        let spec = trend_spec(window, refit);
+        let trace = build_trace(len, start, slope, jitter);
+        for chunk in [1usize, 2, 7] {
+            assert_chunked_parity(&spec, &trace, &[chunk]);
+        }
+    }
+
+    /// Arbitrary chunk patterns, including alternating tiny/large cuts.
+    #[test]
+    fn push_slice_matches_push_at_arbitrary_chunks(
+        window in 16usize..48,
+        refit in 1usize..8,
+        len in 1usize..300,
+        start in 1e3f64..1e9,
+        slope in 0.0f64..50.0,
+        chunks in prop::collection::vec(1usize..33, 1..=6),
+    ) {
+        let spec = trend_spec(window, refit);
+        let trace = build_trace(len, start, slope, 3.0);
+        assert_chunked_parity(&spec, &trace, &chunks);
+    }
+}

@@ -117,6 +117,39 @@ impl RingBuffer {
             self.head = (self.head + 1) % self.capacity;
             Some(old)
         };
+        self.account(value, evicted);
+        evicted
+    }
+
+    /// Appends a column of samples, evicting as needed; state after the
+    /// call is bit-identical to pushing each element with
+    /// [`RingBuffer::push`] (same float accumulation order, same rebuild
+    /// cadence, same deque contents).
+    ///
+    /// The loop is split into a fill phase and a steady-state phase so the
+    /// hot (full-ring) path runs without the capacity branch per element.
+    pub fn push_slice(&mut self, values: &[f64]) {
+        let mut rest = values;
+        if self.buf.len() < self.capacity {
+            let take = rest.len().min(self.capacity - self.buf.len());
+            for &value in &rest[..take] {
+                self.buf.push(value);
+                self.account(value, None);
+            }
+            rest = &rest[take..];
+        }
+        for &value in rest {
+            let old = std::mem::replace(&mut self.buf[self.head], value);
+            self.head = (self.head + 1) % self.capacity;
+            self.account(value, Some(old));
+        }
+    }
+
+    /// Per-sample bookkeeping shared by [`RingBuffer::push`] and
+    /// [`RingBuffer::push_slice`]: runs after the buffer insert, in the
+    /// exact order the bit-identity contract pins down.
+    #[inline]
+    fn account(&mut self, value: f64, evicted: Option<f64>) {
         let id = self.pushed;
         self.pushed += 1;
 
@@ -158,8 +191,6 @@ impl RingBuffer {
             self.min_deque.pop_back();
         }
         self.min_deque.push_back((id, value));
-
-        evicted
     }
 
     fn rebuild_sums(&mut self) {
@@ -412,6 +443,31 @@ mod tests {
         let joined: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
         assert_eq!(joined, vec![3.0, 4.0, 5.0, 6.0]);
         assert_eq!(ring.iter().collect::<Vec<_>>(), joined);
+    }
+
+    #[test]
+    fn push_slice_matches_push_bitwise() {
+        // Irregular values (including repeats) across several rebuild
+        // generations; encode_state covers buf/head/pushed/sums/
+        // since_rebuild/deques, so byte equality is full-state equality.
+        let values: Vec<f64> = (0..157u64)
+            .map(|i| ((i.wrapping_mul(2654435761) % 997) as f64) * 0.3125 - 150.0)
+            .collect();
+        for chunk in [1usize, 2, 7, 64] {
+            let mut looped = RingBuffer::new(5).unwrap();
+            let mut sliced = RingBuffer::new(5).unwrap();
+            for block in values.chunks(chunk) {
+                for &v in block {
+                    looped.push(v);
+                }
+                sliced.push_slice(block);
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                looped.encode_state(&mut a);
+                sliced.encode_state(&mut b);
+                assert_eq!(a, b, "chunk={chunk}");
+            }
+        }
     }
 
     #[test]

@@ -234,6 +234,24 @@ impl SenSlope {
     /// [`Error::InvalidParameter`] for non-positive `dt`, and
     /// [`Error::NonFinite`] for NaN/infinite input.
     pub fn estimate(data: &[f64], dt: f64) -> Result<Self> {
+        SenSlope::estimate_with(data, dt, &mut Vec::new())
+    }
+
+    /// [`SenSlope::estimate`] with a caller-owned scratch buffer for the
+    /// pairwise slopes — the allocation-free form streaming refit loops
+    /// call once per detection stride.
+    ///
+    /// Only the order statistics of the slope population are needed, so
+    /// the slopes are *selected*, not sorted: the median and both
+    /// confidence bounds are the same values a full sort would produce
+    /// (an order statistic is a property of the multiset), at O(pairs)
+    /// instead of O(pairs·log pairs). Results are bit-identical to
+    /// [`SenSlope::estimate`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SenSlope::estimate`].
+    pub fn estimate_with(data: &[f64], dt: f64, slopes: &mut Vec<f64>) -> Result<Self> {
         Error::require_len(data, 2)?;
         Error::require_finite(data)?;
         if !dt.is_finite() || dt <= 0.0 {
@@ -245,7 +263,7 @@ impl SenSlope {
         } else {
             1
         };
-        let mut slopes = Vec::new();
+        slopes.clear();
         let mut i = 0;
         while i < n {
             let mut j = i + stride;
@@ -261,28 +279,55 @@ impl SenSlope {
                 actual: n,
             });
         }
-        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let m = slopes.len();
-        let slope = if m % 2 == 1 {
-            slopes[m / 2]
-        } else {
-            0.5 * (slopes[m / 2 - 1] + slopes[m / 2])
-        };
 
         // Normal-approximation confidence interval on the rank of the slope
-        // (Gilbert 1987). With subsampling this is approximate.
+        // (Gilbert 1987). With subsampling this is approximate. The ranks
+        // depend only on `n`/`m`, so they are known before any selection.
         let nf = n as f64;
         let var_s = nf * (nf - 1.0) * (2.0 * nf + 5.0) / 18.0;
         let c = 1.96 * var_s.sqrt();
         let lo_rank = (((m as f64 - c) / 2.0).floor().max(0.0)) as usize;
         let hi_rank = ((((m as f64 + c) / 2.0).ceil()) as usize).min(m - 1);
+
+        // Every rank the estimate reads, ascending and deduplicated.
+        let mut ranks = [lo_rank, hi_rank, m / 2, usize::MAX];
+        let mut n_ranks = 3;
+        if m.is_multiple_of(2) {
+            ranks[3] = m / 2 - 1;
+            n_ranks = 4;
+        }
+        let ranks = &mut ranks[..n_ranks];
+        ranks.sort_unstable();
+        let mut picked = [0.0f64; 4];
+        let mut base = 0usize;
+        let mut prev: Option<usize> = None;
+        for (slot, &rank) in ranks.iter().enumerate() {
+            if prev == Some(rank) {
+                picked[slot] = picked[slot - 1];
+                continue;
+            }
+            let (_, &mut v, _) = slopes[base..].select_nth_unstable_by(rank - base, |a, b| {
+                a.partial_cmp(b).expect("finite values compare")
+            });
+            picked[slot] = v;
+            base = rank + 1;
+            prev = Some(rank);
+        }
+        let at = |rank: usize| picked[ranks.iter().position(|&r| r == rank).expect("selected")];
+
+        let slope = if m % 2 == 1 {
+            at(m / 2)
+        } else {
+            0.5 * (at(m / 2 - 1) + at(m / 2))
+        };
         let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
         let intercept = crate::stats::median(data)? - slope * crate::stats::median(&times)?;
         Ok(SenSlope {
             slope,
             intercept,
-            lower_95: slopes[lo_rank],
-            upper_95: slopes[hi_rank],
+            lower_95: at(lo_rank),
+            upper_95: at(hi_rank),
         })
     }
 
@@ -393,31 +438,38 @@ impl StreamingMannKendall {
         }
         if self.ring.is_full() {
             // The evictee is the oldest element: every pair it belongs to
-            // has it on the earlier side.
+            // has it on the earlier side. For finite values `x - oldest > 0`
+            // iff `x > oldest` (IEEE-754 subtraction with gradual underflow
+            // preserves sign and is zero only on exact equality), so the
+            // scan counts with comparisons directly — a branch-free kernel
+            // the compiler can vectorize over both ring slices.
             let oldest = self.ring.get(0).expect("full ring");
-            let mut removed: i64 = 0;
-            for (i, x) in self.ring.iter().enumerate() {
-                if i == 0 {
-                    continue;
-                }
-                let d = x - oldest;
-                if d > 0.0 {
-                    removed += 1;
-                } else if d < 0.0 {
-                    removed -= 1;
-                }
-            }
+            let (front, tail) = self.ring.as_slices();
+            let mut removed = sign_count(oldest, &front[1..]);
+            removed += sign_count(oldest, tail);
             self.s -= removed;
         }
-        for x in self.ring.iter().skip(usize::from(self.ring.is_full())) {
-            let d = value - x;
-            if d > 0.0 {
-                self.s += 1;
-            } else if d < 0.0 {
-                self.s -= 1;
-            }
-        }
+        // The incoming sample compares against every survivor. `front`
+        // holds the oldest element, so the eviction skip stays in-bounds.
+        let skip = usize::from(self.ring.is_full());
+        let (front, tail) = self.ring.as_slices();
+        self.s -= sign_count(value, &front[skip..]) + sign_count(value, tail);
         self.ring.push(value);
+        Ok(())
+    }
+
+    /// Feeds a column of samples, sliding the window as needed; results are
+    /// bit-identical to calling [`StreamingMannKendall::push`] per element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] at the first NaN/infinite input;
+    /// samples before the offending one remain pushed, exactly as a
+    /// caller-side loop would leave them.
+    pub fn push_slice(&mut self, values: &[f64]) -> Result<()> {
+        for &value in values {
+            self.push(value)?;
+        }
         Ok(())
     }
 
@@ -456,6 +508,17 @@ impl StreamingMannKendall {
     /// Returns [`Error::TooShort`] while the window holds fewer than four
     /// samples.
     pub fn statistic(&self) -> Result<MannKendall> {
+        self.statistic_with(&mut Vec::new())
+    }
+
+    /// [`StreamingMannKendall::statistic`] with a caller-owned scratch
+    /// buffer for the tie-bookkeeping sort — the allocation-free form for
+    /// refit loops. Results are bit-identical to `statistic`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMannKendall::statistic`].
+    pub fn statistic_with(&self, scratch: &mut Vec<f64>) -> Result<MannKendall> {
         let n = self.ring.len();
         if n < 4 {
             return Err(Error::TooShort {
@@ -463,7 +526,8 @@ impl StreamingMannKendall {
                 actual: n,
             });
         }
-        let mut sorted = self.ring.to_vec();
+        self.ring.copy_to(scratch);
+        let sorted = scratch;
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
         let mut tie_term = 0.0;
         let mut run = 1usize;
@@ -507,7 +571,24 @@ impl StreamingMannKendall {
     ///
     /// Propagates [`SenSlope::estimate`] failures (window too short).
     pub fn sen_slope(&self, dt: f64) -> Result<SenSlope> {
-        SenSlope::estimate(&self.ring.to_vec(), dt)
+        self.sen_slope_with(dt, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// [`StreamingMannKendall::sen_slope`] with caller-owned scratch
+    /// buffers (window copy + pairwise slopes) — the allocation-free form
+    /// for refit loops. Results are bit-identical to `sen_slope`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StreamingMannKendall::sen_slope`].
+    pub fn sen_slope_with(
+        &self,
+        dt: f64,
+        window: &mut Vec<f64>,
+        slopes: &mut Vec<f64>,
+    ) -> Result<SenSlope> {
+        self.ring.copy_to(window);
+        SenSlope::estimate_with(window, dt, slopes)
     }
 
     /// Clears the window (e.g. after a reboot); the configured width is
@@ -516,6 +597,24 @@ impl StreamingMannKendall {
         self.ring.clear();
         self.s = 0;
     }
+}
+
+/// Sum of `sign(x - base)` over `xs`, counted with direct comparisons.
+///
+/// For finite operands this matches the subtract-then-test form exactly:
+/// IEEE-754 subtraction with gradual underflow yields zero only on exact
+/// equality and otherwise preserves the sign of the true difference. The
+/// branch-free body autovectorizes, which is what makes the streaming
+/// Mann–Kendall scans slice-speed.
+#[inline]
+fn sign_count(base: f64, xs: &[f64]) -> i64 {
+    let mut pos: i64 = 0;
+    let mut neg: i64 = 0;
+    for &x in xs {
+        pos += i64::from(x > base);
+        neg += i64::from(x < base);
+    }
+    pos - neg
 }
 
 /// Survival function `P(Z > z)` of the standard normal distribution, via an
@@ -739,6 +838,93 @@ mod tests {
         assert!(mk.push(f64::NAN).is_err());
         mk.push(1.0).unwrap();
         assert!(mk.statistic().is_err()); // too short
+    }
+
+    /// Reference Sen estimate via a full sort of the slope population —
+    /// the pre-selection implementation, kept as the parity oracle.
+    fn sen_reference(data: &[f64], dt: f64) -> SenSlope {
+        let n = data.len();
+        let mut slopes = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                slopes.push((data[j] - data[i]) / ((j - i) as f64 * dt));
+            }
+        }
+        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let m = slopes.len();
+        let slope = if m % 2 == 1 {
+            slopes[m / 2]
+        } else {
+            0.5 * (slopes[m / 2 - 1] + slopes[m / 2])
+        };
+        let nf = n as f64;
+        let var_s = nf * (nf - 1.0) * (2.0 * nf + 5.0) / 18.0;
+        let c = 1.96 * var_s.sqrt();
+        let lo_rank = (((m as f64 - c) / 2.0).floor().max(0.0)) as usize;
+        let hi_rank = ((((m as f64 + c) / 2.0).ceil()) as usize).min(m - 1);
+        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
+        SenSlope {
+            slope,
+            intercept: crate::stats::median(data).unwrap()
+                - slope * crate::stats::median(&times).unwrap(),
+            lower_95: slopes[lo_rank],
+            upper_95: slopes[hi_rank],
+        }
+    }
+
+    #[test]
+    fn sen_selection_matches_full_sort_bitwise() {
+        // Sizes straddle odd/even pair counts and include heavy ties.
+        for n in [2usize, 3, 5, 8, 17, 40, 120] {
+            let data: Vec<f64> = (0..n as u64)
+                .map(|i| ((i.wrapping_mul(48271) % 23) as f64) * 0.5 - (i as f64) * 0.01)
+                .collect();
+            let got = SenSlope::estimate(&data, 5.0).unwrap();
+            let want = sen_reference(&data, 5.0);
+            assert_eq!(got.slope.to_bits(), want.slope.to_bits(), "n={n}");
+            assert_eq!(got.intercept.to_bits(), want.intercept.to_bits(), "n={n}");
+            assert_eq!(got.lower_95.to_bits(), want.lower_95.to_bits(), "n={n}");
+            assert_eq!(got.upper_95.to_bits(), want.upper_95.to_bits(), "n={n}");
+        }
+        // Constant data: every slope is zero (maximal ties).
+        let flat = vec![7.25; 30];
+        let got = SenSlope::estimate(&flat, 1.0).unwrap();
+        let want = sen_reference(&flat, 1.0);
+        assert_eq!(got.slope.to_bits(), want.slope.to_bits());
+        assert_eq!(got.lower_95.to_bits(), want.lower_95.to_bits());
+        assert_eq!(got.upper_95.to_bits(), want.upper_95.to_bits());
+    }
+
+    #[test]
+    fn streaming_mk_push_slice_matches_push_bitwise() {
+        let data: Vec<f64> = (0..97u64)
+            .map(|i| ((i.wrapping_mul(2654435761) % 53) as f64) * 0.25 + (i as f64) * 0.1)
+            .collect();
+        for chunk in [1usize, 2, 7] {
+            let mut looped = StreamingMannKendall::new(12).unwrap();
+            let mut sliced = StreamingMannKendall::new(12).unwrap();
+            for block in data.chunks(chunk) {
+                for &v in block {
+                    looped.push(v).unwrap();
+                }
+                sliced.push_slice(block).unwrap();
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                looped.encode_state(&mut a);
+                sliced.encode_state(&mut b);
+                assert_eq!(a, b, "chunk={chunk}");
+            }
+            let a = looped.statistic().unwrap();
+            let b = sliced.statistic_with(&mut Vec::with_capacity(4)).unwrap();
+            assert_eq!(a.s, b.s);
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+            let sa = looped.sen_slope(5.0).unwrap();
+            let sb = sliced
+                .sen_slope_with(5.0, &mut Vec::new(), &mut Vec::new())
+                .unwrap();
+            assert_eq!(sa.slope.to_bits(), sb.slope.to_bits());
+            assert_eq!(sa.lower_95.to_bits(), sb.lower_95.to_bits());
+        }
     }
 
     #[test]

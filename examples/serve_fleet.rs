@@ -56,6 +56,9 @@ fn main() -> Result<()> {
         rate_records_per_sec: 0.0,
         poll_alarms_ms: 25,
         counters: vec![Counter::AvailableBytes],
+        // Ship v2 columnar frames: feeds are simulated up front and sent
+        // as delta-encoded per-counter columns.
+        mode: BatchMode::Columnar,
     };
     let report = drive(server.local_addr(), &fleet, horizon, &loadgen)?;
     let outcome = server.shutdown();

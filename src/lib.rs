@@ -95,14 +95,17 @@ pub mod prelude {
     };
     pub use aging_par::Pool;
     pub use aging_serve::{
-        drive, LoadgenConfig, LoadgenReport, PersistStats, ServeClient, ServeConfig, ServeReport,
-        Server,
+        drive, BatchMode, LoadgenConfig, LoadgenReport, PersistStats, ServeClient, ServeConfig,
+        ServeConfigBuilder, ServeReport, Server, PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
     };
     pub use aging_store::{Store, StoreConfig, StoreError};
     pub use aging_stream::supervisor::{
         AlarmEvent, AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
     };
-    pub use aging_stream::{DetectorSpec, GateConfig, SampleGate, SampleSource, StreamingDetector};
+    pub use aging_stream::{
+        DetectorSpec, FleetSink, GateConfig, IngestSink, SampleGate, SampleSource,
+        StreamingDetector,
+    };
     pub use aging_timeseries::{trend::MannKendall, trend::SenSlope, Error, Result, TimeSeries};
     pub use aging_wavelet::{dwt, modwt, Wavelet, WaveletLeaders};
 }
