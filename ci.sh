@@ -22,6 +22,16 @@ AGING_THREADS=1 cargo test --workspace --quiet
 echo "==> cargo test (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test --workspace --quiet
 
+# The streaming spectrum kernel: bounded-memory Δα(t) must be bit-identical
+# to the offline batch estimator on every window — scalar pushes, chunked
+# slices with post-slice state probes, and any pool size
+# (crates/fractal/tests/spectrum_props.rs).
+echo "==> spectrum streaming-vs-batch parity (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test -p aging-fractal --test spectrum_props --quiet
+
+echo "==> spectrum streaming-vs-batch parity (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test -p aging-fractal --test spectrum_props --quiet
+
 # The robustness contract: every memsim scenario through the fleet
 # supervisor, clean vs. chaos-wrapped, at two fixed seeds (see
 # crates/chaos/tests/differential.rs — no panic, exact reconciliation,
@@ -60,6 +70,17 @@ AGING_THREADS=1 cargo test -p aging-cluster --test cluster_parity --quiet
 
 echo "==> cluster parity differential (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test -p aging-cluster --test cluster_parity --quiet
+
+# The E17 differential: Δα(t) drifts upward on aging memsim runs and stays
+# flat on healthy controls, with streaming-vs-batch parity checked inside
+# the experiment at pool sizes 1 and 4 (crates/bench/src/experiments.rs).
+# --no-trajectory keeps CI probe runs out of the committed BENCH histories.
+echo "==> repro e17 differential (quick)"
+if [ "$quick" = "quick" ]; then
+    cargo run -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e17
+else
+    cargo run --release -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e17
+fi
 
 echo "==> cargo test --doc"
 cargo test --workspace --doc --quiet

@@ -1,17 +1,20 @@
 //! Regenerates the paper's (reconstructed) tables and figures.
 //!
 //! Usage:
-//!   repro [e1 e2 … | all] [--quick] [--no-csv]
+//!   repro [e1 e2 … | all] [--quick] [--no-csv] [--no-trajectory]
 //!
-//! CSV outputs land in ./bench_results/.
+//! CSV outputs land in ./bench_results/. `--no-trajectory` skips the
+//! `BENCH_<id>.json` trajectory append, so quick/dev probe runs don't
+//! pollute the committed perf histories.
 
-use aging_bench::experiments::{run_experiment, ALL_EXPERIMENTS};
+use aging_bench::experiments::{run_experiment_with, ALL_EXPERIMENTS};
 use aging_bench::util::results_dir;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_csv = args.iter().any(|a| a == "--no-csv");
+    let no_trajectory = args.iter().any(|a| a == "--no-trajectory");
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -36,7 +39,7 @@ fn main() {
     let started = std::time::Instant::now();
     let mut failures = 0;
     for id in &ids {
-        if let Err(e) = run_experiment(id, quick, out) {
+        if let Err(e) = run_experiment_with(id, quick, out, !no_trajectory) {
             eprintln!("experiment {id} failed: {e}");
             failures += 1;
         }

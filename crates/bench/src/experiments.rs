@@ -1892,6 +1892,187 @@ pub fn e16(quick: bool, out: Option<&Path>) -> Result<()> {
     Ok(())
 }
 
+/// E17 — the streaming multifractal spectrum: Δα(t) (the f(α) width of
+/// the trailing window) as a first-class aging signal. **Hard gates:**
+/// on aging machines Δα(t) drifts upward (positive OLS slope and a
+/// last-quarter mean clearly above the first-quarter mean) while
+/// healthy controls stay flat, at every seed; and the bounded-memory
+/// [`StreamingSpectrum`] is bit-identical to the offline
+/// [`spectrum_trace`] reference on every window, at 1 and 4 pool
+/// threads.
+pub fn e17(quick: bool, out: Option<&Path>) -> Result<()> {
+    use aging_fractal::spectrum::{spectrum_trace_in, SpectrumConfig, StreamingSpectrum};
+    use aging_par::Pool;
+    use aging_timeseries::regression::ols;
+
+    banner(
+        "E17",
+        "streaming multifractal spectrum: Δα(t) drift as an aging signal",
+        "the rolling f(α) width widens as aging machines approach the crash (positive \
+         Δα(t) slope, last-quarter mean above first-quarter mean) and stays flat on \
+         healthy controls; the bounded-memory streaming estimator is bit-identical to \
+         the offline per-window reference at every window and pool size",
+    );
+
+    let horizon = if quick { 20.0 * HOUR } else { 30.0 * HOUR };
+    let seeds: &[u64] = &[777, 1234];
+    let config = SpectrumConfig::default();
+    println!(
+        "spectrum: window {} stride {} over q {:?}, counter {}",
+        config.window,
+        config.stride,
+        config.qs,
+        Counter::CommittedBytes
+    );
+
+    // Gate margins (empirical, see EXPERIMENTS.md E17): aging runs rise
+    // by > `rise_margin` between first- and last-quarter means; healthy
+    // controls stay within `flat_margin`. Measured at seeds {777, 1234,
+    // 42}: aging rise >= +0.059, healthy |drift| <= 0.010.
+    let rise_margin = 0.04;
+    let flat_margin = 0.05;
+
+    let mut table = Table::new(vec![
+        "scenario",
+        "windows",
+        "Δα q1 mean",
+        "Δα q4 mean",
+        "slope[/win]",
+        "parity",
+    ]);
+    let mut aging_rise_min = f64::INFINITY;
+    let mut aging_slope_min = f64::INFINITY;
+    let mut healthy_drift_max = 0.0f64;
+    for &seed in seeds {
+        let aging = scenarios::spectrum_aging(seed);
+        let healthy = scenarios::spectrum_healthy(seed);
+        for (is_aging, scenario) in [(true, aging), (false, healthy)] {
+            let report = aging_memsim::simulate(&scenario, horizon)?;
+            let series = report.log.series(Counter::CommittedBytes)?;
+            let values = series.values();
+
+            // Offline reference at 1 and 4 pool threads, plus the
+            // streaming estimator at both pool sizes: four runs, one
+            // answer, compared bit-for-bit window-for-window.
+            let reference = spectrum_trace_in(values, &config, &Pool::new(1))?;
+            let mut parity = true;
+            let mut variants = vec![spectrum_trace_in(values, &config, &Pool::new(4))?];
+            for threads in [1usize, 4] {
+                let pool = Pool::new(threads);
+                let mut streaming = StreamingSpectrum::new(&config)?;
+                let mut windows = Vec::with_capacity(reference.len());
+                for &v in values {
+                    if let Some(w) = streaming.push_in(v, &pool)? {
+                        windows.push(w);
+                    }
+                }
+                variants.push(windows);
+            }
+            for variant in &variants {
+                parity &= variant.len() == reference.len()
+                    && variant.iter().zip(&reference).all(|(a, b)| {
+                        a.input_index == b.input_index
+                            && a.alpha_min.to_bits() == b.alpha_min.to_bits()
+                            && a.alpha_max.to_bits() == b.alpha_max.to_bits()
+                            && a.delta_alpha.to_bits() == b.delta_alpha.to_bits()
+                    });
+            }
+
+            let widths: Vec<f64> = reference.iter().map(|w| w.delta_alpha).collect();
+            let q = widths.len() / 4;
+            if q == 0 {
+                return Err(aging_timeseries::Error::invalid(
+                    "e17",
+                    format!(
+                        "{}: only {} spectrum windows — trace too short to quarter",
+                        scenario.name,
+                        widths.len()
+                    ),
+                ));
+            }
+            let first_mean = stats::mean(&widths[..q])?;
+            let last_mean = stats::mean(&widths[widths.len() - q..])?;
+            let idx: Vec<f64> = (0..widths.len()).map(|i| i as f64).collect();
+            let slope = ols(&idx, &widths)?.slope;
+            table.row(vec![
+                scenario.name.clone(),
+                format!("{}", widths.len()),
+                format!("{first_mean:.3}"),
+                format!("{last_mean:.3}"),
+                format!("{slope:+.5}"),
+                if parity { "exact" } else { "MISMATCH" }.to_string(),
+            ]);
+            if !parity {
+                println!("{table}");
+                return Err(aging_timeseries::Error::invalid(
+                    "e17",
+                    format!(
+                        "{}: streaming spectrum diverged from the offline reference",
+                        scenario.name
+                    ),
+                ));
+            }
+            if let Some(dir) = out {
+                let t: Vec<f64> = reference
+                    .iter()
+                    .map(|w| w.input_index as f64 * series.dt())
+                    .collect();
+                write_series_csv(
+                    &dir.join(format!("e17_{}.csv", scenario.name)),
+                    &["t_secs", "delta_alpha"],
+                    &[&t, &widths],
+                )?;
+            }
+
+            // Drift gates.
+            let rise = last_mean - first_mean;
+            if is_aging {
+                aging_rise_min = aging_rise_min.min(rise);
+                aging_slope_min = aging_slope_min.min(slope);
+                if slope <= 0.0 || rise <= rise_margin {
+                    println!("{table}");
+                    return Err(aging_timeseries::Error::invalid(
+                        "e17",
+                        format!(
+                            "{}: Δα(t) did not drift upward (slope {slope:+.5}/window, \
+                             quarter-mean rise {rise:+.3}; gate: slope > 0, rise > {rise_margin})",
+                            scenario.name
+                        ),
+                    ));
+                }
+            } else {
+                healthy_drift_max = healthy_drift_max.max(rise.abs());
+                if rise.abs() >= flat_margin {
+                    println!("{table}");
+                    return Err(aging_timeseries::Error::invalid(
+                        "e17",
+                        format!(
+                            "{}: healthy control drifted (quarter-mean drift {rise:+.3}; \
+                             gate: |drift| < {flat_margin})",
+                            scenario.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "drift gate held at all {} seed(s): aging Δα rises >= {aging_rise_min:+.3} \
+         (slope >= {aging_slope_min:+.5}/window), healthy drift <= {healthy_drift_max:.3} \
+         (margins: rise > {rise_margin}, |healthy drift| < {flat_margin})",
+        seeds.len()
+    );
+    println!("parity gate held: streaming == offline bit-for-bit at 1 and 4 pool threads");
+    trajectory::record("aging_rise_min", aging_rise_min);
+    trajectory::record("aging_slope_min", aging_slope_min);
+    trajectory::record("healthy_drift_max", healthy_drift_max);
+    if let Some(dir) = out {
+        table.write_csv(&dir.join("e17_spectrum_drift.csv"))?;
+    }
+    Ok(())
+}
+
 /// Runs one experiment by id, appending its perf trajectory entry
 /// (`BENCH_<id>.json` under `out`) when the run succeeds: wall-clock
 /// seconds for every experiment, plus whatever domain metrics the
@@ -1902,6 +2083,24 @@ pub fn e16(quick: bool, out: Option<&Path>) -> Result<()> {
 /// Propagates the experiment's failures; unknown ids are an
 /// `InvalidParameter` error.
 pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
+    run_experiment_with(id, quick, out, true)
+}
+
+/// [`run_experiment`] with the trajectory append switchable: quick/dev
+/// probe runs pass `trajectory = false` (`repro --no-trajectory`) so
+/// they don't pollute the committed `BENCH_<id>.json` histories with
+/// stray entries. CSV outputs under `out` are unaffected.
+///
+/// # Errors
+///
+/// Propagates the experiment's failures; unknown ids are an
+/// `InvalidParameter` error.
+pub fn run_experiment_with(
+    id: &str,
+    quick: bool,
+    out: Option<&Path>,
+    trajectory: bool,
+) -> Result<()> {
     // Clear any metrics a previously failed experiment left behind on
     // this thread — they belong to that run, not this one.
     let _ = trajectory::take_metrics();
@@ -1911,9 +2110,12 @@ pub fn run_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> {
     if result.is_ok() {
         if let Some(dir) = out {
             metrics.insert("wall_secs".to_string(), started.elapsed().as_secs_f64());
-            let path = trajectory::append(dir, id, quick, metrics)
+            let path = trajectory::append_if(dir, id, quick, metrics, trajectory)
                 .map_err(|e| aging_timeseries::Error::Io(format!("bench trajectory: {e}")))?;
-            println!("trajectory entry appended to {}", path.display());
+            match path {
+                Some(p) => println!("trajectory entry appended to {}", p.display()),
+                None => println!("trajectory append skipped (--no-trajectory)"),
+            }
         }
     }
     result
@@ -1937,17 +2139,18 @@ fn dispatch_experiment(id: &str, quick: bool, out: Option<&Path>) -> Result<()> 
         "e14" => e14(quick, out),
         "e15" => e15(quick, out),
         "e16" => e16(quick, out),
+        "e17" => e17(quick, out),
         other => Err(aging_timeseries::Error::invalid(
             "experiment",
-            format!("unknown experiment `{other}` (expected e1..e16)"),
+            format!("unknown experiment `{other}` (expected e1..e17)"),
         )),
     }
 }
 
 /// All experiment ids in order.
-pub const ALL_EXPERIMENTS: [&str; 16] = [
+pub const ALL_EXPERIMENTS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 #[cfg(test)]

@@ -90,6 +90,64 @@ pub fn aging_fleet(count: usize) -> Vec<Scenario> {
         .collect()
 }
 
+/// A calm workload for the E17 spectrum experiment: no burst
+/// modulation, near-homogeneous allocation sizes and no heavy-tailed
+/// lifetime class, so the committed-bytes texture is close to
+/// monofractal and the rolling f(α) width Δα(t) starts narrow. Against
+/// this baseline, aging-injected heterogeneity is visible instead of
+/// being drowned by the web-server mix's own multifractality.
+fn calm_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        burst_sigma: 0.0,
+        alloc_sigma_log: 0.3,
+        lifetime_mix: (0.9, 0.1, 0.0),
+        long_alpha: 2.5,
+        batch_bytes: aging_memsim::Bytes::ZERO,
+        ..WorkloadConfig::web_server()
+    }
+}
+
+/// The E17 aging machine: the calm NT4 workstation accumulating
+/// *escalating* error-path leaks — three bursty leaks (rare, large
+/// allocations) switching on at 6 h, 10 h and 14 h of uptime — so the
+/// committed-bytes increments become an increasingly heterogeneous
+/// small/large mixture as the machine ages: exactly the multifractal
+/// widening the paper associates with aging, and eventually a commit
+/// exhaustion crash.
+pub fn spectrum_aging(seed: u64) -> Scenario {
+    let mib = 1024.0 * 1024.0;
+    let burst_at = |hours: f64| LeakSpec {
+        bytes_per_hour: 12.0 * mib,
+        mode: LeakMode::Bursty { p: 0.01 },
+        start_secs: hours * 3600.0,
+    };
+    let mut machine = MachineConfig::workstation_nt4();
+    machine.sample_period_secs = 10.0;
+    Scenario {
+        name: format!("spectrum-aging-{seed}"),
+        machine,
+        workload: calm_workload(),
+        faults: FaultPlan {
+            leaks: vec![burst_at(6.0), burst_at(10.0), burst_at(14.0)],
+            ..FaultPlan::aging(0.0)
+        },
+        seed,
+    }
+}
+
+/// The E17 healthy control: the same calm machine with no faults.
+pub fn spectrum_healthy(seed: u64) -> Scenario {
+    let mut machine = MachineConfig::workstation_nt4();
+    machine.sample_period_secs = 10.0;
+    Scenario {
+        name: format!("spectrum-healthy-{seed}"),
+        machine,
+        workload: calm_workload(),
+        faults: FaultPlan::healthy(),
+        seed,
+    }
+}
+
 /// The E4 healthy fleet.
 pub fn healthy_fleet(count: usize) -> Vec<Scenario> {
     (0..count)
@@ -105,6 +163,11 @@ mod tests {
     fn builders_are_valid() {
         machine_a(1).machine.validate().unwrap();
         machine_b(1).machine.validate().unwrap();
+        for s in [spectrum_aging(1), spectrum_healthy(1)] {
+            s.machine.validate().unwrap();
+            s.workload.validate().unwrap();
+            s.faults.validate().unwrap();
+        }
         for s in aging_fleet(8) {
             s.machine.validate().unwrap();
             s.workload.validate().unwrap();

@@ -106,6 +106,28 @@ pub fn append(
     Ok(path)
 }
 
+/// [`append`] gated by `enabled`: when disabled (the `--no-trajectory`
+/// path for quick/dev runs) nothing is written — the trajectory file is
+/// not created, an existing one is not touched — and `Ok(None)` is
+/// returned. Keeps stray probe-run entries out of the committed
+/// `BENCH_<id>.json` histories.
+///
+/// # Errors
+///
+/// Same as [`append`] when enabled; never fails when disabled.
+pub fn append_if(
+    dir: &Path,
+    experiment: &str,
+    quick: bool,
+    metrics: BTreeMap<String, f64>,
+    enabled: bool,
+) -> std::io::Result<Option<PathBuf>> {
+    if !enabled {
+        return Ok(None);
+    }
+    append(dir, experiment, quick, metrics).map(Some)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +175,26 @@ mod tests {
         assert!(!entries[1].quick);
         assert_eq!(entries[0].metrics["rps"], 100.0);
         assert_eq!(entries[1].metrics["rps"], 120.0);
+    }
+
+    #[test]
+    fn disabled_append_writes_nothing() {
+        let dir = TempDir::new("disabled");
+        let mut m = BTreeMap::new();
+        m.insert("rps".to_string(), 100.0);
+        let res = append_if(&dir.0, "e97", true, m.clone(), false).expect("skip path");
+        assert_eq!(res, None);
+        assert!(
+            !trajectory_path(&dir.0, "e97").exists(),
+            "disabled append must not create the trajectory file"
+        );
+        assert!(!dir.0.exists(), "disabled append must not create the dir");
+
+        // An existing trajectory is left byte-identical.
+        let path = append(&dir.0, "e97", true, m.clone()).expect("enabled append");
+        let before = fs::read_to_string(&path).unwrap();
+        append_if(&dir.0, "e97", false, m, false).expect("skip path");
+        assert_eq!(fs::read_to_string(&path).unwrap(), before);
     }
 
     #[test]

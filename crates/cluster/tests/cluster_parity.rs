@@ -14,12 +14,13 @@ use std::path::PathBuf;
 
 use aging_cluster::{drive_fleet, Aggregator, AggregatorConfig, HashRing, LocalCluster};
 use aging_core::baseline::TrendPredictorConfig;
+use aging_fractal::spectrum::{spectrum_trace, SpectrumConfig};
 use aging_memsim::{Counter, Scenario};
 use aging_serve::loadgen::{drive_with_ids, BatchMode, LoadgenConfig};
 use aging_serve::protocol::{counter_code, encode_events, Record, ServeEvent};
 use aging_serve::{ServeClient, ServeConfig};
 use aging_store::StoreConfig;
-use aging_stream::detector::DetectorSpec;
+use aging_stream::detector::{DetectorSpec, SpectrumDetectorConfig};
 use aging_stream::source::{MachineSource, SampleSource};
 use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetSupervisor};
 use aging_stream::GateConfig;
@@ -197,6 +198,111 @@ fn merged_cluster_history_columnar_mode_matches_offline_supervisor() {
         offline.len(),
         merged.len()
     );
+}
+
+/// E17's serve-tier face at cluster scale: every machine's Δα, queried
+/// from whichever of the two shards owns it, must be bit-equal to the
+/// offline batch estimator run on that machine's raw counter trace —
+/// the sharded spectrum view is the offline spectrum view, just routed.
+#[test]
+fn per_shard_spectrum_queries_match_offline_estimator() {
+    let spectrum = SpectrumConfig {
+        window: 128,
+        stride: 32,
+        ..SpectrumConfig::default()
+    };
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Spectrum(SpectrumDetectorConfig {
+            spectrum: spectrum.clone(),
+            skip_windows: 0,
+            baseline_windows: 4,
+            width_delta: 0.2,
+            mad_multiplier: 4.0,
+            confirm_windows: 2,
+        }),
+    }];
+    let horizon_secs = 3600.0; // 720 samples at 5 s: many filled windows
+    let mut cfg = FleetConfig::new(detectors, horizon_secs);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+
+    let fleet = scenarios(0x00c0_ffee_u64);
+    let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+    let ring = HashRing::new(2, RING_VNODES, RING_SEED).expect("ring");
+    let parts = ring.partition_indices(&ids);
+    assert!(
+        parts.iter().all(|p| !p.is_empty()),
+        "both shards must own machines for the routing to be exercised"
+    );
+    let template = ServeConfig::from_fleet(&cfg);
+    let cluster = LocalCluster::launch(&ring, &template, &ids, None).expect("launch cluster");
+
+    for (shard, positions) in parts.iter().enumerate() {
+        let mut client =
+            ServeClient::connect(cluster.addr(shard), "spectrum-prober").expect("connect shard");
+        let mut traces: Vec<(u64, Vec<f64>)> = Vec::new();
+        for &p in positions {
+            let mut source = MachineSource::new(&fleet[p], Counter::AvailableBytes, horizon_secs)
+                .expect("source");
+            let mut records = Vec::new();
+            let mut values = Vec::new();
+            while let Some(s) = source.next_sample().expect("infallible source") {
+                records.push(Record {
+                    machine_id: ids[p],
+                    counter: counter_code(Counter::AvailableBytes),
+                    time_secs: s.time_secs,
+                    value: s.value,
+                });
+                values.push(s.value);
+            }
+            for chunk in records.chunks(BATCH_RECORDS) {
+                client.send_batch(chunk).expect("send batch");
+            }
+            traces.push((ids[p], values));
+        }
+        client.flush().expect("flush");
+
+        for (machine_id, values) in traces {
+            let offline = spectrum_trace(&values, &spectrum).expect("offline spectrum");
+            let expected = offline
+                .last()
+                .expect("the horizon fills many windows")
+                .delta_alpha;
+            let widths = client
+                .query_spectrum(machine_id)
+                .expect("spectrum query")
+                .unwrap_or_else(|| panic!("shard {shard} does not know machine {machine_id}"));
+            assert_eq!(
+                widths.len(),
+                1,
+                "machine {machine_id}: one spectrum stream, got {widths:?}"
+            );
+            assert_eq!(widths[0].0, Counter::AvailableBytes);
+            assert_eq!(
+                widths[0].1.to_bits(),
+                expected.to_bits(),
+                "machine {machine_id} on shard {shard}: served Δα {} != offline Δα {expected}",
+                widths[0].1,
+            );
+        }
+        client.bye().expect("bye");
+    }
+
+    for (shard, outcome) in cluster.shutdown().into_iter().enumerate() {
+        let outcome = outcome.expect("all shards live");
+        assert_eq!(
+            outcome.wire.session_panics, 0,
+            "shard {shard}: server must not panic"
+        );
+        assert_eq!(
+            outcome.wire.quarantined, 0,
+            "shard {shard}: clean clients must not be quarantined"
+        );
+        assert_eq!(outcome.wire.malformed_frames, 0, "shard {shard}");
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -52,4 +52,7 @@ pub mod wtmm;
 pub use dimension::DimensionEstimate;
 pub use holder::{HolderEstimator, HolderSummary};
 pub use hurst::HurstEstimate;
-pub use spectrum::{LogCumulants, MfdfaResult, SpectrumPoint};
+pub use spectrum::{
+    LogCumulants, MfdfaResult, SpectrumConfig, SpectrumEstimate, SpectrumPoint, SpectrumWindow,
+    StreamingSpectrum,
+};

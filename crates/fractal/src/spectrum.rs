@@ -14,8 +14,21 @@
 //!
 //! All scaling exponents convert to an `(α, f(α))` spectrum through the
 //! numerical [`legendre`] transform.
+//!
+//! The paper's *fourth* claim — the spectrum **widens** as the system
+//! ages — is served by the rolling estimators at the bottom of this
+//! module: [`spectrum`] computes one window's `ζ(q) → τ(q) → f(α)` chain
+//! and its width `Δα = α_max − α_min`, [`spectrum_trace`] slides that
+//! window over a whole series, and [`StreamingSpectrum`] is the
+//! bounded-memory online form whose emissions are bit-identical to the
+//! batch trace by construction (each emission copies its ring window into
+//! a scratch buffer and calls the batch routine). The q-sweep is
+//! embarrassingly parallel and runs on the [`aging_par::Pool`] with
+//! pool-size bit-parity.
 
+use aging_par::Pool;
 use aging_timeseries::regression::ols;
+use aging_timeseries::ring::RingBuffer;
 use aging_timeseries::window::dyadic_scales;
 use aging_timeseries::{detrend, stats, Error, Result};
 use aging_wavelet::{Wavelet, WaveletLeaders};
@@ -36,6 +49,20 @@ pub fn default_qs() -> Vec<f64> {
     vec![
         -5.0, -4.0, -3.0, -2.0, -1.0, -0.5, 0.5, 1.0, 2.0, 3.0, 4.0, 5.0,
     ]
+}
+
+/// The default moment grid for *rolling* Δα estimation (positive branch
+/// only).
+///
+/// Negative-q structure functions are dominated by the smallest
+/// increments and are wildly unstable on the O(100)-sample windows a
+/// bounded-memory detector can afford — measured on a stationary random
+/// walk, window-to-window Δα under [`default_qs`] swings over [0.1, 2.2]
+/// while this grid stays under 0.15. The positive branch is also the one
+/// that captures burst intermittency, which is exactly how the spectrum
+/// widens as a system ages.
+pub fn detection_qs() -> Vec<f64> {
+    vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0]
 }
 
 /// Scaling exponents `τ(q)` (or `ζ(q)`, or `h(q)` — whichever the producer
@@ -171,54 +198,387 @@ pub fn partition_function(measure: &[f64], qs: &[f64]) -> Result<ScalingExponent
 /// multifractality. Note `τ(q) = ζ(q) − 1` links this to the partition
 /// formalism.
 ///
+/// The q-sweep runs on the global [`Pool`] (each moment order is an
+/// independent log–log fit); use [`structure_function_in`] for explicit
+/// pool control. Output is bit-identical at every pool size.
+///
 /// # Errors
 ///
 /// Returns [`Error::TooShort`] below 128 samples, plus parameter and fit
 /// failures.
 pub fn structure_function(data: &[f64], qs: &[f64]) -> Result<ScalingExponents> {
+    structure_function_in(data, qs, Pool::global())
+}
+
+/// [`structure_function`] on an explicit [`Pool`].
+///
+/// # Errors
+///
+/// Same as [`structure_function`].
+pub fn structure_function_in(data: &[f64], qs: &[f64], pool: &Pool) -> Result<ScalingExponents> {
     Error::require_len(data, 128)?;
     Error::require_finite(data)?;
     if qs.is_empty() {
         return Err(Error::invalid("qs", "must not be empty"));
     }
     let scales: Vec<usize> = dyadic_scales(data.len(), 8)?;
+    // One task per moment order: each per-q fit is self-contained, so the
+    // pool's in-order merge (and lowest-index error selection) keeps the
+    // output bit-identical to the sequential loop at any thread count.
+    let fits = pool.try_map_indexed(qs.len(), |i| structure_fit_q(data, &scales, qs[i]))?;
     let mut exponents = Vec::with_capacity(qs.len());
     let mut r2 = Vec::with_capacity(qs.len());
-    for &q in qs {
-        let mut xs = Vec::new();
-        let mut ys = Vec::new();
-        for &s in &scales {
-            let mut acc = 0.0;
-            let mut count = 0usize;
-            for t in 0..data.len() - s {
-                let d = (data[t + s] - data[t]).abs();
-                if d > 0.0 {
-                    acc += d.powf(q);
-                    count += 1;
-                }
-            }
-            if count > 0 {
-                let m = acc / count as f64;
-                if m > 0.0 && m.is_finite() {
-                    xs.push((s as f64).ln());
-                    ys.push(m.ln());
-                }
-            }
-        }
-        if xs.len() < 3 {
-            return Err(Error::Numerical(format!(
-                "not enough valid structure-function points for q={q}"
-            )));
-        }
-        let fit = ols(&xs, &ys)?;
-        exponents.push(fit.slope);
-        r2.push(fit.r_squared);
+    for (slope, r_squared) in fits {
+        exponents.push(slope);
+        r2.push(r_squared);
     }
     Ok(ScalingExponents {
         qs: qs.to_vec(),
         exponents,
         r_squared: r2,
     })
+}
+
+/// One moment order's log–log structure-function fit: `(ζ(q), R²)`.
+fn structure_fit_q(data: &[f64], scales: &[usize], q: f64) -> Result<(f64, f64)> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &s in scales {
+        let mut acc = 0.0;
+        let mut count = 0usize;
+        for t in 0..data.len() - s {
+            let d = (data[t + s] - data[t]).abs();
+            if d > 0.0 {
+                acc += d.powf(q);
+                count += 1;
+            }
+        }
+        if count > 0 {
+            let m = acc / count as f64;
+            if m > 0.0 && m.is_finite() {
+                xs.push((s as f64).ln());
+                ys.push(m.ln());
+            }
+        }
+    }
+    if xs.len() < 3 {
+        return Err(Error::Numerical(format!(
+            "not enough valid structure-function points for q={q}"
+        )));
+    }
+    let fit = ols(&xs, &ys)?;
+    Ok((fit.slope, fit.r_squared))
+}
+
+/// Configuration of the rolling spectrum estimators ([`spectrum_trace`]
+/// offline, [`StreamingSpectrum`] online).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumConfig {
+    /// Trailing-window length in samples (the structure-function input).
+    pub window: usize,
+    /// Pushes between emissions once the window has filled.
+    pub stride: usize,
+    /// Moment orders of the q-sweep (strictly increasing, at least 3).
+    pub qs: Vec<f64>,
+}
+
+impl Default for SpectrumConfig {
+    fn default() -> Self {
+        SpectrumConfig {
+            window: 256,
+            stride: 64,
+            qs: detection_qs(),
+        }
+    }
+}
+
+impl SpectrumConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when the window is below the
+    /// structure-function floor (128), the stride is zero or exceeds the
+    /// window, or the q grid is shorter than 3, non-finite, or not
+    /// strictly increasing.
+    pub fn validate(&self) -> Result<()> {
+        if self.window < 128 {
+            return Err(Error::invalid("window", "must be at least 128 samples"));
+        }
+        if self.stride == 0 {
+            return Err(Error::invalid("stride", "must be positive"));
+        }
+        if self.stride > self.window {
+            return Err(Error::invalid("stride", "must not exceed the window"));
+        }
+        if self.qs.len() < 3 {
+            return Err(Error::invalid("qs", "need at least 3 moment orders"));
+        }
+        if self.qs.iter().any(|q| !q.is_finite()) {
+            return Err(Error::invalid("qs", "must be finite"));
+        }
+        if self.qs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(Error::invalid("qs", "must be strictly increasing"));
+        }
+        Ok(())
+    }
+}
+
+/// One window's full spectrum estimate: `ζ(q)`, the Legendre spectrum of
+/// `τ(q) = ζ(q) − 1`, and the width `Δα = α_max − α_min` — the paper's
+/// aging indicator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumEstimate {
+    /// Structure-function exponents `ζ(q)` with fit quality.
+    pub zeta: ScalingExponents,
+    /// Legendre spectrum of `τ(q) = ζ(q) − 1`.
+    pub spectrum: Vec<SpectrumPoint>,
+    /// Smallest singularity strength on the q grid.
+    pub alpha_min: f64,
+    /// Largest singularity strength on the q grid.
+    pub alpha_max: f64,
+    /// Spectrum width `α_max − α_min`.
+    pub delta_alpha: f64,
+}
+
+/// One rolling-window emission: the spectrum width of the trailing window
+/// that ends at `input_index`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumWindow {
+    /// Zero-based index of the push that completed this window.
+    pub input_index: u64,
+    /// Smallest singularity strength of the window.
+    pub alpha_min: f64,
+    /// Largest singularity strength of the window.
+    pub alpha_max: f64,
+    /// Spectrum width `α_max − α_min`.
+    pub delta_alpha: f64,
+}
+
+/// Batch reference estimator for one window: `ζ(q)` via
+/// [`structure_function_in`], `τ(q) = ζ(q) − 1`, the [`legendre`]
+/// transform, and `Δα`. Every [`StreamingSpectrum`] emission runs exactly
+/// this routine on a copy of its ring window, so the streaming estimator
+/// is bit-identical to this batch one by construction.
+///
+/// # Errors
+///
+/// Propagates [`structure_function`] and [`legendre`] failures.
+pub fn spectrum(data: &[f64], qs: &[f64]) -> Result<SpectrumEstimate> {
+    spectrum_in(data, qs, Pool::global())
+}
+
+/// [`spectrum`] on an explicit [`Pool`].
+///
+/// # Errors
+///
+/// Same as [`spectrum`].
+pub fn spectrum_in(data: &[f64], qs: &[f64], pool: &Pool) -> Result<SpectrumEstimate> {
+    let zeta = structure_function_in(data, qs, pool)?;
+    let tau: Vec<f64> = zeta.exponents.iter().map(|&z| z - 1.0).collect();
+    let points = legendre(qs, &tau)?;
+    let alphas: Vec<f64> = points.iter().map(|p| p.alpha).collect();
+    let alpha_min = stats::min(&alphas)?;
+    let alpha_max = stats::max(&alphas)?;
+    Ok(SpectrumEstimate {
+        zeta,
+        spectrum: points,
+        alpha_min,
+        alpha_max,
+        delta_alpha: alpha_max - alpha_min,
+    })
+}
+
+/// Offline rolling-window `Δα(t)` trace: one [`SpectrumWindow`] per
+/// window/stride grid position, on exactly the grid [`StreamingSpectrum`]
+/// emits on. This is the batch reference of E17's streaming-vs-batch
+/// parity gate.
+///
+/// # Errors
+///
+/// Returns config validation errors, [`Error::NonFinite`], and per-window
+/// [`spectrum`] failures.
+pub fn spectrum_trace(data: &[f64], config: &SpectrumConfig) -> Result<Vec<SpectrumWindow>> {
+    spectrum_trace_in(data, config, Pool::global())
+}
+
+/// [`spectrum_trace`] on an explicit [`Pool`].
+///
+/// # Errors
+///
+/// Same as [`spectrum_trace`].
+pub fn spectrum_trace_in(
+    data: &[f64],
+    config: &SpectrumConfig,
+    pool: &Pool,
+) -> Result<Vec<SpectrumWindow>> {
+    config.validate()?;
+    Error::require_finite(data)?;
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + config.window <= data.len() {
+        let est = spectrum_in(&data[start..start + config.window], &config.qs, pool)?;
+        out.push(SpectrumWindow {
+            input_index: (start + config.window - 1) as u64,
+            alpha_min: est.alpha_min,
+            alpha_max: est.alpha_max,
+            delta_alpha: est.delta_alpha,
+        });
+        start += config.stride;
+    }
+    Ok(out)
+}
+
+/// Bounded-memory rolling spectrum estimator.
+///
+/// Holds the trailing `window` samples in a [`RingBuffer`]; once the
+/// window has filled, every `stride`-th push copies the window into a
+/// scratch buffer and runs the batch [`spectrum_in`] routine on it, so
+/// each emitted [`SpectrumWindow`] is bit-identical to the offline
+/// [`spectrum_trace`] at the same grid position — parity by construction,
+/// at any pool size and any push chunking.
+#[derive(Debug, Clone)]
+pub struct StreamingSpectrum {
+    ring: RingBuffer,
+    scratch: Vec<f64>,
+    qs: Vec<f64>,
+    stride: usize,
+}
+
+impl StreamingSpectrum {
+    /// Builds an estimator from a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpectrumConfig::validate`] failures.
+    pub fn new(config: &SpectrumConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(StreamingSpectrum {
+            ring: RingBuffer::new(config.window)?,
+            scratch: Vec::with_capacity(config.window),
+            qs: config.qs.clone(),
+            stride: config.stride,
+        })
+    }
+
+    /// Window length in samples.
+    pub fn window(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// Pushes between emissions.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The moment-order grid.
+    pub fn qs(&self) -> &[f64] {
+        &self.qs
+    }
+
+    /// Total samples pushed over this estimator's lifetime.
+    pub fn samples_seen(&self) -> u64 {
+        self.ring.pushed()
+    }
+
+    /// Pushes one sample on the global [`Pool`]; returns an emission when
+    /// the window/stride grid fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFinite`] for a non-finite sample (the sample is
+    /// not absorbed), plus per-window [`spectrum`] failures.
+    pub fn push(&mut self, value: f64) -> Result<Option<SpectrumWindow>> {
+        self.push_in(value, Pool::global())
+    }
+
+    /// [`StreamingSpectrum::push`] on an explicit [`Pool`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingSpectrum::push`].
+    pub fn push_in(&mut self, value: f64, pool: &Pool) -> Result<Option<SpectrumWindow>> {
+        if !value.is_finite() {
+            return Err(Error::NonFinite {
+                index: self.ring.pushed() as usize,
+            });
+        }
+        self.ring.push(value);
+        let n = self.ring.pushed();
+        let window = self.ring.capacity() as u64;
+        if n < window || !(n - window).is_multiple_of(self.stride as u64) {
+            return Ok(None);
+        }
+        self.ring.copy_to(&mut self.scratch);
+        let est = spectrum_in(&self.scratch, &self.qs, pool)?;
+        Ok(Some(SpectrumWindow {
+            input_index: n - 1,
+            alpha_min: est.alpha_min,
+            alpha_max: est.alpha_max,
+            delta_alpha: est.delta_alpha,
+        }))
+    }
+
+    /// Pushes a batch of samples, collecting emissions into `out`
+    /// (cleared first). Chunking is irrelevant to the output: any split of
+    /// a sample sequence across `push`/`push_slice` calls produces the
+    /// same emissions.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`StreamingSpectrum::push`] error; emissions
+    /// already collected remain in `out`.
+    pub fn push_slice(&mut self, values: &[f64], out: &mut Vec<SpectrumWindow>) -> Result<()> {
+        self.push_slice_in(values, out, Pool::global())
+    }
+
+    /// [`StreamingSpectrum::push_slice`] on an explicit [`Pool`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StreamingSpectrum::push_slice`].
+    pub fn push_slice_in(
+        &mut self,
+        values: &[f64],
+        out: &mut Vec<SpectrumWindow>,
+        pool: &Pool,
+    ) -> Result<()> {
+        out.clear();
+        for &value in values {
+            if let Some(w) = self.push_in(value, pool)? {
+                out.push(w);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clears all samples and the emission phase, keeping the parameters.
+    pub fn reset(&mut self) {
+        let config = SpectrumConfig {
+            window: self.ring.capacity(),
+            stride: self.stride,
+            qs: std::mem::take(&mut self.qs),
+        };
+        *self = StreamingSpectrum::new(&config).expect("parameters already valid");
+    }
+
+    /// Serialises the dynamic state (ring contents and push count; the
+    /// configuration is not persisted).
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.ring.encode_state(out);
+    }
+
+    /// Restores dynamic state written by
+    /// [`StreamingSpectrum::encode_state`] into an estimator built with
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncated or inconsistent
+    /// bytes.
+    pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        self.ring.restore_state(r)
+    }
 }
 
 /// Configuration for [`mfdfa`].
@@ -611,6 +971,162 @@ mod tests {
         assert!(leader_cumulants(&x, Wavelet::Haar, 2, 1).is_err());
         assert!(leader_cumulants(&x, Wavelet::Haar, 6, 5).is_err());
         assert!(leader_cumulants(&x[..16], Wavelet::Haar, 6, 2).is_err());
+    }
+
+    fn spectrum_test_config() -> SpectrumConfig {
+        SpectrumConfig {
+            window: 128,
+            stride: 32,
+            qs: vec![-2.0, -1.0, 1.0, 2.0, 3.0],
+        }
+    }
+
+    #[test]
+    fn spectrum_config_guards() {
+        let base = spectrum_test_config();
+        assert!(base.validate().is_ok());
+        for bad in [
+            SpectrumConfig {
+                window: 64,
+                ..base.clone()
+            },
+            SpectrumConfig {
+                stride: 0,
+                ..base.clone()
+            },
+            SpectrumConfig {
+                stride: 200,
+                ..base.clone()
+            },
+            SpectrumConfig {
+                qs: vec![1.0, 2.0],
+                ..base.clone()
+            },
+            SpectrumConfig {
+                qs: vec![1.0, f64::NAN, 3.0],
+                ..base.clone()
+            },
+            SpectrumConfig {
+                qs: vec![1.0, 3.0, 2.0],
+                ..base.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn spectrum_width_matches_legendre_width() {
+        let x = generate::fbm(512, 0.6, 21).unwrap();
+        let est = spectrum(&x, &default_qs()).unwrap();
+        assert!((est.delta_alpha - (est.alpha_max - est.alpha_min)).abs() < 1e-15);
+        // Same chain as ScalingExponents::legendre_width on τ(q) = ζ(q) − 1.
+        let tau = ScalingExponents {
+            qs: est.zeta.qs.clone(),
+            exponents: est.zeta.exponents.iter().map(|&z| z - 1.0).collect(),
+            r_squared: est.zeta.r_squared.clone(),
+        };
+        assert_eq!(
+            est.delta_alpha.to_bits(),
+            tau.legendre_width().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn streaming_spectrum_matches_batch_trace_bitwise() {
+        let cfg = spectrum_test_config();
+        let x = generate::fbm(400, 0.7, 22).unwrap();
+        let batch = spectrum_trace(&x, &cfg).unwrap();
+        assert!(batch.len() > 3, "expected several emissions");
+
+        let mut stream = StreamingSpectrum::new(&cfg).unwrap();
+        let mut emitted = Vec::new();
+        for &v in &x {
+            if let Some(w) = stream.push(v).unwrap() {
+                emitted.push(w);
+            }
+        }
+        assert_eq!(emitted.len(), batch.len());
+        for (s, b) in emitted.iter().zip(&batch) {
+            assert_eq!(s.input_index, b.input_index);
+            assert_eq!(s.delta_alpha.to_bits(), b.delta_alpha.to_bits());
+            assert_eq!(s.alpha_min.to_bits(), b.alpha_min.to_bits());
+            assert_eq!(s.alpha_max.to_bits(), b.alpha_max.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_spectrum_pool_sizes_are_bit_identical() {
+        let cfg = spectrum_test_config();
+        let x = generate::fbm(300, 0.55, 23).unwrap();
+        let p1 = Pool::new(1);
+        let p4 = Pool::new(4);
+        let a = spectrum_trace_in(&x, &cfg, &p1).unwrap();
+        let b = spectrum_trace_in(&x, &cfg, &p4).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.delta_alpha.to_bits(), wb.delta_alpha.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_spectrum_push_slice_matches_scalar_and_persists() {
+        let cfg = spectrum_test_config();
+        let x = generate::fbm(350, 0.6, 24).unwrap();
+
+        let mut scalar = StreamingSpectrum::new(&cfg).unwrap();
+        let mut scalar_out = Vec::new();
+        for &v in &x {
+            if let Some(w) = scalar.push(v).unwrap() {
+                scalar_out.push(w);
+            }
+        }
+
+        let mut chunked = StreamingSpectrum::new(&cfg).unwrap();
+        let mut chunked_out = Vec::new();
+        let mut buf = Vec::new();
+        for chunk in x.chunks(7) {
+            chunked.push_slice(chunk, &mut buf).unwrap();
+            chunked_out.extend_from_slice(&buf);
+        }
+        assert_eq!(scalar_out.len(), chunked_out.len());
+        for (a, b) in scalar_out.iter().zip(&chunked_out) {
+            assert_eq!(a.input_index, b.input_index);
+            assert_eq!(a.delta_alpha.to_bits(), b.delta_alpha.to_bits());
+        }
+
+        // Persist round-trip mid-stream: the restored estimator continues
+        // exactly where the original would.
+        let mut blob = Vec::new();
+        chunked.encode_state(&mut blob);
+        let mut restored = StreamingSpectrum::new(&cfg).unwrap();
+        let mut r = aging_timeseries::persist::Reader::new(&blob);
+        restored.restore_state(&mut r).unwrap();
+        let tail = generate::fbm(160, 0.6, 25).unwrap();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        chunked.push_slice(&tail, &mut out_a).unwrap();
+        restored.push_slice(&tail, &mut out_b).unwrap();
+        assert_eq!(out_a.len(), out_b.len());
+        for (a, b) in out_a.iter().zip(&out_b) {
+            assert_eq!(a.input_index, b.input_index);
+            assert_eq!(a.delta_alpha.to_bits(), b.delta_alpha.to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_spectrum_rejects_non_finite_and_resets() {
+        let cfg = spectrum_test_config();
+        let mut stream = StreamingSpectrum::new(&cfg).unwrap();
+        assert!(stream.push(f64::NAN).is_err());
+        assert_eq!(stream.samples_seen(), 0, "bad sample must not be absorbed");
+        stream.push(1.0).unwrap();
+        assert_eq!(stream.samples_seen(), 1);
+        stream.reset();
+        assert_eq!(stream.samples_seen(), 0);
+        assert_eq!(stream.window(), cfg.window);
+        assert_eq!(stream.stride(), cfg.stride);
+        assert_eq!(stream.qs(), cfg.qs.as_slice());
     }
 
     #[test]

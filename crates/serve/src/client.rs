@@ -19,9 +19,9 @@ use aging_timeseries::{Error, Result};
 
 use crate::codec::FrameDecoder;
 use crate::protocol::{
-    columnar_spans, counter_code, encode_batch_frame_into, encode_columnar_frame_into,
-    encode_frame_into, Frame, Record, ServeEvent, COLUMN_HEADER_BYTES, COLUMN_RECORD_BYTES,
-    PROTOCOL_VERSION, PROTOCOL_VERSION_V2, RECORD_BYTES,
+    columnar_spans, counter_code, counter_from_code, encode_batch_frame_into,
+    encode_columnar_frame_into, encode_frame_into, Frame, Record, ServeEvent, COLUMN_HEADER_BYTES,
+    COLUMN_RECORD_BYTES, PROTOCOL_VERSION, PROTOCOL_VERSION_V2, RECORD_BYTES,
 };
 use crate::server::ServeStatus;
 
@@ -348,6 +348,38 @@ impl ServeClient {
                 .map(Some)
                 .map_err(|e| Error::Io(format!("bad machine reply: {e}"))),
             other => Err(Error::Io(format!("unexpected machine reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches one machine's latest streaming Δα width per counter,
+    /// `None` when the server has never seen that machine. Requires a
+    /// v2-negotiated session; on a v1 session the server treats the
+    /// query as a strike.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_spectrum(&mut self, machine_id: u64) -> Result<Option<Vec<(Counter, f64)>>> {
+        self.send(&Frame::QuerySpectrum { machine_id })?;
+        match self.recv_reply()? {
+            Frame::SpectrumReply {
+                machine_id: m,
+                known,
+                widths,
+            } if m == machine_id => {
+                if !known {
+                    return Ok(None);
+                }
+                let mut decoded = Vec::with_capacity(widths.len());
+                for (code, width) in widths {
+                    let counter = counter_from_code(code).ok_or_else(|| {
+                        Error::Io(format!("bad counter code {code} in spectrum reply"))
+                    })?;
+                    decoded.push((counter, width));
+                }
+                Ok(Some(decoded))
+            }
+            other => Err(Error::Io(format!("unexpected spectrum reply: {other:?}"))),
         }
     }
 

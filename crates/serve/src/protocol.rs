@@ -222,6 +222,25 @@ pub enum Frame {
         /// The JSON document, if the machine exists.
         json: Option<String>,
     },
+    /// Request the latest per-counter spectrum widths (Δα) of one machine
+    /// (protocol v2; on a v1 session this is malformed and counts a
+    /// strike).
+    QuerySpectrum {
+        /// Machine to query.
+        machine_id: u64,
+    },
+    /// Per-counter Δα measurements of one machine: one `(counter code,
+    /// Δα)` entry for every enabled stream whose spectrum-width detector
+    /// has emitted at least one window. `known = false` (and no entries)
+    /// when the machine id is unknown to this server.
+    SpectrumReply {
+        /// Echo of the queried machine.
+        machine_id: u64,
+        /// Whether the machine id is known.
+        known: bool,
+        /// `(counter code, Δα)` pairs, in pipeline stream order.
+        widths: Vec<(u8, f64)>,
+    },
     /// Request the watermark-released alarm history from offset `since`.
     QueryAlarms {
         /// Offset into the released history.
@@ -277,6 +296,8 @@ const TAG_BYE: u8 = 0x0d;
 const TAG_BYE_ACK: u8 = 0x0e;
 const TAG_ERROR: u8 = 0x0f;
 const TAG_BATCH_COLUMNAR: u8 = 0x10;
+const TAG_QUERY_SPECTRUM: u8 = 0x11;
+const TAG_SPECTRUM_REPLY: u8 = 0x12;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected)
@@ -365,6 +386,7 @@ fn trigger_from_code(code: u8) -> Option<Trigger> {
 fn detector_code(name: &str) -> u8 {
     match name {
         "holder-dimension" => 0,
+        "spectrum-width" => 2,
         _ => 1,
     }
 }
@@ -373,6 +395,7 @@ fn detector_from_code(code: u8) -> Option<&'static str> {
     match code {
         0 => Some("holder-dimension"),
         1 => Some("mann-kendall-sen"),
+        2 => Some("spectrum-width"),
         _ => None,
     }
 }
@@ -532,6 +555,7 @@ const EVENT_DETECTOR: u8 = 0;
 const EVENT_MACHINE_ALARM: u8 = 1;
 const DETAIL_HOLDER: u8 = 0;
 const DETAIL_TREND: u8 = 1;
+const DETAIL_SPECTRUM: u8 = 2;
 
 /// Appends one event's canonical wire encoding to `out`.
 ///
@@ -570,6 +594,14 @@ pub fn encode_event(event: &ServeEvent, out: &mut Vec<u8>) {
                     out.push(DETAIL_TREND);
                     out.push(u8::from(eta_secs.is_some()));
                     out.extend_from_slice(&eta_secs.unwrap_or(0.0).to_bits().to_le_bytes());
+                }
+                AlertDetail::Spectrum {
+                    delta_alpha,
+                    baseline_width,
+                } => {
+                    out.push(DETAIL_SPECTRUM);
+                    out.extend_from_slice(&delta_alpha.to_bits().to_le_bytes());
+                    out.extend_from_slice(&baseline_width.to_bits().to_le_bytes());
                 }
             }
         }
@@ -639,6 +671,14 @@ pub(crate) fn decode_event(r: &mut Reader<'_>) -> Result<ServeEvent, String> {
                     let eta = r.f64()?;
                     AlertDetail::Trend {
                         eta_secs: has_eta.then_some(eta),
+                    }
+                }
+                DETAIL_SPECTRUM => {
+                    let delta_alpha = r.f64()?;
+                    let baseline_width = r.f64()?;
+                    AlertDetail::Spectrum {
+                        delta_alpha,
+                        baseline_width,
                     }
                 }
                 t => return Err(format!("bad detail tag {t}")),
@@ -773,6 +813,25 @@ impl Frame {
                     None => out.push(0),
                 }
             }
+            Frame::QuerySpectrum { machine_id } => {
+                out.push(TAG_QUERY_SPECTRUM);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+            }
+            Frame::SpectrumReply {
+                machine_id,
+                known,
+                widths,
+            } => {
+                out.push(TAG_SPECTRUM_REPLY);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+                out.push(u8::from(*known));
+                let n = widths.len().min(usize::from(u16::MAX));
+                out.extend_from_slice(&(n as u16).to_le_bytes());
+                for (counter, delta_alpha) in &widths[..n] {
+                    out.push(*counter);
+                    out.extend_from_slice(&delta_alpha.to_bits().to_le_bytes());
+                }
+            }
             Frame::QueryAlarms { since } => {
                 out.push(TAG_QUERY_ALARMS);
                 out.extend_from_slice(&since.to_le_bytes());
@@ -893,6 +952,23 @@ impl Frame {
                     None
                 };
                 Frame::MachineReply { json }
+            }
+            TAG_QUERY_SPECTRUM => Frame::QuerySpectrum {
+                machine_id: r.u64()?,
+            },
+            TAG_SPECTRUM_REPLY => {
+                let machine_id = r.u64()?;
+                let known = r.u8()? != 0;
+                let n = usize::from(r.u16()?);
+                let mut widths = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    widths.push((r.u8()?, r.f64()?));
+                }
+                Frame::SpectrumReply {
+                    machine_id,
+                    known,
+                    widths,
+                }
             }
             TAG_QUERY_ALARMS => Frame::QueryAlarms { since: r.u64()? },
             TAG_ALARMS_REPLY => {
@@ -1147,7 +1223,31 @@ mod tests {
                             },
                         },
                     },
+                    ServeEvent {
+                        machine_id: 6,
+                        time_secs: 95.0,
+                        level: AlertLevel::Alarm,
+                        kind: AlarmKind::Detector {
+                            counter: Counter::AvailableBytes,
+                            detector: "spectrum-width",
+                            detail: AlertDetail::Spectrum {
+                                delta_alpha: 0.81,
+                                baseline_width: 0.07,
+                            },
+                        },
+                    },
                 ],
+            },
+            Frame::QuerySpectrum { machine_id: 3 },
+            Frame::SpectrumReply {
+                machine_id: 3,
+                known: true,
+                widths: vec![(0, 0.42), (1, 0.13)],
+            },
+            Frame::SpectrumReply {
+                machine_id: 9,
+                known: false,
+                widths: vec![],
             },
             Frame::Bye,
             Frame::ByeAck,

@@ -1012,6 +1012,18 @@ impl Engine {
             .map(|e| e.pipeline.snapshot(machine_id, &e.name))
     }
 
+    /// Latest streaming Δα per counter for one machine, in wire form
+    /// (counter code, width). `None` when the machine is unknown.
+    fn spectrum_widths(&self, machine_id: u64) -> Option<Vec<(u8, f64)>> {
+        self.machines.get(&machine_id).map(|e| {
+            e.pipeline
+                .spectrum_widths()
+                .into_iter()
+                .map(|(counter, width)| (counter_code(counter), width))
+                .collect()
+        })
+    }
+
     fn status_json(&mut self) -> String {
         let status = ServeStatus {
             wire: self.wire,
@@ -1722,6 +1734,31 @@ fn handle_frame(
             let _ = send_frame(stream, &Frame::MachineReply { json });
             FrameOutcome::Continue
         }
+        Frame::QuerySpectrum { machine_id } => {
+            // Spectrum queries are a v2 capability; on a v1 session they
+            // are intact-but-invalid, i.e. a strike, not a quarantine.
+            if sess.version < PROTOCOL_VERSION_V2 {
+                return FrameOutcome::Malformed(format!(
+                    "spectrum query requires protocol v{PROTOCOL_VERSION_V2} (session negotiated v{})",
+                    sess.version
+                ));
+            }
+            let widths = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                engine.spectrum_widths(machine_id)
+            };
+            let known = widths.is_some();
+            let _ = send_frame(
+                stream,
+                &Frame::SpectrumReply {
+                    machine_id,
+                    known,
+                    widths: widths.unwrap_or_default(),
+                },
+            );
+            FrameOutcome::Continue
+        }
         Frame::QueryAlarms { since } => {
             // `total` and the advertised watermark are read under one
             // engine lock, so together they form a consistent promise:
@@ -1763,6 +1800,7 @@ fn handle_frame(
         | Frame::StatusReply { .. }
         | Frame::MachineReply { .. }
         | Frame::AlarmsReply { .. }
+        | Frame::SpectrumReply { .. }
         | Frame::ByeAck
         | Frame::Error { .. } => {
             let _ = send_frame(

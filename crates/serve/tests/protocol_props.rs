@@ -83,6 +83,23 @@ fn build_frame(kind: usize, a: u64, b: u64, f: f64, text: &str, n_records: usize
                     .collect(),
             }
         }
+        14 => Frame::QuerySpectrum { machine_id: a },
+        15 => Frame::SpectrumReply {
+            machine_id: a,
+            known: b.is_multiple_of(2),
+            widths: (0..n_records)
+                .map(|i| {
+                    // Counter codes and Δα values round-trip whatever
+                    // they are — including non-finite widths.
+                    let width = if i % 3 == 2 {
+                        f64::INFINITY
+                    } else {
+                        f * i as f64
+                    };
+                    ((b.wrapping_add(i as u64) % 256) as u8, width)
+                })
+                .collect(),
+        },
         _ => Frame::Error {
             code: (a % 256) as u8,
             message: text.to_string(),
@@ -108,7 +125,7 @@ proptest! {
     /// byte-level comparison sidesteps NaN != NaN on decoded floats).
     #[test]
     fn frames_survive_arbitrary_chunking(
-        kinds in prop::collection::vec(0usize..15, 1..=12),
+        kinds in prop::collection::vec(0usize..17, 1..=12),
         seeds in prop::collection::vec(0u64..u64::MAX, 12..=12),
         floats in prop::collection::vec(-1e12f64..1e12, 12..=12),
         lens in prop::collection::vec(0usize..40, 12..=12),

@@ -9,7 +9,9 @@
 //! 4. a columnar frame on a v1-negotiated session is intact-but-invalid:
 //!    each one draws `ERR_MALFORMED` and a strike, and the strike
 //!    threshold quarantines the session — exactly the sample-gate
-//!    mirror the record path uses.
+//!    mirror the record path uses;
+//! 5. a spectrum query on a v1-negotiated session is gated the same way:
+//!    strikes, then quarantine — v2 capabilities never leak down.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -185,5 +187,54 @@ fn columnar_frame_on_v1_session_strikes_then_quarantines() {
     assert_eq!(outcome.wire.quarantined, 1, "exactly this session");
     assert_eq!(outcome.wire.malformed_frames, 3);
     assert_eq!(outcome.wire.records, 0, "no column was ever applied");
+    assert_eq!(outcome.wire.session_panics, 0);
+}
+
+#[test]
+fn spectrum_query_on_v1_session_strikes_then_quarantines() {
+    let server = test_server();
+    let (mut stream, mut dec) = raw_connect(server.local_addr());
+    stream
+        .write_all(&encode_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "v1-but-curious".into(),
+        }))
+        .expect("send hello");
+    let ack = read_frame(&mut stream, &mut dec).expect("hello ack");
+    let Frame::HelloAck { version, .. } = ack else {
+        panic!("expected HelloAck, got {ack:?}");
+    };
+    assert_eq!(version, PROTOCOL_VERSION);
+
+    // A perfectly well-formed spectrum query — just illegal on a v1
+    // session. Each draws ERR_MALFORMED; the third quarantines.
+    let mut saw_quarantine = false;
+    for attempt in 1..=3u32 {
+        stream
+            .write_all(&encode_frame(&Frame::QuerySpectrum { machine_id: 1 }))
+            .expect("send spectrum query");
+        let reply = read_frame(&mut stream, &mut dec).expect("strike reply");
+        let Frame::Error { code, message } = reply else {
+            panic!("expected an error frame, got {reply:?}");
+        };
+        assert_eq!(code, ERR_MALFORMED, "strike {attempt}: {message}");
+        assert!(
+            message.contains("protocol v2"),
+            "the strike names the version gate: {message}"
+        );
+        if attempt == 3 {
+            let last = read_frame(&mut stream, &mut dec).expect("quarantine notice");
+            let Frame::Error { code, .. } = last else {
+                panic!("expected the quarantine error, got {last:?}");
+            };
+            assert_eq!(code, ERR_QUARANTINED);
+            saw_quarantine = true;
+        }
+    }
+    assert!(saw_quarantine);
+
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.quarantined, 1, "exactly this session");
+    assert_eq!(outcome.wire.malformed_frames, 3);
     assert_eq!(outcome.wire.session_panics, 0);
 }

@@ -1,0 +1,185 @@
+//! `QuerySpectrum` end-to-end suite: a v2 client querying a live server
+//! must see exactly the Δα the offline spectrum estimator computes on
+//! the same samples — the serve-tier face of the E17 streaming-vs-batch
+//! parity contract.
+//!
+//! 1. an unknown machine id draws `known = false` (client `None`);
+//! 2. a known machine whose spectrum window has not filled yet draws an
+//!    empty width list — known, but nothing to report;
+//! 3. once the window fills, the reported `(counter, Δα)` is bit-equal
+//!    to the last window of [`spectrum_trace`] over the fed values, and
+//!    non-spectrum detector streams contribute no entry.
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_fractal::spectrum::{spectrum_trace, SpectrumConfig};
+use aging_memsim::Counter;
+use aging_serve::protocol::{counter_code, Record};
+use aging_serve::{ServeClient, ServeConfig, Server};
+use aging_stream::detector::{DetectorSpec, SpectrumDetectorConfig};
+use aging_stream::supervisor::CounterDetector;
+use aging_stream::GateConfig;
+
+const DT: f64 = 5.0;
+
+fn spectrum_config() -> SpectrumConfig {
+    SpectrumConfig {
+        window: 128,
+        stride: 32,
+        ..SpectrumConfig::default()
+    }
+}
+
+/// One spectrum stream (AvailableBytes) plus one trend stream
+/// (CommittedBytes): the reply must carry the spectrum entry only.
+fn serve_config() -> ServeConfig {
+    let detectors = vec![
+        CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Spectrum(SpectrumDetectorConfig {
+                spectrum: spectrum_config(),
+                skip_windows: 0,
+                baseline_windows: 4,
+                width_delta: 0.2,
+                mad_multiplier: 4.0,
+                confirm_windows: 2,
+            }),
+        },
+        CounterDetector {
+            counter: Counter::CommittedBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 64,
+                refit_every: 4,
+                alarm_horizon_secs: 1e6,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        },
+    ];
+    let mut cfg = ServeConfig::new(detectors);
+    cfg.gate = GateConfig {
+        nominal_period_secs: DT,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+/// Deterministic rough trace — enough texture for the structure
+/// functions to be well-conditioned on every window.
+fn values(n: usize) -> Vec<f64> {
+    let mut state = 0x51ce_b00c_5eed_f00du64;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut acc = 1e6;
+    (0..n)
+        .map(|i| {
+            acc += rand() * 8.0 - 0.2;
+            acc + (i as f64 * 0.45).sin() * 16.0
+        })
+        .collect()
+}
+
+/// Sends `values` as records whose timestamps continue from sample
+/// index `at` — a later call with the next slice keeps the stream's
+/// clock monotone, so the defect gate accepts every sample.
+fn feed(client: &mut ServeClient, machine_id: u64, counter: Counter, at: usize, values: &[f64]) {
+    let records: Vec<Record> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Record {
+            machine_id,
+            counter: counter_code(counter),
+            time_secs: (at + i) as f64 * DT,
+            value: v,
+        })
+        .collect();
+    for chunk in records.chunks(32) {
+        client.send_batch(chunk).expect("send batch");
+    }
+    client.flush().expect("flush");
+}
+
+#[test]
+fn unknown_machine_draws_known_false() {
+    let server = Server::bind("127.0.0.1:0", serve_config()).expect("bind server");
+    let mut client = ServeClient::connect(server.local_addr(), "spectrum-prober").expect("connect");
+    assert_eq!(
+        client.query_spectrum(404).expect("query"),
+        None,
+        "an unregistered machine must not be invented"
+    );
+    client.bye().expect("bye");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0);
+    assert_eq!(outcome.wire.quarantined, 0);
+}
+
+#[test]
+fn widths_match_the_offline_estimator_bit_for_bit() {
+    let server = Server::bind("127.0.0.1:0", serve_config()).expect("bind server");
+    let mut client = ServeClient::connect(server.local_addr(), "spectrum-feeder").expect("connect");
+    let cfg = spectrum_config();
+    let trace = values(cfg.window + 3 * cfg.stride + 7);
+
+    // A machine whose spectrum window has not filled yet: known, but no
+    // width to report.
+    feed(
+        &mut client,
+        7,
+        Counter::AvailableBytes,
+        0,
+        &trace[..cfg.window / 2],
+    );
+    assert_eq!(
+        client.query_spectrum(7).expect("query"),
+        Some(Vec::new()),
+        "a half-filled window must report no width"
+    );
+
+    // Fill it. The last completed window of the offline batch estimator
+    // over the same values is the one true answer — the streaming kernel
+    // behind the server is bit-identical to it by construction.
+    feed(
+        &mut client,
+        7,
+        Counter::AvailableBytes,
+        cfg.window / 2,
+        &trace[cfg.window / 2..],
+    );
+    // The trend stream sees data too; it must not leak into the reply.
+    feed(
+        &mut client,
+        7,
+        Counter::CommittedBytes,
+        0,
+        &trace[..cfg.window],
+    );
+
+    let offline = spectrum_trace(&trace, &cfg).expect("offline trace");
+    let expected = offline.last().expect("window filled").delta_alpha;
+    let widths = client
+        .query_spectrum(7)
+        .expect("query")
+        .expect("machine is known");
+    assert_eq!(
+        widths.len(),
+        1,
+        "only the spectrum stream reports: {widths:?}"
+    );
+    assert_eq!(widths[0].0, Counter::AvailableBytes);
+    assert_eq!(
+        widths[0].1.to_bits(),
+        expected.to_bits(),
+        "served Δα {} != offline Δα {}",
+        widths[0].1,
+        expected
+    );
+
+    client.bye().expect("bye");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0);
+    assert_eq!(outcome.wire.quarantined, 0);
+    assert_eq!(outcome.wire.malformed_frames, 0);
+}

@@ -18,6 +18,7 @@
 
 use aging_core::baseline::{ResourceDirection, TrendPredictorConfig};
 use aging_core::detector::{Alert, AlertLevel, Baseline, DetectorConfig, JumpRule, Trigger};
+use aging_fractal::spectrum::{SpectrumConfig, StreamingSpectrum};
 use aging_fractal::streaming::{StreamingDimension, StreamingHolder};
 use aging_timeseries::persist::{self, Reader};
 use aging_timeseries::trend::{StreamingMannKendall, TrendDirection};
@@ -119,6 +120,9 @@ pub enum DetectorSpec {
     Holder(DetectorConfig),
     /// Mann–Kendall + Sen-slope exhaustion baseline (streaming form).
     Trend(TrendPredictorConfig),
+    /// Multifractal spectrum-width (Δα) detector — the paper's fourth
+    /// claim, the spectrum widening with age, as an online signal.
+    Spectrum(SpectrumDetectorConfig),
 }
 
 impl DetectorSpec {
@@ -127,6 +131,7 @@ impl DetectorSpec {
         match self {
             DetectorSpec::Holder(_) => "holder-dimension",
             DetectorSpec::Trend(_) => "mann-kendall-sen",
+            DetectorSpec::Spectrum(_) => "spectrum-width",
         }
     }
 }
@@ -141,6 +146,14 @@ pub enum AlertDetail {
         /// Seconds until the extrapolated series crosses the exhaustion
         /// level.
         eta_secs: Option<f64>,
+    },
+    /// Spectrum-width alert: the anomalous window's Δα against the frozen
+    /// baseline width.
+    Spectrum {
+        /// Spectrum width Δα of the window that fired.
+        delta_alpha: f64,
+        /// The baseline width it was compared against.
+        baseline_width: f64,
     },
 }
 
@@ -605,6 +618,318 @@ impl StreamingTrend {
     }
 }
 
+/// Configuration of the streaming spectrum-width (Δα) detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumDetectorConfig {
+    /// Rolling estimator parameters (window, stride, q grid).
+    pub spectrum: SpectrumConfig,
+    /// Emissions discarded before baseline collection begins.
+    pub skip_windows: usize,
+    /// Emissions that form the Δα baseline (median/MAD).
+    pub baseline_windows: usize,
+    /// Minimum Δα widening over the baseline that counts as anomalous.
+    pub width_delta: f64,
+    /// MAD multiplier for the adaptive widening threshold.
+    pub mad_multiplier: f64,
+    /// Consecutive anomalous emissions required to alarm.
+    pub confirm_windows: usize,
+}
+
+impl Default for SpectrumDetectorConfig {
+    fn default() -> Self {
+        SpectrumDetectorConfig {
+            spectrum: SpectrumConfig::default(),
+            skip_windows: 1,
+            baseline_windows: 8,
+            width_delta: 0.2,
+            mad_multiplier: 4.0,
+            confirm_windows: 2,
+        }
+    }
+}
+
+impl SpectrumDetectorConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a bad estimator config or
+    /// non-positive thresholds.
+    pub fn validate(&self) -> Result<()> {
+        self.spectrum.validate()?;
+        if self.baseline_windows < 2 {
+            return Err(Error::invalid("baseline_windows", "must be at least 2"));
+        }
+        if !(self.width_delta > 0.0 && self.width_delta.is_finite()) {
+            return Err(Error::invalid("width_delta", "must be positive and finite"));
+        }
+        if !(self.mad_multiplier > 0.0 && self.mad_multiplier.is_finite()) {
+            return Err(Error::invalid(
+                "mad_multiplier",
+                "must be positive and finite",
+            ));
+        }
+        if self.confirm_windows == 0 {
+            return Err(Error::invalid("confirm_windows", "must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// The frozen Δα baseline of a [`StreamingSpectrumWidth`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumBaseline {
+    /// Median Δα over the baseline emissions.
+    pub width: f64,
+    /// Widening beyond `width` that counts as anomalous
+    /// (MAD-scaled, clamped to `[width_delta, 3·width_delta]`).
+    pub delta: f64,
+}
+
+/// One emitted spectrum-width alert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumAlert {
+    /// Zero-based index of the sample that completed the anomalous window.
+    pub sample_index: u64,
+    /// Severity.
+    pub level: AlertLevel,
+    /// The window's spectrum width Δα.
+    pub delta_alpha: f64,
+    /// The frozen baseline width it was compared against.
+    pub baseline_width: f64,
+}
+
+/// Streaming multifractal spectrum-width detector.
+///
+/// Runs a [`StreamingSpectrum`] kernel over the counter stream and applies
+/// the same decision discipline as [`StreamingHolderDimension`] to the
+/// emitted Δα values: warmup skip, a median/MAD baseline frozen after
+/// `baseline_windows` emissions, widening anomalies confirmed over
+/// `confirm_windows` consecutive emissions, Warning on the first anomaly,
+/// a latched Alarm on confirmation.
+#[derive(Debug, Clone)]
+pub struct StreamingSpectrumWidth {
+    config: SpectrumDetectorConfig,
+    kernel: StreamingSpectrum,
+    windows_seen: usize,
+    baseline_widths: Vec<f64>,
+    baseline: Option<SpectrumBaseline>,
+    consecutive_anomalies: usize,
+    alarmed: bool,
+    warnings_emitted: u64,
+    alarms_emitted: u64,
+    last_alert: Option<SpectrumAlert>,
+    last_width: Option<f64>,
+}
+
+impl StreamingSpectrumWidth {
+    /// Creates the detector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpectrumDetectorConfig::validate`] failures.
+    pub fn new(config: SpectrumDetectorConfig) -> Result<Self> {
+        config.validate()?;
+        let kernel = StreamingSpectrum::new(&config.spectrum)?;
+        Ok(StreamingSpectrumWidth {
+            config,
+            kernel,
+            windows_seen: 0,
+            baseline_widths: Vec::new(),
+            baseline: None,
+            consecutive_anomalies: 0,
+            alarmed: false,
+            warnings_emitted: 0,
+            alarms_emitted: 0,
+            last_alert: None,
+            last_width: None,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SpectrumDetectorConfig {
+        &self.config
+    }
+
+    /// Feeds one counter sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`aging_timeseries::Error::NonFinite`] for NaN/infinite
+    /// samples (not absorbed) and propagates estimator failures.
+    pub fn push(&mut self, value: f64) -> Result<Option<SpectrumAlert>> {
+        let Some(win) = self.kernel.push(value)? else {
+            return Ok(None);
+        };
+        self.last_width = Some(win.delta_alpha);
+        self.windows_seen += 1;
+        let cfg = &self.config;
+
+        // Warmup skip.
+        if self.windows_seen <= cfg.skip_windows {
+            return Ok(None);
+        }
+
+        // Baseline formation.
+        if self.baseline.is_none() {
+            self.baseline_widths.push(win.delta_alpha);
+            if self.baseline_widths.len() >= cfg.baseline_windows {
+                let width = stats::median(&self.baseline_widths)?;
+                let mad = stats::mad(&self.baseline_widths)?;
+                self.baseline = Some(SpectrumBaseline {
+                    width,
+                    delta: (cfg.mad_multiplier * mad).clamp(cfg.width_delta, 3.0 * cfg.width_delta),
+                });
+                // Dead state once the baseline freezes.
+                self.baseline_widths = Vec::new();
+            }
+            return Ok(None);
+        }
+        let baseline = self.baseline.expect("set above");
+
+        // Anomaly rule: the spectrum widened beyond the baseline band.
+        if win.delta_alpha <= baseline.width + baseline.delta {
+            self.consecutive_anomalies = 0;
+            return Ok(None);
+        }
+        self.consecutive_anomalies += 1;
+        if self.alarmed {
+            return Ok(None);
+        }
+        let level = if self.consecutive_anomalies >= cfg.confirm_windows {
+            self.alarmed = true;
+            AlertLevel::Alarm
+        } else if self.consecutive_anomalies == 1 {
+            AlertLevel::Warning
+        } else {
+            return Ok(None);
+        };
+        let alert = SpectrumAlert {
+            sample_index: win.input_index,
+            level,
+            delta_alpha: win.delta_alpha,
+            baseline_width: baseline.width,
+        };
+        match level {
+            AlertLevel::Warning => self.warnings_emitted += 1,
+            AlertLevel::Alarm => self.alarms_emitted += 1,
+        }
+        self.last_alert = Some(alert);
+        Ok(Some(alert))
+    }
+
+    /// Whether the confirmed alarm has fired.
+    pub fn is_alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// The established baseline, once formed.
+    pub fn baseline(&self) -> Option<SpectrumBaseline> {
+        self.baseline
+    }
+
+    /// The most recent alert, if any.
+    pub fn last_alert(&self) -> Option<SpectrumAlert> {
+        self.last_alert
+    }
+
+    /// Δα of the most recently emitted window, if any.
+    pub fn last_width(&self) -> Option<f64> {
+        self.last_width
+    }
+
+    /// Samples consumed over the detector's lifetime.
+    pub fn samples_seen(&self) -> u64 {
+        self.kernel.samples_seen()
+    }
+
+    /// Upper bound on retained samples.
+    pub fn memory_bound_samples(&self) -> usize {
+        self.kernel.window() + self.config.baseline_windows
+    }
+
+    /// Clears all state (after reboot/rejuvenation or a feed gap); the
+    /// configuration and lifetime emission counters are retained.
+    pub fn reset(&mut self) {
+        self.kernel.reset();
+        self.windows_seen = 0;
+        self.baseline_widths.clear();
+        self.baseline = None;
+        self.consecutive_anomalies = 0;
+        self.alarmed = false;
+        self.last_alert = None;
+        self.last_width = None;
+    }
+
+    /// Serializes all dynamic state via [`aging_timeseries::persist`]; the
+    /// config is re-supplied at construction.
+    pub fn encode_state(&self, out: &mut Vec<u8>) {
+        self.kernel.encode_state(out);
+        persist::put_usize(out, self.windows_seen);
+        put_f64_vec(out, &self.baseline_widths);
+        match self.baseline {
+            None => persist::put_bool(out, false),
+            Some(b) => {
+                persist::put_bool(out, true);
+                persist::put_f64(out, b.width);
+                persist::put_f64(out, b.delta);
+            }
+        }
+        persist::put_usize(out, self.consecutive_anomalies);
+        persist::put_bool(out, self.alarmed);
+        persist::put_u64(out, self.warnings_emitted);
+        persist::put_u64(out, self.alarms_emitted);
+        match self.last_alert {
+            None => persist::put_bool(out, false),
+            Some(a) => {
+                persist::put_bool(out, true);
+                persist::put_u64(out, a.sample_index);
+                persist::put_u8(out, level_code(a.level));
+                persist::put_f64(out, a.delta_alpha);
+                persist::put_f64(out, a.baseline_width);
+            }
+        }
+        persist::put_opt_f64(out, self.last_width);
+    }
+
+    /// Restores state written by [`StreamingSpectrumWidth::encode_state`]
+    /// into a detector constructed with the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on truncation, a window
+    /// mismatch or corrupt enum codes.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.kernel.restore_state(r)?;
+        self.windows_seen = r.usize_()?;
+        self.baseline_widths = read_f64_vec(r, self.config.baseline_windows)?;
+        self.baseline = if r.bool()? {
+            Some(SpectrumBaseline {
+                width: r.f64()?,
+                delta: r.f64()?,
+            })
+        } else {
+            None
+        };
+        self.consecutive_anomalies = r.usize_()?;
+        self.alarmed = r.bool()?;
+        self.warnings_emitted = r.u64()?;
+        self.alarms_emitted = r.u64()?;
+        self.last_alert = if r.bool()? {
+            Some(SpectrumAlert {
+                sample_index: r.u64()?,
+                level: level_from_code(r.u8()?)?,
+                delta_alpha: r.f64()?,
+                baseline_width: r.f64()?,
+            })
+        } else {
+            None
+        };
+        self.last_width = r.opt_f64()?;
+        Ok(())
+    }
+}
+
 /// A uniform wrapper so fleets can mix detector families per counter.
 #[derive(Debug, Clone)]
 pub struct StreamingDetector {
@@ -615,6 +940,7 @@ pub struct StreamingDetector {
 enum Inner {
     Holder(Box<StreamingHolderDimension>),
     Trend(Box<StreamingTrend>),
+    Spectrum(Box<StreamingSpectrumWidth>),
 }
 
 impl StreamingDetector {
@@ -629,6 +955,9 @@ impl StreamingDetector {
                 Inner::Holder(Box::new(StreamingHolderDimension::new(cfg.clone())?))
             }
             DetectorSpec::Trend(cfg) => Inner::Trend(Box::new(StreamingTrend::new(cfg.clone())?)),
+            DetectorSpec::Spectrum(cfg) => {
+                Inner::Spectrum(Box::new(StreamingSpectrumWidth::new(cfg.clone())?))
+            }
         };
         Ok(StreamingDetector { inner })
     }
@@ -659,6 +988,14 @@ impl StreamingDetector {
                     Ok(None)
                 }
             }
+            Inner::Spectrum(det) => Ok(det.push(value)?.map(|alert| StreamAlert {
+                sample_index: alert.sample_index,
+                level: alert.level,
+                detail: AlertDetail::Spectrum {
+                    delta_alpha: alert.delta_alpha,
+                    baseline_width: alert.baseline_width,
+                },
+            })),
         }
     }
 
@@ -708,6 +1045,24 @@ impl StreamingDetector {
                 }
                 Ok(())
             }
+            Inner::Spectrum(det) => {
+                for (k, &value) in values.iter().enumerate() {
+                    if let Some(alert) = det.push(value)? {
+                        out.push((
+                            k,
+                            StreamAlert {
+                                sample_index: alert.sample_index,
+                                level: alert.level,
+                                detail: AlertDetail::Spectrum {
+                                    delta_alpha: alert.delta_alpha,
+                                    baseline_width: alert.baseline_width,
+                                },
+                            },
+                        ));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -725,6 +1080,16 @@ impl StreamingDetector {
         match &self.inner {
             Inner::Holder(det) => det.is_alarmed(),
             Inner::Trend(det) => det.is_alarmed(),
+            Inner::Spectrum(det) => det.is_alarmed(),
+        }
+    }
+
+    /// Latest spectrum width Δα, when this is the spectrum family and at
+    /// least one window has been emitted; `None` for other families.
+    pub fn last_delta_alpha(&self) -> Option<f64> {
+        match &self.inner {
+            Inner::Spectrum(det) => det.last_width(),
+            _ => None,
         }
     }
 
@@ -734,6 +1099,7 @@ impl StreamingDetector {
         match &self.inner {
             Inner::Holder(det) => det.memory_bound_samples(),
             Inner::Trend(det) => det.memory_bound_samples(),
+            Inner::Spectrum(det) => det.memory_bound_samples(),
         }
     }
 
@@ -742,6 +1108,7 @@ impl StreamingDetector {
         match &mut self.inner {
             Inner::Holder(det) => det.reset(),
             Inner::Trend(det) => det.reset(),
+            Inner::Spectrum(det) => det.reset(),
         }
     }
 
@@ -755,6 +1122,10 @@ impl StreamingDetector {
             }
             Inner::Trend(det) => {
                 persist::put_u8(out, 1);
+                det.encode_state(out);
+            }
+            Inner::Spectrum(det) => {
+                persist::put_u8(out, 2);
                 det.encode_state(out);
             }
         }
@@ -772,6 +1143,7 @@ impl StreamingDetector {
         match (&mut self.inner, tag) {
             (Inner::Holder(det), 0) => det.restore_state(r),
             (Inner::Trend(det), 1) => det.restore_state(r),
+            (Inner::Spectrum(det), 2) => det.restore_state(r),
             (_, t) => Err(Error::invalid(
                 "persist",
                 format!("detector family tag {t} does not match the configured spec"),
@@ -915,5 +1287,143 @@ mod tests {
             AlertDetail::Trend { eta_secs: Some(_) }
         ));
         assert!(det.is_alarmed());
+    }
+
+    fn tiny_spectrum_config() -> SpectrumDetectorConfig {
+        SpectrumDetectorConfig {
+            spectrum: SpectrumConfig {
+                window: 128,
+                stride: 32,
+                ..SpectrumConfig::default()
+            },
+            skip_windows: 0,
+            baseline_windows: 4,
+            width_delta: 0.2,
+            mad_multiplier: 4.0,
+            confirm_windows: 2,
+        }
+    }
+
+    /// A signal whose multifractal width widens in late life: a random
+    /// walk with constant-amplitude steps that become intermittent
+    /// (occasional large bursts) past `turn`.
+    fn widening_signal(n: usize, turn: usize) -> Vec<f64> {
+        let mut state = 0x51ce_b00c_5eed_f00du64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut acc = 0.0;
+        (0..n)
+            .map(|i| {
+                let u = rand() - 0.5;
+                let step = if i > turn && rand() < 0.08 {
+                    u * 400.0
+                } else {
+                    u * 8.0
+                };
+                acc += step;
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn spectrum_detector_alarms_on_widening() {
+        let mut det = StreamingSpectrumWidth::new(tiny_spectrum_config()).unwrap();
+        let signal = widening_signal(1024, 500);
+        let mut alerts = Vec::new();
+        for &v in &signal {
+            if let Some(a) = det.push(v).unwrap() {
+                alerts.push(a);
+            }
+        }
+        assert!(det.is_alarmed(), "intermittent late phase must alarm");
+        assert!(det.baseline().is_some());
+        let alarm = alerts
+            .iter()
+            .find(|a| a.level == AlertLevel::Alarm)
+            .unwrap();
+        assert!(
+            alarm.delta_alpha > alarm.baseline_width,
+            "alarm Δα {} vs baseline {}",
+            alarm.delta_alpha,
+            alarm.baseline_width
+        );
+        assert!(det.last_width().is_some());
+    }
+
+    #[test]
+    fn spectrum_detector_quiet_on_stationary_signal() {
+        let mut det = StreamingSpectrumWidth::new(tiny_spectrum_config()).unwrap();
+        // Same generator with the turn pushed past the end: no regime change.
+        for &v in &widening_signal(1024, usize::MAX) {
+            det.push(v).unwrap();
+        }
+        assert!(!det.is_alarmed());
+    }
+
+    #[test]
+    fn spectrum_detector_persist_round_trip_mid_stream() {
+        let cfg = tiny_spectrum_config();
+        let signal = widening_signal(1024, 500);
+        let (head, tail) = signal.split_at(600);
+        let mut live = StreamingSpectrumWidth::new(cfg.clone()).unwrap();
+        for &v in head {
+            live.push(v).unwrap();
+        }
+        let mut blob = Vec::new();
+        live.encode_state(&mut blob);
+        let mut restored = StreamingSpectrumWidth::new(cfg).unwrap();
+        let mut r = Reader::new(&blob);
+        restored.restore_state(&mut r).unwrap();
+        for &v in tail {
+            let a = live.push(v).unwrap();
+            let b = restored.push(v).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(live.is_alarmed(), restored.is_alarmed());
+        assert_eq!(live.last_width(), restored.last_width());
+        assert_eq!(live.baseline(), restored.baseline());
+    }
+
+    #[test]
+    fn spectrum_wrapper_family() {
+        let spec = DetectorSpec::Spectrum(tiny_spectrum_config());
+        assert_eq!(spec.name(), "spectrum-width");
+        let mut det = StreamingDetector::new(&spec).unwrap();
+        assert!(!det.is_trend_family(), "spectrum must take the scalar path");
+        assert_eq!(det.last_delta_alpha(), None);
+        let signal = widening_signal(1024, 500);
+
+        // Chunked pushes match the scalar loop bit-for-bit.
+        let mut scalar = StreamingDetector::new(&spec).unwrap();
+        let mut scalar_alerts = Vec::new();
+        for &v in &signal {
+            if let Some(a) = scalar.push(v).unwrap() {
+                scalar_alerts.push(a);
+            }
+        }
+        let mut out = Vec::new();
+        let mut chunked_alerts = Vec::new();
+        for chunk in signal.chunks(7) {
+            det.push_slice(chunk, &mut out).unwrap();
+            chunked_alerts.extend(out.iter().map(|&(_, a)| a));
+        }
+        assert_eq!(scalar_alerts, chunked_alerts);
+        assert!(det.is_alarmed());
+        assert!(det.last_delta_alpha().is_some());
+        assert_eq!(det.last_delta_alpha(), scalar.last_delta_alpha());
+
+        // Family-tagged persistence round-trips.
+        let mut blob = Vec::new();
+        det.encode_state(&mut blob);
+        let mut restored = StreamingDetector::new(&spec).unwrap();
+        let mut r = Reader::new(&blob);
+        restored.restore_state(&mut r).unwrap();
+        assert!(restored.is_alarmed());
+        assert_eq!(restored.last_delta_alpha(), det.last_delta_alpha());
     }
 }

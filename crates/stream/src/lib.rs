@@ -68,7 +68,7 @@ pub mod telemetry;
 
 pub use aging_timeseries::{Error, Result};
 
-pub use detector::{DetectorSpec, StreamingDetector};
+pub use detector::{DetectorSpec, SpectrumDetectorConfig, StreamingDetector};
 pub use gate::{GateAction, GateConfig, GateHealth, SampleGate};
 pub use merge::{MergeKey, WatermarkMerger};
 pub use pipeline::{MachinePipeline, PipelineEvent};

@@ -671,10 +671,23 @@ impl MachinePipeline {
                     alarmed: cs.detector.is_alarmed(),
                     disabled: cs.disabled,
                     degraded: cs.gate.health() == GateHealth::Degraded,
+                    delta_alpha: cs.detector.last_delta_alpha(),
                     ingestion: *cs.gate.counters(),
                 })
                 .collect(),
         }
+    }
+
+    /// Latest spectrum width per counter: one `(counter, Δα)` entry for
+    /// every enabled stream whose spectrum-width detector has emitted at
+    /// least one window. Empty when no spectrum detectors are configured
+    /// (or none has filled its first window yet).
+    pub fn spectrum_widths(&self) -> Vec<(Counter, f64)> {
+        self.streams
+            .iter()
+            .filter(|cs| !cs.disabled)
+            .filter_map(|cs| cs.detector.last_delta_alpha().map(|da| (cs.counter, da)))
+            .collect()
     }
 }
 

@@ -192,6 +192,7 @@ const EVENT_DETECTOR: u8 = 0;
 const EVENT_MACHINE_ALARM: u8 = 1;
 const DETAIL_HOLDER: u8 = 0;
 const DETAIL_TREND: u8 = 1;
+const DETAIL_SPECTRUM: u8 = 2;
 
 fn counter_byte(counter: Counter) -> u8 {
     Counter::ALL
@@ -210,7 +211,7 @@ fn counter_from_byte(code: u8) -> Result<Counter> {
 /// Interns a persisted detector-family name back to its `&'static str`.
 fn detector_name(name: &str) -> Result<&'static str> {
     // Must cover every DetectorSpec::name.
-    for known in ["holder-dimension", "mann-kendall-sen"] {
+    for known in ["holder-dimension", "mann-kendall-sen", "spectrum-width"] {
         if name == known {
             return Ok(known);
         }
@@ -250,6 +251,14 @@ fn encode_alarm_event(event: &AlarmEvent, out: &mut Vec<u8>) {
                     persist::put_u8(out, DETAIL_TREND);
                     persist::put_opt_f64(out, *eta_secs);
                 }
+                AlertDetail::Spectrum {
+                    delta_alpha,
+                    baseline_width,
+                } => {
+                    persist::put_u8(out, DETAIL_SPECTRUM);
+                    persist::put_f64(out, *delta_alpha);
+                    persist::put_f64(out, *baseline_width);
+                }
             }
         }
         AlarmKind::MachineAlarm { votes, members } => {
@@ -281,6 +290,10 @@ fn decode_alarm_event(r: &mut persist::Reader<'_>) -> Result<AlarmEvent> {
                 }),
                 DETAIL_TREND => AlertDetail::Trend {
                     eta_secs: r.opt_f64()?,
+                },
+                DETAIL_SPECTRUM => AlertDetail::Spectrum {
+                    delta_alpha: r.f64()?,
+                    baseline_width: r.f64()?,
                 },
                 t => return Err(Error::invalid("store", format!("bad detail tag {t}"))),
             };

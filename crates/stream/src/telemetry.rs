@@ -232,7 +232,7 @@ pub struct StatusSnapshot {
 pub type Snapshot = StatusSnapshot;
 
 /// Serialisable state of one counter stream inside a machine pipeline.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterStreamSnapshot {
     /// Monitored counter, by its stable display name.
     pub counter: String,
@@ -245,6 +245,9 @@ pub struct CounterStreamSnapshot {
     /// Whether the gate currently holds the stream in quarantine
     /// (a drop burst is in progress).
     pub degraded: bool,
+    /// Latest multifractal spectrum width Δα, when the stream runs a
+    /// spectrum-width detector that has emitted at least one window.
+    pub delta_alpha: Option<f64>,
     /// This stream's gate counters.
     pub ingestion: StageCounters,
 }

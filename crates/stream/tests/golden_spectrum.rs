@@ -1,0 +1,276 @@
+//! Golden Δα(t) regression tests: two committed fixture CSVs (one aging,
+//! one healthy) with the exact spectrum-width trajectory and alarm
+//! sequence the streaming pipeline must produce on them. Any drift in
+//! the spectrum kernel or the Δα decision discipline — intentional
+//! retuning or an accidental behaviour change — fails CI with a
+//! line-level diff instead of silently shifting E17 results.
+//!
+//! To regenerate the fixtures after an *intentional* change:
+//!
+//! ```text
+//! cargo test -p aging-stream --test golden_spectrum -- --ignored regenerate
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use aging_fractal::spectrum::{SpectrumConfig, StreamingSpectrum};
+use aging_stream::detector::{
+    AlertDetail, DetectorSpec, SpectrumDetectorConfig, StreamingDetector,
+};
+use aging_stream::gate::{GateAction, SampleGate};
+use aging_stream::source::{CsvReplaySource, SampleSource};
+use aging_stream::GateConfig;
+
+const ROWS: usize = 1024;
+const DT: f64 = 10.0;
+/// Sample index where the aging trace's step distribution turns
+/// intermittent (the multifractal widening the detector must catch).
+const TURN: usize = 500;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); run \
+             `cargo test -p aging-stream --test golden_spectrum -- --ignored regenerate`"
+        )
+    })
+}
+
+/// The small spectrum tuning the detector tests use — cheap enough for a
+/// 1024-sample trace, sensitive enough to alarm on it.
+fn config() -> SpectrumDetectorConfig {
+    SpectrumDetectorConfig {
+        spectrum: SpectrumConfig {
+            window: 128,
+            stride: 32,
+            ..SpectrumConfig::default()
+        },
+        skip_windows: 0,
+        baseline_windows: 4,
+        width_delta: 0.2,
+        mad_multiplier: 4.0,
+        confirm_windows: 2,
+    }
+}
+
+/// Deterministic committed-bytes-style trace: a random walk whose steps
+/// stay small-and-homogeneous until `turn`, then become an intermittent
+/// small/large mixture — the escalating error-path texture E17 ties to
+/// aging. `turn >= ROWS` yields the stationary healthy control.
+fn walk_values(seed: u64, turn: usize) -> Vec<f64> {
+    let mut state = seed;
+    let mut rand = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut acc = 0.0;
+    (0..ROWS)
+        .map(|i| {
+            let u = rand() - 0.5;
+            let step = if i > turn && rand() < 0.08 {
+                u * 400.0
+            } else {
+                u * 8.0
+            };
+            acc += step;
+            acc
+        })
+        .collect()
+}
+
+fn aging_values() -> Vec<f64> {
+    walk_values(0x51ce_b00c_5eed_f00d, TURN)
+}
+
+fn healthy_values() -> Vec<f64> {
+    // Distinct seed so the control is an independent draw, not a shared
+    // prefix of the aging trace.
+    walk_values(0x5afe_ba5e_11fe_c0de, ROWS)
+}
+
+fn input_csv(values: &[f64]) -> String {
+    let mut csv = String::from("time,committed\n");
+    for (i, v) in values.iter().enumerate() {
+        writeln!(csv, "{},{v}", i as f64 * DT).unwrap();
+    }
+    csv
+}
+
+/// Replays a source through gate + spectrum kernel + spectrum-width
+/// detector and renders one row per emitted window: the exact Δα value
+/// plus the alert (if any) that window produced. The kernel and the
+/// wrapped detector consume the same accepted samples, so the fixture
+/// pins both the Δα(t) trajectory and the alarm outcomes at once.
+fn spectrum_trace(mut source: impl SampleSource) -> String {
+    let cfg = config();
+    let mut gate = SampleGate::new(GateConfig {
+        nominal_period_secs: DT,
+        max_gap_factor: 4.0,
+        ..GateConfig::default()
+    })
+    .unwrap();
+    let mut kernel = StreamingSpectrum::new(&cfg.spectrum).unwrap();
+    let mut detector = StreamingDetector::new(&DetectorSpec::Spectrum(cfg)).unwrap();
+    let mut out = String::from("input_index,delta_alpha,level,baseline_width\n");
+    while let Some(raw) = source.next_sample().unwrap() {
+        let accepted = match gate.push(raw) {
+            GateAction::Accept(s) => s,
+            GateAction::AcceptAfterGap(s) => {
+                kernel.reset();
+                detector.reset();
+                s
+            }
+            GateAction::DropNonFinite | GateAction::DropOutOfOrder => continue,
+        };
+        let window = kernel.push(accepted.value).unwrap();
+        let alert = detector.push(accepted.value).unwrap();
+        match (window, alert) {
+            (Some(w), None) => writeln!(out, "{},{},,", w.input_index, w.delta_alpha).unwrap(),
+            (Some(w), Some(a)) => {
+                let AlertDetail::Spectrum {
+                    delta_alpha,
+                    baseline_width,
+                } = a.detail
+                else {
+                    panic!("spectrum spec must yield spectrum alerts");
+                };
+                assert_eq!(a.sample_index, w.input_index, "alert/window index drifted");
+                assert_eq!(
+                    delta_alpha.to_bits(),
+                    w.delta_alpha.to_bits(),
+                    "alert Δα must be the window's Δα"
+                );
+                writeln!(
+                    out,
+                    "{},{},{:?},{baseline_width}",
+                    w.input_index, w.delta_alpha, a.level
+                )
+                .unwrap();
+            }
+            (None, None) => {}
+            (None, Some(_)) => panic!("alert without a completed spectrum window"),
+        }
+    }
+    out
+}
+
+/// Line-level comparison with a readable drift report.
+fn assert_trace_matches(name: &str, expected: &str, actual: &str) {
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied().unwrap_or("<missing>");
+        let a = act.get(i).copied().unwrap_or("<missing>");
+        assert_eq!(
+            e,
+            a,
+            "\nspectrum output drifted from golden trace `{name}` at line {}:\n  \
+             expected: {e}\n  actual:   {a}\n({} expected lines, {} actual lines)\n\
+             If the change is intentional, regenerate fixtures with\n  \
+             cargo test -p aging-stream --test golden_spectrum -- --ignored regenerate",
+            i + 1,
+            exp.len(),
+            act.len(),
+        );
+    }
+    unreachable!("traces differ but all lines matched");
+}
+
+#[test]
+fn fixture_inputs_are_reproducible() {
+    // The committed *input* CSVs must themselves match the generators —
+    // otherwise the Δα fixtures test a different trace than intended.
+    assert_trace_matches(
+        "spectrum_aging.csv",
+        &read_fixture("spectrum_aging.csv"),
+        &input_csv(&aging_values()),
+    );
+    assert_trace_matches(
+        "spectrum_healthy.csv",
+        &read_fixture("spectrum_healthy.csv"),
+        &input_csv(&healthy_values()),
+    );
+}
+
+#[test]
+fn aging_trace_spectrum_matches_golden() {
+    let source =
+        CsvReplaySource::from_csv_str(&read_fixture("spectrum_aging.csv"), "time", "committed")
+            .unwrap();
+    let actual = spectrum_trace(source);
+    assert!(
+        actual.lines().any(|l| l.contains("Alarm")),
+        "aging trace must reach Alarm"
+    );
+    assert_trace_matches(
+        "spectrum_aging_expected.csv",
+        &read_fixture("spectrum_aging_expected.csv"),
+        &actual,
+    );
+}
+
+#[test]
+fn healthy_trace_spectrum_matches_golden() {
+    let source =
+        CsvReplaySource::from_csv_str(&read_fixture("spectrum_healthy.csv"), "time", "committed")
+            .unwrap();
+    let actual = spectrum_trace(source);
+    assert!(
+        actual.lines().count() > 1,
+        "healthy trace must still emit Δα windows"
+    );
+    assert!(
+        !actual
+            .lines()
+            .any(|l| l.contains("Warning") || l.contains("Alarm")),
+        "healthy trace must stay quiet"
+    );
+    assert_trace_matches(
+        "spectrum_healthy_expected.csv",
+        &read_fixture("spectrum_healthy_expected.csv"),
+        &actual,
+    );
+}
+
+/// Writes all four fixtures. Ignored by default: run explicitly after an
+/// intentional spectrum change, then review the diff.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    let aging = input_csv(&aging_values());
+    let healthy = input_csv(&healthy_values());
+    let aging_trace =
+        spectrum_trace(CsvReplaySource::from_csv_str(&aging, "time", "committed").unwrap());
+    let healthy_trace =
+        spectrum_trace(CsvReplaySource::from_csv_str(&healthy, "time", "committed").unwrap());
+    std::fs::write(fixture_path("spectrum_aging.csv"), &aging).unwrap();
+    std::fs::write(fixture_path("spectrum_healthy.csv"), &healthy).unwrap();
+    std::fs::write(fixture_path("spectrum_aging_expected.csv"), &aging_trace).unwrap();
+    std::fs::write(
+        fixture_path("spectrum_healthy_expected.csv"),
+        &healthy_trace,
+    )
+    .unwrap();
+    println!(
+        "regenerated fixtures in {} ({} aging windows, {} healthy windows)",
+        dir.display(),
+        aging_trace.lines().count() - 1,
+        healthy_trace.lines().count() - 1,
+    );
+}

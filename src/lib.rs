@@ -86,6 +86,9 @@ pub mod prelude {
     pub use aging_core::report::{assess, Assessment, AssessmentConfig, Verdict};
     pub use aging_core::roc::{sweep_detector, sweep_detector_in, RocPoint, SweepParameter};
     pub use aging_fractal::holder::{holder_trace, holder_trace_in, HolderEstimator};
+    pub use aging_fractal::spectrum::{
+        spectrum_trace, spectrum_trace_in, SpectrumConfig, SpectrumWindow, StreamingSpectrum,
+    };
     pub use aging_fractal::surrogate::{surrogate_test, surrogate_test_in};
     pub use aging_fractal::wtmm::{wtmm, wtmm_in, WtmmConfig, WtmmConfigBuilder, WtmmResult};
     pub use aging_fractal::{dimension, generate, hurst, spectrum};
@@ -104,7 +107,7 @@ pub mod prelude {
     };
     pub use aging_stream::{
         DetectorSpec, FleetSink, GateConfig, IngestSink, SampleGate, SampleSource,
-        StreamingDetector,
+        SpectrumDetectorConfig, StreamingDetector,
     };
     pub use aging_timeseries::{trend::MannKendall, trend::SenSlope, Error, Result, TimeSeries};
     pub use aging_wavelet::{dwt, modwt, Wavelet, WaveletLeaders};
