@@ -71,6 +71,20 @@ AGING_THREADS=1 cargo test -p aging-cluster --test cluster_parity --quiet
 echo "==> cluster parity differential (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test -p aging-cluster --test cluster_parity --quiet
 
+# The closed rejuvenation loop: restart decisions must be bit-identical
+# across worker-pool sizes and scalar-vs-columnar ingestion
+# (crates/stream/tests/rejuv_parity.rs), must match the committed golden
+# decision fixtures (crates/stream/tests/golden_rejuv.rs), and the bare
+# controller's safety envelope must hold on generated request streams
+# (crates/rejuv/tests/controller_props.rs).
+echo "==> rejuv decision-parity suite (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test -p aging-stream --test rejuv_parity --test golden_rejuv --quiet
+AGING_THREADS=1 cargo test -p aging-rejuv --quiet
+
+echo "==> rejuv decision-parity suite (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test -p aging-stream --test rejuv_parity --test golden_rejuv --quiet
+AGING_THREADS=4 cargo test -p aging-rejuv --quiet
+
 # The E17 differential: Δα(t) drifts upward on aging memsim runs and stays
 # flat on healthy controls, with streaming-vs-batch parity checked inside
 # the experiment at pool sizes 1 and 4 (crates/bench/src/experiments.rs).
@@ -80,6 +94,17 @@ if [ "$quick" = "quick" ]; then
     cargo run -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e17
 else
     cargo run --release -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e17
+fi
+
+# The E18 differential: the full closed loop over both scenario families —
+# alarm-driven rejuvenation must strictly beat fixed-interval restarts and
+# no-op on availability, with the false-alarm and lead-time budgets held
+# and kill-and-recover replaying byte-identical restart decisions.
+echo "==> repro e18 differential (quick)"
+if [ "$quick" = "quick" ]; then
+    cargo run -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e18
+else
+    cargo run --release -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e18
 fi
 
 echo "==> cargo test --doc"

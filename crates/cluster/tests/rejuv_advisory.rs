@@ -1,0 +1,142 @@
+//! Cluster face of the `QueryRejuv` advisory: every shard of a
+//! rejuv-configured cluster must answer a machine's advisory exactly as
+//! a local [`RejuvController`] replay of that shard's released alarm
+//! history does — routing never changes the answer, and machines that
+//! never alarmed draw zero shadow restarts.
+
+use aging_cluster::{drive_fleet, HashRing, LocalCluster};
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
+use aging_serve::loadgen::{BatchMode, LoadgenConfig};
+use aging_serve::{ServeClient, ServeConfig};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::supervisor::{AlarmKind, CounterDetector, FleetConfig};
+use aging_stream::GateConfig;
+
+const RING_SEED: u64 = 0x5eed_0001;
+const RING_VNODES: u32 = 32;
+
+fn fleet_config() -> FleetConfig {
+    let detectors = vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 120,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let mut cfg = FleetConfig::new(detectors, 8.0 * 3600.0);
+    cfg.gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    cfg
+}
+
+fn rejuv_config() -> RejuvConfig {
+    // Zero cooldown: a machine's single fused alarm must always grant,
+    // so the per-machine grant count doubles as "did it ever alarm".
+    RejuvConfig {
+        policy: RejuvPolicy::AlarmTriggered,
+        cooldown_secs: 0.0,
+        restart_downtime_secs: 30.0,
+        crash_repair_secs: 900.0,
+        max_concurrent_restarts: 1,
+    }
+}
+
+#[test]
+fn shard_advisories_match_local_replay_of_their_histories() {
+    let cfg = fleet_config();
+    let rejuv = rejuv_config();
+    let fleet: Vec<Scenario> = {
+        let mut out: Vec<Scenario> = (0..3)
+            .map(|i| Scenario::tiny_aging(0xbeef + i, 192.0))
+            .collect();
+        out.push(Scenario::tiny_aging(0xbeef + 3, 0.0)); // healthy control
+        out
+    };
+    let ids: Vec<u64> = (0..fleet.len() as u64).collect();
+    let ring = HashRing::new(2, RING_VNODES, RING_SEED).expect("ring");
+    let mut template = ServeConfig::from_fleet(&cfg);
+    template.rejuv = Some(rejuv);
+    let cluster = LocalCluster::launch(&ring, &template, &ids, None).expect("launch cluster");
+
+    let drive = drive_fleet(
+        &ring,
+        cluster.directory(),
+        &fleet,
+        &ids,
+        cfg.horizon_secs,
+        &LoadgenConfig {
+            connections: 2,
+            batch_records: 32,
+            rate_records_per_sec: 0.0,
+            poll_alarms_ms: 0,
+            counters: vec![Counter::AvailableBytes],
+            mode: BatchMode::Record,
+        },
+    )
+    .expect("fleet drive");
+    assert!(drive.records_sent() > 0);
+
+    let mut alarmed_machines = 0usize;
+    for (shard, shard_report) in drive.shards.iter().enumerate() {
+        let Some(shard_report) = shard_report else {
+            continue;
+        };
+        let mut client =
+            ServeClient::connect(cluster.addr(shard), "rejuv-prober").expect("connect shard");
+        for &machine_id in ids.iter().filter(|&&m| ring.shard_of(m) == shard as u64) {
+            // The one true answer: the shard's own released history,
+            // replayed through a local controller.
+            let mut controller = RejuvController::new(rejuv, 1).expect("valid config");
+            for event in shard_report
+                .alarms
+                .iter()
+                .filter(|e| e.machine_id == machine_id)
+            {
+                if matches!(event.kind, AlarmKind::MachineAlarm { .. }) {
+                    let _ = controller.decide(&RestartRequest {
+                        machine_index: 0,
+                        time_secs: event.time_secs,
+                        reason: RestartReason::Alarm,
+                    });
+                }
+            }
+            let advice = client
+                .query_rejuv(machine_id)
+                .expect("rejuv query")
+                .unwrap_or_else(|| panic!("shard {shard} does not know machine {machine_id}"));
+            assert_eq!(advice.policy, RejuvPolicy::AlarmTriggered.code());
+            assert_eq!(
+                advice.restarts,
+                controller.granted(),
+                "machine {machine_id} on shard {shard}"
+            );
+            assert_eq!(
+                advice.denied,
+                controller.denied_cooldown() + controller.denied_budget(),
+                "machine {machine_id} on shard {shard}"
+            );
+            assert_eq!(advice.last_restart_secs, controller.last_restart_secs(0));
+            if advice.restarts > 0 {
+                alarmed_machines += 1;
+            }
+        }
+        client.bye().expect("bye");
+    }
+    assert!(
+        alarmed_machines >= 3,
+        "every leaky machine must draw a shadow restart (got {alarmed_machines})"
+    );
+
+    for (shard, outcome) in cluster.shutdown().into_iter().enumerate() {
+        let outcome = outcome.expect("all shards live");
+        assert_eq!(outcome.wire.session_panics, 0, "shard {shard}");
+        assert_eq!(outcome.wire.quarantined, 0, "shard {shard}");
+        assert_eq!(outcome.wire.malformed_frames, 0, "shard {shard}");
+    }
+}

@@ -5,6 +5,16 @@
 //! short restart. A *predictive* policy that rejuvenates only when an
 //! aging detector alarms should beat both doing nothing (crash outages)
 //! and blind periodic restarts (unnecessary downtime) — experiment E7.
+//!
+//! **Superseded for new code by the `aging-rejuv` crate.** This module
+//! is the *offline, single-machine* policy study: it replays a recorded
+//! trace through a batch predictor and integrates downtime analytically.
+//! The shared `RejuvPolicy` / `RejuvController` types in `aging-rejuv`
+//! are the *online* face of the same policies — fleet-wide cooldown and
+//! concurrency budgets, deterministic restart arbitration inside the
+//! streaming supervisor, and the E18 closed-loop availability gate.
+//! [`Policy`] here stays for the E2/E7/E8 batch comparisons, but policy
+//! semantics added going forward land in `aging-rejuv`, not here.
 
 // `!(x > 0)`-style comparisons below are deliberate: unlike `x <= 0`,
 // they also reject NaN, which is exactly what parameter validation wants.
@@ -13,7 +23,12 @@ use crate::eval::PredictorSpec;
 use aging_memsim::{Machine, Scenario};
 use aging_timeseries::{Error, Result};
 
-/// A rejuvenation policy.
+/// A rejuvenation policy (offline study form).
+///
+/// For online, fleet-wide control use `aging_rejuv::RejuvPolicy` — the
+/// shared policy type the streaming supervisor, serve tier and E18 gate
+/// on. This enum remains only for the batch experiments (see the module
+/// docs) and deliberately gains no new variants.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Policy {

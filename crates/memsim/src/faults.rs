@@ -74,6 +74,22 @@ pub struct HandleLeakSpec {
     pub bytes_per_handle: u64,
 }
 
+/// Periodic partial reclamation of the accumulated heap leak — the
+/// mobile-style churn cycle where the platform kills and restarts app
+/// components (or a cache is flushed), releasing *part* of what leaked
+/// while a residue keeps ratcheting upward. Every `period_secs` the
+/// leaked total drops by `reclaim_fraction`; the sawtooth's floor still
+/// grows at `rate × (1 − reclaim_fraction)` long-run, which is exactly
+/// the leak-accumulate-then-partial-reclaim texture the Android aging
+/// study reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReclaimSpec {
+    /// Seconds between reclaim cycles.
+    pub period_secs: f64,
+    /// Fraction of the accumulated leak released per cycle, in `(0, 1]`.
+    pub reclaim_fraction: f64,
+}
+
 /// The complete fault plan of one simulated machine.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -83,6 +99,8 @@ pub struct FaultPlan {
     pub fragmentation: Option<FragmentationSpec>,
     /// Handle leak, if any.
     pub handle_leak: Option<HandleLeakSpec>,
+    /// Periodic partial reclaim of the leaked heap, if any.
+    pub reclaim: Option<ReclaimSpec>,
 }
 
 impl FaultPlan {
@@ -104,6 +122,7 @@ impl FaultPlan {
                 handles_per_hour: 360.0,
                 bytes_per_handle: 4096,
             }),
+            reclaim: None,
         }
     }
 
@@ -165,6 +184,20 @@ impl FaultPlan {
                 ));
             }
         }
+        if let Some(r) = &self.reclaim {
+            if !(r.period_secs > 0.0) || !r.period_secs.is_finite() {
+                return Err(Error::invalid(
+                    "reclaim",
+                    "period_secs must be finite and positive",
+                ));
+            }
+            if !(0.0 < r.reclaim_fraction && r.reclaim_fraction <= 1.0) {
+                return Err(Error::invalid(
+                    "reclaim",
+                    "reclaim_fraction must lie in (0, 1]",
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -176,6 +209,8 @@ pub struct FaultState {
     plan: FaultPlan,
     leaked: Bytes,
     step_accumulators: Vec<f64>,
+    reclaim_accumulator: f64,
+    reclaim_cycles: u64,
     handles: f64,
     frag_fraction: f64,
 }
@@ -193,6 +228,8 @@ impl FaultState {
             plan,
             leaked: Bytes::ZERO,
             step_accumulators: vec![0.0; n],
+            reclaim_accumulator: 0.0,
+            reclaim_cycles: 0,
             handles: 0.0,
             frag_fraction: 0.0,
         })
@@ -219,6 +256,11 @@ impl FaultState {
     /// Current fragmentation fraction in `[0, max_fraction]`.
     pub fn fragmentation_fraction(&self) -> f64 {
         self.frag_fraction
+    }
+
+    /// Completed reclaim cycles (see [`ReclaimSpec`]).
+    pub fn reclaim_cycles(&self) -> u64 {
+        self.reclaim_cycles
     }
 
     /// Advances the fault clock by `dt` seconds at time `now`, returning
@@ -248,6 +290,16 @@ impl FaultState {
         }
         let delta = Bytes::from_f64(new_leak);
         self.leaked += delta;
+
+        if let Some(r) = &self.plan.reclaim {
+            self.reclaim_accumulator += dt;
+            if self.reclaim_accumulator >= r.period_secs {
+                self.reclaim_accumulator -= r.period_secs;
+                self.reclaim_cycles += 1;
+                let kept = self.leaked.as_f64() * (1.0 - r.reclaim_fraction);
+                self.leaked = Bytes::from_f64(kept);
+            }
+        }
 
         if let Some(h) = &self.plan.handle_leak {
             self.handles += h.handles_per_hour / 3600.0 * dt;
@@ -530,6 +582,106 @@ mod tests {
             state.handle_bytes(),
             Bytes::new(state.handle_count() * 4096)
         );
+    }
+
+    #[test]
+    fn validation_catches_bad_reclaim() {
+        for (period_secs, reclaim_fraction) in
+            [(0.0, 0.5), (f64::NAN, 0.5), (60.0, 0.0), (60.0, 1.5)]
+        {
+            let plan = FaultPlan {
+                reclaim: Some(ReclaimSpec {
+                    period_secs,
+                    reclaim_fraction,
+                }),
+                ..FaultPlan::default()
+            };
+            assert!(
+                plan.validate().is_err(),
+                "period={period_secs} fraction={reclaim_fraction} must be rejected"
+            );
+        }
+    }
+
+    /// Proportional reclaim turns a linear leak into a sawtooth whose
+    /// peak converges to `rate × period / fraction`: the leaked total
+    /// stays bounded by that ceiling (instead of growing without bound)
+    /// and the cycle counter ticks exactly once per period.
+    #[test]
+    fn reclaim_sawtooth_is_bounded_by_its_ceiling() {
+        let rate = 1000.0; // bytes/second long-run
+        let period = 600.0;
+        for &fraction in &[0.25, 0.5, 1.0] {
+            let plan = FaultPlan {
+                leaks: vec![LeakSpec {
+                    bytes_per_hour: 3600.0 * rate,
+                    mode: LeakMode::Linear,
+                    start_secs: 0.0,
+                }],
+                reclaim: Some(ReclaimSpec {
+                    period_secs: period,
+                    reclaim_fraction: fraction,
+                }),
+                ..FaultPlan::default()
+            };
+            let mut state = FaultState::new(plan).unwrap();
+            let mut r = rng();
+            let steps = 200_000u64; // ~333 cycles, far past convergence
+            for step in 0..steps {
+                state.step(step as f64, 1.0, &mut r);
+            }
+            let ceiling = rate * period / fraction;
+            let got = state.leaked().as_f64();
+            let unreclaimed = steps as f64 * rate;
+            assert!(
+                got <= ceiling + rate * period,
+                "fraction={fraction}: leaked {got} above ceiling {ceiling}"
+            );
+            assert!(
+                got < 0.2 * unreclaimed,
+                "fraction={fraction}: reclaim barely dented the leak ({got})"
+            );
+            assert_eq!(state.reclaim_cycles(), steps / period as u64);
+        }
+    }
+
+    /// The cycle statistics must hold for load-coupled (bursty) leaks at
+    /// any seed too: long-run containment within the same ceiling, with
+    /// headroom for burst noise.
+    #[test]
+    fn reclaim_contains_bursty_leaks_across_seeds() {
+        let rate = 1000.0;
+        let period = 600.0;
+        let fraction = 0.5;
+        for seed in [2u64, 3, 5, 8, 13] {
+            let plan = FaultPlan {
+                leaks: vec![LeakSpec {
+                    bytes_per_hour: 3600.0 * rate,
+                    mode: LeakMode::Bursty { p: 0.1 },
+                    start_secs: 0.0,
+                }],
+                reclaim: Some(ReclaimSpec {
+                    period_secs: period,
+                    reclaim_fraction: fraction,
+                }),
+                ..FaultPlan::default()
+            };
+            let mut state = FaultState::new(plan).unwrap();
+            let mut r = StdRng::seed_from_u64(seed);
+            let steps = 120_000u64;
+            let mut peak = 0.0f64;
+            for step in 0..steps {
+                state.step(step as f64, 1.0, &mut r);
+                peak = peak.max(state.leaked().as_f64());
+            }
+            let ceiling = rate * period / fraction;
+            assert!(
+                peak <= 2.0 * ceiling,
+                "seed={seed}: peak {peak} vs ceiling {ceiling}"
+            );
+            assert!(peak > 0.25 * ceiling, "seed={seed}: leak never built up");
+            assert_eq!(state.reclaim_cycles(), steps / period as u64);
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod units;
 pub mod workload;
 
 pub use config::MachineConfig;
-pub use faults::{FaultPlan, FragmentationSpec, HandleLeakSpec, LeakMode, LeakSpec};
+pub use faults::{FaultPlan, FragmentationSpec, HandleLeakSpec, LeakMode, LeakSpec, ReclaimSpec};
 pub use machine::{
     simulate, simulate_fleet, simulate_fleet_in, simulate_with_reboots, Machine, Scenario,
     SimReport,

@@ -59,6 +59,91 @@ impl Scenario {
             seed,
         }
     }
+
+    /// GPU-serving-style aging on the tiny test machine: monotone
+    /// KV-cache-style heap growth plus aggressive fragmentation under
+    /// the bursty [`WorkloadConfig::gpu_inference`] load — the
+    /// LLM-serving aging mode (cache growth + allocator fragmentation)
+    /// PAPERS.md's GPU-serving study characterises.
+    pub fn gpu_serving(seed: u64, mib_per_hour: f64) -> Self {
+        Scenario {
+            name: format!("gpu-serving-{seed}"),
+            machine: MachineConfig::tiny_test(),
+            workload: WorkloadConfig::gpu_inference(),
+            faults: FaultPlan {
+                leaks: vec![crate::faults::LeakSpec::linear_mib_per_hour(mib_per_hour)],
+                fragmentation: Some(crate::faults::FragmentationSpec {
+                    fraction_per_hour: 0.02,
+                    max_fraction: 0.4,
+                }),
+                handle_leak: None,
+                reclaim: None,
+            },
+            seed,
+        }
+    }
+
+    /// Healthy control for [`Scenario::gpu_serving`]: identical bursty
+    /// inference load, no injected aging.
+    pub fn gpu_serving_healthy(seed: u64) -> Self {
+        Scenario {
+            name: format!("gpu-serving-healthy-{seed}"),
+            machine: MachineConfig::tiny_test(),
+            workload: WorkloadConfig::gpu_inference(),
+            faults: FaultPlan::healthy(),
+            seed,
+        }
+    }
+
+    /// Mobile-style app churn on the tiny test machine: a load-coupled
+    /// (bursty) leak whose accumulation is partially reclaimed every
+    /// half hour — the platform killing background components — leaving
+    /// a residue that still ratchets toward exhaustion, per the Android
+    /// aging study in PAPERS.md. The sawtooth rides the
+    /// [`WorkloadConfig::mobile_app_churn`] usage cycle.
+    pub fn mobile_churn(seed: u64, mib_per_hour: f64) -> Self {
+        Scenario {
+            name: format!("mobile-churn-{seed}"),
+            machine: MachineConfig::tiny_test(),
+            workload: WorkloadConfig::mobile_app_churn(),
+            faults: FaultPlan {
+                leaks: vec![crate::faults::LeakSpec {
+                    bytes_per_hour: mib_per_hour * 1024.0 * 1024.0,
+                    mode: crate::faults::LeakMode::Bursty { p: 0.08 },
+                    start_secs: 0.0,
+                }],
+                fragmentation: Some(crate::faults::FragmentationSpec {
+                    fraction_per_hour: 0.004,
+                    max_fraction: 0.25,
+                }),
+                handle_leak: None,
+                reclaim: Some(crate::faults::ReclaimSpec {
+                    period_secs: 1800.0,
+                    reclaim_fraction: 0.2,
+                }),
+            },
+            seed,
+        }
+    }
+
+    /// Healthy control for [`Scenario::mobile_churn`]: identical churny
+    /// load and reclaim cycling, but nothing leaks, so the reclaim has
+    /// nothing to bite on.
+    pub fn mobile_churn_healthy(seed: u64) -> Self {
+        Scenario {
+            name: format!("mobile-churn-healthy-{seed}"),
+            machine: MachineConfig::tiny_test(),
+            workload: WorkloadConfig::mobile_app_churn(),
+            faults: FaultPlan {
+                reclaim: Some(crate::faults::ReclaimSpec {
+                    period_secs: 1800.0,
+                    reclaim_fraction: 0.2,
+                }),
+                ..FaultPlan::healthy()
+            },
+            seed,
+        }
+    }
 }
 
 /// Result of simulating one scenario.
@@ -101,6 +186,8 @@ pub struct Machine {
     last_sample: Option<Sample>,
     crashed: Option<CrashEvent>,
     rejuvenations: usize,
+    down_until_step: u64,
+    downtime_secs: f64,
 }
 
 impl Machine {
@@ -131,6 +218,8 @@ impl Machine {
             last_sample: None,
             crashed: None,
             rejuvenations: 0,
+            down_until_step: 0,
+            downtime_secs: 0.0,
         })
     }
 
@@ -171,6 +260,13 @@ impl Machine {
     pub fn step(&mut self) -> Option<CrashEvent> {
         if self.crashed.is_some() {
             return self.crashed;
+        }
+        // Down for a restart: the simulation clock advances but nothing
+        // runs — no workload, no fault accrual, no monitor samples.
+        if self.step_index < self.down_until_step {
+            self.last_sample = None;
+            self.step_index += 1;
+            return None;
         }
         let dt = self.config.step_secs;
         let now = self.step_index as f64 * dt;
@@ -285,6 +381,31 @@ impl Machine {
         self.thrash_secs = 0.0;
         self.crashed = None;
         self.rejuvenations += 1;
+    }
+
+    /// Begins a restart (planned rejuvenation or crash-repair reboot):
+    /// the machine [`Machine::rejuvenate`]s — live heap, leaks, handles,
+    /// fragmentation and thrash accumulation all reset — and then stays
+    /// *down* for `downtime_secs` of simulated time. While down, the
+    /// clock advances but no workload runs, no faults accrue and no
+    /// monitor samples are emitted; afterwards the heap refills from
+    /// empty (the post-restart transient detectors must ride out). The
+    /// outage accrues into [`Machine::downtime_secs`].
+    pub fn begin_restart(&mut self, downtime_secs: f64) {
+        self.rejuvenate();
+        let steps = (downtime_secs / self.config.step_secs).ceil().max(0.0) as u64;
+        self.down_until_step = self.step_index + steps;
+        self.downtime_secs += downtime_secs;
+    }
+
+    /// Whether the machine is inside a restart outage window.
+    pub fn is_down(&self) -> bool {
+        self.step_index < self.down_until_step
+    }
+
+    /// Total restart/repair outage accrued so far, in seconds.
+    pub fn downtime_secs(&self) -> f64 {
+        self.downtime_secs
     }
 
     /// Finishes the run, producing the report.
@@ -463,6 +584,126 @@ mod tests {
             .map(|c| c.time.as_secs())
             .collect();
         assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn begin_restart_holds_the_machine_down_then_revives_it() {
+        let mut machine = Machine::boot(&Scenario::tiny_aging(9, 512.0)).unwrap();
+        machine.run_for(300.0);
+        assert!(!machine.is_crashed());
+        let samples_before = machine.log().len();
+        machine.begin_restart(60.0);
+        assert!(machine.is_down());
+        assert_eq!(machine.rejuvenations(), 1);
+        // 60 s at 1 s steps: the outage emits no samples at all.
+        for _ in 0..60 {
+            assert!(machine.step().is_none());
+            assert!(machine.last_sample().is_none());
+        }
+        assert!(!machine.is_down());
+        assert_eq!(machine.log().len(), samples_before);
+        assert!((machine.downtime_secs() - 60.0).abs() < 1e-9);
+        // Back up: sampling resumes on the same 5 s grid, strictly after
+        // the outage, and the refilled heap starts from a clean slate.
+        machine.run_for(120.0);
+        assert!(machine.log().len() > samples_before);
+        let times = machine.log().values(Counter::AvailableBytes);
+        assert!(times.len() == machine.log().len());
+        assert!(!machine.is_crashed());
+    }
+
+    #[test]
+    fn begin_restart_also_repairs_a_crash() {
+        let mut machine = Machine::boot(&Scenario::tiny_aging(10, 2048.0)).unwrap();
+        machine.run_for(3600.0 * 4.0).expect("crash");
+        assert!(machine.is_crashed());
+        machine.begin_restart(300.0);
+        assert!(!machine.is_crashed());
+        assert!(machine.is_down());
+        let crash = machine.run_for(400.0);
+        assert!(crash.is_none(), "fresh heap must survive the transient");
+        assert!((machine.downtime_secs() - 300.0).abs() < 1e-9);
+    }
+
+    /// The GPU-serving family: monotone growth statistics — committed
+    /// bytes trend strictly upward until the machine dies, across seeds,
+    /// while the healthy control survives flat.
+    #[test]
+    fn gpu_serving_ages_monotonically_across_seeds() {
+        for seed in [777u64, 1234, 41] {
+            let scenario = Scenario::gpu_serving(seed, 192.0);
+            let report = simulate(&scenario, 8.0 * 3600.0).unwrap();
+            let crash = report.first_crash().expect("gpu aging must crash");
+            assert!(
+                crash.time.as_secs() > 600.0,
+                "seed {seed}: crashed implausibly early at {}",
+                crash.time
+            );
+            // Long-run growth rate: compare mean committed bytes in the
+            // first and last quarters of the (pre-crash) trace.
+            let committed = report.log.values(Counter::CommittedBytes);
+            let q = committed.len() / 4;
+            assert!(q > 4, "seed {seed}: trace too short ({})", committed.len());
+            let early: f64 = committed[..q].iter().sum::<f64>() / q as f64;
+            let late: f64 = committed[committed.len() - q..].iter().sum::<f64>() / q as f64;
+            assert!(
+                late > 1.5 * early,
+                "seed {seed}: committed grew {early} → {late}, not monotone aging"
+            );
+        }
+        for seed in [777u64, 1234] {
+            let report = simulate(&Scenario::gpu_serving_healthy(seed), 8.0 * 3600.0).unwrap();
+            assert!(
+                report.first_crash().is_none(),
+                "seed {seed}: healthy gpu control crashed"
+            );
+        }
+    }
+
+    /// The mobile-churn family: reclaim-cycle statistics — the committed
+    /// trace shows repeated partial-reclaim drops (a sawtooth, not a
+    /// ramp) yet still ratchets toward exhaustion, across seeds.
+    #[test]
+    fn mobile_churn_sawtooths_then_exhausts_across_seeds() {
+        for seed in [777u64, 1234, 41] {
+            let scenario = Scenario::mobile_churn(seed, 72.0);
+            let report = simulate(&scenario, 12.0 * 3600.0).unwrap();
+            let crash = report.first_crash().expect("mobile churn must crash");
+            // The machine must live through several reclaim cycles (the
+            // whole point of the family): > 2 × the 1800 s period.
+            assert!(
+                crash.time.as_secs() > 2.0 * 1800.0,
+                "seed {seed}: crashed at {} before the sawtooth developed",
+                crash.time
+            );
+            let committed = report.log.values(Counter::CommittedBytes);
+            // Count large single-sample drops: reclaim releases ≥ a few
+            // MiB at once, far beyond workload-level fluctuation.
+            let threshold = 4.0 * 1024.0 * 1024.0;
+            let drops = committed
+                .windows(2)
+                .filter(|w| w[0] - w[1] > threshold)
+                .count();
+            assert!(
+                drops >= 2,
+                "seed {seed}: only {drops} reclaim drops in the committed trace"
+            );
+            // Still a net ratchet: the last quarter sits above the first.
+            let q = committed.len() / 4;
+            let early: f64 = committed[..q].iter().sum::<f64>() / q as f64;
+            let late: f64 = committed[committed.len() - q..].iter().sum::<f64>() / q as f64;
+            assert!(
+                late > early,
+                "seed {seed}: no residual growth ({early} → {late})"
+            );
+        }
+        for seed in [777u64, 1234] {
+            let report = simulate(&Scenario::mobile_churn_healthy(seed), 12.0 * 3600.0).unwrap();
+            assert!(
+                report.first_crash().is_none(),
+                "seed {seed}: healthy mobile control crashed"
+            );
+        }
     }
 
     #[test]

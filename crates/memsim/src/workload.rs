@@ -119,6 +119,61 @@ impl WorkloadConfig {
         }
     }
 
+    /// GPU-serving-style inference load, sized for the tiny test
+    /// machine: highly bursty request batches (burst regimes flip every
+    /// few seconds, heavy log-normal modulation), dominated by
+    /// short-lived activation buffers with a heavy-tailed residue of
+    /// session/KV-cache state that lingers. Pair with a monotone
+    /// leak + fragmentation fault plan for the LLM-serving aging
+    /// texture (KV-cache growth under bursty inference traffic).
+    pub fn gpu_inference() -> Self {
+        WorkloadConfig {
+            base_rate: 25.0,
+            burst_sigma: 1.0,
+            burst_mean_secs: 8.0,
+            // exp(mu) ≈ 16 KiB median activation buffer.
+            alloc_mu_log: (16.0 * 1024.0f64).ln(),
+            alloc_sigma_log: 1.0,
+            lifetime_mix: (0.85, 0.10, 0.05),
+            short_mean_secs: 1.5,
+            medium_mean_secs: 25.0,
+            long_xm_secs: 90.0,
+            long_alpha: 1.6,
+            batch_bytes: Bytes::mib(2), // periodic compaction/checkpoint
+            batch_period_secs: 300.0,
+            batch_hold_secs: 15.0,
+            diurnal_amplitude: 0.0,
+            diurnal_period_secs: 24.0 * 3600.0,
+        }
+    }
+
+    /// Mobile-style app-churn load, sized for the tiny test machine:
+    /// moderate-rate interactive sessions with strong burst persistence
+    /// (an app in the foreground), a balanced lifetime mix, periodic
+    /// sync jobs and a mild usage cycle. Pair with a
+    /// leak-plus-partial-reclaim fault plan for the Android-study aging
+    /// texture (leak-accumulate-then-partial-reclaim cycles).
+    pub fn mobile_app_churn() -> Self {
+        WorkloadConfig {
+            base_rate: 12.0,
+            burst_sigma: 0.8,
+            burst_mean_secs: 60.0,
+            // exp(mu) ≈ 12 KiB median UI/session allocation.
+            alloc_mu_log: (12.0 * 1024.0f64).ln(),
+            alloc_sigma_log: 1.0,
+            lifetime_mix: (0.70, 0.25, 0.05),
+            short_mean_secs: 3.0,
+            medium_mean_secs: 60.0,
+            long_xm_secs: 180.0,
+            long_alpha: 1.6,
+            batch_bytes: Bytes::mib(2), // periodic background sync
+            batch_period_secs: 600.0,
+            batch_hold_secs: 30.0,
+            diurnal_amplitude: 0.3,
+            diurnal_period_secs: 24.0 * 3600.0,
+        }
+    }
+
     /// A small, fast mix matched to [`crate::MachineConfig::tiny_test`].
     pub fn tiny_test() -> Self {
         WorkloadConfig {
@@ -313,6 +368,8 @@ mod tests {
         WorkloadConfig::web_server().validate().unwrap();
         WorkloadConfig::interactive().validate().unwrap();
         WorkloadConfig::tiny_test().validate().unwrap();
+        WorkloadConfig::gpu_inference().validate().unwrap();
+        WorkloadConfig::mobile_app_churn().validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Availability accounting: the metric closed-loop rejuvenation is
+//! judged on.
+//!
+//! A machine's availability over a horizon is the fraction of the
+//! horizon it was serving: uptime divided by horizon, where downtime is
+//! the sum of planned-restart windows and crash-repair windows. A
+//! policy only wins if the small planned outages it spends buy back the
+//! large unplanned outages crashes would have cost.
+
+use aging_timeseries::{Error, Result};
+
+/// Fraction of `horizon_secs` a machine was up given `downtime_secs` of
+/// accumulated outage. Downtime is clamped to the horizon, so the
+/// result is always in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] on a non-positive or non-finite
+/// horizon, or negative/non-finite downtime.
+pub fn availability(horizon_secs: f64, downtime_secs: f64) -> Result<f64> {
+    if !(horizon_secs > 0.0) || !horizon_secs.is_finite() {
+        return Err(Error::invalid(
+            "horizon_secs",
+            "must be finite and positive",
+        ));
+    }
+    if !(downtime_secs >= 0.0) || !downtime_secs.is_finite() {
+        return Err(Error::invalid(
+            "downtime_secs",
+            "must be finite and non-negative",
+        ));
+    }
+    Ok((horizon_secs - downtime_secs.min(horizon_secs)) / horizon_secs)
+}
+
+/// Fleet-level availability roll-up.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AvailabilitySummary {
+    /// Machines aggregated.
+    pub machines: usize,
+    /// Granted planned restarts across the fleet.
+    pub restarts: u64,
+    /// Crashes (each forcing a repair reboot or ending the run).
+    pub crashes: u64,
+    /// Total downtime across the fleet, seconds.
+    pub downtime_secs: f64,
+    /// Mean per-machine availability in `[0, 1]`.
+    pub mean_availability: f64,
+    /// Worst single machine's availability in `[0, 1]`.
+    pub min_availability: f64,
+}
+
+impl AvailabilitySummary {
+    /// Aggregates per-machine `(restarts, crashes, downtime_secs)`
+    /// triples over one shared horizon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`availability`]'s parameter validation; rejects an
+    /// empty fleet.
+    pub fn from_machines(horizon_secs: f64, machines: &[(u64, u64, f64)]) -> Result<Self> {
+        if machines.is_empty() {
+            return Err(Error::invalid("machines", "need at least one machine"));
+        }
+        let mut summary = AvailabilitySummary {
+            machines: machines.len(),
+            min_availability: 1.0,
+            ..AvailabilitySummary::default()
+        };
+        for &(restarts, crashes, downtime_secs) in machines {
+            let a = availability(horizon_secs, downtime_secs)?;
+            summary.restarts += restarts;
+            summary.crashes += crashes;
+            summary.downtime_secs += downtime_secs;
+            summary.mean_availability += a;
+            summary.min_availability = summary.min_availability.min(a);
+        }
+        summary.mean_availability /= machines.len() as f64;
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_is_uptime_fraction() {
+        assert_eq!(availability(1000.0, 0.0).unwrap(), 1.0);
+        assert_eq!(availability(1000.0, 250.0).unwrap(), 0.75);
+        // Downtime beyond the horizon clamps to zero availability.
+        assert_eq!(availability(1000.0, 5000.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn availability_guards() {
+        assert!(availability(0.0, 0.0).is_err());
+        assert!(availability(f64::NAN, 0.0).is_err());
+        assert!(availability(100.0, -1.0).is_err());
+        assert!(availability(100.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let s = AvailabilitySummary::from_machines(
+            1000.0,
+            &[(2, 0, 100.0), (0, 1, 500.0), (1, 0, 0.0)],
+        )
+        .unwrap();
+        assert_eq!(s.machines, 3);
+        assert_eq!(s.restarts, 3);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.downtime_secs, 600.0);
+        assert!((s.mean_availability - (0.9 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+        assert_eq!(s.min_availability, 0.5);
+    }
+
+    #[test]
+    fn summary_rejects_empty_fleet() {
+        assert!(AvailabilitySummary::from_machines(100.0, &[]).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! The deterministic restart arbiter.
+
+use aging_timeseries::{Error, Result};
+
+use crate::policy::RejuvConfig;
+
+/// Why a restart was requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartReason {
+    /// The machine's fused detector vote latched an alarm.
+    Alarm,
+    /// The fixed-interval policy came due.
+    Periodic,
+    /// The machine crashed; the repair reboot is forced, not optional.
+    CrashReboot,
+}
+
+impl RestartReason {
+    /// Stable one-byte code used by persistence codecs.
+    pub fn code(self) -> u8 {
+        match self {
+            RestartReason::Alarm => 0,
+            RestartReason::Periodic => 1,
+            RestartReason::CrashReboot => 2,
+        }
+    }
+
+    /// Inverse of [`RestartReason::code`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on an unknown code.
+    pub fn from_code(code: u8) -> Result<RestartReason> {
+        match code {
+            0 => Ok(RestartReason::Alarm),
+            1 => Ok(RestartReason::Periodic),
+            2 => Ok(RestartReason::CrashReboot),
+            c => Err(Error::invalid(
+                "restart_reason",
+                format!("unknown code {c}"),
+            )),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RestartReason::Alarm => "alarm",
+            RestartReason::Periodic => "periodic",
+            RestartReason::CrashReboot => "crash-reboot",
+        }
+    }
+}
+
+/// Why a planned restart was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyReason {
+    /// Less than `cooldown_secs` since this machine's last restart.
+    Cooldown,
+    /// The fleet-wide concurrent-restart budget is exhausted.
+    Budget,
+}
+
+/// One machine asking to restart at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartRequest {
+    /// Fleet index of the requesting machine.
+    pub machine_index: usize,
+    /// Stream time of the request, seconds.
+    pub time_secs: f64,
+    /// Why the restart is wanted.
+    pub reason: RestartReason,
+}
+
+/// The controller's verdict on one [`RestartRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartDecision {
+    /// Fleet index of the requesting machine.
+    pub machine_index: usize,
+    /// Stream time of the request, seconds.
+    pub time_secs: f64,
+    /// Why the restart was wanted.
+    pub reason: RestartReason,
+    /// Whether the restart was granted.
+    pub granted: bool,
+    /// Denial cause when `granted` is false.
+    pub deny: Option<DenyReason>,
+    /// Seconds of downtime the granted action costs (0 when denied).
+    pub downtime_secs: f64,
+}
+
+/// Deterministic restart arbiter: grants or denies restart requests
+/// against a per-machine cooldown and a fleet-wide concurrency budget.
+///
+/// Requests must arrive in non-decreasing `(time_secs, machine_index)`
+/// order — exactly the order the watermark-merged alarm stream provides.
+/// Given the same request sequence, the controller produces the same
+/// decision sequence bit for bit; there is no randomness and no clock.
+#[derive(Debug, Clone)]
+pub struct RejuvController {
+    config: RejuvConfig,
+    /// Per-machine time of the last granted restart (boot = 0.0 counts
+    /// as a restart epoch, so fresh machines sit out one cooldown).
+    last_restart: Vec<f64>,
+    /// End times of restarts/repairs still in flight.
+    inflight: Vec<f64>,
+    decisions: Vec<RestartDecision>,
+    granted: u64,
+    denied_cooldown: u64,
+    denied_budget: u64,
+}
+
+impl RejuvController {
+    /// Creates a controller for a fleet of `machines`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RejuvConfig::validate`]; rejects an empty fleet.
+    pub fn new(config: RejuvConfig, machines: usize) -> Result<Self> {
+        config.validate()?;
+        if machines == 0 {
+            return Err(Error::invalid("machines", "need at least one machine"));
+        }
+        Ok(RejuvController {
+            config,
+            last_restart: vec![0.0; machines],
+            inflight: Vec::new(),
+            decisions: Vec::new(),
+            granted: 0,
+            denied_cooldown: 0,
+            denied_budget: 0,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RejuvConfig {
+        &self.config
+    }
+
+    /// Arbitrates one request and records the decision.
+    ///
+    /// Crash reboots are always granted — the machine is already down,
+    /// the controller merely accounts for the repair and resets the
+    /// machine's cooldown epoch. Planned restarts (alarm or periodic)
+    /// are denied inside the cooldown window or when the concurrent
+    /// budget is full; a denied machine may simply ask again later.
+    pub fn decide(&mut self, request: &RestartRequest) -> RestartDecision {
+        let now = request.time_secs;
+        let m = request.machine_index;
+        // Completed restarts free their budget slot.
+        self.inflight.retain(|&end| end > now);
+        let decision = if request.reason == RestartReason::CrashReboot {
+            self.inflight.push(now + self.config.crash_repair_secs);
+            self.last_restart[m] = now;
+            RestartDecision {
+                machine_index: m,
+                time_secs: now,
+                reason: request.reason,
+                granted: true,
+                deny: None,
+                downtime_secs: self.config.crash_repair_secs,
+            }
+        } else if now - self.last_restart[m] < self.config.cooldown_secs {
+            RestartDecision {
+                machine_index: m,
+                time_secs: now,
+                reason: request.reason,
+                granted: false,
+                deny: Some(DenyReason::Cooldown),
+                downtime_secs: 0.0,
+            }
+        } else if self.inflight.len() >= self.config.max_concurrent_restarts {
+            RestartDecision {
+                machine_index: m,
+                time_secs: now,
+                reason: request.reason,
+                granted: false,
+                deny: Some(DenyReason::Budget),
+                downtime_secs: 0.0,
+            }
+        } else {
+            self.inflight.push(now + self.config.restart_downtime_secs);
+            self.last_restart[m] = now;
+            RestartDecision {
+                machine_index: m,
+                time_secs: now,
+                reason: request.reason,
+                granted: true,
+                deny: None,
+                downtime_secs: self.config.restart_downtime_secs,
+            }
+        };
+        match (decision.granted, decision.deny) {
+            (true, _) => self.granted += 1,
+            (false, Some(DenyReason::Cooldown)) => self.denied_cooldown += 1,
+            (false, Some(DenyReason::Budget)) => self.denied_budget += 1,
+            (false, None) => unreachable!("denied decisions carry a reason"),
+        }
+        self.decisions.push(decision);
+        decision
+    }
+
+    /// Every decision made so far, in arrival order.
+    pub fn decisions(&self) -> &[RestartDecision] {
+        &self.decisions
+    }
+
+    /// Granted restarts (including crash reboots).
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Requests denied by the per-machine cooldown.
+    pub fn denied_cooldown(&self) -> u64 {
+        self.denied_cooldown
+    }
+
+    /// Requests denied by the concurrency budget.
+    pub fn denied_budget(&self) -> u64 {
+        self.denied_budget
+    }
+
+    /// Time of `machine`'s last granted restart (0.0 = never, i.e. boot).
+    pub fn last_restart_secs(&self, machine: usize) -> Option<f64> {
+        self.last_restart.get(machine).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::RejuvPolicy;
+
+    fn config() -> RejuvConfig {
+        RejuvConfig {
+            policy: RejuvPolicy::AlarmTriggered,
+            cooldown_secs: 100.0,
+            restart_downtime_secs: 10.0,
+            crash_repair_secs: 50.0,
+            max_concurrent_restarts: 1,
+        }
+    }
+
+    fn req(machine: usize, t: f64, reason: RestartReason) -> RestartRequest {
+        RestartRequest {
+            machine_index: machine,
+            time_secs: t,
+            reason,
+        }
+    }
+
+    #[test]
+    fn boot_counts_as_a_restart_epoch() {
+        let mut c = RejuvController::new(config(), 2).unwrap();
+        let d = c.decide(&req(0, 50.0, RestartReason::Alarm));
+        assert!(!d.granted);
+        assert_eq!(d.deny, Some(DenyReason::Cooldown));
+        let d = c.decide(&req(0, 100.0, RestartReason::Alarm));
+        assert!(d.granted, "cooldown boundary is inclusive of expiry");
+        assert_eq!(d.downtime_secs, 10.0);
+    }
+
+    #[test]
+    fn cooldown_spaces_repeat_restarts() {
+        let mut c = RejuvController::new(config(), 1).unwrap();
+        assert!(c.decide(&req(0, 150.0, RestartReason::Alarm)).granted);
+        let d = c.decide(&req(0, 249.0, RestartReason::Alarm));
+        assert_eq!(d.deny, Some(DenyReason::Cooldown));
+        assert!(c.decide(&req(0, 250.0, RestartReason::Alarm)).granted);
+        assert_eq!(c.granted(), 2);
+        assert_eq!(c.denied_cooldown(), 1);
+    }
+
+    #[test]
+    fn budget_limits_concurrent_restarts() {
+        let mut c = RejuvController::new(config(), 3).unwrap();
+        // Machine 0 restarts at t=200 and is down until 210.
+        assert!(c.decide(&req(0, 200.0, RestartReason::Alarm)).granted);
+        // Machine 1 asks while the slot is occupied.
+        let d = c.decide(&req(1, 205.0, RestartReason::Alarm));
+        assert_eq!(d.deny, Some(DenyReason::Budget));
+        // After the slot frees, the same ask succeeds.
+        assert!(c.decide(&req(1, 211.0, RestartReason::Alarm)).granted);
+        assert_eq!(c.denied_budget(), 1);
+    }
+
+    #[test]
+    fn crash_reboots_bypass_cooldown_and_budget() {
+        let mut c = RejuvController::new(config(), 2).unwrap();
+        assert!(c.decide(&req(0, 200.0, RestartReason::Alarm)).granted);
+        // Crash within the cooldown AND while the budget is full.
+        let d = c.decide(&req(0, 205.0, RestartReason::CrashReboot));
+        assert!(d.granted);
+        assert_eq!(d.downtime_secs, 50.0);
+        // The repair occupies a budget slot: a planned restart elsewhere
+        // is pushed back while the repair is in flight.
+        let d = c.decide(&req(1, 210.0, RestartReason::Alarm));
+        assert_eq!(d.deny, Some(DenyReason::Budget));
+        // The crash reset machine 0's cooldown epoch.
+        let d = c.decide(&req(0, 260.0, RestartReason::Alarm));
+        assert_eq!(d.deny, Some(DenyReason::Cooldown));
+    }
+
+    #[test]
+    fn decision_log_matches_replay() {
+        let requests = [
+            req(0, 120.0, RestartReason::Alarm),
+            req(1, 130.0, RestartReason::Periodic),
+            req(0, 180.0, RestartReason::Alarm),
+            req(2, 300.0, RestartReason::CrashReboot),
+            req(1, 400.0, RestartReason::Alarm),
+        ];
+        let run = || {
+            let mut c = RejuvController::new(config(), 3).unwrap();
+            for r in &requests {
+                c.decide(r);
+            }
+            c.decisions().to_vec()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same requests must yield identical decisions");
+        assert_eq!(a.len(), requests.len());
+    }
+
+    #[test]
+    fn reason_codes_round_trip() {
+        for reason in [
+            RestartReason::Alarm,
+            RestartReason::Periodic,
+            RestartReason::CrashReboot,
+        ] {
+            assert_eq!(RestartReason::from_code(reason.code()).unwrap(), reason);
+        }
+        assert!(RestartReason::from_code(99).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_fleet() {
+        assert!(RejuvController::new(config(), 0).is_err());
+    }
+}

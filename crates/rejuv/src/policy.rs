@@ -1,0 +1,190 @@
+//! Rejuvenation policies and the controller configuration.
+
+use aging_timeseries::{Error, Result};
+
+/// When to issue planned restarts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RejuvPolicy {
+    /// Never restart proactively. Crashes still force a repair reboot,
+    /// so this is the fair no-op baseline for availability comparisons.
+    None,
+    /// Restart every machine on a fixed wall-clock interval since its
+    /// last restart (or boot), regardless of health — the cron-style
+    /// baseline alarm-driven rejuvenation must beat.
+    Periodic {
+        /// Seconds between planned restarts of one machine.
+        period_secs: f64,
+    },
+    /// Restart a machine when its fused detector vote has latched an
+    /// alarm — the closed loop. The controller still enforces the
+    /// cooldown and the fleet-wide budget, so alarm storms cannot
+    /// restart the whole fleet at once.
+    AlarmTriggered,
+}
+
+impl RejuvPolicy {
+    /// Short display name used in reports and decision logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RejuvPolicy::None => "none",
+            RejuvPolicy::Periodic { .. } => "periodic",
+            RejuvPolicy::AlarmTriggered => "alarm-triggered",
+        }
+    }
+
+    /// Stable wire code for the policy kind (the periodic interval is
+    /// not carried — the code identifies the family only).
+    pub fn code(&self) -> u8 {
+        match self {
+            RejuvPolicy::None => 0,
+            RejuvPolicy::Periodic { .. } => 1,
+            RejuvPolicy::AlarmTriggered => 2,
+        }
+    }
+}
+
+/// Controller configuration: the policy plus the costs and guardrails
+/// every policy shares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejuvConfig {
+    /// The planned-restart policy.
+    pub policy: RejuvPolicy,
+    /// Minimum seconds between restarts of the *same* machine. Boot
+    /// counts as a restart epoch: no planned restart is granted before
+    /// `cooldown_secs` of uptime. This is also what rides out the
+    /// post-restart refill transient — a freshly restarted machine's
+    /// caches refill for a while and must not immediately re-trigger.
+    pub cooldown_secs: f64,
+    /// Seconds a planned restart keeps the machine down.
+    pub restart_downtime_secs: f64,
+    /// Seconds a crash keeps the machine down before its repair reboot
+    /// completes. Crashes are unplanned, so this is typically much
+    /// larger than `restart_downtime_secs` — that gap is exactly what
+    /// rejuvenation buys.
+    pub crash_repair_secs: f64,
+    /// Fleet-wide cap on machines restarting/repairing at once. A
+    /// planned restart that would exceed it is denied
+    /// ([`crate::DenyReason::Budget`]) and the machine retries later.
+    pub max_concurrent_restarts: usize,
+}
+
+impl Default for RejuvConfig {
+    /// Alarm-triggered policy with a one-hour cooldown, 30-second
+    /// planned restarts, 15-minute crash repairs and a budget of one
+    /// concurrent restart.
+    fn default() -> Self {
+        RejuvConfig {
+            policy: RejuvPolicy::AlarmTriggered,
+            cooldown_secs: 3600.0,
+            restart_downtime_secs: 30.0,
+            crash_repair_secs: 900.0,
+            max_concurrent_restarts: 1,
+        }
+    }
+}
+
+impl RejuvConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] on a non-finite or negative
+    /// cooldown, non-positive downtime/repair cost, zero restart
+    /// budget, or a non-positive periodic interval.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.cooldown_secs >= 0.0) || !self.cooldown_secs.is_finite() {
+            return Err(Error::invalid(
+                "cooldown_secs",
+                "must be finite and non-negative",
+            ));
+        }
+        if !(self.restart_downtime_secs > 0.0) || !self.restart_downtime_secs.is_finite() {
+            return Err(Error::invalid(
+                "restart_downtime_secs",
+                "must be finite and positive",
+            ));
+        }
+        if !(self.crash_repair_secs > 0.0) || !self.crash_repair_secs.is_finite() {
+            return Err(Error::invalid(
+                "crash_repair_secs",
+                "must be finite and positive",
+            ));
+        }
+        if self.max_concurrent_restarts == 0 {
+            return Err(Error::invalid(
+                "max_concurrent_restarts",
+                "must be at least 1",
+            ));
+        }
+        if let RejuvPolicy::Periodic { period_secs } = self.policy {
+            if !(period_secs > 0.0) || !period_secs.is_finite() {
+                return Err(Error::invalid("period_secs", "must be finite and positive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        RejuvConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn guards_reject_bad_parameters() {
+        let ok = RejuvConfig::default();
+        for bad in [
+            RejuvConfig {
+                cooldown_secs: -1.0,
+                ..ok
+            },
+            RejuvConfig {
+                cooldown_secs: f64::NAN,
+                ..ok
+            },
+            RejuvConfig {
+                restart_downtime_secs: 0.0,
+                ..ok
+            },
+            RejuvConfig {
+                restart_downtime_secs: f64::INFINITY,
+                ..ok
+            },
+            RejuvConfig {
+                crash_repair_secs: -5.0,
+                ..ok
+            },
+            RejuvConfig {
+                max_concurrent_restarts: 0,
+                ..ok
+            },
+            RejuvConfig {
+                policy: RejuvPolicy::Periodic { period_secs: 0.0 },
+                ..ok
+            },
+            RejuvConfig {
+                policy: RejuvPolicy::Periodic {
+                    period_secs: f64::NAN,
+                },
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        // Decision logs and bench reports key on these strings.
+        assert_eq!(RejuvPolicy::None.name(), "none");
+        assert_eq!(
+            RejuvPolicy::Periodic { period_secs: 1.0 }.name(),
+            "periodic"
+        );
+        assert_eq!(RejuvPolicy::AlarmTriggered.name(), "alarm-triggered");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the restart arbiter's safety invariants:
+//!
+//! 1. **Cooldown** — no planned restart is granted within
+//!    `cooldown_secs` of the same machine's previous granted restart
+//!    (crash reboots reset the epoch but are themselves exempt);
+//! 2. **Budget** — at every grant instant, the number of still-running
+//!    restarts/repairs never exceeds `max_concurrent_restarts`;
+//! 3. **Determinism** — replaying the identical request sequence yields
+//!    a bit-identical decision log;
+//! 4. **Accounting** — the granted/denied counters reconcile exactly
+//!    with the decision log.
+
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
+use proptest::prelude::*;
+
+/// Decodes parallel scalar vectors into a time-ordered request sequence
+/// (the vendored proptest has no tuple or enum strategies).
+fn build_requests(
+    machines: usize,
+    picks: &[usize],
+    steps: &[f64],
+    reasons: &[usize],
+) -> Vec<RestartRequest> {
+    let mut t = 0.0f64;
+    picks
+        .iter()
+        .zip(steps)
+        .zip(reasons)
+        .map(|((&pick, &step), &reason)| {
+            t += step;
+            RestartRequest {
+                machine_index: pick % machines,
+                time_secs: t,
+                reason: match reason % 4 {
+                    0 | 1 => RestartReason::Alarm, // keep alarms dominant
+                    2 => RestartReason::Periodic,
+                    _ => RestartReason::CrashReboot,
+                },
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn cooldown_budget_and_determinism_hold(
+        machines in 1usize..6,
+        budget in 1usize..4,
+        cooldown in 10.0f64..500.0,
+        picks in prop::collection::vec(0usize..6, 1..=120),
+        steps in prop::collection::vec(0.5f64..200.0, 120..=120),
+        reasons in prop::collection::vec(0usize..4, 120..=120),
+    ) {
+        let config = RejuvConfig {
+            policy: RejuvPolicy::AlarmTriggered,
+            cooldown_secs: cooldown,
+            restart_downtime_secs: 15.0,
+            crash_repair_secs: 120.0,
+            max_concurrent_restarts: budget,
+        };
+        let requests = build_requests(machines, &picks, &steps, &reasons);
+
+        let run = || {
+            let mut c = RejuvController::new(config, machines).unwrap();
+            for r in &requests {
+                c.decide(r);
+            }
+            c
+        };
+        let c = run();
+        let decisions = c.decisions();
+
+        // 1. Cooldown: planned grants sit outside the cooldown window of
+        //    the machine's previous grant (boot epoch included).
+        let mut last_grant = vec![0.0f64; machines];
+        // 2. Budget: independently replay the inflight ledger.
+        let mut inflight: Vec<f64> = Vec::new();
+        for d in decisions {
+            if d.granted {
+                inflight.retain(|&end| end > d.time_secs);
+                if d.reason != RestartReason::CrashReboot {
+                    prop_assert!(
+                        d.time_secs - last_grant[d.machine_index] >= config.cooldown_secs,
+                        "granted {:?} within cooldown of last grant at {}",
+                        d,
+                        last_grant[d.machine_index],
+                    );
+                    prop_assert!(
+                        inflight.len() < budget,
+                        "granted {d:?} with a full budget ({} in flight)",
+                        inflight.len(),
+                    );
+                }
+                last_grant[d.machine_index] = d.time_secs;
+                inflight.push(d.time_secs + d.downtime_secs);
+            }
+        }
+
+        // 3. Determinism: decisions are a pure function of the requests.
+        let again = run();
+        prop_assert_eq!(decisions, again.decisions());
+
+        // 4. Accounting reconciles exactly.
+        let granted = decisions.iter().filter(|d| d.granted).count() as u64;
+        prop_assert_eq!(c.granted(), granted);
+        prop_assert_eq!(
+            c.granted() + c.denied_cooldown() + c.denied_budget(),
+            decisions.len() as u64
+        );
+        // Crash reboots are never denied.
+        prop_assert!(decisions
+            .iter()
+            .filter(|d| d.reason == RestartReason::CrashReboot)
+            .all(|d| d.granted));
+    }
+}

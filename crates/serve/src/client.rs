@@ -47,6 +47,23 @@ pub struct AlarmChunk {
     pub events: Vec<ServeEvent>,
 }
 
+/// One machine's shadow rejuvenation advisory (a decoded
+/// `Frame::RejuvReply` for a known machine): what the server's
+/// configured [`aging_rejuv::RejuvPolicy`] would have decided over the
+/// machine's released alarm history. Purely observational — the serve
+/// tier never restarts anything.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RejuvAdvice {
+    /// Configured policy ([`aging_rejuv::RejuvPolicy::code`]).
+    pub policy: u8,
+    /// Restarts the policy would have granted so far.
+    pub restarts: u64,
+    /// Requests the policy would have denied (cooldown or budget).
+    pub denied: u64,
+    /// Time of the last granted shadow restart, if any.
+    pub last_restart_secs: Option<f64>,
+}
+
 /// A connected, handshaken client session.
 #[derive(Debug)]
 pub struct ServeClient {
@@ -380,6 +397,35 @@ impl ServeClient {
                 Ok(Some(decoded))
             }
             other => Err(Error::Io(format!("unexpected spectrum reply: {other:?}"))),
+        }
+    }
+
+    /// Fetches one machine's shadow rejuvenation advisory — what the
+    /// server's configured policy would have decided over the machine's
+    /// released alarm history. `None` when the server has never seen
+    /// that machine. Requires a v2-negotiated session; on a v1 session
+    /// the server treats the query as a strike.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Io`] on socket failure or a malformed reply.
+    pub fn query_rejuv(&mut self, machine_id: u64) -> Result<Option<RejuvAdvice>> {
+        self.send(&Frame::QueryRejuv { machine_id })?;
+        match self.recv_reply()? {
+            Frame::RejuvReply {
+                machine_id: m,
+                known,
+                policy,
+                restarts,
+                denied,
+                last_restart_secs,
+            } if m == machine_id => Ok(known.then_some(RejuvAdvice {
+                policy,
+                restarts,
+                denied,
+                last_restart_secs,
+            })),
+            other => Err(Error::Io(format!("unexpected rejuv reply: {other:?}"))),
         }
     }
 

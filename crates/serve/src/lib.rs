@@ -78,7 +78,7 @@ pub mod loadgen;
 pub mod protocol;
 pub mod server;
 
-pub use client::{AlarmChunk, ServeClient};
+pub use client::{AlarmChunk, RejuvAdvice, ServeClient};
 pub use codec::{CorruptStream, FrameDecoder, TextCommand};
 pub use loadgen::{drive, drive_with_ids, BatchMode, LoadgenConfig, LoadgenReport, ScenarioFeeder};
 pub use protocol::{

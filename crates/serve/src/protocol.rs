@@ -241,6 +241,35 @@ pub enum Frame {
         /// `(counter code, Δα)` pairs, in pipeline stream order.
         widths: Vec<(u8, f64)>,
     },
+    /// Request the rejuvenation advisory for one machine (protocol v2;
+    /// on a v1 session this is malformed and counts a strike).
+    QueryRejuv {
+        /// Machine to query.
+        machine_id: u64,
+    },
+    /// Shadow-controller rejuvenation advisory for one machine: the
+    /// server replays its configured [`aging_rejuv::RejuvPolicy`] over
+    /// the machine's released alarm history and reports what the policy
+    /// would have decided. The serve tier observes — the closed loop
+    /// that actually restarts machines lives in the stream supervisor —
+    /// so this is the operator's what-if surface for policy selection.
+    /// `known = false` (and zeroed advice) when the machine id is
+    /// unknown to this server.
+    RejuvReply {
+        /// Echo of the queried machine.
+        machine_id: u64,
+        /// Whether the machine id is known.
+        known: bool,
+        /// Configured policy ([`aging_rejuv::RejuvPolicy::code`]; `0`
+        /// when the server has no rejuvenation config).
+        policy: u8,
+        /// Restarts the policy would have granted so far.
+        restarts: u64,
+        /// Requests the policy would have denied (cooldown or budget).
+        denied: u64,
+        /// Time of the last granted shadow restart, if any.
+        last_restart_secs: Option<f64>,
+    },
     /// Request the watermark-released alarm history from offset `since`.
     QueryAlarms {
         /// Offset into the released history.
@@ -298,6 +327,8 @@ const TAG_ERROR: u8 = 0x0f;
 const TAG_BATCH_COLUMNAR: u8 = 0x10;
 const TAG_QUERY_SPECTRUM: u8 = 0x11;
 const TAG_SPECTRUM_REPLY: u8 = 0x12;
+const TAG_QUERY_REJUV: u8 = 0x13;
+const TAG_REJUV_REPLY: u8 = 0x14;
 
 // ---------------------------------------------------------------------------
 // CRC-32 (IEEE 802.3, reflected)
@@ -553,6 +584,7 @@ pub fn columnar_spans(times: &[f64], max_span: usize, out: &mut Vec<(usize, usiz
 
 const EVENT_DETECTOR: u8 = 0;
 const EVENT_MACHINE_ALARM: u8 = 1;
+const EVENT_RESTART: u8 = 2;
 const DETAIL_HOLDER: u8 = 0;
 const DETAIL_TREND: u8 = 1;
 const DETAIL_SPECTRUM: u8 = 2;
@@ -609,6 +641,14 @@ pub fn encode_event(event: &ServeEvent, out: &mut Vec<u8>) {
             out.push(EVENT_MACHINE_ALARM);
             out.extend_from_slice(&(*votes as u64).to_le_bytes());
             out.extend_from_slice(&(*members as u64).to_le_bytes());
+        }
+        AlarmKind::Restart {
+            reason,
+            downtime_secs,
+        } => {
+            out.push(EVENT_RESTART);
+            out.push(reason.code());
+            out.extend_from_slice(&downtime_secs.to_bits().to_le_bytes());
         }
     }
 }
@@ -692,6 +732,11 @@ pub(crate) fn decode_event(r: &mut Reader<'_>) -> Result<ServeEvent, String> {
         EVENT_MACHINE_ALARM => AlarmKind::MachineAlarm {
             votes: r.u64()? as usize,
             members: r.u64()? as usize,
+        },
+        EVENT_RESTART => AlarmKind::Restart {
+            reason: aging_rejuv::RestartReason::from_code(r.u8()?)
+                .map_err(|_| "bad restart reason code".to_string())?,
+            downtime_secs: r.f64()?,
         },
         t => return Err(format!("bad event kind tag {t}")),
     };
@@ -832,6 +877,27 @@ impl Frame {
                     out.extend_from_slice(&delta_alpha.to_bits().to_le_bytes());
                 }
             }
+            Frame::QueryRejuv { machine_id } => {
+                out.push(TAG_QUERY_REJUV);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+            }
+            Frame::RejuvReply {
+                machine_id,
+                known,
+                policy,
+                restarts,
+                denied,
+                last_restart_secs,
+            } => {
+                out.push(TAG_REJUV_REPLY);
+                out.extend_from_slice(&machine_id.to_le_bytes());
+                out.push(u8::from(*known));
+                out.push(*policy);
+                out.extend_from_slice(&restarts.to_le_bytes());
+                out.extend_from_slice(&denied.to_le_bytes());
+                out.push(u8::from(last_restart_secs.is_some()));
+                out.extend_from_slice(&last_restart_secs.unwrap_or(0.0).to_bits().to_le_bytes());
+            }
             Frame::QueryAlarms { since } => {
                 out.push(TAG_QUERY_ALARMS);
                 out.extend_from_slice(&since.to_le_bytes());
@@ -968,6 +1034,26 @@ impl Frame {
                     machine_id,
                     known,
                     widths,
+                }
+            }
+            TAG_QUERY_REJUV => Frame::QueryRejuv {
+                machine_id: r.u64()?,
+            },
+            TAG_REJUV_REPLY => {
+                let machine_id = r.u64()?;
+                let known = r.u8()? != 0;
+                let policy = r.u8()?;
+                let restarts = r.u64()?;
+                let denied = r.u64()?;
+                let has_last = r.u8()? != 0;
+                let last = r.f64()?;
+                Frame::RejuvReply {
+                    machine_id,
+                    known,
+                    policy,
+                    restarts,
+                    denied,
+                    last_restart_secs: has_last.then_some(last),
                 }
             }
             TAG_QUERY_ALARMS => Frame::QueryAlarms { since: r.u64()? },
@@ -1236,6 +1322,15 @@ mod tests {
                             },
                         },
                     },
+                    ServeEvent {
+                        machine_id: 7,
+                        time_secs: 130.0,
+                        level: AlertLevel::Warning,
+                        kind: AlarmKind::Restart {
+                            reason: aging_rejuv::RestartReason::Alarm,
+                            downtime_secs: 30.0,
+                        },
+                    },
                 ],
             },
             Frame::QuerySpectrum { machine_id: 3 },
@@ -1248,6 +1343,23 @@ mod tests {
                 machine_id: 9,
                 known: false,
                 widths: vec![],
+            },
+            Frame::QueryRejuv { machine_id: 4 },
+            Frame::RejuvReply {
+                machine_id: 4,
+                known: true,
+                policy: 2,
+                restarts: 3,
+                denied: 1,
+                last_restart_secs: Some(7200.0),
+            },
+            Frame::RejuvReply {
+                machine_id: 11,
+                known: false,
+                policy: 0,
+                restarts: 0,
+                denied: 0,
+                last_restart_secs: None,
             },
             Frame::Bye,
             Frame::ByeAck,

@@ -64,6 +64,7 @@ use std::time::{Duration, Instant};
 
 use aging_core::detector::AlertLevel;
 use aging_core::fusion::FusionRule;
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
 use aging_store::{Recovery, Store, StoreConfig};
 use aging_stream::gate::GateConfig;
 use aging_stream::merge::{MergeKey, WatermarkMerger};
@@ -150,6 +151,12 @@ pub struct ServeConfig {
     /// suffix it finds in the directory, reconstructing the engine
     /// bit-identically. `None` (the default) serves purely in memory.
     pub store: Option<StoreConfig>,
+    /// Rejuvenation policy answered by `QueryRejuv` (protocol v2). The
+    /// serve tier never restarts anything itself — the closed loop lives
+    /// in the stream supervisor — so this only drives the shadow
+    /// advisory replayed over each machine's released alarm history.
+    /// `None` (the default) answers with the `none` policy.
+    pub rejuv: Option<RejuvConfig>,
 }
 
 impl ServeConfig {
@@ -169,6 +176,7 @@ impl ServeConfig {
             expected_machines: None,
             shard_id: 0,
             store: None,
+            rejuv: None,
         }
     }
 
@@ -211,6 +219,9 @@ impl ServeConfig {
             store
                 .validate()
                 .map_err(|e| Error::invalid("store", e.to_string()))?;
+        }
+        if let Some(rejuv) = &self.rejuv {
+            rejuv.validate()?;
         }
         Ok(())
     }
@@ -325,6 +336,12 @@ impl ServeConfigBuilder {
     /// Enables crash-safe persistence backed by the given store.
     pub fn store(mut self, store: Option<StoreConfig>) -> Self {
         self.cfg.store = store;
+        self
+    }
+
+    /// Sets the rejuvenation policy answered by `QueryRejuv`.
+    pub fn rejuv(mut self, rejuv: Option<RejuvConfig>) -> Self {
+        self.cfg.rejuv = rejuv;
         self
     }
 
@@ -446,6 +463,8 @@ struct Engine {
     scratch: Vec<PipelineEvent>,
     /// Crash-safe journal + snapshot backing; `None` = memory-only.
     store: Option<Store>,
+    /// Shadow-advisory policy for `QueryRejuv` (never restarts anything).
+    rejuv: Option<RejuvConfig>,
 }
 
 impl Engine {
@@ -465,6 +484,7 @@ impl Engine {
             wire: WireCounters::default(),
             scratch: Vec::new(),
             store: None,
+            rejuv: cfg.rejuv,
         }
     }
 
@@ -1002,6 +1022,10 @@ impl Engine {
             alarms_emitted: self.alarms,
             alarm_queue_depth: self.pending.len(),
             telemetry_dropped: 0,
+            // The serve tier observes; restarts are issued by the
+            // stream supervisor's closed loop, never by this engine.
+            restarts_granted: 0,
+            restarts_denied: 0,
             detector_errors,
         }
     }
@@ -1010,6 +1034,64 @@ impl Engine {
         self.machines
             .get(&machine_id)
             .map(|e| e.pipeline.snapshot(machine_id, &e.name))
+    }
+
+    /// Shadow rejuvenation advisory for one machine: replays the
+    /// configured policy over the machine's released alarm history
+    /// through a real [`RejuvController`] and reports
+    /// `(policy code, restarts, denied, last restart time)`. `None`
+    /// when the machine is unknown. Purely observational — nothing is
+    /// restarted; operators use this to vet a policy against live
+    /// alarms before enabling it in the supervisor's closed loop.
+    fn rejuv_advice(&self, machine_id: u64) -> Option<(u8, u64, u64, Option<f64>)> {
+        let entry = self.machines.get(&machine_id)?;
+        let Some(cfg) = self.rejuv else {
+            return Some((RejuvPolicy::None.code(), 0, 0, None));
+        };
+        // Validated at bind time, so construction cannot fail here.
+        let mut controller = RejuvController::new(cfg, 1).expect("rejuv config validated at bind");
+        match cfg.policy {
+            RejuvPolicy::None => {}
+            RejuvPolicy::Periodic { period_secs } => {
+                // One request per elapsed interval up to the machine's
+                // completed tick (what the cron-style baseline would
+                // have done by now).
+                let end = entry
+                    .pipeline
+                    .tick_time_secs()
+                    .unwrap_or_else(|| entry.pipeline.completed_time_secs());
+                if end.is_finite() {
+                    let mut t = period_secs;
+                    while t <= end {
+                        let _ = controller.decide(&RestartRequest {
+                            machine_index: 0,
+                            time_secs: t,
+                            reason: RestartReason::Periodic,
+                        });
+                        t += period_secs;
+                    }
+                }
+            }
+            RejuvPolicy::AlarmTriggered => {
+                for event in &self.released {
+                    if event.machine_id == machine_id
+                        && matches!(event.kind, AlarmKind::MachineAlarm { .. })
+                    {
+                        let _ = controller.decide(&RestartRequest {
+                            machine_index: 0,
+                            time_secs: event.time_secs,
+                            reason: RestartReason::Alarm,
+                        });
+                    }
+                }
+            }
+        }
+        Some((
+            cfg.policy.code(),
+            controller.granted(),
+            controller.denied_cooldown() + controller.denied_budget(),
+            controller.last_restart_secs(0),
+        ))
     }
 
     /// Latest streaming Δα per counter for one machine, in wire form
@@ -1759,6 +1841,39 @@ fn handle_frame(
             );
             FrameOutcome::Continue
         }
+        Frame::QueryRejuv { machine_id } => {
+            // Rejuv queries are a v2 capability; on a v1 session they
+            // are intact-but-invalid, i.e. a strike, not a quarantine.
+            if sess.version < PROTOCOL_VERSION_V2 {
+                return FrameOutcome::Malformed(format!(
+                    "rejuv query requires protocol v{PROTOCOL_VERSION_V2} (session negotiated v{})",
+                    sess.version
+                ));
+            }
+            let advice = {
+                let mut engine = shared.engine();
+                engine.wire.queries += 1;
+                // Release first so the advisory sees the freshest
+                // watermark-complete history (same discipline as
+                // `QueryAlarms`).
+                engine.release();
+                engine.rejuv_advice(machine_id)
+            };
+            let known = advice.is_some();
+            let (policy, restarts, denied, last_restart_secs) = advice.unwrap_or((0, 0, 0, None));
+            let _ = send_frame(
+                stream,
+                &Frame::RejuvReply {
+                    machine_id,
+                    known,
+                    policy,
+                    restarts,
+                    denied,
+                    last_restart_secs,
+                },
+            );
+            FrameOutcome::Continue
+        }
         Frame::QueryAlarms { since } => {
             // `total` and the advertised watermark are read under one
             // engine lock, so together they form a consistent promise:
@@ -1801,6 +1916,7 @@ fn handle_frame(
         | Frame::MachineReply { .. }
         | Frame::AlarmsReply { .. }
         | Frame::SpectrumReply { .. }
+        | Frame::RejuvReply { .. }
         | Frame::ByeAck
         | Frame::Error { .. } => {
             let _ = send_frame(
@@ -1834,6 +1950,17 @@ fn render_event_text(event: &ServeEvent) -> String {
         AlarmKind::MachineAlarm { votes, members } => format!(
             "event {} {:.3} {} machine-alarm {}/{}",
             event.machine_id, event.time_secs, level, votes, members
+        ),
+        AlarmKind::Restart {
+            reason,
+            downtime_secs,
+        } => format!(
+            "event {} {:.3} {} restart {} {:.0}s",
+            event.machine_id,
+            event.time_secs,
+            level,
+            reason.name(),
+            downtime_secs
         ),
     }
 }

@@ -100,6 +100,20 @@ fn build_frame(kind: usize, a: u64, b: u64, f: f64, text: &str, n_records: usize
                 })
                 .collect(),
         },
+        16 => Frame::QueryRejuv { machine_id: a },
+        17 => Frame::RejuvReply {
+            machine_id: a,
+            known: b.is_multiple_of(2),
+            policy: (b % 256) as u8,
+            restarts: b,
+            denied: a ^ b,
+            last_restart_secs: if a.is_multiple_of(3) {
+                None
+            } else {
+                // Non-finite stamps must round-trip like any other f64.
+                Some(if a.is_multiple_of(7) { f64::NAN } else { f })
+            },
+        },
         _ => Frame::Error {
             code: (a % 256) as u8,
             message: text.to_string(),
@@ -125,7 +139,7 @@ proptest! {
     /// byte-level comparison sidesteps NaN != NaN on decoded floats).
     #[test]
     fn frames_survive_arbitrary_chunking(
-        kinds in prop::collection::vec(0usize..17, 1..=12),
+        kinds in prop::collection::vec(0usize..19, 1..=12),
         seeds in prop::collection::vec(0u64..u64::MAX, 12..=12),
         floats in prop::collection::vec(-1e12f64..1e12, 12..=12),
         lens in prop::collection::vec(0usize..40, 12..=12),

@@ -1,0 +1,213 @@
+//! `QueryRejuv` end-to-end suite: the serve tier's shadow rejuvenation
+//! advisory. The server never restarts anything — it replays its
+//! configured policy over a machine's released alarm history through a
+//! real [`RejuvController`] — so the contract under test is that the
+//! reply is exactly what a local controller replay of the same history
+//! produces:
+//!
+//! 1. an unknown machine id draws `known = false` (client `None`);
+//! 2. a server with no rejuv config answers the `none` policy;
+//! 3. with an alarm-triggered policy, the advisory's grant/deny counts
+//!    and last-restart time match an independent client-side replay of
+//!    the fetched alarm history, bit for bit;
+//! 4. the query is v2-gated: on a v1 session it strikes, then
+//!    quarantines — same discipline as `QuerySpectrum`.
+
+use std::io::Write;
+
+use aging_memsim::Counter;
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
+use aging_serve::codec::FrameDecoder;
+use aging_serve::protocol::{
+    counter_code, encode_frame, Frame, Record, DEFAULT_MAX_FRAME, ERR_MALFORMED, ERR_QUARANTINED,
+    PROTOCOL_VERSION,
+};
+use aging_serve::{ServeClient, ServeConfig, Server};
+use aging_stream::supervisor::AlarmKind;
+
+const DT: f64 = 5.0;
+
+fn rejuv_config() -> RejuvConfig {
+    RejuvConfig {
+        policy: RejuvPolicy::AlarmTriggered,
+        cooldown_secs: 120.0,
+        restart_downtime_secs: 30.0,
+        crash_repair_secs: 900.0,
+        max_concurrent_restarts: 1,
+    }
+}
+
+fn serve_config(rejuv: Option<RejuvConfig>) -> ServeConfig {
+    let mut cfg = ServeConfig::new(aging_serve::test_detectors());
+    cfg.rejuv = rejuv;
+    cfg
+}
+
+/// Feeds a linear depletion: the trend detector projects exhaustion and
+/// fuses a machine alarm well inside the feed.
+fn feed_depleting(client: &mut ServeClient, machine_id: u64, n: usize) {
+    let records: Vec<Record> = (0..n)
+        .map(|i| Record {
+            machine_id,
+            counter: counter_code(Counter::AvailableBytes),
+            time_secs: i as f64 * DT,
+            value: 1e6 - i as f64 * 100.0,
+        })
+        .collect();
+    for chunk in records.chunks(32) {
+        client.send_batch(chunk).expect("send batch");
+    }
+    client.machine_done(machine_id).expect("machine done");
+    client.flush().expect("flush");
+}
+
+#[test]
+fn unknown_machine_draws_known_false() {
+    let server = Server::bind("127.0.0.1:0", serve_config(Some(rejuv_config()))).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr(), "rejuv-prober").expect("connect");
+    assert_eq!(
+        client.query_rejuv(404).expect("query"),
+        None,
+        "an unregistered machine must not be invented"
+    );
+    client.bye().expect("bye");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0);
+    assert_eq!(outcome.wire.quarantined, 0);
+}
+
+#[test]
+fn server_without_rejuv_config_answers_the_none_policy() {
+    let server = Server::bind("127.0.0.1:0", serve_config(None)).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr(), "no-policy").expect("connect");
+    feed_depleting(&mut client, 3, 200);
+    let advice = client
+        .query_rejuv(3)
+        .expect("query")
+        .expect("machine is known");
+    assert_eq!(advice.policy, RejuvPolicy::None.code());
+    assert_eq!(advice.restarts, 0);
+    assert_eq!(advice.denied, 0);
+    assert_eq!(advice.last_restart_secs, None);
+    client.bye().expect("bye");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0);
+}
+
+#[test]
+fn advisory_matches_an_independent_replay_of_the_alarm_history() {
+    let cfg = rejuv_config();
+    let server = Server::bind("127.0.0.1:0", serve_config(Some(cfg))).expect("bind");
+    let mut client = ServeClient::connect(server.local_addr(), "rejuv-feeder").expect("connect");
+    feed_depleting(&mut client, 7, 200);
+
+    // The one true answer: replay the machine's released alarm history
+    // through a local controller with the identical config.
+    let (total, events) = client.query_alarms(0).expect("alarm history");
+    assert_eq!(total as usize, events.len(), "single chunk expected");
+    let mut controller = RejuvController::new(cfg, 1).expect("valid config");
+    let mut machine_alarms = 0u64;
+    for event in &events {
+        if event.machine_id == 7 && matches!(event.kind, AlarmKind::MachineAlarm { .. }) {
+            machine_alarms += 1;
+            let _ = controller.decide(&RestartRequest {
+                machine_index: 0,
+                time_secs: event.time_secs,
+                reason: RestartReason::Alarm,
+            });
+        }
+    }
+    assert!(machine_alarms >= 1, "the depleting feed must alarm");
+
+    let advice = client
+        .query_rejuv(7)
+        .expect("query")
+        .expect("machine is known");
+    assert_eq!(advice.policy, RejuvPolicy::AlarmTriggered.code());
+    assert_eq!(advice.restarts, controller.granted());
+    assert!(advice.restarts >= 1, "at least the first alarm is granted");
+    assert_eq!(
+        advice.denied,
+        controller.denied_cooldown() + controller.denied_budget()
+    );
+    assert_eq!(advice.last_restart_secs, controller.last_restart_secs(0));
+
+    client.bye().expect("bye");
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.session_panics, 0);
+    assert_eq!(outcome.wire.quarantined, 0);
+    assert_eq!(outcome.wire.malformed_frames, 0);
+}
+
+#[test]
+fn rejuv_query_on_v1_session_strikes_then_quarantines() {
+    let server = Server::bind("127.0.0.1:0", serve_config(Some(rejuv_config()))).expect("bind");
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME);
+    let read_frame = |stream: &mut std::net::TcpStream, dec: &mut FrameDecoder| loop {
+        match dec.next_payload() {
+            Ok(Some(payload)) => {
+                return Some(Frame::decode_payload(&payload).expect("server frames decode"))
+            }
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+        let mut buf = [0u8; 4096];
+        match std::io::Read::read(stream, &mut buf) {
+            Ok(0) => return None,
+            Ok(n) => dec.feed(&buf[..n]),
+            Err(_) => return None,
+        }
+    };
+
+    stream
+        .write_all(&encode_frame(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            name: "v1-but-curious".into(),
+        }))
+        .expect("send hello");
+    let ack = read_frame(&mut stream, &mut dec).expect("hello ack");
+    assert!(matches!(
+        ack,
+        Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            ..
+        }
+    ));
+
+    // A perfectly well-formed rejuv query — just illegal on a v1
+    // session. Each draws ERR_MALFORMED; the third quarantines.
+    let mut saw_quarantine = false;
+    for attempt in 1..=3u32 {
+        stream
+            .write_all(&encode_frame(&Frame::QueryRejuv { machine_id: 1 }))
+            .expect("send rejuv query");
+        let reply = read_frame(&mut stream, &mut dec).expect("strike reply");
+        let Frame::Error { code, message } = reply else {
+            panic!("expected an error frame, got {reply:?}");
+        };
+        assert_eq!(code, ERR_MALFORMED, "strike {attempt}: {message}");
+        assert!(
+            message.contains("protocol v2"),
+            "the strike names the version gate: {message}"
+        );
+        if attempt == 3 {
+            let last = read_frame(&mut stream, &mut dec).expect("quarantine notice");
+            let Frame::Error { code, .. } = last else {
+                panic!("expected the quarantine error, got {last:?}");
+            };
+            assert_eq!(code, ERR_QUARANTINED);
+            saw_quarantine = true;
+        }
+    }
+    assert!(saw_quarantine);
+
+    let outcome = server.shutdown();
+    assert_eq!(outcome.wire.quarantined, 1, "exactly this session");
+    assert_eq!(outcome.wire.malformed_frames, 3);
+    assert_eq!(outcome.wire.session_panics, 0);
+}

@@ -203,6 +203,28 @@ impl<T> WatermarkMerger<T> {
         self.heap.pop().map(|p| p.value)
     }
 
+    /// The key of the earliest buffered event, ready or not — lets a
+    /// caller interleave its own timestamped actions (e.g. restart
+    /// arbitration) with the release stream without popping blind.
+    pub fn peek_key(&self) -> Option<MergeKey> {
+        self.heap.peek().map(|p| p.key)
+    }
+
+    /// Pops the earliest buffered event only if it is ready *and* at or
+    /// below `limit_secs` — [`pop_ready`](Self::pop_ready) with an extra
+    /// ceiling, for releasing history up to an arbitration point while
+    /// holding everything after it.
+    pub fn pop_ready_until(&mut self, limit_secs: f64) -> Option<T> {
+        if self
+            .heap
+            .peek()
+            .is_some_and(|p| p.key.time_secs <= self.frontier && p.key.time_secs <= limit_secs)
+        {
+            return self.heap.pop().map(|p| p.value);
+        }
+        None
+    }
+
     /// Buffered (not yet released) event count.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -299,6 +321,29 @@ mod tests {
         assert!(m.finish(2));
         assert_eq!(m.frontier(), f64::INFINITY);
         assert_eq!(m.pop_ready(), Some(1));
+    }
+
+    #[test]
+    fn pop_ready_until_holds_events_past_the_ceiling() {
+        let mut m: WatermarkMerger<u32> = WatermarkMerger::new(1);
+        m.push(key(10.0, 0, 1), 10);
+        m.push(key(20.0, 0, 2), 20);
+        m.push(key(30.0, 0, 3), 30);
+        assert_eq!(m.peek_key(), Some(key(10.0, 0, 1)));
+        assert!(
+            m.pop_ready_until(f64::INFINITY).is_none(),
+            "not ready: watermark still at -inf"
+        );
+        assert!(m.advance(0, 25.0));
+        assert_eq!(m.pop_ready_until(15.0), Some(10));
+        assert_eq!(m.pop_ready_until(15.0), None, "20.0 above the ceiling");
+        assert_eq!(m.pop_ready_until(20.0), Some(20));
+        assert_eq!(
+            m.pop_ready_until(f64::INFINITY),
+            None,
+            "30.0 above the 25.0 frontier even with no ceiling"
+        );
+        assert_eq!(m.peek_key(), Some(key(30.0, 0, 3)));
     }
 
     #[test]

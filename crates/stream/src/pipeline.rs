@@ -78,6 +78,15 @@ pub enum AlarmKind {
         /// Counters voting in total.
         members: usize,
     },
+    /// A rejuvenation restart was granted and applied to the machine —
+    /// emitted by the supervisor's arbitration loop, not by the
+    /// pipeline itself, but part of the same ordered alarm stream.
+    Restart {
+        /// Why the restart fired.
+        reason: aging_rejuv::RestartReason,
+        /// Seconds the machine was held down by this restart.
+        downtime_secs: f64,
+    },
 }
 
 /// One event produced by a machine pipeline.
@@ -534,6 +543,20 @@ impl MachinePipeline {
         self.finished = true;
     }
 
+    /// Re-arms the pipeline after a machine restart: every enabled
+    /// detector is reset (dropping its window and latched alarm) and the
+    /// fused latch cleared, so the machine can alarm again in a later
+    /// aging episode. Gates keep their clocks — the post-restart sample
+    /// gap goes through the ordinary gap policy like any other outage.
+    pub fn rearm(&mut self) {
+        for cs in &mut self.streams {
+            if !cs.disabled {
+                cs.detector.reset();
+            }
+        }
+        self.fused = false;
+    }
+
     /// Whether the machine-level fused alarm has fired.
     pub fn is_fused(&self) -> bool {
         self.fused
@@ -866,6 +889,38 @@ mod tests {
             }
             assert_eq!(a, b, "state diverged at chunk={chunk}");
         }
+    }
+
+    #[test]
+    fn rearm_clears_the_fused_latch_and_detector_windows() {
+        let mut p = MachinePipeline::new(&trend_detectors(), FusionRule::Any, gate()).unwrap();
+        let mut out = Vec::new();
+        let feed = |p: &mut MachinePipeline, out: &mut Vec<PipelineEvent>, t0: f64| {
+            for i in 0..400 {
+                let s = StreamSample {
+                    time_secs: t0 + i as f64 * 5.0,
+                    value: 1e6 - 400.0 * i as f64,
+                };
+                p.ingest(Counter::AvailableBytes, s, out);
+            }
+        };
+        feed(&mut p, &mut out, 0.0);
+        assert!(p.is_fused());
+        p.rearm();
+        assert!(!p.is_fused());
+        let before = out
+            .iter()
+            .filter(|e| matches!(e.kind, AlarmKind::MachineAlarm { .. }))
+            .count();
+        // A second depletion episode alarms again after re-arming.
+        feed(&mut p, &mut out, 10_000.0);
+        p.finish(&mut out);
+        assert!(p.is_fused());
+        let after = out
+            .iter()
+            .filter(|e| matches!(e.kind, AlarmKind::MachineAlarm { .. }))
+            .count();
+        assert_eq!(after, before + 1);
     }
 
     #[test]

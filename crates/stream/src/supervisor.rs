@@ -38,6 +38,10 @@ use std::sync::mpsc;
 use aging_core::detector::Alert;
 use aging_core::fusion::FusionRule;
 use aging_memsim::{Counter, Machine, Sample, Scenario};
+use aging_rejuv::{
+    AvailabilitySummary, RejuvConfig, RejuvController, RejuvPolicy, RestartDecision, RestartReason,
+    RestartRequest,
+};
 use aging_store::{Store, StoreConfig};
 use aging_timeseries::persist;
 use aging_timeseries::{Error, Result};
@@ -100,6 +104,16 @@ pub struct FleetConfig {
     /// directory already holds, so point each run at its own directory.
     /// `None` (the default) keeps the run entirely in memory.
     pub store: Option<StoreConfig>,
+    /// Closed-loop rejuvenation. When set, the supervisor arbitrates
+    /// restart requests against this policy on the ordered alarm stream:
+    /// alarm-triggered or periodic restarts are granted/denied by a
+    /// [`RejuvController`] (per-machine cooldown, fleet-wide concurrency
+    /// budget), crashes become forced repair reboots instead of ending
+    /// the machine's feed, and every granted restart is emitted (and
+    /// journaled) as an [`AlarmKind::Restart`] event in stream order.
+    /// `None` (the default) keeps the classic open-loop behaviour where
+    /// a crash terminates the machine.
+    pub rejuv: Option<RejuvConfig>,
 }
 
 impl std::fmt::Debug for FleetConfig {
@@ -117,6 +131,7 @@ impl std::fmt::Debug for FleetConfig {
                 &self.perturb.as_ref().map(|_| "PerturberFactory"),
             )
             .field("store", &self.store)
+            .field("rejuv", &self.rejuv)
             .finish()
     }
 }
@@ -135,6 +150,7 @@ impl FleetConfig {
             status_every_secs: 600.0,
             perturb: None,
             store: None,
+            rejuv: None,
         }
     }
 
@@ -163,6 +179,9 @@ impl FleetConfig {
                 .validate()
                 .map_err(|e| Error::invalid("store", e.to_string()))?;
         }
+        if let Some(rejuv) = &self.rejuv {
+            rejuv.validate()?;
+        }
         self.gate.validate()
     }
 }
@@ -190,6 +209,7 @@ pub struct AlarmEvent {
 const FLEET_SNAPSHOT_VERSION: u8 = 1;
 const EVENT_DETECTOR: u8 = 0;
 const EVENT_MACHINE_ALARM: u8 = 1;
+const EVENT_RESTART: u8 = 2;
 const DETAIL_HOLDER: u8 = 0;
 const DETAIL_TREND: u8 = 1;
 const DETAIL_SPECTRUM: u8 = 2;
@@ -266,6 +286,14 @@ fn encode_alarm_event(event: &AlarmEvent, out: &mut Vec<u8>) {
             persist::put_usize(out, *votes);
             persist::put_usize(out, *members);
         }
+        AlarmKind::Restart {
+            reason,
+            downtime_secs,
+        } => {
+            persist::put_u8(out, EVENT_RESTART);
+            persist::put_u8(out, reason.code());
+            persist::put_f64(out, *downtime_secs);
+        }
     }
 }
 
@@ -307,6 +335,10 @@ fn decode_alarm_event(r: &mut persist::Reader<'_>) -> Result<AlarmEvent> {
             votes: r.usize_()?,
             members: r.usize_()?,
         },
+        EVENT_RESTART => AlarmKind::Restart {
+            reason: RestartReason::from_code(r.u8()?)?,
+            downtime_secs: r.f64()?,
+        },
         t => return Err(Error::invalid("store", format!("bad event kind tag {t}"))),
     };
     Ok(AlarmEvent {
@@ -325,11 +357,22 @@ pub struct MachineOutcome {
     pub machine_index: usize,
     /// Machine display name.
     pub machine: String,
-    /// Crash time, seconds — `None` if the machine survived to the
-    /// horizon.
+    /// First crash time, seconds — `None` if the machine never crashed.
+    /// In a closed-loop ([`FleetConfig::rejuv`]) run the crash is
+    /// repaired and the feed continues, so this records the first
+    /// incident rather than a terminal state.
     pub crash_time_secs: Option<f64>,
     /// Monitor samples the machine produced.
     pub samples: u64,
+    /// Planned (alarm- or period-driven) restarts applied to the machine.
+    pub restarts: u64,
+    /// Crashes the machine suffered (each forced a repair reboot in a
+    /// closed-loop run; at most one terminal crash otherwise).
+    pub crashes: u64,
+    /// Seconds the machine spent down: planned restart transients, crash
+    /// repairs, and — for an open-loop terminal crash — the dead tail to
+    /// the horizon.
+    pub downtime_secs: f64,
 }
 
 /// Everything a fleet run produced.
@@ -341,6 +384,11 @@ pub struct FleetReport {
     pub outcomes: Vec<MachineOutcome>,
     /// Final aggregated telemetry.
     pub status: StatusSnapshot,
+    /// Every restart decision the [`RejuvController`] made, in
+    /// arbitration order — empty when [`FleetConfig::rejuv`] is `None`.
+    /// Deterministic for a given fleet, bit for bit, across shard
+    /// counts; the golden-fixture and parity suites pin exactly this.
+    pub decisions: Vec<RestartDecision>,
 }
 
 impl FleetReport {
@@ -367,6 +415,30 @@ impl FleetReport {
         self.events
             .iter()
             .filter(|e| matches!(e.kind, AlarmKind::MachineAlarm { .. }))
+    }
+
+    /// Iterates the granted restart events in stream order.
+    pub fn restart_events(&self) -> impl Iterator<Item = &AlarmEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, AlarmKind::Restart { .. }))
+    }
+
+    /// Availability accounting over `horizon_secs`: per-machine uptime
+    /// net of planned-restart transients, crash repairs, and terminal
+    /// dead time (see [`MachineOutcome::downtime_secs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for a non-positive or
+    /// non-finite horizon, or when the run had no machines.
+    pub fn availability(&self, horizon_secs: f64) -> Result<AvailabilitySummary> {
+        let machines: Vec<(u64, u64, f64)> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.restarts, o.crashes, o.downtime_secs))
+            .collect();
+        AvailabilitySummary::from_machines(horizon_secs, &machines)
     }
 }
 
@@ -404,6 +476,15 @@ enum ShardMsg {
         telemetry: Box<ShardTelemetry>,
         outcomes: Vec<MachineOutcome>,
     },
+    /// A machine asks to restart; the shard has *parked* it (stopped
+    /// stepping it, pinning the shard watermark at the request time)
+    /// until the supervisor sends a verdict back on the shard's decision
+    /// channel. FIFO order guarantees the request reaches the supervisor
+    /// before any watermark that could release events past it.
+    Restart {
+        shard: usize,
+        request: RestartRequest,
+    },
 }
 
 struct ShardMachine {
@@ -420,6 +501,18 @@ struct ShardMachine {
     crash_time_secs: Option<f64>,
     samples: u64,
     last_time_secs: f64,
+    /// Awaiting a restart verdict: skipped in sweeps, pins the watermark.
+    parked: bool,
+    /// Crash the shard has not yet converted into a repair request.
+    pending_crash_secs: Option<f64>,
+    /// Shard-local mirror of the controller's cooldown epoch, used to
+    /// prefilter requests (both sides update it only on grants, at the
+    /// same times, so they agree exactly).
+    last_restart_secs: f64,
+    /// Deterministic re-request backoff after a denial.
+    retry_after_secs: f64,
+    restarts: u64,
+    crashes: u64,
 }
 
 impl ShardMachine {
@@ -431,12 +524,42 @@ impl ShardMachine {
                 return None;
             }
             if let Some(crash) = self.machine.step() {
-                self.crash_time_secs = Some(crash.time.as_secs());
+                let t = crash.time.as_secs();
+                self.pending_crash_secs = Some(t);
+                if self.crash_time_secs.is_none() {
+                    self.crash_time_secs = Some(t);
+                }
                 return None;
             }
         }
         self.consumed += 1;
         self.machine.last_sample()
+    }
+}
+
+/// Applies one restart verdict on the shard side: a granted restart
+/// takes the machine down (counter reset + refill transient), re-arms
+/// its pipeline so a later aging episode can alarm again, and advances
+/// the shard-local cooldown epoch; a denial just unparks with a backoff
+/// so the machine re-asks later instead of every tick.
+fn apply_restart_decision(machines: &mut [ShardMachine], decision: RestartDecision) {
+    let Some(m) = machines
+        .iter_mut()
+        .find(|m| m.index == decision.machine_index)
+    else {
+        return;
+    };
+    m.parked = false;
+    if decision.granted {
+        m.machine.begin_restart(decision.downtime_secs);
+        m.pipeline.rearm();
+        m.last_restart_secs = decision.time_secs;
+        match decision.reason {
+            RestartReason::CrashReboot => m.crashes += 1,
+            RestartReason::Alarm | RestartReason::Periodic => m.restarts += 1,
+        }
+    } else {
+        m.retry_after_secs = decision.time_secs + decision.downtime_secs.max(60.0);
     }
 }
 
@@ -525,8 +648,24 @@ impl FleetSupervisor {
                 crash_time_secs: None,
                 samples: 0,
                 last_time_secs: f64::NEG_INFINITY,
+                parked: false,
+                pending_crash_secs: None,
+                last_restart_secs: 0.0,
+                retry_after_secs: 0.0,
+                restarts: 0,
+                crashes: 0,
             });
         }
+
+        // The restart arbiter (if closed-loop rejuvenation is on) lives
+        // on the supervisor side of the channel; shards get one verdict
+        // channel each. Built before partitioning so a bad rejuv config
+        // fails the run before any thread spawns.
+        let controller = match &cfg.rejuv {
+            Some(rejuv) => Some(RejuvController::new(*rejuv, scenarios.len().max(1))?),
+            None => None,
+        };
+        let machine_names: Vec<String> = machines.iter().map(|m| m.name.clone()).collect();
 
         let shard_count = if cfg.shards == 0 {
             aging_par::Pool::global()
@@ -544,6 +683,19 @@ impl FleetSupervisor {
         }
 
         let (tx, rx) = mpsc::sync_channel::<ShardMsg>(cfg.queue_capacity);
+        let mut decision_txs = Vec::with_capacity(shard_count);
+        let mut decision_rxs = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (dtx, drx) = mpsc::channel::<RestartDecision>();
+            decision_txs.push(dtx);
+            decision_rxs.push(drx);
+        }
+        let arbiter = controller.map(|controller| RestartArbiter {
+            controller,
+            decision_txs,
+            machine_names,
+            pending: Vec::new(),
+        });
         // Journal each event as the ordered merge releases it, *before*
         // the caller's hook sees it — what the hook observed is durable.
         let mut alarm_hook = |event: &AlarmEvent| {
@@ -559,13 +711,16 @@ impl FleetSupervisor {
             on_alarm(event);
         };
         let mut report = std::thread::scope(|scope| {
-            for (shard_id, shard_machines) in shards.into_iter().enumerate() {
+            for ((shard_id, shard_machines), drx) in
+                shards.into_iter().enumerate().zip(decision_rxs)
+            {
                 let tx = tx.clone();
                 let cfg = &self.config;
-                scope.spawn(move || shard_loop(shard_id, shard_machines, cfg, &tx));
+                let drx = cfg.rejuv.is_some().then_some(drx);
+                scope.spawn(move || shard_loop(shard_id, shard_machines, cfg, &tx, drx));
             }
             drop(tx); // the merge loop ends when every shard hangs up
-            merge_loop(shard_count, rx, &mut alarm_hook, &mut on_status)
+            merge_loop(shard_count, rx, arbiter, &mut alarm_hook, &mut on_status)
         });
         report.outcomes.sort_by_key(|o| o.machine_index);
         if let Some(e) = journal_err {
@@ -633,6 +788,7 @@ fn shard_loop(
     mut machines: Vec<ShardMachine>,
     cfg: &FleetConfig,
     tx: &mpsc::SyncSender<ShardMsg>,
+    decisions: Option<mpsc::Receiver<RestartDecision>>,
 ) {
     let mut telemetry_dropped = 0u64;
     let mut seq = 0u64;
@@ -644,9 +800,68 @@ fn shard_loop(
     let mut pipeline_events: Vec<PipelineEvent> = Vec::new();
 
     loop {
+        // Apply restart verdicts before sweeping. When every live
+        // machine is parked the shard has nothing to step, so it blocks
+        // on the verdict channel instead of spinning; progress is
+        // guaranteed because the globally earliest pending request is
+        // always decidable (every shard's watermark reaches it).
+        if let Some(rx) = &decisions {
+            loop {
+                match rx.try_recv() {
+                    Ok(d) => apply_restart_decision(&mut machines, d),
+                    Err(mpsc::TryRecvError::Empty) => {
+                        let live = machines.iter().filter(|m| !m.finished);
+                        let mut any = false;
+                        let all_parked = live.inspect(|_| any = true).all(|m| m.parked);
+                        if any && all_parked {
+                            match rx.recv() {
+                                Ok(d) => apply_restart_decision(&mut machines, d),
+                                Err(_) => return, // supervisor gone
+                            }
+                        } else {
+                            break;
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        if machines.iter().any(|m| !m.finished && m.parked) {
+                            return; // verdicts can never arrive now
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
         let mut events = Vec::new();
-        for m in machines.iter_mut().filter(|m| !m.finished) {
+        for m in machines.iter_mut().filter(|m| !m.finished && !m.parked) {
             let Some(sample) = m.next_sample(cfg.horizon_secs) else {
+                if cfg.rejuv.is_some() {
+                    if let Some(crash_t) = m.pending_crash_secs.take() {
+                        // Closed loop: the crash becomes a forced repair
+                        // request instead of ending the feed. The machine
+                        // emitted nothing between its last sample and the
+                        // crash, so lifting its clock to the crash time
+                        // keeps the watermark truthful (and lets the
+                        // frontier reach the request).
+                        m.last_time_secs = crash_t;
+                        m.parked = true;
+                        let request = RestartRequest {
+                            machine_index: m.index,
+                            time_secs: crash_t,
+                            reason: RestartReason::CrashReboot,
+                        };
+                        if tx
+                            .send(ShardMsg::Restart {
+                                shard: shard_id,
+                                request,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                }
                 m.finished = true;
                 continue;
             };
@@ -684,6 +899,40 @@ fn shard_loop(
                     level: pe.level,
                     kind: pe.kind,
                 });
+            }
+
+            // Planned restart requests: the shard prefilters on its local
+            // cooldown mirror (so it only asks when the controller could
+            // plausibly grant) and parks the machine until the verdict.
+            if let Some(rejuv) = &cfg.rejuv {
+                let reason = match rejuv.policy {
+                    RejuvPolicy::None => None,
+                    RejuvPolicy::Periodic { period_secs } => (time_secs - m.last_restart_secs
+                        >= period_secs)
+                        .then_some(RestartReason::Periodic),
+                    RejuvPolicy::AlarmTriggered => (m.pipeline.is_fused()
+                        && time_secs - m.last_restart_secs >= rejuv.cooldown_secs)
+                        .then_some(RestartReason::Alarm),
+                };
+                if let Some(reason) = reason {
+                    if time_secs >= m.retry_after_secs {
+                        m.parked = true;
+                        let request = RestartRequest {
+                            machine_index: m.index,
+                            time_secs,
+                            reason,
+                        };
+                        if tx
+                            .send(ShardMsg::Restart {
+                                shard: shard_id,
+                                request,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
             }
         }
 
@@ -725,11 +974,25 @@ fn shard_loop(
         if live == 0 {
             let outcomes = machines
                 .iter()
-                .map(|m| MachineOutcome {
-                    machine_index: m.index,
-                    machine: m.name.clone(),
-                    crash_time_secs: m.crash_time_secs,
-                    samples: m.samples,
+                .map(|m| {
+                    // An open-loop terminal crash leaves the machine dead
+                    // from the crash to the horizon; closed-loop repairs
+                    // already accrued their downtime on the machine.
+                    let mut downtime_secs = m.machine.downtime_secs();
+                    if m.machine.is_crashed() {
+                        if let Some(t) = m.crash_time_secs {
+                            downtime_secs += (cfg.horizon_secs - t).max(0.0);
+                        }
+                    }
+                    MachineOutcome {
+                        machine_index: m.index,
+                        machine: m.name.clone(),
+                        crash_time_secs: m.crash_time_secs,
+                        samples: m.samples,
+                        restarts: m.restarts,
+                        crashes: m.crashes + u64::from(m.machine.is_crashed()),
+                        downtime_secs,
+                    }
                 })
                 .collect();
             let last_time = machines
@@ -769,12 +1032,103 @@ fn shard_loop(
     }
 }
 
+/// Supervisor-side state of the closed rejuvenation loop: the arbiter
+/// itself plus the per-shard verdict channels and the display names the
+/// synthesized restart events carry.
+struct RestartArbiter {
+    controller: RejuvController,
+    decision_txs: Vec<mpsc::Sender<RestartDecision>>,
+    machine_names: Vec<String>,
+    /// Pending requests, kept sorted by `(time, machine)` — the order
+    /// decisions must be made in for determinism across shard counts.
+    pending: Vec<(usize, RestartRequest)>,
+}
+
+impl RestartArbiter {
+    /// Buffers one request in `(time, machine)` order.
+    fn enqueue(&mut self, shard: usize, request: RestartRequest) {
+        let pos = self.pending.partition_point(|(_, r)| {
+            (r.time_secs, r.machine_index) <= (request.time_secs, request.machine_index)
+        });
+        self.pending.insert(pos, (shard, request));
+    }
+}
+
+/// Decides every pending request the frontier has reached (all of them
+/// when `force` is set, for the final error-path flush), releasing the
+/// merged history up to each arbitration point first so the journaled
+/// stream stays globally time-ordered around the restart events.
+///
+/// Two invariants make the decision order deterministic: a shard sends a
+/// request *before* the watermark that could lift the frontier to it
+/// (FIFO), and a parked machine pins its shard's watermark at the
+/// request time — so the frontier can never pass a request that is not
+/// yet pending, and requests are always decided in `(time, machine)`
+/// order no matter how shards interleave.
+#[allow(clippy::too_many_arguments)]
+fn arbitrate(
+    arb: &mut RestartArbiter,
+    merger: &mut WatermarkMerger<AlarmEvent>,
+    force: bool,
+    released: &mut Vec<AlarmEvent>,
+    warnings: &mut u64,
+    alarms: &mut u64,
+    on_alarm: &mut dyn FnMut(&AlarmEvent),
+) {
+    while let Some(&(shard, request)) = arb.pending.first() {
+        if !force && !(request.time_secs <= merger.frontier()) {
+            break;
+        }
+        while let Some(event) = merger.pop_ready_until(request.time_secs) {
+            match event.level {
+                AlertLevel::Warning => *warnings += 1,
+                AlertLevel::Alarm => *alarms += 1,
+            }
+            on_alarm(&event);
+            released.push(event);
+        }
+        let decision = arb.controller.decide(&request);
+        if decision.granted {
+            let event = AlarmEvent {
+                machine_index: request.machine_index,
+                machine: arb
+                    .machine_names
+                    .get(request.machine_index)
+                    .cloned()
+                    .unwrap_or_default(),
+                time_secs: request.time_secs,
+                // A planned restart is an operator action (Warning); a
+                // crash repair is the incident itself (Alarm).
+                level: if request.reason == RestartReason::CrashReboot {
+                    AlertLevel::Alarm
+                } else {
+                    AlertLevel::Warning
+                },
+                kind: AlarmKind::Restart {
+                    reason: request.reason,
+                    downtime_secs: decision.downtime_secs,
+                },
+            };
+            match event.level {
+                AlertLevel::Warning => *warnings += 1,
+                AlertLevel::Alarm => *alarms += 1,
+            }
+            on_alarm(&event);
+            released.push(event);
+        }
+        let _ = arb.decision_txs[shard].send(decision);
+        arb.pending.remove(0);
+    }
+}
+
 /// The supervisor side: merge shard streams into one ordered event
 /// sequence using the shard watermarks (via the shared
-/// [`WatermarkMerger`]), and aggregate telemetry.
+/// [`WatermarkMerger`]), arbitrate restart requests on it, and aggregate
+/// telemetry.
 fn merge_loop(
     shard_count: usize,
     rx: mpsc::Receiver<ShardMsg>,
+    mut arbiter: Option<RestartArbiter>,
     on_alarm: &mut impl FnMut(&AlarmEvent),
     on_status: &mut impl FnMut(&StatusSnapshot),
 ) -> FleetReport {
@@ -812,7 +1166,9 @@ fn merge_loop(
                           latest_tel: &[Option<Box<ShardTelemetry>>],
                           heap_len: usize,
                           warnings: u64,
-                          alarms: u64| {
+                          alarms: u64,
+                          restarts_granted: u64,
+                          restarts_denied: u64| {
         let mut ingestion = StageCounters::default();
         let mut latency = LatencyHistogram::default();
         let mut live = 0;
@@ -841,7 +1197,19 @@ fn merge_loop(
             alarm_queue_depth: heap_len,
             telemetry_dropped: dropped,
             detector_errors: errors,
+            restarts_granted,
+            restarts_denied,
         }
+    };
+
+    // Restart tallies for telemetry; `(granted, denied)`.
+    let restart_tallies = |arbiter: &Option<RestartArbiter>| {
+        arbiter.as_ref().map_or((0, 0), |a| {
+            (
+                a.controller.granted(),
+                a.controller.denied_cooldown() + a.controller.denied_budget(),
+            )
+        })
     };
 
     for msg in rx {
@@ -856,6 +1224,17 @@ fn merge_loop(
             ),
             ShardMsg::Watermark { shard, time_secs } => {
                 merger.advance(shard, time_secs);
+                if let Some(arb) = arbiter.as_mut() {
+                    arbitrate(
+                        arb,
+                        &mut merger,
+                        false,
+                        &mut released,
+                        &mut warnings,
+                        &mut alarms,
+                        on_alarm,
+                    );
+                }
                 release(
                     &mut merger,
                     false,
@@ -865,10 +1244,33 @@ fn merge_loop(
                     on_alarm,
                 );
             }
+            ShardMsg::Restart { shard, request } => {
+                if let Some(arb) = arbiter.as_mut() {
+                    arb.enqueue(shard, request);
+                    arbitrate(
+                        arb,
+                        &mut merger,
+                        false,
+                        &mut released,
+                        &mut warnings,
+                        &mut alarms,
+                        on_alarm,
+                    );
+                }
+            }
             ShardMsg::Telemetry { shard, telemetry } => {
                 latest_tel[shard] = Some(telemetry);
                 sequence += 1;
-                let snap = build_snapshot(sequence, &latest_tel, merger.len(), warnings, alarms);
+                let (granted, denied) = restart_tallies(&arbiter);
+                let snap = build_snapshot(
+                    sequence,
+                    &latest_tel,
+                    merger.len(),
+                    warnings,
+                    alarms,
+                    granted,
+                    denied,
+                );
                 on_status(&snap);
             }
             ShardMsg::Done {
@@ -879,6 +1281,17 @@ fn merge_loop(
                 merger.finish(shard);
                 latest_tel[shard] = Some(telemetry);
                 outcomes.extend(shard_outcomes);
+                if let Some(arb) = arbiter.as_mut() {
+                    arbitrate(
+                        arb,
+                        &mut merger,
+                        false,
+                        &mut released,
+                        &mut warnings,
+                        &mut alarms,
+                        on_alarm,
+                    );
+                }
                 release(
                     &mut merger,
                     false,
@@ -891,7 +1304,19 @@ fn merge_loop(
         }
     }
 
-    // Every shard has hung up: flush anything still pending.
+    // Every shard has hung up: decide any still-pending requests (their
+    // shards died mid-park — error paths only), then flush the heap.
+    if let Some(arb) = arbiter.as_mut() {
+        arbitrate(
+            arb,
+            &mut merger,
+            true,
+            &mut released,
+            &mut warnings,
+            &mut alarms,
+            on_alarm,
+        );
+    }
     release(
         &mut merger,
         true,
@@ -901,11 +1326,21 @@ fn merge_loop(
         on_alarm,
     );
     sequence += 1;
-    let status = build_snapshot(sequence, &latest_tel, merger.len(), warnings, alarms);
+    let (granted, denied) = restart_tallies(&arbiter);
+    let status = build_snapshot(
+        sequence,
+        &latest_tel,
+        merger.len(),
+        warnings,
+        alarms,
+        granted,
+        denied,
+    );
     on_status(&status);
     FleetReport {
         events: released,
         outcomes,
+        decisions: arbiter.map_or_else(Vec::new, |a| a.controller.decisions().to_vec()),
         status,
     }
 }
@@ -1168,5 +1603,175 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.status.ingestion, b.status.ingestion);
+    }
+
+    fn rejuv_config(policy: RejuvPolicy) -> RejuvConfig {
+        RejuvConfig {
+            policy,
+            cooldown_secs: 900.0,
+            restart_downtime_secs: 30.0,
+            crash_repair_secs: 900.0,
+            max_concurrent_restarts: 2,
+        }
+    }
+
+    #[test]
+    fn alarm_triggered_loop_restarts_and_accounts_downtime() {
+        let scenarios: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::tiny_aging(500 + i, 192.0))
+            .collect();
+        let horizon = 8.0 * 3600.0;
+        let mut cfg = fleet_config(horizon);
+        cfg.rejuv = Some(rejuv_config(RejuvPolicy::AlarmTriggered));
+        let report = FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap();
+
+        // The loop closed: restarts were granted and landed inside the
+        // globally ordered event stream.
+        let restarts: Vec<&AlarmEvent> = report.restart_events().collect();
+        assert!(
+            !restarts.is_empty(),
+            "aggressive leak must trigger restarts"
+        );
+        assert!(report
+            .events
+            .windows(2)
+            .all(|w| w[0].time_secs <= w[1].time_secs));
+
+        // One restart event per granted decision, and telemetry agrees.
+        let granted = report.decisions.iter().filter(|d| d.granted).count();
+        assert_eq!(granted, restarts.len());
+        assert_eq!(report.status.restarts_granted as usize, granted);
+        assert_eq!(
+            report.status.restarts_denied as usize,
+            report.decisions.iter().filter(|d| !d.granted).count()
+        );
+
+        // Outcome counters reconcile with the decision log.
+        let planned = report
+            .decisions
+            .iter()
+            .filter(|d| d.granted && d.reason != RestartReason::CrashReboot)
+            .count();
+        let reboots = granted - planned;
+        let outcome_restarts: u64 = report.outcomes.iter().map(|o| o.restarts).sum();
+        let outcome_crashes: u64 = report.outcomes.iter().map(|o| o.crashes).sum();
+        assert_eq!(outcome_restarts as usize, planned);
+        assert_eq!(outcome_crashes as usize, reboots);
+
+        // Cooldown holds per machine across granted planned restarts.
+        for i in 0..scenarios.len() {
+            let mut last: Option<f64> = None;
+            for d in report
+                .decisions
+                .iter()
+                .filter(|d| d.machine_index == i && d.granted)
+            {
+                if let Some(prev) = last {
+                    assert!(
+                        d.reason == RestartReason::CrashReboot || d.time_secs - prev >= 900.0,
+                        "machine {i}: planned restart at {} within cooldown of {prev}",
+                        d.time_secs
+                    );
+                }
+                last = Some(d.time_secs);
+            }
+        }
+
+        // Downtime is accounted and availability lands in (0, 1].
+        let avail = report.availability(horizon).unwrap();
+        assert_eq!(avail.machines, scenarios.len());
+        assert_eq!(avail.restarts, outcome_restarts);
+        assert!(avail.downtime_secs > 0.0, "restarts cost downtime");
+        assert!(avail.mean_availability > 0.5 && avail.mean_availability <= 1.0);
+    }
+
+    #[test]
+    fn restart_decisions_are_identical_across_shard_counts() {
+        let scenarios: Vec<Scenario> = (0..5)
+            .map(|i| Scenario::tiny_aging(600 + i, 192.0))
+            .collect();
+        let run = |shards: usize| {
+            let mut cfg = fleet_config(8.0 * 3600.0);
+            cfg.shards = shards;
+            cfg.rejuv = Some(rejuv_config(RejuvPolicy::AlarmTriggered));
+            FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap()
+        };
+        let a = run(1);
+        let b = run(3);
+        let c = run(5);
+        assert!(!a.decisions.is_empty());
+        assert_eq!(a.decisions, b.decisions, "1 vs 3 shards");
+        assert_eq!(a.decisions, c.decisions, "1 vs 5 shards");
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events, c.events);
+        assert_eq!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn periodic_policy_restarts_on_schedule_without_alarms() {
+        // Healthy fleet: no alarms, so every restart is the cron-style
+        // schedule acting alone.
+        let scenarios: Vec<Scenario> = (0..3).map(|i| Scenario::tiny_aging(9 + i, 0.0)).collect();
+        let horizon = 2.0 * 3600.0;
+        let mut cfg = fleet_config(horizon);
+        cfg.rejuv = Some(rejuv_config(RejuvPolicy::Periodic {
+            period_secs: 3600.0,
+        }));
+        let report = FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap();
+        for o in &report.outcomes {
+            assert_eq!(o.crash_time_secs, None, "{} crashed", o.machine);
+            assert!(
+                o.restarts >= 1,
+                "{}: periodic policy never restarted it",
+                o.machine
+            );
+            assert!(o.downtime_secs > 0.0);
+        }
+        for d in &report.decisions {
+            assert_eq!(d.reason, RestartReason::Periodic);
+        }
+        assert_eq!(report.machine_alarms().count(), 0);
+    }
+
+    #[test]
+    fn none_policy_on_a_healthy_fleet_matches_the_open_loop() {
+        let scenarios: Vec<Scenario> = (0..3).map(|i| Scenario::tiny_aging(21 + i, 0.0)).collect();
+        let run = |rejuv: Option<RejuvConfig>| {
+            let mut cfg = fleet_config(2.0 * 3600.0);
+            cfg.rejuv = rejuv;
+            FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap()
+        };
+        let open = run(None);
+        let noop = run(Some(rejuv_config(RejuvPolicy::None)));
+        // No crash, no alarm, no restart: the closed loop in `none` mode
+        // is byte-for-byte the open loop.
+        assert_eq!(open.events, noop.events);
+        assert!(noop.decisions.is_empty());
+        for (a, b) in open.outcomes.iter().zip(&noop.outcomes) {
+            assert_eq!(a.restarts, b.restarts);
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(b.downtime_secs, 0.0);
+        }
+    }
+
+    #[test]
+    fn store_backed_closed_loop_round_trips_restart_events() {
+        let scenarios: Vec<Scenario> = (0..3)
+            .map(|i| Scenario::tiny_aging(700 + i, 192.0))
+            .collect();
+        let dir = TempDir::new("rejuv-roundtrip");
+        let store_cfg = aging_store::StoreConfig::new(&dir.0);
+        let mut cfg = fleet_config(8.0 * 3600.0);
+        cfg.store = Some(store_cfg.clone());
+        cfg.rejuv = Some(rejuv_config(RejuvPolicy::AlarmTriggered));
+        let report = FleetSupervisor::new(cfg).unwrap().run(&scenarios).unwrap();
+        assert!(
+            report.restart_events().count() > 0,
+            "restart actions must be journaled"
+        );
+        // acked ⇒ durable holds for restart actions too: recovery
+        // replays the identical history, restart events included.
+        let recovered = FleetSupervisor::recover_events(&store_cfg).unwrap();
+        assert_eq!(recovered, report.events);
     }
 }

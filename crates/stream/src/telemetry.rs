@@ -222,6 +222,11 @@ pub struct StatusSnapshot {
     pub telemetry_dropped: u64,
     /// Detector streams poisoned by an estimator error and disabled.
     pub detector_errors: u64,
+    /// Rejuvenation restarts granted by the controller so far (zero when
+    /// no rejuvenation policy is configured).
+    pub restarts_granted: u64,
+    /// Restart requests denied (cooldown or budget) so far.
+    pub restarts_denied: u64,
 }
 
 /// Canonical name for the serialisable pipeline snapshot schema.
@@ -439,6 +444,8 @@ mod tests {
             alarm_queue_depth: 0,
             telemetry_dropped: 0,
             detector_errors: 0,
+            restarts_granted: 0,
+            restarts_denied: 0,
         };
         let json = snap.to_json().unwrap();
         assert!(json.contains("\"alarms_emitted\":2"), "{json}");

@@ -1,0 +1,273 @@
+//! Golden restart-decision regression tests: two committed fixture CSVs
+//! (one aging fleet under the alarm-triggered policy, one healthy fleet
+//! under the periodic policy) with the exact decision sequence the
+//! closed-loop supervisor must produce on them. Any drift in the
+//! park-and-arbitrate ordering, the cooldown/budget discipline, or the
+//! detector chain feeding it — intentional retuning or an accidental
+//! behaviour change — fails CI with a line-level diff instead of
+//! silently shifting E18 results.
+//!
+//! To regenerate the fixtures after an *intentional* change:
+//!
+//! ```text
+//! cargo test -p aging-stream --test golden_rejuv -- --ignored regenerate
+//! ```
+//!
+//! then review the fixture diff like any other code change.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_memsim::{Counter, Scenario};
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::supervisor::{CounterDetector, FleetConfig, FleetReport, FleetSupervisor};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn read_fixture(name: &str) -> String {
+    std::fs::read_to_string(fixture_path(name)).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {name} ({e}); run \
+             `cargo test -p aging-stream --test golden_rejuv -- --ignored regenerate`"
+        )
+    })
+}
+
+/// The closed-loop tuning the fixtures pin. A budget of one concurrent
+/// restart makes fleet-wide contention — and therefore `Budget` denials
+/// — part of the recorded sequence, alongside `Cooldown` denials from
+/// alarm retries.
+fn rejuv_config(policy: RejuvPolicy) -> RejuvConfig {
+    RejuvConfig {
+        policy,
+        cooldown_secs: 900.0,
+        restart_downtime_secs: 30.0,
+        crash_repair_secs: 900.0,
+        max_concurrent_restarts: 1,
+    }
+}
+
+fn fleet_config(horizon_secs: f64, rejuv: RejuvConfig) -> FleetConfig {
+    let mut cfg = FleetConfig::new(
+        vec![CounterDetector {
+            counter: Counter::AvailableBytes,
+            spec: DetectorSpec::Trend(TrendPredictorConfig {
+                window: 120,
+                refit_every: 8,
+                alarm_horizon_secs: 900.0,
+                ..TrendPredictorConfig::depleting(5.0)
+            }),
+        }],
+        horizon_secs,
+    );
+    cfg.gate.nominal_period_secs = 5.0;
+    cfg.shards = 2;
+    cfg.rejuv = Some(rejuv);
+    cfg
+}
+
+/// Three aggressively leaking machines: alarms, planned restarts, crash
+/// reboots and both denial kinds all appear in the decision log.
+fn aging_fleet() -> Vec<Scenario> {
+    (0..3)
+        .map(|i| Scenario::tiny_aging(900 + i, 192.0))
+        .collect()
+}
+
+/// Three healthy machines under the cron policy: simultaneous periodic
+/// requests contend for the single-restart budget, so the log pins the
+/// deterministic `(time, machine)` arbitration order too.
+fn healthy_fleet() -> Vec<Scenario> {
+    (0..3).map(|i| Scenario::tiny_aging(910 + i, 0.0)).collect()
+}
+
+/// One row per controller decision, in arbitration order, every float
+/// rendered with its shortest round-trip representation so the fixture
+/// pins exact bits.
+fn decision_csv(report: &FleetReport) -> String {
+    let mut out = String::from("machine_index,time_secs,reason,granted,deny,downtime_secs\n");
+    for d in &report.decisions {
+        writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            d.machine_index,
+            d.time_secs,
+            d.reason.name(),
+            d.granted,
+            d.deny.map_or(String::new(), |deny| format!("{deny:?}")),
+            d.downtime_secs
+        )
+        .unwrap();
+    }
+    out
+}
+
+/// Line-level comparison with a readable drift report.
+fn assert_trace_matches(name: &str, expected: &str, actual: &str) {
+    if expected == actual {
+        return;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied().unwrap_or("<missing>");
+        let a = act.get(i).copied().unwrap_or("<missing>");
+        assert_eq!(
+            e,
+            a,
+            "\nrestart decisions drifted from golden trace `{name}` at line {}:\n  \
+             expected: {e}\n  actual:   {a}\n({} expected lines, {} actual lines)\n\
+             If the change is intentional, regenerate fixtures with\n  \
+             cargo test -p aging-stream --test golden_rejuv -- --ignored regenerate",
+            i + 1,
+            exp.len(),
+            act.len(),
+        );
+    }
+    unreachable!("traces differ but all lines matched");
+}
+
+fn aging_report() -> FleetReport {
+    let cfg = fleet_config(6.0 * 3600.0, rejuv_config(RejuvPolicy::AlarmTriggered));
+    FleetSupervisor::new(cfg)
+        .unwrap()
+        .run(&aging_fleet())
+        .unwrap()
+}
+
+fn healthy_report() -> FleetReport {
+    let cfg = fleet_config(
+        4.0 * 3600.0,
+        rejuv_config(RejuvPolicy::Periodic {
+            period_secs: 3600.0,
+        }),
+    );
+    FleetSupervisor::new(cfg)
+        .unwrap()
+        .run(&healthy_fleet())
+        .unwrap()
+}
+
+#[test]
+fn aging_decisions_match_golden() {
+    let report = aging_report();
+    let actual = decision_csv(&report);
+    // The fixture must exercise every decision path: granted alarm
+    // restarts, forced crash reboots, and at least one denial.
+    assert!(actual.lines().any(|l| l.contains(",alarm,true,")));
+    assert!(actual.lines().any(|l| l.contains(",false,")));
+    assert_eq!(
+        report.decisions.iter().filter(|d| d.granted).count(),
+        report.restart_events().count(),
+        "every granted decision lands exactly one journaled restart event"
+    );
+    assert_trace_matches(
+        "rejuv_aging_expected.csv",
+        &read_fixture("rejuv_aging_expected.csv"),
+        &actual,
+    );
+}
+
+#[test]
+fn healthy_periodic_decisions_match_golden() {
+    let report = healthy_report();
+    let actual = decision_csv(&report);
+    assert!(
+        report
+            .decisions
+            .iter()
+            .all(|d| d.reason == RestartReason::Periodic),
+        "a healthy fleet only sees scheduled restarts"
+    );
+    assert_eq!(report.machine_alarms().count(), 0);
+    assert_trace_matches(
+        "rejuv_healthy_expected.csv",
+        &read_fixture("rejuv_healthy_expected.csv"),
+        &actual,
+    );
+}
+
+/// The fixtures double as a controller contract: replaying the recorded
+/// request columns through a bare [`RejuvController`] must reproduce the
+/// recorded verdict columns bit for bit — the supervisor adds ordering,
+/// never judgement.
+#[test]
+fn fixture_requests_replay_through_a_bare_controller() {
+    for (name, policy, machines) in [
+        (
+            "rejuv_aging_expected.csv",
+            RejuvPolicy::AlarmTriggered,
+            aging_fleet().len(),
+        ),
+        (
+            "rejuv_healthy_expected.csv",
+            RejuvPolicy::Periodic {
+                period_secs: 3600.0,
+            },
+            healthy_fleet().len(),
+        ),
+    ] {
+        let mut controller = RejuvController::new(rejuv_config(policy), machines).unwrap();
+        for (lineno, line) in read_fixture(name).lines().skip(1).enumerate() {
+            let fields: Vec<&str> = line.split(',').collect();
+            let [machine_index, time_secs, reason, granted, deny, downtime_secs] = fields[..]
+            else {
+                panic!("{name}:{}: malformed row `{line}`", lineno + 2);
+            };
+            let request = RestartRequest {
+                machine_index: machine_index.parse().unwrap(),
+                time_secs: time_secs.parse().unwrap(),
+                reason: match reason {
+                    "alarm" => RestartReason::Alarm,
+                    "periodic" => RestartReason::Periodic,
+                    "crash-reboot" => RestartReason::CrashReboot,
+                    other => panic!("{name}:{}: unknown reason `{other}`", lineno + 2),
+                },
+            };
+            let decision = controller.decide(&request);
+            assert_eq!(
+                decision.granted.to_string(),
+                granted,
+                "{name}:{}",
+                lineno + 2
+            );
+            assert_eq!(
+                decision.deny.map_or(String::new(), |d| format!("{d:?}")),
+                deny,
+                "{name}:{}",
+                lineno + 2
+            );
+            assert_eq!(
+                decision.downtime_secs.to_string(),
+                downtime_secs,
+                "{name}:{}",
+                lineno + 2
+            );
+        }
+    }
+}
+
+/// Writes both fixtures. Ignored by default: run explicitly after an
+/// intentional controller or detector change, then review the diff.
+#[test]
+#[ignore = "regenerates the committed golden fixtures"]
+fn regenerate() {
+    let dir = fixture_path("");
+    std::fs::create_dir_all(&dir).unwrap();
+    let aging = decision_csv(&aging_report());
+    let healthy = decision_csv(&healthy_report());
+    std::fs::write(fixture_path("rejuv_aging_expected.csv"), &aging).unwrap();
+    std::fs::write(fixture_path("rejuv_healthy_expected.csv"), &healthy).unwrap();
+    println!(
+        "regenerated fixtures in {} ({} aging decisions, {} healthy decisions)",
+        dir.display(),
+        aging.lines().count() - 1,
+        healthy.lines().count() - 1,
+    );
+}

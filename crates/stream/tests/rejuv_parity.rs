@@ -1,0 +1,237 @@
+//! Decision-parity property suite for the closed rejuvenation loop.
+//!
+//! Two independence claims, each tested on generated inputs:
+//!
+//! 1. **Pool-size independence** — the supervisor's restart decision log,
+//!    event stream and machine outcomes are bit-identical across worker
+//!    pools of {1, 2, 7} shards. The park-and-arbitrate protocol promises
+//!    that sharding adds *throughput, never judgement*: every verdict is
+//!    issued in global `(time, machine)` order once the merge frontier
+//!    has passed the request, so thread scheduling cannot leak in.
+//! 2. **Chunking independence** — a [`MachinePipeline`] fed one sample
+//!    at a time ([`MachinePipeline::ingest`]) and a twin fed the same
+//!    column in arbitrary cuts ([`MachinePipeline::ingest_column`])
+//!    emit bit-identical events; feeding each twin's fused machine
+//!    alarms to its own shadow [`RejuvController`] therefore produces
+//!    bit-identical restart decisions. This pins the whole
+//!    alarm → request → verdict chain against the batched ingest path,
+//!    not just the detector kernels (`push_slice_props` covers those).
+//!
+//! Both runs re-check the controller safety envelope on the winning log:
+//! no planned restart is granted within `cooldown_secs` of the same
+//! machine's previous grant (boot counts as restart epoch zero), and
+//! every granted decision lands exactly one journaled restart event.
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_core::fusion::FusionRule;
+use aging_memsim::{Counter, Scenario};
+use aging_rejuv::{RejuvConfig, RejuvController, RejuvPolicy, RestartReason, RestartRequest};
+use aging_stream::detector::DetectorSpec;
+use aging_stream::supervisor::{
+    AlarmKind, CounterDetector, FleetConfig, FleetReport, FleetSupervisor,
+};
+use aging_stream::{GateConfig, MachinePipeline, StreamSample};
+use proptest::prelude::*;
+
+const DT: f64 = 5.0;
+
+fn detectors() -> Vec<CounterDetector> {
+    vec![CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 64,
+            refit_every: 8,
+            alarm_horizon_secs: 900.0,
+            ..TrendPredictorConfig::depleting(DT)
+        }),
+    }]
+}
+
+fn fleet_config(horizon_secs: f64, shards: usize, rejuv: RejuvConfig) -> FleetConfig {
+    let mut cfg = FleetConfig::new(detectors(), horizon_secs);
+    cfg.gate.nominal_period_secs = DT;
+    cfg.shards = shards;
+    cfg.rejuv = Some(rejuv);
+    cfg
+}
+
+/// Decodes scalar picks into a policy (the vendored proptest has no enum
+/// strategies). Periodic uses a short period so it actually fires inside
+/// the one-hour property horizon.
+fn pick_policy(pick: usize) -> RejuvPolicy {
+    match pick % 3 {
+        0 => RejuvPolicy::None,
+        1 => RejuvPolicy::Periodic {
+            period_secs: 1200.0,
+        },
+        _ => RejuvPolicy::AlarmTriggered,
+    }
+}
+
+/// Safety envelope shared by both properties: per-machine cooldown on
+/// planned grants (boot epoch included, crash reboots exempt) and exact
+/// grant/event reconciliation.
+fn assert_safety_envelope(report: &FleetReport, machines: usize, cooldown_secs: f64) {
+    let mut last_grant = vec![0.0f64; machines];
+    for d in &report.decisions {
+        if d.granted {
+            if d.reason != RestartReason::CrashReboot {
+                prop_assert!(
+                    d.time_secs - last_grant[d.machine_index] >= cooldown_secs,
+                    "granted {:?} within cooldown of the machine's previous grant at {}",
+                    d,
+                    last_grant[d.machine_index],
+                );
+            }
+            last_grant[d.machine_index] = d.time_secs;
+        }
+    }
+    prop_assert_eq!(
+        report.decisions.iter().filter(|d| d.granted).count(),
+        report.restart_events().count(),
+        "every granted decision lands exactly one journaled restart event"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random small fleets through worker pools of {1, 2, 7} shards:
+    /// the decision log, the ordered event stream and the per-machine
+    /// outcomes must not depend on the pool size.
+    #[test]
+    fn closed_loop_is_bit_identical_across_shard_pools(
+        machines in 2usize..5,
+        leaks in prop::collection::vec(0.0f64..256.0, 4..=4),
+        seed in 0u64..1_000,
+        cooldown in 120.0f64..900.0,
+        budget in 1usize..3,
+        policy_pick in 0usize..3,
+    ) {
+        let fleet: Vec<Scenario> = (0..machines)
+            .map(|i| Scenario::tiny_aging(seed + i as u64, leaks[i]))
+            .collect();
+        let rejuv = RejuvConfig {
+            policy: pick_policy(policy_pick),
+            cooldown_secs: cooldown,
+            restart_downtime_secs: 30.0,
+            crash_repair_secs: 600.0,
+            max_concurrent_restarts: budget,
+        };
+
+        let run = |shards: usize| {
+            FleetSupervisor::new(fleet_config(3600.0, shards, rejuv))
+                .expect("valid config")
+                .run(&fleet)
+                .expect("fleet run")
+        };
+        let baseline = run(1);
+        for shards in [2usize, 7] {
+            let report = run(shards);
+            prop_assert_eq!(
+                &baseline.decisions, &report.decisions,
+                "decision log diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                &baseline.events, &report.events,
+                "event stream diverged at {} shards", shards
+            );
+            prop_assert_eq!(
+                &baseline.outcomes, &report.outcomes,
+                "machine outcomes diverged at {} shards", shards
+            );
+        }
+        assert_safety_envelope(&baseline, machines, cooldown);
+    }
+
+    /// Scalar vs columnar ingestion with a controller shadow: the same
+    /// depleting trace fed sample-by-sample and in arbitrary column cuts
+    /// must emit identical pipeline events, and replaying each side's
+    /// fused machine alarms through its own controller must produce a
+    /// bit-identical restart decision sequence.
+    #[test]
+    fn chunked_and_scalar_ingestion_drive_identical_decisions(
+        len in 80usize..300,
+        slope in 50.0f64..200.0,
+        jitter in 0.0f64..10.0,
+        chunks in prop::collection::vec(1usize..33, 1..=6),
+        cooldown in 60.0f64..600.0,
+    ) {
+        // A leak-like trace with deterministic jitter, mirroring
+        // `push_slice_props::build_trace`.
+        let times: Vec<f64> = (0..len).map(|i| i as f64 * DT).collect();
+        let values: Vec<f64> = (0..len)
+            .map(|i| {
+                let wobble = ((i * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+                1e6 - slope * i as f64 + jitter * wobble
+            })
+            .collect();
+
+        let gate = GateConfig {
+            nominal_period_secs: DT,
+            ..GateConfig::default()
+        };
+        let mut scalar =
+            MachinePipeline::new(&detectors(), FusionRule::Any, gate).expect("scalar pipeline");
+        let mut columnar =
+            MachinePipeline::new(&detectors(), FusionRule::Any, gate).expect("columnar pipeline");
+
+        let mut scalar_events = Vec::new();
+        for k in 0..len {
+            scalar.ingest(
+                Counter::AvailableBytes,
+                StreamSample { time_secs: times[k], value: values[k] },
+                &mut scalar_events,
+            );
+        }
+        scalar.end_tick(times[len - 1], &mut scalar_events);
+
+        let mut columnar_events = Vec::new();
+        let mut pos = 0usize;
+        let mut c = 0usize;
+        while pos < len {
+            let step = chunks[c % chunks.len()].min(len - pos);
+            columnar.ingest_column(
+                Counter::AvailableBytes,
+                &times[pos..pos + step],
+                &values[pos..pos + step],
+                &mut columnar_events,
+            );
+            pos += step;
+            c += 1;
+        }
+        columnar.end_tick(times[len - 1], &mut columnar_events);
+
+        prop_assert_eq!(&scalar_events, &columnar_events, "pipeline events diverged");
+
+        // Shadow controllers: identical configs, fed each side's fused
+        // alarms. With identical events this must be a tautology — the
+        // assert is on the *decision* bits, catching any divergence a
+        // config-sensitive controller could amplify.
+        let rejuv = RejuvConfig {
+            policy: RejuvPolicy::AlarmTriggered,
+            cooldown_secs: cooldown,
+            restart_downtime_secs: 30.0,
+            crash_repair_secs: 600.0,
+            max_concurrent_restarts: 1,
+        };
+        let decide_all = |events: &[aging_stream::PipelineEvent]| {
+            let mut controller = RejuvController::new(rejuv, 1).expect("valid config");
+            for e in events {
+                if matches!(e.kind, AlarmKind::MachineAlarm { .. }) {
+                    controller.decide(&RestartRequest {
+                        machine_index: 0,
+                        time_secs: e.time_secs,
+                        reason: RestartReason::Alarm,
+                    });
+                }
+            }
+            controller.decisions().to_vec()
+        };
+        prop_assert_eq!(
+            decide_all(&scalar_events),
+            decide_all(&columnar_events),
+            "shadow controller decisions diverged"
+        );
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`fractal`] | `aging-fractal` | generators, Hölder, Hurst, dimensions, spectra |
 //! | [`memsim`] | `aging-memsim` | the simulated testbed (machines, workloads, faults) |
 //! | [`core`] | `aging-core` | the detector, baselines, evaluation, rejuvenation |
+//! | [`rejuv`] | `aging-rejuv` | closed-loop restart policies, arbiter and availability accounting |
 //! | [`stream`] | `aging-stream` | online bounded-memory detection, fleet supervisor, telemetry |
 //! | [`chaos`] | `aging-chaos` | seeded fault injection and the differential robustness harness |
 //! | [`store`] | `aging-store` | crash-safe WAL + snapshot persistence (std-only, CRC-framed) |
@@ -61,6 +62,7 @@ pub use aging_core as core;
 pub use aging_fractal as fractal;
 pub use aging_memsim as memsim;
 pub use aging_par as par;
+pub use aging_rejuv as rejuv;
 pub use aging_serve as serve;
 pub use aging_store as store;
 pub use aging_stream as stream;
@@ -97,6 +99,10 @@ pub mod prelude {
         FaultPlan, Machine, MachineConfig, Scenario, SimTime, WorkloadConfig,
     };
     pub use aging_par::Pool;
+    pub use aging_rejuv::{
+        availability, AvailabilitySummary, RejuvConfig, RejuvController, RejuvPolicy,
+        RestartDecision, RestartReason, RestartRequest,
+    };
     pub use aging_serve::{
         drive, BatchMode, LoadgenConfig, LoadgenReport, PersistStats, ServeClient, ServeConfig,
         ServeConfigBuilder, ServeReport, Server, PROTOCOL_VERSION, PROTOCOL_VERSION_V2,
