@@ -85,6 +85,17 @@ echo "==> rejuv decision-parity suite (AGING_THREADS=4)"
 AGING_THREADS=4 cargo test -p aging-stream --test rejuv_parity --test golden_rejuv --quiet
 AGING_THREADS=4 cargo test -p aging-rejuv --quiet
 
+# The hot-path allocation contract: once warm, the steady-state ingest
+# loops (columnar trend pipeline, streaming Hölder/dimension pushes,
+# non-emitting spectrum pushes) must perform zero heap allocations,
+# counted by a wrapping #[global_allocator]
+# (crates/stream/tests/alloc_regression.rs).
+echo "==> allocation-regression guard (AGING_THREADS=1)"
+AGING_THREADS=1 cargo test -p aging-stream --test alloc_regression --quiet
+
+echo "==> allocation-regression guard (AGING_THREADS=4)"
+AGING_THREADS=4 cargo test -p aging-stream --test alloc_regression --quiet
+
 # The E17 differential: Δα(t) drifts upward on aging memsim runs and stays
 # flat on healthy controls, with streaming-vs-batch parity checked inside
 # the experiment at pool sizes 1 and 4 (crates/bench/src/experiments.rs).
@@ -105,6 +116,17 @@ if [ "$quick" = "quick" ]; then
     cargo run -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e18
 else
     cargo run --release -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e18
+fi
+
+# The E19 micro-gate: each StreamingSpectrum emission must cost ≥2× less
+# than the honest batch recompute, stay bit-identical to the batch trace
+# at pool sizes 1 and 4, and drift ≤1e-9 relative from a from-scratch
+# recompute of every window (crates/bench/src/experiments.rs).
+echo "==> repro e19 kernel micro-gate (quick)"
+if [ "$quick" = "quick" ]; then
+    cargo run -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e19
+else
+    cargo run --release -p aging-bench --bin repro -- --quick --no-csv --no-trajectory e19
 fi
 
 echo "==> cargo test --doc"

@@ -1,20 +1,37 @@
 //! Regenerates the paper's (reconstructed) tables and figures.
 //!
 //! Usage:
-//!   repro [e1 e2 … | all] [--quick] [--no-csv] [--no-trajectory]
+//!   repro [e1 e2 … | all] [--quick] [--no-csv] [--trajectory | --no-trajectory]
 //!
-//! CSV outputs land in ./bench_results/. `--no-trajectory` skips the
-//! `BENCH_<id>.json` trajectory append, so quick/dev probe runs don't
-//! pollute the committed perf histories.
+//! CSV outputs land in ./bench_results/. Trajectory appends to the
+//! committed `BENCH_<id>.json` perf histories are on by default for full
+//! runs and **off for `--quick`** (quick probe entries are not comparable
+//! to full-horizon runs); `--trajectory` forces the append on, and
+//! `--no-trajectory` forces it off.
 
 use aging_bench::experiments::{run_experiment_with, ALL_EXPERIMENTS};
 use aging_bench::util::results_dir;
+
+/// Resolves whether to append trajectory entries: explicit flags win,
+/// otherwise quick runs skip the append so they cannot pollute the
+/// committed full-horizon histories.
+fn trajectory_enabled(quick: bool, trajectory_flag: bool, no_trajectory_flag: bool) -> bool {
+    if no_trajectory_flag {
+        false
+    } else if trajectory_flag {
+        true
+    } else {
+        !quick
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let no_csv = args.iter().any(|a| a == "--no-csv");
-    let no_trajectory = args.iter().any(|a| a == "--no-trajectory");
+    let trajectory_flag = args.iter().any(|a| a == "--trajectory");
+    let no_trajectory_flag = args.iter().any(|a| a == "--no-trajectory");
+    let trajectory = trajectory_enabled(quick, trajectory_flag, no_trajectory_flag);
     let mut ids: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -39,7 +56,7 @@ fn main() {
     let started = std::time::Instant::now();
     let mut failures = 0;
     for id in &ids {
-        if let Err(e) = run_experiment_with(id, quick, out, !no_trajectory) {
+        if let Err(e) = run_experiment_with(id, quick, out, trajectory) {
             eprintln!("experiment {id} failed: {e}");
             failures += 1;
         }
@@ -51,5 +68,22 @@ fn main() {
     );
     if failures > 0 {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::trajectory_enabled;
+
+    #[test]
+    fn quick_implies_no_trajectory_unless_forced() {
+        // Full runs append by default; quick runs don't.
+        assert!(trajectory_enabled(false, false, false));
+        assert!(!trajectory_enabled(true, false, false));
+        // --trajectory forces the append back on for quick probes.
+        assert!(trajectory_enabled(true, true, false));
+        // --no-trajectory always wins.
+        assert!(!trajectory_enabled(false, false, true));
+        assert!(!trajectory_enabled(true, true, true));
     }
 }

@@ -56,51 +56,52 @@ pub fn box_counting(data: &[f64]) -> Result<DimensionEstimate> {
     // Grid levels: ε = 2^{-k}, from 2 divisions up to ~n/4 divisions so
     // each column holds a few samples.
     let max_k = ((n as f64 / 4.0).log2().floor() as usize).max(2);
-    let ks: Vec<usize> = (1..=max_k).collect();
-    if ks.len() < 3 {
+    if max_k < 3 {
         return Err(Error::TooShort {
             required: 32,
             actual: n,
         });
     }
 
-    let mut points = Vec::with_capacity(ks.len());
-    for &k in &ks {
+    // Time columns cover contiguous sample runs (t = i/(n−1) is monotone
+    // in i), so each column's vertical extent — including the linear
+    // interpolation to the first sample past the column — is the min/max
+    // of one contiguous data slice. min/max commute with the monotone
+    // graph normalisation, so counting boxes from the raw-slice extremes
+    // is exact, needs no per-column state arrays, and the scan runs
+    // through the 4-lane [`min_max`] kernel instead of a loop-carried
+    // read-modify-write. `max_k` ≤ 64, so the fit points live on the
+    // stack. This runs per StreamingDimension emission: zero heap.
+    let mut xs = [0.0f64; 64];
+    let mut ys = [0.0f64; 64];
+    for k in 1..=max_k {
         let divisions = 1usize << k;
         let eps = 1.0 / divisions as f64;
-        // For each time column, track min/max of the (interpolated) curve.
-        let mut col_min = vec![f64::MAX; divisions];
-        let mut col_max = vec![f64::MIN; divisions];
-        for i in 0..n {
-            let t = if n == 1 {
-                0.0
-            } else {
-                i as f64 / (n - 1) as f64
-            };
-            let col = ((t / eps) as usize).min(divisions - 1);
-            let y = (data[i] - lo) / span;
-            col_min[col] = col_min[col].min(y);
-            col_max[col] = col_max[col].max(y);
-            // Interpolate to the next sample so the segment's vertical
-            // excursion within this column is covered.
-            if i + 1 < n {
-                let y2 = (data[i + 1] - lo) / span;
-                col_min[col] = col_min[col].min(y2.min(y));
-                col_max[col] = col_max[col].max(y2.max(y));
-            }
-        }
         let mut count = 0usize;
-        for c in 0..divisions {
-            if col_max[c] >= col_min[c] {
-                let lo_box = (col_min[c] / eps).floor() as i64;
-                let hi_box = (col_max[c] / eps).floor() as i64;
-                count += (hi_box - lo_box + 1).max(1) as usize;
+        let mut i = 0usize;
+        while i < n {
+            let t = i as f64 / (n - 1) as f64;
+            let col = ((t / eps) as usize).min(divisions - 1);
+            let mut j = i + 1;
+            while j < n {
+                let tj = j as f64 / (n - 1) as f64;
+                if ((tj / eps) as usize).min(divisions - 1) != col {
+                    break;
+                }
+                j += 1;
             }
+            // Include the interpolation partner (first sample of the next
+            // column) in this column's excursion.
+            let (mn, mx) = crate::holder::min_max(&data[i..=j.min(n - 1)]);
+            let lo_box = (((mn - lo) / span) / eps).floor() as i64;
+            let hi_box = (((mx - lo) / span) / eps).floor() as i64;
+            count += (hi_box - lo_box + 1).max(1) as usize;
+            i = j;
         }
-        points.push((divisions as f64, count as f64));
+        xs[k - 1] = divisions as f64;
+        ys[k - 1] = count as f64;
     }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
-    let fit = log_log_fit(&xs, &ys)?;
+    let fit = log_log_fit(&xs[..max_k], &ys[..max_k])?;
     Ok(DimensionEstimate {
         dimension: fit.slope.clamp(1.0, 2.0),
         raw_dimension: fit.slope,
@@ -139,45 +140,43 @@ pub fn variation(data: &[f64]) -> Result<DimensionEstimate> {
     Error::require_finite(data)?;
     let n = data.len();
     let max_r = (n / 4).max(2);
-    let mut radii = Vec::new();
-    let mut r = 1usize;
-    while r <= max_r {
-        radii.push(r);
-        r *= 2;
-    }
-    if radii.len() < 3 {
+    // Radii are 1, 2, 4, … ≤ max_r, so there are exactly
+    // bits(max_r) of them — no materialised radius list needed.
+    let n_radii = (usize::BITS - max_r.leading_zeros()) as usize;
+    if n_radii < 3 {
         return Err(Error::TooShort {
             required: 16,
             actual: n,
         });
     }
-    let mut points = Vec::with_capacity(radii.len());
-    for &r in &radii {
+    // At most bits(usize) dyadic radii, so the fit points fit on the
+    // stack; this runs per StreamingDimension emission: zero heap.
+    let mut xs = [0.0f64; usize::BITS as usize];
+    let mut ys = [0.0f64; usize::BITS as usize];
+    let mut len = 0usize;
+    let mut r = 1usize;
+    while r <= max_r {
         let mut total = 0.0;
         for t in 0..n {
             let lo = t.saturating_sub(r);
             let hi = (t + r).min(n - 1);
-            let w = &data[lo..=hi];
-            let mut mn = f64::MAX;
-            let mut mx = f64::MIN;
-            for &v in w {
-                mn = mn.min(v);
-                mx = mx.max(v);
-            }
+            let (mn, mx) = crate::holder::min_max(&data[lo..=hi]);
             total += mx - mn;
         }
         let mean_osc = total / n as f64;
         if mean_osc > 0.0 {
-            points.push((r as f64, mean_osc));
+            xs[len] = r as f64;
+            ys[len] = mean_osc;
+            len += 1;
         }
+        r *= 2;
     }
-    if points.len() < 3 {
+    if len < 3 {
         return Err(Error::Numerical(
             "constant series has degenerate oscillation".into(),
         ));
     }
-    let (xs, ys): (Vec<f64>, Vec<f64>) = points.iter().copied().unzip();
-    let fit = log_log_fit(&xs, &ys)?;
+    let fit = log_log_fit(&xs[..len], &ys[..len])?;
     // osc ~ r^H with H = 2 − D.
     Ok(DimensionEstimate {
         dimension: (2.0 - fit.slope).clamp(1.0, 2.0),

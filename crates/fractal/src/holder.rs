@@ -192,6 +192,33 @@ fn power_of_two_steps(max: usize) -> Vec<usize> {
         .collect()
 }
 
+/// Minimum and maximum of a NaN-free slice in one 4-lane unrolled pass.
+///
+/// `min`/`max` are associative and commutative on finite data, so the
+/// lane-wise reduction is bit-identical to the sequential scan while
+/// letting the compiler keep four independent dependency chains (and
+/// auto-vectorize). FP *sums* get no such treatment anywhere in this
+/// crate — reassociating them would change results.
+#[inline]
+pub(crate) fn min_max(data: &[f64]) -> (f64, f64) {
+    let mut mn = [f64::MAX; 4];
+    let mut mx = [f64::MIN; 4];
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        for k in 0..4 {
+            mn[k] = mn[k].min(c[k]);
+            mx[k] = mx[k].max(c[k]);
+        }
+    }
+    let mut amn = (mn[0].min(mn[1])).min(mn[2].min(mn[3]));
+    let mut amx = (mx[0].max(mx[1])).max(mx[2].max(mx[3]));
+    for &v in chunks.remainder() {
+        amn = amn.min(v);
+        amx = amx.max(v);
+    }
+    (amn, amx)
+}
+
 fn increment_trace(data: &[f64], cfg: &IncrementConfig, pool: &Pool) -> Result<Vec<f64>> {
     if cfg.max_lag < 4 {
         return Err(Error::invalid("max_lag", "must be at least 4"));
@@ -270,12 +297,7 @@ fn oscillation_trace(data: &[f64], cfg: &OscillationConfig, pool: &Pool) -> Resu
             for (ri, &r) in radii.iter().enumerate() {
                 let lo = t.saturating_sub(r);
                 let hi = (t + r).min(n - 1);
-                let mut mn = f64::MAX;
-                let mut mx = f64::MIN;
-                for &v in &data[lo..=hi] {
-                    mn = mn.min(v);
-                    mx = mx.max(v);
-                }
+                let (mn, mx) = min_max(&data[lo..=hi]);
                 let osc = mx - mn;
                 if osc > 0.0 {
                     xs.push(log_r[ri]);
@@ -359,24 +381,33 @@ pub fn increment_exponent(window: &[f64], max_lag: usize, max_h: f64) -> Result<
     }
     Error::require_len(window, 4 * max_lag)?;
     Error::require_finite(window)?;
-    let lags = power_of_two_steps(max_lag);
-    let mut xs = Vec::with_capacity(lags.len());
-    let mut ys = Vec::with_capacity(lags.len());
-    for &r in &lags {
+    // This runs once per push in the streaming detectors, so the lag
+    // ladder 1, 2, 4, …, max_lag is walked in place and the regression
+    // points live on the stack — zero heap allocation per call. A usize
+    // has at most 64 doubling steps. The increment sum keeps its
+    // sequential order (reassociating FP adds would change bits); the
+    // zip only removes the bounds checks of the indexed form.
+    let mut xs = [0.0f64; usize::BITS as usize];
+    let mut ys = [0.0f64; usize::BITS as usize];
+    let mut len = 0usize;
+    let mut r = 1usize;
+    while r <= max_lag {
         let mut acc = 0.0;
-        let mut count = 0usize;
-        let mut u = 0;
-        while u + r < window.len() {
-            acc += (window[u + r] - window[u]).abs();
-            count += 1;
-            u += 1;
+        for (a, b) in window[r..].iter().zip(window.iter()) {
+            acc += (a - b).abs();
         }
-        if count > 0 && acc > 0.0 {
-            xs.push((r as f64).ln());
-            ys.push((acc / count as f64).ln());
+        let count = window.len() - r;
+        if acc > 0.0 {
+            xs[len] = (r as f64).ln();
+            ys[len] = (acc / count as f64).ln();
+            len += 1;
         }
+        if r > max_lag / 2 {
+            break;
+        }
+        r *= 2;
     }
-    Ok(fit_or_cap(&xs, &ys, max_h))
+    Ok(fit_or_cap(&xs[..len], &ys[..len], max_h))
 }
 
 fn fit_or_cap(xs: &[f64], ys: &[f64], max_h: f64) -> f64 {

@@ -20,9 +20,12 @@
 //! module: [`spectrum`] computes one window's `ζ(q) → τ(q) → f(α)` chain
 //! and its width `Δα = α_max − α_min`, [`spectrum_trace`] slides that
 //! window over a whole series, and [`StreamingSpectrum`] is the
-//! bounded-memory online form whose emissions are bit-identical to the
-//! batch trace by construction (each emission copies its ring window into
-//! a scratch buffer and calls the batch routine). The q-sweep is
+//! bounded-memory online form. Both rolling estimators run one shared
+//! incremental structure-function kernel that slides the per-`(q, scale)`
+//! moment accumulators by `stride` instead of recomputing the full
+//! window (O(stride) work per emission, with a periodic exact rebuild
+//! bounding accumulated float residue), so streaming emissions are
+//! bit-identical to the batch trace by construction. The q-sweep is
 //! embarrassingly parallel and runs on the [`aging_par::Pool`] with
 //! pool-size bit-parity.
 
@@ -239,6 +242,131 @@ pub fn structure_function_in(data: &[f64], qs: &[f64], pool: &Pool) -> Result<Sc
     })
 }
 
+/// `d^q` with exact multiply ladders for the common small moment orders.
+///
+/// `powf` dominated the per-emission profile of the rolling estimators;
+/// the ladders are pure multiplies (plus one correctly-rounded `sqrt`)
+/// the compiler keeps in registers. Every structure-function path — the
+/// batch fit and the incremental kernel — computes moments through this
+/// one helper, so streaming==batch bit-parity is unaffected by the
+/// substitution. Callers guarantee `d > 0`.
+#[inline]
+fn moment_pow(d: f64, q: f64) -> f64 {
+    if q == 1.0 {
+        d
+    } else if q == 2.0 {
+        d * d
+    } else if q == 3.0 {
+        (d * d) * d
+    } else if q == 4.0 {
+        let d2 = d * d;
+        d2 * d2
+    } else if q == 5.0 {
+        let d2 = d * d;
+        (d2 * d2) * d
+    } else if q == 0.5 {
+        d.sqrt()
+    } else if q == -1.0 {
+        1.0 / d
+    } else if q == -2.0 {
+        1.0 / (d * d)
+    } else {
+        d.powf(q)
+    }
+}
+
+/// Runs `$with(args…, pow)` with `pow` resolved from `$q` — the same
+/// ladder as [`moment_pow`], expression for expression, but dispatched
+/// once per call instead of once per element, so the kernel inner loops
+/// monomorphize into tight branch-free multiply loops. Any edit here must
+/// mirror [`moment_pow`] exactly or bit-parity breaks.
+/// The `GUARD = false` cases drop the per-element `d > 0` test entirely:
+/// for those moment orders `pow(0) == +0.0` exactly, and adding or
+/// subtracting `+0.0` never changes the accumulator's bits (the sums
+/// never hold `-0.0`: they start at `+0.0` and fold non-negative terms,
+/// and `x − x` rounds to `+0.0`). Division-based and `powf` orders keep
+/// the guard, since `d = 0` would inject an infinity.
+macro_rules! q_dispatch {
+    ($q:ident, $with:ident($($args:expr),*)) => {
+        if $q == 1.0 {
+            $with::<false, _>($($args,)* |d: f64| d)
+        } else if $q == 2.0 {
+            $with::<false, _>($($args,)* |d: f64| d * d)
+        } else if $q == 3.0 {
+            $with::<false, _>($($args,)* |d: f64| (d * d) * d)
+        } else if $q == 4.0 {
+            $with::<false, _>($($args,)* |d: f64| {
+                let d2 = d * d;
+                d2 * d2
+            })
+        } else if $q == 5.0 {
+            $with::<false, _>($($args,)* |d: f64| {
+                let d2 = d * d;
+                (d2 * d2) * d
+            })
+        } else if $q == 0.5 {
+            $with::<false, _>($($args,)* |d: f64| d.sqrt())
+        } else if $q == -1.0 {
+            $with::<true, _>($($args,)* |d: f64| 1.0 / d)
+        } else if $q == -2.0 {
+            $with::<true, _>($($args,)* |d: f64| 1.0 / (d * d))
+        } else {
+            $with::<true, _>($($args,)* |d: f64| d.powf($q))
+        }
+    };
+}
+
+/// `Σ_t pow(|x[t+s] − x[t]|)` over pairs with `d > 0`, ascending `t` —
+/// the accumulation order of [`structure_fit_q`].
+#[inline]
+fn moment_sum_with<const GUARD: bool, F: Fn(f64) -> f64>(window: &[f64], s: usize, pow: F) -> f64 {
+    let mut acc = 0.0;
+    for t in 0..window.len() - s {
+        let d = (window[t + s] - window[t]).abs();
+        if !GUARD || d > 0.0 {
+            acc += pow(d);
+        }
+    }
+    acc
+}
+
+/// [`moment_sum_with`] with the q ladder hoisted out of the loop;
+/// bit-identical to summing [`moment_pow`] per element.
+#[inline]
+fn moment_sum(window: &[f64], s: usize, q: f64) -> f64 {
+    q_dispatch!(q, moment_sum_with(window, s))
+}
+
+/// Subtracts the departing moments then adds the arriving ones onto `a`
+/// (pairs with `d > 0`, ascending within each span).
+#[inline]
+fn slide_row_with<const GUARD: bool, F: Fn(f64) -> f64>(
+    a: f64,
+    dep: &[f64],
+    arr: &[f64],
+    pow: F,
+) -> f64 {
+    let mut a = a;
+    for &d in dep {
+        if !GUARD || d > 0.0 {
+            a -= pow(d);
+        }
+    }
+    for &d in arr {
+        if !GUARD || d > 0.0 {
+            a += pow(d);
+        }
+    }
+    a
+}
+
+/// [`slide_row_with`] with the q ladder hoisted out of the loops;
+/// bit-identical to applying [`moment_pow`] per element.
+#[inline]
+fn slide_row(a: f64, dep: &[f64], arr: &[f64], q: f64) -> f64 {
+    q_dispatch!(q, slide_row_with(a, dep, arr))
+}
+
 /// One moment order's log–log structure-function fit: `(ζ(q), R²)`.
 fn structure_fit_q(data: &[f64], scales: &[usize], q: f64) -> Result<(f64, f64)> {
     let mut xs = Vec::new();
@@ -249,7 +377,7 @@ fn structure_fit_q(data: &[f64], scales: &[usize], q: f64) -> Result<(f64, f64)>
         for t in 0..data.len() - s {
             let d = (data[t + s] - data[t]).abs();
             if d > 0.0 {
-                acc += d.powf(q);
+                acc += moment_pow(d, q);
                 count += 1;
             }
         }
@@ -357,9 +485,12 @@ pub struct SpectrumWindow {
 
 /// Batch reference estimator for one window: `ζ(q)` via
 /// [`structure_function_in`], `τ(q) = ζ(q) − 1`, the [`legendre`]
-/// transform, and `Δα`. Every [`StreamingSpectrum`] emission runs exactly
-/// this routine on a copy of its ring window, so the streaming estimator
-/// is bit-identical to this batch one by construction.
+/// transform, and `Δα`. The rolling estimators' *first* emission (and
+/// every periodic exact rebuild) is bit-identical to this routine; their
+/// intermediate emissions slide the moment accumulators incrementally,
+/// identically in [`spectrum_trace`] and [`StreamingSpectrum`], so
+/// streaming stays bit-identical to the batch trace while drifting only
+/// in the low bits of this per-window recompute.
 ///
 /// # Errors
 ///
@@ -389,15 +520,308 @@ pub fn spectrum_in(data: &[f64], qs: &[f64], pool: &Pool) -> Result<SpectrumEsti
     })
 }
 
+/// Slides between exact accumulator rebuilds in the incremental kernel.
+///
+/// Each incremental slide leaves O(ulp) residue in the per-`(q, scale)`
+/// moment sums (a subtract does not perfectly cancel the add that
+/// installed the pair); a periodic full O(window) pass rebounds that
+/// drift. Both the batch trace and the streaming estimator rebuild on
+/// the identical slide cadence, so bit-parity between them is unaffected.
+const REBUILD_EVERY: u32 = 32;
+
+/// Upper bound on the number of structure-function scales: scales are
+/// distinct powers of two that fit in a `usize`, so 64 always suffices.
+/// Bounding them lets the per-q kernel tasks carry their accumulator
+/// rows by value on the stack instead of allocating per emission.
+const MAX_SCALES: usize = 64;
+
+/// Per-q scaling fit from the kernel's accumulator row — the exact
+/// decision chain of [`structure_fit_q`]'s tail: per scale, mean moment
+/// `m = acc / count` contributes `(ln s, ln m)` when `count > 0` and `m`
+/// is positive finite; at least 3 surviving points feed [`ols`].
+fn fit_row(q: f64, row: &[f64], counts: &[u64], log_scales: &[f64]) -> Result<(f64, f64)> {
+    // Scales are distinct powers of two, so there are at most
+    // [`MAX_SCALES`] of them: the fit points live on the emission path's
+    // stack, never the heap.
+    let mut xs = [0.0f64; MAX_SCALES];
+    let mut ys = [0.0f64; MAX_SCALES];
+    let mut len = 0usize;
+    for (si, &acc) in row.iter().enumerate() {
+        if counts[si] > 0 {
+            let m = acc / counts[si] as f64;
+            if m > 0.0 && m.is_finite() {
+                xs[len] = log_scales[si];
+                ys[len] = m.ln();
+                len += 1;
+            }
+        }
+    }
+    if len < 3 {
+        return Err(Error::Numerical(format!(
+            "not enough valid structure-function points for q={q}"
+        )));
+    }
+    let fit = ols(&xs[..len], &ys[..len])?;
+    Ok((fit.slope, fit.r_squared))
+}
+
+/// Legendre tail shared with [`spectrum_in`]: `ζ(q)` fits → `τ = ζ − 1` →
+/// [`legendre`] → `(α_min, α_max)`.
+///
+/// Inlines [`legendre`]'s central-difference `α(q)` and the NaN-skipping
+/// fold of [`stats::min`]/[`stats::max`] — identical arithmetic and error
+/// behaviour, with no per-emission Vec materialisation (this runs on the
+/// streaming emission path).
+fn alpha_range_from_fits(qs: &[f64], fits: &[(f64, f64)]) -> Result<(f64, f64)> {
+    if qs.len() != fits.len() {
+        return Err(Error::LengthMismatch {
+            left: qs.len(),
+            right: fits.len(),
+        });
+    }
+    Error::require_len(qs, 3)?;
+    let n = qs.len();
+    let tau = |i: usize| fits[i].0 - 1.0;
+    let mut mn: Option<f64> = None;
+    let mut mx: Option<f64> = None;
+    for i in 0..n {
+        let alpha = if i == 0 {
+            (tau(1) - tau(0)) / (qs[1] - qs[0])
+        } else if i == n - 1 {
+            (tau(n - 1) - tau(n - 2)) / (qs[n - 1] - qs[n - 2])
+        } else {
+            (tau(i + 1) - tau(i - 1)) / (qs[i + 1] - qs[i - 1])
+        };
+        if !alpha.is_nan() {
+            mn = Some(mn.map_or(alpha, |a| a.min(alpha)));
+            mx = Some(mx.map_or(alpha, |a| a.max(alpha)));
+        }
+    }
+    match (mn, mx) {
+        (Some(mn), Some(mx)) => Ok((mn, mx)),
+        _ => Err(Error::Numerical("no non-NaN samples".into())),
+    }
+}
+
+/// The incremental structure-function kernel shared by the offline
+/// [`spectrum_trace_in`] and the online [`StreamingSpectrum`].
+///
+/// Holds one moment accumulator `acc[q][s] = Σ_t d(t,s)^q` (pairs with
+/// `d > 0`) and one pair count per scale. A slide by `stride` samples
+/// subtracts the departing pairs and adds the arriving ones — at most
+/// `min(stride, window − s)` each per scale, ascending `t`, subtract
+/// before add — instead of re-walking all `window − s` pairs. The
+/// increment magnitudes are computed once into shared scratch and reused
+/// by every q task, so the per-q pool work is pure ladder arithmetic.
+/// Every [`REBUILD_EVERY`]-th slide runs the exact full pass instead.
+///
+/// Both consumers drive the identical call sequence (one `rebuild` on the
+/// first full window, then one `slide` per grid step), which is what
+/// makes streaming==batch bit-parity hold by construction.
+#[derive(Debug, Clone)]
+struct SlidingStructure {
+    window: usize,
+    stride: usize,
+    qs: Vec<f64>,
+    scales: Vec<usize>,
+    log_scales: Vec<f64>,
+    /// `Σ d^q` per `(q, scale)`, row-major by q; valid once `initialized`.
+    acc: Vec<f64>,
+    /// Pairs with `d > 0` per scale (q-independent).
+    counts: Vec<u64>,
+    slides_since_rebuild: u32,
+    initialized: bool,
+    /// Scratch: departing increment magnitudes, per-scale spans.
+    dep: Vec<f64>,
+    /// Scratch: arriving increment magnitudes, per-scale spans.
+    arr: Vec<f64>,
+    /// Per-scale `(offset, len)` spans into `dep`/`arr`.
+    spans: Vec<(usize, usize)>,
+}
+
+impl SlidingStructure {
+    fn new(config: &SpectrumConfig) -> Result<Self> {
+        let scales = dyadic_scales(config.window, 8)?;
+        let log_scales: Vec<f64> = scales.iter().map(|&s| (s as f64).ln()).collect();
+        let ns = scales.len();
+        Ok(SlidingStructure {
+            window: config.window,
+            stride: config.stride,
+            qs: config.qs.clone(),
+            acc: vec![0.0; config.qs.len() * ns],
+            counts: vec![0; ns],
+            slides_since_rebuild: 0,
+            initialized: false,
+            dep: Vec::new(),
+            arr: Vec::new(),
+            spans: Vec::with_capacity(ns),
+            scales,
+            log_scales,
+        })
+    }
+
+    /// Exact full pass over one complete window — bit-identical to
+    /// [`structure_fit_q`] per q. Resets the rebuild cadence.
+    fn rebuild(&mut self, window: &[f64], pool: &Pool) -> Result<Vec<(f64, f64)>> {
+        debug_assert_eq!(window.len(), self.window);
+        for (si, &s) in self.scales.iter().enumerate() {
+            let mut count = 0u64;
+            for t in 0..window.len() - s {
+                if (window[t + s] - window[t]).abs() > 0.0 {
+                    count += 1;
+                }
+            }
+            self.counts[si] = count;
+        }
+        let ns = self.scales.len();
+        let (qs, scales, counts, log_scales) =
+            (&self.qs, &self.scales, &self.counts, &self.log_scales);
+        let rows = pool.try_map_indexed(qs.len(), |i| {
+            let q = qs[i];
+            let mut row = [0.0f64; MAX_SCALES];
+            for (si, &s) in scales.iter().enumerate() {
+                row[si] = moment_sum(window, s, q);
+            }
+            let fit = fit_row(q, &row[..ns], counts, log_scales);
+            Ok::<_, Error>((row, fit))
+        })?;
+        self.initialized = true;
+        self.slides_since_rebuild = 0;
+        self.merge_rows(rows)
+    }
+
+    /// One incremental slide. `ext` is the outgoing window plus the
+    /// `stride` samples that follow it (`window + stride` total): the
+    /// outgoing window is `ext[..window]`, the incoming `ext[stride..]`.
+    fn slide(&mut self, ext: &[f64], pool: &Pool) -> Result<Vec<(f64, f64)>> {
+        debug_assert_eq!(ext.len(), self.window + self.stride);
+        debug_assert!(self.initialized);
+        if self.slides_since_rebuild + 1 >= REBUILD_EVERY {
+            return self.rebuild(&ext[self.stride..], pool);
+        }
+        self.slides_since_rebuild += 1;
+
+        // Increment magnitudes once, shared by every q task. Departing
+        // pairs start at t ∈ [0, m); arriving ones end the new window,
+        // u ∈ [stride + (window − s) − m, stride + (window − s)).
+        self.dep.clear();
+        self.arr.clear();
+        self.spans.clear();
+        let (window, stride) = (self.window, self.stride);
+        for (si, &s) in self.scales.iter().enumerate() {
+            let m = stride.min(window - s);
+            let off = self.dep.len();
+            self.dep.extend((0..m).map(|t| (ext[t + s] - ext[t]).abs()));
+            let hi = stride + (window - s);
+            self.arr
+                .extend((hi - m..hi).map(|u| (ext[u + s] - ext[u]).abs()));
+            // Net count change for this scale; the branchless form lets
+            // the comparison loops vectorize.
+            let mut delta = 0i64;
+            for &d in &self.dep[off..off + m] {
+                delta -= (d > 0.0) as i64;
+            }
+            for &d in &self.arr[off..off + m] {
+                delta += (d > 0.0) as i64;
+            }
+            self.counts[si] = (self.counts[si] as i64 + delta) as u64;
+            self.spans.push((off, m));
+        }
+
+        let ns = self.scales.len();
+        let (qs, acc, counts, log_scales) = (&self.qs, &self.acc, &self.counts, &self.log_scales);
+        let (dep, arr, spans) = (&self.dep, &self.arr, &self.spans);
+        let rows = pool.try_map_indexed(qs.len(), |i| {
+            let q = qs[i];
+            let mut row = [0.0f64; MAX_SCALES];
+            for (si, &(off, m)) in spans.iter().enumerate() {
+                row[si] = slide_row(acc[i * ns + si], &dep[off..off + m], &arr[off..off + m], q);
+            }
+            let fit = fit_row(q, &row[..ns], counts, log_scales);
+            Ok::<_, Error>((row, fit))
+        })?;
+        self.merge_rows(rows)
+    }
+
+    /// Commits the per-q accumulator rows in q order, then surfaces the
+    /// lowest-q fit error (after the commit, so the kernel state stays
+    /// consistent even when a fit degenerates).
+    #[allow(clippy::type_complexity)]
+    fn merge_rows(
+        &mut self,
+        rows: Vec<([f64; MAX_SCALES], Result<(f64, f64)>)>,
+    ) -> Result<Vec<(f64, f64)>> {
+        let ns = self.scales.len();
+        let mut fits = Vec::with_capacity(rows.len());
+        for (i, (row, fit)) in rows.into_iter().enumerate() {
+            self.acc[i * ns..(i + 1) * ns].copy_from_slice(&row[..ns]);
+            fits.push(fit);
+        }
+        fits.into_iter().collect()
+    }
+
+    fn encode_state(&self, out: &mut Vec<u8>) {
+        use aging_timeseries::persist::{put_bool, put_f64, put_u32, put_u64, put_usize};
+        put_bool(out, self.initialized);
+        put_u32(out, self.slides_since_rebuild);
+        put_usize(out, self.counts.len());
+        for &c in &self.counts {
+            put_u64(out, c);
+        }
+        put_usize(out, self.acc.len());
+        for &a in &self.acc {
+            put_f64(out, a);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
+        let initialized = r.bool()?;
+        let slides_since_rebuild = r.u32()?;
+        let nc = r.usize_()?;
+        if nc != self.counts.len() {
+            return Err(Error::invalid(
+                "persist",
+                format!(
+                    "spectrum scale count {} != snapshot {nc}",
+                    self.counts.len()
+                ),
+            ));
+        }
+        let mut counts = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            counts.push(r.u64()?);
+        }
+        let na = r.usize_()?;
+        if na != self.acc.len() {
+            return Err(Error::invalid(
+                "persist",
+                format!(
+                    "spectrum accumulator count {} != snapshot {na}",
+                    self.acc.len()
+                ),
+            ));
+        }
+        let mut acc = Vec::with_capacity(na);
+        for _ in 0..na {
+            acc.push(r.f64()?);
+        }
+        self.initialized = initialized;
+        self.slides_since_rebuild = slides_since_rebuild;
+        self.counts = counts;
+        self.acc = acc;
+        Ok(())
+    }
+}
+
 /// Offline rolling-window `Δα(t)` trace: one [`SpectrumWindow`] per
 /// window/stride grid position, on exactly the grid [`StreamingSpectrum`]
-/// emits on. This is the batch reference of E17's streaming-vs-batch
-/// parity gate.
+/// emits on, driven through the same incremental kernel. This is the
+/// batch reference of E17's streaming-vs-batch parity gate.
 ///
 /// # Errors
 ///
 /// Returns config validation errors, [`Error::NonFinite`], and per-window
-/// [`spectrum`] failures.
+/// fit failures.
 pub fn spectrum_trace(data: &[f64], config: &SpectrumConfig) -> Result<Vec<SpectrumWindow>> {
     spectrum_trace_in(data, config, Pool::global())
 }
@@ -415,25 +839,38 @@ pub fn spectrum_trace_in(
     config.validate()?;
     Error::require_finite(data)?;
     let mut out = Vec::new();
-    let mut start = 0usize;
-    while start + config.window <= data.len() {
-        let est = spectrum_in(&data[start..start + config.window], &config.qs, pool)?;
+    if data.len() < config.window {
+        return Ok(out);
+    }
+    let mut kernel = SlidingStructure::new(config)?;
+    let mut emit = |start: usize, fits: &[(f64, f64)]| -> Result<()> {
+        let (alpha_min, alpha_max) = alpha_range_from_fits(&config.qs, fits)?;
         out.push(SpectrumWindow {
             input_index: (start + config.window - 1) as u64,
-            alpha_min: est.alpha_min,
-            alpha_max: est.alpha_max,
-            delta_alpha: est.delta_alpha,
+            alpha_min,
+            alpha_max,
+            delta_alpha: alpha_max - alpha_min,
         });
+        Ok(())
+    };
+    let fits = kernel.rebuild(&data[..config.window], pool)?;
+    emit(0, &fits)?;
+    let mut start = 0usize;
+    while start + config.stride + config.window <= data.len() {
+        let fits = kernel.slide(&data[start..start + config.window + config.stride], pool)?;
         start += config.stride;
+        emit(start, &fits)?;
     }
     Ok(out)
 }
 
 /// Bounded-memory rolling spectrum estimator.
 ///
-/// Holds the trailing `window` samples in a [`RingBuffer`]; once the
-/// window has filled, every `stride`-th push copies the window into a
-/// scratch buffer and runs the batch [`spectrum_in`] routine on it, so
+/// Holds the trailing `window + stride` samples in a [`RingBuffer`] (the
+/// extra `stride` keeps the outgoing window's departing pairs
+/// recomputable); once the window has filled, every `stride`-th push
+/// advances the shared [`SlidingStructure`] kernel — an exact full pass
+/// on the first emission, an O(stride) incremental slide afterwards — so
 /// each emitted [`SpectrumWindow`] is bit-identical to the offline
 /// [`spectrum_trace`] at the same grid position — parity by construction,
 /// at any pool size and any push chunking.
@@ -441,8 +878,7 @@ pub fn spectrum_trace_in(
 pub struct StreamingSpectrum {
     ring: RingBuffer,
     scratch: Vec<f64>,
-    qs: Vec<f64>,
-    stride: usize,
+    kernel: SlidingStructure,
 }
 
 impl StreamingSpectrum {
@@ -454,26 +890,25 @@ impl StreamingSpectrum {
     pub fn new(config: &SpectrumConfig) -> Result<Self> {
         config.validate()?;
         Ok(StreamingSpectrum {
-            ring: RingBuffer::new(config.window)?,
-            scratch: Vec::with_capacity(config.window),
-            qs: config.qs.clone(),
-            stride: config.stride,
+            ring: RingBuffer::new(config.window + config.stride)?,
+            scratch: Vec::with_capacity(config.window + config.stride),
+            kernel: SlidingStructure::new(config)?,
         })
     }
 
     /// Window length in samples.
     pub fn window(&self) -> usize {
-        self.ring.capacity()
+        self.kernel.window
     }
 
     /// Pushes between emissions.
     pub fn stride(&self) -> usize {
-        self.stride
+        self.kernel.stride
     }
 
     /// The moment-order grid.
     pub fn qs(&self) -> &[f64] {
-        &self.qs
+        &self.kernel.qs
     }
 
     /// Total samples pushed over this estimator's lifetime.
@@ -505,17 +940,25 @@ impl StreamingSpectrum {
         }
         self.ring.push(value);
         let n = self.ring.pushed();
-        let window = self.ring.capacity() as u64;
-        if n < window || !(n - window).is_multiple_of(self.stride as u64) {
+        let window = self.kernel.window as u64;
+        if n < window || !(n - window).is_multiple_of(self.kernel.stride as u64) {
             return Ok(None);
         }
         self.ring.copy_to(&mut self.scratch);
-        let est = spectrum_in(&self.scratch, &self.qs, pool)?;
+        let fits = if self.kernel.initialized {
+            // The ring holds window + stride samples: the outgoing window
+            // is scratch[..window], the incoming one scratch[stride..].
+            self.kernel.slide(&self.scratch, pool)?
+        } else {
+            // First emission: exactly `window` samples retained so far.
+            self.kernel.rebuild(&self.scratch, pool)?
+        };
+        let (alpha_min, alpha_max) = alpha_range_from_fits(&self.kernel.qs, &fits)?;
         Ok(Some(SpectrumWindow {
             input_index: n - 1,
-            alpha_min: est.alpha_min,
-            alpha_max: est.alpha_max,
-            delta_alpha: est.delta_alpha,
+            alpha_min,
+            alpha_max,
+            delta_alpha: alpha_max - alpha_min,
         }))
     }
 
@@ -555,17 +998,19 @@ impl StreamingSpectrum {
     /// Clears all samples and the emission phase, keeping the parameters.
     pub fn reset(&mut self) {
         let config = SpectrumConfig {
-            window: self.ring.capacity(),
-            stride: self.stride,
-            qs: std::mem::take(&mut self.qs),
+            window: self.kernel.window,
+            stride: self.kernel.stride,
+            qs: std::mem::take(&mut self.kernel.qs),
         };
         *self = StreamingSpectrum::new(&config).expect("parameters already valid");
     }
 
-    /// Serialises the dynamic state (ring contents and push count; the
+    /// Serialises the dynamic state (ring contents and push count plus
+    /// the kernel's moment accumulators and rebuild cadence; the
     /// configuration is not persisted).
     pub fn encode_state(&self, out: &mut Vec<u8>) {
         self.ring.encode_state(out);
+        self.kernel.encode_state(out);
     }
 
     /// Restores dynamic state written by
@@ -577,7 +1022,8 @@ impl StreamingSpectrum {
     /// Returns [`Error::InvalidParameter`] on truncated or inconsistent
     /// bytes.
     pub fn restore_state(&mut self, r: &mut aging_timeseries::persist::Reader<'_>) -> Result<()> {
-        self.ring.restore_state(r)
+        self.ring.restore_state(r)?;
+        self.kernel.restore_state(r)
     }
 }
 

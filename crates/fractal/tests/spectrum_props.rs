@@ -8,7 +8,7 @@
 
 use aging_fractal::generate;
 use aging_fractal::spectrum::{
-    spectrum_trace_in, SpectrumConfig, SpectrumWindow, StreamingSpectrum,
+    spectrum_in, spectrum_trace_in, SpectrumConfig, SpectrumWindow, StreamingSpectrum,
 };
 use aging_par::Pool;
 use proptest::prelude::*;
@@ -118,6 +118,52 @@ proptest! {
                     (None, None) => {}
                     _ => panic!("post-slice emission phase diverged"),
                 }
+            }
+        }
+    }
+
+    /// The O(stride) sliding accumulators track a from-scratch
+    /// [`spectrum_in`] recompute at every stride boundary: the first
+    /// emission (an exact rebuild) is bit-identical, and no slid
+    /// emission drifts more than 1e-9 relative before the next periodic
+    /// rebuild re-anchors the state.
+    #[test]
+    fn sliding_kernel_tracks_naive_recompute(
+        stride in 16usize..48,
+        slides in 8usize..40,
+        hurst_pct in 20u8..=90,
+        seed in 0u64..1024,
+    ) {
+        let window = 128usize;
+        let cfg = config(window, stride);
+        let data = trace(window + stride * slides, hurst_pct, seed);
+        let pool = Pool::new(1);
+        let streamed = stream_scalar(&cfg, &data, &pool);
+        prop_assert_eq!(streamed.len(), slides + 1, "one emission per stride");
+
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-12);
+        for (i, w) in streamed.iter().enumerate() {
+            let end = w.input_index as usize + 1;
+            let naive =
+                spectrum_in(&data[end - window..end], &cfg.qs, &pool).expect("naive window");
+            if i == 0 {
+                prop_assert_eq!(w.alpha_min.to_bits(), naive.alpha_min.to_bits());
+                prop_assert_eq!(w.alpha_max.to_bits(), naive.alpha_max.to_bits());
+                prop_assert_eq!(w.delta_alpha.to_bits(), naive.delta_alpha.to_bits());
+            } else {
+                prop_assert!(
+                    rel(w.alpha_min, naive.alpha_min) <= 1e-9,
+                    "alpha_min drift at emission {}: {} vs {}", i, w.alpha_min, naive.alpha_min
+                );
+                prop_assert!(
+                    rel(w.alpha_max, naive.alpha_max) <= 1e-9,
+                    "alpha_max drift at emission {}: {} vs {}", i, w.alpha_max, naive.alpha_max
+                );
+                prop_assert!(
+                    rel(w.delta_alpha, naive.delta_alpha) <= 1e-9,
+                    "delta_alpha drift at emission {}: {} vs {}",
+                    i, w.delta_alpha, naive.delta_alpha
+                );
             }
         }
     }

@@ -33,15 +33,11 @@ use crate::protocol::{counter_code, Record, ServeEvent};
 /// How the feeders frame records on the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BatchMode {
-    /// Per-record `Batch` frames (protocol v1): each monitor tick is
-    /// simulated and framed inline, so the feed wall clock includes
-    /// scenario stepping — the pre-v2 behaviour.
+    /// Per-record `Batch` frames (protocol v1).
     #[default]
     Record,
-    /// Columnar `BatchColumnar` frames (protocol v2): every machine's
-    /// feed is simulated up front, outside the timed wall, then shipped
-    /// as delta-encoded per-counter columns. The wall clock measures
-    /// the wire-and-ingest path alone.
+    /// Columnar `BatchColumnar` frames (protocol v2): delta-encoded
+    /// per-counter columns.
     Columnar,
 }
 
@@ -309,19 +305,17 @@ pub fn drive_with_ids(
     let frontier: FrontierLog = Mutex::new(HashMap::new());
     let feeding_done = AtomicBool::new(false);
 
-    // Columnar mode simulates every feed up front so the timed wall
-    // below measures the wire-and-ingest path, not scenario stepping.
-    let feeds: Option<Vec<MachineFeed>> = match cfg.mode {
-        BatchMode::Record => None,
-        BatchMode::Columnar => Some(
-            scenarios
-                .iter()
-                .zip(machine_ids)
-                .map(|(scenario, &id)| generate_feed(id, scenario, horizon_secs, &counters))
-                .collect::<Result<Vec<_>>>()?,
-        ),
-    };
-    let feeds_ref: Option<&[MachineFeed]> = feeds.as_deref();
+    // Both modes simulate every feed up front so the timed wall below
+    // measures the wire-and-ingest path alone, never scenario stepping.
+    // Columnar has always done this; record mode replays the same
+    // pre-generated ticks as v1 frames, so the e14 record baseline is an
+    // honest apples-to-apples wire+ingest number.
+    let feeds: Vec<MachineFeed> = scenarios
+        .iter()
+        .zip(machine_ids)
+        .map(|(scenario, &id)| generate_feed(id, scenario, horizon_secs, &counters))
+        .collect::<Result<Vec<_>>>()?;
+    let feeds: &[MachineFeed] = &feeds;
     let started = Instant::now();
 
     let (worker_results, poll_result) = std::thread::scope(|scope| {
@@ -329,8 +323,8 @@ pub fn drive_with_ids(
         for machine_indices in &assignments {
             let frontier = &frontier;
             let counters = &counters;
-            let handle = if let Some(feeds) = feeds_ref {
-                scope.spawn(move || {
+            let handle = match cfg.mode {
+                BatchMode::Columnar => scope.spawn(move || {
                     feed_worker_columnar(
                         addr,
                         feeds,
@@ -340,21 +334,18 @@ pub fn drive_with_ids(
                         per_worker_rate,
                         frontier,
                     )
-                })
-            } else {
-                scope.spawn(move || {
-                    feed_worker(
+                }),
+                BatchMode::Record => scope.spawn(move || {
+                    feed_worker_record(
                         addr,
-                        scenarios,
-                        machine_ids,
+                        feeds,
                         machine_indices,
-                        horizon_secs,
                         counters,
                         cfg.batch_records,
                         per_worker_rate,
                         frontier,
                     )
-                })
+                }),
             };
             handles.push(handle);
         }
@@ -427,35 +418,46 @@ struct WorkerOutcome {
     crash_times: Vec<(u64, Option<f64>)>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn feed_worker(
+/// Replays pre-generated feeds as v1 per-record batches, one tick per
+/// machine per round-robin pass — byte-for-byte the wire traffic the old
+/// live-stepping worker produced, with the simulation cost moved outside
+/// the timed wall.
+fn feed_worker_record(
     addr: SocketAddr,
-    scenarios: &[Scenario],
-    machine_ids: &[u64],
+    feeds: &[MachineFeed],
     machine_indices: &[usize],
-    horizon_secs: f64,
     counters: &[Counter],
     batch_records: usize,
     rate_records_per_sec: f64,
     frontier: &FrontierLog,
 ) -> Result<WorkerOutcome> {
-    let mut feeders = machine_indices
-        .iter()
-        .map(|&idx| ScenarioFeeder::new(machine_ids[idx], &scenarios[idx], horizon_secs))
-        .collect::<Result<Vec<_>>>()?;
     let mut client = ServeClient::connect(addr, "loadgen-feeder")?;
     let started = Instant::now();
     let mut records_sent = 0u64;
     let mut batches = 0u64;
     let mut batch: Vec<Record> = Vec::with_capacity(batch_records + counters.len());
+    // cursor == ticks ⇒ the done marker is still owed; ticks + 1 ⇒ done.
+    let mut cursors = vec![0usize; machine_indices.len()];
 
     loop {
         let mut progressed = false;
-        for feeder in feeders.iter_mut() {
-            if feeder.is_finished() {
+        for (slot, &idx) in machine_indices.iter().enumerate() {
+            let feed = &feeds[idx];
+            let cursor = cursors[slot];
+            if cursor > feed.times.len() {
                 continue;
             }
-            if feeder.next_tick(counters, &mut batch) {
+            if cursor < feed.times.len() {
+                let time_secs = feed.times[cursor];
+                for (counter, column) in counters.iter().zip(&feed.columns) {
+                    batch.push(Record {
+                        machine_id: feed.machine_id,
+                        counter: counter_code(*counter),
+                        time_secs,
+                        value: column[cursor],
+                    });
+                }
+                cursors[slot] = cursor + 1;
                 progressed = true;
             } else {
                 // Flush first: the server must see every record of this
@@ -468,7 +470,8 @@ fn feed_worker(
                     records_sent += flushed;
                     batches += 1;
                 }
-                client.machine_done(feeder.machine_id())?;
+                client.machine_done(feed.machine_id)?;
+                cursors[slot] = feed.times.len() + 1;
             }
             if batch.len() >= batch_records {
                 let flushed = batch.len() as u64;
@@ -497,16 +500,16 @@ fn feed_worker(
         batches,
         ack_rtt,
         busy_frames,
-        crash_times: feeders
+        crash_times: machine_indices
             .iter()
-            .map(|f| (f.machine_id(), f.crash_time_secs()))
+            .map(|&idx| (feeds[idx].machine_id, feeds[idx].crash_time_secs))
             .collect(),
     })
 }
 
 /// One machine's fully simulated feed: tick times plus one value column
-/// per configured counter, generated before the timed wall in columnar
-/// mode.
+/// per configured counter, generated before the timed wall in both wire
+/// modes.
 struct MachineFeed {
     machine_id: u64,
     times: Vec<f64>,

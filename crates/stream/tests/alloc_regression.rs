@@ -1,0 +1,240 @@
+//! Allocation-regression guard for the steady-state ingest hot paths.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! warmup that establishes every ring, scratch buffer, and refit arena,
+//! the hot loops below must perform **zero** heap allocations:
+//!
+//! - `MachinePipeline::ingest_column` on a trend-family detector (the
+//!   e14 columnar serving path), including the per-sample Sen-slope
+//!   refits,
+//! - `StreamingHolder::push` including emissions,
+//! - `StreamingDimension::push` (both window methods) including
+//!   emissions,
+//! - `StreamingSpectrum::push_in` between emissions (emissions
+//!   themselves go through the pool's `try_map_indexed`, which returns
+//!   its results in a fresh `Vec` — that per-emission cost is bounded by
+//!   `repro e19`, not by this guard).
+//!
+//! Everything runs in ONE `#[test]` so no concurrent test can pollute
+//! the global counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use aging_core::baseline::TrendPredictorConfig;
+use aging_core::fusion::FusionRule;
+use aging_fractal::spectrum::{SpectrumConfig, StreamingSpectrum};
+use aging_fractal::streaming::{StreamingDimension, StreamingHolder, WindowDimension};
+use aging_memsim::Counter;
+use aging_par::Pool;
+use aging_stream::pipeline::{CounterDetector, MachinePipeline, PipelineEvent};
+use aging_stream::{DetectorSpec, GateConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Counting is gated per thread so the libtest harness (which keeps
+    /// its own threads alive alongside the test body) cannot charge its
+    /// bookkeeping allocations to a measured window. The `const` init
+    /// keeps the TLS access itself allocation-free, and `try_with`
+    /// tolerates allocator calls during thread teardown.
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracking() -> bool {
+    TRACK.try_with(Cell::get).unwrap_or(false)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if tracking() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with this thread's allocations counted; returns how many
+/// allocator calls (alloc / alloc_zeroed / realloc) it performed.
+fn counted<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    TRACK.with(|t| t.set(true));
+    let out = f();
+    TRACK.with(|t| t.set(false));
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+/// Deterministic rough noise in [-1, 1] (splitmix-style LCG) — enough
+/// variation that every estimator stays off its degenerate paths.
+fn noise(n: usize) -> Vec<f64> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// e14-style trend pipeline: columnar steady-state ingest must not
+/// allocate once the gate runs, refit arena and event vec are warm.
+fn trend_pipeline_stays_allocation_free() {
+    let detectors = [CounterDetector {
+        counter: Counter::AvailableBytes,
+        spec: DetectorSpec::Trend(TrendPredictorConfig {
+            window: 64,
+            refit_every: 4,
+            alarm_horizon_secs: 1e6,
+            ..TrendPredictorConfig::depleting(5.0)
+        }),
+    }];
+    let gate = GateConfig {
+        nominal_period_secs: 5.0,
+        ..GateConfig::default()
+    };
+    let mut pipeline = MachinePipeline::new(&detectors, FusionRule::Any, gate).unwrap();
+    let mut out: Vec<PipelineEvent> = Vec::with_capacity(64);
+
+    // Growing AvailableBytes never extrapolates to exhaustion, so no
+    // alert is ever pushed into `out`.
+    let column = |start: usize| -> (Vec<f64>, Vec<f64>) {
+        let times = (0..64).map(|k| 5.0 * (start + k) as f64).collect();
+        let values = (0..64).map(|k| 1e9 + (start + k) as f64).collect();
+        (times, values)
+    };
+
+    // Warmup: fill the 64-sample window and run many refits (every 4
+    // samples), sizing the Sen-slope arena and the column scratch.
+    let mut fed = 0usize;
+    for _ in 0..16 {
+        let (times, values) = column(fed);
+        pipeline.ingest_column(Counter::AvailableBytes, &times, &values, &mut out);
+        fed += 64;
+    }
+
+    let measured: Vec<(Vec<f64>, Vec<f64>)> = (0..8).map(|c| column(fed + 64 * c)).collect();
+    let (delta, ()) = counted(|| {
+        for (times, values) in &measured {
+            pipeline.ingest_column(Counter::AvailableBytes, times, values, &mut out);
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "steady-state ingest_column allocated {delta} times"
+    );
+    assert!(out.is_empty(), "unexpected pipeline events: {out:?}");
+}
+
+/// Streaming Hölder pushes — including per-push emissions once the ring
+/// is full — must not allocate.
+fn streaming_holder_stays_allocation_free() {
+    let mut holder = StreamingHolder::new(32, 8, 2.0).unwrap();
+    let data = noise(392);
+    let (warmup, measured) = data.split_at(136);
+    for &v in warmup {
+        holder.push(v).unwrap();
+    }
+
+    let (delta, emissions) = counted(|| {
+        let mut emissions = 0usize;
+        for &v in measured {
+            if holder.push(v).unwrap().is_some() {
+                emissions += 1;
+            }
+        }
+        emissions
+    });
+    assert_eq!(delta, 0, "StreamingHolder push allocated {delta} times");
+    assert_eq!(emissions, measured.len(), "ring was full, every push emits");
+}
+
+/// Streaming dimension pushes — including windowed emissions — must not
+/// allocate for either window method.
+fn streaming_dimension_stays_allocation_free(method: WindowDimension) {
+    let mut dim = StreamingDimension::new(method, 64, 16).unwrap();
+    let data = noise(384);
+    let (warmup, measured) = data.split_at(128);
+    for &v in warmup {
+        dim.push(v).unwrap();
+    }
+
+    let (delta, emissions) = counted(|| {
+        let mut emissions = 0usize;
+        for &v in measured {
+            if dim.push(v).unwrap().is_some() {
+                emissions += 1;
+            }
+        }
+        emissions
+    });
+    assert_eq!(
+        delta, 0,
+        "StreamingDimension({method:?}) allocated {delta} times"
+    );
+    assert_eq!(emissions, measured.len() / 16, "one emission per stride");
+}
+
+/// Streaming spectrum pushes between emissions must not allocate (the
+/// emission itself pays one pool fan-out, gated by `repro e19`).
+fn streaming_spectrum_between_emissions_stays_allocation_free() {
+    let config = SpectrumConfig::default();
+    let (window, stride) = (config.window, config.stride);
+    let mut spectrum = StreamingSpectrum::new(&config).unwrap();
+    let pool = Pool::new(1);
+    let data = noise(window + stride);
+
+    // Warmup through the first emission so ring + kernel are built.
+    for &v in &data[..window] {
+        spectrum.push_in(v, &pool).unwrap();
+    }
+
+    let (delta, ()) = counted(|| {
+        for &v in &data[window..window + stride - 1] {
+            let emitted = spectrum.push_in(v, &pool).unwrap();
+            assert!(emitted.is_none(), "mid-stride push must not emit");
+        }
+    });
+    assert_eq!(
+        delta, 0,
+        "non-emitting spectrum push allocated {delta} times"
+    );
+
+    // The next push completes the stride and emits again.
+    let emitted = spectrum.push_in(data[window + stride - 1], &pool).unwrap();
+    assert!(emitted.is_some(), "stride-completing push must emit");
+}
+
+#[test]
+fn steady_state_hot_paths_do_not_allocate() {
+    trend_pipeline_stays_allocation_free();
+    streaming_holder_stays_allocation_free();
+    streaming_dimension_stays_allocation_free(WindowDimension::BoxCounting);
+    streaming_dimension_stays_allocation_free(WindowDimension::Variation);
+    streaming_spectrum_between_emissions_stays_allocation_free();
+}

@@ -139,6 +139,18 @@ pub fn log_log_fit(x: &[f64], y: &[f64]) -> Result<LineFit> {
             format!("log-log fit requires positive y, got {} at {i}", y[i]),
         ));
     }
+    // Small fits — every rolling-window estimator lands here — stay on
+    // the stack: this sits on the streaming detectors' emission path,
+    // which must not allocate.
+    if x.len() <= 64 {
+        let mut lx = [0.0f64; 64];
+        let mut ly = [0.0f64; 64];
+        for (i, (&a, &b)) in x.iter().zip(y).enumerate() {
+            lx[i] = a.ln();
+            ly[i] = b.ln();
+        }
+        return ols(&lx[..x.len()], &ly[..x.len()]);
+    }
     let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
     let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
     ols(&lx, &ly)

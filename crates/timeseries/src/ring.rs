@@ -76,8 +76,11 @@ impl RingBuffer {
             sum: 0.0,
             sum_sq: 0.0,
             since_rebuild: 0,
-            max_deque: VecDeque::new(),
-            min_deque: VecDeque::new(),
+            // Each live push id appears in a deque at most once, so
+            // `capacity` entries is a hard bound — reserving it up front
+            // keeps every steady-state push allocation-free.
+            max_deque: VecDeque::with_capacity(capacity),
+            min_deque: VecDeque::with_capacity(capacity),
         })
     }
 
@@ -370,7 +373,12 @@ impl RingBuffer {
         for _ in 0..len {
             buf.push(r.f64()?);
         }
-        let mut deques: [VecDeque<(u64, f64)>; 2] = [VecDeque::new(), VecDeque::new()];
+        // Mirror `new`: full-capacity reservation keeps the restored
+        // ring's steady-state pushes allocation-free as well.
+        let mut deques: [VecDeque<(u64, f64)>; 2] = [
+            VecDeque::with_capacity(capacity),
+            VecDeque::with_capacity(capacity),
+        ];
         for dq in &mut deques {
             let n = r.usize_()?;
             if n > len {

@@ -321,13 +321,30 @@ impl SenSlope {
         } else {
             0.5 * (at(m / 2 - 1) + at(m / 2))
         };
-        let times: Vec<f64> = (0..n).map(|i| i as f64 * dt).collect();
-        let intercept = crate::stats::median(data)? - slope * crate::stats::median(&times)?;
+        let lower_95 = at(lo_rank);
+        let upper_95 = at(hi_rank);
+
+        // This runs on the per-sample trend-refit path, so the two medians
+        // must not allocate. The time axis 0·dt, 1·dt, … is already sorted,
+        // so its type-7 median is closed-form; the data median reuses
+        // `slopes` (done with the rank selections above) as sort scratch.
+        // Both replicate [`crate::stats::quantile`]'s arithmetic exactly,
+        // keeping the intercept bit-identical.
+        let pos = 0.5 * (n - 1) as f64;
+        let t_lo = pos.floor() as usize;
+        let t_hi = pos.ceil() as usize;
+        let frac = pos - t_lo as f64;
+        let time_median = (t_lo as f64 * dt) * (1.0 - frac) + (t_hi as f64 * dt) * frac;
+        slopes.clear();
+        slopes.extend_from_slice(data);
+        slopes.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let data_median = slopes[t_lo] * (1.0 - frac) + slopes[t_hi] * frac;
+        let intercept = data_median - slope * time_median;
         Ok(SenSlope {
             slope,
             intercept,
-            lower_95: at(lo_rank),
-            upper_95: at(hi_rank),
+            lower_95,
+            upper_95,
         })
     }
 
